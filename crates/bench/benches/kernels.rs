@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks for the dot/AXPY kernels (Figure 4 backing).
+
+use buckwild_fixed::FixedSpec;
+use buckwild_kernels::{generic, optimized, AxpyRand};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_dot(c: &mut Criterion) {
+    let n = 1 << 14;
+    let x8: Vec<i8> = (0..n).map(|i| (i % 251) as i8).collect();
+    let w8: Vec<i8> = (0..n).map(|i| (i % 127) as i8).collect();
+    let xf: Vec<f32> = x8.iter().map(|&v| v as f32 / 128.0).collect();
+    let wf: Vec<f32> = w8.iter().map(|&v| v as f32 / 32.0).collect();
+    let xs = FixedSpec::unit_range(8);
+    let ws = FixedSpec::model_range(8);
+
+    let mut group = c.benchmark_group("dot");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::new("optimized", "D8M8"), |b| {
+        b.iter(|| optimized::dot_i8_i8(&x8, &w8, &xs, &ws))
+    });
+    group.bench_function(BenchmarkId::new("generic", "D8M8"), |b| {
+        b.iter(|| generic::dot(&x8, &w8, &xs, &ws))
+    });
+    group.bench_function(BenchmarkId::new("optimized", "D32fM32f"), |b| {
+        b.iter(|| optimized::dot_f32_f32(&xf, &wf))
+    });
+    group.finish();
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let n = 1 << 14;
+    let x8: Vec<i8> = (0..n).map(|i| (i % 251) as i8).collect();
+    let xs = FixedSpec::unit_range(8);
+    let ws = FixedSpec::model_range(8);
+    let mut w8: Vec<i8> = vec![0; n];
+    let block = [0x1234_5678u32; 8];
+
+    let mut group = c.benchmark_group("axpy");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::new("optimized-biased", "D8M8"), |b| {
+        b.iter(|| optimized::axpy_i8_i8(&mut w8, 0.01, &x8, &xs, &ws, AxpyRand::Biased))
+    });
+    group.bench_function(BenchmarkId::new("optimized-shared", "D8M8"), |b| {
+        b.iter(|| optimized::axpy_i8_i8(&mut w8, 0.01, &x8, &xs, &ws, AxpyRand::Shared(&block)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dot, bench_axpy);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion microbenchmarks for the rounding PRNGs (Figure 5b backing).
+
+use buckwild_prng::{Mt19937, Prng, SharedRandomness, Xorshift128, XorshiftLanes};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_prng(c: &mut Criterion) {
+    let draws = 1 << 12;
+    let mut group = c.benchmark_group("prng");
+    group.throughput(Throughput::Elements(draws as u64));
+    group.bench_function("mt19937", |b| {
+        let mut rng = Mt19937::seed_from(1);
+        b.iter(|| (0..draws).map(|_| rng.next_u32()).fold(0u32, u32::wrapping_add))
+    });
+    group.bench_function("xorshift128", |b| {
+        let mut rng = Xorshift128::seed_from(1);
+        b.iter(|| (0..draws).map(|_| rng.next_u32()).fold(0u32, u32::wrapping_add))
+    });
+    group.bench_function("xorshift-lanes8", |b| {
+        let mut lanes = XorshiftLanes::<8>::seed_from(1);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..draws / 8 {
+                for w in lanes.step() {
+                    acc = acc.wrapping_add(w);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("shared-randomness-p64", |b| {
+        let mut shared = SharedRandomness::new(Xorshift128::seed_from(1), 64);
+        b.iter(|| (0..draws).map(|_| shared.next_uniform()).sum::<f32>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prng);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion benchmarks for end-to-end training epochs.
+
+use buckwild::{Loss, SgdConfig};
+use buckwild_dataset::generate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_trainer(c: &mut Criterion) {
+    let n = 1 << 10;
+    let m = 64;
+    let problem = generate::logistic_dense(n, m, 42);
+    let mut group = c.benchmark_group("train-epoch");
+    group.throughput(Throughput::Elements((n * m) as u64));
+    for sig in ["D32fM32f", "D16M16", "D8M8"] {
+        group.bench_with_input(BenchmarkId::new("dense", sig), sig, |b, s| {
+            let config = SgdConfig::new(Loss::Logistic)
+                .signature(s.parse().unwrap())
+                .epochs(1)
+                .record_losses(false);
+            b.iter(|| config.train_dense(&problem.data).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trainer);
+criterion_main!(benches);

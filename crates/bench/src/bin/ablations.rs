@@ -1,0 +1,4 @@
+//! Design-choice ablation sweeps. See `buckwild_bench::experiments::ablations`.
+fn main() {
+    buckwild_bench::experiments::ablations::run();
+}

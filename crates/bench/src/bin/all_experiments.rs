@@ -1,0 +1,7 @@
+//! Runs every table/figure experiment in paper order.
+//!
+//! Budget knobs: `BUCKWILD_SECONDS` (per measured point, default 0.25) and
+//! `BUCKWILD_FULL=1` (paper-scale sweeps).
+fn main() {
+    buckwild_bench::experiments::run_all();
+}

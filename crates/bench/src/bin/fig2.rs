@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig2 experiment. See `buckwild_bench::experiments::fig2`.
+fn main() {
+    buckwild_bench::experiments::fig2::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3 experiment. See `buckwild_bench::experiments::fig3`.
+fn main() {
+    buckwild_bench::experiments::fig3::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig4 experiment. See `buckwild_bench::experiments::fig4`.
+fn main() {
+    buckwild_bench::experiments::fig4::run();
+}

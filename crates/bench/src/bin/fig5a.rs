@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5a experiment. See `buckwild_bench::experiments::fig5a`.
+fn main() {
+    buckwild_bench::experiments::fig5a::run();
+}

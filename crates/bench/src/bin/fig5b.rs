@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5b experiment. See `buckwild_bench::experiments::fig5b`.
+fn main() {
+    buckwild_bench::experiments::fig5b::run();
+}

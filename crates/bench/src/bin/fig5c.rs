@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5c experiment. See `buckwild_bench::experiments::fig5c`.
+fn main() {
+    buckwild_bench::experiments::fig5c::run();
+}

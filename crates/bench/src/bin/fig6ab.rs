@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6ab experiment. See `buckwild_bench::experiments::fig6ab`.
+fn main() {
+    buckwild_bench::experiments::fig6ab::run();
+}

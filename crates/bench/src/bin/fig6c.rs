@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6c experiment. See `buckwild_bench::experiments::fig6c`.
+fn main() {
+    buckwild_bench::experiments::fig6c::run();
+}

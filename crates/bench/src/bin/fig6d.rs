@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6d experiment. See `buckwild_bench::experiments::fig6d`.
+fn main() {
+    buckwild_bench::experiments::fig6d::run();
+}

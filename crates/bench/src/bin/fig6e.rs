@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6e experiment. See `buckwild_bench::experiments::fig6e`.
+fn main() {
+    buckwild_bench::experiments::fig6e::run();
+}

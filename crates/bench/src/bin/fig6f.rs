@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6f experiment. See `buckwild_bench::experiments::fig6f`.
+fn main() {
+    buckwild_bench::experiments::fig6f::run();
+}

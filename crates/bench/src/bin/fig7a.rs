@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7a experiment. See `buckwild_bench::experiments::fig7a`.
+fn main() {
+    buckwild_bench::experiments::fig7a::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7b experiment. See `buckwild_bench::experiments::fig7b`.
+fn main() {
+    buckwild_bench::experiments::fig7b::run();
+}

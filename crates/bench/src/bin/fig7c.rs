@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7c experiment. See `buckwild_bench::experiments::fig7c`.
+fn main() {
+    buckwild_bench::experiments::fig7c::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7de experiment. See `buckwild_bench::experiments::fig7de`.
+fn main() {
+    buckwild_bench::experiments::fig7de::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7f experiment. See `buckwild_bench::experiments::fig7f`.
+fn main() {
+    buckwild_bench::experiments::fig7f::run();
+}

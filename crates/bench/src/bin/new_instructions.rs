@@ -1,0 +1,4 @@
+//! Regenerates the paper's new_instructions experiment. See `buckwild_bench::experiments::new_instructions`.
+fn main() {
+    buckwild_bench::experiments::new_instructions::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 experiment. See `buckwild_bench::experiments::table1`.
+fn main() {
+    buckwild_bench::experiments::table1::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 experiment. See `buckwild_bench::experiments::table2`.
+fn main() {
+    buckwild_bench::experiments::table2::run();
+}

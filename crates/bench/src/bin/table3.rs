@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 experiment. See `buckwild_bench::experiments::table3`.
+fn main() {
+    buckwild_bench::experiments::table3::run();
+}

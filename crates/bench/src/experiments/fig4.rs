@@ -1,0 +1,111 @@
+//! Figure 4: hand-optimized SIMD-style kernels vs compiler-generic kernels.
+//!
+//! 4a: dense speedups by model size; 4b: sparse (where optimization can
+//! even hurt for small models); 4c: average speedup per signature.
+
+use buckwild_dmgc::Signature;
+use buckwild_kernels::cost::QuantizerKind;
+use buckwild_kernels::KernelFlavor;
+
+use crate::experiments::{full_scale, seconds};
+use crate::{banner, measure_dense_t1, measure_sparse_t1, print_header, print_row};
+
+/// Prints generic vs optimized throughput and speedups.
+pub fn run() {
+    banner(
+        "Figure 4",
+        "Hand-optimized vs compiler-generic kernels (GNPS and speedup)",
+    );
+    let secs = seconds();
+    let sizes: Vec<usize> = if full_scale() {
+        vec![1 << 10, 1 << 14, 1 << 18, 1 << 22]
+    } else {
+        vec![1 << 10, 1 << 14, 1 << 18]
+    };
+
+    println!("(4a) dense D8M8 by model size:");
+    print_header(
+        "model size",
+        &["generic".into(), "optimized".into(), "speedup".into()],
+    );
+    let sig: Signature = "D8M8".parse().expect("static");
+    for &n in &sizes {
+        let generic = measure_dense_t1(
+            &sig,
+            KernelFlavor::Generic,
+            QuantizerKind::XorshiftShared,
+            n,
+            secs,
+        );
+        let optimized = measure_dense_t1(
+            &sig,
+            KernelFlavor::Optimized,
+            QuantizerKind::XorshiftShared,
+            n,
+            secs,
+        );
+        print_row(
+            &format!("n = 2^{}", n.trailing_zeros()),
+            &[generic, optimized, optimized / generic],
+        );
+    }
+
+    println!();
+    println!("(4b) sparse D8i8M8 by model size (3% density):");
+    print_header(
+        "model size",
+        &["generic".into(), "optimized".into(), "speedup".into()],
+    );
+    let sparse_sig: Signature = "D8i8M8".parse().expect("static");
+    for &n in &sizes {
+        let nnz = ((n as f64 * 0.03) as usize).max(4);
+        let generic = measure_sparse_t1(
+            &sparse_sig,
+            KernelFlavor::Generic,
+            QuantizerKind::XorshiftShared,
+            n,
+            nnz,
+            secs,
+        );
+        let optimized = measure_sparse_t1(
+            &sparse_sig,
+            KernelFlavor::Optimized,
+            QuantizerKind::XorshiftShared,
+            n,
+            nnz,
+            secs,
+        );
+        print_row(
+            &format!("n = 2^{}", n.trailing_zeros()),
+            &[generic, optimized, optimized / generic],
+        );
+    }
+
+    println!();
+    println!("(4c) average dense speedup per signature (optimized / generic):");
+    print_header("signature", &["speedup".into()]);
+    for text in ["D8M8", "D8M16", "D16M8", "D16M16", "D32fM8", "D32fM16"] {
+        let s: Signature = text.parse().expect("static");
+        let mut ratios = Vec::new();
+        for &n in &sizes {
+            let generic =
+                measure_dense_t1(&s, KernelFlavor::Generic, QuantizerKind::XorshiftShared, n, secs);
+            let optimized = measure_dense_t1(
+                &s,
+                KernelFlavor::Optimized,
+                QuantizerKind::XorshiftShared,
+                n,
+                secs,
+            );
+            ratios.push(optimized / generic);
+        }
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        print_row(text, &[avg]);
+    }
+    println!();
+    println!(
+        "paper: dense speedups up to 11x; sparse hand-optimization can underperform \
+         for small models (which is why the paper recommends it only for dense code)"
+    );
+    println!();
+}

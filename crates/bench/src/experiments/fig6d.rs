@@ -1,0 +1,51 @@
+//! Figure 6d: mini-batch size vs throughput.
+//!
+//! Larger mini-batches amortize the cache-invalidation cost of writing a
+//! small shared model: the model is written once per `B` examples, so
+//! small-model throughput approaches large-model throughput as `B` grows.
+
+use buckwild::{Loss, SgdConfig};
+use buckwild_dataset::generate;
+
+use crate::experiments::full_scale;
+use crate::{banner, print_header, print_row};
+
+fn throughput(n: usize, m: usize, b: usize, threads: usize) -> f64 {
+    let problem = generate::logistic_dense(n, m, 23);
+    SgdConfig::new(Loss::Logistic)
+        .signature("D8M8".parse().expect("static"))
+        .minibatch(b)
+        .threads(threads)
+        .epochs(2)
+        .record_losses(false)
+        .train_dense(&problem.data)
+        .expect("valid config")
+        .gnps()
+}
+
+/// Sweeps mini-batch size across model sizes with 2 async workers.
+pub fn run() {
+    banner("Figure 6d", "Mini-batch size vs training throughput (D8M8, GNPS)");
+    let threads = 2;
+    let batches = [1usize, 4, 16, 64, 256];
+    let sizes: Vec<usize> = if full_scale() {
+        vec![1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16]
+    } else {
+        vec![1 << 8, 1 << 10, 1 << 12, 1 << 14]
+    };
+    print_header(
+        "model size",
+        batches.iter().map(|b| format!("B={b}")).collect::<Vec<_>>().as_slice(),
+    );
+    for &n in &sizes {
+        let m = ((1 << 21) / n).max(512);
+        let cells: Vec<f64> = batches.iter().map(|&b| throughput(n, m, b, threads)).collect();
+        print_row(&format!("n = 2^{}", n.trailing_zeros()), &cells);
+    }
+    println!();
+    println!(
+        "paper: for large mini-batches, small-model throughput approaches large-model \
+         throughput — mini-batching raises the parallelizable fraction p"
+    );
+    println!();
+}

@@ -1,0 +1,96 @@
+//! Figure 7b: LeNet test error vs model precision.
+//!
+//! The paper modified Mocha to simulate arbitrary-bit-width training and
+//! found 16-bit indistinguishable from full precision — and, surprisingly,
+//! that training remains accurate *below* 8 bits with unbiased rounding.
+//! We run the same sweep on a LeNet-shaped CNN over synthetic digits
+//! (MNIST is unavailable offline; see DESIGN.md).
+
+use buckwild::Rounding;
+use buckwild_dataset::{ImageDataset, ImageShape};
+use buckwild_nn::{lenet, WeightQuantizer};
+
+use crate::experiments::full_scale;
+use crate::{banner, print_header, print_row};
+
+/// Trains the CNN at each weight precision and prints test error.
+pub fn run() {
+    banner("Figure 7b", "CNN test error vs model precision (synthetic digits)");
+    let (shape, classes, per_class, epochs) = if full_scale() {
+        (ImageShape::MNIST, 10, 40, 6)
+    } else {
+        (
+            ImageShape {
+                height: 12,
+                width: 12,
+                channels: 1,
+            },
+            4,
+            30,
+            8,
+        )
+    };
+    let data = ImageDataset::generate(shape, classes, per_class, 0.15, 11);
+    let (train, test) = data.split(0.8);
+    println!(
+        "{} train / {} test images of {}x{}, {classes} classes\n",
+        train.len(),
+        test.len(),
+        shape.height,
+        shape.width
+    );
+
+    let build = || {
+        if full_scale() {
+            lenet::lenet5(classes, 3)
+        } else {
+            lenet::tiny(shape.height, shape.width, shape.channels, classes, 3)
+        }
+    };
+
+    print_header("model bits", &["biased err".into(), "unbiased err".into()]);
+    let mut quantizers: Vec<(String, Vec<WeightQuantizer>)> = Vec::new();
+    for bits in [6u32, 8, 10, 12, 16] {
+        quantizers.push((
+            format!("{bits}"),
+            vec![
+                WeightQuantizer::fixed(bits, Rounding::Biased, 9),
+                WeightQuantizer::fixed(bits, Rounding::Unbiased, 9),
+            ],
+        ));
+    }
+    quantizers.push((
+        "32f".into(),
+        vec![WeightQuantizer::full_precision(), WeightQuantizer::full_precision()],
+    ));
+
+    let mut low_bits_unbiased_err = f64::NAN;
+    let mut full_err = f64::NAN;
+    for (label, quants) in &mut quantizers {
+        let mut cells = Vec::new();
+        for quant in quants {
+            let mut net = build();
+            let _ = net.train(&train, epochs, 4, 0.25, quant);
+            cells.push(net.test_error(&test));
+        }
+        if label == "6" {
+            low_bits_unbiased_err = cells[1];
+        }
+        if label == "32f" {
+            full_err = cells[1];
+        }
+        print_row(label, &cells);
+    }
+    println!();
+    println!(
+        "unbiased 6-bit vs full precision: {:.3} vs {:.3} — {}",
+        low_bits_unbiased_err,
+        full_err,
+        if low_bits_unbiased_err < full_err + 0.1 {
+            "training below 8 bits works with unbiased rounding (paper's surprise result)"
+        } else {
+            "degraded on this run"
+        }
+    );
+    println!();
+}

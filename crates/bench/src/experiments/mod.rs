@@ -1,0 +1,74 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes `run()`, which prints the regenerated rows/series
+//! alongside the paper's reported values where applicable. The
+//! `all_experiments` binary chains every `run()` in paper order.
+//!
+//! Budget knobs (environment variables):
+//!
+//! * `BUCKWILD_SECONDS` — wall-clock budget per measured point
+//!   (default 0.25).
+//! * `BUCKWILD_FULL=1` — use the paper-scale parameter sweeps instead of
+//!   the laptop-scale defaults.
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5a;
+pub mod fig5b;
+pub mod fig5c;
+pub mod fig6ab;
+pub mod fig6c;
+pub mod fig6d;
+pub mod fig6e;
+pub mod fig6f;
+pub mod fig7a;
+pub mod fig7b;
+pub mod fig7c;
+pub mod fig7de;
+pub mod fig7f;
+pub mod new_instructions;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// Per-point measurement budget in seconds (`BUCKWILD_SECONDS`).
+#[must_use]
+pub fn seconds() -> f64 {
+    std::env::var("BUCKWILD_SECONDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(crate::QUICK_SECONDS)
+}
+
+/// True if paper-scale sweeps were requested (`BUCKWILD_FULL=1`).
+#[must_use]
+pub fn full_scale() -> bool {
+    std::env::var("BUCKWILD_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Runs every experiment in paper order.
+pub fn run_all() {
+    table1::run();
+    table2::run();
+    fig2::run();
+    fig3::run();
+    fig4::run();
+    fig5a::run();
+    fig5b::run();
+    fig5c::run();
+    fig6ab::run();
+    fig6c::run();
+    fig6d::run();
+    fig6e::run();
+    fig6f::run();
+    new_instructions::run();
+    fig7a::run();
+    fig7b::run();
+    fig7c::run();
+    fig7de::run();
+    fig7f::run();
+    table3::run();
+    ablations::run();
+}

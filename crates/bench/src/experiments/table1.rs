@@ -1,0 +1,22 @@
+//! Table 1: DMGC signatures of prior low-precision systems.
+
+use buckwild_dmgc::taxonomy::TABLE1;
+
+use crate::banner;
+
+/// Prints the Table 1 taxonomy with the classification rationale.
+pub fn run() {
+    banner("Table 1", "DMGC signatures of previous algorithms");
+    println!("{:<36} {:>12}", "Paper", "Signature");
+    println!("{}", "-".repeat(50));
+    for system in &TABLE1 {
+        println!("{:<36} {:>12}", system.name, system.signature_text);
+    }
+    println!();
+    println!("Rationale (paper §3.1):");
+    for system in &TABLE1 {
+        let sig = system.signature().expect("built-in signatures parse");
+        println!("* {} = {}\n    {}", system.name, sig, system.rationale);
+    }
+    println!();
+}

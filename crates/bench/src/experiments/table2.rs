@@ -1,0 +1,79 @@
+//! Table 2: base sequential throughput (GNPS) by DMGC signature.
+
+use buckwild_dmgc::{Signature, PAPER_TABLE2};
+use buckwild_kernels::cost::QuantizerKind;
+use buckwild_kernels::KernelFlavor;
+
+use crate::experiments::{full_scale, seconds};
+use crate::{banner, measure_dense_t1, measure_sparse_t1, print_header, print_row};
+
+/// Measures the dense and sparse base throughput for every Table 2
+/// signature on this host and prints it next to the paper's Xeon numbers.
+pub fn run() {
+    banner(
+        "Table 2",
+        "Base sequential throughput by signature (GNPS); paper values from Xeon E7-8890",
+    );
+    let n = if full_scale() { 1 << 20 } else { 1 << 16 };
+    let density = 0.03;
+    let nnz = ((n as f64 * density) as usize).max(1);
+    let secs = seconds();
+    println!("dense n = {n}, sparse density = 3% ({nnz} nnz); {secs:.2} s/point\n");
+    print_header(
+        "signature",
+        &[
+            "dense".into(),
+            "paper-d".into(),
+            "sparse".into(),
+            "paper-s".into(),
+        ],
+    );
+    let mut dense_by_sig = Vec::new();
+    for (text, paper_dense, paper_sparse) in PAPER_TABLE2 {
+        let dense_sig: Signature = text.parse().expect("table signature");
+        let sparse_sig = dense_sig.to_sparse(dense_sig.dataset_bits());
+        let dense = measure_dense_t1(
+            &dense_sig,
+            KernelFlavor::Optimized,
+            QuantizerKind::XorshiftShared,
+            n,
+            secs,
+        );
+        let sparse = measure_sparse_t1(
+            &sparse_sig,
+            KernelFlavor::Optimized,
+            QuantizerKind::XorshiftShared,
+            n,
+            nnz,
+            secs,
+        );
+        print_row(&sparse_sig.to_string(), &[dense, paper_dense, sparse, paper_sparse]);
+        dense_by_sig.push((text, dense));
+    }
+    // The headline shape checks from §4.
+    let get = |name: &str| {
+        dense_by_sig
+            .iter()
+            .find(|(t, _)| *t == name)
+            .map(|(_, v)| *v)
+            .expect("measured")
+    };
+    let full = get("D32fM32f");
+    let d16 = get("D16M16");
+    let d8 = get("D8M8");
+    println!();
+    println!(
+        "dense speedup over D32fM32f:  D16M16 = {:.2}x (linear bound 2x), D8M8 = {:.2}x (linear bound 4x)",
+        d16 / full,
+        d8 / full
+    );
+    println!(
+        "fastest dense signature on this host: {}",
+        dense_by_sig
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(t, _)| *t)
+            .unwrap_or("?")
+    );
+    println!();
+}

@@ -1,0 +1,307 @@
+//! A set-associative cache with LRU replacement.
+
+use std::collections::HashMap;
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found the line.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 if no lookups).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    line: u64,
+    last_use: u64,
+    prefetched: bool,
+}
+
+/// A set-associative, LRU-replacement cache tracking line addresses only
+/// (data values live in the simulated program, not the simulator).
+///
+/// # Example
+///
+/// ```
+/// use buckwild_cachesim::SetAssocCache;
+///
+/// let mut c = SetAssocCache::new(4 * 64, 2, 64); // 4 lines, 2-way
+/// assert!(!c.access(0));
+/// c.fill(0, false);
+/// assert!(c.access(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    set_count: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `capacity_bytes` with the given associativity and
+    /// line size. Capacity is rounded down to a whole power-of-two set
+    /// count (minimum one set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    #[must_use]
+    pub fn new(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0 && ways > 0 && line_bytes > 0);
+        let lines = (capacity_bytes / line_bytes).max(1);
+        let raw_sets = (lines / ways as u64).max(1);
+        let set_count = 1u64 << (63 - raw_sets.leading_zeros() as u64);
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways); set_count as usize],
+            ways,
+            set_count,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.set_count) as usize
+    }
+
+    /// Looks up `line`; on a hit, refreshes LRU and clears the prefetched
+    /// mark (the prefetch proved useful). Returns whether it hit.
+    pub fn access(&mut self, line: u64) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(line);
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.line == line) {
+            way.last_use = clock;
+            way.prefetched = false;
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// True if the line is present (no LRU update, no stats).
+    #[must_use]
+    pub fn contains(&self, line: u64) -> bool {
+        self.sets[self.set_of(line)].iter().any(|w| w.line == line)
+    }
+
+    /// True if the line is present and was brought in by a prefetch that
+    /// has not yet been used by a demand access.
+    #[must_use]
+    pub fn is_unused_prefetch(&self, line: u64) -> bool {
+        self.sets[self.set_of(line)]
+            .iter()
+            .any(|w| w.line == line && w.prefetched)
+    }
+
+    /// Inserts `line`, evicting the LRU way if the set is full. Returns the
+    /// evicted line, if any. Idempotent when the line is present.
+    pub fn fill(&mut self, line: u64, prefetched: bool) -> Option<u64> {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.ways;
+        let set = self.set_of(line);
+        let entries = &mut self.sets[set];
+        if let Some(way) = entries.iter_mut().find(|w| w.line == line) {
+            way.last_use = clock;
+            return None;
+        }
+        let new_way = Way {
+            line,
+            last_use: clock,
+            prefetched,
+        };
+        if entries.len() < ways {
+            entries.push(new_way);
+            None
+        } else {
+            let (victim_idx, _) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_use)
+                .expect("set is nonempty");
+            let victim = entries[victim_idx].line;
+            entries[victim_idx] = new_way;
+            Some(victim)
+        }
+    }
+
+    /// Removes `line` if present; returns whether it was present.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|w| w.line == line) {
+            entries.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+/// A sharer directory: which cores hold each line, and who holds it dirty.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Directory {
+    entries: HashMap<u64, DirEntry>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DirEntry {
+    /// Bitmask of cores holding the line.
+    pub sharers: u64,
+    /// Core holding the line in M state, if any.
+    pub dirty: Option<usize>,
+}
+
+impl Directory {
+    pub(crate) fn entry(&self, line: u64) -> DirEntry {
+        self.entries.get(&line).copied().unwrap_or_default()
+    }
+
+    pub(crate) fn add_sharer(&mut self, line: u64, core: usize) {
+        let e = self.entries.entry(line).or_default();
+        e.sharers |= 1 << core;
+    }
+
+    pub(crate) fn remove_sharer(&mut self, line: u64, core: usize) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.sharers &= !(1 << core);
+            if e.dirty == Some(core) {
+                e.dirty = None;
+            }
+            if e.sharers == 0 {
+                self.entries.remove(&line);
+            }
+        }
+    }
+
+    pub(crate) fn set_exclusive(&mut self, line: u64, core: usize) {
+        let e = self.entries.entry(line).or_default();
+        e.sharers = 1 << core;
+        e.dirty = Some(core);
+    }
+
+    pub(crate) fn clear_dirty(&mut self, line: u64) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.dirty = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = SetAssocCache::new(8 * 64, 2, 64);
+        assert!(!c.access(5));
+        c.fill(5, false);
+        assert!(c.access(5));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // One set (2 lines capacity, 2-way): fill 0, 1, then 2 evicts 0.
+        let mut c = SetAssocCache::new(2 * 64, 2, 64);
+        c.fill(0, false);
+        c.fill(2, false); // set 0 again (set_count = 1)
+        assert_eq!(c.set_of(0), c.set_of(2));
+        let evicted = c.fill(4, false);
+        assert_eq!(evicted, Some(0));
+        assert!(c.contains(2));
+        assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn access_refreshes_lru() {
+        let mut c = SetAssocCache::new(2 * 64, 2, 64);
+        c.fill(0, false);
+        c.fill(2, false);
+        assert!(c.access(0)); // 0 becomes MRU
+        let evicted = c.fill(4, false);
+        assert_eq!(evicted, Some(2));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = SetAssocCache::new(4 * 64, 2, 64);
+        c.fill(1, false);
+        assert!(c.invalidate(1));
+        assert!(!c.contains(1));
+        assert!(!c.invalidate(1));
+    }
+
+    #[test]
+    fn prefetch_marking() {
+        let mut c = SetAssocCache::new(4 * 64, 2, 64);
+        c.fill(3, true);
+        assert!(c.is_unused_prefetch(3));
+        assert!(c.access(3));
+        assert!(!c.is_unused_prefetch(3));
+    }
+
+    #[test]
+    fn fill_is_idempotent() {
+        let mut c = SetAssocCache::new(4 * 64, 2, 64);
+        c.fill(1, false);
+        assert_eq!(c.fill(1, false), None);
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = SetAssocCache::new(4 * 64, 2, 64);
+        c.fill(0, false);
+        c.access(0);
+        c.access(1);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn directory_tracks_sharers() {
+        let mut d = Directory::default();
+        d.add_sharer(7, 0);
+        d.add_sharer(7, 3);
+        assert_eq!(d.entry(7).sharers, 0b1001);
+        d.set_exclusive(7, 1);
+        assert_eq!(d.entry(7).sharers, 0b10);
+        assert_eq!(d.entry(7).dirty, Some(1));
+        d.remove_sharer(7, 1);
+        assert_eq!(d.entry(7).sharers, 0);
+        assert_eq!(d.entry(7).dirty, None);
+    }
+}

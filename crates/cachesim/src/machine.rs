@@ -1,0 +1,543 @@
+//! The simulated multi-core machine: MESI coherence, prefetcher, obstinacy.
+
+use buckwild_prng::{split_seed, Prng, Xorshift128};
+
+use crate::cache::{Directory, SetAssocCache};
+use crate::workload::{Region, SgdWorkload};
+use crate::Geometry;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Cache geometry and latencies.
+    pub geometry: Geometry,
+    /// Probability a private cache ignores an invalidate (obstinate cache,
+    /// §6.2). `0.0` = standard MESI.
+    pub obstinacy: f64,
+    /// Hardware stream prefetcher enabled (§5.3 studies disabling it).
+    pub prefetch: bool,
+    /// Lines fetched ahead per prefetch trigger.
+    pub prefetch_degree: u64,
+    /// Cycles the issuing core spends per prefetch request (bandwidth and
+    /// queue occupancy share).
+    pub prefetch_issue_cycles: u64,
+    /// ALU cycles charged per processed dataset number (covers the SIMD
+    /// arithmetic between memory operations).
+    pub compute_cycles_per_number: f64,
+    /// Memory-level parallelism of sequential demand streams: consecutive
+    /// DRAM misses to adjacent lines overlap, dividing their effective
+    /// latency. Out-of-order cores sustain ~6 outstanding line fills.
+    pub demand_stream_mlp: u64,
+    /// Shared-bus occupancy per L3-level request (cycles). The L3 ring and
+    /// memory controller serialize requests from all cores; this is the
+    /// bandwidth term that prefetch traffic competes for (§5.3).
+    pub bus_l3_cycles: u64,
+    /// Shared-bus occupancy per DRAM line fill (cycles).
+    pub bus_dram_cycles: u64,
+    /// Simulation seed (obstinacy coin flips).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's ZSim setup on `cores` cores: MESI, no prefetcher
+    /// (ZSim "does not model a hardware prefetcher"), no obstinacy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or `cores > 64`.
+    #[must_use]
+    pub fn paper_xeon(cores: usize) -> Self {
+        assert!(cores > 0 && cores <= 64, "cores must be 1..=64");
+        SimConfig {
+            cores,
+            geometry: Geometry::paper_xeon(),
+            obstinacy: 0.0,
+            prefetch: false,
+            prefetch_degree: 8,
+            prefetch_issue_cycles: 2,
+            compute_cycles_per_number: 0.5,
+            demand_stream_mlp: 6,
+            bus_l3_cycles: 4,
+            bus_dram_cycles: 8,
+            seed: 0,
+        }
+    }
+
+    /// Enables the obstinate cache at probability `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_obstinacy(mut self, q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+        self.obstinacy = q;
+        self
+    }
+
+    /// Enables or disables the stream prefetcher.
+    #[must_use]
+    pub fn with_prefetch(mut self, enabled: bool) -> Self {
+        self.prefetch = enabled;
+        self
+    }
+}
+
+/// Aggregate counters from one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimReport {
+    /// Completion time: the slowest core's cycle count.
+    pub cycles: u64,
+    /// Dataset numbers processed (all cores).
+    pub numbers_processed: u64,
+    /// Demand accesses that hit in L1.
+    pub l1_hits: u64,
+    /// Demand accesses that hit in L2.
+    pub l2_hits: u64,
+    /// Demand accesses that hit in the shared L3.
+    pub l3_hits: u64,
+    /// Demand accesses served by DRAM.
+    pub dram_fills: u64,
+    /// Invalidate messages delivered to private caches.
+    pub invalidates_sent: u64,
+    /// Invalidates ignored by obstinate caches.
+    pub invalidates_ignored: u64,
+    /// Prefetch requests issued.
+    pub prefetches_issued: u64,
+    /// Prefetched lines that served a later demand access.
+    pub prefetches_useful: u64,
+    /// Prefetched lines invalidated or evicted before any use.
+    pub prefetches_wasted: u64,
+}
+
+impl SimReport {
+    /// Dataset throughput in numbers per cycle (multiply by the clock to
+    /// get GNPS; at 2.5 GHz, 1 number/cycle = 2.5 GNPS).
+    #[must_use]
+    pub fn throughput_numbers_per_cycle(&self) -> f64 {
+        self.numbers_processed as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Throughput in GNPS at the given clock frequency.
+    #[must_use]
+    pub fn gnps(&self, ghz: f64) -> f64 {
+        self.throughput_numbers_per_cycle() * ghz
+    }
+}
+
+fn region_index(region: Region) -> usize {
+    match region {
+        Region::Dataset => 0,
+        Region::Model => 1,
+    }
+}
+
+struct Core {
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    cycles: u64,
+    rng: Xorshift128,
+    /// Last demand-missed line per region, for prefetch stream detection.
+    last_miss: [Option<u64>; 2],
+    /// Last DRAM-filled line per region, for demand-stream MLP modeling.
+    last_dram: [Option<u64>; 2],
+}
+
+/// The simulated machine.
+pub struct Machine {
+    config: SimConfig,
+    cores: Vec<Core>,
+    l3: SetAssocCache,
+    dir: Directory,
+    report: SimReport,
+    /// Total occupancy of the shared L3 ring / memory bus. Completion time
+    /// is the max of the slowest core's latency-based time and this bus
+    /// serialization bound.
+    bus_cycles: u64,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.cores.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Builds a machine from the configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        let g = config.geometry;
+        let cores = (0..config.cores)
+            .map(|c| Core {
+                l1: SetAssocCache::new(g.l1_bytes, g.ways, g.line_bytes),
+                l2: SetAssocCache::new(g.l2_bytes, g.ways, g.line_bytes),
+                cycles: 0,
+                rng: Xorshift128::seed_from(split_seed(config.seed, c as u64)),
+                last_miss: [None, None],
+                last_dram: [None, None],
+            })
+            .collect();
+        Machine {
+            l3: SetAssocCache::new(g.l3_bytes, g.ways.max(16), g.line_bytes),
+            dir: Directory::default(),
+            cores,
+            config,
+            report: SimReport::default(),
+            bus_cycles: 0,
+        }
+    }
+
+    /// Runs the workload to completion and returns the report.
+    ///
+    /// Cores are interleaved at a 2-access granularity within each
+    /// iteration round, so coherence events (invalidations of lines other
+    /// cores are about to use, prefetch pollution) manifest as they would
+    /// under true concurrency. Timing is latency-based per core plus a
+    /// shared-bus serialization bound.
+    pub fn run(&mut self, workload: &SgdWorkload) -> SimReport {
+        const INTERLEAVE: usize = 2;
+        for iteration in 0..workload.iterations_per_core {
+            let traces: Vec<_> = (0..self.config.cores)
+                .map(|core| {
+                    workload.iteration_accesses(core, iteration, self.config.geometry.line_bytes)
+                })
+                .collect();
+            let mut cursors = vec![0usize; self.config.cores];
+            let mut live = self.config.cores;
+            while live > 0 {
+                live = 0;
+                for core in 0..self.config.cores {
+                    let trace = &traces[core];
+                    let start = cursors[core];
+                    if start >= trace.len() {
+                        continue;
+                    }
+                    let end = (start + INTERLEAVE).min(trace.len());
+                    for access in &trace[start..end] {
+                        let latency =
+                            self.access(core, access.line, access.write, access.region);
+                        self.cores[core].cycles += latency;
+                    }
+                    cursors[core] = end;
+                    if end < trace.len() {
+                        live += 1;
+                    }
+                }
+            }
+            for core in 0..self.config.cores {
+                let compute = (workload.numbers_per_iteration() as f64
+                    * self.config.compute_cycles_per_number) as u64;
+                self.cores[core].cycles += compute;
+                self.report.numbers_processed += workload.numbers_per_iteration() as u64;
+            }
+        }
+        let slowest = self.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
+        self.report.cycles = slowest.max(self.bus_cycles);
+        self.report
+    }
+
+    /// Simulates one demand access; returns its latency in cycles.
+    fn access(&mut self, core: usize, line: u64, write: bool, region: Region) -> u64 {
+        let g = self.config.geometry;
+        let mut latency;
+        let mut missed_l2 = false;
+
+        if self.cores[core].l1.access(line) {
+            self.report.l1_hits += 1;
+            latency = g.l1_latency;
+        } else {
+            let was_prefetch = self.cores[core].l2.is_unused_prefetch(line);
+            if self.cores[core].l2.access(line) {
+                self.report.l2_hits += 1;
+                if was_prefetch {
+                    self.report.prefetches_useful += 1;
+                }
+                latency = g.l2_latency;
+                self.fill_l1(core, line);
+            } else {
+                missed_l2 = true;
+                latency = self.miss_to_l3(core, line, region);
+                self.fill_l2(core, line, false);
+                self.fill_l1(core, line);
+            }
+        }
+
+        if write {
+            latency += self.obtain_ownership(core, line);
+        } else {
+            self.dir.add_sharer(line, core);
+        }
+
+        if self.config.prefetch && missed_l2 {
+            latency += self.issue_prefetches(core, line, write, region);
+        }
+
+        latency
+    }
+
+    /// L2-miss path: L3 lookup or DRAM fill.
+    fn miss_to_l3(&mut self, core: usize, line: u64, region: Region) -> u64 {
+        let g = self.config.geometry;
+        let entry = self.dir.entry(line);
+        let region_idx = region_index(region);
+        let mut latency;
+        if self.l3.access(line) {
+            self.report.l3_hits += 1;
+            latency = g.l3_latency;
+            self.bus_cycles += self.config.bus_l3_cycles;
+            // If another core holds it dirty, it must supply the data
+            // (cache-to-cache transfer; an extra L3-class round trip).
+            if let Some(owner) = entry.dirty {
+                if owner != core {
+                    latency += g.l3_latency;
+                    self.bus_cycles += self.config.bus_l3_cycles;
+                    self.dir.clear_dirty(line);
+                }
+            }
+        } else {
+            self.report.dram_fills += 1;
+            self.bus_cycles += self.config.bus_dram_cycles;
+            // Sequential demand streams overlap in the memory system: an
+            // out-of-order core keeps several line fills in flight, so the
+            // *effective* per-line latency of a stream is divided by the
+            // MLP factor. Isolated misses pay the full latency.
+            let streamed = self.cores[core].last_dram[region_idx] == Some(line.wrapping_sub(1));
+            latency = if streamed {
+                (g.dram_latency / self.config.demand_stream_mlp).max(g.l3_latency)
+            } else {
+                g.dram_latency
+            };
+            self.cores[core].last_dram[region_idx] = Some(line);
+            if let Some(victim) = self.l3.fill(line, false) {
+                self.back_invalidate(victim);
+            }
+        }
+        latency
+    }
+
+    /// Write path: invalidate all other sharers (modulo obstinacy) and take
+    /// the line exclusive.
+    fn obtain_ownership(&mut self, core: usize, line: u64) -> u64 {
+        let g = self.config.geometry;
+        let entry = self.dir.entry(line);
+        let others = entry.sharers & !(1u64 << core);
+        let mut latency = 0;
+        if others != 0 {
+            // One upgrade round-trip to the directory regardless of the
+            // sharer count (invalidates travel in parallel).
+            latency += g.l3_latency;
+            self.bus_cycles += self.config.bus_l3_cycles;
+            let q_threshold = (self.config.obstinacy * u32::MAX as f64) as u32;
+            for other in 0..self.config.cores {
+                if other == core || others & (1u64 << other) == 0 {
+                    continue;
+                }
+                self.report.invalidates_sent += 1;
+                let ignore = self.config.obstinacy > 0.0
+                    && self.cores[other].rng.next_u32() < q_threshold;
+                if ignore {
+                    // Obstinate: the private cache keeps serving the stale
+                    // line; only the directory forgets the sharer.
+                    self.report.invalidates_ignored += 1;
+                } else {
+                    if self.cores[other].l2.is_unused_prefetch(line) {
+                        self.report.prefetches_wasted += 1;
+                    }
+                    self.cores[other].l1.invalidate(line);
+                    self.cores[other].l2.invalidate(line);
+                }
+                self.dir.remove_sharer(line, other);
+            }
+        }
+        self.dir.set_exclusive(line, core);
+        latency
+    }
+
+    /// Inclusive-L3 eviction: remove the line everywhere.
+    fn back_invalidate(&mut self, line: u64) {
+        for other in 0..self.config.cores {
+            if self.cores[other].l2.is_unused_prefetch(line) {
+                self.report.prefetches_wasted += 1;
+            }
+            self.cores[other].l1.invalidate(line);
+            self.cores[other].l2.invalidate(line);
+            self.dir.remove_sharer(line, other);
+        }
+    }
+
+    fn fill_l1(&mut self, core: usize, line: u64) {
+        // L1 evictions are silent (the L2 still holds the line).
+        let _ = self.cores[core].l1.fill(line, false);
+    }
+
+    fn fill_l2(&mut self, core: usize, line: u64, prefetched: bool) {
+        if let Some(victim) = self.cores[core].l2.fill(line, prefetched) {
+            // The private hierarchy no longer holds the victim anywhere.
+            self.cores[core].l1.invalidate(victim);
+            self.dir.remove_sharer(victim, core);
+        }
+    }
+
+    /// Stream prefetcher: on consecutive misses, fetch the next lines of
+    /// the region into L2. Write-stream prefetches are RFO (read for
+    /// ownership): they acquire the lines exclusively, invalidating other
+    /// cores early — the §5.3 mechanism by which the prefetcher amplifies
+    /// coherence traffic on a small shared model.
+    fn issue_prefetches(&mut self, core: usize, line: u64, write: bool, region: Region) -> u64 {
+        let region_idx = region_index(region);
+        let is_stream = match self.cores[core].last_miss[region_idx] {
+            Some(prev) => line == prev + 1 || line == prev,
+            None => false,
+        };
+        self.cores[core].last_miss[region_idx] = Some(line);
+        if !is_stream {
+            return 0;
+        }
+        let mut cost = 0;
+        for d in 1..=self.config.prefetch_degree {
+            let target = line + d;
+            if self.cores[core].l2.contains(target) || self.cores[core].l1.contains(target) {
+                continue;
+            }
+            self.report.prefetches_issued += 1;
+            cost += self.config.prefetch_issue_cycles;
+            // The prefetch brings the line to L3 (if absent) and L2, and
+            // occupies the shared bus either way — the bandwidth the paper
+            // blames for prefetch-induced slowdowns.
+            if !self.l3.contains(target) {
+                self.bus_cycles += self.config.bus_dram_cycles;
+                if let Some(victim) = self.l3.fill(target, false) {
+                    self.back_invalidate(victim);
+                }
+            } else {
+                self.bus_cycles += self.config.bus_l3_cycles;
+            }
+            self.fill_l2(core, target, true);
+            if write {
+                // RFO prefetch: take the line exclusive now, invalidating
+                // the other sharers ahead of their own accesses.
+                let _ = self.obtain_ownership(core, target);
+            } else {
+                self.dir.add_sharer(target, core);
+            }
+        }
+        cost
+    }
+
+    /// The counters accumulated so far.
+    #[must_use]
+    pub fn report(&self) -> SimReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_dense_counts() {
+        let mut m = Machine::new(SimConfig::paper_xeon(1));
+        // 64-line model (4096 B at 1 B/elem), 4 iterations.
+        let w = SgdWorkload::dense(4096, 1, 4);
+        let r = m.run(&w);
+        assert_eq!(r.numbers_processed, 4 * 4096);
+        // First iteration: model misses to DRAM; later iterations hit L1.
+        assert!(r.dram_fills >= 64);
+        assert!(r.l1_hits > 0);
+        assert_eq!(r.invalidates_sent, 0);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn small_shared_model_generates_invalidates() {
+        let mut m = Machine::new(SimConfig::paper_xeon(4));
+        let w = SgdWorkload::dense(1024, 1, 4);
+        let r = m.run(&w);
+        assert!(r.invalidates_sent > 0, "{r:?}");
+        assert_eq!(r.invalidates_ignored, 0);
+    }
+
+    #[test]
+    fn obstinacy_reduces_effective_invalidations_and_cycles() {
+        let w = SgdWorkload::dense(2048, 1, 6);
+        let base = Machine::new(SimConfig::paper_xeon(4)).run(&w);
+        let obstinate =
+            Machine::new(SimConfig::paper_xeon(4).with_obstinacy(0.9)).run(&w);
+        assert!(obstinate.invalidates_ignored > 0);
+        assert!(
+            obstinate.cycles < base.cycles,
+            "obstinate {} vs base {}",
+            obstinate.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn obstinacy_one_ignores_everything() {
+        let w = SgdWorkload::dense(1024, 1, 4);
+        let r = Machine::new(SimConfig::paper_xeon(4).with_obstinacy(1.0)).run(&w);
+        // Almost all invalidates ignored (>99% given the u32 threshold).
+        assert!(r.invalidates_ignored as f64 >= 0.99 * r.invalidates_sent as f64);
+    }
+
+    #[test]
+    fn prefetch_helps_large_streaming_models() {
+        // Large model on one core: everything streams; the prefetcher
+        // should cut cycles.
+        let w = SgdWorkload::dense(1 << 20, 1, 2);
+        let off = Machine::new(SimConfig::paper_xeon(1)).run(&w);
+        let on = Machine::new(SimConfig::paper_xeon(1).with_prefetch(true)).run(&w);
+        assert!(on.prefetches_issued > 0);
+        assert!(
+            on.cycles < off.cycles,
+            "prefetch on {} vs off {}",
+            on.cycles,
+            off.cycles
+        );
+    }
+
+    #[test]
+    fn prefetch_wastes_on_small_shared_models() {
+        // Small shared model on several cores: prefetched model lines get
+        // invalidated before use.
+        let w = SgdWorkload::dense(4096, 1, 8);
+        let on = Machine::new(SimConfig::paper_xeon(4).with_prefetch(true)).run(&w);
+        assert!(on.prefetches_wasted > 0, "{on:?}");
+    }
+
+    #[test]
+    fn sparse_workload_runs() {
+        let mut m = Machine::new(SimConfig::paper_xeon(2));
+        let w = SgdWorkload::sparse(1 << 14, 64, 1, 1, 4);
+        let r = m.run(&w);
+        assert_eq!(r.numbers_processed, 2 * 4 * 64);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn throughput_conversion() {
+        let r = SimReport {
+            cycles: 1000,
+            numbers_processed: 500,
+            ..SimReport::default()
+        };
+        assert!((r.throughput_numbers_per_cycle() - 0.5).abs() < 1e-12);
+        assert!((r.gnps(2.5) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_cores_do_more_total_work() {
+        let w = SgdWorkload::dense(1 << 14, 1, 3);
+        let one = Machine::new(SimConfig::paper_xeon(1)).run(&w);
+        let four = Machine::new(SimConfig::paper_xeon(4)).run(&w);
+        assert_eq!(four.numbers_processed, 4 * one.numbers_processed);
+        // Four cores finish the 4x workload in less than 4x the time.
+        assert!(four.cycles < 4 * one.cycles);
+    }
+}

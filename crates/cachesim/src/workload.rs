@@ -1,0 +1,295 @@
+//! SGD memory-trace generation.
+
+use buckwild_prng::{split_seed, Prng, Xorshift128};
+
+/// Address-space region an access belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Region {
+    /// The streaming, read-only example data (core-private addresses).
+    Dataset,
+    /// The shared model vector.
+    Model,
+}
+
+/// One line-granular memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Access {
+    /// Cache-line index (address / line size).
+    pub line: u64,
+    /// Write (the AXPY store) vs read.
+    pub write: bool,
+    /// Which region the line belongs to.
+    pub region: Region,
+}
+
+/// Line-index base of the shared model region.
+const MODEL_BASE_LINE: u64 = 1 << 34;
+/// Line-index base of core 0's dataset region; cores are spaced far apart.
+const DATA_BASE_LINE: u64 = 1 << 36;
+const DATA_CORE_STRIDE: u64 = 1 << 30;
+
+/// The memory-access pattern of Buckwild! SGD (paper §2, Figure 1).
+///
+/// Each iteration performs:
+/// 1. a **dot product**: stream-read the example, sweep-read the model;
+/// 2. an **AXPY**: re-read the example (now cached) and read-modify-write
+///    the model.
+///
+/// Dense workloads sweep the whole model; sparse workloads gather/scatter
+/// `nnz` random coordinates. Example data streams from a fresh,
+/// core-private address range every iteration — dataset numbers "are
+/// reused only infrequently \[and\] typically stored in DRAM" (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SgdWorkload {
+    /// Model length in elements (`n`).
+    pub model_elems: usize,
+    /// Bytes per model element (the `M` precision).
+    pub model_elem_bytes: u64,
+    /// Bytes per dataset number as streamed (value + index for sparse).
+    pub data_elem_bytes: u64,
+    /// Iterations each core executes.
+    pub iterations_per_core: usize,
+    /// `Some(nnz)` for sparse problems; `None` sweeps densely.
+    pub sparse_nnz: Option<usize>,
+    /// Trace seed (sparse index sampling).
+    pub seed: u64,
+}
+
+impl SgdWorkload {
+    /// A dense workload: `n`-element model at `elem_bytes` per value for
+    /// both dataset and model (e.g. 1 for D8M8, 4 for D32fM32f).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    #[must_use]
+    pub fn dense(n: usize, elem_bytes: u64, iterations_per_core: usize) -> Self {
+        assert!(n > 0 && elem_bytes > 0 && iterations_per_core > 0);
+        SgdWorkload {
+            model_elems: n,
+            model_elem_bytes: elem_bytes,
+            data_elem_bytes: elem_bytes,
+            iterations_per_core,
+            sparse_nnz: None,
+            seed: 0,
+        }
+    }
+
+    /// A sparse workload touching `nnz` random model coordinates per
+    /// iteration; the dataset stream carries `value_bytes + index_bytes`
+    /// per nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `nnz > n`.
+    #[must_use]
+    pub fn sparse(
+        n: usize,
+        nnz: usize,
+        value_bytes: u64,
+        index_bytes: u64,
+        iterations_per_core: usize,
+    ) -> Self {
+        assert!(n > 0 && nnz > 0 && iterations_per_core > 0);
+        assert!(nnz <= n, "nnz must not exceed the model size");
+        assert!(value_bytes > 0 && index_bytes > 0);
+        SgdWorkload {
+            model_elems: n,
+            model_elem_bytes: value_bytes,
+            data_elem_bytes: value_bytes + index_bytes,
+            iterations_per_core,
+            sparse_nnz: Some(nnz),
+            seed: 0,
+        }
+    }
+
+    /// Dataset numbers processed per iteration (the GNPS numerator unit).
+    #[must_use]
+    pub fn numbers_per_iteration(&self) -> usize {
+        self.sparse_nnz.unwrap_or(self.model_elems)
+    }
+
+    /// Model lines spanned by the full model.
+    #[must_use]
+    pub fn model_lines(&self, line_bytes: u64) -> u64 {
+        (self.model_elems as u64 * self.model_elem_bytes).div_ceil(line_bytes)
+    }
+
+    /// Generates the access sequence of one iteration for `core`.
+    pub(crate) fn iteration_accesses(
+        &self,
+        core: usize,
+        iteration: usize,
+        line_bytes: u64,
+    ) -> Vec<Access> {
+        let mut out = Vec::new();
+        let data_bytes_per_iter = self.numbers_per_iteration() as u64 * self.data_elem_bytes;
+        let data_lines = data_bytes_per_iter.div_ceil(line_bytes).max(1);
+        let data_start = DATA_BASE_LINE
+            + core as u64 * DATA_CORE_STRIDE
+            + iteration as u64 * data_lines;
+
+        // Dot: stream the example...
+        for j in 0..data_lines {
+            out.push(Access {
+                line: data_start + j,
+                write: false,
+                region: Region::Dataset,
+            });
+        }
+        match self.sparse_nnz {
+            None => {
+                let model_lines = self.model_lines(line_bytes);
+                // Cores are not phase-locked in real Hogwild! execution:
+                // rotate each core's sweep so concurrent cores touch
+                // different parts of the shared model at any instant.
+                let phase = core as u64 * model_lines / (core as u64 + 7).max(8);
+                let rotated = |j: u64| MODEL_BASE_LINE + (j + phase) % model_lines;
+                // ...sweep-read the model (dot),
+                for j in 0..model_lines {
+                    out.push(Access {
+                        line: rotated(j),
+                        write: false,
+                        region: Region::Model,
+                    });
+                }
+                // re-read the example (AXPY input; hits cache for small
+                // examples) and read-modify-write the model.
+                for j in 0..data_lines {
+                    out.push(Access {
+                        line: data_start + j,
+                        write: false,
+                        region: Region::Dataset,
+                    });
+                }
+                for j in 0..model_lines {
+                    out.push(Access {
+                        line: rotated(j),
+                        write: true,
+                        region: Region::Model,
+                    });
+                }
+            }
+            Some(nnz) => {
+                let mut rng = Xorshift128::seed_from(split_seed(
+                    self.seed,
+                    (core * 1_000_003 + iteration) as u64,
+                ));
+                let model_lines = self.model_lines(line_bytes).max(1);
+                let touched: Vec<u64> = (0..nnz)
+                    .map(|_| MODEL_BASE_LINE + rng.next_below(model_lines as u32) as u64)
+                    .collect();
+                for &line in &touched {
+                    out.push(Access {
+                        line,
+                        write: false,
+                        region: Region::Model,
+                    });
+                }
+                for j in 0..data_lines {
+                    out.push(Access {
+                        line: data_start + j,
+                        write: false,
+                        region: Region::Dataset,
+                    });
+                }
+                for &line in &touched {
+                    out.push(Access {
+                        line,
+                        write: true,
+                        region: Region::Model,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_access_counts() {
+        let w = SgdWorkload::dense(1024, 1, 3); // 1KB model = 16 lines
+        let accesses = w.iteration_accesses(0, 0, 64);
+        // 16 data + 16 model reads + 16 data + 16 model writes.
+        assert_eq!(accesses.len(), 64);
+        assert_eq!(accesses.iter().filter(|a| a.write).count(), 16);
+        assert_eq!(w.numbers_per_iteration(), 1024);
+    }
+
+    #[test]
+    fn dataset_addresses_are_core_private_and_streaming() {
+        let w = SgdWorkload::dense(64, 1, 2);
+        let a0 = w.iteration_accesses(0, 0, 64);
+        let a1 = w.iteration_accesses(1, 0, 64);
+        let b0 = w.iteration_accesses(0, 1, 64);
+        let data = |v: &[Access]| -> Vec<u64> {
+            v.iter()
+                .filter(|a| a.region == Region::Dataset)
+                .map(|a| a.line)
+                .collect()
+        };
+        // Different cores, disjoint dataset lines.
+        assert!(data(&a0).iter().all(|l| !data(&a1).contains(l)));
+        // Same core, new iteration: fresh lines.
+        assert!(data(&a0).iter().all(|l| !data(&b0).contains(l)));
+    }
+
+    #[test]
+    fn model_addresses_are_shared_across_cores() {
+        let w = SgdWorkload::dense(256, 2, 1);
+        let model = |core| -> Vec<u64> {
+            let mut lines: Vec<u64> = w
+                .iteration_accesses(core, 0, 64)
+                .iter()
+                .filter(|a| a.region == Region::Model)
+                .map(|a| a.line)
+                .collect();
+            lines.sort_unstable();
+            lines
+        };
+        // Sweeps are phase-rotated per core, but cover the same shared
+        // set of model lines.
+        assert_eq!(model(0), model(3));
+    }
+
+    #[test]
+    fn sparse_touches_nnz_model_lines() {
+        let w = SgdWorkload::sparse(1 << 16, 32, 1, 1, 1);
+        let accesses = w.iteration_accesses(0, 0, 64);
+        let model_reads = accesses
+            .iter()
+            .filter(|a| a.region == Region::Model && !a.write)
+            .count();
+        let model_writes = accesses
+            .iter()
+            .filter(|a| a.region == Region::Model && a.write)
+            .count();
+        assert_eq!(model_reads, 32);
+        assert_eq!(model_writes, 32);
+        assert_eq!(w.numbers_per_iteration(), 32);
+        // Dataset stream: 32 * 2 bytes = 1 line, read once for the dot and
+        // once more for the AXPY.
+        assert_eq!(
+            accesses.iter().filter(|a| a.region == Region::Dataset).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn model_lines_rounds_up() {
+        let w = SgdWorkload::dense(65, 1, 1);
+        assert_eq!(w.model_lines(64), 2);
+        let w2 = SgdWorkload::dense(64, 1, 1);
+        assert_eq!(w2.model_lines(64), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nnz must not exceed")]
+    fn sparse_validates_nnz() {
+        let _ = SgdWorkload::sparse(16, 32, 1, 1, 1);
+    }
+}

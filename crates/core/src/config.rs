@@ -1,0 +1,309 @@
+//! The SGD configuration builder — every axis the paper sweeps, one type.
+
+use core::fmt;
+
+use buckwild_dmgc::Signature;
+use buckwild_fixed::Rounding;
+use buckwild_kernels::cost::QuantizerKind;
+
+use crate::Loss;
+
+/// How stochastic-rounding randomness is produced (paper §5.2).
+///
+/// Thin wrapper pairing the quantizer strategy with the shared-randomness
+/// refresh period; see [`QuantizerKind`] for the strategy taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuantizerConfig {
+    /// The generation strategy.
+    pub kind: QuantizerKind,
+    /// For [`QuantizerKind::XorshiftShared`]: how many writes reuse one
+    /// 256-bit block. `0` means "one block per iteration" (the paper's
+    /// default cadence).
+    pub shared_period: u32,
+}
+
+impl Default for QuantizerConfig {
+    fn default() -> Self {
+        QuantizerConfig {
+            kind: QuantizerKind::XorshiftShared,
+            shared_period: 0,
+        }
+    }
+}
+
+/// Error from an invalid [`SgdConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The signature's model precision has no shared-storage implementation.
+    UnsupportedModelPrecision(String),
+    /// The signature's dataset precision has no storage implementation.
+    UnsupportedDatasetPrecision(String),
+    /// A numeric parameter was zero or out of range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnsupportedModelPrecision(sig) => write!(
+                f,
+                "signature {sig}: model precision must be 8, 16, or 32f for shared training \
+                 (4-bit models are evaluated via the packed kernels and cost model)"
+            ),
+            ConfigError::UnsupportedDatasetPrecision(sig) => write!(
+                f,
+                "signature {sig}: dataset precision must be 8, 16, or 32f"
+            ),
+            ConfigError::InvalidParameter(what) => write!(f, "{what} must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Configuration for one SGD run: the paper's full experimental surface.
+///
+/// Construct with [`SgdConfig::new`], chain setters, then call
+/// [`SgdConfig::train_dense`] or [`SgdConfig::train_sparse`].
+///
+/// # Example
+///
+/// ```
+/// use buckwild::{Loss, Rounding, SgdConfig};
+///
+/// let config = SgdConfig::new(Loss::Logistic)
+///     .signature("D8M16".parse().unwrap())
+///     .rounding(Rounding::Unbiased)
+///     .step_size(0.2)
+///     .threads(2)
+///     .minibatch(4)
+///     .epochs(3)
+///     .seed(7);
+/// assert_eq!(config.validate(), Ok(()));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SgdConfig {
+    /// The objective.
+    pub loss: Loss,
+    /// The DMGC precision signature.
+    pub signature: Signature,
+    /// Rounding discipline for model writes.
+    pub rounding: Rounding,
+    /// Randomness strategy for unbiased rounding.
+    pub quantizer: QuantizerConfig,
+    /// Initial step size η.
+    pub step_size: f32,
+    /// Multiplicative per-epoch step decay (1.0 = constant).
+    pub step_decay: f32,
+    /// Mini-batch size B (1 = plain SGD).
+    pub minibatch: usize,
+    /// Number of asynchronous workers.
+    pub threads: usize,
+    /// Passes over the dataset.
+    pub epochs: usize,
+    /// Base seed for dataset quantization and rounding randomness.
+    pub seed: u64,
+    /// Evaluate and record the training loss after each epoch.
+    pub record_losses: bool,
+}
+
+impl SgdConfig {
+    /// A default configuration for the given loss: full precision, one
+    /// thread, B = 1, η = 0.1, 10 epochs.
+    #[must_use]
+    pub fn new(loss: Loss) -> Self {
+        SgdConfig {
+            loss,
+            signature: Signature::full_precision(),
+            rounding: Rounding::Unbiased,
+            quantizer: QuantizerConfig::default(),
+            step_size: 0.1,
+            step_decay: 1.0,
+            minibatch: 1,
+            threads: 1,
+            epochs: 10,
+            seed: 0,
+            record_losses: true,
+        }
+    }
+
+    /// Sets the DMGC signature.
+    #[must_use]
+    pub fn signature(mut self, signature: Signature) -> Self {
+        self.signature = signature;
+        self
+    }
+
+    /// Sets the rounding discipline.
+    #[must_use]
+    pub fn rounding(mut self, rounding: Rounding) -> Self {
+        self.rounding = rounding;
+        self
+    }
+
+    /// Sets the quantizer strategy.
+    #[must_use]
+    pub fn quantizer(mut self, kind: QuantizerKind) -> Self {
+        self.quantizer.kind = kind;
+        self
+    }
+
+    /// Sets the shared-randomness refresh period (writes per fresh block).
+    #[must_use]
+    pub fn shared_period(mut self, period: u32) -> Self {
+        self.quantizer.shared_period = period;
+        self
+    }
+
+    /// Sets the initial step size.
+    #[must_use]
+    pub fn step_size(mut self, eta: f32) -> Self {
+        self.step_size = eta;
+        self
+    }
+
+    /// Sets the per-epoch step decay factor.
+    #[must_use]
+    pub fn step_decay(mut self, decay: f32) -> Self {
+        self.step_decay = decay;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    #[must_use]
+    pub fn minibatch(mut self, b: usize) -> Self {
+        self.minibatch = b;
+        self
+    }
+
+    /// Sets the worker count.
+    #[must_use]
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = t;
+        self
+    }
+
+    /// Sets the number of passes over the data.
+    #[must_use]
+    pub fn epochs(mut self, e: usize) -> Self {
+        self.epochs = e;
+        self
+    }
+
+    /// Sets the experiment seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables per-epoch loss recording (disable in throughput
+    /// benchmarks so evaluation does not pollute the timing).
+    #[must_use]
+    pub fn record_losses(mut self, record: bool) -> Self {
+        self.record_losses = record;
+        self
+    }
+
+    /// Checks the configuration without running.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.step_size <= 0.0 || !self.step_size.is_finite() {
+            return Err(ConfigError::InvalidParameter("step size"));
+        }
+        if self.step_decay <= 0.0 || !self.step_decay.is_finite() {
+            return Err(ConfigError::InvalidParameter("step decay"));
+        }
+        if self.minibatch == 0 {
+            return Err(ConfigError::InvalidParameter("mini-batch size"));
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::InvalidParameter("thread count"));
+        }
+        if self.epochs == 0 {
+            return Err(ConfigError::InvalidParameter("epoch count"));
+        }
+        if crate::ModelPrecision::from_signature(&self.signature).is_none() {
+            return Err(ConfigError::UnsupportedModelPrecision(
+                self.signature.to_string(),
+            ));
+        }
+        let d = self.signature.dataset();
+        let d_ok = matches!((d.bits(), d.is_float()), (32, true) | (16, false) | (8, false));
+        if !d_ok {
+            return Err(ConfigError::UnsupportedDatasetPrecision(
+                self.signature.to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(SgdConfig::new(Loss::Logistic).validate(), Ok(()));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = SgdConfig::new(Loss::Hinge)
+            .signature("D8M8".parse().unwrap())
+            .step_size(0.5)
+            .step_decay(0.9)
+            .minibatch(8)
+            .threads(4)
+            .epochs(2)
+            .seed(99)
+            .shared_period(16)
+            .record_losses(false);
+        assert_eq!(c.loss, Loss::Hinge);
+        assert_eq!(c.minibatch, 8);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.quantizer.shared_period, 16);
+        assert!(!c.record_losses);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let base = SgdConfig::new(Loss::Logistic);
+        assert!(base.clone().step_size(0.0).validate().is_err());
+        assert!(base.clone().step_decay(-1.0).validate().is_err());
+        assert!(base.clone().minibatch(0).validate().is_err());
+        assert!(base.clone().threads(0).validate().is_err());
+        assert!(base.clone().epochs(0).validate().is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_precisions() {
+        let base = SgdConfig::new(Loss::Logistic);
+        let err = base
+            .clone()
+            .signature("D4M4".parse().unwrap())
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::UnsupportedModelPrecision(_)));
+        let err = base
+            .signature("D4M8".parse().unwrap())
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::UnsupportedDatasetPrecision(_)));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ConfigError::InvalidParameter("step size")
+            .to_string()
+            .contains("step size"));
+        assert!(ConfigError::UnsupportedModelPrecision("D4M4".into())
+            .to_string()
+            .contains("D4M4"));
+    }
+}

@@ -1,0 +1,69 @@
+//! **Buckwild!**: asynchronous low-precision stochastic gradient descent.
+//!
+//! This crate is the primary artifact of the `buckwild` workspace, a Rust
+//! reproduction of *Understanding and Optimizing Asynchronous Low-Precision
+//! Stochastic Gradient Descent* (De Sa, Feldman, Ré, Olukotun — ISCA 2017).
+//! It trains generalized linear models (logistic regression, linear
+//! regression, linear SVMs) with the paper's two performance techniques
+//! composed:
+//!
+//! * **Asynchronous execution** (Hogwild!): multiple workers update one
+//!   shared model without locks. In this Rust implementation the benign
+//!   data races of the C++ original become *relaxed atomic* loads and
+//!   stores — same hardware behavior, defined semantics.
+//! * **Low-precision computation** (Buckwild!): the dataset and/or the
+//!   model are stored in 8- or 16-bit fixed point, selected by a DMGC
+//!   [`Signature`], with biased or unbiased (stochastic) rounding on every
+//!   model write.
+//!
+//! The entry point is [`SgdConfig`]: a builder capturing every axis the
+//! paper sweeps — precision signature, rounding mode, quantizer strategy,
+//! mini-batch size, thread count, and step size. [`SgdConfig::train_dense`]
+//! / [`SgdConfig::train_sparse`] quantize the input to the signature's
+//! precisions and run SGD, returning a [`TrainReport`] with the recovered
+//! model, per-epoch losses, and measured dataset throughput (GNPS).
+//!
+//! ```
+//! use buckwild::{Loss, SgdConfig};
+//! use buckwild_dataset::generate;
+//!
+//! let problem = generate::logistic_dense(64, 500, 42);
+//! let report = SgdConfig::new(Loss::Logistic)
+//!     .signature("D8M8".parse()?)
+//!     .step_size(0.5)
+//!     .step_decay(0.8)
+//!     .epochs(10)
+//!     .train_dense(&problem.data)?;
+//! assert!(report.final_loss() < 0.55); // well below ln 2 ≈ 0.693 at chance
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Supporting modules: [`model`] (the shared atomic parameter vector),
+//! [`loss`] (the GLM losses, all a single dot-and-AXPY pair per step),
+//! [`obstinate`] (a software emulation of the paper's obstinate-cache
+//! staleness process, for the Figure 6f experiment), and [`rff`] (random
+//! Fourier features + one-vs-all SVMs, the Figure 7d/7e workload).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod obstinate;
+pub mod rff;
+pub mod sync;
+mod train;
+
+pub use config::{ConfigError, QuantizerConfig, SgdConfig};
+pub use loss::Loss;
+pub use metrics::{accuracy, mean_loss};
+pub use model::{ModelPrecision, SharedModel};
+pub use train::{TrainError, TrainReport};
+
+// Re-export the vocabulary types callers need to configure training.
+pub use buckwild_dmgc::Signature;
+pub use buckwild_fixed::Rounding;
+pub use buckwild_kernels::KernelFlavor;
+pub use buckwild_prng::PrngKind;

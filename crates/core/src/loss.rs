@@ -1,0 +1,182 @@
+//! Generalized linear losses whose SGD step is one dot-and-AXPY pair.
+//!
+//! The paper analyzes logistic regression as the representative problem
+//! because its update — like linear regression's and the SVM's — consists
+//! of a dot product, negligible scalar math, and an AXPY (§2). Each
+//! variant here exposes exactly that decomposition: [`Loss::axpy_scale`]
+//! maps `(x·w, y, η)` to the scalar `a` of the update `w ← w + a·x`.
+
+use core::fmt;
+
+/// The objective being minimized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Loss {
+    /// Logistic loss `log(1 + exp(-y·(x·w)))`, labels in {-1, +1}.
+    #[default]
+    Logistic,
+    /// Squared loss `(x·w - y)² / 2`, real labels.
+    LeastSquares,
+    /// Hinge loss `max(0, 1 - y·(x·w))`, labels in {-1, +1} (linear SVM).
+    Hinge,
+}
+
+impl Loss {
+    /// All losses, for sweeps.
+    pub const ALL: [Loss; 3] = [Loss::Logistic, Loss::LeastSquares, Loss::Hinge];
+
+    /// The loss value at margin/residual inputs `dot = x·w` and label `y`.
+    #[must_use]
+    pub fn value(self, dot: f32, y: f32) -> f32 {
+        match self {
+            Loss::Logistic => {
+                let z = -y * dot;
+                // Numerically stable log(1 + e^z).
+                if z > 0.0 {
+                    z + (-z).exp().ln_1p()
+                } else {
+                    z.exp().ln_1p()
+                }
+            }
+            Loss::LeastSquares => 0.5 * (dot - y).powi(2),
+            Loss::Hinge => (1.0 - y * dot).max(0.0),
+        }
+    }
+
+    /// The AXPY scalar `a` such that the SGD step is `w ← w + a·x`
+    /// (i.e. `a = -η · dℓ/d(x·w)`).
+    #[must_use]
+    pub fn axpy_scale(self, dot: f32, y: f32, step: f32) -> f32 {
+        match self {
+            Loss::Logistic => step * y * sigmoid(-y * dot),
+            Loss::LeastSquares => step * (y - dot),
+            Loss::Hinge => {
+                if y * dot < 1.0 {
+                    step * y
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Predicted label sign for classification losses (`+1`/`-1`), or the
+    /// raw regression output for [`Loss::LeastSquares`].
+    #[must_use]
+    pub fn predict(self, dot: f32) -> f32 {
+        match self {
+            Loss::Logistic | Loss::Hinge => {
+                if dot >= 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            Loss::LeastSquares => dot,
+        }
+    }
+
+    /// True if labels are categorical (`±1`) rather than real-valued.
+    #[must_use]
+    pub fn is_classification(self) -> bool {
+        !matches!(self, Loss::LeastSquares)
+    }
+}
+
+impl fmt::Display for Loss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Loss::Logistic => "logistic",
+            Loss::LeastSquares => "least-squares",
+            Loss::Hinge => "hinge",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The logistic sigmoid `1 / (1 + e^-z)`, numerically stable at both tails.
+#[must_use]
+pub fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logistic_value_at_zero_is_ln2() {
+        assert!((Loss::Logistic.value(0.0, 1.0) - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn logistic_value_stable_at_extremes() {
+        // Large correct margin: loss ~ 0. Large wrong margin: loss ~ |z|.
+        assert!(Loss::Logistic.value(100.0, 1.0) < 1e-6);
+        let big = Loss::Logistic.value(-100.0, 1.0);
+        assert!((big - 100.0).abs() < 1e-3);
+        assert!(big.is_finite());
+    }
+
+    #[test]
+    fn logistic_gradient_matches_finite_difference() {
+        for &(dot, y) in &[(0.3f32, 1.0f32), (-1.2, -1.0), (2.0, -1.0), (0.0, 1.0)] {
+            let h = 1e-3f32;
+            let dloss = (Loss::Logistic.value(dot + h, y) - Loss::Logistic.value(dot - h, y))
+                / (2.0 * h);
+            let a = Loss::Logistic.axpy_scale(dot, y, 1.0);
+            assert!((a + dloss).abs() < 1e-3, "dot={dot} y={y}: {a} vs {}", -dloss);
+        }
+    }
+
+    #[test]
+    fn least_squares_gradient_matches_finite_difference() {
+        for &(dot, y) in &[(0.5f32, 1.5f32), (-1.0, 2.0), (3.0, 3.0)] {
+            let h = 1e-3f32;
+            let dloss =
+                (Loss::LeastSquares.value(dot + h, y) - Loss::LeastSquares.value(dot - h, y))
+                    / (2.0 * h);
+            let a = Loss::LeastSquares.axpy_scale(dot, y, 1.0);
+            assert!((a + dloss).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn hinge_subgradient() {
+        // Inside the margin: gradient is -y; outside: zero.
+        assert_eq!(Loss::Hinge.axpy_scale(0.5, 1.0, 0.1), 0.1);
+        assert_eq!(Loss::Hinge.axpy_scale(1.5, 1.0, 0.1), 0.0);
+        assert_eq!(Loss::Hinge.axpy_scale(-0.5, -1.0, 0.1), -0.1);
+        assert_eq!(Loss::Hinge.axpy_scale(-1.5, -1.0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn predictions() {
+        assert_eq!(Loss::Logistic.predict(0.7), 1.0);
+        assert_eq!(Loss::Logistic.predict(-0.7), -1.0);
+        assert_eq!(Loss::Hinge.predict(0.0), 1.0);
+        assert_eq!(Loss::LeastSquares.predict(0.37), 0.37);
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 1e-3);
+        // Symmetry: σ(-z) = 1 - σ(z).
+        for z in [-3.0f32, -0.5, 0.1, 2.0] {
+            assert!((sigmoid(-z) - (1.0 - sigmoid(z))).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(Loss::Logistic.is_classification());
+        assert!(Loss::Hinge.is_classification());
+        assert!(!Loss::LeastSquares.is_classification());
+    }
+}

@@ -1,0 +1,148 @@
+//! Statistical-efficiency metrics: loss and accuracy of a model snapshot.
+
+use buckwild_dataset::{DenseDataset, SparseDataset};
+
+use crate::Loss;
+
+/// Mean loss of `model` over a dense dataset.
+///
+/// # Panics
+///
+/// Panics if `model.len() != data.features()`.
+#[must_use]
+pub fn mean_loss(loss: Loss, model: &[f32], data: &DenseDataset<f32>) -> f64 {
+    assert_eq!(model.len(), data.features(), "model/data shape mismatch");
+    let mut total = 0f64;
+    for i in 0..data.examples() {
+        let dot: f32 = data
+            .example(i)
+            .iter()
+            .zip(model)
+            .map(|(&x, &w)| x * w)
+            .sum();
+        total += loss.value(dot, data.label(i)) as f64;
+    }
+    total / data.examples() as f64
+}
+
+/// Fraction of dense examples classified correctly (`±1` labels).
+///
+/// # Panics
+///
+/// Panics if `model.len() != data.features()` or the loss is not a
+/// classification loss.
+#[must_use]
+pub fn accuracy(loss: Loss, model: &[f32], data: &DenseDataset<f32>) -> f64 {
+    assert!(loss.is_classification(), "accuracy needs a classifier loss");
+    assert_eq!(model.len(), data.features(), "model/data shape mismatch");
+    let mut correct = 0usize;
+    for i in 0..data.examples() {
+        let dot: f32 = data
+            .example(i)
+            .iter()
+            .zip(model)
+            .map(|(&x, &w)| x * w)
+            .sum();
+        if loss.predict(dot) == data.label(i) {
+            correct += 1;
+        }
+    }
+    correct as f64 / data.examples() as f64
+}
+
+/// Mean loss of `model` over a sparse dataset.
+///
+/// # Panics
+///
+/// Panics if `model.len() != data.features()`.
+#[must_use]
+pub fn mean_loss_sparse(loss: Loss, model: &[f32], data: &SparseDataset<f32, u32>) -> f64 {
+    assert_eq!(model.len(), data.features(), "model/data shape mismatch");
+    let mut total = 0f64;
+    for i in 0..data.examples() {
+        let ex = data.example(i);
+        let dot: f32 = ex
+            .indices
+            .iter()
+            .zip(ex.values)
+            .map(|(&idx, &v)| v * model[idx as usize])
+            .sum();
+        total += loss.value(dot, data.label(i)) as f64;
+    }
+    total / data.examples() as f64
+}
+
+/// Fraction of sparse examples classified correctly.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or the loss is not a classification loss.
+#[must_use]
+pub fn accuracy_sparse(loss: Loss, model: &[f32], data: &SparseDataset<f32, u32>) -> f64 {
+    assert!(loss.is_classification(), "accuracy needs a classifier loss");
+    assert_eq!(model.len(), data.features(), "model/data shape mismatch");
+    let mut correct = 0usize;
+    for i in 0..data.examples() {
+        let ex = data.example(i);
+        let dot: f32 = ex
+            .indices
+            .iter()
+            .zip(ex.values)
+            .map(|(&idx, &v)| v * model[idx as usize])
+            .sum();
+        if loss.predict(dot) == data.label(i) {
+            correct += 1;
+        }
+    }
+    correct as f64 / data.examples() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DenseDataset<f32> {
+        DenseDataset::from_rows(
+            vec![vec![1.0, 0.0], vec![-1.0, 0.0], vec![0.0, 1.0]],
+            vec![1.0, -1.0, -1.0],
+        )
+    }
+
+    #[test]
+    fn zero_model_logistic_loss_is_ln2() {
+        let loss = mean_loss(Loss::Logistic, &[0.0, 0.0], &tiny());
+        assert!((loss - std::f64::consts::LN_2) < 1e-6);
+    }
+
+    #[test]
+    fn perfect_model_has_high_accuracy() {
+        // w = (1, -1) classifies all three examples correctly.
+        let acc = accuracy(Loss::Logistic, &[1.0, -1.0], &tiny());
+        assert_eq!(acc, 1.0);
+        let loss = mean_loss(Loss::Logistic, &[10.0, -10.0], &tiny());
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn sparse_metrics_match_dense_equivalent() {
+        let sparse = SparseDataset::from_triplets(
+            2,
+            vec![vec![(0, 1.0)], vec![(0, -1.0)], vec![(1, 1.0)]],
+            vec![1.0, -1.0, -1.0],
+        );
+        let model = [0.5f32, -0.5];
+        let dl = mean_loss(Loss::Logistic, &model, &tiny());
+        let sl = mean_loss_sparse(Loss::Logistic, &model, &sparse);
+        assert!((dl - sl).abs() < 1e-9);
+        assert_eq!(
+            accuracy(Loss::Hinge, &model, &tiny()),
+            accuracy_sparse(Loss::Hinge, &model, &sparse)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "classifier loss")]
+    fn accuracy_rejects_regression() {
+        let _ = accuracy(Loss::LeastSquares, &[0.0, 0.0], &tiny());
+    }
+}

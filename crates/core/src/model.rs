@@ -1,0 +1,748 @@
+//! The shared model vector: lock-free, precision-typed, racy by design.
+//!
+//! Hogwild!-style SGD shares one model among all workers *without locking*:
+//! concurrent read-modify-write cycles can interleave and updates can be
+//! lost, and the algorithm tolerates it (paper §2). C++ expresses this
+//! with plain non-atomic accesses — undefined behavior that happens to
+//! work. Rust requires the races to be spelled out: every element is a
+//! relaxed atomic, loads and stores compile to the same plain `mov`s, and
+//! the *algorithmic* race (lost updates between a worker's load and its
+//! store) is preserved because we deliberately use separate load/store
+//! pairs rather than `fetch_add`.
+
+use std::sync::atomic::{AtomicI16, AtomicI8, AtomicU32, Ordering};
+
+use buckwild_dmgc::Signature;
+use buckwild_fixed::FixedSpec;
+use buckwild_kernels::optimized::FixedInt;
+
+/// Storage precision of the shared model — the `M` term of the signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelPrecision {
+    /// 32-bit IEEE float (`M32f`).
+    F32,
+    /// 16-bit fixed point (`M16`).
+    I16,
+    /// 8-bit fixed point (`M8`).
+    I8,
+}
+
+impl ModelPrecision {
+    /// Derives the model precision from a DMGC signature.
+    ///
+    /// Returns `None` for widths this trainer does not support in shared
+    /// storage (e.g. 4-bit models, which are evaluated through the packed
+    /// kernels and cost model instead).
+    #[must_use]
+    pub fn from_signature(signature: &Signature) -> Option<Self> {
+        let m = signature.model();
+        match (m.bits(), m.is_float()) {
+            (32, true) => Some(ModelPrecision::F32),
+            (16, false) => Some(ModelPrecision::I16),
+            (8, false) => Some(ModelPrecision::I8),
+            _ => None,
+        }
+    }
+
+    /// The fixed-point interpretation used for this precision.
+    ///
+    /// Models get 2 integer bits (range `[-4, 4)`), ample for the
+    /// normalized problems in this workspace; `F32` needs no spec.
+    #[must_use]
+    pub fn spec(self) -> FixedSpec {
+        match self {
+            ModelPrecision::F32 => FixedSpec::unit_range(32),
+            ModelPrecision::I16 => FixedSpec::model_range(16),
+            ModelPrecision::I8 => FixedSpec::model_range(8),
+        }
+    }
+
+    /// Bits of storage per model number.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            ModelPrecision::F32 => 32,
+            ModelPrecision::I16 => 16,
+            ModelPrecision::I8 => 8,
+        }
+    }
+}
+
+enum Storage {
+    F32(Vec<AtomicU32>),
+    I16(Vec<AtomicI16>),
+    I8(Vec<AtomicI8>),
+}
+
+/// A shared, lock-free model vector at a chosen storage precision.
+///
+/// All access is through `&self`; workers on other threads hold the same
+/// reference. Reads and writes are `Ordering::Relaxed` — the Hogwild!
+/// consistency model.
+///
+/// # Example
+///
+/// ```
+/// use buckwild::{ModelPrecision, SharedModel};
+///
+/// let w = SharedModel::zeros(ModelPrecision::I8, 4);
+/// w.write_rounded(2, 0.5, 0.0);
+/// assert_eq!(w.read(2), 0.5);
+/// assert_eq!(w.snapshot(), vec![0.0, 0.0, 0.5, 0.0]);
+/// ```
+pub struct SharedModel {
+    storage: Storage,
+    spec: FixedSpec,
+    precision: ModelPrecision,
+}
+
+impl std::fmt::Debug for SharedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedModel")
+            .field("precision", &self.precision)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SharedModel {
+    /// Creates a zero model of `n` parameters at the given precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn zeros(precision: ModelPrecision, n: usize) -> Self {
+        assert!(n > 0, "model size must be positive");
+        let storage = match precision {
+            ModelPrecision::F32 => {
+                Storage::F32((0..n).map(|_| AtomicU32::new(0f32.to_bits())).collect())
+            }
+            ModelPrecision::I16 => Storage::I16((0..n).map(|_| AtomicI16::new(0)).collect()),
+            ModelPrecision::I8 => Storage::I8((0..n).map(|_| AtomicI8::new(0)).collect()),
+        };
+        SharedModel {
+            storage,
+            spec: precision.spec(),
+            precision,
+        }
+    }
+
+    /// Creates a model initialized from `values` (nearest rounding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn from_f32(precision: ModelPrecision, values: &[f32]) -> Self {
+        let model = SharedModel::zeros(precision, values.len());
+        for (i, &v) in values.iter().enumerate() {
+            model.write_rounded(i, v, 0.5);
+        }
+        model
+    }
+
+    /// Number of parameters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.storage {
+            Storage::F32(v) => v.len(),
+            Storage::I16(v) => v.len(),
+            Storage::I8(v) => v.len(),
+        }
+    }
+
+    /// True if the model has no parameters (never constructible).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The storage precision.
+    #[must_use]
+    pub fn precision(&self) -> ModelPrecision {
+        self.precision
+    }
+
+    /// The fixed-point interpretation of integer storage.
+    #[must_use]
+    pub fn spec(&self) -> FixedSpec {
+        self.spec
+    }
+
+    /// Reads parameter `i` as `f32` (relaxed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn read(&self, i: usize) -> f32 {
+        match &self.storage {
+            Storage::F32(v) => f32::from_bits(v[i].load(Ordering::Relaxed)),
+            Storage::I16(v) => self.spec.dequantize(v[i].load(Ordering::Relaxed) as i64),
+            Storage::I8(v) => self.spec.dequantize(v[i].load(Ordering::Relaxed) as i64),
+        }
+    }
+
+    /// Writes parameter `i`, quantizing with the uniform sample `u` when
+    /// the storage is fixed point (`u = 0.5` gives nearest rounding because
+    /// `floor(x·s + 0.5)` rounds to nearest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn write_rounded(&self, i: usize, value: f32, u: f32) {
+        match &self.storage {
+            Storage::F32(v) => v[i].store(value.to_bits(), Ordering::Relaxed),
+            Storage::I16(v) => {
+                v[i].store(self.spec.quantize_unbiased(value, u) as i16, Ordering::Relaxed);
+            }
+            Storage::I8(v) => {
+                v[i].store(self.spec.quantize_unbiased(value, u) as i8, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Copies the model out as `f32` (relaxed reads; under concurrent
+    /// writers this is a fuzzy snapshot, exactly as in the paper).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<f32> {
+        (0..self.len()).map(|i| self.read(i)).collect()
+    }
+
+    /// Dense dot against a fixed-point example: `Σ x[i]·w[i]`, integer MAC
+    /// with relaxed loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != len()`.
+    #[must_use]
+    pub fn dot_fixed<D: FixedInt>(&self, x: &[D], x_spec: &FixedSpec) -> f32 {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        match &self.storage {
+            Storage::I8(w) => {
+                let mut total = 0i64;
+                for (xi, wi) in x.iter().zip(w) {
+                    total += (xi.widen() * wi.load(Ordering::Relaxed) as i32) as i64;
+                }
+                total as f32 * x_spec.quantum() * self.spec.quantum()
+            }
+            Storage::I16(w) => {
+                let mut total = 0i64;
+                for (xi, wi) in x.iter().zip(w) {
+                    total += (xi.widen() * wi.load(Ordering::Relaxed) as i32) as i64;
+                }
+                total as f32 * x_spec.quantum() * self.spec.quantum()
+            }
+            Storage::F32(w) => {
+                let mut acc = 0f32;
+                for (xi, wi) in x.iter().zip(w) {
+                    acc += xi.widen() as f32 * f32::from_bits(wi.load(Ordering::Relaxed));
+                }
+                acc * x_spec.quantum()
+            }
+        }
+    }
+
+    /// Dense dot against a float example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != len()`.
+    #[must_use]
+    pub fn dot_f32(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        match &self.storage {
+            Storage::F32(w) => {
+                let mut acc = 0f32;
+                for (xi, wi) in x.iter().zip(w) {
+                    acc += xi * f32::from_bits(wi.load(Ordering::Relaxed));
+                }
+                acc
+            }
+            Storage::I16(w) => {
+                let mut acc = 0f32;
+                for (xi, wi) in x.iter().zip(w) {
+                    acc += xi * wi.load(Ordering::Relaxed) as f32;
+                }
+                acc * self.spec.quantum()
+            }
+            Storage::I8(w) => {
+                let mut acc = 0f32;
+                for (xi, wi) in x.iter().zip(w) {
+                    acc += xi * wi.load(Ordering::Relaxed) as f32;
+                }
+                acc * self.spec.quantum()
+            }
+        }
+    }
+
+    /// Sparse dot: `Σ_j x_val[j]·w[x_idx[j]]` with fixed-point values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or any index is out of range.
+    #[must_use]
+    pub fn dot_sparse_fixed<D: FixedInt>(
+        &self,
+        values: &[D],
+        indices: &[u32],
+        x_spec: &FixedSpec,
+    ) -> f32 {
+        assert_eq!(values.len(), indices.len(), "values/indices mismatch");
+        match &self.storage {
+            Storage::I8(w) => {
+                let mut total = 0i64;
+                for (v, &i) in values.iter().zip(indices) {
+                    total += (v.widen() * w[i as usize].load(Ordering::Relaxed) as i32) as i64;
+                }
+                total as f32 * x_spec.quantum() * self.spec.quantum()
+            }
+            Storage::I16(w) => {
+                let mut total = 0i64;
+                for (v, &i) in values.iter().zip(indices) {
+                    total += (v.widen() * w[i as usize].load(Ordering::Relaxed) as i32) as i64;
+                }
+                total as f32 * x_spec.quantum() * self.spec.quantum()
+            }
+            Storage::F32(w) => {
+                let mut acc = 0f32;
+                for (v, &i) in values.iter().zip(indices) {
+                    acc += v.widen() as f32
+                        * f32::from_bits(w[i as usize].load(Ordering::Relaxed));
+                }
+                acc * x_spec.quantum()
+            }
+        }
+    }
+
+    /// Sparse dot with float values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or any index is out of range.
+    #[must_use]
+    pub fn dot_sparse_f32(&self, values: &[f32], indices: &[u32]) -> f32 {
+        assert_eq!(values.len(), indices.len(), "values/indices mismatch");
+        match &self.storage {
+            Storage::F32(w) => {
+                let mut acc = 0f32;
+                for (v, &i) in values.iter().zip(indices) {
+                    acc += v * f32::from_bits(w[i as usize].load(Ordering::Relaxed));
+                }
+                acc
+            }
+            Storage::I16(w) => {
+                let mut acc = 0f32;
+                for (v, &i) in values.iter().zip(indices) {
+                    acc += v * w[i as usize].load(Ordering::Relaxed) as f32;
+                }
+                acc * self.spec.quantum()
+            }
+            Storage::I8(w) => {
+                let mut acc = 0f32;
+                for (v, &i) in values.iter().zip(indices) {
+                    acc += v * w[i as usize].load(Ordering::Relaxed) as f32;
+                }
+                acc * self.spec.quantum()
+            }
+        }
+    }
+
+    /// Dense quantized AXPY `w[i] ← sat(w[i] + round(a·x[i]))`, where
+    /// rounding uses `offsets` (a value in `[0, 2^15)` per element; half
+    /// for nearest, random for unbiased) on fixed storage and `uniforms`
+    /// (in `[0, 1)`) on the float-grid path.
+    ///
+    /// Each element update is a relaxed load/store pair — racy, Hogwild!-
+    /// style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != len()`.
+    pub fn axpy_fixed<D: FixedInt>(
+        &self,
+        a: f32,
+        x: &[D],
+        x_spec: &FixedSpec,
+        offsets: &mut dyn FnMut(usize) -> i64,
+    ) {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        const K_SHIFT: u32 = 15;
+        let k_real = a as f64 * x_spec.quantum() as f64 / self.spec.quantum() as f64;
+        let k = (k_real * (1i64 << K_SHIFT) as f64)
+            .round()
+            .clamp(i32::MIN as f64, i32::MAX as f64) as i64;
+        match &self.storage {
+            Storage::I8(w) => {
+                for (i, (xi, wi)) in x.iter().zip(w).enumerate() {
+                    let delta = (xi.widen() as i64 * k + offsets(i)) >> K_SHIFT;
+                    let updated = (wi.load(Ordering::Relaxed) as i64 + delta).clamp(-128, 127);
+                    wi.store(updated as i8, Ordering::Relaxed);
+                }
+            }
+            Storage::I16(w) => {
+                for (i, (xi, wi)) in x.iter().zip(w).enumerate() {
+                    let delta = (xi.widen() as i64 * k + offsets(i)) >> K_SHIFT;
+                    let updated =
+                        (wi.load(Ordering::Relaxed) as i64 + delta).clamp(-32768, 32767);
+                    wi.store(updated as i16, Ordering::Relaxed);
+                }
+            }
+            Storage::F32(w) => {
+                let scale = a * x_spec.quantum();
+                for (xi, wi) in x.iter().zip(w) {
+                    let updated =
+                        f32::from_bits(wi.load(Ordering::Relaxed)) + scale * xi.widen() as f32;
+                    wi.store(updated.to_bits(), Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Dense quantized AXPY with a fixed 8-entry offset block — the fast
+    /// path for biased and shared-randomness rounding, where the offsets
+    /// are constant across the call and no per-element indirect call is
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != len()`.
+    pub fn axpy_fixed_block<D: FixedInt>(
+        &self,
+        a: f32,
+        x: &[D],
+        x_spec: &FixedSpec,
+        offsets: &[i64; 8],
+    ) {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        const K_SHIFT: u32 = 15;
+        let k_real = a as f64 * x_spec.quantum() as f64 / self.spec.quantum() as f64;
+        let k = (k_real * (1i64 << K_SHIFT) as f64)
+            .round()
+            .clamp(i32::MIN as f64, i32::MAX as f64) as i64;
+        match &self.storage {
+            Storage::I8(w) => {
+                for (i, (xi, wi)) in x.iter().zip(w).enumerate() {
+                    let delta = (xi.widen() as i64 * k + offsets[i & 7]) >> K_SHIFT;
+                    let updated = (wi.load(Ordering::Relaxed) as i64 + delta).clamp(-128, 127);
+                    wi.store(updated as i8, Ordering::Relaxed);
+                }
+            }
+            Storage::I16(w) => {
+                for (i, (xi, wi)) in x.iter().zip(w).enumerate() {
+                    let delta = (xi.widen() as i64 * k + offsets[i & 7]) >> K_SHIFT;
+                    let updated =
+                        (wi.load(Ordering::Relaxed) as i64 + delta).clamp(-32768, 32767);
+                    wi.store(updated as i16, Ordering::Relaxed);
+                }
+            }
+            Storage::F32(w) => {
+                let scale = a * x_spec.quantum();
+                for (xi, wi) in x.iter().zip(w) {
+                    let updated =
+                        f32::from_bits(wi.load(Ordering::Relaxed)) + scale * xi.widen() as f32;
+                    wi.store(updated.to_bits(), Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Dense AXPY with float example data; fixed storage quantizes with
+    /// `uniforms` samples in `[0, 1)` (pass `|_| 0.5` for nearest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != len()`.
+    pub fn axpy_f32(&self, a: f32, x: &[f32], uniforms: &mut dyn FnMut(usize) -> f32) {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        match &self.storage {
+            Storage::F32(w) => {
+                for (xi, wi) in x.iter().zip(w) {
+                    let updated = f32::from_bits(wi.load(Ordering::Relaxed)) + a * xi;
+                    wi.store(updated.to_bits(), Ordering::Relaxed);
+                }
+            }
+            Storage::I16(w) => {
+                let scale = a / self.spec.quantum();
+                for (i, (xi, wi)) in x.iter().zip(w).enumerate() {
+                    let target = wi.load(Ordering::Relaxed) as f64 + (scale * xi) as f64;
+                    let grid = (target + uniforms(i) as f64).floor().clamp(-32768.0, 32767.0);
+                    wi.store(grid as i16, Ordering::Relaxed);
+                }
+            }
+            Storage::I8(w) => {
+                let scale = a / self.spec.quantum();
+                for (i, (xi, wi)) in x.iter().zip(w).enumerate() {
+                    let target = wi.load(Ordering::Relaxed) as f64 + (scale * xi) as f64;
+                    let grid = (target + uniforms(i) as f64).floor().clamp(-128.0, 127.0);
+                    wi.store(grid as i8, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Sparse quantized AXPY over the indexed coordinates only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or any index is out of range.
+    pub fn axpy_sparse_fixed<D: FixedInt>(
+        &self,
+        a: f32,
+        values: &[D],
+        indices: &[u32],
+        x_spec: &FixedSpec,
+        offsets: &mut dyn FnMut(usize) -> i64,
+    ) {
+        assert_eq!(values.len(), indices.len(), "values/indices mismatch");
+        const K_SHIFT: u32 = 15;
+        let k_real = a as f64 * x_spec.quantum() as f64 / self.spec.quantum() as f64;
+        let k = (k_real * (1i64 << K_SHIFT) as f64)
+            .round()
+            .clamp(i32::MIN as f64, i32::MAX as f64) as i64;
+        match &self.storage {
+            Storage::I8(w) => {
+                for (j, (v, &i)) in values.iter().zip(indices).enumerate() {
+                    let slot = &w[i as usize];
+                    let delta = (v.widen() as i64 * k + offsets(j)) >> K_SHIFT;
+                    let updated = (slot.load(Ordering::Relaxed) as i64 + delta).clamp(-128, 127);
+                    slot.store(updated as i8, Ordering::Relaxed);
+                }
+            }
+            Storage::I16(w) => {
+                for (j, (v, &i)) in values.iter().zip(indices).enumerate() {
+                    let slot = &w[i as usize];
+                    let delta = (v.widen() as i64 * k + offsets(j)) >> K_SHIFT;
+                    let updated =
+                        (slot.load(Ordering::Relaxed) as i64 + delta).clamp(-32768, 32767);
+                    slot.store(updated as i16, Ordering::Relaxed);
+                }
+            }
+            Storage::F32(w) => {
+                let scale = a * x_spec.quantum();
+                for (v, &i) in values.iter().zip(indices) {
+                    let slot = &w[i as usize];
+                    let updated =
+                        f32::from_bits(slot.load(Ordering::Relaxed)) + scale * v.widen() as f32;
+                    slot.store(updated.to_bits(), Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Sparse AXPY with float values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or any index is out of range.
+    pub fn axpy_sparse_f32(
+        &self,
+        a: f32,
+        values: &[f32],
+        indices: &[u32],
+        uniforms: &mut dyn FnMut(usize) -> f32,
+    ) {
+        assert_eq!(values.len(), indices.len(), "values/indices mismatch");
+        match &self.storage {
+            Storage::F32(w) => {
+                for (v, &i) in values.iter().zip(indices) {
+                    let slot = &w[i as usize];
+                    let updated = f32::from_bits(slot.load(Ordering::Relaxed)) + a * v;
+                    slot.store(updated.to_bits(), Ordering::Relaxed);
+                }
+            }
+            Storage::I16(w) => {
+                let scale = a / self.spec.quantum();
+                for (j, (v, &i)) in values.iter().zip(indices).enumerate() {
+                    let slot = &w[i as usize];
+                    let target = slot.load(Ordering::Relaxed) as f64 + (scale * v) as f64;
+                    let grid = (target + uniforms(j) as f64).floor().clamp(-32768.0, 32767.0);
+                    slot.store(grid as i16, Ordering::Relaxed);
+                }
+            }
+            Storage::I8(w) => {
+                let scale = a / self.spec.quantum();
+                for (j, (v, &i)) in values.iter().zip(indices).enumerate() {
+                    let slot = &w[i as usize];
+                    let target = slot.load(Ordering::Relaxed) as f64 + (scale * v) as f64;
+                    let grid = (target + uniforms(j) as f64).floor().clamp(-128.0, 127.0);
+                    slot.store(grid as i8, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_from_signature() {
+        let sig = |s: &str| s.parse::<Signature>().unwrap();
+        assert_eq!(
+            ModelPrecision::from_signature(&sig("D8M8")),
+            Some(ModelPrecision::I8)
+        );
+        assert_eq!(
+            ModelPrecision::from_signature(&sig("D8M16")),
+            Some(ModelPrecision::I16)
+        );
+        assert_eq!(
+            ModelPrecision::from_signature(&sig("D8M32f")),
+            Some(ModelPrecision::F32)
+        );
+        assert_eq!(
+            ModelPrecision::from_signature(&Signature::full_precision()),
+            Some(ModelPrecision::F32)
+        );
+        assert_eq!(ModelPrecision::from_signature(&sig("D4M4")), None);
+    }
+
+    #[test]
+    fn zeros_and_snapshot() {
+        for p in [ModelPrecision::F32, ModelPrecision::I16, ModelPrecision::I8] {
+            let w = SharedModel::zeros(p, 5);
+            assert_eq!(w.len(), 5);
+            assert!(!w.is_empty());
+            assert_eq!(w.snapshot(), vec![0.0; 5]);
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip_on_grid() {
+        let w = SharedModel::zeros(ModelPrecision::I8, 3);
+        w.write_rounded(0, 0.5, 0.5);
+        w.write_rounded(1, -1.25, 0.5);
+        assert_eq!(w.read(0), 0.5);
+        assert_eq!(w.read(1), -1.25);
+        assert_eq!(w.read(2), 0.0);
+    }
+
+    #[test]
+    fn from_f32_initializes() {
+        let w = SharedModel::from_f32(ModelPrecision::I16, &[0.25, -0.5, 1.0]);
+        assert_eq!(w.snapshot(), vec![0.25, -0.5, 1.0]);
+    }
+
+    #[test]
+    fn dot_fixed_matches_reference_for_each_storage() {
+        let x: Vec<i8> = vec![64, -128, 32, 0]; // 0.5, -1.0, 0.25, 0 at Q1.7
+        let x_spec = FixedSpec::unit_range(8);
+        let init = [1.0f32, 0.5, -2.0, 3.0];
+        for p in [ModelPrecision::F32, ModelPrecision::I16, ModelPrecision::I8] {
+            let w = SharedModel::from_f32(p, &init);
+            let expected: f32 = x
+                .iter()
+                .zip(&init)
+                .map(|(&xi, &wi)| xi as f32 / 128.0 * wi)
+                .sum();
+            let got = w.dot_fixed(&x, &x_spec);
+            assert!(
+                (got - expected).abs() < 0.02,
+                "{p:?}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_f32_matches_reference() {
+        let x = [0.5f32, -1.0, 0.25, 0.0];
+        let init = [1.0f32, 0.5, -2.0, 3.0];
+        for p in [ModelPrecision::F32, ModelPrecision::I16, ModelPrecision::I8] {
+            let w = SharedModel::from_f32(p, &init);
+            let expected: f32 = x.iter().zip(&init).map(|(a, b)| a * b).sum();
+            assert!((w.dot_f32(&x) - expected).abs() < 0.02, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn axpy_fixed_nearest_updates() {
+        let x: Vec<i8> = vec![127, -127, 0];
+        let x_spec = FixedSpec::unit_range(8);
+        let w = SharedModel::zeros(ModelPrecision::I8, 3);
+        let mut half = |_i: usize| 1i64 << 14;
+        w.axpy_fixed(0.1, &x, &x_spec, &mut half);
+        let snap = w.snapshot();
+        // 0.1 * ~1.0 = 0.1 -> 3.2 quanta -> 3 quanta = 0.09375.
+        assert!((snap[0] - 0.09375).abs() < 1e-6, "{}", snap[0]);
+        assert!((snap[1] + 0.09375).abs() < 1e-6);
+        assert_eq!(snap[2], 0.0);
+    }
+
+    #[test]
+    fn axpy_f32_paths_update() {
+        let x = [1.0f32, -1.0];
+        for p in [ModelPrecision::F32, ModelPrecision::I16, ModelPrecision::I8] {
+            let w = SharedModel::zeros(p, 2);
+            let mut half = |_i: usize| 0.5f32;
+            w.axpy_f32(0.25, &x, &mut half);
+            let snap = w.snapshot();
+            assert!((snap[0] - 0.25).abs() < 0.02, "{p:?} {snap:?}");
+            assert!((snap[1] + 0.25).abs() < 0.02, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_paths_touch_only_indices() {
+        let w = SharedModel::from_f32(ModelPrecision::I16, &[1.0, 1.0, 1.0, 1.0]);
+        let values: Vec<i8> = vec![127];
+        let indices = [2u32];
+        let x_spec = FixedSpec::unit_range(8);
+        let d = w.dot_sparse_fixed(&values, &indices, &x_spec);
+        assert!((d - 127.0 / 128.0).abs() < 0.01);
+        let mut half = |_j: usize| 1i64 << 14;
+        w.axpy_sparse_fixed(0.5, &values, &indices, &x_spec, &mut half);
+        let snap = w.snapshot();
+        assert_eq!(snap[0], 1.0);
+        assert_eq!(snap[1], 1.0);
+        assert!((snap[2] - 1.496).abs() < 0.01, "{}", snap[2]);
+        assert_eq!(snap[3], 1.0);
+    }
+
+    #[test]
+    fn sparse_f32_axpy() {
+        let w = SharedModel::zeros(ModelPrecision::F32, 4);
+        let mut half = |_j: usize| 0.5f32;
+        w.axpy_sparse_f32(2.0, &[0.5, -0.5], &[1, 3], &mut half);
+        assert_eq!(w.snapshot(), vec![0.0, 1.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn saturation_at_model_bounds() {
+        let w = SharedModel::from_f32(ModelPrecision::I8, &[1.9]);
+        let x: Vec<i8> = vec![127];
+        let x_spec = FixedSpec::unit_range(8);
+        let mut half = |_i: usize| 1i64 << 14;
+        w.axpy_fixed(100.0, &x, &x_spec, &mut half);
+        let top = w.read(0);
+        assert!((top - w.spec().max_value()).abs() < 1e-6, "{top}");
+    }
+
+    #[test]
+    fn concurrent_hogwild_updates_mostly_land() {
+        // With relaxed racy read-modify-write, most (not necessarily all)
+        // increments survive. Sanity-check the plumbing under real threads.
+        use std::sync::Arc;
+        let w = Arc::new(SharedModel::zeros(ModelPrecision::F32, 1));
+        let threads = 4;
+        let per_thread = 1000;
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                let w = Arc::clone(&w);
+                s.spawn(move |_| {
+                    let x = [1.0f32];
+                    let mut half = |_i: usize| 0.5f32;
+                    for _ in 0..per_thread {
+                        w.axpy_f32(1.0, &x, &mut half);
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        let total = w.read(0);
+        assert!(total > 0.5 * (threads * per_thread) as f32, "total {total}");
+        assert!(total <= (threads * per_thread) as f32 + 0.5);
+    }
+}

@@ -1,0 +1,275 @@
+//! Kernel SVMs via random Fourier features (Rahimi–Recht), the paper's
+//! Figure 7d/7e workload.
+//!
+//! The paper evaluates Buckwild! on MNIST kernel SVMs using "the random
+//! Fourier features technique, a standard proxy for Gaussian kernels",
+//! with "ten such SVM classifiers, one for each digit, in a standard
+//! one-versus-all system" (§7). This module implements both pieces on top
+//! of the core trainer: [`RffMap`] lifts inputs into a randomized cosine
+//! feature space approximating an RBF kernel, and [`OneVsAll`] trains one
+//! hinge-loss Buckwild! classifier per class.
+
+use buckwild_dataset::{DenseDataset, ImageDataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Loss, SgdConfig, TrainError};
+
+/// A random Fourier feature map `z(x) = sqrt(2/D) · cos(Wx + b)` with
+/// `W ~ N(0, γ·I)` and `b ~ U[0, 2π)`, approximating the Gaussian kernel
+/// `k(x, x') = exp(-γ·||x - x'||² / 2)`.
+#[derive(Debug, Clone)]
+pub struct RffMap {
+    /// Projection matrix, `dims x input_len`, row-major.
+    weights: Vec<f32>,
+    phases: Vec<f32>,
+    input_len: usize,
+    dims: usize,
+}
+
+impl RffMap {
+    /// Samples a feature map of `dims` features for inputs of `input_len`
+    /// with bandwidth `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `gamma <= 0`.
+    #[must_use]
+    pub fn sample(input_len: usize, dims: usize, gamma: f32, seed: u64) -> Self {
+        assert!(input_len > 0 && dims > 0, "dimensions must be positive");
+        assert!(gamma > 0.0, "gamma must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let std = gamma.sqrt();
+        let weights: Vec<f32> = (0..dims * input_len)
+            .map(|_| {
+                // Sum of 12 uniforms: cheap approximate Gaussian.
+                let g: f32 = (0..12).map(|_| rng.gen_range(0.0f32..1.0)).sum::<f32>() - 6.0;
+                g * std
+            })
+            .collect();
+        let phases: Vec<f32> = (0..dims)
+            .map(|_| rng.gen_range(0.0f32..std::f32::consts::TAU))
+            .collect();
+        RffMap {
+            weights,
+            phases,
+            input_len,
+            dims,
+        }
+    }
+
+    /// Output dimensionality.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Expected input length.
+    #[must_use]
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Maps one input vector into feature space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_len()`.
+    #[must_use]
+    pub fn transform(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.input_len, "input length mismatch");
+        let scale = (2.0 / self.dims as f32).sqrt();
+        (0..self.dims)
+            .map(|d| {
+                let row = &self.weights[d * self.input_len..(d + 1) * self.input_len];
+                let proj: f32 = row.iter().zip(x).map(|(&w, &xi)| w * xi).sum();
+                scale * (proj + self.phases[d]).cos()
+            })
+            .collect()
+    }
+
+    /// Transforms a whole image dataset into a dense feature dataset with
+    /// `±1` labels for the given target class (one-versus-all).
+    #[must_use]
+    pub fn transform_images(&self, images: &ImageDataset, target_class: usize) -> DenseDataset {
+        let rows: Vec<Vec<f32>> = (0..images.len())
+            .map(|i| self.transform(images.image(i)))
+            .collect();
+        let labels: Vec<f32> = (0..images.len())
+            .map(|i| if images.label(i) == target_class { 1.0 } else { -1.0 })
+            .collect();
+        DenseDataset::from_rows(rows, labels)
+    }
+}
+
+/// A one-versus-all multiclass classifier: one Buckwild! SVM per class over
+/// a shared feature map.
+#[derive(Debug, Clone)]
+pub struct OneVsAll {
+    map: RffMap,
+    models: Vec<Vec<f32>>,
+    /// Mean training hinge loss of each per-class SVM.
+    pub train_losses: Vec<f64>,
+}
+
+impl OneVsAll {
+    /// Trains one hinge-loss classifier per class on `images` lifted
+    /// through `map`, using `config` for every per-class run (its loss is
+    /// overridden to [`Loss::Hinge`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the underlying runs.
+    pub fn train(
+        map: RffMap,
+        images: &ImageDataset,
+        config: &SgdConfig,
+    ) -> Result<Self, TrainError> {
+        let mut models = Vec::with_capacity(images.classes());
+        let mut train_losses = Vec::with_capacity(images.classes());
+        // Lift the images through the feature map once; every per-class SVM
+        // shares the features and differs only in labels.
+        let features: Vec<Vec<f32>> = (0..images.len())
+            .map(|i| map.transform(images.image(i)))
+            .collect();
+        for class in 0..images.classes() {
+            let labels: Vec<f32> = (0..images.len())
+                .map(|i| if images.label(i) == class { 1.0 } else { -1.0 })
+                .collect();
+            let data = DenseDataset::from_rows(features.clone(), labels);
+            let mut class_config = config.clone();
+            class_config.loss = Loss::Hinge;
+            let report = class_config.train_dense(&data)?;
+            train_losses.push(if report.epoch_losses().is_empty() {
+                f64::NAN
+            } else {
+                report.final_loss()
+            });
+            models.push(report.into_model());
+        }
+        Ok(OneVsAll {
+            map,
+            models,
+            train_losses,
+        })
+    }
+
+    /// Predicts the class of one raw input (argmax over per-class margins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the feature map's input length.
+    #[must_use]
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let features = self.map.transform(x);
+        let mut best = 0usize;
+        let mut best_margin = f32::NEG_INFINITY;
+        for (class, model) in self.models.iter().enumerate() {
+            let margin: f32 = features.iter().zip(model).map(|(&f, &w)| f * w).sum();
+            if margin > best_margin {
+                best_margin = margin;
+                best = class;
+            }
+        }
+        best
+    }
+
+    /// Classification error rate on an image dataset.
+    #[must_use]
+    pub fn test_error(&self, images: &ImageDataset) -> f64 {
+        let mut wrong = 0usize;
+        for i in 0..images.len() {
+            if self.predict(images.image(i)) != images.label(i) {
+                wrong += 1;
+            }
+        }
+        wrong as f64 / images.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buckwild_dataset::ImageShape;
+
+    const SHAPE: ImageShape = ImageShape {
+        height: 8,
+        width: 8,
+        channels: 1,
+    };
+
+    #[test]
+    fn rff_approximates_gaussian_kernel() {
+        let gamma = 0.5f32;
+        let map = RffMap::sample(16, 2048, gamma, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let x: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let y: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let zx = map.transform(&x);
+            let zy = map.transform(&y);
+            let approx: f32 = zx.iter().zip(&zy).map(|(a, b)| a * b).sum();
+            let dist_sq: f32 = x.iter().zip(&y).map(|(a, b)| (a - b).powi(2)).sum();
+            let exact = (-gamma * dist_sq / 2.0).exp();
+            assert!(
+                (approx - exact).abs() < 0.1,
+                "approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn transform_is_deterministic_and_bounded() {
+        let map = RffMap::sample(16, 64, 1.0, 3);
+        let x = vec![0.1f32; 16];
+        let a = map.transform(&x);
+        let b = map.transform(&x);
+        assert_eq!(a, b);
+        let bound = (2.0 / 64f32).sqrt() + 1e-6;
+        assert!(a.iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn one_vs_all_learns_synthetic_digits() {
+        let images = ImageDataset::generate(SHAPE, 3, 30, 0.15, 4);
+        let (train, test) = images.split(0.8);
+        let map = RffMap::sample(SHAPE.len(), 128, 0.2, 5);
+        let config = SgdConfig::new(Loss::Hinge)
+            .step_size(0.1)
+            .epochs(6)
+            .seed(6);
+        let ova = OneVsAll::train(map, &train, &config).unwrap();
+        let err = ova.test_error(&test);
+        assert!(err < 0.2, "test error {err}");
+        assert_eq!(ova.train_losses.len(), 3);
+    }
+
+    #[test]
+    fn low_precision_ova_close_to_full_precision() {
+        let images = ImageDataset::generate(SHAPE, 2, 40, 0.15, 7);
+        let (train, test) = images.split(0.75);
+        let config = SgdConfig::new(Loss::Hinge).step_size(0.1).epochs(5).seed(8);
+        let full = OneVsAll::train(
+            RffMap::sample(SHAPE.len(), 128, 0.2, 9),
+            &train,
+            &config,
+        )
+        .unwrap();
+        let low = OneVsAll::train(
+            RffMap::sample(SHAPE.len(), 128, 0.2, 9),
+            &train,
+            &config.clone().signature("D16M16".parse().unwrap()),
+        )
+        .unwrap();
+        let fe = full.test_error(&test);
+        let le = low.test_error(&test);
+        assert!(le <= fe + 0.1, "low {le} vs full {fe}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn transform_checks_length() {
+        let map = RffMap::sample(16, 8, 1.0, 1);
+        let _ = map.transform(&[0.0; 8]);
+    }
+}

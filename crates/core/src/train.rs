@@ -1,0 +1,834 @@
+//! The training engine: sequential, Hogwild!, and Buckwild! SGD.
+
+use std::time::{Duration, Instant};
+
+use buckwild_dataset::{DenseDataset, SparseDataset};
+use buckwild_fixed::{FixedSpec, Rounding};
+use buckwild_kernels::cost::QuantizerKind;
+use buckwild_kernels::optimized::FixedInt;
+use buckwild_prng::{split_seed, Mt19937, Prng, XorshiftLanes};
+
+use crate::config::QuantizerConfig;
+use crate::{metrics, ConfigError, Loss, ModelPrecision, SgdConfig, SharedModel};
+
+/// Error from [`SgdConfig::train_dense`] / [`SgdConfig::train_sparse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// The configuration was invalid.
+    Config(ConfigError),
+    /// The dataset was empty.
+    EmptyDataset,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Config(e) => write!(f, "invalid configuration: {e}"),
+            TrainError::EmptyDataset => f.write_str("dataset has no examples"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Config(e) => Some(e),
+            TrainError::EmptyDataset => None,
+        }
+    }
+}
+
+impl From<ConfigError> for TrainError {
+    fn from(e: ConfigError) -> Self {
+        TrainError::Config(e)
+    }
+}
+
+/// The result of a training run: recovered model plus efficiency metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    model: Vec<f32>,
+    epoch_losses: Vec<f64>,
+    wall: Duration,
+    numbers_processed: u64,
+    iterations: u64,
+}
+
+impl TrainReport {
+    /// The trained model as `f32` (dequantized snapshot).
+    #[must_use]
+    pub fn model(&self) -> &[f32] {
+        &self.model
+    }
+
+    /// Consumes the report, returning the model.
+    #[must_use]
+    pub fn into_model(self) -> Vec<f32> {
+        self.model
+    }
+
+    /// Mean training loss after each epoch (empty if recording was off).
+    #[must_use]
+    pub fn epoch_losses(&self) -> &[f64] {
+        &self.epoch_losses
+    }
+
+    /// The last recorded training loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if loss recording was disabled.
+    #[must_use]
+    pub fn final_loss(&self) -> f64 {
+        *self
+            .epoch_losses
+            .last()
+            .expect("loss recording was disabled")
+    }
+
+    /// Wall-clock training time (excluding evaluation).
+    #[must_use]
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+
+    /// Total dataset numbers processed across all epochs.
+    #[must_use]
+    pub fn numbers_processed(&self) -> u64 {
+        self.numbers_processed
+    }
+
+    /// Total SGD iterations (examples visited).
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Measured dataset throughput in giga-numbers-per-second — the
+    /// paper's hardware-efficiency metric (§4).
+    #[must_use]
+    pub fn gnps(&self) -> f64 {
+        self.numbers_processed as f64 / self.wall.as_secs_f64().max(1e-12) / 1e9
+    }
+}
+
+/// Per-worker rounding-randomness state (the §5.2 strategies).
+pub(crate) struct QuantState {
+    mode: Mode,
+}
+
+enum Mode {
+    Biased,
+    Mersenne(Mt19937),
+    Fresh {
+        lanes: XorshiftLanes<8>,
+        block: [u32; 8],
+        cursor: usize,
+    },
+    Shared {
+        lanes: XorshiftLanes<8>,
+        block: [u32; 8],
+        period: u32,
+        used: u32,
+    },
+}
+
+const HALF15: i64 = 1 << 14;
+const MASK15: u32 = (1 << 15) - 1;
+const U24: f32 = 1.0 / (1u32 << 24) as f32;
+
+impl QuantState {
+    pub(crate) fn new(quantizer: &QuantizerConfig, rounding: Rounding, seed: u64) -> Self {
+        let mode = if rounding == Rounding::Biased {
+            Mode::Biased
+        } else {
+            match quantizer.kind {
+                QuantizerKind::Biased => Mode::Biased,
+                QuantizerKind::MersenneScalar => Mode::Mersenne(Mt19937::seed_from(seed)),
+                QuantizerKind::XorshiftFresh => Mode::Fresh {
+                    lanes: XorshiftLanes::seed_from(seed),
+                    block: [0; 8],
+                    cursor: 8,
+                },
+                QuantizerKind::XorshiftShared => {
+                    let mut lanes = XorshiftLanes::seed_from(seed);
+                    let block = lanes.step();
+                    Mode::Shared {
+                        lanes,
+                        block,
+                        period: quantizer.shared_period,
+                        used: 0,
+                    }
+                }
+            }
+        };
+        QuantState { mode }
+    }
+
+    /// Marks an iteration boundary: shared-randomness mode with period 0
+    /// refreshes its 256-bit block here (once per AXPY, the paper cadence).
+    pub(crate) fn begin_iteration(&mut self) {
+        if let Mode::Shared {
+            lanes,
+            block,
+            period,
+            used,
+        } = &mut self.mode
+        {
+            if *period == 0 {
+                *block = lanes.step();
+                *used = 0;
+            }
+        }
+    }
+
+    /// If the current strategy uses one offset block for the whole
+    /// iteration (biased or period-0 shared randomness), returns it —
+    /// enabling the indirect-call-free AXPY fast path.
+    pub(crate) fn block_offsets(&self) -> Option<[i64; 8]> {
+        match &self.mode {
+            Mode::Biased => Some([HALF15; 8]),
+            Mode::Shared { block, period, .. } if *period == 0 => {
+                let mut offs = [0i64; 8];
+                for (o, w) in offs.iter_mut().zip(block) {
+                    *o = (w & MASK15) as i64;
+                }
+                Some(offs)
+            }
+            _ => None,
+        }
+    }
+
+    /// Pre-shift rounding offset in `[0, 2^15)` for element `i`.
+    pub(crate) fn offset15(&mut self, i: usize) -> i64 {
+        match &mut self.mode {
+            Mode::Biased => HALF15,
+            Mode::Mersenne(mt) => (mt.next_u32() & MASK15) as i64,
+            Mode::Fresh {
+                lanes,
+                block,
+                cursor,
+            } => {
+                if *cursor >= 8 {
+                    *block = lanes.step();
+                    *cursor = 0;
+                }
+                let word = block[*cursor];
+                *cursor += 1;
+                (word & MASK15) as i64
+            }
+            Mode::Shared {
+                lanes,
+                block,
+                period,
+                used,
+            } => {
+                if *period > 0 {
+                    if *used >= *period {
+                        *block = lanes.step();
+                        *used = 0;
+                    }
+                    *used += 1;
+                }
+                (block[i % 8] & MASK15) as i64
+            }
+        }
+    }
+
+    /// Uniform `[0, 1)` sample for element `i` (float-grid quantization).
+    pub(crate) fn uniform(&mut self, i: usize) -> f32 {
+        match &mut self.mode {
+            Mode::Biased => 0.5,
+            Mode::Mersenne(mt) => mt.next_f32(),
+            Mode::Fresh {
+                lanes,
+                block,
+                cursor,
+            } => {
+                if *cursor >= 8 {
+                    *block = lanes.step();
+                    *cursor = 0;
+                }
+                let word = block[*cursor];
+                *cursor += 1;
+                (word >> 8) as f32 * U24
+            }
+            Mode::Shared {
+                lanes,
+                block,
+                period,
+                used,
+            } => {
+                if *period > 0 {
+                    if *used >= *period {
+                        *block = lanes.step();
+                        *used = 0;
+                    }
+                    *used += 1;
+                }
+                (block[i % 8] >> 8) as f32 * U24
+            }
+        }
+    }
+}
+
+/// Dataset quantized to the signature's `D` precision.
+enum DenseQuant<'a> {
+    F32(&'a DenseDataset<f32>),
+    I16(DenseDataset<i16>),
+    I8(DenseDataset<i8>),
+}
+
+enum SparseQuant<'a> {
+    F32(&'a SparseDataset<f32, u32>),
+    I16(SparseDataset<i16, u32>),
+    I8(SparseDataset<i8, u32>),
+}
+
+impl SgdConfig {
+    /// Trains on a dense dataset, quantizing it to the signature's dataset
+    /// precision first.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Config`] for invalid configurations,
+    /// [`TrainError::EmptyDataset`] for empty input.
+    pub fn train_dense(&self, data: &DenseDataset<f32>) -> Result<TrainReport, TrainError> {
+        self.validate()?;
+        if data.examples() == 0 {
+            return Err(TrainError::EmptyDataset);
+        }
+        let precision =
+            ModelPrecision::from_signature(&self.signature).expect("validated above");
+        let d = self.signature.dataset();
+        let quant = match (d.bits(), d.is_float()) {
+            (32, true) => DenseQuant::F32(data),
+            (16, false) => DenseQuant::I16(data.quantize_i16(FixedSpec::unit_range(16))),
+            (8, false) => DenseQuant::I8(data.quantize_i8(FixedSpec::unit_range(8))),
+            _ => unreachable!("validated above"),
+        };
+        let n = data.features();
+        let m = data.examples();
+        let model = SharedModel::zeros(precision, n);
+        let mut epoch_losses = Vec::new();
+        let mut wall = Duration::ZERO;
+        for epoch in 0..self.epochs {
+            let step = self.step_size * self.step_decay.powi(epoch as i32);
+            let start = Instant::now();
+            crossbeam::thread::scope(|s| {
+                for t in 0..self.threads {
+                    let model = &model;
+                    let quant = &quant;
+                    let mut rng = QuantState::new(
+                        &self.quantizer,
+                        self.rounding,
+                        split_seed(self.seed, (epoch * self.threads + t) as u64 + 1),
+                    );
+                    let loss = self.loss;
+                    let b = self.minibatch;
+                    let threads = self.threads;
+                    s.spawn(move |_| match quant {
+                        DenseQuant::F32(d) => {
+                            worker_dense_f32(model, d, loss, step, b, t, threads, &mut rng);
+                        }
+                        DenseQuant::I16(d) => {
+                            worker_dense_fixed(model, d, loss, step, b, t, threads, &mut rng);
+                        }
+                        DenseQuant::I8(d) => {
+                            worker_dense_fixed(model, d, loss, step, b, t, threads, &mut rng);
+                        }
+                    });
+                }
+            })
+            .expect("worker panicked");
+            wall += start.elapsed();
+            if self.record_losses {
+                epoch_losses.push(metrics::mean_loss(self.loss, &model.snapshot(), data));
+            }
+        }
+        Ok(TrainReport {
+            model: model.snapshot(),
+            epoch_losses,
+            wall,
+            numbers_processed: (n * m * self.epochs) as u64,
+            iterations: (m * self.epochs) as u64,
+        })
+    }
+
+    /// Trains on a sparse dataset (CSR), quantizing values to the
+    /// signature's dataset precision first. Indices stay `u32` in storage;
+    /// index-precision effects on throughput are measured at the kernel
+    /// level (see the bench crate).
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Config`] for invalid configurations,
+    /// [`TrainError::EmptyDataset`] for empty input.
+    pub fn train_sparse(
+        &self,
+        data: &SparseDataset<f32, u32>,
+    ) -> Result<TrainReport, TrainError> {
+        self.validate()?;
+        if data.examples() == 0 {
+            return Err(TrainError::EmptyDataset);
+        }
+        let precision =
+            ModelPrecision::from_signature(&self.signature).expect("validated above");
+        let d = self.signature.dataset();
+        let quant = match (d.bits(), d.is_float()) {
+            (32, true) => SparseQuant::F32(data),
+            (16, false) => SparseQuant::I16(data.requantize(
+                FixedSpec::unit_range(16),
+                Rounding::Biased,
+                self.seed,
+            )),
+            (8, false) => SparseQuant::I8(data.requantize(
+                FixedSpec::unit_range(8),
+                Rounding::Biased,
+                self.seed,
+            )),
+            _ => unreachable!("validated above"),
+        };
+        let n = data.features();
+        let m = data.examples();
+        let model = SharedModel::zeros(precision, n);
+        let mut epoch_losses = Vec::new();
+        let mut wall = Duration::ZERO;
+        for epoch in 0..self.epochs {
+            let step = self.step_size * self.step_decay.powi(epoch as i32);
+            let start = Instant::now();
+            crossbeam::thread::scope(|s| {
+                for t in 0..self.threads {
+                    let model = &model;
+                    let quant = &quant;
+                    let mut rng = QuantState::new(
+                        &self.quantizer,
+                        self.rounding,
+                        split_seed(self.seed, (epoch * self.threads + t) as u64 + 1),
+                    );
+                    let loss = self.loss;
+                    let b = self.minibatch;
+                    let threads = self.threads;
+                    s.spawn(move |_| match quant {
+                        SparseQuant::F32(d) => {
+                            worker_sparse_f32(model, d, loss, step, b, t, threads, &mut rng);
+                        }
+                        SparseQuant::I16(d) => {
+                            worker_sparse_fixed(model, d, loss, step, b, t, threads, &mut rng);
+                        }
+                        SparseQuant::I8(d) => {
+                            worker_sparse_fixed(model, d, loss, step, b, t, threads, &mut rng);
+                        }
+                    });
+                }
+            })
+            .expect("worker panicked");
+            wall += start.elapsed();
+            if self.record_losses {
+                epoch_losses.push(metrics::mean_loss_sparse(
+                    self.loss,
+                    &model.snapshot(),
+                    data,
+                ));
+            }
+        }
+        Ok(TrainReport {
+            model: model.snapshot(),
+            epoch_losses,
+            wall,
+            numbers_processed: (data.nnz() * self.epochs) as u64,
+            iterations: (m * self.epochs) as u64,
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_dense_fixed<D: FixedInt>(
+    model: &SharedModel,
+    data: &DenseDataset<D>,
+    loss: Loss,
+    step: f32,
+    minibatch: usize,
+    worker: usize,
+    threads: usize,
+    rng: &mut QuantState,
+) {
+    let x_spec = data.spec();
+    let n = data.features();
+    let mut scratch = if minibatch > 1 { vec![0f32; n] } else { Vec::new() };
+    let mut batch_fill = 0usize;
+    let indices: Vec<usize> = (worker..data.examples()).step_by(threads).collect();
+    for &i in &indices {
+        let x = data.example(i);
+        let y = data.label(i);
+        rng.begin_iteration();
+        let dot = model.dot_fixed(x, &x_spec);
+        let a = loss.axpy_scale(dot, y, step);
+        if minibatch == 1 {
+            if a != 0.0 {
+                match rng.block_offsets() {
+                    Some(offs) => model.axpy_fixed_block(a, x, &x_spec, &offs),
+                    None => {
+                        let mut off = |j: usize| rng.offset15(j);
+                        model.axpy_fixed(a, x, &x_spec, &mut off);
+                    }
+                }
+            }
+        } else {
+            if a != 0.0 {
+                let qa = a * x_spec.quantum();
+                for (sj, xj) in scratch.iter_mut().zip(x) {
+                    *sj += qa * xj.widen() as f32;
+                }
+            }
+            batch_fill += 1;
+            if batch_fill == minibatch {
+                let mut uni = |j: usize| rng.uniform(j);
+                model.axpy_f32(1.0, &scratch, &mut uni);
+                scratch.fill(0.0);
+                batch_fill = 0;
+            }
+        }
+    }
+    if batch_fill > 0 {
+        let mut uni = |j: usize| rng.uniform(j);
+        model.axpy_f32(1.0, &scratch, &mut uni);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_dense_f32(
+    model: &SharedModel,
+    data: &DenseDataset<f32>,
+    loss: Loss,
+    step: f32,
+    minibatch: usize,
+    worker: usize,
+    threads: usize,
+    rng: &mut QuantState,
+) {
+    let n = data.features();
+    let mut scratch = if minibatch > 1 { vec![0f32; n] } else { Vec::new() };
+    let mut batch_fill = 0usize;
+    for i in (worker..data.examples()).step_by(threads) {
+        let x = data.example(i);
+        let y = data.label(i);
+        rng.begin_iteration();
+        let dot = model.dot_f32(x);
+        let a = loss.axpy_scale(dot, y, step);
+        if minibatch == 1 {
+            if a != 0.0 {
+                let mut uni = |j: usize| rng.uniform(j);
+                model.axpy_f32(a, x, &mut uni);
+            }
+        } else {
+            if a != 0.0 {
+                for (sj, &xj) in scratch.iter_mut().zip(x) {
+                    *sj += a * xj;
+                }
+            }
+            batch_fill += 1;
+            if batch_fill == minibatch {
+                let mut uni = |j: usize| rng.uniform(j);
+                model.axpy_f32(1.0, &scratch, &mut uni);
+                scratch.fill(0.0);
+                batch_fill = 0;
+            }
+        }
+    }
+    if batch_fill > 0 {
+        let mut uni = |j: usize| rng.uniform(j);
+        model.axpy_f32(1.0, &scratch, &mut uni);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_sparse_fixed<D: FixedInt>(
+    model: &SharedModel,
+    data: &SparseDataset<D, u32>,
+    loss: Loss,
+    step: f32,
+    minibatch: usize,
+    worker: usize,
+    threads: usize,
+    rng: &mut QuantState,
+) {
+    let x_spec = data.spec();
+    // Mini-batch handling for sparse data: gradients are computed at the
+    // batch-start model, then all scatter writes are applied. The model is
+    // written per example, but the gradient is a true mini-batch gradient.
+    let mut pending: Vec<(usize, f32)> = Vec::new();
+    for i in (worker..data.examples()).step_by(threads) {
+        let ex = data.example(i);
+        let y = data.label(i);
+        rng.begin_iteration();
+        let dot = model.dot_sparse_fixed(ex.values, ex.indices, &x_spec);
+        let a = loss.axpy_scale(dot, y, step);
+        if minibatch == 1 {
+            if a != 0.0 {
+                let mut off = |j: usize| rng.offset15(j);
+                model.axpy_sparse_fixed(a, ex.values, ex.indices, &x_spec, &mut off);
+            }
+        } else {
+            if a != 0.0 {
+                pending.push((i, a));
+            }
+            if pending.len() >= minibatch {
+                for &(pi, pa) in &pending {
+                    let pex = data.example(pi);
+                    let mut off = |j: usize| rng.offset15(j);
+                    model.axpy_sparse_fixed(pa, pex.values, pex.indices, &x_spec, &mut off);
+                }
+                pending.clear();
+            }
+        }
+    }
+    for &(pi, pa) in &pending {
+        let pex = data.example(pi);
+        let mut off = |j: usize| rng.offset15(j);
+        model.axpy_sparse_fixed(pa, pex.values, pex.indices, &x_spec, &mut off);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_sparse_f32(
+    model: &SharedModel,
+    data: &SparseDataset<f32, u32>,
+    loss: Loss,
+    step: f32,
+    minibatch: usize,
+    worker: usize,
+    threads: usize,
+    rng: &mut QuantState,
+) {
+    let mut pending: Vec<(usize, f32)> = Vec::new();
+    for i in (worker..data.examples()).step_by(threads) {
+        let ex = data.example(i);
+        let y = data.label(i);
+        rng.begin_iteration();
+        let dot = model.dot_sparse_f32(ex.values, ex.indices);
+        let a = loss.axpy_scale(dot, y, step);
+        if minibatch == 1 {
+            if a != 0.0 {
+                let mut uni = |j: usize| rng.uniform(j);
+                model.axpy_sparse_f32(a, ex.values, ex.indices, &mut uni);
+            }
+        } else {
+            if a != 0.0 {
+                pending.push((i, a));
+            }
+            if pending.len() >= minibatch {
+                for &(pi, pa) in &pending {
+                    let pex = data.example(pi);
+                    let mut uni = |j: usize| rng.uniform(j);
+                    model.axpy_sparse_f32(pa, pex.values, pex.indices, &mut uni);
+                }
+                pending.clear();
+            }
+        }
+    }
+    for &(pi, pa) in &pending {
+        let pex = data.example(pi);
+        let mut uni = |j: usize| rng.uniform(j);
+        model.axpy_sparse_f32(pa, pex.values, pex.indices, &mut uni);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buckwild_dataset::generate;
+
+    fn logistic_config() -> SgdConfig {
+        SgdConfig::new(Loss::Logistic)
+            .step_size(0.5)
+            .step_decay(0.8)
+            .epochs(8)
+            .seed(1)
+    }
+
+    #[test]
+    fn full_precision_sequential_converges() {
+        let p = generate::logistic_dense(32, 400, 5);
+        let report = logistic_config().train_dense(&p.data).unwrap();
+        let chance = std::f64::consts::LN_2;
+        assert!(
+            report.final_loss() < 0.6 * chance,
+            "loss {}",
+            report.final_loss()
+        );
+        // Loss decreases overall.
+        assert!(report.epoch_losses()[0] > report.final_loss());
+    }
+
+    #[test]
+    fn d8m8_buckwild_converges_close_to_full_precision() {
+        let p = generate::logistic_dense(64, 600, 6);
+        let full = logistic_config().train_dense(&p.data).unwrap();
+        let low = logistic_config()
+            .signature("D8M8".parse().unwrap())
+            .train_dense(&p.data)
+            .unwrap();
+        assert!(
+            low.final_loss() < full.final_loss() + 0.1,
+            "low {} vs full {}",
+            low.final_loss(),
+            full.final_loss()
+        );
+    }
+
+    #[test]
+    fn d16m16_matches_full_precision_tightly() {
+        let p = generate::logistic_dense(64, 600, 7);
+        let full = logistic_config().train_dense(&p.data).unwrap();
+        let low = logistic_config()
+            .signature("D16M16".parse().unwrap())
+            .train_dense(&p.data)
+            .unwrap();
+        assert!((low.final_loss() - full.final_loss()).abs() < 0.05);
+    }
+
+    #[test]
+    fn hogwild_two_threads_converges() {
+        let p = generate::logistic_dense(64, 600, 8);
+        let report = logistic_config()
+            .signature("D8M8".parse().unwrap())
+            .threads(2)
+            .train_dense(&p.data)
+            .unwrap();
+        assert!(report.final_loss() < 0.5, "loss {}", report.final_loss());
+    }
+
+    #[test]
+    fn minibatch_converges() {
+        let p = generate::logistic_dense(32, 400, 9);
+        let report = logistic_config()
+            .signature("D8M8".parse().unwrap())
+            .minibatch(8)
+            .train_dense(&p.data)
+            .unwrap();
+        assert!(report.final_loss() < 0.55, "loss {}", report.final_loss());
+    }
+
+    #[test]
+    fn sparse_training_converges() {
+        let p = generate::logistic_sparse(256, 800, 0.05, 10);
+        let report = logistic_config()
+            .signature("D8i8M8".parse().unwrap())
+            .train_sparse(&p.data)
+            .unwrap();
+        assert!(report.final_loss() < 0.6, "loss {}", report.final_loss());
+    }
+
+    #[test]
+    fn least_squares_recovers_linear_model() {
+        let p = generate::linear_dense(16, 600, 0.01, 11);
+        let report = SgdConfig::new(Loss::LeastSquares)
+            .step_size(0.3)
+            .epochs(30)
+            .train_dense(&p.data)
+            .unwrap();
+        // Compare against the normalized true model.
+        let scale = (16f32).sqrt();
+        for (got, want) in report.model().iter().zip(&p.true_model) {
+            assert!(
+                (got - want / scale).abs() < 0.1,
+                "{got} vs {}",
+                want / scale
+            );
+        }
+    }
+
+    #[test]
+    fn hinge_svm_trains() {
+        let p = generate::logistic_dense(32, 400, 12);
+        let report = SgdConfig::new(Loss::Hinge)
+            .step_size(0.05)
+            .epochs(10)
+            .train_dense(&p.data)
+            .unwrap();
+        let acc = metrics::accuracy(Loss::Hinge, report.model(), &p.data);
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn report_accounting() {
+        let p = generate::logistic_dense(16, 100, 13);
+        let report = logistic_config().epochs(3).train_dense(&p.data).unwrap();
+        assert_eq!(report.iterations(), 300);
+        assert_eq!(report.numbers_processed(), 16 * 100 * 3);
+        assert!(report.gnps() > 0.0);
+        assert_eq!(report.epoch_losses().len(), 3);
+    }
+
+    #[test]
+    fn record_losses_off_skips_eval() {
+        let p = generate::logistic_dense(16, 100, 14);
+        let report = logistic_config()
+            .record_losses(false)
+            .train_dense(&p.data)
+            .unwrap();
+        assert!(report.epoch_losses().is_empty());
+    }
+
+    #[test]
+    fn biased_rounding_at_8bit_is_worse_than_unbiased() {
+        // The §3 claim: with small models and precision, biased rounding
+        // loses statistical efficiency because updates smaller than half a
+        // quantum vanish.
+        let p = generate::logistic_dense(64, 600, 15);
+        let small_step = 0.02f32;
+        let unbiased = SgdConfig::new(Loss::Logistic)
+            .signature("D8M8".parse().unwrap())
+            .rounding(Rounding::Unbiased)
+            .step_size(small_step)
+            .epochs(6)
+            .train_dense(&p.data)
+            .unwrap();
+        let biased = SgdConfig::new(Loss::Logistic)
+            .signature("D8M8".parse().unwrap())
+            .rounding(Rounding::Biased)
+            .step_size(small_step)
+            .epochs(6)
+            .train_dense(&p.data)
+            .unwrap();
+        assert!(
+            unbiased.final_loss() <= biased.final_loss() + 1e-9,
+            "unbiased {} vs biased {}",
+            unbiased.final_loss(),
+            biased.final_loss()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed_single_thread() {
+        let p = generate::logistic_dense(32, 200, 16);
+        let config = logistic_config().signature("D8M8".parse().unwrap());
+        let a = config.train_dense(&p.data).unwrap();
+        let b = config.train_dense(&p.data).unwrap();
+        assert_eq!(a.model(), b.model());
+        assert_eq!(a.epoch_losses(), b.epoch_losses());
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let data = DenseDataset::from_rows(vec![vec![1.0]], vec![1.0]);
+        // Can't build an empty DenseDataset, so check the sparse path.
+        let sparse = SparseDataset::from_triplets(4, vec![], vec![]);
+        assert_eq!(
+            logistic_config().train_sparse(&sparse),
+            Err(TrainError::EmptyDataset)
+        );
+        let _ = data;
+    }
+
+    #[test]
+    fn invalid_config_surfaces() {
+        let p = generate::logistic_dense(8, 20, 17);
+        let err = logistic_config()
+            .signature("D4M4".parse().unwrap())
+            .train_dense(&p.data)
+            .unwrap_err();
+        assert!(matches!(err, TrainError::Config(_)));
+    }
+}

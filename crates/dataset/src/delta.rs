@@ -1,0 +1,207 @@
+//! Delta-encoded sparse indices (paper §3, footnote 6).
+//!
+//! Lowering the *index* precision of a sparse dataset costs no statistical
+//! efficiency, but a narrow index type cannot address a large model
+//! directly. The paper's remedy: store "the difference between successive
+//! nonzero entries" instead. At the paper's 3% density the mean gap is
+//! ~33, so 8-bit deltas cover models of any size; rare larger gaps are
+//! handled with zero-valued escape entries that advance the cursor by the
+//! index type's maximum.
+
+use crate::{IndexElement, SparseDataset};
+
+/// One example's indices stored as gaps between successive nonzeros.
+///
+/// The first delta is the first index itself; each subsequent delta is the
+/// distance to the next nonzero **minus one** (adjacent nonzeros have
+/// delta 0), so the full `0..=MAX` range of the index type is useful. Gaps
+/// too large for the type are encoded as escape entries: a delta of
+/// `MAX` with a zero value advances the cursor without touching the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaExample<T, I> {
+    /// Gap codes, parallel to `values`.
+    pub deltas: Vec<I>,
+    /// Nonzero values; escape entries carry `T::ZERO`.
+    pub values: Vec<T>,
+}
+
+impl<T: crate::Element, I: IndexElement> DeltaExample<T, I> {
+    /// Encodes sorted `(index, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are not strictly increasing.
+    #[must_use]
+    pub fn encode(indices: &[usize], values: &[T]) -> Self {
+        assert_eq!(indices.len(), values.len(), "parallel slices");
+        let max_code = (1u64 << I::BITS) - 1;
+        let mut deltas = Vec::with_capacity(indices.len());
+        let mut out_values = Vec::with_capacity(values.len());
+        let mut cursor = 0usize; // next unwritten position
+        for (&idx, &v) in indices.iter().zip(values) {
+            assert!(idx >= cursor, "indices must be strictly increasing");
+            let mut gap = (idx - cursor) as u64;
+            // Escape entries cover gaps beyond the index type's range.
+            while gap > max_code {
+                deltas.push(I::from_usize(max_code as usize));
+                out_values.push(T::ZERO);
+                gap -= max_code + 1;
+            }
+            deltas.push(I::from_usize(gap as usize));
+            out_values.push(v);
+            cursor = idx + 1;
+        }
+        DeltaExample {
+            deltas,
+            values: out_values,
+        }
+    }
+
+    /// Number of stored entries (nonzeros plus escapes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// True if no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Iterates over decoded `(index, value)` pairs, skipping escapes.
+    pub fn iter(&self) -> DeltaIter<'_, T, I> {
+        DeltaIter {
+            deltas: &self.deltas,
+            values: &self.values,
+            at: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Decodes into plain `(index, value)` pairs.
+    #[must_use]
+    pub fn decode(&self) -> Vec<(usize, T)> {
+        self.iter().collect()
+    }
+}
+
+/// Iterator over the decoded entries of a [`DeltaExample`].
+#[derive(Debug)]
+pub struct DeltaIter<'a, T, I> {
+    deltas: &'a [I],
+    values: &'a [T],
+    at: usize,
+    cursor: usize,
+}
+
+impl<T: crate::Element, I: IndexElement> Iterator for DeltaIter<'_, T, I> {
+    type Item = (usize, T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let max_code = ((1u64 << I::BITS) - 1) as usize;
+        while self.at < self.deltas.len() {
+            let gap = self.deltas[self.at].to_usize();
+            let value = self.values[self.at];
+            self.at += 1;
+            if gap == max_code && value == T::ZERO {
+                // Escape: advance without emitting.
+                self.cursor += max_code + 1;
+                continue;
+            }
+            let index = self.cursor + gap;
+            self.cursor = index + 1;
+            return Some((index, value));
+        }
+        None
+    }
+}
+
+/// Delta-encodes every example of a CSR dataset with narrow `J` indices.
+///
+/// Returns per-example [`DeltaExample`]s plus the encoding overhead: the
+/// ratio of stored entries (including escapes) to true nonzeros. At 3%
+/// density with `u8` deltas the overhead is essentially 1.0.
+#[must_use]
+pub fn delta_encode<T: crate::Element, I: IndexElement, J: IndexElement>(
+    data: &SparseDataset<T, I>,
+) -> (Vec<DeltaExample<T, J>>, f64) {
+    let mut encoded = Vec::with_capacity(data.examples());
+    let mut stored = 0usize;
+    for i in 0..data.examples() {
+        let ex = data.example(i);
+        let indices: Vec<usize> = ex.indices.iter().map(|&j| j.to_usize()).collect();
+        let de = DeltaExample::<T, J>::encode(&indices, ex.values);
+        stored += de.len();
+        encoded.push(de);
+    }
+    let overhead = stored as f64 / data.nnz().max(1) as f64;
+    (encoded, overhead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn round_trip_simple() {
+        let indices = [0usize, 1, 5, 260, 261];
+        let values = [1i8, 2, 3, 4, 5];
+        let de = DeltaExample::<i8, u8>::encode(&indices, &values);
+        let decoded = de.decode();
+        let expect: Vec<(usize, i8)> =
+            indices.iter().copied().zip(values.iter().copied()).collect();
+        assert_eq!(decoded, expect);
+    }
+
+    #[test]
+    fn adjacent_nonzeros_use_delta_zero() {
+        let de = DeltaExample::<i8, u8>::encode(&[3, 4, 5], &[1, 2, 3]);
+        assert_eq!(de.deltas, vec![3u8, 0, 0]);
+        assert_eq!(de.len(), 3); // no escapes needed
+    }
+
+    #[test]
+    fn large_gaps_insert_escapes() {
+        // Gap of 600 with u8 deltas (max code 255, escape advances 256).
+        let de = DeltaExample::<i8, u8>::encode(&[0, 600], &[7, 9]);
+        assert!(de.len() > 2, "escapes expected: {de:?}");
+        assert_eq!(de.decode(), vec![(0, 7), (600, 9)]);
+    }
+
+    #[test]
+    fn escape_is_distinguishable_from_real_max_gap() {
+        // A *real* entry exactly at gap 255 with a nonzero value must not
+        // be mistaken for an escape.
+        let de = DeltaExample::<i8, u8>::encode(&[255], &[5]);
+        assert_eq!(de.decode(), vec![(255usize, 5i8)]);
+    }
+
+    #[test]
+    fn paper_density_has_negligible_overhead_with_u8() {
+        // 3% density: mean gap ~33, so u8 deltas almost never escape even
+        // though the model (2^20) vastly exceeds u8 range.
+        let problem = generate::logistic_sparse(1 << 16, 50, 0.03, 5);
+        let quantized: SparseDataset<i8, u32> = problem.data.requantize(
+            buckwild_fixed::FixedSpec::unit_range(8),
+            buckwild_fixed::Rounding::Biased,
+            0,
+        );
+        let (encoded, overhead) = delta_encode::<i8, u32, u8>(&quantized);
+        assert!(overhead < 1.01, "overhead {overhead}");
+        // Decoded indices match the original CSR.
+        for (i, de) in encoded.iter().enumerate() {
+            let ex = quantized.example(i);
+            let decoded: Vec<usize> = de.iter().map(|(idx, _)| idx).collect();
+            let expect: Vec<usize> = ex.indices.iter().map(|&j| j as usize).collect();
+            assert_eq!(decoded, expect, "example {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_input_rejected() {
+        let _ = DeltaExample::<i8, u8>::encode(&[5, 5], &[1, 2]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Synthetic problem generators matching the paper's experimental setup.
+//!
+//! The paper generates datasets "by sampling from the generative model for
+//! logistic regression, using a true model vector `w*` and example vectors
+//! `x_i` all sampled uniformly from `[-1, 1]^n`" (§4 footnote 9), with a
+//! 3%-density sparse variant. These generators reproduce that setup and
+//! add linear-regression and separable-SVM analogues with the same
+//! dot-and-AXPY compute structure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{DenseDataset, Label, SparseDataset};
+
+/// The paper's sparse density (3%).
+pub const PAPER_SPARSE_DENSITY: f64 = 0.03;
+
+/// A generated problem: the dataset plus the ground-truth model that
+/// produced it (useful for measuring recovery error).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem<D> {
+    /// The generated dataset.
+    pub data: D,
+    /// The true model `w*` used by the generative process.
+    pub true_model: Vec<f32>,
+}
+
+fn sample_unit(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-1.0f32..=1.0)).collect()
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Samples a dense logistic-regression problem of `n` features and `m`
+/// examples (Ng–Jordan generative model).
+///
+/// Labels are `+1` with probability `sigmoid(x · w*)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `m == 0`.
+#[must_use]
+pub fn logistic_dense(n: usize, m: usize, seed: u64) -> Problem<DenseDataset<f32>> {
+    assert!(n > 0 && m > 0, "dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let true_model = sample_unit(&mut rng, n);
+    let mut values = Vec::with_capacity(n * m);
+    let mut labels = Vec::with_capacity(m);
+    for _ in 0..m {
+        let x = sample_unit(&mut rng, n);
+        // Normalize the margin so problems of different n are comparably
+        // hard: dot products of uniform vectors scale like sqrt(n).
+        let dot: f64 = x
+            .iter()
+            .zip(&true_model)
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum::<f64>()
+            / (n as f64).sqrt()
+            * 10.0;
+        let label: Label = if rng.gen_bool(sigmoid(dot)) { 1.0 } else { -1.0 };
+        values.extend_from_slice(&x);
+        labels.push(label);
+    }
+    Problem {
+        data: DenseDataset::from_flat(values, n, labels),
+        true_model,
+    }
+}
+
+/// Samples a dense linear-regression problem: `y = x · w* / sqrt(n) + ε`
+/// with Gaussian-ish noise of standard deviation `noise`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `m == 0`, or `noise < 0`.
+#[must_use]
+pub fn linear_dense(n: usize, m: usize, noise: f32, seed: u64) -> Problem<DenseDataset<f32>> {
+    assert!(n > 0 && m > 0, "dimensions must be positive");
+    assert!(noise >= 0.0, "noise must be nonnegative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let true_model = sample_unit(&mut rng, n);
+    let mut values = Vec::with_capacity(n * m);
+    let mut labels = Vec::with_capacity(m);
+    for _ in 0..m {
+        let x = sample_unit(&mut rng, n);
+        let dot: f64 = x
+            .iter()
+            .zip(&true_model)
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum::<f64>()
+            / (n as f64).sqrt();
+        // Sum of 12 uniforms minus 6: approximately standard normal.
+        let eps: f64 = (0..12).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() - 6.0;
+        labels.push((dot + eps * noise as f64) as f32);
+        values.extend_from_slice(&x);
+    }
+    Problem {
+        data: DenseDataset::from_flat(values, n, labels),
+        true_model,
+    }
+}
+
+/// Samples a sparse logistic-regression problem at the given density.
+///
+/// Each example has `round(density * n)` nonzeros at uniformly random
+/// (sorted, distinct) coordinates, with values uniform on `[-1, 1]`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `m == 0`, or `density` is outside `(0, 1]`, or if
+/// the density rounds to zero nonzeros per example.
+#[must_use]
+pub fn logistic_sparse(
+    n: usize,
+    m: usize,
+    density: f64,
+    seed: u64,
+) -> Problem<SparseDataset<f32, u32>> {
+    assert!(n > 0 && m > 0, "dimensions must be positive");
+    assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+    let nnz_per_example = ((density * n as f64).round() as usize).max(1);
+    assert!(nnz_per_example <= n, "density too high");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let true_model = sample_unit(&mut rng, n);
+    let mut rows = Vec::with_capacity(m);
+    let mut labels = Vec::with_capacity(m);
+    for _ in 0..m {
+        let indices = sample_sorted_distinct(&mut rng, n, nnz_per_example);
+        let row: Vec<(usize, f32)> = indices
+            .into_iter()
+            .map(|idx| (idx, rng.gen_range(-1.0f32..=1.0)))
+            .collect();
+        let dot: f64 = row
+            .iter()
+            .map(|&(idx, v)| v as f64 * true_model[idx] as f64)
+            .sum::<f64>()
+            / (nnz_per_example as f64).sqrt()
+            * 10.0;
+        labels.push(if rng.gen_bool(sigmoid(dot)) { 1.0 } else { -1.0 });
+        rows.push(row);
+    }
+    Problem {
+        data: SparseDataset::from_triplets(n, rows, labels),
+        true_model,
+    }
+}
+
+/// Samples `k` sorted distinct indices from `0..n` (Floyd's algorithm).
+fn sample_sorted_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    use std::collections::BTreeSet;
+    let mut chosen = BTreeSet::new();
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logistic_dense_shapes_and_ranges() {
+        let p = logistic_dense(32, 50, 1);
+        assert_eq!(p.data.features(), 32);
+        assert_eq!(p.data.examples(), 50);
+        assert_eq!(p.true_model.len(), 32);
+        assert!(p.data.values().iter().all(|v| (-1.0..=1.0).contains(v)));
+        assert!(p.data.labels().iter().all(|&l| l == 1.0 || l == -1.0));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = logistic_dense(16, 20, 7);
+        let b = logistic_dense(16, 20, 7);
+        assert_eq!(a, b);
+        let c = logistic_dense(16, 20, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels_correlate_with_true_model() {
+        // The generative margin should make sign(x·w*) predictive.
+        let p = logistic_dense(64, 400, 3);
+        let mut agree = 0usize;
+        for i in 0..p.data.examples() {
+            let dot: f32 = p
+                .data
+                .example(i)
+                .iter()
+                .zip(&p.true_model)
+                .map(|(&a, &b)| a * b)
+                .sum();
+            if (dot >= 0.0) == (p.data.label(i) > 0.0) {
+                agree += 1;
+            }
+        }
+        let frac = agree as f64 / p.data.examples() as f64;
+        assert!(frac > 0.75, "agreement {frac}");
+    }
+
+    #[test]
+    fn linear_labels_track_dot() {
+        let p = linear_dense(32, 200, 0.0, 5);
+        for i in 0..10 {
+            let dot: f64 = p
+                .data
+                .example(i)
+                .iter()
+                .zip(&p.true_model)
+                .map(|(&a, &b)| a as f64 * b as f64)
+                .sum::<f64>()
+                / 32f64.sqrt();
+            assert!((p.data.label(i) as f64 - dot).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sparse_density_is_respected() {
+        let p = logistic_sparse(200, 40, PAPER_SPARSE_DENSITY, 11);
+        assert_eq!(p.data.features(), 200);
+        assert_eq!(p.data.examples(), 40);
+        let expect = (0.03f64 * 200.0).round() as usize; // 6 nnz/example
+        for i in 0..p.data.examples() {
+            assert_eq!(p.data.example(i).nnz(), expect);
+        }
+        assert!((p.data.density() - 0.03).abs() < 0.005);
+    }
+
+    #[test]
+    fn sparse_indices_sorted_distinct_in_range() {
+        let p = logistic_sparse(100, 30, 0.1, 13);
+        for i in 0..p.data.examples() {
+            let ex = p.data.example(i);
+            for w in ex.indices.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(ex.indices.iter().all(|&idx| (idx as usize) < 100));
+        }
+    }
+
+    #[test]
+    fn sample_sorted_distinct_properties() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let ks = sample_sorted_distinct(&mut rng, 50, 10);
+            assert_eq!(ks.len(), 10);
+            for w in ks.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(ks.iter().all(|&k| k < 50));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in")]
+    fn zero_density_rejected() {
+        let _ = logistic_sparse(100, 10, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn empty_problem_rejected() {
+        let _ = logistic_dense(0, 10, 1);
+    }
+}

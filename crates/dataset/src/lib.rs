@@ -1,0 +1,52 @@
+//! Datasets for low-precision SGD: storage, quantization, and generators.
+//!
+//! Under the DMGC model, **dataset numbers** are constant inputs streamed
+//! from DRAM, so they are quantized *once* — either when the data is loaded
+//! or ahead of time (paper §3, "Dataset numbers"). This crate owns that
+//! step: it stores dense ([`DenseDataset`]) and sparse ([`SparseDataset`],
+//! CSR layout) example matrices at any element precision, converts between
+//! precisions with either rounding mode, and samples the synthetic problems
+//! the paper evaluates on:
+//!
+//! * the Ng–Jordan generative model for logistic regression (§4
+//!   footnote 9): a true model `w*` and examples `x_i`, all uniform on
+//!   `[-1, 1]^n`, with labels drawn from the logistic likelihood;
+//! * sparse variants at configurable density (the paper uses 3%);
+//! * linear-regression and SVM-style problems with the same structure;
+//! * class-conditional synthetic images standing in for MNIST/CIFAR10
+//!   (see `DESIGN.md` for the substitution rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use buckwild_dataset::{generate, DenseDataset};
+//! use buckwild_fixed::FixedSpec;
+//!
+//! let problem = generate::logistic_dense(64, 100, 42);
+//! assert_eq!(problem.data.features(), 64);
+//! assert_eq!(problem.data.examples(), 100);
+//!
+//! // Quantize the dataset to 8 bits, as a D8 configuration would.
+//! let q = problem.data.quantize_i8(FixedSpec::unit_range(8));
+//! assert_eq!(q.examples(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delta;
+mod dense;
+mod element;
+pub mod generate;
+mod images;
+mod sparse;
+
+pub use delta::{delta_encode, DeltaExample, DeltaIter};
+pub use dense::DenseDataset;
+pub use element::Element;
+pub use generate::Problem;
+pub use images::{ImageDataset, ImageShape};
+pub use sparse::{IndexElement, SparseDataset, SparseExample};
+
+/// Binary labels used by the classification problems: `+1.0` or `-1.0`.
+pub type Label = f32;

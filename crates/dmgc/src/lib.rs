@@ -1,0 +1,49 @@
+//! The **DMGC model**: a taxonomy and performance model for low-precision SGD.
+//!
+//! The DMGC model (paper §3) observes that the real numbers used by a
+//! parallel SGD algorithm fall into four classes, each stored and used
+//! differently, so lowering their precision has different effects:
+//!
+//! * **D**ataset numbers — the immutable input examples, streamed from DRAM;
+//! * **M**odel numbers — the mutable parameter vector, living in cache;
+//! * **G**radient numbers — transient intermediates of the update step;
+//! * **C**ommunication numbers — values exchanged between workers (implicit
+//!   via cache coherence in Hogwild!-style algorithms).
+//!
+//! A [`Signature`] records the precision of each class (e.g. `D8i8M16`,
+//! `D32fi32M32f`, `G10`, `Cs1`), giving a compact, unambiguous name for any
+//! implementation — the paper's Table 1 classifies prior systems this way
+//! (see [`taxonomy`]).
+//!
+//! The signature also *predicts* performance (paper §4): throughput follows
+//! Amdahl's law `T(t) = T1 · t / (1 + (1 − p)(t − 1))` where the base
+//! throughput `T1` depends only on the signature and the parallelizable
+//! fraction `p` depends only on the model size. [`PerfModel`] implements
+//! this roofline-like model with the paper's measured Table 2 base
+//! throughputs built in and support for recalibration on new hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use buckwild_dmgc::{PerfModel, Signature};
+//!
+//! let sig: Signature = "D8i8M8".parse()?;
+//! assert!(sig.is_sparse());
+//! assert_eq!(sig.dataset_bits(), 8);
+//!
+//! let model = PerfModel::paper_xeon();
+//! let t1 = model.base_throughput(&sig).unwrap();
+//! let t18 = model.predict(&sig, 1 << 20, 18).unwrap();
+//! assert!(t18 > t1); // parallelism helps on large models
+//! # Ok::<(), buckwild_dmgc::ParseSignatureError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod perf;
+mod signature;
+pub mod taxonomy;
+
+pub use perf::{AmdahlParams, CalibrationTable, PerfModel, PredictError, PAPER_TABLE2};
+pub use signature::{NumberClass, NumberFormat, ParseSignatureError, Signature, SyncMode};

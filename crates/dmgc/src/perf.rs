@@ -1,0 +1,551 @@
+//! The DMGC performance model (paper §4).
+//!
+//! Throughput is measured in **GNPS** (giga-numbers-per-second): the rate at
+//! which dataset numbers are consumed. The model has three ingredients:
+//!
+//! 1. **Amdahl's law** across threads:
+//!    `T(t) = T1 · t / (1 + (1 − p)(t − 1))` (paper Eq. (2));
+//! 2. the **base throughput** `T1`, a function of the DMGC signature only
+//!    (paper Table 2); and
+//! 3. the **parallelizable fraction** `p`, a function of the model size only
+//!    (paper Eq. (3)): a fixed bandwidth term minus a communication term
+//!    that grows as the model shrinks (smaller models make cache-line
+//!    invalidations more frequent per line).
+//!
+//! The paper's Eq. (3) constants were fit to a Xeon E7-8890 v3; this module
+//! ships those fitted defaults ([`AmdahlParams::paper_xeon`]) and supports
+//! refitting on new hardware ([`AmdahlParams::fit`],
+//! [`CalibrationTable::record`]).
+
+use std::collections::HashMap;
+
+use crate::Signature;
+
+/// Paper Table 2: measured base (single-thread) throughputs in GNPS on the
+/// Xeon E7-8890 v3, `(signature, dense T1, sparse T1)`.
+///
+/// The signature strings use the dense form; the sparse measurement is for
+/// the same value precisions with the bracketed index precision from the
+/// paper's table (equal to the dataset precision).
+pub const PAPER_TABLE2: [(&str, f64, f64); 9] = [
+    ("D32fM8", 0.203, 0.103),
+    ("D32fM16", 0.208, 0.080),
+    ("D32fM32f", 0.936, 0.101),
+    ("D8M32f", 0.999, 0.089),
+    ("D16M32f", 1.183, 0.089),
+    ("D16M16", 1.739, 0.106),
+    ("D8M16", 2.238, 0.105),
+    ("D16M8", 2.526, 0.172),
+    ("D8M8", 3.339, 0.166),
+];
+
+/// Parameters of the Amdahl-style thread-scaling model.
+///
+/// The parallelizable fraction is
+/// `p(n) = p_bw · n / (n + n_comm)`,
+/// which realizes Eq. (3)'s two terms: `p_bw` is the model-size-independent
+/// bandwidth bound, and the hyperbolic factor is the communication bound
+/// that suppresses `p` for small models (updates to a small model land on
+/// few cache lines, so each line is invalidated more frequently).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmdahlParams {
+    /// Asymptotic parallelizable fraction for large (bandwidth-bound) models.
+    pub p_bandwidth: f64,
+    /// Model size at which communication costs halve the parallel fraction.
+    pub n_comm: f64,
+}
+
+impl AmdahlParams {
+    /// The constants fitted to the paper's Xeon E7-8890 v3 measurements.
+    ///
+    /// With these values, an 18-thread run on a `2^20`-element model
+    /// achieves ~13x scaling while a `2^8`-element model achieves barely
+    /// ~1.5x — matching the near-order-of-magnitude gap in Figure 3.
+    #[must_use]
+    pub fn paper_xeon() -> Self {
+        AmdahlParams {
+            p_bandwidth: 0.97,
+            n_comm: 3000.0,
+        }
+    }
+
+    /// The parallelizable fraction for a model of `n` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn parallel_fraction(&self, n: usize) -> f64 {
+        assert!(n > 0, "model size must be positive");
+        self.p_bandwidth * n as f64 / (n as f64 + self.n_comm)
+    }
+
+    /// Amdahl speedup over one thread: `t / (1 + (1 − p)(t − 1))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `n == 0`.
+    #[must_use]
+    pub fn speedup(&self, n: usize, threads: usize) -> f64 {
+        assert!(threads > 0, "thread count must be positive");
+        let p = self.parallel_fraction(n);
+        threads as f64 / (1.0 + (1.0 - p) * (threads as f64 - 1.0))
+    }
+
+    /// Least-squares fit of `(p_bandwidth, n_comm)` from observed speedups.
+    ///
+    /// `observations` are `(model_size, threads, speedup)` triples with
+    /// `threads >= 2`. Uses a coarse-to-fine grid search — the model has
+    /// only two parameters and a smooth loss, so this is robust and fast.
+    ///
+    /// Returns `None` if there are no usable observations.
+    #[must_use]
+    pub fn fit(observations: &[(usize, usize, f64)]) -> Option<Self> {
+        let usable: Vec<_> = observations
+            .iter()
+            .filter(|(n, t, s)| *n > 0 && *t >= 2 && *s > 0.0)
+            .collect();
+        if usable.is_empty() {
+            return None;
+        }
+        let loss = |params: &AmdahlParams| -> f64 {
+            usable
+                .iter()
+                .map(|(n, t, s)| {
+                    let predicted = params.speedup(*n, *t);
+                    let e = (predicted.ln() - s.ln()).powi(2);
+                    e
+                })
+                .sum::<f64>()
+        };
+        let mut best = AmdahlParams::paper_xeon();
+        let mut best_loss = loss(&best);
+        // Coarse-to-fine search over p in (0.5, 0.999), n_comm in [1, 1e6].
+        let mut p_lo = 0.5;
+        let mut p_hi = 0.999;
+        let mut c_lo = 1.0f64;
+        let mut c_hi = 1.0e6f64;
+        for _refine in 0..4 {
+            let mut round_best = best;
+            let mut round_loss = best_loss;
+            for pi in 0..=20 {
+                let p = p_lo + (p_hi - p_lo) * pi as f64 / 20.0;
+                for ci in 0..=20 {
+                    let c = c_lo * (c_hi / c_lo).powf(ci as f64 / 20.0);
+                    let cand = AmdahlParams {
+                        p_bandwidth: p,
+                        n_comm: c,
+                    };
+                    let l = loss(&cand);
+                    if l < round_loss {
+                        round_loss = l;
+                        round_best = cand;
+                    }
+                }
+            }
+            best = round_best;
+            best_loss = round_loss;
+            // Shrink the search box around the incumbent.
+            let p_span = (p_hi - p_lo) / 4.0;
+            p_lo = (best.p_bandwidth - p_span).max(0.5);
+            p_hi = (best.p_bandwidth + p_span).min(0.999);
+            let c_ratio = (c_hi / c_lo).powf(0.25);
+            c_lo = (best.n_comm / c_ratio).max(1.0);
+            c_hi = (best.n_comm * c_ratio).min(1.0e6);
+        }
+        Some(best)
+    }
+}
+
+impl Default for AmdahlParams {
+    fn default() -> Self {
+        AmdahlParams::paper_xeon()
+    }
+}
+
+/// A table of measured base throughputs `T1` keyed by DMGC signature.
+///
+/// The paper's property (2): `T1` is *solely* a function of the signature,
+/// so one single-thread measurement per signature predicts every
+/// (model size, thread count) combination.
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationTable {
+    entries: HashMap<String, f64>,
+}
+
+impl CalibrationTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        CalibrationTable::default()
+    }
+
+    /// The paper's Table 2 dense measurements.
+    #[must_use]
+    pub fn paper_dense() -> Self {
+        let mut table = CalibrationTable::new();
+        for (sig, dense, _) in PAPER_TABLE2 {
+            table.record(&sig.parse::<Signature>().expect("table sig"), dense);
+        }
+        table
+    }
+
+    /// The paper's Table 2 sparse measurements (index precision equal to
+    /// the dataset precision, per the bracketed `[i]` convention).
+    #[must_use]
+    pub fn paper_sparse() -> Self {
+        let mut table = CalibrationTable::new();
+        for (sig, _, sparse) in PAPER_TABLE2 {
+            let dense: Signature = sig.parse().expect("table sig");
+            let sparse_sig = dense.to_sparse(dense.dataset_bits());
+            table.record(&sparse_sig, sparse);
+        }
+        table
+    }
+
+    /// Records (or overwrites) a measurement for `signature`.
+    pub fn record(&mut self, signature: &Signature, gnps: f64) {
+        self.entries.insert(signature.to_string(), gnps);
+    }
+
+    /// Looks up the base throughput for `signature`.
+    #[must_use]
+    pub fn get(&self, signature: &Signature) -> Option<f64> {
+        self.entries.get(&signature.to_string()).copied()
+    }
+
+    /// Number of recorded signatures.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no measurements are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(signature string, GNPS)` entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+/// Error from [`PerfModel::predict`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// No base-throughput calibration exists for the signature.
+    Uncalibrated(String),
+    /// Model size or thread count was zero.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::Uncalibrated(sig) => {
+                write!(f, "no base throughput calibrated for signature {sig}")
+            }
+            PredictError::InvalidParameter(what) => write!(f, "{what} must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// The full DMGC performance model: a calibration table plus Amdahl
+/// parameters.
+///
+/// # Example
+///
+/// ```
+/// use buckwild_dmgc::{PerfModel, Signature};
+///
+/// let model = PerfModel::paper_xeon();
+/// let d8m8: Signature = "D8M8".parse().unwrap();
+/// let full = Signature::dense_hogwild();
+/// // Low precision wins by roughly the bit ratio (linear speedup).
+/// let ratio = model.base_throughput(&d8m8).unwrap()
+///     / model.base_throughput(&full).unwrap();
+/// assert!(ratio > 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    dense: CalibrationTable,
+    sparse: CalibrationTable,
+    amdahl: AmdahlParams,
+}
+
+impl PerfModel {
+    /// A model with empty calibration tables and the given Amdahl params.
+    #[must_use]
+    pub fn new(amdahl: AmdahlParams) -> Self {
+        PerfModel {
+            dense: CalibrationTable::new(),
+            sparse: CalibrationTable::new(),
+            amdahl,
+        }
+    }
+
+    /// The model calibrated with the paper's Xeon measurements (Table 2 and
+    /// the Eq. (3) fit).
+    #[must_use]
+    pub fn paper_xeon() -> Self {
+        PerfModel {
+            dense: CalibrationTable::paper_dense(),
+            sparse: CalibrationTable::paper_sparse(),
+            amdahl: AmdahlParams::paper_xeon(),
+        }
+    }
+
+    /// The Amdahl parameters in use.
+    #[must_use]
+    pub fn amdahl(&self) -> &AmdahlParams {
+        &self.amdahl
+    }
+
+    /// Replaces the Amdahl parameters (e.g. after [`AmdahlParams::fit`]).
+    pub fn set_amdahl(&mut self, params: AmdahlParams) {
+        self.amdahl = params;
+    }
+
+    /// Records a measured base throughput for `signature`.
+    pub fn calibrate(&mut self, signature: &Signature, gnps: f64) {
+        if signature.is_sparse() {
+            self.sparse.record(signature, gnps);
+        } else {
+            self.dense.record(signature, gnps);
+        }
+    }
+
+    /// The calibrated base throughput `T1` for `signature`, if known.
+    #[must_use]
+    pub fn base_throughput(&self, signature: &Signature) -> Option<f64> {
+        if signature.is_sparse() {
+            self.sparse.get(signature)
+        } else {
+            self.dense.get(signature)
+        }
+    }
+
+    /// Predicts throughput (GNPS) for `signature` on a model of `n`
+    /// parameters with `threads` workers (paper Eq. (2)).
+    ///
+    /// # Errors
+    ///
+    /// [`PredictError::Uncalibrated`] if no `T1` is recorded for the
+    /// signature; [`PredictError::InvalidParameter`] if `n` or `threads`
+    /// is zero.
+    pub fn predict(
+        &self,
+        signature: &Signature,
+        n: usize,
+        threads: usize,
+    ) -> Result<f64, PredictError> {
+        if n == 0 {
+            return Err(PredictError::InvalidParameter("model size"));
+        }
+        if threads == 0 {
+            return Err(PredictError::InvalidParameter("thread count"));
+        }
+        let t1 = self
+            .base_throughput(signature)
+            .ok_or_else(|| PredictError::Uncalibrated(signature.to_string()))?;
+        Ok(t1 * self.amdahl.speedup(n, threads))
+    }
+
+    /// The best-case "linear speedup" bound of §4: throughput inversely
+    /// proportional to dataset precision, anchored at the full-precision
+    /// signature's base throughput.
+    ///
+    /// Returns `None` if the full-precision anchor is uncalibrated.
+    #[must_use]
+    pub fn linear_speedup_bound(&self, signature: &Signature) -> Option<f64> {
+        let anchor_sig = if signature.is_sparse() {
+            Signature::sparse_hogwild()
+        } else {
+            Signature::dense_hogwild()
+        };
+        let anchor = self.base_throughput(&anchor_sig)?;
+        Some(anchor * 32.0 / signature.dataset_bits() as f64)
+    }
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        PerfModel::paper_xeon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(s: &str) -> Signature {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn paper_table_loads_both_variants() {
+        let model = PerfModel::paper_xeon();
+        assert_eq!(model.base_throughput(&sig("D8M8")), Some(3.339));
+        assert_eq!(model.base_throughput(&sig("D8i8M8")), Some(0.166));
+        assert_eq!(model.base_throughput(&sig("D32fM32f")), Some(0.936));
+        assert_eq!(model.base_throughput(&sig("D32fi32M32f")), Some(0.101));
+    }
+
+    #[test]
+    fn d8m8_is_fastest_dense_signature() {
+        let model = PerfModel::paper_xeon();
+        let best = model.base_throughput(&sig("D8M8")).unwrap();
+        for (s, _, _) in PAPER_TABLE2 {
+            if s != "D8M8" {
+                assert!(model.base_throughput(&sig(s)).unwrap() < best, "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_d8i8m8_is_fastest_sparse_signature() {
+        // Paper §4: "D8i8M8 Buckwild! is still the fastest scheme" — with
+        // D16i16M8 a close second (0.172 vs 0.166, within noise; the
+        // paper's claim is about the 8-bit family).
+        let model = PerfModel::paper_xeon();
+        let d8 = model.base_throughput(&sig("D8i8M8")).unwrap();
+        assert!(d8 > model.base_throughput(&sig("D32fi32M32f")).unwrap());
+        assert!(d8 > model.base_throughput(&sig("D8i8M16")).unwrap());
+    }
+
+    #[test]
+    fn parallel_fraction_grows_with_model_size() {
+        let params = AmdahlParams::paper_xeon();
+        let small = params.parallel_fraction(1 << 8);
+        let large = params.parallel_fraction(1 << 20);
+        assert!(small < 0.3, "small-model p = {small}");
+        assert!(large > 0.9, "large-model p = {large}");
+    }
+
+    #[test]
+    fn speedup_monotone_in_threads_for_large_models() {
+        let params = AmdahlParams::paper_xeon();
+        let mut last = 0.0;
+        for t in 1..=18 {
+            let s = params.speedup(1 << 20, t);
+            assert!(s > last, "t={t}");
+            last = s;
+        }
+        assert!(last > 10.0, "18-thread speedup {last}");
+    }
+
+    #[test]
+    fn small_models_barely_scale() {
+        let params = AmdahlParams::paper_xeon();
+        assert!(params.speedup(1 << 8, 18) < 2.5);
+    }
+
+    #[test]
+    fn single_thread_speedup_is_one() {
+        let params = AmdahlParams::paper_xeon();
+        for n in [1usize, 256, 1 << 20] {
+            assert!((params.speedup(n, 1) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn predict_combines_t1_and_amdahl() {
+        let model = PerfModel::paper_xeon();
+        let s = sig("D8M8");
+        let t1 = model.base_throughput(&s).unwrap();
+        let predicted = model.predict(&s, 1 << 20, 18).unwrap();
+        let speedup = model.amdahl().speedup(1 << 20, 18);
+        assert!((predicted - t1 * speedup).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_errors() {
+        let model = PerfModel::paper_xeon();
+        assert!(matches!(
+            model.predict(&sig("D8M8"), 0, 4),
+            Err(PredictError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            model.predict(&sig("D8M8"), 128, 0),
+            Err(PredictError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            model.predict(&sig("D4M4"), 128, 4),
+            Err(PredictError::Uncalibrated(_))
+        ));
+    }
+
+    #[test]
+    fn fit_recovers_known_parameters() {
+        let truth = AmdahlParams {
+            p_bandwidth: 0.93,
+            n_comm: 1500.0,
+        };
+        let mut obs = Vec::new();
+        for &n in &[1usize << 8, 1 << 12, 1 << 16, 1 << 20] {
+            for &t in &[2usize, 4, 9, 18] {
+                obs.push((n, t, truth.speedup(n, t)));
+            }
+        }
+        let fitted = AmdahlParams::fit(&obs).unwrap();
+        assert!(
+            (fitted.p_bandwidth - truth.p_bandwidth).abs() < 0.02,
+            "p fitted {} truth {}",
+            fitted.p_bandwidth,
+            truth.p_bandwidth
+        );
+        assert!(
+            (fitted.n_comm / truth.n_comm).ln().abs() < 0.5,
+            "n_comm fitted {} truth {}",
+            fitted.n_comm,
+            truth.n_comm
+        );
+    }
+
+    #[test]
+    fn fit_rejects_empty() {
+        assert!(AmdahlParams::fit(&[]).is_none());
+        assert!(AmdahlParams::fit(&[(0, 4, 2.0), (128, 1, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn calibrate_and_lookup() {
+        let mut model = PerfModel::new(AmdahlParams::paper_xeon());
+        assert!(model.base_throughput(&sig("D8M8")).is_none());
+        model.calibrate(&sig("D8M8"), 1.5);
+        model.calibrate(&sig("D8i8M8"), 0.1);
+        assert_eq!(model.base_throughput(&sig("D8M8")), Some(1.5));
+        assert_eq!(model.base_throughput(&sig("D8i8M8")), Some(0.1));
+    }
+
+    #[test]
+    fn linear_speedup_bound_scales_with_bits() {
+        let model = PerfModel::paper_xeon();
+        let b8 = model.linear_speedup_bound(&sig("D8M8")).unwrap();
+        let b16 = model.linear_speedup_bound(&sig("D16M16")).unwrap();
+        assert!((b8 / b16 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_dense_achieves_near_linear_speedup() {
+        // §4: "linear speedup is achieved for dense Buckwild!" — D8M8 should
+        // reach at least 85% of the 4x bound over D32fM32f.
+        let model = PerfModel::paper_xeon();
+        let measured = model.base_throughput(&sig("D8M8")).unwrap();
+        let bound = model.linear_speedup_bound(&sig("D8M8")).unwrap();
+        assert!(measured > 0.85 * bound, "measured {measured} bound {bound}");
+    }
+
+    #[test]
+    fn calibration_table_iteration() {
+        let table = CalibrationTable::paper_dense();
+        assert_eq!(table.len(), 9);
+        assert!(!table.is_empty());
+        let total: f64 = table.iter().map(|(_, v)| v).sum();
+        assert!(total > 10.0);
+    }
+}

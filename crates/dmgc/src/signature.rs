@@ -1,0 +1,614 @@
+//! DMGC signatures: parsing, formatting, and structural queries.
+
+use core::fmt;
+use std::str::FromStr;
+
+/// One of the four DMGC number classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumberClass {
+    /// Input examples (`x_i`), streamed from DRAM.
+    Dataset,
+    /// The parameter vector `w`, mutable, cache-resident.
+    Model,
+    /// Transient intermediates of the gradient computation.
+    Gradient,
+    /// Values exchanged between workers.
+    Communication,
+}
+
+impl NumberClass {
+    /// All classes in D-M-G-C order.
+    pub const ALL: [NumberClass; 4] = [
+        NumberClass::Dataset,
+        NumberClass::Model,
+        NumberClass::Gradient,
+        NumberClass::Communication,
+    ];
+
+    /// The signature letter for this class.
+    #[must_use]
+    pub fn letter(self) -> char {
+        match self {
+            NumberClass::Dataset => 'D',
+            NumberClass::Model => 'M',
+            NumberClass::Gradient => 'G',
+            NumberClass::Communication => 'C',
+        }
+    }
+}
+
+impl fmt::Display for NumberClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            NumberClass::Dataset => "dataset",
+            NumberClass::Model => "model",
+            NumberClass::Gradient => "gradient",
+            NumberClass::Communication => "communication",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The numeric format of one class of numbers: bit width plus whether the
+/// values are IEEE floating point (`f` suffix in a signature) or fixed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NumberFormat {
+    bits: u32,
+    float: bool,
+}
+
+impl NumberFormat {
+    /// Full-precision 32-bit float (`32f`).
+    pub const F32: NumberFormat = NumberFormat { bits: 32, float: true };
+
+    /// Creates a fixed-point format of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 64`.
+    #[must_use]
+    pub fn fixed(bits: u32) -> Self {
+        assert!((1..=64).contains(&bits), "bits must be 1..=64, got {bits}");
+        NumberFormat { bits, float: false }
+    }
+
+    /// Creates a floating-point format of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bits` is 16, 32, or 64.
+    #[must_use]
+    pub fn float(bits: u32) -> Self {
+        assert!(
+            matches!(bits, 16 | 32 | 64),
+            "float width must be 16/32/64, got {bits}"
+        );
+        NumberFormat { bits, float: true }
+    }
+
+    /// Bit width.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// True for IEEE floating point, false for fixed point.
+    #[must_use]
+    pub fn is_float(&self) -> bool {
+        self.float
+    }
+
+    /// Storage bytes per value (bits rounded up to a whole byte; 4-bit
+    /// values pack two per byte so report 1 byte per 2 values as 0.5).
+    #[must_use]
+    pub fn bytes(&self) -> f64 {
+        self.bits as f64 / 8.0
+    }
+}
+
+impl fmt::Display for NumberFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.bits, if self.float { "f" } else { "" })
+    }
+}
+
+/// Whether inter-worker communication is synchronous (`s` subscript) or
+/// asynchronous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SyncMode {
+    /// Lock-free / Hogwild!-style.
+    #[default]
+    Asynchronous,
+    /// Explicit synchronization between workers (`Cs` in a signature).
+    Synchronous,
+}
+
+/// A DMGC signature: the precision of each number class in one SGD
+/// implementation (paper §3, "DMGC signatures").
+///
+/// Omitted terms follow the paper's conventions:
+/// * a missing `D`/`M`/`G` means full-precision (`32f`) values — no fidelity
+///   is lost in that class;
+/// * a missing `C` means communication is implicit through the cache
+///   hierarchy (Hogwild!-style), carrying model precision;
+/// * the `i` term is present only for sparse problems and gives the index
+///   precision.
+///
+/// # Examples
+///
+/// ```
+/// use buckwild_dmgc::Signature;
+///
+/// let dense = Signature::dense_fixed(8, 8);
+/// assert_eq!(dense.to_string(), "D8M8");
+///
+/// let hogwild: Signature = "D32fi32M32f".parse()?;
+/// assert!(hogwild.is_sparse());
+/// assert!(hogwild.dataset().is_float());
+/// # Ok::<(), buckwild_dmgc::ParseSignatureError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    dataset: Option<NumberFormat>,
+    index: Option<u32>,
+    model: Option<NumberFormat>,
+    gradient: Option<NumberFormat>,
+    comm: Option<(NumberFormat, SyncMode)>,
+}
+
+impl Signature {
+    /// The empty signature: everything full precision, dense, implicit
+    /// communication. Written `32f` by convention when displayed.
+    #[must_use]
+    pub fn full_precision() -> Self {
+        Signature {
+            dataset: None,
+            index: None,
+            model: None,
+            gradient: None,
+            comm: None,
+        }
+    }
+
+    /// A dense fixed-point Buckwild! signature `D{d}M{m}`.
+    #[must_use]
+    pub fn dense_fixed(dataset_bits: u32, model_bits: u32) -> Self {
+        Signature {
+            dataset: Some(NumberFormat::fixed(dataset_bits)),
+            index: None,
+            model: Some(NumberFormat::fixed(model_bits)),
+            gradient: None,
+            comm: None,
+        }
+    }
+
+    /// A sparse fixed-point Buckwild! signature `D{d}i{i}M{m}`.
+    #[must_use]
+    pub fn sparse_fixed(dataset_bits: u32, index_bits: u32, model_bits: u32) -> Self {
+        Signature {
+            dataset: Some(NumberFormat::fixed(dataset_bits)),
+            index: Some(index_bits),
+            model: Some(NumberFormat::fixed(model_bits)),
+            gradient: None,
+            comm: None,
+        }
+    }
+
+    /// Standard dense Hogwild!: `D32fM32f`.
+    #[must_use]
+    pub fn dense_hogwild() -> Self {
+        Signature {
+            dataset: Some(NumberFormat::F32),
+            index: None,
+            model: Some(NumberFormat::F32),
+            gradient: None,
+            comm: None,
+        }
+    }
+
+    /// Standard sparse Hogwild!: `D32fi32M32f`.
+    #[must_use]
+    pub fn sparse_hogwild() -> Self {
+        Signature {
+            dataset: Some(NumberFormat::F32),
+            index: Some(32),
+            model: Some(NumberFormat::F32),
+            gradient: None,
+            comm: None,
+        }
+    }
+
+    /// Builder: sets the dataset format.
+    #[must_use]
+    pub fn with_dataset(mut self, format: NumberFormat) -> Self {
+        self.dataset = Some(format);
+        self
+    }
+
+    /// Builder: sets the sparse index precision.
+    #[must_use]
+    pub fn with_index(mut self, bits: u32) -> Self {
+        self.index = Some(bits);
+        self
+    }
+
+    /// Builder: sets the model format.
+    #[must_use]
+    pub fn with_model(mut self, format: NumberFormat) -> Self {
+        self.model = Some(format);
+        self
+    }
+
+    /// Builder: sets the gradient format.
+    #[must_use]
+    pub fn with_gradient(mut self, format: NumberFormat) -> Self {
+        self.gradient = Some(format);
+        self
+    }
+
+    /// Builder: sets explicit communication.
+    #[must_use]
+    pub fn with_comm(mut self, format: NumberFormat, sync: SyncMode) -> Self {
+        self.comm = Some((format, sync));
+        self
+    }
+
+    /// The dataset format (`32f` if the `D` term is omitted).
+    #[must_use]
+    pub fn dataset(&self) -> NumberFormat {
+        self.dataset.unwrap_or(NumberFormat::F32)
+    }
+
+    /// The model format (`32f` if the `M` term is omitted).
+    #[must_use]
+    pub fn model(&self) -> NumberFormat {
+        self.model.unwrap_or(NumberFormat::F32)
+    }
+
+    /// The gradient format (`32f` if the `G` term is omitted — no fidelity
+    /// lost in intermediates).
+    #[must_use]
+    pub fn gradient(&self) -> NumberFormat {
+        self.gradient.unwrap_or(NumberFormat::F32)
+    }
+
+    /// Explicit communication format and mode, or `None` for implicit
+    /// cache-coherence communication (in which case communication carries
+    /// model precision).
+    #[must_use]
+    pub fn comm(&self) -> Option<(NumberFormat, SyncMode)> {
+        self.comm
+    }
+
+    /// The effective precision of inter-worker communication: the explicit
+    /// `C` term if present, else the model precision (paper §3,
+    /// "Communication numbers").
+    #[must_use]
+    pub fn effective_comm(&self) -> NumberFormat {
+        self.comm.map_or_else(|| self.model(), |(f, _)| f)
+    }
+
+    /// Dataset precision in bits (shorthand).
+    #[must_use]
+    pub fn dataset_bits(&self) -> u32 {
+        self.dataset().bits()
+    }
+
+    /// Model precision in bits (shorthand).
+    #[must_use]
+    pub fn model_bits(&self) -> u32 {
+        self.model().bits()
+    }
+
+    /// Sparse index precision in bits, if this is a sparse signature.
+    #[must_use]
+    pub fn index_bits(&self) -> Option<u32> {
+        self.index
+    }
+
+    /// True if the signature describes a sparse problem (has an `i` term).
+    #[must_use]
+    pub fn is_sparse(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// True if every class is full precision (plain Hogwild! or sequential
+    /// SGD).
+    #[must_use]
+    pub fn is_full_precision(&self) -> bool {
+        self.dataset() == NumberFormat::F32
+            && self.model() == NumberFormat::F32
+            && self.gradient() == NumberFormat::F32
+    }
+
+    /// Bytes of dataset storage read per processed dataset number, including
+    /// the index stream for sparse problems. This is the traffic term of the
+    /// roofline bandwidth bound.
+    #[must_use]
+    pub fn dataset_bytes_per_number(&self) -> f64 {
+        let value = self.dataset().bytes();
+        let index = self.index.map_or(0.0, |bits| bits as f64 / 8.0);
+        value + index
+    }
+
+    /// The dense counterpart of this signature (drops the `i` term).
+    #[must_use]
+    pub fn to_dense(mut self) -> Self {
+        self.index = None;
+        self
+    }
+
+    /// The sparse counterpart with the given index precision.
+    #[must_use]
+    pub fn to_sparse(mut self, index_bits: u32) -> Self {
+        self.index = Some(index_bits);
+        self
+    }
+}
+
+impl Default for Signature {
+    fn default() -> Self {
+        Signature::full_precision()
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        if let Some(d) = self.dataset {
+            write!(f, "D{d}")?;
+            wrote = true;
+        }
+        if let Some(i) = self.index {
+            write!(f, "i{i}")?;
+            wrote = true;
+        }
+        if let Some(m) = self.model {
+            write!(f, "M{m}")?;
+            wrote = true;
+        }
+        if let Some(g) = self.gradient {
+            write!(f, "G{g}")?;
+            wrote = true;
+        }
+        if let Some((c, sync)) = self.comm {
+            let s = match sync {
+                SyncMode::Synchronous => "s",
+                SyncMode::Asynchronous => "",
+            };
+            write!(f, "C{s}{c}")?;
+            wrote = true;
+        }
+        if !wrote {
+            f.write_str("32f")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error produced when parsing a malformed DMGC signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSignatureError {
+    input: String,
+    reason: &'static str,
+}
+
+impl ParseSignatureError {
+    fn new(input: &str, reason: &'static str) -> Self {
+        ParseSignatureError {
+            input: input.to_owned(),
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for ParseSignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DMGC signature `{}`: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for ParseSignatureError {}
+
+impl FromStr for Signature {
+    type Err = ParseSignatureError;
+
+    /// Parses signatures like `D8M8`, `D32fi32M32f`, `G10`, `Cs1`,
+    /// `D8M16G32C32`. The special form `32f` parses as the empty
+    /// (full-precision) signature.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "32f" {
+            return Ok(Signature::full_precision());
+        }
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let mut sig = Signature::full_precision();
+        let mut last_class_rank = 0u8; // enforce D < i < M < G < C ordering
+
+        let parse_number = |bytes: &[u8], mut at: usize| -> Option<(u32, bool, usize)> {
+            let start = at;
+            while at < bytes.len() && bytes[at].is_ascii_digit() {
+                at += 1;
+            }
+            if at == start {
+                return None;
+            }
+            let bits: u32 = std::str::from_utf8(&bytes[start..at]).ok()?.parse().ok()?;
+            let float = at < bytes.len() && bytes[at] == b'f';
+            if float {
+                at += 1;
+            }
+            Some((bits, float, at))
+        };
+
+        while pos < bytes.len() {
+            let (rank, letter) = match bytes[pos] {
+                b'D' => (1u8, 'D'),
+                b'i' => (2, 'i'),
+                b'M' => (3, 'M'),
+                b'G' => (4, 'G'),
+                b'C' => (5, 'C'),
+                _ => return Err(ParseSignatureError::new(s, "unexpected character")),
+            };
+            if rank <= last_class_rank {
+                return Err(ParseSignatureError::new(s, "terms out of order or repeated"));
+            }
+            last_class_rank = rank;
+            pos += 1;
+
+            let mut sync = SyncMode::Asynchronous;
+            if letter == 'C' && pos < bytes.len() && bytes[pos] == b's' {
+                sync = SyncMode::Synchronous;
+                pos += 1;
+            }
+
+            let Some((bits, float, next)) = parse_number(bytes, pos) else {
+                return Err(ParseSignatureError::new(s, "expected a bit width"));
+            };
+            pos = next;
+            if bits == 0 || bits > 64 {
+                return Err(ParseSignatureError::new(s, "bit width out of range"));
+            }
+            if float && !matches!(bits, 16 | 32 | 64) {
+                return Err(ParseSignatureError::new(s, "float width must be 16/32/64"));
+            }
+            let format = if float {
+                NumberFormat::float(bits)
+            } else {
+                NumberFormat::fixed(bits)
+            };
+            match letter {
+                'D' => sig.dataset = Some(format),
+                'i' => {
+                    if float {
+                        return Err(ParseSignatureError::new(s, "index precision cannot be float"));
+                    }
+                    sig.index = Some(bits);
+                }
+                'M' => sig.model = Some(format),
+                'G' => sig.gradient = Some(format),
+                'C' => sig.comm = Some((format, sync)),
+                _ => unreachable!(),
+            }
+        }
+        if sig.index.is_some() && sig.dataset.is_none() {
+            return Err(ParseSignatureError::new(s, "index term requires a dataset term"));
+        }
+        Ok(sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dense_buckwild() {
+        assert_eq!(Signature::dense_fixed(8, 8).to_string(), "D8M8");
+        assert_eq!(Signature::dense_fixed(8, 16).to_string(), "D8M16");
+    }
+
+    #[test]
+    fn display_sparse_hogwild() {
+        assert_eq!(Signature::sparse_hogwild().to_string(), "D32fi32M32f");
+    }
+
+    #[test]
+    fn display_full_precision_is_32f() {
+        assert_eq!(Signature::full_precision().to_string(), "32f");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for text in [
+            "D8M8",
+            "D8i8M8",
+            "D16i16M8",
+            "D32fi32M32f",
+            "G10",
+            "Cs1",
+            "D8M16G32C32",
+            "D8M16",
+            "32f",
+            "D4M4",
+            "G18",
+        ] {
+            let sig: Signature = text.parse().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(sig.to_string(), text, "round trip of {text}");
+        }
+    }
+
+    #[test]
+    fn parse_seide_signature() {
+        // Seide et al.: 1-bit gradients communicated synchronously.
+        let sig: Signature = "Cs1".parse().unwrap();
+        let (format, sync) = sig.comm().unwrap();
+        assert_eq!(format.bits(), 1);
+        assert_eq!(sync, SyncMode::Synchronous);
+        assert!(sig.dataset().is_float());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["D", "Dx8", "M8D8", "D8D8", "i8M8", "Df8", "D8if8M8", "D99fM8", "z"] {
+            assert!(bad.parse::<Signature>().is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn omitted_terms_default_to_full_precision() {
+        let sig: Signature = "G10".parse().unwrap();
+        assert_eq!(sig.dataset(), NumberFormat::F32);
+        assert_eq!(sig.model(), NumberFormat::F32);
+        assert_eq!(sig.gradient().bits(), 10);
+        assert!(sig.comm().is_none());
+    }
+
+    #[test]
+    fn effective_comm_follows_model_when_implicit() {
+        let sig = Signature::dense_fixed(8, 16);
+        assert_eq!(sig.effective_comm().bits(), 16);
+        let explicit: Signature = "D8M16C32".parse().unwrap();
+        assert_eq!(explicit.effective_comm().bits(), 32);
+    }
+
+    #[test]
+    fn dataset_bytes_include_index_stream() {
+        let dense = Signature::dense_fixed(8, 8);
+        assert_eq!(dense.dataset_bytes_per_number(), 1.0);
+        let sparse = Signature::sparse_fixed(8, 8, 8);
+        assert_eq!(sparse.dataset_bytes_per_number(), 2.0);
+        let hog = Signature::sparse_hogwild();
+        assert_eq!(hog.dataset_bytes_per_number(), 8.0);
+    }
+
+    #[test]
+    fn dense_sparse_conversions() {
+        let dense = Signature::dense_fixed(8, 8);
+        let sparse = dense.to_sparse(8);
+        assert!(sparse.is_sparse());
+        assert_eq!(sparse.to_dense(), dense);
+    }
+
+    #[test]
+    fn is_full_precision_detects_hogwild() {
+        assert!(Signature::dense_hogwild().is_full_precision());
+        assert!(!Signature::dense_fixed(8, 8).is_full_precision());
+        assert!(!"G10".parse::<Signature>().unwrap().is_full_precision());
+    }
+
+    #[test]
+    fn class_letters() {
+        assert_eq!(NumberClass::Dataset.letter(), 'D');
+        assert_eq!(NumberClass::Model.letter(), 'M');
+        assert_eq!(NumberClass::Gradient.letter(), 'G');
+        assert_eq!(NumberClass::Communication.letter(), 'C');
+    }
+
+    #[test]
+    fn number_format_validation() {
+        assert!(std::panic::catch_unwind(|| NumberFormat::fixed(0)).is_err());
+        assert!(std::panic::catch_unwind(|| NumberFormat::float(10)).is_err());
+        assert_eq!(NumberFormat::fixed(4).bytes(), 0.5);
+    }
+}

@@ -1,0 +1,156 @@
+//! The paper's Table 1: DMGC classification of prior low-precision systems.
+//!
+//! One value of the DMGC model is as a *taxonomy*: it names precisely which
+//! numbers a published system quantizes, where paper titles ("1-Bit SGD")
+//! are ambiguous. This module encodes Table 1 and the classification
+//! rationale given in §3.1.
+
+use crate::{ParseSignatureError, Signature};
+
+/// A prior system classified under the DMGC model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifiedSystem {
+    /// Citation-style name, e.g. `"Seide et al. [46]"`.
+    pub name: &'static str,
+    /// The DMGC signature text as it appears in Table 1.
+    pub signature_text: &'static str,
+    /// Why the system receives this signature (§3.1 reasoning).
+    pub rationale: &'static str,
+}
+
+impl ClassifiedSystem {
+    /// Parses the signature text into a structured [`Signature`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if the stored text is malformed (exercised
+    /// by tests; never happens for the built-in table).
+    pub fn signature(&self) -> Result<Signature, ParseSignatureError> {
+        self.signature_text.parse()
+    }
+}
+
+/// The paper's Table 1, in row order.
+pub const TABLE1: [ClassifiedSystem; 5] = [
+    ClassifiedSystem {
+        name: "Savich and Moussa [45], 18-bit",
+        signature_text: "G18",
+        rationale: "FPGA RBM study quantizing only the arithmetic \
+                    intermediates to 18-bit fixed point; dataset and model \
+                    remain full precision.",
+    },
+    ClassifiedSystem {
+        name: "Seide et al. [46]",
+        signature_text: "Cs1",
+        rationale: "\"1-bit SGD\" quantizes gradients to one bit per value \
+                    *for synchronous inter-worker communication only*; a \
+                    full-precision model, dataset, and carried quantization \
+                    error are kept, so only the C term is low precision, \
+                    with the s subscript for synchronous exchange.",
+    },
+    ClassifiedSystem {
+        name: "Courbariaux et al. [9], 10-bit",
+        signature_text: "G10",
+        rationale: "Low-precision multipliers with full-precision \
+                    accumulators: multiplier inputs/outputs are gradient \
+                    intermediates, so the signature is just G10.",
+    },
+    ClassifiedSystem {
+        name: "Gupta et al. [14]",
+        signature_text: "D8M16",
+        rationale: "Deep learning with limited numerical precision: 8-bit \
+                    inputs and a 16-bit model with stochastic rounding.",
+    },
+    ClassifiedSystem {
+        name: "De Sa et al. [11], 8-bit",
+        signature_text: "D8M8",
+        rationale: "The original Buckwild! configuration: 8-bit dataset and \
+                    model, implicit cache-coherence communication.",
+    },
+];
+
+/// Looks up a classified system by (case-insensitive) name substring.
+#[must_use]
+pub fn find(name_fragment: &str) -> Option<&'static ClassifiedSystem> {
+    let needle = name_fragment.to_ascii_lowercase();
+    TABLE1
+        .iter()
+        .find(|sys| sys.name.to_ascii_lowercase().contains(&needle))
+}
+
+/// Classifies an arbitrary signature qualitatively: which number classes
+/// are quantized below full precision.
+#[must_use]
+pub fn quantized_classes(signature: &Signature) -> Vec<crate::NumberClass> {
+    use crate::NumberClass;
+    let mut classes = Vec::new();
+    if !signature.dataset().is_float() || signature.dataset().bits() < 32 {
+        classes.push(NumberClass::Dataset);
+    }
+    if !signature.model().is_float() || signature.model().bits() < 32 {
+        classes.push(NumberClass::Model);
+    }
+    if !signature.gradient().is_float() || signature.gradient().bits() < 32 {
+        classes.push(NumberClass::Gradient);
+    }
+    if let Some((format, _)) = signature.comm() {
+        if !format.is_float() || format.bits() < 32 {
+            classes.push(NumberClass::Communication);
+        }
+    }
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NumberClass;
+
+    #[test]
+    fn all_table1_signatures_parse() {
+        for sys in &TABLE1 {
+            let sig = sys.signature().unwrap_or_else(|e| panic!("{}: {e}", sys.name));
+            assert_eq!(sig.to_string(), sys.signature_text, "{}", sys.name);
+        }
+    }
+
+    #[test]
+    fn seide_is_sync_one_bit_comm() {
+        let sig = find("Seide").unwrap().signature().unwrap();
+        let (format, sync) = sig.comm().unwrap();
+        assert_eq!(format.bits(), 1);
+        assert_eq!(sync, crate::SyncMode::Synchronous);
+        // Everything else stays full precision.
+        assert!(sig.dataset().is_float());
+        assert!(sig.model().is_float());
+        assert!(sig.gradient().is_float());
+    }
+
+    #[test]
+    fn gupta_quantizes_dataset_and_model() {
+        let sig = find("Gupta").unwrap().signature().unwrap();
+        assert_eq!(
+            quantized_classes(&sig),
+            vec![NumberClass::Dataset, NumberClass::Model]
+        );
+    }
+
+    #[test]
+    fn courbariaux_quantizes_only_gradients() {
+        let sig = find("Courbariaux").unwrap().signature().unwrap();
+        assert_eq!(quantized_classes(&sig), vec![NumberClass::Gradient]);
+    }
+
+    #[test]
+    fn find_is_case_insensitive_and_fails_cleanly() {
+        assert!(find("seide").is_some());
+        assert!(find("SAVICH").is_some());
+        assert!(find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn full_precision_has_no_quantized_classes() {
+        assert!(quantized_classes(&Signature::full_precision()).is_empty());
+        assert!(quantized_classes(&Signature::sparse_hogwild()).is_empty());
+    }
+}

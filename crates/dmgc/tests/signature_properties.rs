@@ -1,0 +1,109 @@
+//! Property tests for DMGC signatures and the performance model.
+
+use buckwild_dmgc::{AmdahlParams, NumberFormat, PerfModel, Signature, SyncMode};
+use proptest::prelude::*;
+
+fn arbitrary_format() -> impl Strategy<Value = NumberFormat> {
+    prop_oneof![
+        (1u32..=64).prop_map(NumberFormat::fixed),
+        prop_oneof![Just(16u32), Just(32), Just(64)].prop_map(NumberFormat::float),
+    ]
+}
+
+fn arbitrary_signature() -> impl Strategy<Value = Signature> {
+    (
+        proptest::option::of(arbitrary_format()),
+        proptest::option::of(1u32..=32),
+        proptest::option::of(arbitrary_format()),
+        proptest::option::of(arbitrary_format()),
+        proptest::option::of((arbitrary_format(), prop::bool::ANY)),
+    )
+        .prop_map(|(dataset, index, model, gradient, comm)| {
+            let mut sig = Signature::full_precision();
+            if let Some(d) = dataset {
+                sig = sig.with_dataset(d);
+                // The index term requires a dataset term.
+                if let Some(i) = index {
+                    sig = sig.with_index(i);
+                }
+            }
+            if let Some(m) = model {
+                sig = sig.with_model(m);
+            }
+            if let Some(g) = gradient {
+                sig = sig.with_gradient(g);
+            }
+            if let Some((c, sync)) = comm {
+                sig = sig.with_comm(
+                    c,
+                    if sync {
+                        SyncMode::Synchronous
+                    } else {
+                        SyncMode::Asynchronous
+                    },
+                );
+            }
+            sig
+        })
+}
+
+proptest! {
+    /// Display and parse are exact inverses for every constructible
+    /// signature.
+    #[test]
+    fn display_parse_round_trip(sig in arbitrary_signature()) {
+        let text = sig.to_string();
+        let parsed: Signature = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(parsed, sig);
+    }
+
+    /// Dataset bytes per number are always positive and include the index
+    /// stream exactly when sparse.
+    #[test]
+    fn dataset_bytes_consistent(sig in arbitrary_signature()) {
+        let dense = sig.to_dense();
+        let bytes = sig.dataset_bytes_per_number();
+        let dense_bytes = dense.dataset_bytes_per_number();
+        prop_assert!(bytes > 0.0);
+        if sig.is_sparse() {
+            prop_assert!(bytes > dense_bytes);
+        } else {
+            prop_assert_eq!(bytes, dense_bytes);
+        }
+    }
+
+    /// Amdahl speedup is bounded by the thread count and by the
+    /// p-determined asymptote, and is monotone in threads.
+    #[test]
+    fn amdahl_speedup_bounds(
+        n in 1usize..=(1 << 26),
+        threads in 1usize..=64,
+    ) {
+        let params = AmdahlParams::paper_xeon();
+        let s = params.speedup(n, threads);
+        prop_assert!(s >= 0.999, "speedup {s} below 1");
+        prop_assert!(s <= threads as f64 + 1e-9, "superlinear {s}");
+        if threads > 1 {
+            prop_assert!(s >= params.speedup(n, threads - 1) - 1e-9);
+        }
+        let p = params.parallel_fraction(n);
+        prop_assert!((0.0..1.0).contains(&p));
+        prop_assert!(s <= 1.0 / (1.0 - p) + 1e-6, "beyond asymptote");
+    }
+
+    /// Predictions scale linearly with the calibrated base throughput.
+    #[test]
+    fn prediction_scales_with_t1(
+        t1 in 0.01f64..10.0,
+        n in 1usize..=(1 << 24),
+        threads in 1usize..=32,
+    ) {
+        let sig: Signature = "D8M8".parse().expect("static");
+        let mut model = PerfModel::new(AmdahlParams::paper_xeon());
+        model.calibrate(&sig, t1);
+        let once = model.predict(&sig, n, threads).expect("calibrated");
+        model.calibrate(&sig, 2.0 * t1);
+        let twice = model.predict(&sig, n, threads).expect("calibrated");
+        prop_assert!((twice / once - 2.0).abs() < 1e-9);
+    }
+}

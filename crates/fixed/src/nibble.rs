@@ -1,0 +1,288 @@
+//! Packed 4-bit (nibble) vector storage and arithmetic.
+//!
+//! Current CPUs have no 4-bit SIMD arithmetic; the paper's hypothetical
+//! D4M4 configuration (§6.1, Figure 5c) assumes new instructions with the
+//! latency of their 8-bit counterparts. This module provides the packed
+//! two-nibbles-per-byte storage such an implementation would use, plus the
+//! dot-product primitive the proposed instruction would compute. The proxy
+//! *cost model* (charging 8-bit latencies) lives in `buckwild-kernels`.
+
+/// A vector of signed 4-bit values packed two per byte (low nibble first).
+///
+/// Values are in `[-8, 7]`. Length is tracked explicitly so odd-length
+/// vectors are supported (the final high nibble is zero padding).
+///
+/// # Example
+///
+/// ```
+/// use buckwild_fixed::NibbleVec;
+///
+/// let v = NibbleVec::from_values(&[1, -2, 7, -8, 3]);
+/// assert_eq!(v.len(), 5);
+/// assert_eq!(v.get(1), -2);
+/// assert_eq!(v.to_values(), vec![1, -2, 7, -8, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct NibbleVec {
+    packed: Vec<u8>,
+    len: usize,
+}
+
+impl NibbleVec {
+    /// Creates an empty vector.
+    #[must_use]
+    pub fn new() -> Self {
+        NibbleVec::default()
+    }
+
+    /// Creates a zero-filled vector of length `len`.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        NibbleVec {
+            packed: vec![0u8; len.div_ceil(2)],
+            len,
+        }
+    }
+
+    /// Packs a slice of nibble values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside `[-8, 7]`.
+    #[must_use]
+    pub fn from_values(values: &[i8]) -> Self {
+        let mut v = NibbleVec::zeros(values.len());
+        for (i, &x) in values.iter().enumerate() {
+            v.set(i, x);
+        }
+        v
+    }
+
+    /// Number of nibble elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of bytes of packed storage.
+    #[must_use]
+    pub fn packed_bytes(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// The raw packed bytes (low nibble = even index).
+    #[must_use]
+    pub fn as_packed(&self) -> &[u8] {
+        &self.packed
+    }
+
+    /// Reads the sign-extended value at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> i8 {
+        assert!(index < self.len, "index {index} out of range {}", self.len);
+        let byte = self.packed[index / 2];
+        let nib = if index % 2 == 0 { byte & 0x0f } else { byte >> 4 };
+        sign_extend_nibble(nib)
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len` or `value` is outside `[-8, 7]`.
+    pub fn set(&mut self, index: usize, value: i8) {
+        assert!(index < self.len, "index {index} out of range {}", self.len);
+        assert!((-8..=7).contains(&value), "nibble out of range: {value}");
+        let nib = (value as u8) & 0x0f;
+        let byte = &mut self.packed[index / 2];
+        if index % 2 == 0 {
+            *byte = (*byte & 0xf0) | nib;
+        } else {
+            *byte = (*byte & 0x0f) | (nib << 4);
+        }
+    }
+
+    /// Unpacks into a plain `i8` vector.
+    #[must_use]
+    pub fn to_values(&self) -> Vec<i8> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Iterates over sign-extended values.
+    pub fn iter(&self) -> impl Iterator<Item = i8> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl FromIterator<i8> for NibbleVec {
+    fn from_iter<I: IntoIterator<Item = i8>>(iter: I) -> Self {
+        let values: Vec<i8> = iter.into_iter().collect();
+        NibbleVec::from_values(&values)
+    }
+}
+
+/// Sign-extends a low nibble (`0..=15`) into an `i8` in `[-8, 7]`.
+#[inline]
+fn sign_extend_nibble(nib: u8) -> i8 {
+    ((nib << 4) as i8) >> 4
+}
+
+/// Packs `values` (each in `[-8, 7]`) into bytes, two nibbles per byte.
+///
+/// # Panics
+///
+/// Panics if any value is outside `[-8, 7]`.
+#[must_use]
+pub fn pack_nibbles(values: &[i8]) -> Vec<u8> {
+    NibbleVec::from_values(values).packed
+}
+
+/// Unpacks `len` nibbles from packed bytes.
+///
+/// # Panics
+///
+/// Panics if `packed` is shorter than `len.div_ceil(2)` bytes.
+#[must_use]
+pub fn unpack_nibbles(packed: &[u8], len: usize) -> Vec<i8> {
+    assert!(
+        packed.len() >= len.div_ceil(2),
+        "packed buffer too short: {} bytes for {len} nibbles",
+        packed.len()
+    );
+    (0..len)
+        .map(|i| {
+            let byte = packed[i / 2];
+            let nib = if i % 2 == 0 { byte & 0x0f } else { byte >> 4 };
+            sign_extend_nibble(nib)
+        })
+        .collect()
+}
+
+/// Exact dot product of two packed nibble vectors, accumulated in `i32`.
+///
+/// This is the arithmetic the paper's proposed 4-bit fused instruction would
+/// perform: products of 4-bit values fit in 8 bits, and even the longest
+/// practical vectors fit an `i32` accumulator without overflow
+/// (`|x·y| <= 64·n`, so n up to ~2^25 is safe).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn nibble_dot_i32(a: &NibbleVec, b: &NibbleVec) -> i32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let mut acc = 0i32;
+    // Process a packed byte (two lanes) at a time, as the proposed
+    // instruction would.
+    let full_bytes = a.len() / 2;
+    for i in 0..full_bytes {
+        let ab = a.packed[i];
+        let bb = b.packed[i];
+        let a0 = sign_extend_nibble(ab & 0x0f) as i32;
+        let a1 = sign_extend_nibble(ab >> 4) as i32;
+        let b0 = sign_extend_nibble(bb & 0x0f) as i32;
+        let b1 = sign_extend_nibble(bb >> 4) as i32;
+        acc += a0 * b0 + a1 * b1;
+    }
+    if a.len() % 2 == 1 {
+        let i = a.len() - 1;
+        acc += a.get(i) as i32 * b.get(i) as i32;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let values = [-8i8, -1, 0, 1, 7, 3, -5];
+        let packed = pack_nibbles(&values);
+        assert_eq!(packed.len(), 4);
+        assert_eq!(unpack_nibbles(&packed, values.len()), values);
+    }
+
+    #[test]
+    fn zeros_has_right_shape() {
+        let v = NibbleVec::zeros(5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.packed_bytes(), 3);
+        assert!(v.iter().all(|x| x == 0));
+    }
+
+    #[test]
+    fn set_get_all_values() {
+        let mut v = NibbleVec::zeros(16);
+        for (i, val) in (-8i8..=7).enumerate() {
+            v.set(i, val);
+        }
+        for (i, val) in (-8i8..=7).enumerate() {
+            assert_eq!(v.get(i), val);
+        }
+    }
+
+    #[test]
+    fn set_does_not_clobber_neighbor() {
+        let mut v = NibbleVec::from_values(&[3, -4]);
+        v.set(0, -8);
+        assert_eq!(v.get(1), -4);
+        v.set(1, 7);
+        assert_eq!(v.get(0), -8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_bounds_panics() {
+        let v = NibbleVec::zeros(2);
+        let _ = v.get(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nibble out of range")]
+    fn set_rejects_wide_value() {
+        let mut v = NibbleVec::zeros(2);
+        v.set(0, 8);
+    }
+
+    #[test]
+    fn dot_matches_scalar_reference() {
+        let a_vals = [-8i8, 7, 3, -2, 1, 0, 5];
+        let b_vals = [1i8, -1, 7, -8, 2, 6, -3];
+        let a = NibbleVec::from_values(&a_vals);
+        let b = NibbleVec::from_values(&b_vals);
+        let expected: i32 = a_vals
+            .iter()
+            .zip(&b_vals)
+            .map(|(&x, &y)| x as i32 * y as i32)
+            .sum();
+        assert_eq!(nibble_dot_i32(&a, &b), expected);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(nibble_dot_i32(&NibbleVec::new(), &NibbleVec::new()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = nibble_dot_i32(&NibbleVec::zeros(2), &NibbleVec::zeros(3));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: NibbleVec = [1i8, 2, 3].into_iter().collect();
+        assert_eq!(v.to_values(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Rounding-mode vocabulary shared across the workspace.
+
+use core::fmt;
+
+/// How a full-precision value is rounded when narrowed to fixed point.
+///
+/// The choice trades *hardware efficiency* against *statistical efficiency*
+/// (paper §3, "Model numbers"):
+///
+/// * [`Rounding::Biased`] — deterministic nearest-neighbor rounding. Fastest,
+///   but the systematic error it introduces can stall SGD convergence when
+///   updates are smaller than half a quantum.
+/// * [`Rounding::Unbiased`] — stochastic rounding, `Q(x) = floor(x + u)` with
+///   `u ~ U[0,1)` (paper Eq. (4)). Requires a PRNG but keeps
+///   `E[Q(x)] = x`, which preserves convergence at very low precision.
+///
+/// How the required randomness is *generated* (Mersenne Twister, XORSHIFT,
+/// or shared randomness) is a separate decision, owned by the
+/// `buckwild-prng` crate and the SGD configuration; this enum only records
+/// the mathematical rounding function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rounding {
+    /// Deterministic round-to-nearest (ties to even).
+    Biased,
+    /// Stochastic rounding: unbiased in expectation, needs a uniform sample.
+    #[default]
+    Unbiased,
+}
+
+impl Rounding {
+    /// True if this mode consumes randomness on every quantization.
+    #[must_use]
+    pub fn needs_randomness(&self) -> bool {
+        matches!(self, Rounding::Unbiased)
+    }
+
+    /// All rounding modes, for exhaustive sweeps in tests and benches.
+    pub const ALL: [Rounding; 2] = [Rounding::Biased, Rounding::Unbiased];
+}
+
+impl fmt::Display for Rounding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rounding::Biased => f.write_str("biased"),
+            Rounding::Unbiased => f.write_str("unbiased"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unbiased() {
+        assert_eq!(Rounding::default(), Rounding::Unbiased);
+    }
+
+    #[test]
+    fn randomness_requirement() {
+        assert!(!Rounding::Biased.needs_randomness());
+        assert!(Rounding::Unbiased.needs_randomness());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Rounding::Biased.to_string(), "biased");
+        assert_eq!(Rounding::Unbiased.to_string(), "unbiased");
+    }
+
+    #[test]
+    fn all_contains_each_variant_once() {
+        assert_eq!(Rounding::ALL.len(), 2);
+        assert!(Rounding::ALL.contains(&Rounding::Biased));
+        assert!(Rounding::ALL.contains(&Rounding::Unbiased));
+    }
+}

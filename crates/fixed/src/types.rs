@@ -1,0 +1,389 @@
+//! Typed fixed-point scalars with const-generic fractional bits.
+//!
+//! These wrappers let the *type system* track the binary-point position, so
+//! code that mixes formats (e.g. an 8-bit dataset with a 16-bit model)
+//! cannot accidentally add values with different scales. Hot kernels in
+//! `buckwild-kernels` operate on raw integer slices instead, consulting a
+//! [`crate::FixedSpec`]; these types serve API-level code and the neural
+//! network substrate.
+
+use core::fmt;
+use core::ops::{Add, Mul, Neg, Sub};
+
+use crate::spec::FixedSpec;
+use crate::Rounding;
+
+macro_rules! fixed_type {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $repr:ty, $wide:ty, $bits:expr
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name<const F: i32>($repr);
+
+        impl<const F: i32> $name<F> {
+            /// Total bit width of this format.
+            pub const BITS: u32 = $bits;
+
+            /// Fractional bits (binary point position).
+            pub const FRAC: i32 = F;
+
+            /// The zero value.
+            pub const ZERO: Self = Self(0);
+
+            /// Largest representable value.
+            pub const MAX: Self = Self(<$repr>::MAX);
+
+            /// Smallest representable value.
+            pub const MIN: Self = Self(<$repr>::MIN);
+
+            /// Constructs from a raw integer representation.
+            #[must_use]
+            pub fn from_repr(repr: $repr) -> Self {
+                Self(repr)
+            }
+
+            /// The raw integer representation.
+            #[must_use]
+            pub fn repr(self) -> $repr {
+                self.0
+            }
+
+            /// The equivalent runtime [`FixedSpec`].
+            ///
+            /// # Panics
+            ///
+            /// Never panics: the const parameters are valid by construction
+            /// for all `F` in `[-64, 64]`; other `F` values fail here.
+            #[must_use]
+            pub fn spec() -> FixedSpec {
+                FixedSpec::new($bits, F).expect("const fixed format is valid")
+            }
+
+            /// Converts from `f32` with nearest (biased) rounding, saturating.
+            #[must_use]
+            pub fn from_f32(x: f32) -> Self {
+                Self(Self::spec().quantize_biased(x) as $repr)
+            }
+
+            /// Converts from `f32` with stochastic rounding driven by
+            /// `u ∈ [0, 1)`, saturating.
+            #[must_use]
+            pub fn from_f32_unbiased(x: f32, u: f32) -> Self {
+                Self(Self::spec().quantize_unbiased(x, u) as $repr)
+            }
+
+            /// Converts from `f32` with an explicit rounding mode.
+            ///
+            /// `uniform` is invoked only if `rounding` needs randomness.
+            pub fn from_f32_with<R: FnMut() -> f32>(
+                x: f32,
+                rounding: Rounding,
+                uniform: R,
+            ) -> Self {
+                Self(Self::spec().quantize(x, rounding, uniform) as $repr)
+            }
+
+            /// Converts to `f32` (exact for all formats up to 24 bits).
+            #[must_use]
+            pub fn to_f32(self) -> f32 {
+                self.0 as f32 * Self::spec().quantum()
+            }
+
+            /// Saturating addition of same-format values.
+            #[must_use]
+            pub fn saturating_add(self, rhs: Self) -> Self {
+                Self(self.0.saturating_add(rhs.0))
+            }
+
+            /// Saturating subtraction of same-format values.
+            #[must_use]
+            pub fn saturating_sub(self, rhs: Self) -> Self {
+                Self(self.0.saturating_sub(rhs.0))
+            }
+
+            /// Widening multiply: returns the full product in the wide type,
+            /// scaled by `2^-(2F)`. No precision is lost — this mirrors the
+            /// fused multiply-accumulate (`vpmaddubsw`) the paper leans on.
+            #[must_use]
+            pub fn widening_mul(self, rhs: Self) -> $wide {
+                self.0 as $wide * rhs.0 as $wide
+            }
+        }
+
+        impl<const F: i32> Add for $name<F> {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                self.saturating_add(rhs)
+            }
+        }
+
+        impl<const F: i32> Sub for $name<F> {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                self.saturating_sub(rhs)
+            }
+        }
+
+        impl<const F: i32> Neg for $name<F> {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(self.0.saturating_neg())
+            }
+        }
+
+        impl<const F: i32> Mul for $name<F> {
+            type Output = Self;
+            /// Saturating fixed-point multiply: the wide product is
+            /// rescaled by `2^-F` (truncating) and saturated back.
+            fn mul(self, rhs: Self) -> Self {
+                let wide = self.widening_mul(rhs) >> F;
+                let clamped = wide.clamp(<$repr>::MIN as $wide, <$repr>::MAX as $wide);
+                Self(clamped as $repr)
+            }
+        }
+
+        impl<const F: i32> fmt::Display for $name<F> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.to_f32())
+            }
+        }
+
+        impl<const F: i32> From<$name<F>> for f32 {
+            fn from(v: $name<F>) -> f32 {
+                v.to_f32()
+            }
+        }
+    };
+}
+
+fixed_type!(
+    /// An 8-bit signed fixed-point value with `F` fractional bits.
+    ///
+    /// `Fx8<7>` is the paper's default 8-bit dataset format (range `[-1, 1)`);
+    /// `Fx8<6>` is a typical 8-bit model format (range `[-2, 2)`).
+    ///
+    /// ```
+    /// use buckwild_fixed::Fx8;
+    /// let a = Fx8::<7>::from_f32(0.5);
+    /// let b = Fx8::<7>::from_f32(0.25);
+    /// assert_eq!((a + b).to_f32(), 0.75);
+    /// ```
+    Fx8, i8, i16, 8
+);
+
+fixed_type!(
+    /// A 16-bit signed fixed-point value with `F` fractional bits.
+    ///
+    /// ```
+    /// use buckwild_fixed::Fx16;
+    /// let a = Fx16::<13>::from_f32(1.5);
+    /// assert_eq!((a * a).to_f32(), 2.25);
+    /// ```
+    Fx16, i16, i32, 16
+);
+
+fixed_type!(
+    /// A 32-bit signed fixed-point value with `F` fractional bits.
+    ///
+    /// ```
+    /// use buckwild_fixed::Fx32;
+    /// let a = Fx32::<16>::from_f32(3.0);
+    /// assert_eq!((-a).to_f32(), -3.0);
+    /// ```
+    Fx32, i32, i64, 32
+);
+
+/// A 4-bit signed fixed-point value with `F` fractional bits.
+///
+/// AVX2 has no 4-bit arithmetic; the paper evaluates a *hypothetical* D4M4
+/// implementation (§6.1, Figure 5c). This type stores the nibble
+/// sign-extended in an `i8` so arithmetic is exact, and saturates to the
+/// 4-bit range `[-8, 7]`. Packed two-per-byte storage lives in
+/// [`crate::NibbleVec`].
+///
+/// ```
+/// use buckwild_fixed::Fx4;
+/// let a = Fx4::<3>::from_f32(0.5);  // repr 4
+/// let b = Fx4::<3>::from_f32(0.75); // repr 6
+/// assert_eq!((a + b).repr(), 7);    // saturates at 7/8
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fx4<const F: i32>(i8);
+
+impl<const F: i32> Fx4<F> {
+    /// Total bit width of this format.
+    pub const BITS: u32 = 4;
+    /// Fractional bits.
+    pub const FRAC: i32 = F;
+    /// The zero value.
+    pub const ZERO: Self = Self(0);
+    /// Largest representable value (`7 * 2^-F`).
+    pub const MAX: Self = Self(7);
+    /// Smallest representable value (`-8 * 2^-F`).
+    pub const MIN: Self = Self(-8);
+
+    /// The equivalent runtime [`FixedSpec`].
+    #[must_use]
+    pub fn spec() -> FixedSpec {
+        FixedSpec::new(4, F).expect("const fixed format is valid")
+    }
+
+    /// Constructs from a raw nibble value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repr` is outside `[-8, 7]`.
+    #[must_use]
+    pub fn from_repr(repr: i8) -> Self {
+        assert!((-8..=7).contains(&repr), "nibble out of range: {repr}");
+        Self(repr)
+    }
+
+    /// The raw nibble value, sign-extended into an `i8`.
+    #[must_use]
+    pub fn repr(self) -> i8 {
+        self.0
+    }
+
+    /// Converts from `f32` with nearest rounding, saturating.
+    #[must_use]
+    pub fn from_f32(x: f32) -> Self {
+        Self(Self::spec().quantize_biased(x) as i8)
+    }
+
+    /// Converts from `f32` with stochastic rounding, saturating.
+    #[must_use]
+    pub fn from_f32_unbiased(x: f32, u: f32) -> Self {
+        Self(Self::spec().quantize_unbiased(x, u) as i8)
+    }
+
+    /// Converts to `f32` (always exact).
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 * Self::spec().quantum()
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Self((self.0 + rhs.0).clamp(-8, 7))
+    }
+
+    /// Widening multiply into an exact `i16` scaled by `2^-(2F)`.
+    #[must_use]
+    pub fn widening_mul(self, rhs: Self) -> i16 {
+        self.0 as i16 * rhs.0 as i16
+    }
+}
+
+impl<const F: i32> Add for Fx4<F> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+}
+
+impl<const F: i32> Neg for Fx4<F> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self((-self.0).clamp(-8, 7))
+    }
+}
+
+impl<const F: i32> fmt::Display for Fx4<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl<const F: i32> From<Fx4<F>> for f32 {
+    fn from(v: Fx4<F>) -> f32 {
+        v.to_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fx8_round_trip() {
+        for repr in i8::MIN..=i8::MAX {
+            let v = Fx8::<7>::from_repr(repr);
+            assert_eq!(Fx8::<7>::from_f32(v.to_f32()), v);
+        }
+    }
+
+    #[test]
+    fn fx8_saturating_add() {
+        let big = Fx8::<7>::from_f32(0.9);
+        assert_eq!((big + big), Fx8::<7>::MAX);
+        let small = Fx8::<7>::from_f32(-0.9);
+        assert_eq!((small + small), Fx8::<7>::MIN);
+    }
+
+    #[test]
+    fn fx8_widening_mul_is_exact() {
+        let a = Fx8::<7>::from_repr(100);
+        let b = Fx8::<7>::from_repr(-120);
+        assert_eq!(a.widening_mul(b), -12000i16);
+    }
+
+    #[test]
+    fn fx16_mul_rescales() {
+        let a = Fx16::<8>::from_f32(2.0);
+        let b = Fx16::<8>::from_f32(3.5);
+        assert_eq!((a * b).to_f32(), 7.0);
+    }
+
+    #[test]
+    fn fx16_mul_saturates() {
+        let a = Fx16::<8>::from_f32(100.0);
+        assert_eq!(a * a, Fx16::<8>::MAX);
+    }
+
+    #[test]
+    fn fx32_neg_saturates_min() {
+        assert_eq!(-Fx32::<16>::MIN, Fx32::<16>::MAX);
+    }
+
+    #[test]
+    fn fx4_saturates_and_round_trips() {
+        for repr in -8i8..=7 {
+            let v = Fx4::<3>::from_repr(repr);
+            assert_eq!(Fx4::<3>::from_f32(v.to_f32()), v);
+        }
+        assert_eq!(Fx4::<3>::from_f32(5.0), Fx4::<3>::MAX);
+        assert_eq!(Fx4::<3>::from_f32(-5.0), Fx4::<3>::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "nibble out of range")]
+    fn fx4_from_repr_rejects_wide_values() {
+        let _ = Fx4::<3>::from_repr(8);
+    }
+
+    #[test]
+    fn unbiased_conversion_brackets() {
+        let x = 0.3f32; // 0.3 * 8 = 2.4 in Fx4<3>
+        assert_eq!(Fx4::<3>::from_f32_unbiased(x, 0.0).repr(), 2);
+        assert_eq!(Fx4::<3>::from_f32_unbiased(x, 0.99).repr(), 3);
+    }
+
+    #[test]
+    fn from_f32_with_dispatches_on_mode() {
+        let x = 0.3f32;
+        let biased = Fx8::<7>::from_f32_with(x, Rounding::Biased, || 0.99);
+        assert_eq!(biased, Fx8::<7>::from_f32(x));
+        let unbiased = Fx8::<7>::from_f32_with(x, Rounding::Unbiased, || 0.99);
+        assert_eq!(unbiased.repr(), Fx8::<7>::from_f32_unbiased(x, 0.99).repr());
+    }
+
+    #[test]
+    fn display_matches_f32() {
+        let v = Fx16::<8>::from_f32(1.5);
+        assert_eq!(v.to_string(), "1.5");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the fixed-point substrate.
+
+use buckwild_fixed::{nibble_dot_i32, FixedSpec, Fx16, Fx8, NibbleVec, Rounding};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantize/dequantize never strays more than half a quantum from the
+    /// input (for in-range inputs, biased rounding).
+    #[test]
+    fn biased_rounding_error_within_half_quantum(
+        bits in 2u32..=16,
+        x in -0.999f32..0.999,
+    ) {
+        let spec = FixedSpec::unit_range(bits);
+        let y = spec.round_value(x);
+        // Out-of-range inputs saturate, so measure against the clamped input.
+        let clamped = x.clamp(spec.min_value(), spec.max_value());
+        prop_assert!((y - clamped).abs() <= spec.quantum() / 2.0 + 1e-6,
+            "bits={bits} x={x} y={y} quantum={}", spec.quantum());
+    }
+
+    /// Unbiased rounding always lands on one of the two bracketing values.
+    #[test]
+    fn unbiased_rounding_brackets(
+        bits in 2u32..=16,
+        x in -0.999f32..0.999,
+        u in 0.0f32..1.0,
+    ) {
+        let spec = FixedSpec::unit_range(bits);
+        let q = spec.quantize_unbiased(x, u);
+        let lo = (x * spec.scale()).floor() as i64;
+        prop_assert!(q == lo.clamp(spec.min_repr(), spec.max_repr())
+            || q == (lo + 1).clamp(spec.min_repr(), spec.max_repr()),
+            "q={q} lo={lo}");
+    }
+
+    /// Quantization saturates instead of wrapping for any input.
+    #[test]
+    fn quantize_never_leaves_range(
+        bits in 1u32..=24,
+        frac in -8i32..=24,
+        x in -1e9f32..1e9,
+        u in 0.0f32..1.0,
+    ) {
+        let spec = FixedSpec::new(bits, frac).unwrap();
+        for rounding in Rounding::ALL {
+            let q = spec.quantize(x, rounding, || u);
+            prop_assert!(spec.contains_repr(q));
+        }
+    }
+
+    /// Fx8 addition is commutative and saturating.
+    #[test]
+    fn fx8_add_commutes(a in i8::MIN..=i8::MAX, b in i8::MIN..=i8::MAX) {
+        let x = Fx8::<7>::from_repr(a);
+        let y = Fx8::<7>::from_repr(b);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x + y).repr(), a.saturating_add(b));
+    }
+
+    /// Fx16 widening multiply is exact versus f64 reference.
+    #[test]
+    fn fx16_widening_mul_exact(a in i16::MIN..=i16::MAX, b in i16::MIN..=i16::MAX) {
+        let x = Fx16::<8>::from_repr(a);
+        let y = Fx16::<8>::from_repr(b);
+        prop_assert_eq!(x.widening_mul(y), a as i32 * b as i32);
+    }
+
+    /// NibbleVec round-trips arbitrary nibble sequences.
+    #[test]
+    fn nibblevec_round_trip(values in proptest::collection::vec(-8i8..=7, 0..64)) {
+        let v = NibbleVec::from_values(&values);
+        prop_assert_eq!(v.to_values(), values);
+    }
+
+    /// Packed nibble dot equals the unpacked scalar dot.
+    #[test]
+    fn nibble_dot_matches_reference(
+        pairs in proptest::collection::vec((-8i8..=7, -8i8..=7), 0..64),
+    ) {
+        let a: Vec<i8> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<i8> = pairs.iter().map(|p| p.1).collect();
+        let expected: i32 = pairs.iter().map(|&(x, y)| x as i32 * y as i32).sum();
+        prop_assert_eq!(
+            nibble_dot_i32(&NibbleVec::from_values(&a), &NibbleVec::from_values(&b)),
+            expected
+        );
+    }
+
+    /// Dequantizing a biased quantization is idempotent (projection).
+    #[test]
+    fn round_value_idempotent(bits in 2u32..=16, x in -0.999f32..0.999) {
+        let spec = FixedSpec::unit_range(bits);
+        let once = spec.round_value(x);
+        prop_assert_eq!(spec.round_value(once), once);
+    }
+}

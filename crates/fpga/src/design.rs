@@ -1,0 +1,387 @@
+//! The SGD design-point model: throughput and resource estimation.
+
+use crate::Device;
+
+/// Pipeline structure of the design (paper Figure 7c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PipelineShape {
+    /// Two stages: data-load and a double-rate data-process stage. No
+    /// redundant BRAM copy, but the datapath must consume elements twice
+    /// as fast as the off-chip load, costing extra logic per lane.
+    TwoStage,
+    /// Three stages: off-chip-load, error-compute, update-compute, all
+    /// consuming at stream rate. The middle stage copies the example
+    /// buffer for the third stage — cheaper logic, more BRAM.
+    #[default]
+    ThreeStage,
+}
+
+impl PipelineShape {
+    /// Both shapes, for sweeps.
+    pub const ALL: [PipelineShape; 2] = [PipelineShape::TwoStage, PipelineShape::ThreeStage];
+}
+
+impl std::fmt::Display for PipelineShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineShape::TwoStage => f.write_str("two-stage"),
+            PipelineShape::ThreeStage => f.write_str("three-stage"),
+        }
+    }
+}
+
+/// A candidate SGD design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdDesign {
+    /// Dataset element width in bits.
+    pub data_bits: u32,
+    /// Model element width in bits.
+    pub model_bits: u32,
+    /// Model length in elements (must fit in BRAM — §8 scopes to this
+    /// case, "analogous to the model fitting in the L3 cache on the CPU").
+    pub model_elems: usize,
+    /// SIMD lanes per compute unit.
+    pub lanes: u32,
+    /// Pipeline structure.
+    pub pipeline: PipelineShape,
+    /// Examples per model update (1 = plain SGD).
+    pub minibatch: u32,
+    /// Unbiased rounding with on-chip XORSHIFT modules.
+    pub unbiased_rounding: bool,
+}
+
+/// Evaluation of one design point on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignReport {
+    /// Dataset throughput in GNPS.
+    pub throughput_gnps: f64,
+    /// Throughput per watt (the paper's §8 energy metric).
+    pub gnps_per_watt: f64,
+    /// Adaptive logic modules consumed.
+    pub alms_used: u64,
+    /// Block RAM bits consumed.
+    pub bram_bits_used: u64,
+    /// DSP blocks consumed.
+    pub dsps_used: u64,
+    /// True if the design fits the device envelope.
+    pub fits: bool,
+}
+
+impl SgdDesign {
+    /// A design with paper-ish defaults: 32 lanes, three-stage, plain SGD,
+    /// unbiased rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width is zero, widths exceed 32 bits, or
+    /// `model_elems == 0`.
+    #[must_use]
+    pub fn new(data_bits: u32, model_bits: u32, model_elems: usize) -> Self {
+        assert!(
+            (1..=32).contains(&data_bits) && (1..=32).contains(&model_bits),
+            "element widths must be 1..=32 bits"
+        );
+        assert!(model_elems > 0, "model must be nonempty");
+        SgdDesign {
+            data_bits,
+            model_bits,
+            model_elems,
+            lanes: 32,
+            pipeline: PipelineShape::ThreeStage,
+            minibatch: 1,
+            unbiased_rounding: true,
+        }
+    }
+
+    /// Sets the SIMD lane count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    #[must_use]
+    pub fn lanes(mut self, lanes: u32) -> Self {
+        assert!(lanes > 0, "lane count must be positive");
+        self.lanes = lanes;
+        self
+    }
+
+    /// Sets the pipeline shape.
+    #[must_use]
+    pub fn pipeline(mut self, shape: PipelineShape) -> Self {
+        self.pipeline = shape;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[must_use]
+    pub fn minibatch(mut self, b: u32) -> Self {
+        assert!(b > 0, "mini-batch must be positive");
+        self.minibatch = b;
+        self
+    }
+
+    /// Enables or disables unbiased rounding hardware.
+    #[must_use]
+    pub fn unbiased(mut self, enabled: bool) -> Self {
+        self.unbiased_rounding = enabled;
+        self
+    }
+
+    /// Bytes per streamed dataset element.
+    fn data_bytes(&self) -> f64 {
+        self.data_bits as f64 / 8.0
+    }
+
+    /// DRAM bursts spanned by one example vector.
+    #[must_use]
+    pub fn bursts_per_example(&self, device: &Device) -> u64 {
+        ((self.model_elems as f64 * self.data_bytes()) / device.dram_burst_bytes as f64).ceil()
+            as u64
+    }
+
+    /// Sustainable processed-element rate (elements per cycle), before
+    /// per-iteration overheads.
+    fn element_rate(&self, device: &Device) -> f64 {
+        let load = device.load_rate(self.data_bytes());
+        let compute = match self.pipeline {
+            // One double-rate unit: `lanes` ops/cycle over 2 ops/element.
+            PipelineShape::TwoStage => self.lanes as f64 / 2.0,
+            // Two stream-rate units, pipelined: one element leaves the
+            // pipeline per unit-cycle.
+            PipelineShape::ThreeStage => self.lanes as f64,
+        };
+        load.min(compute)
+    }
+
+    /// Average cycles to process one example end-to-end.
+    fn cycles_per_example(&self, device: &Device) -> f64 {
+        let n = self.model_elems as f64;
+        let stream = n / self.element_rate(device);
+        let b = self.minibatch as f64;
+        // One memory command per request: per example for plain SGD, per
+        // batch for mini-batch.
+        let command = device.memory_command_cycles as f64 / b;
+        // Mini-batch defers the model write to once per batch; the shared
+        // update sweep costs n/lanes cycles amortized over the batch.
+        let update = if self.minibatch > 1 {
+            n / self.lanes as f64 / b
+        } else {
+            0.0
+        };
+        stream + command + update
+    }
+
+    /// Evaluates throughput and resources on `device`.
+    #[must_use]
+    pub fn evaluate(&self, device: &Device) -> DesignReport {
+        let n = self.model_elems as f64;
+        let rate = n / self.cycles_per_example(device); // elements/cycle
+        let throughput_gnps = rate * device.clock_mhz * 1e6 / 1e9;
+
+        // ---- Resource model ----
+        let width = self.data_bits + self.model_bits;
+        // Datapath ALMs per lane: scales with operand width; the two-stage
+        // double-rate datapath pays a mux/control premium.
+        let lane_alms = (8 * width + 16) as f64;
+        let (units, premium) = match self.pipeline {
+            PipelineShape::TwoStage => (1.0, 1.5),
+            PipelineShape::ThreeStage => (2.0, 1.0),
+        };
+        let xorshift_alms = if self.unbiased_rounding {
+            // One 32-bit XORSHIFT module per 8 update lanes plus a per-lane
+            // adder.
+            (self.lanes as f64 / 8.0).ceil() * 300.0 + self.lanes as f64 * 8.0
+        } else {
+            0.0
+        };
+        let alms_used =
+            (20_000.0 + units * premium * lane_alms * self.lanes as f64 + xorshift_alms) as u64;
+
+        // Multipliers: one per lane per compute unit. Narrow multipliers
+        // pack two per DSP (<=9x9); wide ones (>18 bit operand) need four.
+        let dsp_per_mult = if self.data_bits.max(self.model_bits) <= 9 {
+            0.5
+        } else if self.data_bits.max(self.model_bits) <= 18 {
+            1.0
+        } else {
+            4.0
+        };
+        let dsps_used = (units * self.lanes as f64 * dsp_per_mult).ceil() as u64;
+
+        // BRAM: the model, plus example buffers. Buffers hold one request's
+        // worth of data (B examples), double-buffered for the load stage;
+        // the three-stage design keeps a redundant copy for stage 3.
+        let model_bits = n * self.model_bits as f64;
+        let buffer_bits =
+            self.minibatch as f64 * n * self.data_bits as f64;
+        let buffer_copies = match self.pipeline {
+            PipelineShape::TwoStage => 2.0,  // double buffering only
+            PipelineShape::ThreeStage => 3.0, // + stage-2 -> stage-3 copy
+        };
+        let bram_bits_used = (model_bits + buffer_copies * buffer_bits) as u64;
+
+        let fits = alms_used <= device.alms
+            && dsps_used <= device.dsps
+            && bram_bits_used <= device.bram_bits;
+
+        DesignReport {
+            throughput_gnps,
+            gnps_per_watt: throughput_gnps / device.watts,
+            alms_used,
+            bram_bits_used,
+            dsps_used,
+            fits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d8m8_reaches_paper_efficiency() {
+        // §8: "we achieved an average of 0.339 GNPS/watt" on the Stratix V.
+        let device = Device::stratix_v();
+        let report = SgdDesign::new(8, 8, 1 << 14)
+            .lanes(64)
+            .pipeline(PipelineShape::ThreeStage)
+            .evaluate(&device);
+        assert!(report.fits, "{report:?}");
+        assert!(
+            (0.17..=0.51).contains(&report.gnps_per_watt),
+            "GNPS/W = {}",
+            report.gnps_per_watt
+        );
+        // And it beats the paper's CPU number (0.143 GNPS/W).
+        assert!(report.gnps_per_watt > 0.143);
+    }
+
+    #[test]
+    fn lower_precision_is_faster_and_smaller() {
+        // Figure 7f: decreasing precision raises throughput and lowers area.
+        let device = Device::stratix_v();
+        let at = |bits: u32| {
+            SgdDesign::new(bits, bits, 1 << 14)
+                .lanes(64)
+                .evaluate(&device)
+        };
+        let r8 = at(8);
+        let r16 = at(16);
+        let r32 = at(32);
+        assert!(r8.throughput_gnps > r16.throughput_gnps);
+        assert!(r16.throughput_gnps > r32.throughput_gnps);
+        assert!(r8.alms_used < r16.alms_used);
+        assert!(r16.alms_used < r32.alms_used);
+        assert!(r8.bram_bits_used < r16.bram_bits_used);
+        let ratio = r8.throughput_gnps / r32.throughput_gnps;
+        assert!((2.0..=4.0).contains(&ratio), "8b/32b ratio {ratio}");
+    }
+
+    #[test]
+    fn halving_dataset_precision_alone_helps_both_axes() {
+        // §8: "when keeping the model precision fixed, halving the dataset
+        // precision improves both throughput and area".
+        let device = Device::stratix_v();
+        let d16 = SgdDesign::new(16, 16, 1 << 14).lanes(64).evaluate(&device);
+        let d8 = SgdDesign::new(8, 16, 1 << 14).lanes(64).evaluate(&device);
+        assert!(d8.throughput_gnps > d16.throughput_gnps);
+        assert!(d8.alms_used < d16.alms_used);
+    }
+
+    #[test]
+    fn three_stage_uses_less_logic_more_bram() {
+        let device = Device::stratix_v();
+        // Equal-throughput designs: two-stage needs 2x lanes.
+        let two = SgdDesign::new(8, 8, 1 << 14)
+            .lanes(128)
+            .pipeline(PipelineShape::TwoStage)
+            .evaluate(&device);
+        let three = SgdDesign::new(8, 8, 1 << 14)
+            .lanes(64)
+            .pipeline(PipelineShape::ThreeStage)
+            .evaluate(&device);
+        assert!(
+            (two.throughput_gnps - three.throughput_gnps).abs()
+                < 0.05 * three.throughput_gnps
+        );
+        assert!(three.alms_used < two.alms_used, "{three:?} vs {two:?}");
+        assert!(three.bram_bits_used > two.bram_bits_used);
+    }
+
+    #[test]
+    fn minibatch_wins_below_100_bursts() {
+        // §8: "mini-batch SGD has the highest throughput unless a single
+        // data vector spans at least 100 DRAM bursts".
+        let device = Device::stratix_v();
+        // Small example: 4096 x 8-bit = 16 bursts.
+        let small_plain = SgdDesign::new(8, 8, 4096).lanes(64).evaluate(&device);
+        let small_batch = SgdDesign::new(8, 8, 4096)
+            .lanes(64)
+            .minibatch(16)
+            .evaluate(&device);
+        assert!(small_batch.throughput_gnps > small_plain.throughput_gnps);
+
+        // Large example: 128K x 8-bit = 512 bursts; plain is competitive
+        // (within a couple percent — no reason to pay mini-batch's
+        // statistical cost).
+        let big_plain = SgdDesign::new(8, 8, 1 << 17).lanes(64).evaluate(&device);
+        let big_batch = SgdDesign::new(8, 8, 1 << 17)
+            .lanes(64)
+            .minibatch(16)
+            .evaluate(&device);
+        assert!(big_plain.throughput_gnps > 0.98 * big_batch.throughput_gnps);
+    }
+
+    #[test]
+    fn crossover_near_100_bursts() {
+        let device = Device::stratix_v();
+        // Find where plain SGD gets within 1% of mini-batch.
+        let mut crossover = None;
+        for log_n in 10..=18 {
+            let n = 1usize << log_n;
+            let plain = SgdDesign::new(8, 8, n).lanes(64).evaluate(&device);
+            let batch = SgdDesign::new(8, 8, n).lanes(64).minibatch(64).evaluate(&device);
+            if plain.throughput_gnps >= 0.99 * batch.throughput_gnps {
+                crossover = Some(SgdDesign::new(8, 8, n).bursts_per_example(&device));
+                break;
+            }
+        }
+        let bursts = crossover.expect("plain SGD should eventually catch up");
+        assert!(
+            (16..=1024).contains(&bursts),
+            "crossover at {bursts} bursts"
+        );
+    }
+
+    #[test]
+    fn oversized_designs_do_not_fit() {
+        let device = Device::stratix_v();
+        let report = SgdDesign::new(32, 32, 1 << 14).lanes(4096).evaluate(&device);
+        assert!(!report.fits);
+        // And BRAM-busting models are flagged too.
+        let big_model = SgdDesign::new(8, 32, 1 << 26).lanes(8).evaluate(&device);
+        assert!(!big_model.fits);
+    }
+
+    #[test]
+    fn disabling_rounding_saves_logic() {
+        let device = Device::stratix_v();
+        let with = SgdDesign::new(8, 8, 1 << 12).evaluate(&device);
+        let without = SgdDesign::new(8, 8, 1 << 12).unbiased(false).evaluate(&device);
+        assert!(without.alms_used < with.alms_used);
+        assert_eq!(without.throughput_gnps, with.throughput_gnps);
+    }
+
+    #[test]
+    fn bursts_per_example_math() {
+        let device = Device::stratix_v();
+        assert_eq!(SgdDesign::new(8, 8, 256).bursts_per_example(&device), 1);
+        assert_eq!(SgdDesign::new(8, 8, 257).bursts_per_example(&device), 2);
+        assert_eq!(SgdDesign::new(32, 8, 256).bursts_per_example(&device), 4);
+    }
+}

@@ -1,0 +1,94 @@
+//! FPGA device resource envelopes.
+
+/// An FPGA device: resource capacities, clocking, and memory system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// Adaptive logic modules available.
+    pub alms: u64,
+    /// On-chip block RAM capacity in bits.
+    pub bram_bits: u64,
+    /// Hardened DSP (multiplier) blocks.
+    pub dsps: u64,
+    /// Design clock in MHz.
+    pub clock_mhz: f64,
+    /// Sustained DRAM bandwidth in bytes per cycle at the design clock.
+    pub dram_bytes_per_cycle: f64,
+    /// Bytes per DRAM burst.
+    pub dram_burst_bytes: u64,
+    /// Cycles of overhead to issue one memory command (address setup,
+    /// controller queue).
+    pub memory_command_cycles: u64,
+    /// Board power in watts (for GNPS/W comparisons).
+    pub watts: f64,
+}
+
+impl Device {
+    /// The paper's Altera Stratix V GS 5SGSD8: 262K ALMs, ~50 Mb of M20K
+    /// BRAM, 1963 DSPs. Clocked at 150 MHz with one DDR3 channel
+    /// (~9.6 GB/s sustained = 64 B/cycle), 256-byte bursts.
+    #[must_use]
+    pub fn stratix_v() -> Self {
+        Device {
+            alms: 262_400,
+            bram_bits: 50 * 1024 * 1024,
+            dsps: 1963,
+            clock_mhz: 150.0,
+            dram_bytes_per_cycle: 64.0,
+            dram_burst_bytes: 256,
+            memory_command_cycles: 32,
+            watts: 25.0,
+        }
+    }
+
+    /// A logic-starved variant (one-eighth the ALMs/DSPs, same BRAM) — used
+    /// to exercise the Figure 7c stage trade-off: with logic this tight the
+    /// double-rate two-stage datapath cannot reach the memory bandwidth
+    /// bound, but the leaner three-stage datapath can.
+    #[must_use]
+    pub fn logic_scarce(mut self) -> Self {
+        self.alms /= 8;
+        self.dsps /= 8;
+        self
+    }
+
+    /// A BRAM-starved variant (1/16 the BRAM, same logic).
+    #[must_use]
+    pub fn bram_scarce(mut self) -> Self {
+        self.bram_bits /= 16;
+        self
+    }
+
+    /// DRAM elements loadable per cycle at `elem_bytes` per element.
+    #[must_use]
+    pub fn load_rate(&self, elem_bytes: f64) -> f64 {
+        self.dram_bytes_per_cycle / elem_bytes
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::stratix_v()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stratix_parameters() {
+        let d = Device::stratix_v();
+        assert_eq!(d.dsps, 1963);
+        assert!(d.bram_bits > 50_000_000);
+        assert!((d.load_rate(1.0) - 64.0).abs() < 1e-12);
+        assert!((d.load_rate(4.0) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scarcity_variants() {
+        let d = Device::stratix_v();
+        assert_eq!(d.logic_scarce().alms, d.alms / 8);
+        assert_eq!(d.bram_scarce().bram_bits, d.bram_bits / 16);
+        assert_eq!(d.logic_scarce().bram_bits, d.bram_bits);
+    }
+}

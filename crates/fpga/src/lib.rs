@@ -1,0 +1,51 @@
+//! An FPGA dataflow model for low-precision SGD (paper §8).
+//!
+//! The paper implements linear-regression SGD on an Altera Stratix V via
+//! the DHDL framework, which compiles a parameterized design description
+//! to VHDL and uses *heuristic search* to pick design parameters. This
+//! crate is the stand-in: an analytical model of the same design space —
+//! faithful to the structural trade-offs §8 describes — plus the search.
+//!
+//! The modeled design space:
+//!
+//! * **Precision** — arbitrary dataset/model bit widths. On the FPGA,
+//!   narrowing a type *reclaims* logic and BRAM (unlike a CPU, where
+//!   registers are fixed width) and needs no rounding overhead because the
+//!   XORSHIFT modules are free parallel hardware.
+//! * **SIMD lanes** — "effectively any length" vector units, bounded only
+//!   by logic/DSP resources and the DRAM load rate.
+//! * **Plain vs mini-batch SGD** — plain SGD issues one memory command per
+//!   example; the command overhead is only amortized "if a single data
+//!   vector spans at least 100 DRAM bursts", otherwise mini-batch wins.
+//! * **Two-stage vs three-stage pipelines** (Figure 7c) — two-stage
+//!   (load / process-at-2x) avoids a redundant BRAM copy but needs a
+//!   double-rate datapath; three-stage (load / error / update) runs each
+//!   datapath at stream rate but must copy the example buffer between
+//!   stages. "[Three-stage] is a better design when compute logic is
+//!   scarce but BRAM is abundant … [two-stage] is a better candidate when
+//!   BRAM is scarce."
+//!
+//! # Example
+//!
+//! ```
+//! use buckwild_fpga::{Device, SgdDesign, PipelineShape};
+//!
+//! let device = Device::stratix_v();
+//! let design = SgdDesign::new(8, 8, 1 << 14) // D8M8, n = 16384
+//!     .lanes(32)
+//!     .pipeline(PipelineShape::ThreeStage);
+//! let report = design.evaluate(&device);
+//! assert!(report.fits);
+//! assert!(report.throughput_gnps > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod design;
+mod device;
+mod search;
+
+pub use design::{DesignReport, PipelineShape, SgdDesign};
+pub use device::Device;
+pub use search::{search_best_design, SearchResult};

@@ -1,0 +1,92 @@
+//! Property tests for the FPGA design model's invariants.
+
+use buckwild_fpga::{Device, PipelineShape, SgdDesign};
+use proptest::prelude::*;
+
+fn arbitrary_design() -> impl Strategy<Value = SgdDesign> {
+    (
+        prop_oneof![Just(4u32), Just(8), Just(16), Just(32)],
+        prop_oneof![Just(4u32), Just(8), Just(16), Just(32)],
+        10u32..=18,
+        2u32..=9,
+        prop::bool::ANY,
+        prop_oneof![Just(1u32), Just(4), Just(16), Just(64)],
+    )
+        .prop_map(|(d, m, log_n, log_lanes, two_stage, b)| {
+            SgdDesign::new(d, m, 1usize << log_n)
+                .lanes(1 << log_lanes)
+                .pipeline(if two_stage {
+                    PipelineShape::TwoStage
+                } else {
+                    PipelineShape::ThreeStage
+                })
+                .minibatch(b)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Throughput and resources are always positive and finite.
+    #[test]
+    fn evaluation_is_well_formed(design in arbitrary_design()) {
+        let report = design.evaluate(&Device::stratix_v());
+        prop_assert!(report.throughput_gnps.is_finite());
+        prop_assert!(report.throughput_gnps > 0.0);
+        prop_assert!(report.gnps_per_watt > 0.0);
+        prop_assert!(report.alms_used > 0);
+        prop_assert!(report.bram_bits_used > 0);
+    }
+
+    /// More lanes never reduce throughput (at fixed everything else).
+    #[test]
+    fn throughput_monotone_in_lanes(design in arbitrary_design()) {
+        let device = Device::stratix_v();
+        let base = design.evaluate(&device);
+        let wider = SgdDesign { lanes: design.lanes * 2, ..design }.evaluate(&device);
+        prop_assert!(
+            wider.throughput_gnps >= base.throughput_gnps - 1e-9,
+            "{} -> {}",
+            base.throughput_gnps,
+            wider.throughput_gnps
+        );
+    }
+
+    /// Narrowing the dataset precision never hurts throughput and never
+    /// grows the datapath (the §8 "reclaim resources" property).
+    #[test]
+    fn narrower_data_never_worse(design in arbitrary_design()) {
+        prop_assume!(design.data_bits >= 8);
+        let device = Device::stratix_v();
+        let base = design.evaluate(&device);
+        let narrow = SgdDesign { data_bits: design.data_bits / 2, ..design }.evaluate(&device);
+        prop_assert!(narrow.throughput_gnps >= base.throughput_gnps - 1e-9);
+        prop_assert!(narrow.alms_used <= base.alms_used);
+        prop_assert!(narrow.bram_bits_used <= base.bram_bits_used);
+    }
+
+    /// A larger device never turns a fitting design into a non-fitting one.
+    #[test]
+    fn fits_is_monotone_in_device(design in arbitrary_design()) {
+        let small = Device::stratix_v().logic_scarce().bram_scarce();
+        let big = Device::stratix_v();
+        if design.evaluate(&small).fits {
+            prop_assert!(design.evaluate(&big).fits);
+        }
+    }
+
+    /// Among mini-batch designs (B >= 2), larger batches never reduce
+    /// modeled throughput: both the command overhead and the shared
+    /// update sweep amortize as 1/B. (Plain SGD, B = 1, is a *different
+    /// design* with no separate update sweep, so B = 1 -> 2 can lose —
+    /// that is the paper's plain-vs-mini-batch crossover, not a monotone
+    /// family.)
+    #[test]
+    fn minibatch_monotone_above_one(design in arbitrary_design()) {
+        prop_assume!(design.minibatch >= 2);
+        let device = Device::stratix_v();
+        let base = design.evaluate(&device);
+        let bigger = SgdDesign { minibatch: design.minibatch * 4, ..design }.evaluate(&device);
+        prop_assert!(bigger.throughput_gnps >= base.throughput_gnps - 1e-9);
+    }
+}

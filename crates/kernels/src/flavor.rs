@@ -1,0 +1,83 @@
+//! Kernel implementation flavours — the Figure 4 / §6.1 experimental axis.
+
+use core::fmt;
+use std::str::FromStr;
+
+/// Which implementation of the dot/AXPY inner loops is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelFlavor {
+    /// Compiler-style: widen every element to `f32` before arithmetic
+    /// (what GCC emits for naive C++; the paper's baseline in Figure 4).
+    Generic,
+    /// Hand-vectorized-style: narrow-integer multiply-accumulate over lane
+    /// blocks (the paper's AVX2 intrinsics code).
+    #[default]
+    Optimized,
+    /// Like `Optimized`, but costed as if the paper's two proposed ALU
+    /// instructions existed (§6.1). Arithmetic results are identical to
+    /// `Optimized`; only the cost model differs — mirroring the paper's
+    /// proxy-instruction methodology.
+    Proposed,
+}
+
+impl KernelFlavor {
+    /// All flavours, for sweeps.
+    pub const ALL: [KernelFlavor; 3] = [
+        KernelFlavor::Generic,
+        KernelFlavor::Optimized,
+        KernelFlavor::Proposed,
+    ];
+}
+
+impl fmt::Display for KernelFlavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelFlavor::Generic => f.write_str("generic"),
+            KernelFlavor::Optimized => f.write_str("optimized"),
+            KernelFlavor::Proposed => f.write_str("proposed"),
+        }
+    }
+}
+
+/// Error from parsing a [`KernelFlavor`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKernelFlavorError(String);
+
+impl fmt::Display for ParseKernelFlavorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown kernel flavor `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseKernelFlavorError {}
+
+impl FromStr for KernelFlavor {
+    type Err = ParseKernelFlavorError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "generic" | "gcc" => Ok(KernelFlavor::Generic),
+            "optimized" | "simd" => Ok(KernelFlavor::Optimized),
+            "proposed" | "newinstr" => Ok(KernelFlavor::Proposed),
+            _ => Err(ParseKernelFlavorError(s.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_optimized() {
+        assert_eq!(KernelFlavor::default(), KernelFlavor::Optimized);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for flavor in KernelFlavor::ALL {
+            assert_eq!(flavor.to_string().parse::<KernelFlavor>().unwrap(), flavor);
+        }
+        assert!("mystery".parse::<KernelFlavor>().is_err());
+    }
+}

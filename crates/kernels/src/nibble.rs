@@ -1,0 +1,154 @@
+//! Packed 4-bit (D4M4) kernels for the hypothetical new-ISA configuration.
+//!
+//! AVX2 has no 4-bit arithmetic, so the paper evaluates D4M4 by proxying
+//! the proposed 4-bit instructions with their 8-bit equivalents (§6.1,
+//! Figure 5c): the arithmetic is what the new instructions *would* compute,
+//! and the cost model charges 8-bit latencies while the packed operands
+//! halve memory traffic. These kernels implement that arithmetic over
+//! [`NibbleVec`] storage; [`crate::cost`] provides the proxy cost model.
+
+use buckwild_fixed::{FixedSpec, NibbleVec};
+
+use crate::AxpyRand;
+
+/// Dot product of two packed nibble vectors, scaled by both quanta.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[must_use]
+pub fn dot_i4_i4(x: &NibbleVec, w: &NibbleVec, x_spec: &FixedSpec, w_spec: &FixedSpec) -> f32 {
+    buckwild_fixed::nibble_dot_i32(x, w) as f32 * x_spec.quantum() * w_spec.quantum()
+}
+
+/// AXPY on packed nibble model storage:
+/// `w[i] ← sat4(w[i] + round((x[i]·k + r) >> 15))`.
+///
+/// Same pre-scaled-multiplier scheme as the 8/16-bit optimized kernels,
+/// saturating to the nibble range `[-8, 7]`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn axpy_i4_i4(
+    w: &mut NibbleVec,
+    a: f32,
+    x: &NibbleVec,
+    x_spec: &FixedSpec,
+    w_spec: &FixedSpec,
+    mut rand: AxpyRand<'_>,
+) {
+    assert_eq!(x.len(), w.len(), "length mismatch");
+    const K_SHIFT: u32 = 15;
+    const MASK: u32 = (1u32 << K_SHIFT) - 1;
+    const HALF: i64 = 1i64 << (K_SHIFT - 1);
+    let k_real = a as f64 * x_spec.quantum() as f64 / w_spec.quantum() as f64;
+    let k = (k_real * (1i64 << K_SHIFT) as f64)
+        .round()
+        .clamp(i32::MIN as f64, i32::MAX as f64) as i64;
+    let mut lane_buf = [0u32; 8];
+    let mut cursor = 8usize;
+    for i in 0..w.len() {
+        let r = match &mut rand {
+            AxpyRand::Biased => HALF,
+            AxpyRand::Scalar(f) => (f() * (1u32 << K_SHIFT) as f32) as i64,
+            AxpyRand::Shared(block) => (block[i % 8] & MASK) as i64,
+            AxpyRand::FreshLanes(lanes) => {
+                if cursor >= 8 {
+                    lane_buf = lanes.step();
+                    cursor = 0;
+                }
+                let word = lane_buf[cursor];
+                cursor += 1;
+                (word & MASK) as i64
+            }
+        };
+        let delta = (x.get(i) as i64 * k + r) >> K_SHIFT;
+        let updated = (w.get(i) as i64 + delta).clamp(-8, 7) as i8;
+        w.set(i, updated);
+    }
+}
+
+/// Quantizes an `f32` slice into a packed nibble vector on the given grid
+/// with nearest rounding.
+#[must_use]
+pub fn quantize_to_nibbles(xs: &[f32], spec: &FixedSpec) -> NibbleVec {
+    assert_eq!(spec.bits(), 4, "nibble spec must be 4-bit");
+    let values: Vec<i8> = xs.iter().map(|&x| spec.quantize_biased(x) as i8).collect();
+    NibbleVec::from_values(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs4() -> (FixedSpec, FixedSpec) {
+        // Data in [-1, 1): Q1.3. Model in [-4, 4): Q3.1.
+        (
+            FixedSpec::new(4, 3).unwrap(),
+            FixedSpec::new(4, 1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn dot_matches_scalar_reference() {
+        let (xs, ws) = specs4();
+        let x = NibbleVec::from_values(&[3, -8, 7, 1, 0, -2]);
+        let w = NibbleVec::from_values(&[1, 2, -3, 4, 5, 6]);
+        let expected: f32 = (0..6)
+            .map(|i| x.get(i) as f32 * xs.quantum() * (w.get(i) as f32 * ws.quantum()))
+            .sum();
+        assert!((dot_i4_i4(&x, &w, &xs, &ws) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axpy_biased_moves_model() {
+        let (xs, ws) = specs4();
+        let x = NibbleVec::from_values(&[7, -7, 0, 7]); // 0.875, -0.875, 0, 0.875
+        let mut w = NibbleVec::zeros(4);
+        // a=1.0: delta = x*qx/qw = x*(1/8)/(1/2) = x/4 -> 1.75 -> 2 quanta
+        axpy_i4_i4(&mut w, 1.0, &x, &xs, &ws, AxpyRand::Biased);
+        assert_eq!(w.to_values(), vec![2, -2, 0, 2]);
+    }
+
+    #[test]
+    fn axpy_saturates_nibble_range() {
+        let (xs, ws) = specs4();
+        let x = NibbleVec::from_values(&[7, -8]);
+        let mut w = NibbleVec::from_values(&[7, -8]);
+        axpy_i4_i4(&mut w, 100.0, &x, &xs, &ws, AxpyRand::Biased);
+        assert_eq!(w.to_values(), vec![7, -8]);
+    }
+
+    #[test]
+    fn axpy_unbiased_expectation() {
+        let (xs, ws) = specs4();
+        let x = NibbleVec::from_values(&[4]); // 0.5
+        // a=0.3: true delta in quanta = 0.3*0.5/0.5 = 0.3
+        let trials = 30_000;
+        let mut lanes = buckwild_prng::XorshiftLanes::<8>::seed_from(5);
+        let mut sum = 0f64;
+        for _ in 0..trials {
+            let block = lanes.step();
+            let mut w = NibbleVec::zeros(1);
+            axpy_i4_i4(&mut w, 0.3, &x, &xs, &ws, AxpyRand::Shared(&block));
+            sum += w.get(0) as f64;
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 0.3).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn quantize_to_nibbles_round_trips_grid_points() {
+        let spec = FixedSpec::new(4, 3).unwrap();
+        let xs = [0.0f32, 0.125, -0.25, 0.875, -1.0];
+        let v = quantize_to_nibbles(&xs, &spec);
+        assert_eq!(v.to_values(), vec![0, 1, -2, 7, -8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nibble spec must be 4-bit")]
+    fn quantize_rejects_wide_spec() {
+        let _ = quantize_to_nibbles(&[0.0], &FixedSpec::unit_range(8));
+    }
+}

@@ -1,0 +1,60 @@
+//! Randomness plumbing for quantized AXPY writes.
+
+use buckwild_prng::XorshiftLanes;
+
+/// Where an AXPY kernel gets its rounding randomness — the §5.2 axis.
+///
+/// The four variants correspond to the four quantizer strategies the paper
+/// benchmarks in Figure 5b:
+///
+/// * [`AxpyRand::Biased`] — deterministic nearest rounding, no randomness;
+/// * [`AxpyRand::Scalar`] — one fresh scalar draw per element, from any
+///   generator (this is how Mersenne Twister must be run; it also models a
+///   scalar XORSHIFT);
+/// * [`AxpyRand::FreshLanes`] — a lane-vectorized XORSHIFT stepped every
+///   vector block: fresh randomness per element at vector speed;
+/// * [`AxpyRand::Shared`] — one 256-bit XORSHIFT block generated per
+///   iteration and reused for the whole AXPY (the paper's production
+///   configuration).
+pub enum AxpyRand<'a> {
+    /// Nearest (biased) rounding — maximum hardware efficiency.
+    Biased,
+    /// Fresh scalar uniform per element (closure returns `[0, 1)` samples).
+    Scalar(&'a mut dyn FnMut() -> f32),
+    /// Vectorized XORSHIFT stepped once per 8-element block.
+    FreshLanes(&'a mut XorshiftLanes<8>),
+    /// A single 256-bit block shared across the entire call.
+    Shared(&'a [u32; 8]),
+}
+
+impl std::fmt::Debug for AxpyRand<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            AxpyRand::Biased => "Biased",
+            AxpyRand::Scalar(_) => "Scalar",
+            AxpyRand::FreshLanes(_) => "FreshLanes",
+            AxpyRand::Shared(_) => "Shared",
+        };
+        f.write_str("AxpyRand::")?;
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_names() {
+        assert_eq!(format!("{:?}", AxpyRand::Biased), "AxpyRand::Biased");
+        let block = [0u32; 8];
+        assert_eq!(format!("{:?}", AxpyRand::Shared(&block)), "AxpyRand::Shared");
+        let mut lanes = XorshiftLanes::<8>::seed_from(1);
+        assert_eq!(
+            format!("{:?}", AxpyRand::FreshLanes(&mut lanes)),
+            "AxpyRand::FreshLanes"
+        );
+        let mut f = || 0.5f32;
+        assert_eq!(format!("{:?}", AxpyRand::Scalar(&mut f)), "AxpyRand::Scalar");
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests: optimized kernels are semantically equivalent to the
+//! generic reference across random inputs, lengths, and precisions.
+
+use buckwild_fixed::{FixedSpec, Rounding};
+use buckwild_kernels::{generic, optimized, sparse, AxpyRand};
+use proptest::prelude::*;
+
+proptest! {
+    /// Optimized i8/i8 dot equals the generic widening dot.
+    #[test]
+    fn dot_i8_i8_equivalent(
+        pairs in proptest::collection::vec((any::<i8>(), any::<i8>()), 0..300),
+    ) {
+        let xs = FixedSpec::unit_range(8);
+        let ws = FixedSpec::model_range(8);
+        let x: Vec<i8> = pairs.iter().map(|p| p.0).collect();
+        let w: Vec<i8> = pairs.iter().map(|p| p.1).collect();
+        let fast = optimized::dot_i8_i8(&x, &w, &xs, &ws);
+        let slow = generic::dot(&x, &w, &xs, &ws);
+        prop_assert!((fast - slow).abs() <= slow.abs() * 1e-4 + 1e-3);
+    }
+
+    /// Optimized i16/i16 dot equals the generic widening dot.
+    #[test]
+    fn dot_i16_i16_equivalent(
+        pairs in proptest::collection::vec((any::<i16>(), any::<i16>()), 0..200),
+    ) {
+        let xs = FixedSpec::unit_range(16);
+        let ws = FixedSpec::model_range(16);
+        let x: Vec<i16> = pairs.iter().map(|p| p.0).collect();
+        let w: Vec<i16> = pairs.iter().map(|p| p.1).collect();
+        let fast = optimized::dot_i16_i16(&x, &w, &xs, &ws);
+        let slow = generic::dot(&x, &w, &xs, &ws);
+        prop_assert!((fast - slow).abs() <= slow.abs() * 1e-4 + 1e-2);
+    }
+
+    /// Biased optimized AXPY lands within one model quantum of the
+    /// generic reference (the integer multiplier is quantized to Q17.15).
+    #[test]
+    fn axpy_i8_i8_biased_close(
+        pairs in proptest::collection::vec((any::<i8>(), any::<i8>()), 1..200),
+        a in -0.5f32..0.5,
+    ) {
+        let xs = FixedSpec::unit_range(8);
+        let ws = FixedSpec::model_range(8);
+        let x: Vec<i8> = pairs.iter().map(|p| p.0).collect();
+        let mut w_fast: Vec<i8> = pairs.iter().map(|p| p.1).collect();
+        let mut w_slow = w_fast.clone();
+        optimized::axpy_i8_i8(&mut w_fast, a, &x, &xs, &ws, AxpyRand::Biased);
+        generic::axpy(&mut w_slow, a, &x, &xs, &ws, Rounding::Biased, || 0.0);
+        for (f, s) in w_fast.iter().zip(&w_slow) {
+            prop_assert!((*f as i32 - *s as i32).abs() <= 1, "{f} vs {s}");
+        }
+    }
+
+    /// Unbiased AXPY with any shared block lands on one of the two grid
+    /// points bracketing the exact update.
+    #[test]
+    fn axpy_unbiased_brackets_exact_update(
+        x in any::<i8>(),
+        w0 in -100i8..100,
+        a in -0.4f32..0.4,
+        block_word in any::<u32>(),
+    ) {
+        let xs = FixedSpec::unit_range(8);
+        let ws = FixedSpec::model_range(8);
+        let block = [block_word; 8];
+        let mut w = vec![w0];
+        optimized::axpy_i8_i8(&mut w, a, &[x], &xs, &ws, AxpyRand::Shared(&block));
+        // Exact update in model quanta.
+        let exact = w0 as f64
+            + a as f64 * (x as f64 * xs.quantum() as f64) / ws.quantum() as f64;
+        let lo = exact.floor() as i64 - 1; // ±1 slack for Q17.15 multiplier error
+        let hi = exact.ceil() as i64 + 1;
+        let got = w[0] as i64;
+        prop_assert!(
+            got >= lo.clamp(-128, 127) && got <= hi.clamp(-128, 127),
+            "got {got}, exact {exact}"
+        );
+    }
+
+    /// Sparse optimized dot equals sparse generic dot.
+    #[test]
+    fn sparse_dot_equivalent(
+        entries in proptest::collection::vec((0usize..64, any::<i8>()), 0..32),
+        w in proptest::collection::vec(any::<i8>(), 64),
+    ) {
+        // Deduplicate and sort indices.
+        let mut map = std::collections::BTreeMap::new();
+        for (i, v) in entries {
+            map.insert(i, v);
+        }
+        let indices: Vec<u32> = map.keys().map(|&i| i as u32).collect();
+        let values: Vec<i8> = map.values().copied().collect();
+        let xs = FixedSpec::unit_range(8);
+        let ws = FixedSpec::model_range(8);
+        let fast = sparse::dot_fixed_fixed(&values, &indices, &w, &xs, &ws);
+        let slow = sparse::dot_generic(&values, &indices, &w, &xs, &ws);
+        prop_assert!((fast - slow).abs() <= slow.abs() * 1e-4 + 1e-3);
+    }
+
+    /// Sparse AXPY never writes outside the indexed coordinates.
+    #[test]
+    fn sparse_axpy_footprint(
+        entries in proptest::collection::vec((0usize..32, any::<i8>()), 1..16),
+        a in -1.0f32..1.0,
+    ) {
+        let mut map = std::collections::BTreeMap::new();
+        for (i, v) in entries {
+            map.insert(i, v);
+        }
+        let indices: Vec<u32> = map.keys().map(|&i| i as u32).collect();
+        let values: Vec<i8> = map.values().copied().collect();
+        let xs = FixedSpec::unit_range(8);
+        let ws = FixedSpec::model_range(8);
+        let mut w: Vec<i8> = vec![42; 32];
+        sparse::axpy_fixed_fixed(&mut w, a, &values, &indices, &xs, &ws, AxpyRand::Biased);
+        for (i, &v) in w.iter().enumerate() {
+            if !map.contains_key(&i) {
+                prop_assert_eq!(v, 42, "untouched slot {} changed", i);
+            }
+        }
+    }
+
+    /// Float kernels: axpy then dot is consistent with direct computation.
+    #[test]
+    fn float_axpy_dot_consistency(
+        x in proptest::collection::vec(-1.0f32..1.0, 1..100),
+        a in -1.0f32..1.0,
+    ) {
+        let mut w = vec![0f32; x.len()];
+        optimized::axpy_f32_f32(&mut w, a, &x);
+        let d = optimized::dot_f32_f32(&x, &w);
+        let norm: f32 = x.iter().map(|v| v * v).sum();
+        prop_assert!((d - a * norm).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,314 @@
+//! Matrix multiply kernels: the compute core of convolution.
+//!
+//! `C = A · B` with `A: m x k`, `B: k x n`, all row-major. The quantized
+//! variants mirror the Figure 7a experiment: the same multiply with 8- or
+//! 16-bit operands and integer accumulation, which is where low precision
+//! buys its near-linear conv-layer speedup.
+
+use buckwild_fixed::FixedSpec;
+
+/// Register-block width of the GEMM inner loops (one vector of outputs
+/// held in registers across the whole k reduction).
+const JB: usize = 16;
+
+/// `C += A·B` in `f32`, register-blocked over the output columns.
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match `m·k`, `k·n`, `m·n`.
+pub fn gemm_f32(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(c.len(), m * n, "C shape mismatch");
+    let blocks = n / JB;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for jb in 0..blocks {
+            let j0 = jb * JB;
+            let mut acc = [0f32; JB];
+            for (p, &a_val) in a_row.iter().enumerate() {
+                let b_blk = &b[p * n + j0..p * n + j0 + JB];
+                for l in 0..JB {
+                    acc[l] += a_val * b_blk[l];
+                }
+            }
+            for (c_el, &v) in c[i * n + j0..i * n + j0 + JB].iter_mut().zip(&acc) {
+                *c_el += v;
+            }
+        }
+        // Remainder columns.
+        for j in blocks * JB..n {
+            let mut acc = 0f32;
+            for (p, &a_val) in a_row.iter().enumerate() {
+                acc += a_val * b[p * n + j];
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+/// `C += dequant(A·B)` with 8-bit operands and `i32` accumulation — the
+/// D8 conv path.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn gemm_i8(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    b: &[i8],
+    a_spec: &FixedSpec,
+    b_spec: &FixedSpec,
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(c.len(), m * n, "C shape mismatch");
+    let scale = a_spec.quantum() * b_spec.quantum();
+    let blocks = n / JB;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for jb in 0..blocks {
+            let j0 = jb * JB;
+            let mut acc = [0i32; JB];
+            for (p, &a_val) in a_row.iter().enumerate() {
+                let a_wide = a_val as i32;
+                let b_blk = &b[p * n + j0..p * n + j0 + JB];
+                for l in 0..JB {
+                    acc[l] += a_wide * b_blk[l] as i32;
+                }
+            }
+            for (c_el, &v) in c[i * n + j0..i * n + j0 + JB].iter_mut().zip(&acc) {
+                *c_el += v as f32 * scale;
+            }
+        }
+        for j in blocks * JB..n {
+            let mut acc = 0i32;
+            for (p, &a_val) in a_row.iter().enumerate() {
+                acc += a_val as i32 * b[p * n + j] as i32;
+            }
+            c[i * n + j] += acc as f32 * scale;
+        }
+    }
+}
+
+/// `C += dequant(A·B)` with 16-bit operands and `i64` accumulation — the
+/// D16 conv path.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn gemm_i16(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i16],
+    b: &[i16],
+    a_spec: &FixedSpec,
+    b_spec: &FixedSpec,
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(c.len(), m * n, "C shape mismatch");
+    let scale = a_spec.quantum() * b_spec.quantum();
+    let blocks = n / JB;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for jb in 0..blocks {
+            let j0 = jb * JB;
+            // i32 accumulators with periodic spill to i64: a_val·b fits
+            // i30, so 2 products per accumulator are safe; we spill every
+            // 256 products to stay far from overflow.
+            let mut acc64 = [0i64; JB];
+            let mut acc = [0i32; JB];
+            for (p, &a_val) in a_row.iter().enumerate() {
+                let a_wide = a_val as i32;
+                let b_blk = &b[p * n + j0..p * n + j0 + JB];
+                for l in 0..JB {
+                    // Headroom: pre-scale products by 1/2 (restored at spill).
+                    acc[l] = acc[l].wrapping_add((a_wide * b_blk[l] as i32) >> 1);
+                }
+                if p % 128 == 127 {
+                    for l in 0..JB {
+                        acc64[l] += acc[l] as i64;
+                        acc[l] = 0;
+                    }
+                }
+            }
+            for l in 0..JB {
+                acc64[l] += acc[l] as i64;
+            }
+            for (c_el, &v) in c[i * n + j0..i * n + j0 + JB].iter_mut().zip(&acc64) {
+                *c_el += (v * 2) as f32 * scale;
+            }
+        }
+        for j in blocks * JB..n {
+            let mut acc = 0i64;
+            for (p, &a_val) in a_row.iter().enumerate() {
+                acc += a_val as i64 * b[p * n + j] as i64;
+            }
+            c[i * n + j] += acc as f32 * scale;
+        }
+    }
+}
+
+/// `C += Aᵀ·B` in `f32` (`A: k x m`, used by conv backward).
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn gemm_at_b(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(c.len(), m * n, "C shape mismatch");
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_val) in a_row.iter().enumerate() {
+            if a_val == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
+                *c_el += a_val * b_el;
+            }
+        }
+    }
+}
+
+/// `C += A·Bᵀ` in `f32` (`B: n x k`, used by conv weight gradients).
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn gemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), n * k, "B shape mismatch");
+    assert_eq!(c.len(), m * n, "C shape mismatch");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, c_el) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0f32;
+            for (&a_el, &b_el) in a_row.iter().zip(b_row) {
+                acc += a_el * b_el;
+            }
+            *c_el += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn gemm_f32_matches_reference() {
+        let (m, k, n) = (3, 4, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.3).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut c = vec![0f32; m * n];
+        gemm_f32(m, k, n, &a, &b, &mut c);
+        for (got, want) in c.iter().zip(reference(m, k, n, &a, &b)) {
+            assert!((got - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let mut c = vec![1.0f32];
+        gemm_f32(1, 1, 1, &[2.0], &[3.0], &mut c);
+        assert_eq!(c[0], 7.0);
+    }
+
+    #[test]
+    fn gemm_i8_matches_f32_within_quantum() {
+        let (m, k, n) = (2, 8, 3);
+        let spec = FixedSpec::unit_range(8);
+        let a_q: Vec<i8> = (0..m * k).map(|i| ((i * 37) % 255) as i8).collect();
+        let b_q: Vec<i8> = (0..k * n).map(|i| ((i * 91) % 255) as i8).collect();
+        let a_f: Vec<f32> = a_q.iter().map(|&v| v as f32 * spec.quantum()).collect();
+        let b_f: Vec<f32> = b_q.iter().map(|&v| v as f32 * spec.quantum()).collect();
+        let mut c_q = vec![0f32; m * n];
+        let mut c_f = vec![0f32; m * n];
+        gemm_i8(m, k, n, &a_q, &b_q, &spec, &spec, &mut c_q);
+        gemm_f32(m, k, n, &a_f, &b_f, &mut c_f);
+        for (q, f) in c_q.iter().zip(&c_f) {
+            assert!((q - f).abs() < 1e-4, "{q} vs {f}");
+        }
+    }
+
+    #[test]
+    fn gemm_i16_matches_f32_within_quantum() {
+        let (m, k, n) = (2, 5, 2);
+        let spec = FixedSpec::unit_range(16);
+        let a_q: Vec<i16> = (0..m * k).map(|i| ((i * 1037) % 60000) as i16).collect();
+        let b_q: Vec<i16> = (0..k * n).map(|i| ((i * 2291) % 60000) as i16).collect();
+        let a_f: Vec<f32> = a_q.iter().map(|&v| v as f32 * spec.quantum()).collect();
+        let b_f: Vec<f32> = b_q.iter().map(|&v| v as f32 * spec.quantum()).collect();
+        let mut c_q = vec![0f32; m * n];
+        let mut c_f = vec![0f32; m * n];
+        gemm_i16(m, k, n, &a_q, &b_q, &spec, &spec, &mut c_q);
+        gemm_f32(m, k, n, &a_f, &b_f, &mut c_f);
+        for (q, f) in c_q.iter().zip(&c_f) {
+            assert!((q - f).abs() < 1e-3, "{q} vs {f}");
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_reference() {
+        let (m, k, n) = (3, 4, 2);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| i as f32 * 0.2 - 0.5).collect();
+        let want = reference(m, k, n, &a, &b);
+
+        // gemm_at_b takes A transposed (k x m).
+        let mut a_t = vec![0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                a_t[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut c = vec![0f32; m * n];
+        gemm_at_b(m, k, n, &a_t, &b, &mut c);
+        for (got, w) in c.iter().zip(&want) {
+            assert!((got - w).abs() < 1e-5);
+        }
+
+        // gemm_a_bt takes B transposed (n x k).
+        let mut b_t = vec![0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                b_t[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut c2 = vec![0f32; m * n];
+        gemm_a_bt(m, k, n, &a, &b_t, &mut c2);
+        for (got, w) in c2.iter().zip(&want) {
+            assert!((got - w).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shapes_checked() {
+        let mut c = vec![0f32; 1];
+        gemm_f32(1, 2, 1, &[1.0], &[1.0, 2.0], &mut c);
+    }
+}

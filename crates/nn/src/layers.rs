@@ -1,0 +1,618 @@
+//! CNN layers: convolution (im2col + GEMM), max-pool, dense, ReLU.
+
+use buckwild_fixed::FixedSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gemm;
+use crate::quant::WeightQuantizer;
+use crate::Tensor;
+
+/// A trainable network layer processing one sample at a time.
+///
+/// `forward` caches whatever `backward` needs; `backward` accumulates
+/// parameter gradients internally and returns the input gradient;
+/// `apply_update` performs the SGD step (and the paper's low-precision
+/// weight simulation via the [`WeightQuantizer`]).
+pub trait Layer {
+    /// Forward pass; caches the input for backward.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Backward pass: consumes the output gradient, accumulates parameter
+    /// gradients, returns the input gradient.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Applies the accumulated gradients with step `lr`, quantizes the
+    /// weights through `quantizer`, and clears the gradient accumulators.
+    fn apply_update(&mut self, lr: f32, quantizer: &mut WeightQuantizer);
+
+    /// Number of trainable parameters.
+    fn parameters(&self) -> usize;
+
+    /// Short layer name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Kaiming-ish uniform initialization bound for `fan_in` inputs.
+fn init_bound(fan_in: usize) -> f32 {
+    (1.0 / fan_in as f32).sqrt()
+}
+
+/// 2D convolution over `[c, h, w]` tensors via im2col + GEMM.
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    /// `[out, in*k*k]` row-major filter matrix.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weights: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_cols: Vec<f32>,
+    cached_in_shape: Vec<usize>,
+    batch_count: usize,
+}
+
+impl std::fmt::Debug for Conv2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conv2d")
+            .field("in_channels", &self.in_channels)
+            .field("out_channels", &self.out_channels)
+            .field("kernel", &self.kernel)
+            .field("stride", &self.stride)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Conv2d {
+    /// Creates a convolution with `kernel x kernel` filters (no padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    #[must_use]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0);
+        let fan_in = in_channels * kernel * kernel;
+        let bound = init_bound(fan_in);
+        let mut rng = StdRng::seed_from_u64(seed);
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            weights: (0..out_channels * fan_in)
+                .map(|_| rng.gen_range(-bound..=bound))
+                .collect(),
+            bias: vec![0.0; out_channels],
+            grad_weights: vec![0.0; out_channels * fan_in],
+            grad_bias: vec![0.0; out_channels],
+            cached_cols: Vec::new(),
+            cached_in_shape: Vec::new(),
+            batch_count: 0,
+        }
+    }
+
+    /// Output spatial size for an input of `h x w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is smaller than the kernel.
+    #[must_use]
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(h >= self.kernel && w >= self.kernel, "input below kernel size");
+        (
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// The im2col expansion: output `[in*k*k, oh*ow]` column matrix.
+    fn im2col(&self, input: &Tensor) -> (Vec<f32>, usize, usize) {
+        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let (oh, ow) = self.output_size(h, w);
+        let k = self.kernel;
+        let rows = c * k * k;
+        let mut cols = vec![0f32; rows * oh * ow];
+        let data = input.as_slice();
+        for ci in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ci * k + ky) * k + kx;
+                    for oy in 0..oh {
+                        let iy = oy * self.stride + ky;
+                        for ox in 0..ow {
+                            let ix = ox * self.stride + kx;
+                            cols[row * (oh * ow) + oy * ow + ox] =
+                                data[(ci * h + iy) * w + ix];
+                        }
+                    }
+                }
+            }
+        }
+        (cols, oh, ow)
+    }
+
+    /// Forward pass with quantized arithmetic at `bits` (8 or 16) — the
+    /// Figure 7a throughput path. Semantically approximates the `f32`
+    /// forward; used for timing and for quantized-inference checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 8 or 16, or on shape mismatch.
+    #[must_use]
+    pub fn forward_quantized(&mut self, input: &Tensor, bits: u32) -> Tensor {
+        let (cols, oh, ow) = self.im2col(input);
+        let k_dim = self.in_channels * self.kernel * self.kernel;
+        let n_dim = oh * ow;
+        let mut out = vec![0f32; self.out_channels * n_dim];
+        // Inputs are in [0, 1] and weights in (-1, 1): unit-range grids.
+        let spec = FixedSpec::unit_range(bits);
+        match bits {
+            8 => {
+                let wq: Vec<i8> = self
+                    .weights
+                    .iter()
+                    .map(|&v| spec.quantize_biased(v) as i8)
+                    .collect();
+                let cq: Vec<i8> = cols.iter().map(|&v| spec.quantize_biased(v) as i8).collect();
+                gemm::gemm_i8(self.out_channels, k_dim, n_dim, &wq, &cq, &spec, &spec, &mut out);
+            }
+            16 => {
+                let wq: Vec<i16> = self
+                    .weights
+                    .iter()
+                    .map(|&v| spec.quantize_biased(v) as i16)
+                    .collect();
+                let cq: Vec<i16> =
+                    cols.iter().map(|&v| spec.quantize_biased(v) as i16).collect();
+                gemm::gemm_i16(self.out_channels, k_dim, n_dim, &wq, &cq, &spec, &spec, &mut out);
+            }
+            _ => panic!("quantized conv supports 8 or 16 bits, got {bits}"),
+        }
+        for (o, chunk) in out.chunks_mut(n_dim).enumerate() {
+            for v in chunk {
+                *v += self.bias[o];
+            }
+        }
+        Tensor::from_vec(out, &[self.out_channels, oh, ow])
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "conv expects [c, h, w]");
+        assert_eq!(input.shape()[0], self.in_channels, "channel mismatch");
+        let (cols, oh, ow) = self.im2col(input);
+        let k_dim = self.in_channels * self.kernel * self.kernel;
+        let n_dim = oh * ow;
+        let mut out = vec![0f32; self.out_channels * n_dim];
+        gemm::gemm_f32(self.out_channels, k_dim, n_dim, &self.weights, &cols, &mut out);
+        for (o, chunk) in out.chunks_mut(n_dim).enumerate() {
+            for v in chunk {
+                *v += self.bias[o];
+            }
+        }
+        self.cached_cols = cols;
+        self.cached_in_shape = input.shape().to_vec();
+        Tensor::from_vec(out, &[self.out_channels, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (oh, ow) = (grad_out.shape()[1], grad_out.shape()[2]);
+        let n_dim = oh * ow;
+        let k_dim = self.in_channels * self.kernel * self.kernel;
+        let g = grad_out.as_slice();
+
+        // grad_W += G · colsᵀ  (G: out x n, cols: k_dim x n).
+        gemm::gemm_a_bt(
+            self.out_channels,
+            n_dim,
+            k_dim,
+            g,
+            &self.cached_cols,
+            &mut self.grad_weights,
+        );
+        for (o, gb) in self.grad_bias.iter_mut().enumerate() {
+            *gb += g[o * n_dim..(o + 1) * n_dim].iter().sum::<f32>();
+        }
+
+        // grad_cols = Wᵀ · G  (k_dim x n), then col2im.
+        let mut grad_cols = vec![0f32; k_dim * n_dim];
+        gemm::gemm_at_b(k_dim, self.out_channels, n_dim, &self.weights, g, &mut grad_cols);
+
+        let (c, h, w) = (
+            self.cached_in_shape[0],
+            self.cached_in_shape[1],
+            self.cached_in_shape[2],
+        );
+        let mut grad_in = Tensor::zeros(&[c, h, w]);
+        let gi = grad_in.as_mut_slice();
+        let k = self.kernel;
+        for ci in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ci * k + ky) * k + kx;
+                    for oy in 0..oh {
+                        let iy = oy * self.stride + ky;
+                        for ox in 0..ow {
+                            let ix = ox * self.stride + kx;
+                            gi[(ci * h + iy) * w + ix] +=
+                                grad_cols[row * n_dim + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+        self.batch_count += 1;
+        grad_in
+    }
+
+    fn apply_update(&mut self, lr: f32, quantizer: &mut WeightQuantizer) {
+        let scale = lr / self.batch_count.max(1) as f32;
+        for (w, g) in self.weights.iter_mut().zip(&self.grad_weights) {
+            *w -= scale * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(&self.grad_bias) {
+            *b -= scale * g;
+        }
+        quantizer.quantize_in_place(&mut self.weights);
+        quantizer.quantize_in_place(&mut self.bias);
+        self.grad_weights.fill(0.0);
+        self.grad_bias.fill(0.0);
+        self.batch_count = 0;
+    }
+
+    fn parameters(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// 2x2 max pooling with stride 2.
+#[derive(Debug, Default)]
+pub struct MaxPool2d {
+    /// Flat indices of each pooled maximum, for backward routing.
+    cached_argmax: Vec<usize>,
+    cached_in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a 2x2/stride-2 pool.
+    #[must_use]
+    pub fn new() -> Self {
+        MaxPool2d::default()
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        assert!(h >= 2 && w >= 2, "pool needs at least 2x2 input");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        self.cached_argmax = vec![0; c * oh * ow];
+        let data = input.as_slice();
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best_idx = (ci * h + oy * 2) * w + ox * 2;
+                    let mut best = data[best_idx];
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx = (ci * h + oy * 2 + dy) * w + ox * 2 + dx;
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out.set(&[ci, oy, ox], best);
+                    self.cached_argmax[(ci * oh + oy) * ow + ox] = best_idx;
+                }
+            }
+        }
+        self.cached_in_shape = input.shape().to_vec();
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(&self.cached_in_shape);
+        let gi = grad_in.as_mut_slice();
+        for (&slot, &g) in self.cached_argmax.iter().zip(grad_out.as_slice()) {
+            gi[slot] += g;
+        }
+        grad_in
+    }
+
+    fn apply_update(&mut self, _lr: f32, _quantizer: &mut WeightQuantizer) {}
+
+    fn parameters(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+/// Fully connected layer over flattened inputs.
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weights: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Vec<f32>,
+    batch_count: usize,
+}
+
+impl std::fmt::Debug for Dense {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dense")
+            .field("in_features", &self.in_features)
+            .field("out_features", &self.out_features)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Dense {
+    /// Creates a dense layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero.
+    #[must_use]
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0);
+        let bound = init_bound(in_features);
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dense {
+            in_features,
+            out_features,
+            weights: (0..out_features * in_features)
+                .map(|_| rng.gen_range(-bound..=bound))
+                .collect(),
+            bias: vec![0.0; out_features],
+            grad_weights: vec![0.0; out_features * in_features],
+            grad_bias: vec![0.0; out_features],
+            cached_input: Vec::new(),
+            batch_count: 0,
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.len(), self.in_features, "dense input size mismatch");
+        let x = input.as_slice();
+        let mut out = self.bias.clone();
+        for (o, out_el) in out.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            *out_el += row.iter().zip(x).map(|(&w, &xi)| w * xi).sum::<f32>();
+        }
+        self.cached_input = x.to_vec();
+        Tensor::from_vec(out, &[self.out_features])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = grad_out.as_slice();
+        for (o, &go) in g.iter().enumerate() {
+            self.grad_bias[o] += go;
+            let row =
+                &mut self.grad_weights[o * self.in_features..(o + 1) * self.in_features];
+            for (gw, &xi) in row.iter_mut().zip(&self.cached_input) {
+                *gw += go * xi;
+            }
+        }
+        let mut grad_in = vec![0f32; self.in_features];
+        for (o, &go) in g.iter().enumerate() {
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            for (gi, &w) in grad_in.iter_mut().zip(row) {
+                *gi += go * w;
+            }
+        }
+        self.batch_count += 1;
+        Tensor::from_vec(grad_in, &[self.in_features])
+    }
+
+    fn apply_update(&mut self, lr: f32, quantizer: &mut WeightQuantizer) {
+        let scale = lr / self.batch_count.max(1) as f32;
+        for (w, g) in self.weights.iter_mut().zip(&self.grad_weights) {
+            *w -= scale * g;
+        }
+        for (b, g) in self.bias.iter_mut().zip(&self.grad_bias) {
+            *b -= scale * g;
+        }
+        quantizer.quantize_in_place(&mut self.weights);
+        quantizer.quantize_in_place(&mut self.bias);
+        self.grad_weights.fill(0.0);
+        self.grad_bias.fill(0.0);
+        self.batch_count = 0;
+    }
+
+    fn parameters(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+/// Elementwise rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    #[must_use]
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.mask = input.iter().map(|&v| v > 0.0).collect();
+        let data = input.iter().map(|&v| v.max(0.0)).collect();
+        Tensor::from_vec(data, input.shape())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let data = grad_out
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_out.shape())
+    }
+
+    fn apply_update(&mut self, _lr: f32, _quantizer: &mut WeightQuantizer) {}
+
+    fn parameters(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::WeightQuantizer;
+
+    fn finite_diff_check<L: Layer>(layer: &mut L, input: &Tensor, out_index: usize) {
+        // d out[out_index] / d input[j] via backward vs finite differences.
+        let out = layer.forward(input);
+        let mut grad_seed = Tensor::zeros(out.shape());
+        grad_seed.as_mut_slice()[out_index] = 1.0;
+        let grad_in = layer.backward(&grad_seed);
+
+        let h = 1e-3f32;
+        for j in 0..input.len().min(8) {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[j] += h;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[j] -= h;
+            let fd = (layer.forward(&plus).as_slice()[out_index]
+                - layer.forward(&minus).as_slice()[out_index])
+                / (2.0 * h);
+            let an = grad_in.as_slice()[j];
+            assert!(
+                (fd - an).abs() < 1e-2 * (1.0 + fd.abs()),
+                "element {j}: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_output_shape() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0);
+        let out = conv.forward(&Tensor::zeros(&[1, 5, 5]));
+        assert_eq!(out.shape(), &[2, 3, 3]);
+        let mut strided = Conv2d::new(3, 4, 3, 2, 0);
+        let out = strided.forward(&Tensor::zeros(&[3, 9, 9]));
+        assert_eq!(out.shape(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn conv_gradient_matches_finite_difference() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 7);
+        let input = Tensor::from_vec(
+            (0..25).map(|i| ((i * 13) % 10) as f32 / 10.0 - 0.4).collect(),
+            &[1, 5, 5],
+        );
+        finite_diff_check(&mut conv, &input, 4);
+    }
+
+    #[test]
+    fn conv_quantized_matches_f32_coarsely() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 9);
+        let input = Tensor::from_vec(
+            (0..36).map(|i| (i % 7) as f32 / 7.0).collect(),
+            &[1, 6, 6],
+        );
+        let exact = conv.forward(&input);
+        let q16 = conv.forward_quantized(&input, 16);
+        let q8 = conv.forward_quantized(&input, 8);
+        assert_eq!(q8.shape(), exact.shape());
+        for ((e, q16v), q8v) in exact.iter().zip(q16.iter()).zip(q8.iter()) {
+            assert!((e - q16v).abs() < 0.01, "{e} vs {q16v}");
+            assert!((e - q8v).abs() < 0.15, "{e} vs {q8v}");
+        }
+    }
+
+    #[test]
+    fn dense_gradient_matches_finite_difference() {
+        let mut dense = Dense::new(6, 3, 11);
+        let input = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.7, -0.5, 0.05], &[6]);
+        finite_diff_check(&mut dense, &input, 1);
+    }
+
+    #[test]
+    fn pool_forward_and_routing() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            &[1, 4, 4],
+        );
+        let mut pool = MaxPool2d::new();
+        let out = pool.forward(&input);
+        assert_eq!(out.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+        let grad = pool.backward(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]));
+        assert_eq!(grad.get(&[0, 1, 1]), 1.0);
+        assert_eq!(grad.get(&[0, 1, 3]), 2.0);
+        assert_eq!(grad.get(&[0, 3, 1]), 3.0);
+        assert_eq!(grad.get(&[0, 3, 3]), 4.0);
+        assert_eq!(grad.as_slice().iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut relu = Relu::new();
+        let out = relu.forward(&Tensor::from_vec(vec![-1.0, 2.0, 0.0], &[3]));
+        assert_eq!(out.as_slice(), &[0.0, 2.0, 0.0]);
+        let grad = relu.backward(&Tensor::from_vec(vec![5.0, 5.0, 5.0], &[3]));
+        assert_eq!(grad.as_slice(), &[0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn update_moves_weights_and_clears_grads() {
+        let mut dense = Dense::new(2, 1, 3);
+        let before = dense.weights.clone();
+        let _ = dense.forward(&Tensor::from_vec(vec![1.0, 1.0], &[2]));
+        let _ = dense.backward(&Tensor::from_vec(vec![1.0], &[1]));
+        let mut quant = WeightQuantizer::full_precision();
+        dense.apply_update(0.1, &mut quant);
+        assert_ne!(dense.weights, before);
+        assert!(dense.grad_weights.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn parameter_counts() {
+        assert_eq!(Conv2d::new(1, 2, 3, 1, 0).parameters(), 2 * 9 + 2);
+        assert_eq!(Dense::new(4, 3, 0).parameters(), 15);
+        assert_eq!(Relu::new().parameters(), 0);
+        assert_eq!(MaxPool2d::new().parameters(), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! LeNet-style network builders (LeCun et al. 1998, the paper's Figure 7b
+//! architecture).
+
+use crate::layers::{Conv2d, Dense, MaxPool2d, Relu};
+use crate::Network;
+
+/// A LeNet-style CNN sized for the classic 28x28 input:
+/// conv(8 filters, 5x5) → ReLU → pool → conv(16, 5x5) → ReLU → pool →
+/// dense(64) → ReLU → dense(classes).
+///
+/// (The original LeNet-5 uses 20/50 filters; this is scaled to train in
+/// seconds on a laptop core while keeping the architecture shape.)
+///
+/// # Panics
+///
+/// Panics if `classes == 0`.
+#[must_use]
+pub fn lenet5(classes: usize, seed: u64) -> Network {
+    assert!(classes > 0, "need at least one class");
+    // 28x28 -> conv5 -> 24x24 -> pool -> 12x12 -> conv5 -> 8x8 -> pool -> 4x4.
+    let flat = 16 * 4 * 4;
+    Network::new(
+        vec![
+            Box::new(Conv2d::new(1, 8, 5, 1, seed)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new()),
+            Box::new(Conv2d::new(8, 16, 5, 1, seed.wrapping_add(1))),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new()),
+            Box::new(Dense::new(flat, 64, seed.wrapping_add(2))),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(64, classes, seed.wrapping_add(3))),
+        ],
+        classes,
+    )
+}
+
+/// A tiny LeNet-shaped CNN for arbitrary small inputs: one conv + pool +
+/// two dense layers. Used by fast tests and examples.
+///
+/// # Panics
+///
+/// Panics if the input is smaller than 6x6 or `classes == 0`.
+#[must_use]
+pub fn tiny(height: usize, width: usize, channels: usize, classes: usize, seed: u64) -> Network {
+    assert!(height >= 6 && width >= 6, "input must be at least 6x6");
+    assert!(classes > 0, "need at least one class");
+    let (ch, cw) = (height - 2, width - 2); // conv 3x3 stride 1
+    let (ph, pw) = (ch / 2, cw / 2);
+    let flat = 4 * ph * pw;
+    Network::new(
+        vec![
+            Box::new(Conv2d::new(channels, 4, 3, 1, seed)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new()),
+            Box::new(Dense::new(flat, 32, seed.wrapping_add(1))),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(32, classes, seed.wrapping_add(2))),
+        ],
+        classes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tensor, WeightQuantizer};
+    use buckwild_dataset::{ImageDataset, ImageShape};
+    use buckwild_fixed::Rounding;
+
+    #[test]
+    fn lenet5_shapes_compose() {
+        let mut net = lenet5(10, 1);
+        let probs = net.forward(&Tensor::zeros(&[1, 28, 28]));
+        assert_eq!(probs.len(), 10);
+        assert!(net.parameters() > 10_000);
+    }
+
+    #[test]
+    fn tiny_learns_synthetic_digits() {
+        let shape = ImageShape {
+            height: 8,
+            width: 8,
+            channels: 1,
+        };
+        let data = ImageDataset::generate(shape, 3, 20, 0.12, 3);
+        let (train, test) = data.split(0.8);
+        let mut net = tiny(8, 8, 1, 3, 4);
+        let mut quant = WeightQuantizer::full_precision();
+        let stats = net.train(&train, 10, 4, 0.25, &mut quant);
+        assert!(stats.final_train_accuracy > 0.9, "{stats:?}");
+        assert!(net.test_error(&test) < 0.25);
+    }
+
+    #[test]
+    fn tiny_trains_below_8_bits_with_unbiased_rounding() {
+        // The Figure 7b surprise: "it is possible to train accurately even
+        // below 8-bits, using unbiased rounding".
+        let shape = ImageShape {
+            height: 8,
+            width: 8,
+            channels: 1,
+        };
+        let data = ImageDataset::generate(shape, 2, 24, 0.1, 5);
+        let mut net = tiny(8, 8, 1, 2, 6);
+        let mut quant = WeightQuantizer::fixed(7, Rounding::Unbiased, 7);
+        let stats = net.train(&data, 14, 4, 0.3, &mut quant);
+        assert!(
+            stats.final_train_accuracy > 0.8,
+            "7-bit accuracy {}",
+            stats.final_train_accuracy
+        );
+    }
+}

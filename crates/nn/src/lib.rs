@@ -1,0 +1,48 @@
+//! A minimal CNN substrate for the paper's deep-learning experiments.
+//!
+//! The paper's §7 evaluation uses two deep-learning artifacts:
+//!
+//! 1. **Convolution-layer throughput** (Figure 7a): conv layers dominate
+//!    CNN training cost, so the throughput of one AlexNet-conv1-shaped
+//!    layer at different precisions proxies whole-system hardware
+//!    efficiency. Here that is [`Conv2d`] forward passes over the
+//!    quantized [`gemm`] paths.
+//! 2. **LeNet statistical efficiency** (Figure 7b): the authors modified
+//!    the Mocha framework "to simulate low-precision arithmetic of
+//!    arbitrary bit widths" and measured test error as model precision
+//!    shrinks, with biased vs unbiased rounding. Here [`Network`] training
+//!    applies the same simulation: after every update, weights are
+//!    re-quantized to a configurable bit width with either rounding mode
+//!    ([`WeightQuantizer`]).
+//!
+//! The substrate is deliberately small — tensors are plain `f32` buffers,
+//! one sample at a time, layers cache what backward needs — but it is a
+//! complete CNN training stack built from scratch (conv via im2col + GEMM,
+//! max-pool, dense, ReLU, softmax cross-entropy).
+//!
+//! # Example
+//!
+//! ```
+//! use buckwild_nn::{lenet, Tensor, WeightQuantizer};
+//!
+//! let mut net = lenet::tiny(8, 8, 1, 3, 42); // 8x8 grayscale, 3 classes
+//! let x = Tensor::zeros(&[1, 8, 8]);
+//! let probs = net.forward(&x);
+//! assert_eq!(probs.len(), 3);
+//! assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gemm;
+pub mod layers;
+pub mod lenet;
+mod net;
+mod quant;
+mod tensor;
+
+pub use layers::{Conv2d, Dense, Layer, MaxPool2d, Relu};
+pub use net::{Network, TrainStats};
+pub use quant::WeightQuantizer;
+pub use tensor::Tensor;

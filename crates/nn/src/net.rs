@@ -1,0 +1,274 @@
+//! Sequential networks with softmax cross-entropy training.
+
+use buckwild_dataset::ImageDataset;
+
+use crate::quant::WeightQuantizer;
+use crate::{Layer, Tensor};
+
+/// A sequential stack of layers trained with mini-batch SGD under softmax
+/// cross-entropy, with optional simulated low-precision weights.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    classes: usize,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Network")
+            .field("layers", &names)
+            .field("classes", &self.classes)
+            .finish()
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainStats {
+    /// Mean cross-entropy loss per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Training accuracy after the final epoch.
+    pub final_train_accuracy: f64,
+}
+
+impl Network {
+    /// Builds a network from layers; the final layer's output length is the
+    /// class count (softmax applied by [`Network::forward`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or `classes == 0`.
+    #[must_use]
+    pub fn new(layers: Vec<Box<dyn Layer>>, classes: usize) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        assert!(classes > 0, "need at least one class");
+        Network { layers, classes }
+    }
+
+    /// Number of output classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Total trainable parameters.
+    #[must_use]
+    pub fn parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.parameters()).sum()
+    }
+
+    /// Forward pass producing class probabilities (softmax of the last
+    /// layer's logits).
+    pub fn forward(&mut self, input: &Tensor) -> Vec<f32> {
+        let logits = self.logits(input);
+        softmax(&logits)
+    }
+
+    fn logits(&mut self, input: &Tensor) -> Vec<f32> {
+        let mut current = input.clone();
+        for layer in &mut self.layers {
+            current = layer.forward(&current);
+        }
+        let flat_len = current.len();
+        current.reshape(&[flat_len]).into_vec()
+    }
+
+    /// Predicted class for one input.
+    pub fn predict(&mut self, input: &Tensor) -> usize {
+        let probs = self.forward(input);
+        let mut best = 0;
+        for (i, &p) in probs.iter().enumerate() {
+            if p > probs[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// One backward pass from softmax cross-entropy at `label`; returns the
+    /// loss. Gradients accumulate in the layers until `apply_update`.
+    fn backward_from_label(&mut self, logits: &[f32], label: usize) -> f64 {
+        let probs = softmax(logits);
+        let loss = -(probs[label].max(1e-12)).ln() as f64;
+        let mut grad: Vec<f32> = probs;
+        grad[label] -= 1.0;
+        let mut grad_t = Tensor::from_vec(grad, &[self.classes]);
+        for layer in self.layers.iter_mut().rev() {
+            grad_t = layer.backward(&grad_t);
+        }
+        loss
+    }
+
+    /// Trains on an image dataset for `epochs` epochs of mini-batch SGD.
+    ///
+    /// `quantizer` simulates the low-precision model: after every update
+    /// all weights are re-quantized (paper Figure 7b methodology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty, a label is out of range, or
+    /// `minibatch == 0`.
+    pub fn train(
+        &mut self,
+        data: &ImageDataset,
+        epochs: usize,
+        minibatch: usize,
+        lr: f32,
+        quantizer: &mut WeightQuantizer,
+    ) -> TrainStats {
+        assert!(!data.is_empty(), "dataset is empty");
+        assert!(minibatch > 0, "mini-batch must be positive");
+        let shape = data.shape();
+        let mut epoch_losses = Vec::with_capacity(epochs);
+        for _epoch in 0..epochs {
+            let mut total_loss = 0f64;
+            let mut in_batch = 0usize;
+            for i in 0..data.len() {
+                let x = Tensor::from_vec(
+                    data.image(i).to_vec(),
+                    &[shape.channels, shape.height, shape.width],
+                );
+                let label = data.label(i);
+                assert!(label < self.classes, "label {label} out of range");
+                let logits = self.logits(&x);
+                total_loss += self.backward_from_label(&logits, label);
+                in_batch += 1;
+                if in_batch == minibatch {
+                    for layer in &mut self.layers {
+                        layer.apply_update(lr, quantizer);
+                    }
+                    in_batch = 0;
+                }
+            }
+            if in_batch > 0 {
+                for layer in &mut self.layers {
+                    layer.apply_update(lr, quantizer);
+                }
+            }
+            epoch_losses.push(total_loss / data.len() as f64);
+        }
+        let final_train_accuracy = self.accuracy(data);
+        TrainStats {
+            epoch_losses,
+            final_train_accuracy,
+        }
+    }
+
+    /// Classification accuracy over an image dataset.
+    pub fn accuracy(&mut self, data: &ImageDataset) -> f64 {
+        let shape = data.shape();
+        let mut correct = 0usize;
+        for i in 0..data.len() {
+            let x = Tensor::from_vec(
+                data.image(i).to_vec(),
+                &[shape.channels, shape.height, shape.width],
+            );
+            if self.predict(&x) == data.label(i) {
+                correct += 1;
+            }
+        }
+        correct as f64 / data.len() as f64
+    }
+
+    /// Test error (1 - accuracy).
+    pub fn test_error(&mut self, data: &ImageDataset) -> f64 {
+        1.0 - self.accuracy(data)
+    }
+}
+
+/// Numerically stable softmax.
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use buckwild_dataset::{ImageDataset, ImageShape};
+
+    const SHAPE: ImageShape = ImageShape {
+        height: 6,
+        width: 6,
+        channels: 1,
+    };
+
+    fn mlp(classes: usize) -> Network {
+        Network::new(
+            vec![
+                Box::new(Dense::new(36, 16, 1)),
+                Box::new(Relu::new()),
+                Box::new(Dense::new(16, classes, 2)),
+            ],
+            classes,
+        )
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability at large logits.
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forward_gives_probabilities() {
+        let mut net = mlp(3);
+        let probs = net.forward(&Tensor::zeros(&[1, 6, 6]));
+        assert_eq!(probs.len(), 3);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let data = ImageDataset::generate(SHAPE, 2, 30, 0.1, 5);
+        let mut net = mlp(2);
+        let mut quant = WeightQuantizer::full_precision();
+        let stats = net.train(&data, 12, 4, 0.3, &mut quant);
+        assert!(
+            stats.epoch_losses.first().unwrap() > stats.epoch_losses.last().unwrap(),
+            "{:?}",
+            stats.epoch_losses
+        );
+        assert!(
+            stats.final_train_accuracy > 0.9,
+            "accuracy {}",
+            stats.final_train_accuracy
+        );
+    }
+
+    #[test]
+    fn quantized_training_still_learns_at_8_bits() {
+        use buckwild_fixed::Rounding;
+        let data = ImageDataset::generate(SHAPE, 2, 30, 0.1, 6);
+        let mut net = mlp(2);
+        let mut quant = WeightQuantizer::fixed(8, Rounding::Unbiased, 7);
+        let stats = net.train(&data, 12, 4, 0.3, &mut quant);
+        assert!(
+            stats.final_train_accuracy > 0.85,
+            "accuracy {}",
+            stats.final_train_accuracy
+        );
+    }
+
+    #[test]
+    fn parameters_sum_layers() {
+        let net = mlp(3);
+        assert_eq!(net.parameters(), 36 * 16 + 16 + 16 * 3 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        let data = ImageDataset::generate(SHAPE, 4, 2, 0.1, 8);
+        let mut net = mlp(2); // only 2 outputs but 4 classes
+        let mut quant = WeightQuantizer::full_precision();
+        let _ = net.train(&data, 1, 1, 0.1, &mut quant);
+    }
+}

@@ -1,0 +1,126 @@
+//! Simulated low-precision weight storage (the Mocha modification).
+
+use buckwild_fixed::{FixedSpec, Rounding};
+use buckwild_prng::{Prng, Xorshift128};
+
+/// Re-quantizes network weights after every update, simulating a model
+/// stored at an arbitrary bit width — exactly how the paper measures
+/// Figure 7b ("we modified Mocha … to simulate low-precision arithmetic of
+/// arbitrary bit widths").
+///
+/// Weights use a `[-4, 4)` fixed-point grid (2 integer bits), matching the
+/// shared-model convention in the `buckwild` core crate.
+#[derive(Debug, Clone)]
+pub struct WeightQuantizer {
+    spec: Option<FixedSpec>,
+    rounding: Rounding,
+    rng: Xorshift128,
+}
+
+impl WeightQuantizer {
+    /// No quantization: full-precision `f32` weights.
+    #[must_use]
+    pub fn full_precision() -> Self {
+        WeightQuantizer {
+            spec: None,
+            rounding: Rounding::Biased,
+            rng: Xorshift128::seed_from(0),
+        }
+    }
+
+    /// Quantizes weights to `bits` with the given rounding mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `3 <= bits <= 32`.
+    #[must_use]
+    pub fn fixed(bits: u32, rounding: Rounding, seed: u64) -> Self {
+        assert!((3..=32).contains(&bits), "weight width must be 3..=32 bits");
+        WeightQuantizer {
+            spec: Some(FixedSpec::model_range(bits)),
+            rounding,
+            rng: Xorshift128::seed_from(seed),
+        }
+    }
+
+    /// The model bit width, or `None` for full precision.
+    #[must_use]
+    pub fn bits(&self) -> Option<u32> {
+        self.spec.map(|s| s.bits())
+    }
+
+    /// Projects every weight onto the quantization grid.
+    pub fn quantize_in_place(&mut self, weights: &mut [f32]) {
+        let Some(spec) = self.spec else {
+            return;
+        };
+        match self.rounding {
+            Rounding::Biased => {
+                for w in weights {
+                    *w = spec.round_value(*w);
+                }
+            }
+            Rounding::Unbiased => {
+                for w in weights {
+                    let u = self.rng.next_f32();
+                    *w = spec.dequantize(spec.quantize_unbiased(*w, u));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_precision_is_identity() {
+        let mut q = WeightQuantizer::full_precision();
+        let mut w = vec![0.123456f32, -0.654321];
+        let before = w.clone();
+        q.quantize_in_place(&mut w);
+        assert_eq!(w, before);
+        assert_eq!(q.bits(), None);
+    }
+
+    #[test]
+    fn biased_projects_to_grid() {
+        let mut q = WeightQuantizer::fixed(8, Rounding::Biased, 0);
+        let mut w = vec![0.1f32, -0.07, 3.99, -5.0];
+        q.quantize_in_place(&mut w);
+        let spec = FixedSpec::model_range(8);
+        for v in &w {
+            assert_eq!(*v, spec.round_value(*v), "{v} not on grid");
+        }
+        // Saturation at the grid edge.
+        assert_eq!(w[3], spec.min_value());
+    }
+
+    #[test]
+    fn unbiased_brackets_and_is_unbiased() {
+        let mut q = WeightQuantizer::fixed(8, Rounding::Unbiased, 42);
+        let spec = FixedSpec::model_range(8);
+        let x = 0.1f32; // 6.4 quanta on the 1/64 grid
+        let mut sum = 0f64;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let mut w = vec![x];
+            q.quantize_in_place(&mut w);
+            let quanta = w[0] / spec.quantum();
+            assert!(quanta == 6.0 || quanta == 7.0, "got {quanta}");
+            sum += w[0] as f64;
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - x as f64).abs() < 2e-3, "mean {mean}");
+    }
+
+    #[test]
+    fn very_low_precision_grids_are_coarse() {
+        let mut q = WeightQuantizer::fixed(4, Rounding::Biased, 0);
+        let mut w = vec![0.3f32];
+        q.quantize_in_place(&mut w);
+        // 4-bit model grid: quantum 0.25 -> 0.3 rounds to 0.25.
+        assert_eq!(w[0], 0.25);
+    }
+}

@@ -1,0 +1,209 @@
+//! A minimal dense tensor: an `f32` buffer with a shape.
+
+/// A dense row-major tensor of `f32` values.
+///
+/// # Example
+///
+/// ```
+/// use buckwild_nn::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// assert_eq!(t.shape(), &[2, 2]);
+/// assert_eq!(t.get(&[1, 0]), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// A zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or any dimension is zero.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "shape must be nonempty");
+        assert!(shape.iter().all(|&d| d > 0), "dimensions must be positive");
+        Tensor {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Wraps a buffer with a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length does not match the shape product.
+    #[must_use]
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "buffer/shape mismatch"
+        );
+        assert!(!shape.is_empty(), "shape must be nonempty");
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// The shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements (never constructible).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The flat buffer, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes into the flat buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of range.
+    #[must_use]
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Sets the value at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let o = self.offset(index);
+        self.data[o] = value;
+    }
+
+    fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "rank mismatch");
+        let mut o = 0usize;
+        for (i, (&idx, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(idx < dim, "index {idx} out of range {dim} at axis {i}");
+            o = o * dim + idx;
+        }
+        o
+    }
+
+    /// Reinterprets with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    #[must_use]
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        assert_eq!(
+            self.data.len(),
+            shape.iter().product::<usize>(),
+            "reshape element-count mismatch"
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Iterator over elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, f32> {
+        self.data.iter()
+    }
+
+    /// Index of the maximum element (first on ties).
+    ///
+    /// # Panics
+    ///
+    /// Never: tensors are nonempty by construction.
+    #[must_use]
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert!(t.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 7.0);
+        assert_eq!(t.get(&[1, 2]), 7.0);
+        assert_eq!(t.as_slice()[5], 7.0); // row-major offset 1*3+2
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bounds_checked() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.get(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn rank_checked() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.get(&[1]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).reshape(&[2, 2]);
+        assert_eq!(t.get(&[1, 1]), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn reshape_checks_count() {
+        let _ = Tensor::zeros(&[4]).reshape(&[3]);
+    }
+
+    #[test]
+    fn argmax_first_max() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 5.0, 2.0], &[4]);
+        assert_eq!(t.argmax(), 1);
+    }
+}

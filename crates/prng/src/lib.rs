@@ -1,0 +1,178 @@
+//! Pseudorandom number generation for unbiased stochastic rounding.
+//!
+//! Unbiased rounding (paper §5.2) needs one uniform sample per model write —
+//! `n` samples per SGD iteration. At 8-bit precision the arithmetic itself
+//! is so cheap that the PRNG can dominate the cost of the whole algorithm,
+//! so the paper studies three strategies:
+//!
+//! 1. **Mersenne Twister** ([`Mt19937`]) — the Boost default; statistically
+//!    excellent but slow, and resistant to vectorization.
+//! 2. **XORSHIFT** ([`Xorshift32`], [`Xorshift64`], [`Xorshift128`], and the
+//!    lane-vectorized [`XorshiftLanes`]) — Marsaglia's three-shift
+//!    generators; statistically weaker but an order of magnitude faster, and
+//!    trivially vectorizable (the paper hand-writes an AVX2 XORSHIFT).
+//! 3. **Shared randomness** ([`SharedRandomness`]) — run the PRNG once per
+//!    *iteration* (256 fresh bits) and reuse those bits for every rounding
+//!    in the AXPY. Each individual rounding stays unbiased; only
+//!    independence is sacrificed, which the paper shows costs almost no
+//!    statistical efficiency (Figure 5a) while amortizing the PRNG to
+//!    near-zero cost (Figure 5b).
+//!
+//! All generators implement the [`Prng`] trait. [`PrngKind`] names them for
+//! configuration sweeps.
+//!
+//! # Example
+//!
+//! ```
+//! use buckwild_prng::{Prng, PrngKind, Xorshift32};
+//!
+//! let mut rng = Xorshift32::seed_from(42);
+//! let u = rng.next_f32();
+//! assert!((0.0..1.0).contains(&u));
+//! let mut boxed = PrngKind::Xorshift.build(42);
+//! assert!((0.0..1.0).contains(&boxed.next_f32()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kind;
+mod lanes;
+mod mt;
+mod shared;
+mod xorshift;
+
+pub use kind::PrngKind;
+pub use lanes::XorshiftLanes;
+pub use mt::Mt19937;
+pub use shared::SharedRandomness;
+pub use xorshift::{Xorshift128, Xorshift32, Xorshift64};
+
+/// A deterministic pseudorandom generator usable for stochastic rounding.
+///
+/// Implementors are seeded explicitly, never from ambient entropy, so every
+/// experiment in the workspace is reproducible.
+pub trait Prng {
+    /// Returns the next 32 pseudorandom bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 pseudorandom bits (two 32-bit draws by default).
+    fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) << 32 | self.next_u32() as u64
+    }
+
+    /// Returns a uniform sample on `[0, 1)` with 24 bits of resolution.
+    ///
+    /// 24 bits matches the `f32` mantissa, which is ample for rounding
+    /// decisions at <= 16-bit precision.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Returns a uniform sample on `[0, 1)` with 53 bits of resolution.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fills `buf` with pseudorandom bytes.
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        let mut chunks = buf.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            let n = rem.len();
+            rem.copy_from_slice(&bytes[..n]);
+        }
+    }
+
+    /// Returns a uniform integer in `[0, bound)` via a 64-bit multiply-shift
+    /// (modulo bias is negligible for our bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn next_below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "bound must be positive");
+        ((self.next_u32() as u64 * bound as u64) >> 32) as u32
+    }
+}
+
+impl<P: Prng + ?Sized> Prng for Box<P> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Splits one seed into a well-distributed per-worker seed.
+///
+/// SplitMix64 finalizer; used everywhere a thread pool needs distinct,
+/// deterministic streams from a single experiment seed.
+#[must_use]
+pub fn split_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_f32_in_unit_interval() {
+        let mut rng = Xorshift32::seed_from(7);
+        for _ in 0..10_000 {
+            let u = rng.next_f32();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_handles_remainders() {
+        let mut rng = Xorshift32::seed_from(7);
+        for len in 0..9 {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 4 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = Xorshift64::seed_from(3);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        let mut rng = Xorshift32::seed_from(1);
+        let _ = rng.next_below(0);
+    }
+
+    #[test]
+    fn split_seed_streams_differ() {
+        let a = split_seed(42, 0);
+        let b = split_seed(42, 1);
+        let c = split_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, split_seed(42, 0));
+    }
+
+    #[test]
+    fn boxed_prng_is_usable() {
+        let mut rng: Box<dyn Prng> = Box::new(Xorshift32::seed_from(9));
+        let a = rng.next_u32();
+        let mut direct = Xorshift32::seed_from(9);
+        assert_eq!(a, direct.next_u32());
+    }
+}

@@ -1,0 +1,146 @@
+//! MT19937 Mersenne Twister (Matsumoto & Nishimura, 1998).
+//!
+//! The paper's baseline quantizer uses Boost's default PRNG, which is
+//! MT19937. This is a from-scratch implementation of the reference
+//! algorithm, verified against the authors' published test vector.
+
+use crate::Prng;
+
+const N: usize = 624;
+const M: usize = 397;
+const MATRIX_A: u32 = 0x9908_b0df;
+const UPPER_MASK: u32 = 0x8000_0000;
+const LOWER_MASK: u32 = 0x7fff_ffff;
+
+/// The MT19937 Mersenne Twister generator.
+///
+/// Period `2^19937 - 1`, 623-dimensional equidistribution — far stronger
+/// statistics than XORSHIFT, at several times the cost per draw and with a
+/// 2.5 KB state that defeats vectorization. Used as the statistical-quality
+/// baseline in the Figure 5 experiments.
+///
+/// # Example
+///
+/// ```
+/// use buckwild_prng::{Mt19937, Prng};
+///
+/// let mut rng = Mt19937::seed_from(5489);
+/// // First output of the reference implementation seeded with 5489.
+/// assert_eq!(rng.next_u32(), 0xD091_BB5C);
+/// ```
+#[derive(Clone)]
+pub struct Mt19937 {
+    state: [u32; N],
+    index: usize,
+}
+
+impl std::fmt::Debug for Mt19937 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mt19937")
+            .field("index", &self.index)
+            .field("state0", &self.state[0])
+            .finish_non_exhaustive()
+    }
+}
+
+impl Mt19937 {
+    /// Creates a generator with the reference `init_genrand` seeding.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        let mut state = [0u32; N];
+        state[0] = seed as u32;
+        for i in 1..N {
+            state[i] = 1_812_433_253u32
+                .wrapping_mul(state[i - 1] ^ (state[i - 1] >> 30))
+                .wrapping_add(i as u32);
+        }
+        Mt19937 { state, index: N }
+    }
+
+    fn generate(&mut self) {
+        for i in 0..N {
+            let y = (self.state[i] & UPPER_MASK) | (self.state[(i + 1) % N] & LOWER_MASK);
+            let mut next = self.state[(i + M) % N] ^ (y >> 1);
+            if y & 1 != 0 {
+                next ^= MATRIX_A;
+            }
+            self.state[i] = next;
+        }
+        self.index = 0;
+    }
+}
+
+impl Prng for Mt19937 {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= N {
+            self.generate();
+        }
+        let mut y = self.state[self.index];
+        self.index += 1;
+        // Tempering.
+        y ^= y >> 11;
+        y ^= (y << 7) & 0x9d2c_5680;
+        y ^= (y << 15) & 0xefc6_0000;
+        y ^ (y >> 18)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vector: the first ten outputs of MT19937 seeded with 5489
+    /// (the canonical default seed), from the authors' `mt19937ar.c`.
+    #[test]
+    fn matches_reference_vector() {
+        let mut rng = Mt19937::seed_from(5489);
+        let expected: [u32; 10] = [
+            0xD091_BB5C,
+            0x22AE_9EF6,
+            0xE7E1_FAEE,
+            0xD5C3_1F79,
+            0x2082_352C,
+            0xF807_B7DF,
+            0xE9D3_0005,
+            0x3895_AFE1,
+            0xA1E2_4BBA,
+            0x4EE4_092B,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(rng.next_u32(), e, "output {i}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Mt19937::seed_from(1);
+        let mut b = Mt19937::seed_from(2);
+        let matches = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(matches < 4);
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = Mt19937::seed_from(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f32() as f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let rng = Mt19937::seed_from(0);
+        assert!(!format!("{rng:?}").is_empty());
+    }
+
+    #[test]
+    fn state_regenerates_after_624_draws() {
+        let mut rng = Mt19937::seed_from(5489);
+        for _ in 0..N {
+            let _ = rng.next_u32();
+        }
+        assert_eq!(rng.index, N);
+        let _ = rng.next_u32();
+        assert_eq!(rng.index, 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Shared-randomness quantization (paper §5.2, third strategy).
+
+use crate::Prng;
+
+/// A uniform-sample source that reuses each PRNG draw `period` times.
+///
+/// The paper's key observation: stochastic rounding stays *unbiased* even
+/// when the rounding randomness is reused across elements — only
+/// independence between elements is lost, and empirically that costs almost
+/// no statistical efficiency (Figure 5a) while reducing PRNG cost by a
+/// factor of `period` (Figure 5b). The reference implementation runs a
+/// 256-bit vectorized XORSHIFT once per iteration and shares the bits across
+/// the whole AXPY; here the refresh cadence is the explicit `period`
+/// parameter, exposing the paper's "smooth trade-off between statistical and
+/// hardware efficiency".
+///
+/// # Example
+///
+/// ```
+/// use buckwild_prng::{SharedRandomness, Xorshift128};
+///
+/// let rng = Xorshift128::seed_from(7);
+/// let mut shared = SharedRandomness::new(rng, 4);
+/// let a = shared.next_uniform();
+/// assert_eq!(a, shared.next_uniform()); // reused
+/// assert_eq!(a, shared.next_uniform());
+/// assert_eq!(a, shared.next_uniform());
+/// assert_ne!(a, shared.next_uniform()); // refreshed (w.h.p.)
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedRandomness<P> {
+    inner: P,
+    period: u32,
+    remaining: u32,
+    current: f32,
+}
+
+impl<P: Prng> SharedRandomness<P> {
+    /// Wraps `inner`, reusing each draw `period` times.
+    ///
+    /// `period = 1` degenerates to fully independent draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    #[must_use]
+    pub fn new(inner: P, period: u32) -> Self {
+        assert!(period > 0, "period must be positive");
+        SharedRandomness {
+            inner,
+            period,
+            remaining: 0,
+            current: 0.0,
+        }
+    }
+
+    /// The reuse period.
+    #[must_use]
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Returns the current uniform sample, refreshing it from the inner
+    /// PRNG every `period` calls.
+    pub fn next_uniform(&mut self) -> f32 {
+        if self.remaining == 0 {
+            self.current = self.inner.next_f32();
+            self.remaining = self.period;
+        }
+        self.remaining -= 1;
+        self.current
+    }
+
+    /// Forces a refresh on the next call (e.g. at an iteration boundary, to
+    /// match the paper's once-per-AXPY cadence exactly).
+    pub fn invalidate(&mut self) {
+        self.remaining = 0;
+    }
+
+    /// Number of inner-PRNG draws consumed so far per `calls` facade calls:
+    /// `ceil(calls / period)`. Exposed for hardware-efficiency accounting.
+    #[must_use]
+    pub fn draws_for_calls(&self, calls: u64) -> u64 {
+        calls.div_ceil(self.period as u64)
+    }
+
+    /// Consumes the wrapper and returns the inner generator.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xorshift128;
+
+    #[test]
+    fn period_one_matches_inner() {
+        let mut shared = SharedRandomness::new(Xorshift128::seed_from(1), 1);
+        let mut direct = Xorshift128::seed_from(1);
+        for _ in 0..64 {
+            assert_eq!(shared.next_uniform(), direct.next_f32());
+        }
+    }
+
+    #[test]
+    fn reuses_exactly_period_times() {
+        let mut shared = SharedRandomness::new(Xorshift128::seed_from(2), 8);
+        let mut values = Vec::new();
+        for _ in 0..32 {
+            values.push(shared.next_uniform());
+        }
+        for chunk in values.chunks(8) {
+            assert!(chunk.iter().all(|&v| v == chunk[0]));
+        }
+        assert_ne!(values[0], values[8]);
+    }
+
+    #[test]
+    fn invalidate_forces_refresh() {
+        let mut shared = SharedRandomness::new(Xorshift128::seed_from(3), 100);
+        let a = shared.next_uniform();
+        shared.invalidate();
+        let b = shared.next_uniform();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn draw_accounting() {
+        let shared = SharedRandomness::new(Xorshift128::seed_from(4), 8);
+        assert_eq!(shared.draws_for_calls(0), 0);
+        assert_eq!(shared.draws_for_calls(1), 1);
+        assert_eq!(shared.draws_for_calls(8), 1);
+        assert_eq!(shared.draws_for_calls(9), 2);
+        assert_eq!(shared.draws_for_calls(64), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = SharedRandomness::new(Xorshift128::seed_from(5), 0);
+    }
+
+    #[test]
+    fn into_inner_round_trips() {
+        let shared = SharedRandomness::new(Xorshift128::seed_from(6), 4);
+        let mut inner = shared.into_inner();
+        let mut fresh = Xorshift128::seed_from(6);
+        assert_eq!(inner.next_u32(), fresh.next_u32());
+    }
+
+    /// The mean of shared-randomness samples is still ~0.5: sharing does not
+    /// bias the distribution, only correlates consecutive samples.
+    #[test]
+    fn shared_samples_remain_uniform_in_aggregate() {
+        let mut shared = SharedRandomness::new(Xorshift128::seed_from(7), 16);
+        let n = 64_000;
+        let mean: f64 =
+            (0..n).map(|_| shared.next_uniform() as f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,256 @@
+//! Marsaglia XORSHIFT generators (Xorshift RNGs, JSS 2003).
+//!
+//! These are the "very fast, but not very statistically reliable" generators
+//! the paper uses for stochastic rounding after observing that statistical
+//! quality far beyond independence of a few high bits is wasted on rounding
+//! decisions (§5.2, Figure 5a).
+
+use crate::{split_seed, Prng};
+
+/// 32-bit XORSHIFT with the classic `(13, 17, 5)` triple.
+///
+/// Period `2^32 - 1`. The cheapest generator in this crate — three shifts
+/// and three XORs per draw — and the scalar equivalent of one lane of the
+/// paper's AVX2 implementation.
+///
+/// # Example
+///
+/// ```
+/// use buckwild_prng::{Prng, Xorshift32};
+/// let mut rng = Xorshift32::seed_from(1);
+/// assert_ne!(rng.next_u32(), rng.next_u32());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Xorshift32 {
+    state: u32,
+}
+
+impl Xorshift32 {
+    /// Creates a generator from a raw nonzero state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state == 0` (zero is a fixed point of XORSHIFT).
+    #[must_use]
+    pub fn from_state(state: u32) -> Self {
+        assert!(state != 0, "xorshift state must be nonzero");
+        Xorshift32 { state }
+    }
+
+    /// Creates a generator from any seed (zero allowed) by mixing it first.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        let mixed = split_seed(seed, 0) as u32;
+        Xorshift32 {
+            state: if mixed == 0 { 0x9e37_79b9 } else { mixed },
+        }
+    }
+
+    /// The current raw state.
+    #[must_use]
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+}
+
+impl Prng for Xorshift32 {
+    fn next_u32(&mut self) -> u32 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.state = x;
+        x
+    }
+}
+
+/// 64-bit XORSHIFT with the `(13, 7, 17)` triple. Period `2^64 - 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Xorshift64 {
+    state: u64,
+}
+
+impl Xorshift64 {
+    /// Creates a generator from a raw nonzero state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state == 0`.
+    #[must_use]
+    pub fn from_state(state: u64) -> Self {
+        assert!(state != 0, "xorshift state must be nonzero");
+        Xorshift64 { state }
+    }
+
+    /// Creates a generator from any seed (zero allowed) by mixing it first.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        let mixed = split_seed(seed, 1);
+        Xorshift64 {
+            state: if mixed == 0 { 0x9e37_79b9_7f4a_7c15 } else { mixed },
+        }
+    }
+
+    /// Advances the state and returns the full 64-bit value.
+    pub fn next_state(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+}
+
+impl Prng for Xorshift64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_state() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next_state()
+    }
+}
+
+/// 128-bit XORSHIFT (Marsaglia's `xor128`). Period `2^128 - 1`.
+///
+/// This is the variant with the best statistical reputation among the
+/// original XORSHIFT family and the default choice for stochastic rounding
+/// in this workspace.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Xorshift128 {
+    x: u32,
+    y: u32,
+    z: u32,
+    w: u32,
+}
+
+impl Xorshift128 {
+    /// Creates a generator from four raw state words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all four words are zero.
+    #[must_use]
+    pub fn from_state(x: u32, y: u32, z: u32, w: u32) -> Self {
+        assert!(
+            x != 0 || y != 0 || z != 0 || w != 0,
+            "xorshift state must be nonzero"
+        );
+        Xorshift128 { x, y, z, w }
+    }
+
+    /// Creates a generator from any seed by mixing it into four words.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        let a = split_seed(seed, 2);
+        let b = split_seed(seed, 3);
+        Xorshift128 {
+            x: (a >> 32) as u32,
+            y: a as u32 | 1, // ensure nonzero state
+            z: (b >> 32) as u32,
+            w: b as u32,
+        }
+    }
+}
+
+impl Prng for Xorshift128 {
+    fn next_u32(&mut self) -> u32 {
+        let t = self.x ^ (self.x << 11);
+        self.x = self.y;
+        self.y = self.z;
+        self.z = self.w;
+        self.w = (self.w ^ (self.w >> 19)) ^ (t ^ (t >> 8));
+        self.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_xorshift32_sequence() {
+        // First outputs from state 1 with triple (13, 17, 5).
+        let mut rng = Xorshift32::from_state(1);
+        assert_eq!(rng.next_u32(), 270369);
+        assert_eq!(rng.next_u32(), 67634689);
+    }
+
+    #[test]
+    fn xorshift32_never_hits_zero() {
+        let mut rng = Xorshift32::from_state(1);
+        for _ in 0..100_000 {
+            assert_ne!(rng.next_u32(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_state_rejected_32() {
+        let _ = Xorshift32::from_state(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_state_rejected_64() {
+        let _ = Xorshift64::from_state(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_state_rejected_128() {
+        let _ = Xorshift128::from_state(0, 0, 0, 0);
+    }
+
+    #[test]
+    fn seed_from_zero_is_valid() {
+        let mut a = Xorshift32::seed_from(0);
+        let mut b = Xorshift64::seed_from(0);
+        let mut c = Xorshift128::seed_from(0);
+        assert_ne!(a.next_u32(), 0u32.wrapping_sub(a.state()));
+        let _ = b.next_u32();
+        let _ = c.next_u32();
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let mut a = Xorshift128::seed_from(1);
+        let mut b = Xorshift128::seed_from(2);
+        let same = (0..16).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    /// Crude monobit test: about half the bits over many draws should be set.
+    #[test]
+    fn monobit_balance() {
+        let mut rng = Xorshift128::seed_from(42);
+        let draws = 10_000u64;
+        let ones: u64 = (0..draws).map(|_| rng.next_u32().count_ones() as u64).sum();
+        let total = draws * 32;
+        let frac = ones as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.01, "ones fraction {frac}");
+    }
+
+    /// Mean of uniform draws should be close to 0.5.
+    #[test]
+    fn uniform_mean_near_half() {
+        for seed in 0..4u64 {
+            let mut rng = Xorshift64::seed_from(seed);
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| rng.next_f32() as f64).sum::<f64>() / n as f64;
+            assert!((mean - 0.5).abs() < 0.02, "seed {seed} mean {mean}");
+        }
+    }
+
+    /// Variance of uniform draws should be close to 1/12.
+    #[test]
+    fn uniform_variance_near_twelfth() {
+        let mut rng = Xorshift128::seed_from(5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "variance {var}");
+    }
+}

@@ -1,0 +1,54 @@
+//! FPGA design-space exploration for low-precision SGD (paper §8).
+//!
+//! ```text
+//! cargo run --release --example fpga_design_search -- 16384
+//! ```
+//!
+//! Runs the heuristic design search (the DHDL stand-in) for each precision
+//! on the modeled Stratix V, printing the chosen pipeline shape, lane
+//! count, mini-batch size, throughput, and resource usage.
+
+use buckwild_fpga::{search_best_design, Device, SgdDesign};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 14);
+    let device = Device::stratix_v();
+    println!("Stratix V design search, model n = {n}\n");
+    println!(
+        "{:<10} {:<12} {:>6} {:>5} {:>8} {:>8} {:>8} {:>9}",
+        "precision", "pipeline", "lanes", "B", "GNPS", "kALM", "DSPs", "GNPS/W"
+    );
+    for (d, m) in [(32u32, 32u32), (16, 16), (8, 16), (8, 8), (4, 4), (2, 2)] {
+        match search_best_design(&device, d, m, n) {
+            Some(result) => {
+                let r = result.report;
+                println!(
+                    "{:<10} {:<12} {:>6} {:>5} {:>8.2} {:>8.1} {:>8} {:>9.3}",
+                    format!("D{d}M{m}"),
+                    result.design.pipeline.to_string(),
+                    result.design.lanes,
+                    result.design.minibatch,
+                    r.throughput_gnps,
+                    r.alms_used as f64 / 1000.0,
+                    r.dsps_used,
+                    r.gnps_per_watt
+                );
+            }
+            None => println!("{:<10} no feasible design", format!("D{d}M{m}")),
+        }
+    }
+    println!("\nThe plain-SGD vs mini-batch crossover (paper: ~100 DRAM bursts):");
+    for log_n in [10usize, 12, 14, 16, 18] {
+        let size = 1usize << log_n;
+        let plain = SgdDesign::new(8, 8, size).lanes(64).evaluate(&device);
+        let batch = SgdDesign::new(8, 8, size).lanes(64).minibatch(64).evaluate(&device);
+        let bursts = SgdDesign::new(8, 8, size).bursts_per_example(&device);
+        println!(
+            "  n = 2^{log_n} ({bursts:>4} bursts): plain {:.2} GNPS vs mini-batch {:.2} GNPS",
+            plain.throughput_gnps, batch.throughput_gnps
+        );
+    }
+}

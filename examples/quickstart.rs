@@ -1,0 +1,45 @@
+//! Quickstart: train low-precision asynchronous SGD on logistic regression.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a synthetic logistic-regression problem (the paper's §4
+//! generative model), trains it at full precision and at the paper's
+//! flagship D8M8 signature, and compares quality and throughput.
+
+use buckwild::{accuracy, Loss, SgdConfig};
+use buckwild_dataset::generate;
+
+fn main() {
+    let n = 256; // model size
+    let m = 4000; // examples
+    println!("generating logistic regression problem: n = {n}, m = {m}");
+    let problem = generate::logistic_dense(n, m, 42);
+
+    let base = SgdConfig::new(Loss::Logistic)
+        .step_size(0.15)
+        .step_decay(0.8)
+        .epochs(12)
+        .threads(2)
+        .seed(7);
+
+    for sig in ["D32fM32f", "D16M16", "D8M8"] {
+        let config = base.clone().signature(sig.parse().expect("static signature"));
+        let report = config.train_dense(&problem.data).expect("valid config");
+        let acc = accuracy(Loss::Logistic, report.model(), &problem.data);
+        println!(
+            "{sig:>9}: final loss {:.4}, train accuracy {:.1}%, throughput {:.3} GNPS",
+            report.final_loss(),
+            acc * 100.0,
+            report.gnps(),
+        );
+    }
+    println!();
+    println!(
+        "The low-precision runs match full-precision quality — the paper's core claim. \
+         The SIMD throughput wins show up in the single-thread kernel benchmarks \
+         (`cargo run --release -p buckwild-bench --bin table2`); the multi-threaded \
+         engine above pays for Rust's per-element atomic accesses either way."
+    );
+}

@@ -1,0 +1,127 @@
+//! Cross-crate integration: the DMGC model, cache simulator, FPGA model,
+//! and training engine agree with each other and with the paper's claims.
+
+use buckwild::{Loss, SgdConfig, Signature};
+use buckwild_cachesim::{Machine, SgdWorkload, SimConfig};
+use buckwild_dataset::generate;
+use buckwild_dmgc::{AmdahlParams, PerfModel};
+use buckwild_fpga::{search_best_design, Device};
+
+/// The perf model calibrated from the *training engine* predicts the
+/// engine's own multi-thread throughput within a factor of two.
+#[test]
+fn perf_model_predicts_engine_throughput() {
+    let sig: Signature = "D8M8".parse().expect("static");
+    let n = 1 << 12;
+    let problem = generate::logistic_dense(n, 256, 31);
+    let run = |threads: usize| {
+        SgdConfig::new(Loss::Logistic)
+            .signature(sig)
+            .threads(threads)
+            .epochs(2)
+            .record_losses(false)
+            .train_dense(&problem.data)
+            .expect("valid config")
+            .gnps()
+    };
+    let t1 = run(1);
+    let t2 = run(2);
+    let mut model = PerfModel::new(AmdahlParams::paper_xeon());
+    model.calibrate(&sig, t1);
+    let predicted = model.predict(&sig, n, 2).expect("calibrated");
+    let ratio = predicted / t2;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "predicted {predicted} vs measured {t2}"
+    );
+}
+
+/// The cache simulator reproduces the §4 regime split the perf model
+/// encodes: once the model outgrows the private caches, sharers evict
+/// lines before the next write reaches them, so invalidation traffic per
+/// number falls (the communication-bound → bandwidth-bound transition).
+#[test]
+fn cachesim_invalidation_rate_falls_with_model_size() {
+    let run = |n: usize| {
+        let report = Machine::new(SimConfig::paper_xeon(4)).run(&SgdWorkload::dense(n, 1, 4));
+        report.invalidates_sent as f64 / report.numbers_processed as f64
+    };
+    let small = run(1 << 10); // 1 KB model: L1-resident everywhere
+    let large = run(1 << 20); // 1 MB model: exceeds the 256 KB L2
+    assert!(
+        small > 1.5 * large,
+        "invalidates/number: small {small} vs large {large}"
+    );
+}
+
+/// Obstinacy helps the simulator exactly where the software emulation says
+/// quality is unaffected — the §6.2 safe-win region.
+#[test]
+fn obstinate_cache_is_a_safe_win_on_small_models() {
+    let workload = SgdWorkload::dense(1 << 12, 1, 4);
+    let base = Machine::new(SimConfig::paper_xeon(4)).run(&workload);
+    let obstinate =
+        Machine::new(SimConfig::paper_xeon(4).with_obstinacy(0.5)).run(&workload);
+    assert!(obstinate.cycles < base.cycles, "no hardware win");
+
+    let problem = generate::logistic_dense(64, 600, 37);
+    let mut config = buckwild::obstinate::ObstinateConfig::new(Loss::Logistic, 0.5);
+    config.epochs = 6;
+    let stale_losses = config.train(&problem.data).expect("valid config");
+    let mut base_config = buckwild::obstinate::ObstinateConfig::new(Loss::Logistic, 0.0);
+    base_config.epochs = 6;
+    let base_losses = base_config.train(&problem.data).expect("valid config");
+    assert!(
+        stale_losses.last().unwrap() < &(base_losses.last().unwrap() + 0.1),
+        "statistical cost detected: {stale_losses:?} vs {base_losses:?}"
+    );
+}
+
+/// FPGA designs get faster and smaller as precision falls, and beat the
+/// modeled CPU's energy efficiency — the §8 headline.
+#[test]
+fn fpga_beats_cpu_energy_efficiency_at_low_precision() {
+    let device = Device::stratix_v();
+    let d8 = search_best_design(&device, 8, 8, 1 << 14).expect("feasible");
+    let d32 = search_best_design(&device, 32, 32, 1 << 14).expect("feasible");
+    assert!(d8.report.throughput_gnps > d32.report.throughput_gnps);
+    // Paper: FPGA 0.339 GNPS/W vs CPU 0.143 GNPS/W.
+    assert!(
+        d8.report.gnps_per_watt > 0.143,
+        "GNPS/W {}",
+        d8.report.gnps_per_watt
+    );
+}
+
+/// Signatures round-trip through the whole stack: parse -> engine
+/// validation -> display.
+#[test]
+fn signature_round_trip_through_engine() {
+    for text in ["D8M8", "D16M8", "D8i8M16", "D32fi32M32f"] {
+        let sig: Signature = text.parse().expect("test signature");
+        assert_eq!(sig.to_string(), text);
+        let config = SgdConfig::new(Loss::Logistic).signature(sig);
+        assert!(config.validate().is_ok(), "{text}");
+    }
+}
+
+/// The kernel cost model and the perf model agree on the ordering of the
+/// main-diagonal signatures.
+#[test]
+fn cost_model_and_table2_agree_on_ordering() {
+    use buckwild_kernels::cost::{estimate_gnps, QuantizerKind};
+    use buckwild_kernels::KernelFlavor;
+    let model = PerfModel::paper_xeon();
+    let gnps = |text: &str| {
+        let sig: Signature = text.parse().expect("static");
+        (
+            estimate_gnps(&sig, KernelFlavor::Optimized, QuantizerKind::XorshiftShared),
+            model.base_throughput(&sig).expect("calibrated"),
+        )
+    };
+    let (c8, p8) = gnps("D8M8");
+    let (c16, p16) = gnps("D16M16");
+    let (c32, p32) = gnps("D32fM32f");
+    assert!(c8 > c16 && c16 > c32, "cost model ordering");
+    assert!(p8 > p16 && p16 > p32, "paper table ordering");
+}

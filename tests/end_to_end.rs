@@ -1,0 +1,154 @@
+//! End-to-end integration tests: the full Buckwild! pipeline from dataset
+//! generation through quantization, asynchronous training, and evaluation.
+
+use buckwild::{accuracy, metrics, Loss, Rounding, SgdConfig, Signature};
+use buckwild_dataset::generate;
+
+fn trained_loss(sig: &str, threads: usize, seed: u64) -> f64 {
+    let problem = generate::logistic_dense(64, 800, seed);
+    SgdConfig::new(Loss::Logistic)
+        .signature(sig.parse().expect("test signature"))
+        .step_size(0.5)
+        .step_decay(0.85)
+        .epochs(8)
+        .threads(threads)
+        .seed(seed)
+        .train_dense(&problem.data)
+        .expect("valid config")
+        .final_loss()
+}
+
+#[test]
+fn every_supported_signature_converges_dense() {
+    // All nine Table 2 precision pairs must train to well below chance
+    // (ln 2 ≈ 0.693) on a separable-ish problem.
+    for sig in [
+        "D32fM32f", "D32fM16", "D32fM8", "D16M32f", "D16M16", "D16M8", "D8M32f", "D8M16",
+        "D8M8",
+    ] {
+        let loss = trained_loss(sig, 1, 3);
+        assert!(loss < 0.55, "{sig}: loss {loss}");
+    }
+}
+
+#[test]
+fn hogwild_matches_sequential_quality() {
+    let sequential = trained_loss("D8M8", 1, 5);
+    let hogwild = trained_loss("D8M8", 2, 5);
+    assert!(
+        (hogwild - sequential).abs() < 0.08,
+        "sequential {sequential} vs hogwild {hogwild}"
+    );
+}
+
+#[test]
+fn low_precision_quality_close_to_full_precision() {
+    // The paper's core statistical claim, end to end.
+    let full = trained_loss("D32fM32f", 2, 7);
+    let d16 = trained_loss("D16M16", 2, 7);
+    let d8 = trained_loss("D8M8", 2, 7);
+    assert!((d16 - full).abs() < 0.05, "D16M16 {d16} vs full {full}");
+    assert!(d8 < full + 0.1, "D8M8 {d8} vs full {full}");
+}
+
+#[test]
+fn sparse_pipeline_end_to_end() {
+    let problem = generate::logistic_sparse(512, 1500, 0.03, 9);
+    for sig in ["D32fi32M32f", "D8i8M8"] {
+        let report = SgdConfig::new(Loss::Logistic)
+            .signature(sig.parse().expect("test signature"))
+            .step_size(0.8)
+            .step_decay(0.85)
+            .epochs(10)
+            .threads(2)
+            .seed(1)
+            .train_sparse(&problem.data)
+            .expect("valid config");
+        let acc = metrics::accuracy_sparse(Loss::Logistic, report.model(), &problem.data);
+        assert!(acc > 0.75, "{sig}: accuracy {acc}");
+    }
+}
+
+#[test]
+fn recovered_model_correlates_with_truth() {
+    let problem = generate::logistic_dense(32, 1500, 13);
+    let report = SgdConfig::new(Loss::Logistic)
+        .signature(Signature::dense_fixed(8, 8))
+        .step_size(0.5)
+        .step_decay(0.9)
+        .epochs(12)
+        .seed(2)
+        .train_dense(&problem.data)
+        .expect("valid config");
+    // Cosine similarity between the recovered and true model directions.
+    let dot: f32 = report
+        .model()
+        .iter()
+        .zip(&problem.true_model)
+        .map(|(a, b)| a * b)
+        .sum();
+    let na: f32 = report.model().iter().map(|v| v * v).sum::<f32>().sqrt();
+    let nb: f32 = problem.true_model.iter().map(|v| v * v).sum::<f32>().sqrt();
+    let cosine = dot / (na * nb);
+    assert!(cosine > 0.8, "cosine similarity {cosine}");
+}
+
+#[test]
+fn minibatch_and_rounding_axes_compose() {
+    let problem = generate::logistic_dense(64, 800, 17);
+    for b in [1usize, 8, 64] {
+        for rounding in [Rounding::Biased, Rounding::Unbiased] {
+            let report = SgdConfig::new(Loss::Logistic)
+                .signature("D8M8".parse().expect("test signature"))
+                .minibatch(b)
+                .rounding(rounding)
+                .step_size(0.5)
+                .step_decay(0.85)
+                .epochs(8)
+                .train_dense(&problem.data)
+                .expect("valid config");
+            assert!(
+                report.final_loss() < 0.6,
+                "B={b} {rounding}: loss {}",
+                report.final_loss()
+            );
+        }
+    }
+}
+
+#[test]
+fn throughput_accounting_consistent_across_paths() {
+    let problem = generate::logistic_dense(32, 200, 19);
+    let report = SgdConfig::new(Loss::Logistic)
+        .epochs(4)
+        .record_losses(false)
+        .train_dense(&problem.data)
+        .expect("valid config");
+    assert_eq!(report.numbers_processed(), 32 * 200 * 4);
+    assert_eq!(report.iterations(), 800);
+    assert!(report.wall_seconds() > 0.0);
+    let sparse = generate::logistic_sparse(256, 200, 0.05, 19);
+    let sreport = SgdConfig::new(Loss::Logistic)
+        .epochs(4)
+        .record_losses(false)
+        .train_sparse(&sparse.data)
+        .expect("valid config");
+    assert_eq!(
+        sreport.numbers_processed(),
+        (sparse.data.nnz() * 4) as u64
+    );
+}
+
+#[test]
+fn classification_accuracy_reaches_generative_ceiling_neighborhood() {
+    let problem = generate::logistic_dense(64, 1200, 23);
+    let report = SgdConfig::new(Loss::Logistic)
+        .signature("D16M16".parse().expect("test signature"))
+        .step_size(0.5)
+        .step_decay(0.9)
+        .epochs(12)
+        .train_dense(&problem.data)
+        .expect("valid config");
+    let acc = accuracy(Loss::Logistic, report.model(), &problem.data);
+    assert!(acc > 0.85, "accuracy {acc}");
+}
