@@ -1,10 +1,10 @@
-//! Criterion microbenchmarks for the dot/AXPY kernels (Figure 4 backing).
+//! Microbenchmarks for the dot/AXPY kernels (Figure 4 backing).
 
+use buckwild_bench::harness::Group;
 use buckwild_fixed::FixedSpec;
 use buckwild_kernels::{generic, optimized, AxpyRand};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_dot(c: &mut Criterion) {
+fn main() {
     let n = 1 << 14;
     let x8: Vec<i8> = (0..n).map(|i| (i % 251) as i8).collect();
     let w8: Vec<i8> = (0..n).map(|i| (i % 127) as i8).collect();
@@ -13,38 +13,26 @@ fn bench_dot(c: &mut Criterion) {
     let xs = FixedSpec::unit_range(8);
     let ws = FixedSpec::model_range(8);
 
-    let mut group = c.benchmark_group("dot");
-    group.throughput(Throughput::Elements(n as u64));
-    group.bench_function(BenchmarkId::new("optimized", "D8M8"), |b| {
-        b.iter(|| optimized::dot_i8_i8(&x8, &w8, &xs, &ws))
+    let mut dot = Group::new("dot");
+    dot.bench("optimized/D8M8", n as u64, || {
+        optimized::dot_i8_i8(&x8, &w8, &xs, &ws)
     });
-    group.bench_function(BenchmarkId::new("generic", "D8M8"), |b| {
-        b.iter(|| generic::dot(&x8, &w8, &xs, &ws))
+    dot.bench("generic/D8M8", n as u64, || {
+        generic::dot(&x8, &w8, &xs, &ws)
     });
-    group.bench_function(BenchmarkId::new("optimized", "D32fM32f"), |b| {
-        b.iter(|| optimized::dot_f32_f32(&xf, &wf))
+    dot.bench("optimized/D32fM32f", n as u64, || {
+        optimized::dot_f32_f32(&xf, &wf)
     });
-    group.finish();
-}
+    let _ = dot.finish();
 
-fn bench_axpy(c: &mut Criterion) {
-    let n = 1 << 14;
-    let x8: Vec<i8> = (0..n).map(|i| (i % 251) as i8).collect();
-    let xs = FixedSpec::unit_range(8);
-    let ws = FixedSpec::model_range(8);
-    let mut w8: Vec<i8> = vec![0; n];
+    let mut w_target: Vec<i8> = vec![0; n];
     let block = [0x1234_5678u32; 8];
-
-    let mut group = c.benchmark_group("axpy");
-    group.throughput(Throughput::Elements(n as u64));
-    group.bench_function(BenchmarkId::new("optimized-biased", "D8M8"), |b| {
-        b.iter(|| optimized::axpy_i8_i8(&mut w8, 0.01, &x8, &xs, &ws, AxpyRand::Biased))
+    let mut axpy = Group::new("axpy");
+    axpy.bench("optimized-biased/D8M8", n as u64, || {
+        optimized::axpy_i8_i8(&mut w_target, 0.01, &x8, &xs, &ws, AxpyRand::Biased)
     });
-    group.bench_function(BenchmarkId::new("optimized-shared", "D8M8"), |b| {
-        b.iter(|| optimized::axpy_i8_i8(&mut w8, 0.01, &x8, &xs, &ws, AxpyRand::Shared(&block)))
+    axpy.bench("optimized-shared/D8M8", n as u64, || {
+        optimized::axpy_i8_i8(&mut w_target, 0.01, &x8, &xs, &ws, AxpyRand::Shared(&block))
     });
-    group.finish();
+    let _ = axpy.finish();
 }
-
-criterion_group!(benches, bench_dot, bench_axpy);
-criterion_main!(benches);

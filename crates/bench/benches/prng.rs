@@ -1,38 +1,36 @@
-//! Criterion microbenchmarks for the rounding PRNGs (Figure 5b backing).
+//! Microbenchmarks for the rounding PRNGs (Figure 5b backing).
 
+use buckwild_bench::harness::Group;
 use buckwild_prng::{Mt19937, Prng, SharedRandomness, Xorshift128, XorshiftLanes};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-fn bench_prng(c: &mut Criterion) {
+fn main() {
     let draws = 1 << 12;
-    let mut group = c.benchmark_group("prng");
-    group.throughput(Throughput::Elements(draws as u64));
-    group.bench_function("mt19937", |b| {
-        let mut rng = Mt19937::seed_from(1);
-        b.iter(|| (0..draws).map(|_| rng.next_u32()).fold(0u32, u32::wrapping_add))
+    let mut group = Group::new("prng");
+    let mut mt = Mt19937::seed_from(1);
+    group.bench("mt19937", draws as u64, || {
+        (0..draws)
+            .map(|_| mt.next_u32())
+            .fold(0u32, u32::wrapping_add)
     });
-    group.bench_function("xorshift128", |b| {
-        let mut rng = Xorshift128::seed_from(1);
-        b.iter(|| (0..draws).map(|_| rng.next_u32()).fold(0u32, u32::wrapping_add))
+    let mut xs = Xorshift128::seed_from(1);
+    group.bench("xorshift128", draws as u64, || {
+        (0..draws)
+            .map(|_| xs.next_u32())
+            .fold(0u32, u32::wrapping_add)
     });
-    group.bench_function("xorshift-lanes8", |b| {
-        let mut lanes = XorshiftLanes::<8>::seed_from(1);
-        b.iter(|| {
-            let mut acc = 0u32;
-            for _ in 0..draws / 8 {
-                for w in lanes.step() {
-                    acc = acc.wrapping_add(w);
-                }
+    let mut lanes = XorshiftLanes::<8>::seed_from(1);
+    group.bench("xorshift-lanes8", draws as u64, || {
+        let mut acc = 0u32;
+        for _ in 0..draws / 8 {
+            for w in lanes.step() {
+                acc = acc.wrapping_add(w);
             }
-            acc
-        })
+        }
+        acc
     });
-    group.bench_function("shared-randomness-p64", |b| {
-        let mut shared = SharedRandomness::new(Xorshift128::seed_from(1), 64);
-        b.iter(|| (0..draws).map(|_| shared.next_uniform()).sum::<f32>())
+    let mut shared = SharedRandomness::new(Xorshift128::seed_from(1), 64);
+    group.bench("shared-randomness-p64", draws as u64, || {
+        (0..draws).map(|_| shared.next_uniform()).sum::<f32>()
     });
-    group.finish();
+    let _ = group.finish();
 }
-
-criterion_group!(benches, bench_prng);
-criterion_main!(benches);

@@ -1,4 +1,8 @@
 //! Design-choice ablation sweeps. See `buckwild_bench::experiments::ablations`.
-fn main() {
-    buckwild_bench::experiments::ablations::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("ablations", buckwild_bench::experiments::ablations::result)
 }

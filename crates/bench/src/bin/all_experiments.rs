@@ -1,7 +1,11 @@
 //! Runs every table/figure experiment in paper order.
 //!
-//! Budget knobs: `BUCKWILD_SECONDS` (per measured point, default 0.25) and
-//! `BUCKWILD_FULL=1` (paper-scale sweeps).
-fn main() {
-    buckwild_bench::experiments::run_all();
+//! Flags: `--format {text,json}` (JSON output is an array of experiment
+//! documents), `--json <path>`, `--help`. Budget knobs: `BUCKWILD_SECONDS`
+//! (per measured point, default 0.25) and `BUCKWILD_FULL=1` (paper-scale
+//! sweeps).
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run_many("all_experiments", buckwild_bench::experiments::all_results)
 }

@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig2 experiment. See `buckwild_bench::experiments::fig2`.
-fn main() {
-    buckwild_bench::experiments::fig2::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig2", buckwild_bench::experiments::fig2::result)
 }

@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig3 experiment. See `buckwild_bench::experiments::fig3`.
-fn main() {
-    buckwild_bench::experiments::fig3::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig3", buckwild_bench::experiments::fig3::result)
 }

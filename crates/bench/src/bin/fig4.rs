@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig4 experiment. See `buckwild_bench::experiments::fig4`.
-fn main() {
-    buckwild_bench::experiments::fig4::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig4", buckwild_bench::experiments::fig4::result)
 }

@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig5a experiment. See `buckwild_bench::experiments::fig5a`.
-fn main() {
-    buckwild_bench::experiments::fig5a::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig5a", buckwild_bench::experiments::fig5a::result)
 }

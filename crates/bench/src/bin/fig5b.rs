@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig5b experiment. See `buckwild_bench::experiments::fig5b`.
-fn main() {
-    buckwild_bench::experiments::fig5b::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig5b", buckwild_bench::experiments::fig5b::result)
 }

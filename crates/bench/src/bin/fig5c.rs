@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig5c experiment. See `buckwild_bench::experiments::fig5c`.
-fn main() {
-    buckwild_bench::experiments::fig5c::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig5c", buckwild_bench::experiments::fig5c::result)
 }

@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig6ab experiment. See `buckwild_bench::experiments::fig6ab`.
-fn main() {
-    buckwild_bench::experiments::fig6ab::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig6ab", buckwild_bench::experiments::fig6ab::result)
 }

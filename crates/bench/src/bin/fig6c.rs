@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig6c experiment. See `buckwild_bench::experiments::fig6c`.
-fn main() {
-    buckwild_bench::experiments::fig6c::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig6c", buckwild_bench::experiments::fig6c::result)
 }

@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig6d experiment. See `buckwild_bench::experiments::fig6d`.
-fn main() {
-    buckwild_bench::experiments::fig6d::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig6d", buckwild_bench::experiments::fig6d::result)
 }

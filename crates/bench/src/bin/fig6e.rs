@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig6e experiment. See `buckwild_bench::experiments::fig6e`.
-fn main() {
-    buckwild_bench::experiments::fig6e::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig6e", buckwild_bench::experiments::fig6e::result)
 }

@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig6f experiment. See `buckwild_bench::experiments::fig6f`.
-fn main() {
-    buckwild_bench::experiments::fig6f::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig6f", buckwild_bench::experiments::fig6f::result)
 }

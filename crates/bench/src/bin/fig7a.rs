@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig7a experiment. See `buckwild_bench::experiments::fig7a`.
-fn main() {
-    buckwild_bench::experiments::fig7a::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig7a", buckwild_bench::experiments::fig7a::result)
 }

@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig7b experiment. See `buckwild_bench::experiments::fig7b`.
-fn main() {
-    buckwild_bench::experiments::fig7b::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig7b", buckwild_bench::experiments::fig7b::result)
 }

@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig7c experiment. See `buckwild_bench::experiments::fig7c`.
-fn main() {
-    buckwild_bench::experiments::fig7c::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig7c", buckwild_bench::experiments::fig7c::result)
 }

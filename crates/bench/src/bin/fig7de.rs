@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig7de experiment. See `buckwild_bench::experiments::fig7de`.
-fn main() {
-    buckwild_bench::experiments::fig7de::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig7de", buckwild_bench::experiments::fig7de::result)
 }

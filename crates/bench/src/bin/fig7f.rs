@@ -1,4 +1,8 @@
 //! Regenerates the paper's fig7f experiment. See `buckwild_bench::experiments::fig7f`.
-fn main() {
-    buckwild_bench::experiments::fig7f::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("fig7f", buckwild_bench::experiments::fig7f::result)
 }

@@ -1,4 +1,11 @@
 //! Regenerates the paper's new_instructions experiment. See `buckwild_bench::experiments::new_instructions`.
-fn main() {
-    buckwild_bench::experiments::new_instructions::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run(
+        "new_instructions",
+        buckwild_bench::experiments::new_instructions::result,
+    )
 }

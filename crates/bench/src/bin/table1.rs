@@ -1,4 +1,8 @@
 //! Regenerates the paper's table1 experiment. See `buckwild_bench::experiments::table1`.
-fn main() {
-    buckwild_bench::experiments::table1::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("table1", buckwild_bench::experiments::table1::result)
 }

@@ -1,4 +1,8 @@
 //! Regenerates the paper's table2 experiment. See `buckwild_bench::experiments::table2`.
-fn main() {
-    buckwild_bench::experiments::table2::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("table2", buckwild_bench::experiments::table2::result)
 }

@@ -1,4 +1,8 @@
 //! Regenerates the paper's table3 experiment. See `buckwild_bench::experiments::table3`.
-fn main() {
-    buckwild_bench::experiments::table3::run();
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--help`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run("table3", buckwild_bench::experiments::table3::result)
 }

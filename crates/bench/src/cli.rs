@@ -1,0 +1,205 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every binary under `src/bin/` accepts the same flags:
+//!
+//! * `--format {text,json}` — stdout rendering (default `text`, the
+//!   classic aligned tables; `json` prints the [`ExperimentResult`]
+//!   document described in README.md).
+//! * `--json <path>` — additionally write the JSON document to `path`,
+//!   regardless of the stdout format.
+//! * `--help` — print usage.
+//!
+//! Emitted JSON is validated against the schema (a parse round-trip
+//! through [`ExperimentResult::from_json`]) before it is printed or
+//! written, so a schema regression fails the binary instead of producing
+//! an unreadable trajectory file.
+
+use std::process::ExitCode;
+
+use buckwild_telemetry::json::Value;
+use buckwild_telemetry::ExperimentResult;
+
+/// Stdout rendering choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Aligned human-readable tables (the default).
+    Text,
+    /// The machine-readable JSON document.
+    Json,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Stdout rendering.
+    pub format: Format,
+    /// Optional path to also write the JSON document to.
+    pub json_path: Option<String>,
+}
+
+fn usage(name: &str) -> String {
+    format!(
+        "usage: {name} [--format {{text,json}}] [--json <path>]\n\
+         \n\
+           --format text   aligned tables on stdout (default)\n\
+         --format json   ExperimentResult JSON on stdout\n\
+         --json <path>   also write the JSON document to <path>\n\
+         \n\
+         budget knobs (environment): BUCKWILD_SECONDS, BUCKWILD_FULL=1"
+    )
+}
+
+/// Parses flags; `Ok(None)` means `--help` was requested.
+///
+/// # Errors
+///
+/// Returns a message naming the offending flag or missing value.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Options>, String> {
+    let mut options = Options {
+        format: Format::Text,
+        json_path: None,
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some("text") => options.format = Format::Text,
+                Some("json") => options.format = Format::Json,
+                Some(other) => {
+                    return Err(format!("unknown format `{other}` (expected text or json)"))
+                }
+                None => return Err("--format requires a value (text or json)".into()),
+            },
+            "--json" => match it.next() {
+                Some(path) => options.json_path = Some(path),
+                None => return Err("--json requires a path".into()),
+            },
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    Ok(Some(options))
+}
+
+/// Serializes a result set, validating each document against the schema.
+///
+/// # Errors
+///
+/// Returns the schema violation if a result does not round-trip.
+fn validated_json(results: &[ExperimentResult]) -> Result<String, String> {
+    for r in results {
+        ExperimentResult::from_json_value(&r.to_json_value())
+            .map_err(|e| format!("experiment `{}` violates the schema: {e}", r.id))?;
+    }
+    if results.len() == 1 {
+        Ok(results[0].to_json())
+    } else {
+        Ok(Value::Array(
+            results
+                .iter()
+                .map(ExperimentResult::to_json_value)
+                .collect(),
+        )
+        .to_json_pretty())
+    }
+}
+
+fn emit(name: &str, results: &[ExperimentResult], options: &Options) -> ExitCode {
+    let json = match validated_json(results) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match options.format {
+        Format::Text => {
+            for r in results {
+                print!("{}", r.render_text());
+            }
+        }
+        Format::Json => println!("{json}"),
+    }
+    if let Some(path) = &options.json_path {
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("{name}: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn dispatch<F: FnOnce() -> Vec<ExperimentResult>>(name: &str, build: F) -> ExitCode {
+    match parse(std::env::args().skip(1)) {
+        Ok(Some(options)) => emit(name, &build(), &options),
+        Ok(None) => {
+            println!("{}", usage(name));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{name}: {e}\n{}", usage(name));
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Entry point for a single-experiment binary: parses the process
+/// arguments, runs `build`, and renders per the flags.
+pub fn run<F: FnOnce() -> ExperimentResult>(name: &str, build: F) -> ExitCode {
+    dispatch(name, || vec![build()])
+}
+
+/// Entry point for a multi-experiment binary; JSON output is an array of
+/// experiment documents.
+pub fn run_many<F: FnOnce() -> Vec<ExperimentResult>>(name: &str, build: F) -> ExitCode {
+    dispatch(name, build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_to_text() {
+        let options = parse(args(&[])).unwrap().unwrap();
+        assert_eq!(options.format, Format::Text);
+        assert_eq!(options.json_path, None);
+    }
+
+    #[test]
+    fn parses_format_and_path() {
+        let options = parse(args(&["--format", "json", "--json", "/tmp/out.json"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(options.format, Format::Json);
+        assert_eq!(options.json_path.as_deref(), Some("/tmp/out.json"));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse(args(&["--help"])).unwrap(), None);
+        assert_eq!(parse(args(&["-h"])).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse(args(&["--format"])).is_err());
+        assert!(parse(args(&["--format", "yaml"])).is_err());
+        assert!(parse(args(&["--json"])).is_err());
+        assert!(parse(args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn validated_json_round_trips() {
+        let mut r = ExperimentResult::new("t", "title");
+        r.scalar("x", 1.0);
+        let one = validated_json(std::slice::from_ref(&r)).unwrap();
+        assert!(ExperimentResult::from_json(&one).is_ok());
+        let many = validated_json(&[r.clone(), r]).unwrap();
+        assert!(many.trim_start().starts_with('['));
+    }
+}

@@ -4,23 +4,40 @@
 //! picked where the paper leaves them open: the shared-randomness refresh
 //! period, the model fixed-point grid, and the AXPY multiplier precision.
 
+use std::num::NonZeroU32;
+
 use buckwild::{Loss, Rounding, SgdConfig};
 use buckwild_dataset::generate;
 use buckwild_kernels::cost::QuantizerKind;
+use buckwild_telemetry::{ExperimentResult, Series};
 
-use crate::{banner, print_header, print_row};
+/// Prints the ablation sweeps (text rendering of [`result`]).
+pub fn run() {
+    print!("{}", result().render_text());
+}
 
 /// Runs the ablation sweeps.
-pub fn run() {
-    banner("Ablations", "Design-choice sweeps for this reproduction");
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new("ablations", "Design-choice sweeps for this reproduction");
     let problem = generate::logistic_dense(64, 800, 71);
     let epochs = 8;
 
     // 1. Shared-randomness refresh period: the §5.2 statistical/hardware
-    // trade-off knob. Period 0 = once per iteration (the paper cadence).
-    println!("(1) shared-randomness refresh period (D8M8, final loss):");
-    print_header("period", &["loss".into()]);
-    for period in [0u32, 1, 8, 64, 512, 4096] {
+    // trade-off knob. `None` = refresh once per iteration (paper cadence).
+    let mut periods = Series::new(
+        "1 shared-randomness refresh period (D8M8, final loss)",
+        "period",
+        &["loss"],
+    );
+    for period in [
+        None,
+        NonZeroU32::new(1),
+        NonZeroU32::new(8),
+        NonZeroU32::new(64),
+        NonZeroU32::new(512),
+        NonZeroU32::new(4096),
+    ] {
         let report = SgdConfig::new(Loss::Logistic)
             .signature("D8M8".parse().expect("static"))
             .quantizer(QuantizerKind::XorshiftShared)
@@ -29,15 +46,23 @@ pub fn run() {
             .step_decay(0.85)
             .epochs(epochs)
             .seed(5)
-            .train_dense(&problem.data)
+            .train(&problem.data)
             .expect("valid config");
-        print_row(&format!("{period}"), &[report.final_loss()]);
+        let label = match period {
+            None => "per-iter".to_string(),
+            Some(p) => p.to_string(),
+        };
+        periods.push_row(label, &[report.final_loss()]);
     }
-    println!("longer reuse trades statistical efficiency smoothly, as §5.2 predicts\n");
+    r.push_series(periods);
+    r.note("(1) longer reuse trades statistical efficiency smoothly, as §5.2 predicts");
 
     // 2. Rounding mode by step size: where biased rounding stalls.
-    println!("(2) rounding mode x step size (D8M8, final loss):");
-    print_header("step", &["biased".into(), "unbiased".into()]);
+    let mut rounding_sweep = Series::new(
+        "2 rounding mode x step size (D8M8, final loss)",
+        "step",
+        &["biased", "unbiased"],
+    );
     for step in [0.4f32, 0.1, 0.02, 0.005] {
         let mut cells = Vec::new();
         for rounding in [Rounding::Biased, Rounding::Unbiased] {
@@ -47,18 +72,22 @@ pub fn run() {
                 .step_size(step)
                 .epochs(epochs)
                 .seed(6)
-                .train_dense(&problem.data)
+                .train(&problem.data)
                 .expect("valid config");
             cells.push(report.final_loss());
         }
-        print_row(&format!("{step}"), &cells);
+        rounding_sweep.push_row(format!("{step}"), &cells);
     }
-    println!("biased rounding loses ground as steps shrink below the model quantum\n");
+    r.push_series(rounding_sweep);
+    r.note("(2) biased rounding loses ground as steps shrink below the model quantum");
 
     // 3. Model precision ladder at fixed dataset precision: isolates the
     // M term (complements Table 2's diagonal).
-    println!("(3) model-precision ladder at D8 (final loss):");
-    print_header("signature", &["loss".into()]);
+    let mut ladder = Series::new(
+        "3 model-precision ladder at D8 (final loss)",
+        "signature",
+        &["loss"],
+    );
     for sig in ["D8M8", "D8M16", "D8M32f"] {
         let report = SgdConfig::new(Loss::Logistic)
             .signature(sig.parse().expect("static"))
@@ -66,9 +95,11 @@ pub fn run() {
             .step_decay(0.85)
             .epochs(epochs)
             .seed(7)
-            .train_dense(&problem.data)
+            .train(&problem.data)
             .expect("valid config");
-        print_row(sig, &[report.final_loss()]);
+        ladder.push_row(sig, &[report.final_loss()]);
     }
-    println!("the M term dominates statistical cost; the D term is nearly free\n");
+    r.push_series(ladder);
+    r.note("(3) the M term dominates statistical cost; the D term is nearly free");
+    r
 }

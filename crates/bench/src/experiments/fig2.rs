@@ -9,25 +9,30 @@
 use buckwild_dmgc::{PerfModel, Signature};
 use buckwild_kernels::cost::QuantizerKind;
 use buckwild_kernels::KernelFlavor;
+use buckwild_telemetry::{ExperimentResult, Series};
 
 use crate::experiments::{full_scale, seconds};
-use crate::{banner, measure_dense_t1, print_header, print_row};
+use crate::measure_dense_t1;
 
-/// Prints throughput vs model size for D8M8, with the perf-model regimes.
+/// Prints the throughput-vs-size table (text rendering of [`result`]).
 pub fn run() {
-    banner("Figure 2", "Throughput bounds vs model size (D8M8 dense)");
+    print!("{}", result().render_text());
+}
+
+/// Measures throughput vs model size for D8M8, with the perf-model regimes.
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig2", "Throughput bounds vs model size (D8M8 dense)");
     let sig: Signature = "D8M8".parse().expect("static");
     let model = PerfModel::paper_xeon();
     let max_log = if full_scale() { 26 } else { 22 };
     let secs = seconds();
-    print_header(
+    r.meta("signature", sig);
+    r.meta("seconds/point", format!("{secs:.2}"));
+    let mut curve = Series::new(
+        "throughput",
         "model size",
-        &[
-            "host-1t".into(),
-            "model-18t".into(),
-            "p(n)".into(),
-            "regime".into(),
-        ],
+        &["host-1t", "model-18t", "p(n)", "regime"],
     );
     for log_n in (8..=max_log).step_by(2) {
         let n = 1usize << log_n;
@@ -41,13 +46,13 @@ pub fn run() {
         let predicted = model.predict(&sig, n, 18).expect("calibrated");
         let p = model.amdahl().parallel_fraction(n);
         let regime = if p > 0.9 { 1.0 } else { 0.0 }; // 1 = bandwidth-bound
-        print_row(&format!("n = 2^{log_n}"), &[host, predicted, p, regime]);
+        curve.push_row(format!("n = 2^{log_n}"), &[host, predicted, p, regime]);
     }
-    println!();
-    println!("regime column: 1 = bandwidth-bound, 0 = communication-bound (p <= 0.9)");
-    println!(
+    r.push_series(curve);
+    r.note("regime column: 1 = bandwidth-bound, 0 = communication-bound (p <= 0.9)");
+    r.note(
         "paper: throughput flattens above ~256K elements (bandwidth bound); small models \
-         lose nearly an order of magnitude to invalidation latency at 18 threads"
+         lose nearly an order of magnitude to invalidation latency at 18 threads",
     );
-    println!();
+    r
 }

@@ -11,9 +11,10 @@ use buckwild_dataset::generate;
 use buckwild_dmgc::{AmdahlParams, PerfModel, Signature};
 use buckwild_kernels::cost::QuantizerKind;
 use buckwild_kernels::KernelFlavor;
+use buckwild_telemetry::{ExperimentResult, Series};
 
 use crate::experiments::{full_scale, seconds};
-use crate::{banner, measure_dense_t1, print_header, print_row};
+use crate::measure_dense_t1;
 
 fn measure_train_gnps(sig: &Signature, n: usize, m: usize, threads: usize) -> f64 {
     let problem = generate::logistic_dense(n, m, 99);
@@ -22,15 +23,21 @@ fn measure_train_gnps(sig: &Signature, n: usize, m: usize, threads: usize) -> f6
         .threads(threads)
         .epochs(2)
         .record_losses(false)
-        .train_dense(&problem.data)
+        .train(&problem.data)
         .expect("valid config");
     report.gnps()
 }
 
+/// Prints the validation table (text rendering of [`result`]).
+pub fn run() {
+    print!("{}", result().render_text());
+}
+
 /// Compares measured and predicted throughput across threads, sizes, and
 /// signatures.
-pub fn run() {
-    banner("Figure 3", "Measured vs predicted dataset throughput (GNPS)");
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig3", "Measured vs predicted dataset throughput (GNPS)");
     let signatures: Vec<Signature> = ["D8M8", "D16M16", "D32fM32f"]
         .iter()
         .map(|s| s.parse().expect("static"))
@@ -47,6 +54,7 @@ pub fn run() {
     // so engine overheads are part of the baseline the model scales.
     let mut model = PerfModel::new(AmdahlParams::paper_xeon());
     let calibration_n = 1 << 14;
+    let mut calibration = Series::new("calibration", "signature", &["engine-t1", "kernel-t1"]);
     for sig in &signatures {
         let m = (1 << 22) / calibration_n;
         let t1 = measure_train_gnps(sig, calibration_n, m.max(16), 1);
@@ -59,8 +67,9 @@ pub fn run() {
             calibration_n,
             secs,
         );
-        println!("calibrated {sig}: engine T1 = {t1:.4} GNPS (kernel-only T1 = {kernel_t1:.4})");
+        calibration.push_row(sig.to_string(), &[t1, kernel_t1]);
     }
+    r.push_series(calibration);
 
     // Fit p(n) from observed 2-thread speedups.
     let mut observations = Vec::new();
@@ -69,21 +78,19 @@ pub fn run() {
         let m = ((1 << 21) / n).max(8);
         let t1 = measure_train_gnps(&sig, n, m, 1);
         let t2 = measure_train_gnps(&sig, n, m, 2);
-        observations.push((n, 2usize, (t2 / t1) as f64));
+        observations.push((n, 2usize, (t2 / t1)));
     }
     if let Some(fit) = AmdahlParams::fit(&observations) {
-        println!(
+        r.scalar("amdahl.p_bandwidth", fit.p_bandwidth);
+        r.scalar("amdahl.n_comm", fit.n_comm);
+        r.note(format!(
             "fitted Amdahl parameters on this host: p_bw = {:.3}, n_comm = {:.0}",
             fit.p_bandwidth, fit.n_comm
-        );
+        ));
         model.set_amdahl(fit);
     }
 
-    println!();
-    print_header(
-        "config",
-        &["measured".into(), "predicted".into(), "ratio".into()],
-    );
+    let mut table = Series::new("validation", "config", &["measured", "predicted", "ratio"]);
     let mut within_50 = 0usize;
     let mut total = 0usize;
     for sig in &signatures {
@@ -93,8 +100,8 @@ pub fn run() {
                 let measured = measure_train_gnps(sig, n, m, t);
                 let predicted = model.predict(sig, n, t).expect("calibrated");
                 let ratio = predicted / measured;
-                print_row(
-                    &format!("{sig} n=2^{} t={t}", n.trailing_zeros()),
+                table.push_row(
+                    format!("{sig} n=2^{} t={t}", n.trailing_zeros()),
                     &[measured, predicted, ratio],
                 );
                 if (0.5..=1.5).contains(&ratio) {
@@ -104,11 +111,13 @@ pub fn run() {
             }
         }
     }
-    println!();
-    println!(
+    r.push_series(table);
+    r.scalar("within_50", within_50 as f64);
+    r.scalar("configs", total as f64);
+    r.note(format!(
         "{within_50}/{total} = {:.0}% of configurations predicted within 50% \
          (paper: 90% within 50%)",
         100.0 * within_50 as f64 / total as f64
-    );
-    println!();
+    ));
+    r
 }

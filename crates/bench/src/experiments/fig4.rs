@@ -6,14 +6,21 @@
 use buckwild_dmgc::Signature;
 use buckwild_kernels::cost::QuantizerKind;
 use buckwild_kernels::KernelFlavor;
+use buckwild_telemetry::{ExperimentResult, Series};
 
 use crate::experiments::{full_scale, seconds};
-use crate::{banner, measure_dense_t1, measure_sparse_t1, print_header, print_row};
+use crate::{measure_dense_t1, measure_sparse_t1};
 
-/// Prints generic vs optimized throughput and speedups.
+/// Prints the generic-vs-optimized tables (text rendering of [`result`]).
 pub fn run() {
-    banner(
-        "Figure 4",
+    print!("{}", result().render_text());
+}
+
+/// Measures generic vs optimized throughput and speedups.
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig4",
         "Hand-optimized vs compiler-generic kernels (GNPS and speedup)",
     );
     let secs = seconds();
@@ -22,11 +29,12 @@ pub fn run() {
     } else {
         vec![1 << 10, 1 << 14, 1 << 18]
     };
+    r.meta("seconds/point", format!("{secs:.2}"));
 
-    println!("(4a) dense D8M8 by model size:");
-    print_header(
+    let mut dense = Series::new(
+        "4a dense D8M8 by model size",
         "model size",
-        &["generic".into(), "optimized".into(), "speedup".into()],
+        &["generic", "optimized", "speedup"],
     );
     let sig: Signature = "D8M8".parse().expect("static");
     for &n in &sizes {
@@ -44,17 +52,17 @@ pub fn run() {
             n,
             secs,
         );
-        print_row(
-            &format!("n = 2^{}", n.trailing_zeros()),
+        dense.push_row(
+            format!("n = 2^{}", n.trailing_zeros()),
             &[generic, optimized, optimized / generic],
         );
     }
+    r.push_series(dense);
 
-    println!();
-    println!("(4b) sparse D8i8M8 by model size (3% density):");
-    print_header(
+    let mut sparse = Series::new(
+        "4b sparse D8i8M8 by model size (3% density)",
         "model size",
-        &["generic".into(), "optimized".into(), "speedup".into()],
+        &["generic", "optimized", "speedup"],
     );
     let sparse_sig: Signature = "D8i8M8".parse().expect("static");
     for &n in &sizes {
@@ -75,21 +83,29 @@ pub fn run() {
             nnz,
             secs,
         );
-        print_row(
-            &format!("n = 2^{}", n.trailing_zeros()),
+        sparse.push_row(
+            format!("n = 2^{}", n.trailing_zeros()),
             &[generic, optimized, optimized / generic],
         );
     }
+    r.push_series(sparse);
 
-    println!();
-    println!("(4c) average dense speedup per signature (optimized / generic):");
-    print_header("signature", &["speedup".into()]);
+    let mut per_sig = Series::new(
+        "4c average dense speedup per signature (optimized / generic)",
+        "signature",
+        &["speedup"],
+    );
     for text in ["D8M8", "D8M16", "D16M8", "D16M16", "D32fM8", "D32fM16"] {
         let s: Signature = text.parse().expect("static");
         let mut ratios = Vec::new();
         for &n in &sizes {
-            let generic =
-                measure_dense_t1(&s, KernelFlavor::Generic, QuantizerKind::XorshiftShared, n, secs);
+            let generic = measure_dense_t1(
+                &s,
+                KernelFlavor::Generic,
+                QuantizerKind::XorshiftShared,
+                n,
+                secs,
+            );
             let optimized = measure_dense_t1(
                 &s,
                 KernelFlavor::Optimized,
@@ -100,12 +116,12 @@ pub fn run() {
             ratios.push(optimized / generic);
         }
         let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-        print_row(text, &[avg]);
+        per_sig.push_row(text, &[avg]);
     }
-    println!();
-    println!(
+    r.push_series(per_sig);
+    r.note(
         "paper: dense speedups up to 11x; sparse hand-optimization can underperform \
-         for small models (which is why the paper recommends it only for dense code)"
+         for small models (which is why the paper recommends it only for dense code)",
     );
-    println!();
+    r
 }

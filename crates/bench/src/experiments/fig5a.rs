@@ -7,19 +7,27 @@
 use buckwild::{Loss, Rounding, SgdConfig};
 use buckwild_dataset::generate;
 use buckwild_kernels::cost::QuantizerKind;
+use buckwild_telemetry::{ExperimentResult, Series};
 
 use crate::experiments::full_scale;
-use crate::{banner, print_header, print_row};
 
-/// Trains D8M8 logistic regression under each quantizer and prints the
-/// per-epoch loss trajectories.
+/// Prints the loss trajectories (text rendering of [`result`]).
 pub fn run() {
-    banner(
-        "Figure 5a",
+    print!("{}", result().render_text());
+}
+
+/// Trains D8M8 logistic regression under each quantizer and collects the
+/// per-epoch loss trajectories.
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig5a",
         "Statistical efficiency of rounding strategies (D8M8 logistic regression)",
     );
     let (n, m) = if full_scale() { (256, 4000) } else { (64, 800) };
     let epochs = 8;
+    r.meta("features", n);
+    r.meta("examples", m);
     let problem = generate::logistic_dense(n, m, 17);
     let strategies: Vec<(&str, QuantizerKind, Rounding)> = vec![
         ("biased", QuantizerKind::Biased, Rounding::Biased),
@@ -27,9 +35,15 @@ pub fn run() {
         ("xorshift", QuantizerKind::XorshiftFresh, Rounding::Unbiased),
         ("shared", QuantizerKind::XorshiftShared, Rounding::Unbiased),
     ];
-    print_header(
+    let columns: Vec<String> = (1..=epochs).map(|e| format!("ep{e}")).collect();
+    let mut losses = Series::new(
+        "loss by epoch",
         "strategy",
-        (1..=epochs).map(|e| format!("ep{e}")).collect::<Vec<_>>().as_slice(),
+        columns
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .as_slice(),
     );
     let mut finals = Vec::new();
     for (name, kind, rounding) in strategies {
@@ -41,12 +55,12 @@ pub fn run() {
             .step_decay(0.9)
             .epochs(epochs)
             .seed(4)
-            .train_dense(&problem.data)
+            .train(&problem.data)
             .expect("valid config");
-        print_row(name, report.epoch_losses());
+        losses.push_row(name, report.epoch_losses());
         finals.push((name, report.final_loss()));
     }
-    println!();
+    r.push_series(losses);
     let unbiased: Vec<f64> = finals
         .iter()
         .filter(|(n, _)| *n != "biased")
@@ -54,9 +68,10 @@ pub fn run() {
         .collect();
     let spread = unbiased.iter().cloned().fold(f64::MIN, f64::max)
         - unbiased.iter().cloned().fold(f64::MAX, f64::min);
-    println!(
+    r.scalar("unbiased.spread", spread);
+    r.note(format!(
         "spread between unbiased strategies: {spread:.4} \
          (paper: the three unbiased quantizers are statistically indistinguishable)"
-    );
-    println!();
+    ));
+    r
 }

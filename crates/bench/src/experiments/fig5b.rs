@@ -3,15 +3,22 @@
 use buckwild_dmgc::Signature;
 use buckwild_kernels::cost::{estimate_gnps, QuantizerKind};
 use buckwild_kernels::KernelFlavor;
+use buckwild_telemetry::{ExperimentResult, Series};
 
 use crate::experiments::{full_scale, seconds};
-use crate::{banner, measure_dense_t1, print_header, print_row};
+use crate::measure_dense_t1;
 
-/// Measures D8M8 iteration throughput under each quantizer strategy, and
-/// prints the cost model's Xeon estimate alongside.
+/// Prints the throughput table (text rendering of [`result`]).
 pub fn run() {
-    banner(
-        "Figure 5b",
+    print!("{}", result().render_text());
+}
+
+/// Measures D8M8 iteration throughput under each quantizer strategy, with
+/// the cost model's Xeon estimate alongside.
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig5b",
         "Hardware efficiency of rounding strategies (D8M8 dense, GNPS)",
     );
     let sig: Signature = "D8M8".parse().expect("static");
@@ -21,12 +28,19 @@ pub fn run() {
     } else {
         vec![1 << 12, 1 << 16]
     };
-    print_header(
+    r.meta("signature", sig);
+    r.meta("seconds/point", format!("{secs:.2}"));
+    let columns: Vec<String> = sizes
+        .iter()
+        .map(|n| format!("n=2^{}", n.trailing_zeros()))
+        .chain(std::iter::once("xeon-est".into()))
+        .collect();
+    let mut table = Series::new(
+        "throughput",
         "strategy",
-        sizes
+        columns
             .iter()
-            .map(|n| format!("n=2^{}", n.trailing_zeros()))
-            .chain(std::iter::once("xeon-est".into()))
+            .map(String::as_str)
             .collect::<Vec<_>>()
             .as_slice(),
     );
@@ -36,12 +50,12 @@ pub fn run() {
             .map(|&n| measure_dense_t1(&sig, KernelFlavor::Optimized, kind, n, secs))
             .collect();
         cells.push(estimate_gnps(&sig, KernelFlavor::Optimized, kind));
-        print_row(&kind.to_string(), &cells);
+        table.push_row(kind.to_string(), &cells);
     }
-    println!();
-    println!(
+    r.push_series(table);
+    r.note(
         "paper: per-write Mersenne Twister dominates the cost of 8-bit SGD; shared \
-         randomness amortizes the PRNG to match biased rounding's throughput"
+         randomness amortizes the PRNG to match biased rounding's throughput",
     );
-    println!();
+    r
 }

@@ -10,10 +10,10 @@ use buckwild_fixed::{FixedSpec, NibbleVec};
 use buckwild_kernels::cost::{estimate_gnps, QuantizerKind};
 use buckwild_kernels::{nibble, AxpyRand, KernelFlavor};
 use buckwild_prng::XorshiftLanes;
+use buckwild_telemetry::{ExperimentResult, Series};
 use std::time::Instant;
 
 use crate::experiments::seconds;
-use crate::{banner, print_header, print_row};
 
 /// Measured throughput of the packed-nibble reference kernels (these are
 /// *functional* 4-bit kernels on 8-bit hardware, so they are slower than
@@ -36,23 +36,34 @@ fn measure_nibble_gnps(n: usize, secs: f64) -> f64 {
     iters as f64 * n as f64 / start.elapsed().as_secs_f64() / 1e9
 }
 
-/// Prints the cost-model D4M4-vs-D8M8 comparison plus the functional
-/// nibble-kernel throughput.
+/// Prints the D4M4 comparison (text rendering of [`result`]).
 pub fn run() {
-    banner("Figure 5c", "Hypothetical D4M4 vs D8M8 (proxy cost model)");
+    print!("{}", result().render_text());
+}
+
+/// Builds the cost-model D4M4-vs-D8M8 comparison plus the functional
+/// nibble-kernel throughput.
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig5c", "Hypothetical D4M4 vs D8M8 (proxy cost model)");
     let d4: Signature = "D4M4".parse().expect("static");
     let d8: Signature = "D8M8".parse().expect("static");
-    print_header("signature", &["xeon-est".into()]);
+    let mut table = Series::new("estimates", "signature", &["xeon-est"]);
     let e4 = estimate_gnps(&d4, KernelFlavor::Optimized, QuantizerKind::XorshiftShared);
     let e8 = estimate_gnps(&d8, KernelFlavor::Optimized, QuantizerKind::XorshiftShared);
-    print_row("D4M4", &[e4]);
-    print_row("D8M8", &[e8]);
-    println!("estimated D4M4 speedup over D8M8: {:.2}x (paper: ~2x)", e4 / e8);
-    println!();
+    table.push_row("D4M4", &[e4]);
+    table.push_row("D8M8", &[e8]);
+    r.push_series(table);
+    r.scalar("speedup.d4m4", e4 / e8);
+    r.note(format!(
+        "estimated D4M4 speedup over D8M8: {:.2}x (paper: ~2x)",
+        e4 / e8
+    ));
     let functional = measure_nibble_gnps(1 << 14, seconds());
-    println!(
+    r.scalar("gnps.nibble_functional", functional);
+    r.note(format!(
         "functional packed-nibble kernel on this host: {functional:.4} GNPS \
          (reference arithmetic only — real 4-bit SIMD would be ~2x D8M8)"
-    );
-    println!();
+    ));
+    r
 }

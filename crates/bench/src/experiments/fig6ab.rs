@@ -7,19 +7,15 @@
 //! invalidated before use and waste bandwidth.
 
 use buckwild_cachesim::{Machine, SgdWorkload, SimConfig};
+use buckwild_telemetry::{ExperimentResult, Series};
 
 use crate::experiments::full_scale;
-use crate::{banner, print_header, print_row};
 
-fn sweep(dense: bool, cores: usize, iters: usize, sizes: &[usize]) {
-    print_header(
+fn sweep(name: &str, dense: bool, cores: usize, iters: usize, sizes: &[usize]) -> Series {
+    let mut series = Series::new(
+        name,
         "model size",
-        &[
-            "pf-on".into(),
-            "pf-off".into(),
-            "off/on".into(),
-            "wasted-pf%".into(),
-        ],
+        &["pf-on", "pf-off", "off/on", "wasted-pf%"],
     );
     for &n in sizes {
         let workload = if dense {
@@ -35,8 +31,8 @@ fn sweep(dense: bool, cores: usize, iters: usize, sizes: &[usize]) {
         } else {
             0.0
         };
-        print_row(
-            &format!("n = 2^{}", n.trailing_zeros()),
+        series.push_row(
+            format!("n = 2^{}", n.trailing_zeros()),
             &[
                 on.gnps(2.5),
                 off.gnps(2.5),
@@ -45,12 +41,19 @@ fn sweep(dense: bool, cores: usize, iters: usize, sizes: &[usize]) {
             ],
         );
     }
+    series
+}
+
+/// Prints the prefetch sweeps (text rendering of [`result`]).
+pub fn run() {
+    print!("{}", result().render_text());
 }
 
 /// Runs the prefetch-on/off sweeps on the simulated 18-core machine.
-pub fn run() {
-    banner(
-        "Figure 6a/6b",
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig6ab",
         "Prefetcher on vs off (simulated 18-core Xeon, GNPS at 2.5 GHz)",
     );
     let cores = if full_scale() { 18 } else { 8 };
@@ -60,15 +63,19 @@ pub fn run() {
     } else {
         vec![1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]
     };
-    println!("(6a) dense D8M8, {cores} cores:");
-    sweep(true, cores, iters, &sizes);
-    println!();
-    println!("(6b) sparse D8i8M8 (3% density), {cores} cores:");
-    sweep(false, cores, iters, &sizes);
-    println!();
-    println!(
+    r.meta("cores", cores);
+    r.meta("iterations/core", iters);
+    r.push_series(sweep("6a dense D8M8", true, cores, iters, &sizes));
+    r.push_series(sweep(
+        "6b sparse D8i8M8 (3% density)",
+        false,
+        cores,
+        iters,
+        &sizes,
+    ));
+    r.note(
         "paper: disabling the prefetcher helps when communication-bound (small models), \
-         by up to 150%; the off/on column > 1 marks where turning it off wins"
+         by up to 150%; the off/on column > 1 marks where turning it off wins",
     );
-    println!();
+    r
 }

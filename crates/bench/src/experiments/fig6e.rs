@@ -7,23 +7,37 @@
 
 use buckwild::{Loss, SgdConfig};
 use buckwild_dataset::generate;
+use buckwild_telemetry::{ExperimentResult, Series};
 
 use crate::experiments::full_scale;
-use crate::{banner, print_header, print_row};
 
-/// Trains at several mini-batch sizes and prints loss trajectories.
+/// Prints the loss trajectories (text rendering of [`result`]).
 pub fn run() {
-    banner(
-        "Figure 6e",
+    print!("{}", result().render_text());
+}
+
+/// Trains at several mini-batch sizes and collects loss trajectories.
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig6e",
         "Mini-batch size vs statistical efficiency (D8M8 logistic regression)",
     );
     let (n, m) = if full_scale() { (256, 4000) } else { (64, 800) };
     let epochs = 8;
+    r.meta("features", n);
+    r.meta("examples", m);
     let problem = generate::logistic_dense(n, m, 29);
     let batches = [1usize, 4, 16, 64, 256];
-    print_header(
+    let columns: Vec<String> = (1..=epochs).map(|e| format!("ep{e}")).collect();
+    let mut losses = Series::new(
+        "loss by epoch",
         "mini-batch",
-        (1..=epochs).map(|e| format!("ep{e}")).collect::<Vec<_>>().as_slice(),
+        columns
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .as_slice(),
     );
     let mut finals = Vec::new();
     for &b in &batches {
@@ -34,24 +48,24 @@ pub fn run() {
             .step_decay(0.85)
             .epochs(epochs)
             .seed(5)
-            .train_dense(&problem.data)
+            .train(&problem.data)
             .expect("valid config");
-        print_row(&format!("B = {b}"), report.epoch_losses());
+        losses.push_row(format!("B = {b}"), report.epoch_losses());
         finals.push((b, report.final_loss()));
     }
-    println!();
+    r.push_series(losses);
     let (b1, l1) = finals[0];
     for &(b, l) in &finals[1..] {
         if l > l1 + 0.05 {
-            println!(
+            r.note(format!(
                 "B = {b} degrades final loss by {:.3} vs B = {b1} — statistical cost kicks in",
                 l - l1
-            );
+            ));
         }
     }
-    println!(
+    r.note(
         "paper: accuracy degrades for very large mini-batches; an empirical analysis \
-         is needed to pick B"
+         is needed to pick B",
     );
-    println!();
+    r
 }

@@ -9,39 +9,54 @@
 use buckwild::obstinate::ObstinateConfig;
 use buckwild::Loss;
 use buckwild_dataset::generate;
+use buckwild_telemetry::{ExperimentResult, Series};
 
 use crate::experiments::full_scale;
-use crate::{banner, print_header, print_row};
+
+/// Prints the obstinacy sweep (text rendering of [`result`]).
+pub fn run() {
+    print!("{}", result().render_text());
+}
 
 /// Trains with emulated obstinacy at several q values.
-pub fn run() {
-    banner(
-        "Figure 6f",
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig6f",
         "Obstinate-cache statistical efficiency (emulated staleness)",
     );
     let (n, m) = if full_scale() { (256, 4000) } else { (64, 800) };
+    r.meta("features", n);
+    r.meta("examples", m);
     let problem = generate::logistic_dense(n, m, 31);
     let qs = [0.0, 0.25, 0.5, 0.75, 0.95];
     let epochs = 8;
-    print_header(
+    let columns: Vec<String> = (1..=epochs).map(|e| format!("ep{e}")).collect();
+    let mut losses = Series::new(
+        "loss by epoch",
         "obstinacy",
-        (1..=epochs).map(|e| format!("ep{e}")).collect::<Vec<_>>().as_slice(),
+        columns
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .as_slice(),
     );
     let mut finals = Vec::new();
     for &q in &qs {
         let mut config = ObstinateConfig::new(Loss::Logistic, q);
         config.epochs = epochs;
         config.seed = 6;
-        let losses = config.train(&problem.data).expect("valid config");
-        print_row(&format!("q = {q}"), &losses);
-        finals.push(*losses.last().expect("nonempty"));
+        let trajectory = config.train(&problem.data).expect("valid config");
+        losses.push_row(format!("q = {q}"), &trajectory);
+        finals.push(*trajectory.last().expect("nonempty"));
     }
-    println!();
+    r.push_series(losses);
     let spread = finals.iter().cloned().fold(f64::MIN, f64::max)
         - finals.iter().cloned().fold(f64::MAX, f64::min);
-    println!(
+    r.scalar("final_loss.spread", spread);
+    r.note(format!(
         "final-loss spread across q in [0, 0.95]: {spread:.4} \
          (paper: no detectable effect up to q = 95%)"
-    );
-    println!();
+    ));
+    r
 }

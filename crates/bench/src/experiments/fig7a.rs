@@ -13,13 +13,19 @@ use std::time::Instant;
 
 use buckwild_fixed::FixedSpec;
 use buckwild_nn::gemm;
+use buckwild_telemetry::{ExperimentResult, Series};
 
 use crate::experiments::full_scale;
-use crate::{banner, print_header, print_row};
 
-/// Times conv-layer GEMMs at each precision and prints GMAC/s + speedup.
+/// Prints the conv-layer throughputs (text rendering of [`result`]).
 pub fn run() {
-    banner("Figure 7a", "Convolution-layer throughput vs precision");
+    print!("{}", result().render_text());
+}
+
+/// Times conv-layer GEMMs at each precision (GMAC/s + speedup).
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig7a", "Convolution-layer throughput vs precision");
     // AlexNet conv1: 96 filters, 11x11x3 kernels, 55x55 output positions
     // per image; a mini-batch of images is processed as one GEMM, which is
     // what makes the conv layer DRAM-bound at full precision (the im2col
@@ -30,8 +36,9 @@ pub fn run() {
     } else {
         (32, 3 * 11 * 11, 28 * 28 * 8)
     };
-    println!(
-        "GEMM shape: [{filters} x {k_dim}] . [{k_dim} x {positions}] (batched im2col conv layer)\n"
+    r.meta(
+        "gemm shape",
+        format!("[{filters} x {k_dim}] . [{k_dim} x {positions}] (batched im2col conv layer)"),
     );
     let spec8 = FixedSpec::unit_range(8);
     let spec16 = FixedSpec::unit_range(16);
@@ -43,10 +50,22 @@ pub fn run() {
         .collect();
     // Quantize once, outside the timed region, as a real D8/D16 system
     // stores its tensors.
-    let a8: Vec<i8> = a_f.iter().map(|&v| spec8.quantize_biased(v) as i8).collect();
-    let b8: Vec<i8> = b_f.iter().map(|&v| spec8.quantize_biased(v) as i8).collect();
-    let a16: Vec<i16> = a_f.iter().map(|&v| spec16.quantize_biased(v) as i16).collect();
-    let b16: Vec<i16> = b_f.iter().map(|&v| spec16.quantize_biased(v) as i16).collect();
+    let a8: Vec<i8> = a_f
+        .iter()
+        .map(|&v| spec8.quantize_biased(v) as i8)
+        .collect();
+    let b8: Vec<i8> = b_f
+        .iter()
+        .map(|&v| spec8.quantize_biased(v) as i8)
+        .collect();
+    let a16: Vec<i16> = a_f
+        .iter()
+        .map(|&v| spec16.quantize_biased(v) as i16)
+        .collect();
+    let b16: Vec<i16> = b_f
+        .iter()
+        .map(|&v| spec16.quantize_biased(v) as i16)
+        .collect();
 
     let macs = filters * k_dim * positions;
     let mut c = vec![0f32; filters * positions];
@@ -67,18 +86,17 @@ pub fn run() {
     let g16 = time_it(&mut |c| {
         gemm::gemm_i16(filters, k_dim, positions, &a16, &b16, &spec16, &spec16, c)
     });
-    let g8 = time_it(&mut |c| {
-        gemm::gemm_i8(filters, k_dim, positions, &a8, &b8, &spec8, &spec8, c)
-    });
+    let g8 =
+        time_it(&mut |c| gemm::gemm_i8(filters, k_dim, positions, &a8, &b8, &spec8, &spec8, c));
 
-    print_header("precision", &["GMAC/s".into(), "speedup".into()]);
-    print_row("32f", &[g32, 1.0]);
-    print_row("D16M16", &[g16, g16 / g32]);
-    print_row("D8M8", &[g8, g8 / g32]);
-    println!();
-    println!(
+    let mut table = Series::new("throughput", "precision", &["GMAC/s", "speedup"]);
+    table.push_row("32f", &[g32, 1.0]);
+    table.push_row("D16M16", &[g16, g16 / g32]);
+    table.push_row("D8M8", &[g8, g8 / g32]);
+    r.push_series(table);
+    r.note(
         "paper: low precision yields near-linear conv-layer speedups (2x at 16-bit, \
-         3x at 8-bit) when the SIMD kernels are optimized"
+         3x at 8-bit) when the SIMD kernels are optimized",
     );
-    println!();
+    r
 }

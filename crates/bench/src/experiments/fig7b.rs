@@ -9,13 +9,22 @@
 use buckwild::Rounding;
 use buckwild_dataset::{ImageDataset, ImageShape};
 use buckwild_nn::{lenet, WeightQuantizer};
+use buckwild_telemetry::{ExperimentResult, Series};
 
 use crate::experiments::full_scale;
-use crate::{banner, print_header, print_row};
 
-/// Trains the CNN at each weight precision and prints test error.
+/// Prints the precision sweep (text rendering of [`result`]).
 pub fn run() {
-    banner("Figure 7b", "CNN test error vs model precision (synthetic digits)");
+    print!("{}", result().render_text());
+}
+
+/// Trains the CNN at each weight precision and collects test error.
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig7b",
+        "CNN test error vs model precision (synthetic digits)",
+    );
     let (shape, classes, per_class, epochs) = if full_scale() {
         (ImageShape::MNIST, 10, 40, 6)
     } else {
@@ -32,13 +41,10 @@ pub fn run() {
     };
     let data = ImageDataset::generate(shape, classes, per_class, 0.15, 11);
     let (train, test) = data.split(0.8);
-    println!(
-        "{} train / {} test images of {}x{}, {classes} classes\n",
-        train.len(),
-        test.len(),
-        shape.height,
-        shape.width
-    );
+    r.meta("train images", train.len());
+    r.meta("test images", test.len());
+    r.meta("image", format!("{}x{}", shape.height, shape.width));
+    r.meta("classes", classes);
 
     let build = || {
         if full_scale() {
@@ -48,7 +54,7 @@ pub fn run() {
         }
     };
 
-    print_header("model bits", &["biased err".into(), "unbiased err".into()]);
+    let mut table = Series::new("test error", "model bits", &["biased err", "unbiased err"]);
     let mut quantizers: Vec<(String, Vec<WeightQuantizer>)> = Vec::new();
     for bits in [6u32, 8, 10, 12, 16] {
         quantizers.push((
@@ -61,7 +67,10 @@ pub fn run() {
     }
     quantizers.push((
         "32f".into(),
-        vec![WeightQuantizer::full_precision(), WeightQuantizer::full_precision()],
+        vec![
+            WeightQuantizer::full_precision(),
+            WeightQuantizer::full_precision(),
+        ],
     ));
 
     let mut low_bits_unbiased_err = f64::NAN;
@@ -79,10 +88,12 @@ pub fn run() {
         if label == "32f" {
             full_err = cells[1];
         }
-        print_row(label, &cells);
+        table.push_row(label.as_str(), &cells);
     }
-    println!();
-    println!(
+    r.push_series(table);
+    r.scalar("err.unbiased6", low_bits_unbiased_err);
+    r.scalar("err.full32", full_err);
+    r.note(format!(
         "unbiased 6-bit vs full precision: {:.3} vs {:.3} — {}",
         low_bits_unbiased_err,
         full_err,
@@ -91,6 +102,6 @@ pub fn run() {
         } else {
             "degraded on this run"
         }
-    );
-    println!();
+    ));
+    r
 }

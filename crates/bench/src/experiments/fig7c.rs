@@ -1,21 +1,28 @@
 //! Figure 7c: FPGA pipeline structures — two-stage vs three-stage.
 
 use buckwild_fpga::{search_best_design, Device, PipelineShape, SgdDesign};
+use buckwild_telemetry::{ExperimentResult, Series};
 
-use crate::{banner, print_header, print_row};
+/// Prints the pipeline comparison (text rendering of [`result`]).
+pub fn run() {
+    print!("{}", result().render_text());
+}
 
 /// Compares the two pipeline shapes across device resource mixes.
-pub fn run() {
-    banner(
-        "Figure 7c",
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig7c",
         "FPGA pipeline shapes: two-stage (load/process-2x) vs three-stage (load/error/update)",
     );
     let n = 1 << 14;
-    println!("D8M8 linear-regression SGD, n = {n}\n");
+    r.meta("workload", "D8M8 linear-regression SGD");
+    r.meta("model n", n);
 
-    print_header(
+    let mut table = Series::new(
+        "designs",
         "device / shape",
-        &["GNPS".into(), "kALM".into(), "Mb BRAM".into(), "fits".into()],
+        &["GNPS", "kALM", "Mb BRAM", "fits"],
     );
     for (name, device) in [
         ("stratix-v", Device::stratix_v()),
@@ -34,16 +41,15 @@ pub fn run() {
                         .minibatch(b)
                         .evaluate(&device);
                     if report.fits
-                        && best
-                            .map_or(true, |(_, _, p)| report.throughput_gnps > p.throughput_gnps)
+                        && best.is_none_or(|(_, _, p)| report.throughput_gnps > p.throughput_gnps)
                     {
                         best = Some((lanes, b, report));
                     }
                 }
             }
             match best {
-                Some((lanes, b, report)) => print_row(
-                    &format!("{name} {shape} x{lanes} B={b}"),
+                Some((lanes, b, report)) => table.push_row(
+                    format!("{name} {shape} x{lanes} B={b}"),
                     &[
                         report.throughput_gnps,
                         report.alms_used as f64 / 1000.0,
@@ -51,24 +57,24 @@ pub fn run() {
                         1.0,
                     ],
                 ),
-                None => print_row(&format!("{name} {shape}"), &[0.0, 0.0, 0.0, 0.0]),
+                None => table.push_row(format!("{name} {shape}"), &[0.0, 0.0, 0.0, 0.0]),
             }
         }
         if let Some(result) = search_best_design(&device, 8, 8, n) {
-            println!(
-                "  -> search picks: {} x{} B={} ({:.2} GNPS)",
+            r.note(format!(
+                "{name}: search picks {} x{} B={} ({:.2} GNPS)",
                 result.design.pipeline,
                 result.design.lanes,
                 result.design.minibatch,
                 result.report.throughput_gnps
-            );
+            ));
         }
     }
-    println!();
-    println!(
+    r.push_series(table);
+    r.note(
         "paper: three-stage wins when compute logic is scarce but BRAM is abundant \
          (it avoids the double-rate datapath); two-stage wins when BRAM is scarce \
-         (it avoids the redundant example-buffer copy)"
+         (it avoids the redundant example-buffer copy)",
     );
-    println!();
+    r
 }

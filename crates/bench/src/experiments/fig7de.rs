@@ -9,15 +9,21 @@ use std::time::Instant;
 use buckwild::rff::{OneVsAll, RffMap};
 use buckwild::{Loss, SgdConfig};
 use buckwild_dataset::{ImageDataset, ImageShape};
+use buckwild_telemetry::{ExperimentResult, Series};
 
 use crate::experiments::full_scale;
-use crate::{banner, print_header, print_row};
 
-/// Trains the one-vs-all RFF SVM at each precision; prints train loss,
-/// test error, and wall time.
+/// Prints the precision comparison (text rendering of [`result`]).
 pub fn run() {
-    banner(
-        "Figure 7d/7e",
+    print!("{}", result().render_text());
+}
+
+/// Trains the one-vs-all RFF SVM at each precision; collects train loss,
+/// test error, and wall time.
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig7de",
         "Kernel SVM via random Fourier features (one-vs-all, synthetic digits)",
     );
     let (shape, classes, per_class, rff_dims, epochs) = if full_scale() {
@@ -37,14 +43,14 @@ pub fn run() {
     };
     let data = ImageDataset::generate(shape, classes, per_class, 0.42, 13);
     let (train, test) = data.split(0.8);
-    println!(
-        "{} train / {} test, {classes} classes, {rff_dims} Fourier features\n",
-        train.len(),
-        test.len()
-    );
-    print_header(
+    r.meta("train images", train.len());
+    r.meta("test images", test.len());
+    r.meta("classes", classes);
+    r.meta("fourier features", rff_dims);
+    let mut table = Series::new(
+        "precision sweep",
         "signature",
-        &["train loss".into(), "test err".into(), "seconds".into(), "speedup".into()],
+        &["train loss", "test err", "seconds", "speedup"],
     );
     let mut full_time = None;
     for sig in ["D32fM32f", "D16M16", "D8M8"] {
@@ -59,8 +65,7 @@ pub fn run() {
         let start = Instant::now();
         let ova = OneVsAll::train(map, &train, &config).expect("valid config");
         let elapsed = start.elapsed().as_secs_f64();
-        let mean_loss =
-            ova.train_losses.iter().sum::<f64>() / ova.train_losses.len() as f64;
+        let mean_loss = ova.train_losses.iter().sum::<f64>() / ova.train_losses.len() as f64;
         let err = ova.test_error(&test);
         let speedup = match full_time {
             None => {
@@ -69,13 +74,13 @@ pub fn run() {
             }
             Some(t0) => t0 / elapsed,
         };
-        print_row(sig, &[mean_loss, err, elapsed, speedup]);
+        table.push_row(sig, &[mean_loss, err, elapsed, speedup]);
     }
-    println!();
-    println!(
+    r.push_series(table);
+    r.note(
         "paper: 16-bit matches full precision, 8-bit is within a percent; \
          16/8-bit ran 3.3x/5.9x faster on the Xeon (our speedups are smaller because \
-         training time here includes the f32 RFF transform)"
+         training time here includes the f32 RFF transform)",
     );
-    println!();
+    r
 }

@@ -1,8 +1,15 @@
 //! One module per table/figure of the paper's evaluation.
 //!
-//! Every module exposes `run()`, which prints the regenerated rows/series
-//! alongside the paper's reported values where applicable. The
-//! `all_experiments` binary chains every `run()` in paper order.
+//! Every module exposes two entry points:
+//!
+//! * `result()` — runs the experiment and returns a structured
+//!   [`ExperimentResult`] (metadata, measured series, scalar summaries,
+//!   notes).
+//! * `run()` — convenience wrapper that prints `result()`'s text rendering.
+//!
+//! The bin wrappers route through [`crate::cli`], which adds
+//! `--format {text,json}` and `--json <path>` to every binary; the
+//! `all_experiments` binary chains every experiment in paper order.
 //!
 //! Budget knobs (environment variables):
 //!
@@ -10,6 +17,8 @@
 //!   (default 0.25).
 //! * `BUCKWILD_FULL=1` — use the paper-scale parameter sweeps instead of
 //!   the laptop-scale defaults.
+
+use buckwild_telemetry::ExperimentResult;
 
 pub mod ablations;
 pub mod fig2;
@@ -45,10 +54,40 @@ pub fn seconds() -> f64 {
 /// True if paper-scale sweeps were requested (`BUCKWILD_FULL=1`).
 #[must_use]
 pub fn full_scale() -> bool {
-    std::env::var("BUCKWILD_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("BUCKWILD_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
-/// Runs every experiment in paper order.
+/// Runs every experiment in paper order and returns the results.
+#[must_use]
+pub fn all_results() -> Vec<ExperimentResult> {
+    vec![
+        table1::result(),
+        table2::result(),
+        fig2::result(),
+        fig3::result(),
+        fig4::result(),
+        fig5a::result(),
+        fig5b::result(),
+        fig5c::result(),
+        fig6ab::result(),
+        fig6c::result(),
+        fig6d::result(),
+        fig6e::result(),
+        fig6f::result(),
+        new_instructions::result(),
+        fig7a::result(),
+        fig7b::result(),
+        fig7c::result(),
+        fig7de::result(),
+        fig7f::result(),
+        table3::result(),
+        ablations::result(),
+    ]
+}
+
+/// Runs every experiment in paper order, printing each as text.
 pub fn run_all() {
     table1::run();
     table2::run();

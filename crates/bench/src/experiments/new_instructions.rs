@@ -9,30 +9,31 @@
 use buckwild_dmgc::Signature;
 use buckwild_kernels::cost::{estimate_gnps, iteration_mix, QuantizerKind};
 use buckwild_kernels::KernelFlavor;
+use buckwild_telemetry::{ExperimentResult, Series};
 
-use crate::{banner, print_header, print_row};
-
-/// Prints current-ISA vs proposed-ISA throughput estimates per signature.
+/// Prints the ISA comparison (text rendering of [`result`]).
 pub fn run() {
-    banner(
-        "Section 6.1",
+    print!("{}", result().render_text());
+}
+
+/// Estimates current-ISA vs proposed-ISA throughput per signature.
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "new_instructions",
         "Proposed fused dot/AXPY instructions (proxy cost model)",
     );
-    print_header(
+    let mut table = Series::new(
+        "estimates",
         "signature",
-        &[
-            "avx2-est".into(),
-            "new-est".into(),
-            "gain %".into(),
-            "instr/elem".into(),
-        ],
+        &["avx2-est", "new-est", "gain %", "instr/elem"],
     );
     for text in ["D8M8", "D8M16", "D16M8", "D16M16"] {
         let sig: Signature = text.parse().expect("static");
         let current = estimate_gnps(&sig, KernelFlavor::Optimized, QuantizerKind::XorshiftShared);
         let proposed = estimate_gnps(&sig, KernelFlavor::Proposed, QuantizerKind::XorshiftShared);
         let mix = iteration_mix(&sig, KernelFlavor::Optimized, QuantizerKind::XorshiftShared);
-        print_row(
+        table.push_row(
             text,
             &[
                 current,
@@ -42,7 +43,7 @@ pub fn run() {
             ],
         );
     }
-    println!();
-    println!("paper: the new instructions consistently improved throughput by 5-15%");
-    println!();
+    r.push_series(table);
+    r.note("paper: the new instructions consistently improved throughput by 5-15%");
+    r
 }

@@ -1,22 +1,25 @@
 //! Table 1: DMGC signatures of prior low-precision systems.
 
 use buckwild_dmgc::taxonomy::TABLE1;
-
-use crate::banner;
+use buckwild_telemetry::ExperimentResult;
 
 /// Prints the Table 1 taxonomy with the classification rationale.
 pub fn run() {
-    banner("Table 1", "DMGC signatures of previous algorithms");
-    println!("{:<36} {:>12}", "Paper", "Signature");
-    println!("{}", "-".repeat(50));
+    print!("{}", result().render_text());
+}
+
+/// Builds the taxonomy as a structured result: each prior system becomes a
+/// metadata entry, with the §3.1 classification rationale as notes.
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new("table1", "DMGC signatures of previous algorithms");
     for system in &TABLE1 {
-        println!("{:<36} {:>12}", system.name, system.signature_text);
+        r.meta(system.name, system.signature_text);
     }
-    println!();
-    println!("Rationale (paper §3.1):");
+    r.note("Rationale (paper §3.1):");
     for system in &TABLE1 {
         let sig = system.signature().expect("built-in signatures parse");
-        println!("* {} = {}\n    {}", system.name, sig, system.rationale);
+        r.note(format!("* {} = {}: {}", system.name, sig, system.rationale));
     }
-    println!();
+    r
 }

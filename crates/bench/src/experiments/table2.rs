@@ -3,30 +3,36 @@
 use buckwild_dmgc::{Signature, PAPER_TABLE2};
 use buckwild_kernels::cost::QuantizerKind;
 use buckwild_kernels::KernelFlavor;
+use buckwild_telemetry::{ExperimentResult, Series};
 
 use crate::experiments::{full_scale, seconds};
-use crate::{banner, measure_dense_t1, measure_sparse_t1, print_header, print_row};
+use crate::{measure_dense_t1, measure_sparse_t1};
+
+/// Prints the measured table (text rendering of [`result`]).
+pub fn run() {
+    print!("{}", result().render_text());
+}
 
 /// Measures the dense and sparse base throughput for every Table 2
-/// signature on this host and prints it next to the paper's Xeon numbers.
-pub fn run() {
-    banner(
-        "Table 2",
+/// signature on this host, next to the paper's Xeon numbers.
+#[must_use]
+pub fn result() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "table2",
         "Base sequential throughput by signature (GNPS); paper values from Xeon E7-8890",
     );
     let n = if full_scale() { 1 << 20 } else { 1 << 16 };
     let density = 0.03;
     let nnz = ((n as f64 * density) as usize).max(1);
     let secs = seconds();
-    println!("dense n = {n}, sparse density = 3% ({nnz} nnz); {secs:.2} s/point\n");
-    print_header(
+    r.meta("dense n", n);
+    r.meta("sparse nnz", format!("{nnz} (3% density)"));
+    r.meta("seconds/point", format!("{secs:.2}"));
+
+    let mut table = Series::new(
+        "throughput",
         "signature",
-        &[
-            "dense".into(),
-            "paper-d".into(),
-            "sparse".into(),
-            "paper-s".into(),
-        ],
+        &["dense", "paper-d", "sparse", "paper-s"],
     );
     let mut dense_by_sig = Vec::new();
     for (text, paper_dense, paper_sparse) in PAPER_TABLE2 {
@@ -47,9 +53,14 @@ pub fn run() {
             nnz,
             secs,
         );
-        print_row(&sparse_sig.to_string(), &[dense, paper_dense, sparse, paper_sparse]);
+        table.push_row(
+            sparse_sig.to_string(),
+            &[dense, paper_dense, sparse, paper_sparse],
+        );
         dense_by_sig.push((text, dense));
     }
+    r.push_series(table);
+
     // The headline shape checks from §4.
     let get = |name: &str| {
         dense_by_sig
@@ -59,21 +70,20 @@ pub fn run() {
             .expect("measured")
     };
     let full = get("D32fM32f");
-    let d16 = get("D16M16");
-    let d8 = get("D8M8");
-    println!();
-    println!(
+    r.scalar("speedup.d16m16", get("D16M16") / full);
+    r.scalar("speedup.d8m8", get("D8M8") / full);
+    r.note(format!(
         "dense speedup over D32fM32f:  D16M16 = {:.2}x (linear bound 2x), D8M8 = {:.2}x (linear bound 4x)",
-        d16 / full,
-        d8 / full
-    );
-    println!(
+        get("D16M16") / full,
+        get("D8M8") / full
+    ));
+    r.note(format!(
         "fastest dense signature on this host: {}",
         dense_by_sig
             .iter()
             .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(t, _)| *t)
             .unwrap_or("?")
-    );
-    println!();
+    ));
+    r
 }

@@ -1,0 +1,104 @@
+//! Minimal wall-clock benchmark harness for the `benches/` targets.
+//!
+//! The container has no external crates, so instead of criterion the bench
+//! binaries use this harness: each case runs a warm-up call, then repeats
+//! the body for a fixed wall-clock budget (`BUCKWILD_BENCH_SECONDS`,
+//! default 0.2 s) and reports mean ns/call plus element throughput. Results
+//! are indicative, not statistical — use longer budgets for stable numbers.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Per-case wall-clock budget in seconds (`BUCKWILD_BENCH_SECONDS`).
+#[must_use]
+pub fn bench_seconds() -> f64 {
+    std::env::var("BUCKWILD_BENCH_SECONDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2)
+}
+
+/// One measured case: label, mean ns per call, and element throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Case label.
+    pub label: String,
+    /// Mean nanoseconds per call.
+    pub ns_per_call: f64,
+    /// Elements processed per second (elements/call × calls/s).
+    pub elems_per_sec: f64,
+}
+
+/// A named group of benchmark cases printed as an aligned table.
+pub struct Group {
+    name: String,
+    measurements: Vec<Measurement>,
+}
+
+impl Group {
+    /// Starts a group and prints its header.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        println!("## {name}");
+        println!("{:<32} {:>14} {:>14}", "case", "ns/call", "Melem/s");
+        Group {
+            name: name.to_string(),
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Times `body` (which processes `elements` elements per call) for the
+    /// group budget and prints one row. The body's return value is passed
+    /// through [`black_box`] so the computation is not optimized away.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, label: &str, elements: u64, mut body: F) {
+        black_box(body()); // warm up
+        let budget = bench_seconds();
+        let start = Instant::now();
+        let mut calls = 0u64;
+        while start.elapsed().as_secs_f64() < budget {
+            for _ in 0..4 {
+                black_box(body());
+                calls += 1;
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let m = Measurement {
+            label: label.to_string(),
+            ns_per_call: elapsed * 1e9 / calls as f64,
+            elems_per_sec: calls as f64 * elements as f64 / elapsed,
+        };
+        println!(
+            "{:<32} {:>14.1} {:>14.2}",
+            m.label,
+            m.ns_per_call,
+            m.elems_per_sec / 1e6
+        );
+        self.measurements.push(m);
+    }
+
+    /// Finishes the group, returning the measurements for cross-case
+    /// comparisons (e.g. overhead ratios).
+    #[must_use]
+    pub fn finish(self) -> Vec<Measurement> {
+        println!();
+        let _ = self.name;
+        self.measurements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_positive_rates() {
+        std::env::set_var("BUCKWILD_BENCH_SECONDS", "0.01");
+        let mut group = Group::new("smoke");
+        let data: Vec<u64> = (0..1024).collect();
+        group.bench("sum", data.len() as u64, || data.iter().sum::<u64>());
+        let measurements = group.finish();
+        assert_eq!(measurements.len(), 1);
+        assert!(measurements[0].ns_per_call > 0.0);
+        assert!(measurements[0].elems_per_sec > 0.0);
+    }
+}

@@ -12,7 +12,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
+pub mod harness;
 
 use std::time::Instant;
 
@@ -156,12 +158,16 @@ fn time_gnps<F: FnMut(u64)>(numbers_per_call: usize, seconds: f64, mut body: F) 
 
 fn synth_fixed<T: optimized::FixedInt>(n: usize, seed: u64) -> Vec<T> {
     let mut rng = Xorshift128::seed_from(seed);
-    (0..n).map(|_| T::saturate(rng.next_u32() as i8 as i64)).collect()
+    (0..n)
+        .map(|_| T::saturate(rng.next_u32() as i8 as i64))
+        .collect()
 }
 
 fn synth_f32(n: usize, seed: u64, scale: f32) -> Vec<f32> {
     let mut rng = Xorshift128::seed_from(seed);
-    (0..n).map(|_| (rng.next_f32() * 2.0 - 1.0) * scale).collect()
+    (0..n)
+        .map(|_| (rng.next_f32() * 2.0 - 1.0) * scale)
+        .collect()
 }
 
 fn dense_fixed_fixed<D, M>(
@@ -196,9 +202,7 @@ where
                 };
                 match quantizer {
                     QuantizerKind::MersenneScalar => {
-                        generic::axpy(&mut w, a, x, &x_spec, &w_spec, rounding, || {
-                            mt.next_f32()
-                        });
+                        generic::axpy(&mut w, a, x, &x_spec, &w_spec, rounding, || mt.next_f32());
                     }
                     _ => {
                         generic::axpy(&mut w, a, x, &x_spec, &w_spec, rounding, || {
@@ -325,12 +329,7 @@ where
     })
 }
 
-fn dense_f32_fixed<M>(
-    flavor: KernelFlavor,
-    quantizer: QuantizerKind,
-    n: usize,
-    seconds: f64,
-) -> f64
+fn dense_f32_fixed<M>(flavor: KernelFlavor, quantizer: QuantizerKind, n: usize, seconds: f64) -> f64
 where
     M: optimized::FixedInt + buckwild_dataset::Element,
 {
@@ -366,13 +365,7 @@ where
                     }
                     _ => {
                         let block = lanes.step();
-                        optimized::axpy_f32_fixed(
-                            &mut w,
-                            a,
-                            x,
-                            &w_spec,
-                            AxpyRand::Shared(&block),
-                        );
+                        optimized::axpy_f32_fixed(&mut w, a, x, &w_spec, AxpyRand::Shared(&block));
                     }
                 }
             }
@@ -428,9 +421,16 @@ where
                     QuantizerKind::Biased => buckwild_fixed::Rounding::Biased,
                     _ => buckwild_fixed::Rounding::Unbiased,
                 };
-                sparse::axpy_generic(&mut w, a, values, indices, &x_spec, &w_spec, rounding, || {
-                    scalar_rng.next_f32()
-                });
+                sparse::axpy_generic(
+                    &mut w,
+                    a,
+                    values,
+                    indices,
+                    &x_spec,
+                    &w_spec,
+                    rounding,
+                    || scalar_rng.next_f32(),
+                );
             }
             _ => {
                 let dot = sparse::dot_fixed_fixed(values, indices, &w, &x_spec, &w_spec);

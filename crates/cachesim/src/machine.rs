@@ -1,10 +1,40 @@
 //! The simulated multi-core machine: MESI coherence, prefetcher, obstinacy.
 
 use buckwild_prng::{split_seed, Prng, Xorshift128};
+use buckwild_telemetry::{Counter, Gauge, Recorder};
 
 use crate::cache::{Directory, SetAssocCache};
 use crate::workload::{Region, SgdWorkload};
 use crate::Geometry;
+
+/// Metric names recorded by [`Machine::run_with`] /
+/// [`SimReport::record_into`].
+pub mod metric {
+    /// Counter: demand accesses that hit in L1.
+    pub const L1_HITS: &str = "sim.l1_hits";
+    /// Counter: demand accesses that hit in L2.
+    pub const L2_HITS: &str = "sim.l2_hits";
+    /// Counter: demand accesses that hit in the shared L3.
+    pub const L3_HITS: &str = "sim.l3_hits";
+    /// Counter: demand accesses served by DRAM (misses at every level).
+    pub const DRAM_FILLS: &str = "sim.dram_fills";
+    /// Counter: invalidate messages delivered to private caches.
+    pub const INVALIDATES_SENT: &str = "sim.invalidates_sent";
+    /// Counter: invalidates ignored by obstinate caches.
+    pub const INVALIDATES_IGNORED: &str = "sim.invalidates_ignored";
+    /// Counter: prefetch requests issued.
+    pub const PREFETCHES_ISSUED: &str = "sim.prefetches_issued";
+    /// Counter: prefetched lines that served a later demand access.
+    pub const PREFETCHES_USEFUL: &str = "sim.prefetches_useful";
+    /// Counter: prefetched lines invalidated or evicted before any use.
+    pub const PREFETCHES_WASTED: &str = "sim.prefetches_wasted";
+    /// Counter: simulated completion time in cycles.
+    pub const CYCLES: &str = "sim.cycles";
+    /// Counter: dataset numbers processed across all cores.
+    pub const NUMBERS_PROCESSED: &str = "sim.numbers_processed";
+    /// Gauge: dataset throughput in numbers per cycle.
+    pub const NUMBERS_PER_CYCLE: &str = "sim.numbers_per_cycle";
+}
 
 /// Simulator configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,6 +155,39 @@ impl SimReport {
     pub fn gnps(&self, ghz: f64) -> f64 {
         self.throughput_numbers_per_cycle() * ghz
     }
+
+    /// Publishes every counter of this report into `recorder` under the
+    /// [`metric`] names, so simulation results flow through the same
+    /// telemetry pipeline as training runs (and can be attached to an
+    /// `ExperimentResult` via its snapshot).
+    pub fn record_into<R: Recorder>(&self, recorder: &R) {
+        recorder.counter(metric::L1_HITS).add(self.l1_hits);
+        recorder.counter(metric::L2_HITS).add(self.l2_hits);
+        recorder.counter(metric::L3_HITS).add(self.l3_hits);
+        recorder.counter(metric::DRAM_FILLS).add(self.dram_fills);
+        recorder
+            .counter(metric::INVALIDATES_SENT)
+            .add(self.invalidates_sent);
+        recorder
+            .counter(metric::INVALIDATES_IGNORED)
+            .add(self.invalidates_ignored);
+        recorder
+            .counter(metric::PREFETCHES_ISSUED)
+            .add(self.prefetches_issued);
+        recorder
+            .counter(metric::PREFETCHES_USEFUL)
+            .add(self.prefetches_useful);
+        recorder
+            .counter(metric::PREFETCHES_WASTED)
+            .add(self.prefetches_wasted);
+        recorder.counter(metric::CYCLES).add(self.cycles);
+        recorder
+            .counter(metric::NUMBERS_PROCESSED)
+            .add(self.numbers_processed);
+        recorder
+            .gauge(metric::NUMBERS_PER_CYCLE)
+            .set(self.throughput_numbers_per_cycle());
+    }
 }
 
 fn region_index(region: Region) -> usize {
@@ -219,8 +282,7 @@ impl Machine {
                     }
                     let end = (start + INTERLEAVE).min(trace.len());
                     for access in &trace[start..end] {
-                        let latency =
-                            self.access(core, access.line, access.write, access.region);
+                        let latency = self.access(core, access.line, access.write, access.region);
                         self.cores[core].cycles += latency;
                     }
                     cursors[core] = end;
@@ -239,6 +301,15 @@ impl Machine {
         let slowest = self.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
         self.report.cycles = slowest.max(self.bus_cycles);
         self.report
+    }
+
+    /// Runs the workload and publishes the resulting counters into
+    /// `recorder` (see [`metric`] for the names). The simulator keeps its
+    /// own counters either way, so a `NoopRecorder` costs nothing.
+    pub fn run_with<R: Recorder>(&mut self, workload: &SgdWorkload, recorder: &R) -> SimReport {
+        let report = self.run(workload);
+        report.record_into(recorder);
+        report
     }
 
     /// Simulates one demand access; returns its latency in cycles.
@@ -338,8 +409,8 @@ impl Machine {
                     continue;
                 }
                 self.report.invalidates_sent += 1;
-                let ignore = self.config.obstinacy > 0.0
-                    && self.cores[other].rng.next_u32() < q_threshold;
+                let ignore =
+                    self.config.obstinacy > 0.0 && self.cores[other].rng.next_u32() < q_threshold;
                 if ignore {
                     // Obstinate: the private cache keeps serving the stale
                     // line; only the directory forgets the sharer.
@@ -467,8 +538,7 @@ mod tests {
     fn obstinacy_reduces_effective_invalidations_and_cycles() {
         let w = SgdWorkload::dense(2048, 1, 6);
         let base = Machine::new(SimConfig::paper_xeon(4)).run(&w);
-        let obstinate =
-            Machine::new(SimConfig::paper_xeon(4).with_obstinacy(0.9)).run(&w);
+        let obstinate = Machine::new(SimConfig::paper_xeon(4).with_obstinacy(0.9)).run(&w);
         assert!(obstinate.invalidates_ignored > 0);
         assert!(
             obstinate.cycles < base.cycles,
@@ -529,6 +599,33 @@ mod tests {
         };
         assert!((r.throughput_numbers_per_cycle() - 0.5).abs() < 1e-12);
         assert!((r.gnps(2.5) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_with_publishes_report_into_recorder() {
+        use buckwild_telemetry::ShardedRecorder;
+        let recorder = ShardedRecorder::new(1);
+        let w = SgdWorkload::dense(4096, 1, 4);
+        let r = Machine::new(SimConfig::paper_xeon(2)).run_with(&w, &recorder);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter(metric::L1_HITS), Some(r.l1_hits));
+        assert_eq!(snap.counter(metric::DRAM_FILLS), Some(r.dram_fills));
+        assert_eq!(snap.counter(metric::CYCLES), Some(r.cycles));
+        assert_eq!(
+            snap.counter(metric::NUMBERS_PROCESSED),
+            Some(r.numbers_processed)
+        );
+        let npc = snap.gauge(metric::NUMBERS_PER_CYCLE).expect("gauge set");
+        assert!((npc - r.throughput_numbers_per_cycle()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_with_noop_recorder_matches_plain_run() {
+        use buckwild_telemetry::NoopRecorder;
+        let w = SgdWorkload::dense(2048, 1, 3);
+        let plain = Machine::new(SimConfig::paper_xeon(2)).run(&w);
+        let noop = Machine::new(SimConfig::paper_xeon(2)).run_with(&w, &NoopRecorder);
+        assert_eq!(plain, noop);
     }
 
     #[test]

@@ -125,9 +125,8 @@ impl SgdWorkload {
         let mut out = Vec::new();
         let data_bytes_per_iter = self.numbers_per_iteration() as u64 * self.data_elem_bytes;
         let data_lines = data_bytes_per_iter.div_ceil(line_bytes).max(1);
-        let data_start = DATA_BASE_LINE
-            + core as u64 * DATA_CORE_STRIDE
-            + iteration as u64 * data_lines;
+        let data_start =
+            DATA_BASE_LINE + core as u64 * DATA_CORE_STRIDE + iteration as u64 * data_lines;
 
         // Dot: stream the example...
         for j in 0..data_lines {
@@ -274,7 +273,10 @@ mod tests {
         // Dataset stream: 32 * 2 bytes = 1 line, read once for the dot and
         // once more for the AXPY.
         assert_eq!(
-            accesses.iter().filter(|a| a.region == Region::Dataset).count(),
+            accesses
+                .iter()
+                .filter(|a| a.region == Region::Dataset)
+                .count(),
             2
         );
     }

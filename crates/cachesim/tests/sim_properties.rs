@@ -1,56 +1,59 @@
-//! Property tests for the cache simulator's invariants.
+//! Randomized tests for the cache simulator's invariants.
+//!
+//! The workspace is dependency-free, so instead of proptest each property
+//! runs as a seeded loop over `buckwild-prng` draws. Simulation cases are
+//! kept small — the invariants are structural, not statistical.
 
 use buckwild_cachesim::{Machine, SetAssocCache, SgdWorkload, SimConfig};
-use proptest::prelude::*;
+use buckwild_prng::{Prng, Xorshift128};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Residency never exceeds capacity, and every filled line is either
-    /// resident or was evicted/invalidated.
-    #[test]
-    fn cache_capacity_invariant(
-        lines in 1u64..=16,
-        ways in 1usize..=4,
-        ops in proptest::collection::vec((0u64..64, prop::bool::ANY), 1..200),
-    ) {
+/// Residency never exceeds capacity, and every filled line is either
+/// resident or was evicted/invalidated.
+#[test]
+fn cache_capacity_invariant() {
+    let mut rng = Xorshift128::seed_from(0xC1);
+    for _ in 0..64 {
+        let lines = 1 + rng.next_below(16) as u64;
+        let ways = 1 + rng.next_below_usize(4);
         let mut cache = SetAssocCache::new(lines * 64, ways, 64);
-        for (line, invalidate) in ops {
-            if invalidate {
+        for _ in 0..1 + rng.next_below_usize(199) {
+            let line = rng.next_below(64) as u64;
+            if rng.chance(0.5) {
                 cache.invalidate(line);
             } else {
                 cache.fill(line, false);
-                prop_assert!(cache.contains(line));
+                assert!(cache.contains(line));
             }
-            prop_assert!(cache.resident() as u64 <= lines.max(ways as u64));
+            assert!(cache.resident() as u64 <= lines.max(ways as u64));
         }
     }
+}
 
-    /// Simulation is deterministic for a fixed seed and linear in workload
-    /// accounting: numbers processed = cores * iters * numbers/iter.
-    #[test]
-    fn simulation_deterministic_and_accounted(
-        cores in 1usize..=4,
-        log_n in 8u32..=12,
-        iters in 1usize..=3,
-        q in 0.0f64..=1.0,
-    ) {
-        let n = 1usize << log_n;
+/// Simulation is deterministic for a fixed seed and linear in workload
+/// accounting: numbers processed = cores * iters * numbers/iter.
+#[test]
+fn simulation_deterministic_and_accounted() {
+    let mut rng = Xorshift128::seed_from(0xC2);
+    for _ in 0..8 {
+        let cores = 1 + rng.next_below_usize(4);
+        let n = 1usize << (8 + rng.next_below(5)); // 2^8..=2^12
+        let iters = 1 + rng.next_below_usize(3);
+        let q = rng.next_f64();
         let workload = SgdWorkload::dense(n, 1, iters);
-        let run = || {
-            Machine::new(SimConfig::paper_xeon(cores).with_obstinacy(q)).run(&workload)
-        };
+        let run = || Machine::new(SimConfig::paper_xeon(cores).with_obstinacy(q)).run(&workload);
         let a = run();
         let b = run();
-        prop_assert_eq!(a, b, "nondeterministic simulation");
-        prop_assert_eq!(a.numbers_processed, (cores * iters * n) as u64);
-        prop_assert!(a.cycles > 0);
-        prop_assert!(a.invalidates_ignored <= a.invalidates_sent);
+        assert_eq!(a, b, "nondeterministic simulation");
+        assert_eq!(a.numbers_processed, (cores * iters * n) as u64);
+        assert!(a.cycles > 0);
+        assert!(a.invalidates_ignored <= a.invalidates_sent);
     }
+}
 
-    /// Higher obstinacy never increases honored invalidations.
-    #[test]
-    fn obstinacy_monotone_in_honored_invalidates(log_n in 9u32..=12) {
+/// Higher obstinacy never increases honored invalidations.
+#[test]
+fn obstinacy_monotone_in_honored_invalidates() {
+    for log_n in 9u32..=12 {
         let n = 1usize << log_n;
         let workload = SgdWorkload::dense(n, 1, 3);
         let honored = |q: f64| {
@@ -60,19 +63,21 @@ proptest! {
         let h0 = honored(0.0);
         let h_half = honored(0.5);
         let h_high = honored(0.95);
-        prop_assert!(h0 >= h_half, "{h0} vs {h_half}");
-        prop_assert!(h_half >= h_high, "{h_half} vs {h_high}");
+        assert!(h0 >= h_half, "n={n}: {h0} vs {h_half}");
+        assert!(h_half >= h_high, "n={n}: {h_half} vs {h_high}");
     }
+}
 
-    /// Prefetch accounting: useful + wasted never exceeds issued.
-    #[test]
-    fn prefetch_accounting_consistent(
-        cores in 1usize..=4,
-        log_n in 9u32..=14,
-    ) {
-        let workload = SgdWorkload::dense(1usize << log_n, 1, 3);
+/// Prefetch accounting: useful + wasted never exceeds issued.
+#[test]
+fn prefetch_accounting_consistent() {
+    let mut rng = Xorshift128::seed_from(0xC3);
+    for _ in 0..8 {
+        let cores = 1 + rng.next_below_usize(4);
+        let n = 1usize << (9 + rng.next_below(6)); // 2^9..=2^14
+        let workload = SgdWorkload::dense(n, 1, 3);
         let r = Machine::new(SimConfig::paper_xeon(cores).with_prefetch(true)).run(&workload);
-        prop_assert!(
+        assert!(
             r.prefetches_useful + r.prefetches_wasted <= r.prefetches_issued,
             "{r:?}"
         );

@@ -1,11 +1,14 @@
 //! The SGD configuration builder — every axis the paper sweeps, one type.
 
 use core::fmt;
+use std::num::NonZeroU32;
+use std::sync::Arc;
 
 use buckwild_dmgc::Signature;
 use buckwild_fixed::Rounding;
 use buckwild_kernels::cost::QuantizerKind;
 
+use crate::train::{TrainControl, TrainProgress};
 use crate::Loss;
 
 /// How stochastic-rounding randomness is produced (paper §5.2).
@@ -17,19 +20,22 @@ pub struct QuantizerConfig {
     /// The generation strategy.
     pub kind: QuantizerKind,
     /// For [`QuantizerKind::XorshiftShared`]: how many writes reuse one
-    /// 256-bit block. `0` means "one block per iteration" (the paper's
+    /// 256-bit block. `None` means "one block per iteration" (the paper's
     /// default cadence).
-    pub shared_period: u32,
+    pub shared_period: Option<NonZeroU32>,
 }
 
 impl Default for QuantizerConfig {
     fn default() -> Self {
         QuantizerConfig {
             kind: QuantizerKind::XorshiftShared,
-            shared_period: 0,
+            shared_period: None,
         }
     }
 }
+
+/// An epoch observer installed with [`SgdConfig::on_epoch`].
+pub type EpochObserver = Arc<dyn Fn(&TrainProgress) -> TrainControl + Send + Sync>;
 
 /// Error from an invalid [`SgdConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,7 +70,7 @@ impl std::error::Error for ConfigError {}
 /// Configuration for one SGD run: the paper's full experimental surface.
 ///
 /// Construct with [`SgdConfig::new`], chain setters, then call
-/// [`SgdConfig::train_dense`] or [`SgdConfig::train_sparse`].
+/// [`SgdConfig::train`] on any dense or sparse dataset.
 ///
 /// # Example
 ///
@@ -81,7 +87,7 @@ impl std::error::Error for ConfigError {}
 ///     .seed(7);
 /// assert_eq!(config.validate(), Ok(()));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct SgdConfig {
     /// The objective.
     pub loss: Loss,
@@ -105,6 +111,49 @@ pub struct SgdConfig {
     pub seed: u64,
     /// Evaluate and record the training loss after each epoch.
     pub record_losses: bool,
+    /// Observer called after each epoch; may stop training early.
+    pub on_epoch: Option<EpochObserver>,
+}
+
+impl fmt::Debug for SgdConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SgdConfig")
+            .field("loss", &self.loss)
+            .field("signature", &self.signature)
+            .field("rounding", &self.rounding)
+            .field("quantizer", &self.quantizer)
+            .field("step_size", &self.step_size)
+            .field("step_decay", &self.step_decay)
+            .field("minibatch", &self.minibatch)
+            .field("threads", &self.threads)
+            .field("epochs", &self.epochs)
+            .field("seed", &self.seed)
+            .field("record_losses", &self.record_losses)
+            .field("on_epoch", &self.on_epoch.as_ref().map(|_| "<observer>"))
+            .finish()
+    }
+}
+
+impl PartialEq for SgdConfig {
+    fn eq(&self, other: &Self) -> bool {
+        let observers_eq = match (&self.on_epoch, &other.on_epoch) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.loss == other.loss
+            && self.signature == other.signature
+            && self.rounding == other.rounding
+            && self.quantizer == other.quantizer
+            && self.step_size == other.step_size
+            && self.step_decay == other.step_decay
+            && self.minibatch == other.minibatch
+            && self.threads == other.threads
+            && self.epochs == other.epochs
+            && self.seed == other.seed
+            && self.record_losses == other.record_losses
+            && observers_eq
+    }
 }
 
 impl SgdConfig {
@@ -124,6 +173,7 @@ impl SgdConfig {
             epochs: 10,
             seed: 0,
             record_losses: true,
+            on_epoch: None,
         }
     }
 
@@ -149,8 +199,11 @@ impl SgdConfig {
     }
 
     /// Sets the shared-randomness refresh period (writes per fresh block).
+    ///
+    /// `None` refreshes the 256-bit block once per iteration, the paper's
+    /// default cadence.
     #[must_use]
-    pub fn shared_period(mut self, period: u32) -> Self {
+    pub fn shared_period(mut self, period: Option<NonZeroU32>) -> Self {
         self.quantizer.shared_period = period;
         self
     }
@@ -205,6 +258,43 @@ impl SgdConfig {
         self
     }
 
+    /// Installs an observer called after every epoch with a
+    /// [`TrainProgress`]; returning [`TrainControl::Stop`] ends the run
+    /// early (the report covers the completed epochs).
+    ///
+    /// # Example: early stopping at a loss target
+    ///
+    /// ```
+    /// use buckwild::{Loss, SgdConfig, TrainControl};
+    /// use buckwild_dataset::generate;
+    ///
+    /// let problem = generate::logistic_dense(48, 500, 3);
+    /// let report = SgdConfig::new(Loss::Logistic)
+    ///     .step_size(0.5)
+    ///     .step_decay(0.9)
+    ///     .epochs(50)
+    ///     .on_epoch(|progress| {
+    ///         if progress.loss.is_some_and(|l| l < 0.45) {
+    ///             TrainControl::Stop
+    ///         } else {
+    ///             TrainControl::Continue
+    ///         }
+    ///     })
+    ///     .train(&problem.data)
+    ///     .unwrap();
+    /// // Stopped as soon as the target was hit, well short of 50 epochs.
+    /// assert!(report.epoch_losses().len() < 50);
+    /// assert!(report.final_loss() < 0.45);
+    /// ```
+    #[must_use]
+    pub fn on_epoch(
+        mut self,
+        observer: impl Fn(&TrainProgress) -> TrainControl + Send + Sync + 'static,
+    ) -> Self {
+        self.on_epoch = Some(Arc::new(observer));
+        self
+    }
+
     /// Checks the configuration without running.
     ///
     /// # Errors
@@ -232,7 +322,10 @@ impl SgdConfig {
             ));
         }
         let d = self.signature.dataset();
-        let d_ok = matches!((d.bits(), d.is_float()), (32, true) | (16, false) | (8, false));
+        let d_ok = matches!(
+            (d.bits(), d.is_float()),
+            (32, true) | (16, false) | (8, false)
+        );
         if !d_ok {
             return Err(ConfigError::UnsupportedDatasetPrecision(
                 self.signature.to_string(),
@@ -261,12 +354,12 @@ mod tests {
             .threads(4)
             .epochs(2)
             .seed(99)
-            .shared_period(16)
+            .shared_period(NonZeroU32::new(16))
             .record_losses(false);
         assert_eq!(c.loss, Loss::Hinge);
         assert_eq!(c.minibatch, 8);
         assert_eq!(c.threads, 4);
-        assert_eq!(c.quantizer.shared_period, 16);
+        assert_eq!(c.quantizer.shared_period, NonZeroU32::new(16));
         assert!(!c.record_losses);
         assert_eq!(c.validate(), Ok(()));
     }
@@ -305,5 +398,24 @@ mod tests {
         assert!(ConfigError::UnsupportedModelPrecision("D4M4".into())
             .to_string()
             .contains("D4M4"));
+    }
+
+    #[test]
+    fn configs_compare_ignoring_observer_identity_only_when_shared() {
+        let base = SgdConfig::new(Loss::Logistic);
+        assert_eq!(base.clone(), base.clone());
+        let observed = base.clone().on_epoch(|_| TrainControl::Continue);
+        // A clone shares the same Arc, so it compares equal...
+        assert_eq!(observed.clone(), observed);
+        // ...but an independently built observer does not.
+        assert_ne!(observed, base.clone().on_epoch(|_| TrainControl::Continue));
+        assert_ne!(observed, base);
+    }
+
+    #[test]
+    fn debug_formats_without_leaking_observer() {
+        let c = SgdConfig::new(Loss::Logistic).on_epoch(|_| TrainControl::Stop);
+        let text = format!("{c:?}");
+        assert!(text.contains("<observer>"));
     }
 }

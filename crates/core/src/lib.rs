@@ -18,10 +18,15 @@
 //!
 //! The entry point is [`SgdConfig`]: a builder capturing every axis the
 //! paper sweeps — precision signature, rounding mode, quantizer strategy,
-//! mini-batch size, thread count, and step size. [`SgdConfig::train_dense`]
-//! / [`SgdConfig::train_sparse`] quantize the input to the signature's
-//! precisions and run SGD, returning a [`TrainReport`] with the recovered
-//! model, per-epoch losses, and measured dataset throughput (GNPS).
+//! mini-batch size, thread count, and step size. [`SgdConfig::train`]
+//! accepts any [`TrainData`] dataset (dense `f32` or sparse CSR),
+//! quantizes the input to the signature's precisions, and runs SGD,
+//! returning a [`TrainReport`] with the recovered model, per-epoch losses,
+//! and efficiency metrics (wall time, iterations, GNPS) derived from the
+//! run's telemetry snapshot. [`SgdConfig::train_with`] accepts any
+//! `buckwild_telemetry::Recorder` for custom instrumentation, and
+//! [`SgdConfig::on_epoch`] installs an observer that can stop training
+//! early.
 //!
 //! ```
 //! use buckwild::{Loss, SgdConfig};
@@ -33,7 +38,7 @@
 //!     .step_size(0.5)
 //!     .step_decay(0.8)
 //!     .epochs(10)
-//!     .train_dense(&problem.data)?;
+//!     .train(&problem.data)?;
 //! assert!(report.final_loss() < 0.55); // well below ln 2 ≈ 0.693 at chance
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -56,11 +61,11 @@ pub mod rff;
 pub mod sync;
 mod train;
 
-pub use config::{ConfigError, QuantizerConfig, SgdConfig};
+pub use config::{ConfigError, EpochObserver, QuantizerConfig, SgdConfig};
 pub use loss::Loss;
 pub use metrics::{accuracy, mean_loss};
 pub use model::{ModelPrecision, SharedModel};
-pub use train::{TrainError, TrainReport};
+pub use train::{metric, TrainControl, TrainData, TrainError, TrainProgress, TrainReport};
 
 // Re-export the vocabulary types callers need to configure training.
 pub use buckwild_dmgc::Signature;

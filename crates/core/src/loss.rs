@@ -126,10 +126,14 @@ mod tests {
     fn logistic_gradient_matches_finite_difference() {
         for &(dot, y) in &[(0.3f32, 1.0f32), (-1.2, -1.0), (2.0, -1.0), (0.0, 1.0)] {
             let h = 1e-3f32;
-            let dloss = (Loss::Logistic.value(dot + h, y) - Loss::Logistic.value(dot - h, y))
-                / (2.0 * h);
+            let dloss =
+                (Loss::Logistic.value(dot + h, y) - Loss::Logistic.value(dot - h, y)) / (2.0 * h);
             let a = Loss::Logistic.axpy_scale(dot, y, 1.0);
-            assert!((a + dloss).abs() < 1e-3, "dot={dot} y={y}: {a} vs {}", -dloss);
+            assert!(
+                (a + dloss).abs() < 1e-3,
+                "dot={dot} y={y}: {a} vs {}",
+                -dloss
+            );
         }
     }
 
@@ -137,9 +141,9 @@ mod tests {
     fn least_squares_gradient_matches_finite_difference() {
         for &(dot, y) in &[(0.5f32, 1.5f32), (-1.0, 2.0), (3.0, 3.0)] {
             let h = 1e-3f32;
-            let dloss =
-                (Loss::LeastSquares.value(dot + h, y) - Loss::LeastSquares.value(dot - h, y))
-                    / (2.0 * h);
+            let dloss = (Loss::LeastSquares.value(dot + h, y)
+                - Loss::LeastSquares.value(dot - h, y))
+                / (2.0 * h);
             let a = Loss::LeastSquares.axpy_scale(dot, y, 1.0);
             assert!((a + dloss).abs() < 1e-3);
         }

@@ -195,10 +195,16 @@ impl SharedModel {
         match &self.storage {
             Storage::F32(v) => v[i].store(value.to_bits(), Ordering::Relaxed),
             Storage::I16(v) => {
-                v[i].store(self.spec.quantize_unbiased(value, u) as i16, Ordering::Relaxed);
+                v[i].store(
+                    self.spec.quantize_unbiased(value, u) as i16,
+                    Ordering::Relaxed,
+                );
             }
             Storage::I8(v) => {
-                v[i].store(self.spec.quantize_unbiased(value, u) as i8, Ordering::Relaxed);
+                v[i].store(
+                    self.spec.quantize_unbiased(value, u) as i8,
+                    Ordering::Relaxed,
+                );
             }
         }
     }
@@ -308,8 +314,7 @@ impl SharedModel {
             Storage::F32(w) => {
                 let mut acc = 0f32;
                 for (v, &i) in values.iter().zip(indices) {
-                    acc += v.widen() as f32
-                        * f32::from_bits(w[i as usize].load(Ordering::Relaxed));
+                    acc += v.widen() as f32 * f32::from_bits(w[i as usize].load(Ordering::Relaxed));
                 }
                 acc * x_spec.quantum()
             }
@@ -384,8 +389,7 @@ impl SharedModel {
             Storage::I16(w) => {
                 for (i, (xi, wi)) in x.iter().zip(w).enumerate() {
                     let delta = (xi.widen() as i64 * k + offsets(i)) >> K_SHIFT;
-                    let updated =
-                        (wi.load(Ordering::Relaxed) as i64 + delta).clamp(-32768, 32767);
+                    let updated = (wi.load(Ordering::Relaxed) as i64 + delta).clamp(-32768, 32767);
                     wi.store(updated as i16, Ordering::Relaxed);
                 }
             }
@@ -432,8 +436,7 @@ impl SharedModel {
             Storage::I16(w) => {
                 for (i, (xi, wi)) in x.iter().zip(w).enumerate() {
                     let delta = (xi.widen() as i64 * k + offsets[i & 7]) >> K_SHIFT;
-                    let updated =
-                        (wi.load(Ordering::Relaxed) as i64 + delta).clamp(-32768, 32767);
+                    let updated = (wi.load(Ordering::Relaxed) as i64 + delta).clamp(-32768, 32767);
                     wi.store(updated as i16, Ordering::Relaxed);
                 }
             }
@@ -467,7 +470,9 @@ impl SharedModel {
                 let scale = a / self.spec.quantum();
                 for (i, (xi, wi)) in x.iter().zip(w).enumerate() {
                     let target = wi.load(Ordering::Relaxed) as f64 + (scale * xi) as f64;
-                    let grid = (target + uniforms(i) as f64).floor().clamp(-32768.0, 32767.0);
+                    let grid = (target + uniforms(i) as f64)
+                        .floor()
+                        .clamp(-32768.0, 32767.0);
                     wi.store(grid as i16, Ordering::Relaxed);
                 }
             }
@@ -557,7 +562,9 @@ impl SharedModel {
                 for (j, (v, &i)) in values.iter().zip(indices).enumerate() {
                     let slot = &w[i as usize];
                     let target = slot.load(Ordering::Relaxed) as f64 + (scale * v) as f64;
-                    let grid = (target + uniforms(j) as f64).floor().clamp(-32768.0, 32767.0);
+                    let grid = (target + uniforms(j) as f64)
+                        .floor()
+                        .clamp(-32768.0, 32767.0);
                     slot.store(grid as i16, Ordering::Relaxed);
                 }
             }
@@ -639,10 +646,7 @@ mod tests {
                 .map(|(&xi, &wi)| xi as f32 / 128.0 * wi)
                 .sum();
             let got = w.dot_fixed(&x, &x_spec);
-            assert!(
-                (got - expected).abs() < 0.02,
-                "{p:?}: {got} vs {expected}"
-            );
+            assert!((got - expected).abs() < 0.02, "{p:?}: {got} vs {expected}");
         }
     }
 
@@ -728,10 +732,10 @@ mod tests {
         let w = Arc::new(SharedModel::zeros(ModelPrecision::F32, 1));
         let threads = 4;
         let per_thread = 1000;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..threads {
                 let w = Arc::clone(&w);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let x = [1.0f32];
                     let mut half = |_i: usize| 0.5f32;
                     for _ in 0..per_thread {
@@ -739,8 +743,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .expect("threads join");
+        });
         let total = w.read(0);
         assert!(total > 0.5 * (threads * per_thread) as f32, "total {total}");
         assert!(total <= (threads * per_thread) as f32 + 0.5);

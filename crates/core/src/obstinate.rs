@@ -89,19 +89,18 @@ impl ObstinateConfig {
         let mut losses = Vec::with_capacity(self.epochs);
         for epoch in 0..self.epochs {
             let step = self.step_size * self.step_decay.powi(epoch as i32);
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for t in 0..self.threads {
                     let model = &model;
                     let q = self.q;
                     let loss = self.loss;
                     let threads = self.threads;
                     let seed = split_seed(self.seed, (epoch * self.threads + t) as u64 + 1);
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         worker(model, data, loss, step, q, t, threads, seed);
                     });
                 }
-            })
-            .expect("worker panicked");
+            });
             losses.push(metrics::mean_loss(self.loss, &model.snapshot(), data));
         }
         Ok(losses)
@@ -132,8 +131,8 @@ fn worker(
             if rng.next_u32() <= refresh_threshold {
                 let start = line * LINE_ELEMS;
                 let end = (start + LINE_ELEMS).min(n);
-                for j in start..end {
-                    local[j] = model.read(j);
+                for (j, slot) in local[start..end].iter_mut().enumerate() {
+                    *slot = model.read(start + j);
                 }
             }
         }

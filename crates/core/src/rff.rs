@@ -10,8 +10,7 @@
 //! hinge-loss Buckwild! classifier per class.
 
 use buckwild_dataset::{DenseDataset, ImageDataset};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use buckwild_prng::{Prng, Xorshift128};
 
 use crate::{Loss, SgdConfig, TrainError};
 
@@ -38,17 +37,17 @@ impl RffMap {
     pub fn sample(input_len: usize, dims: usize, gamma: f32, seed: u64) -> Self {
         assert!(input_len > 0 && dims > 0, "dimensions must be positive");
         assert!(gamma > 0.0, "gamma must be positive");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xorshift128::seed_from(seed);
         let std = gamma.sqrt();
         let weights: Vec<f32> = (0..dims * input_len)
             .map(|_| {
                 // Sum of 12 uniforms: cheap approximate Gaussian.
-                let g: f32 = (0..12).map(|_| rng.gen_range(0.0f32..1.0)).sum::<f32>() - 6.0;
+                let g: f32 = (0..12).map(|_| rng.next_f32()).sum::<f32>() - 6.0;
                 g * std
             })
             .collect();
         let phases: Vec<f32> = (0..dims)
-            .map(|_| rng.gen_range(0.0f32..std::f32::consts::TAU))
+            .map(|_| rng.range_f32(0.0, std::f32::consts::TAU))
             .collect();
         RffMap {
             weights,
@@ -96,7 +95,13 @@ impl RffMap {
             .map(|i| self.transform(images.image(i)))
             .collect();
         let labels: Vec<f32> = (0..images.len())
-            .map(|i| if images.label(i) == target_class { 1.0 } else { -1.0 })
+            .map(|i| {
+                if images.label(i) == target_class {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
             .collect();
         DenseDataset::from_rows(rows, labels)
     }
@@ -139,7 +144,7 @@ impl OneVsAll {
             let data = DenseDataset::from_rows(features.clone(), labels);
             let mut class_config = config.clone();
             class_config.loss = Loss::Hinge;
-            let report = class_config.train_dense(&data)?;
+            let report = class_config.train(&data)?;
             train_losses.push(if report.epoch_losses().is_empty() {
                 f64::NAN
             } else {
@@ -202,10 +207,10 @@ mod tests {
     fn rff_approximates_gaussian_kernel() {
         let gamma = 0.5f32;
         let map = RffMap::sample(16, 2048, gamma, 1);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xorshift128::seed_from(2);
         for _ in 0..5 {
-            let x: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-            let y: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let x: Vec<f32> = (0..16).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+            let y: Vec<f32> = (0..16).map(|_| rng.range_f32(-1.0, 1.0)).collect();
             let zx = map.transform(&x);
             let zy = map.transform(&y);
             let approx: f32 = zx.iter().zip(&zy).map(|(a, b)| a * b).sum();
@@ -234,10 +239,7 @@ mod tests {
         let images = ImageDataset::generate(SHAPE, 3, 30, 0.15, 4);
         let (train, test) = images.split(0.8);
         let map = RffMap::sample(SHAPE.len(), 128, 0.2, 5);
-        let config = SgdConfig::new(Loss::Hinge)
-            .step_size(0.1)
-            .epochs(6)
-            .seed(6);
+        let config = SgdConfig::new(Loss::Hinge).step_size(0.1).epochs(6).seed(6);
         let ova = OneVsAll::train(map, &train, &config).unwrap();
         let err = ova.test_error(&test);
         assert!(err < 0.2, "test error {err}");
@@ -249,12 +251,8 @@ mod tests {
         let images = ImageDataset::generate(SHAPE, 2, 40, 0.15, 7);
         let (train, test) = images.split(0.75);
         let config = SgdConfig::new(Loss::Hinge).step_size(0.1).epochs(5).seed(8);
-        let full = OneVsAll::train(
-            RffMap::sample(SHAPE.len(), 128, 0.2, 9),
-            &train,
-            &config,
-        )
-        .unwrap();
+        let full =
+            OneVsAll::train(RffMap::sample(SHAPE.len(), 128, 0.2, 9), &train, &config).unwrap();
         let low = OneVsAll::train(
             RffMap::sample(SHAPE.len(), 128, 0.2, 9),
             &train,

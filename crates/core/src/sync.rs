@@ -27,7 +27,7 @@
 //! let losses = SyncSgdConfig::new(Loss::Logistic, 1) // 1-bit comm
 //!     .error_feedback(true)
 //!     .epochs(6)
-//!     .train_dense(&problem.data)?;
+//!     .train(&problem.data)?;
 //! assert!(losses.last().unwrap() < &0.6);
 //! # Ok::<(), buckwild::TrainError>(())
 //! ```
@@ -132,7 +132,7 @@ impl SyncSgdConfig {
     ///
     /// [`TrainError::Config`] for invalid parameters;
     /// [`TrainError::EmptyDataset`] for empty input.
-    pub fn train_dense(&self, data: &DenseDataset<f32>) -> Result<Vec<f64>, TrainError> {
+    pub fn train(&self, data: &DenseDataset<f32>) -> Result<Vec<f64>, TrainError> {
         if self.comm_bits == 0 || self.comm_bits > 32 {
             return Err(TrainError::Config(ConfigError::InvalidParameter(
                 "communication bits (1..=32)",
@@ -144,7 +144,9 @@ impl SyncSgdConfig {
             )));
         }
         if self.step_size <= 0.0 || !self.step_size.is_finite() {
-            return Err(TrainError::Config(ConfigError::InvalidParameter("step size")));
+            return Err(TrainError::Config(ConfigError::InvalidParameter(
+                "step size",
+            )));
         }
         if data.examples() == 0 {
             return Err(TrainError::EmptyDataset);
@@ -175,19 +177,15 @@ impl SyncSgdConfig {
                     for i in start..end {
                         let x = data.example(i);
                         let dot: f32 = x.iter().zip(&model).map(|(&a, &b)| a * b).sum();
-                        let a = self.loss.axpy_scale(dot, data.label(i), 1.0)
-                            / (end - start) as f32;
+                        let a =
+                            self.loss.axpy_scale(dot, data.label(i), 1.0) / (end - start) as f32;
                         for (g, &xj) in gradient.iter_mut().zip(x) {
                             *g += a * xj;
                         }
                     }
                     // Quantize the (ascent-direction) gradient for the wire.
-                    let message = quantize_message(
-                        &gradient,
-                        residual,
-                        self.comm_bits,
-                        self.error_feedback,
-                    );
+                    let message =
+                        quantize_message(&gradient, residual, self.comm_bits, self.error_feedback);
                     for (agg, msg) in aggregated.iter_mut().zip(&message) {
                         *agg += msg;
                     }
@@ -231,8 +229,7 @@ fn quantize_message(
         .map(|(&g, &r)| g + if error_feedback { r } else { 0.0 })
         .collect();
     let reconstructed: Vec<f32> = if bits == 1 {
-        let mean_abs =
-            intended.iter().map(|v| v.abs()).sum::<f32>() / intended.len().max(1) as f32;
+        let mean_abs = intended.iter().map(|v| v.abs()).sum::<f32>() / intended.len().max(1) as f32;
         intended
             .iter()
             .map(|&v| if v >= 0.0 { mean_abs } else { -mean_abs })
@@ -271,7 +268,7 @@ mod tests {
     fn full_precision_sync_converges() {
         let p = problem();
         let losses = SyncSgdConfig::new(Loss::Logistic, 32)
-            .train_dense(&p.data)
+            .train(&p.data)
             .expect("valid");
         assert!(losses.last().unwrap() < &0.45, "{losses:?}");
     }
@@ -282,11 +279,11 @@ mod tests {
         // carried error costs little.
         let p = problem();
         let full = SyncSgdConfig::new(Loss::Logistic, 32)
-            .train_dense(&p.data)
+            .train(&p.data)
             .expect("valid");
         let onebit = SyncSgdConfig::new(Loss::Logistic, 1)
             .error_feedback(true)
-            .train_dense(&p.data)
+            .train(&p.data)
             .expect("valid");
         assert!(
             onebit.last().unwrap() < &(full.last().unwrap() + 0.1),
@@ -299,11 +296,11 @@ mod tests {
         let p = problem();
         let with = SyncSgdConfig::new(Loss::Logistic, 1)
             .error_feedback(true)
-            .train_dense(&p.data)
+            .train(&p.data)
             .expect("valid");
         let without = SyncSgdConfig::new(Loss::Logistic, 1)
             .error_feedback(false)
-            .train_dense(&p.data)
+            .train(&p.data)
             .expect("valid");
         assert!(
             with.last().unwrap() < without.last().unwrap(),
@@ -316,7 +313,7 @@ mod tests {
         let p = problem();
         let run = |bits: u32| {
             *SyncSgdConfig::new(Loss::Logistic, bits)
-                .train_dense(&p.data)
+                .train(&p.data)
                 .expect("valid")
                 .last()
                 .unwrap()
@@ -348,11 +345,15 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let p = problem();
-        assert!(SyncSgdConfig::new(Loss::Logistic, 0).train_dense(&p.data).is_err());
-        assert!(SyncSgdConfig::new(Loss::Logistic, 33).train_dense(&p.data).is_err());
+        assert!(SyncSgdConfig::new(Loss::Logistic, 0)
+            .train(&p.data)
+            .is_err());
+        assert!(SyncSgdConfig::new(Loss::Logistic, 33)
+            .train(&p.data)
+            .is_err());
         assert!(SyncSgdConfig::new(Loss::Logistic, 8)
             .workers(0)
-            .train_dense(&p.data)
+            .train(&p.data)
             .is_err());
     }
 }

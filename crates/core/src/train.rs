@@ -1,17 +1,42 @@
 //! The training engine: sequential, Hogwild!, and Buckwild! SGD.
+//!
+//! The entry point is [`SgdConfig::train`], generic over any [`TrainData`]
+//! dataset (dense `f32` or sparse CSR). Training is instrumented through
+//! the `buckwild-telemetry` [`Recorder`] abstraction: [`SgdConfig::train`]
+//! collects real metrics with a sharded recorder and derives the
+//! [`TrainReport`] efficiency numbers from them, while
+//! [`SgdConfig::train_with`] lets callers supply their own recorder
+//! (including `NoopRecorder`, which compiles every instrumentation point
+//! away).
 
-use std::time::{Duration, Instant};
+use std::num::NonZeroU32;
+use std::time::Instant;
 
 use buckwild_dataset::{DenseDataset, SparseDataset};
 use buckwild_fixed::{FixedSpec, Rounding};
 use buckwild_kernels::cost::QuantizerKind;
 use buckwild_kernels::optimized::FixedInt;
 use buckwild_prng::{split_seed, Mt19937, Prng, XorshiftLanes};
+use buckwild_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Recorder, ShardedRecorder};
 
 use crate::config::QuantizerConfig;
 use crate::{metrics, ConfigError, Loss, ModelPrecision, SgdConfig, SharedModel};
 
-/// Error from [`SgdConfig::train_dense`] / [`SgdConfig::train_sparse`].
+/// Metric names recorded by [`SgdConfig::train`] / [`SgdConfig::train_with`].
+pub mod metric {
+    /// Counter: SGD iterations (examples visited), sharded per worker.
+    pub const ITERATIONS: &str = "train.iterations";
+    /// Counter: dataset numbers read by gradient computations.
+    pub const NUMBERS_PROCESSED: &str = "train.numbers_processed";
+    /// Counter: model entries passed through the rounding quantizer.
+    pub const ROUND_EVENTS: &str = "quant.round_events";
+    /// Histogram: wall-clock seconds per epoch (workers only, no eval).
+    pub const EPOCH_SECONDS: &str = "train.epoch_seconds";
+    /// Gauge: end-of-run dataset throughput in giga-numbers-per-second.
+    pub const GNPS: &str = "train.gnps";
+}
+
+/// Error from [`SgdConfig::train`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TrainError {
     /// The configuration was invalid.
@@ -45,13 +70,18 @@ impl From<ConfigError> for TrainError {
 }
 
 /// The result of a training run: recovered model plus efficiency metrics.
+///
+/// All efficiency numbers ([`Self::wall_seconds`], [`Self::gnps`],
+/// [`Self::iterations`], [`Self::numbers_processed`]) are read from the
+/// telemetry snapshot taken at the end of the run — the recorder is the
+/// single source of truth. When training ran through
+/// [`SgdConfig::train_with`] with a `NoopRecorder`, the snapshot is empty
+/// and they all report zero; the model and losses are exact either way.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
     model: Vec<f32>,
     epoch_losses: Vec<f64>,
-    wall: Duration,
-    numbers_processed: u64,
-    iterations: u64,
+    metrics: MetricsSnapshot,
 }
 
 impl TrainReport {
@@ -86,37 +116,76 @@ impl TrainReport {
             .expect("loss recording was disabled")
     }
 
-    /// Wall-clock training time (excluding evaluation).
+    /// Wall-clock training time (excluding evaluation), from the
+    /// [`metric::EPOCH_SECONDS`] histogram.
     #[must_use]
     pub fn wall_seconds(&self) -> f64 {
-        self.wall.as_secs_f64()
+        self.metrics
+            .histogram(metric::EPOCH_SECONDS)
+            .map_or(0.0, |h| h.sum)
     }
 
-    /// Total dataset numbers processed across all epochs.
+    /// Total dataset numbers processed across all epochs, from the
+    /// [`metric::NUMBERS_PROCESSED`] counter.
     #[must_use]
     pub fn numbers_processed(&self) -> u64 {
-        self.numbers_processed
+        self.metrics.counter(metric::NUMBERS_PROCESSED).unwrap_or(0)
     }
 
-    /// Total SGD iterations (examples visited).
+    /// Total SGD iterations (examples visited), from the
+    /// [`metric::ITERATIONS`] counter.
     #[must_use]
     pub fn iterations(&self) -> u64 {
-        self.iterations
+        self.metrics.counter(metric::ITERATIONS).unwrap_or(0)
     }
 
     /// Measured dataset throughput in giga-numbers-per-second — the
     /// paper's hardware-efficiency metric (§4).
     #[must_use]
     pub fn gnps(&self) -> f64 {
-        self.numbers_processed as f64 / self.wall.as_secs_f64().max(1e-12) / 1e9
+        self.numbers_processed() as f64 / self.wall_seconds().max(1e-12) / 1e9
+    }
+
+    /// The full telemetry snapshot collected during training.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
     }
 }
 
+/// Progress handed to the [`SgdConfig::on_epoch`] observer after each epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainProgress {
+    /// Index of the epoch that just finished (0-based).
+    pub epoch: usize,
+    /// Total epochs configured.
+    pub epochs: usize,
+    /// Mean training loss after this epoch, if loss recording is on.
+    pub loss: Option<f64>,
+    /// Cumulative wall-clock training seconds so far.
+    pub wall_seconds: f64,
+    /// Cumulative SGD iterations so far.
+    pub iterations: u64,
+}
+
+/// Observer verdict: keep training or stop after the current epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainControl {
+    /// Proceed to the next epoch.
+    Continue,
+    /// End the run now; the report covers the completed epochs.
+    Stop,
+}
+
 /// Per-worker rounding-randomness state (the §5.2 strategies).
-pub(crate) struct QuantState {
+#[doc(hidden)]
+pub struct QuantState {
     mode: Mode,
 }
 
+// One per worker, built once per run — the MT19937 state-table size
+// difference between variants has no per-iteration cost.
+#[allow(clippy::large_enum_variant)]
 enum Mode {
     Biased,
     Mersenne(Mt19937),
@@ -128,7 +197,7 @@ enum Mode {
     Shared {
         lanes: XorshiftLanes<8>,
         block: [u32; 8],
-        period: u32,
+        period: Option<NonZeroU32>,
         used: u32,
     },
 }
@@ -165,30 +234,33 @@ impl QuantState {
         QuantState { mode }
     }
 
-    /// Marks an iteration boundary: shared-randomness mode with period 0
-    /// refreshes its 256-bit block here (once per AXPY, the paper cadence).
+    /// Marks an iteration boundary: shared-randomness mode with no explicit
+    /// period refreshes its 256-bit block here (once per AXPY, the paper
+    /// cadence).
     pub(crate) fn begin_iteration(&mut self) {
         if let Mode::Shared {
             lanes,
             block,
-            period,
+            period: None,
             used,
         } = &mut self.mode
         {
-            if *period == 0 {
-                *block = lanes.step();
-                *used = 0;
-            }
+            *block = lanes.step();
+            *used = 0;
         }
     }
 
     /// If the current strategy uses one offset block for the whole
-    /// iteration (biased or period-0 shared randomness), returns it —
+    /// iteration (biased or per-iteration shared randomness), returns it —
     /// enabling the indirect-call-free AXPY fast path.
     pub(crate) fn block_offsets(&self) -> Option<[i64; 8]> {
         match &self.mode {
             Mode::Biased => Some([HALF15; 8]),
-            Mode::Shared { block, period, .. } if *period == 0 => {
+            Mode::Shared {
+                block,
+                period: None,
+                ..
+            } => {
                 let mut offs = [0i64; 8];
                 for (o, w) in offs.iter_mut().zip(block) {
                     *o = (w & MASK15) as i64;
@@ -223,8 +295,8 @@ impl QuantState {
                 period,
                 used,
             } => {
-                if *period > 0 {
-                    if *used >= *period {
+                if let Some(p) = period {
+                    if *used >= p.get() {
                         *block = lanes.step();
                         *used = 0;
                     }
@@ -259,8 +331,8 @@ impl QuantState {
                 period,
                 used,
             } => {
-                if *period > 0 {
-                    if *used >= *period {
+                if let Some(p) = period {
+                    if *used >= p.get() {
                         *block = lanes.step();
                         *used = 0;
                     }
@@ -273,204 +345,329 @@ impl QuantState {
 }
 
 /// Dataset quantized to the signature's `D` precision.
-enum DenseQuant<'a> {
+///
+/// `pub` only because it appears in the sealed engine trait; the `train`
+/// module is private, so it is not nameable outside the crate.
+#[doc(hidden)]
+pub enum DenseQuant<'a> {
     F32(&'a DenseDataset<f32>),
     I16(DenseDataset<i16>),
     I8(DenseDataset<i8>),
 }
 
-enum SparseQuant<'a> {
+#[doc(hidden)]
+pub enum SparseQuant<'a> {
     F32(&'a SparseDataset<f32, u32>),
     I16(SparseDataset<i16, u32>),
     I8(SparseDataset<i8, u32>),
 }
 
-impl SgdConfig {
-    /// Trains on a dense dataset, quantizing it to the signature's dataset
-    /// precision first.
-    ///
-    /// # Errors
-    ///
-    /// [`TrainError::Config`] for invalid configurations,
-    /// [`TrainError::EmptyDataset`] for empty input.
-    pub fn train_dense(&self, data: &DenseDataset<f32>) -> Result<TrainReport, TrainError> {
-        self.validate()?;
-        if data.examples() == 0 {
-            return Err(TrainError::EmptyDataset);
-        }
-        let precision =
-            ModelPrecision::from_signature(&self.signature).expect("validated above");
-        let d = self.signature.dataset();
-        let quant = match (d.bits(), d.is_float()) {
-            (32, true) => DenseQuant::F32(data),
-            (16, false) => DenseQuant::I16(data.quantize_i16(FixedSpec::unit_range(16))),
-            (8, false) => DenseQuant::I8(data.quantize_i8(FixedSpec::unit_range(8))),
-            _ => unreachable!("validated above"),
-        };
-        let n = data.features();
-        let m = data.examples();
-        let model = SharedModel::zeros(precision, n);
-        let mut epoch_losses = Vec::new();
-        let mut wall = Duration::ZERO;
-        for epoch in 0..self.epochs {
-            let step = self.step_size * self.step_decay.powi(epoch as i32);
-            let start = Instant::now();
-            crossbeam::thread::scope(|s| {
-                for t in 0..self.threads {
-                    let model = &model;
-                    let quant = &quant;
-                    let mut rng = QuantState::new(
-                        &self.quantizer,
-                        self.rounding,
-                        split_seed(self.seed, (epoch * self.threads + t) as u64 + 1),
-                    );
-                    let loss = self.loss;
-                    let b = self.minibatch;
-                    let threads = self.threads;
-                    s.spawn(move |_| match quant {
-                        DenseQuant::F32(d) => {
-                            worker_dense_f32(model, d, loss, step, b, t, threads, &mut rng);
-                        }
-                        DenseQuant::I16(d) => {
-                            worker_dense_fixed(model, d, loss, step, b, t, threads, &mut rng);
-                        }
-                        DenseQuant::I8(d) => {
-                            worker_dense_fixed(model, d, loss, step, b, t, threads, &mut rng);
-                        }
-                    });
-                }
-            })
-            .expect("worker panicked");
-            wall += start.elapsed();
-            if self.record_losses {
-                epoch_losses.push(metrics::mean_loss(self.loss, &model.snapshot(), data));
-            }
-        }
-        Ok(TrainReport {
-            model: model.snapshot(),
-            epoch_losses,
-            wall,
-            numbers_processed: (n * m * self.epochs) as u64,
-            iterations: (m * self.epochs) as u64,
-        })
-    }
-
-    /// Trains on a sparse dataset (CSR), quantizing values to the
-    /// signature's dataset precision first. Indices stay `u32` in storage;
-    /// index-precision effects on throughput are measured at the kernel
-    /// level (see the bench crate).
-    ///
-    /// # Errors
-    ///
-    /// [`TrainError::Config`] for invalid configurations,
-    /// [`TrainError::EmptyDataset`] for empty input.
-    pub fn train_sparse(
-        &self,
-        data: &SparseDataset<f32, u32>,
-    ) -> Result<TrainReport, TrainError> {
-        self.validate()?;
-        if data.examples() == 0 {
-            return Err(TrainError::EmptyDataset);
-        }
-        let precision =
-            ModelPrecision::from_signature(&self.signature).expect("validated above");
-        let d = self.signature.dataset();
-        let quant = match (d.bits(), d.is_float()) {
-            (32, true) => SparseQuant::F32(data),
-            (16, false) => SparseQuant::I16(data.requantize(
-                FixedSpec::unit_range(16),
-                Rounding::Biased,
-                self.seed,
-            )),
-            (8, false) => SparseQuant::I8(data.requantize(
-                FixedSpec::unit_range(8),
-                Rounding::Biased,
-                self.seed,
-            )),
-            _ => unreachable!("validated above"),
-        };
-        let n = data.features();
-        let m = data.examples();
-        let model = SharedModel::zeros(precision, n);
-        let mut epoch_losses = Vec::new();
-        let mut wall = Duration::ZERO;
-        for epoch in 0..self.epochs {
-            let step = self.step_size * self.step_decay.powi(epoch as i32);
-            let start = Instant::now();
-            crossbeam::thread::scope(|s| {
-                for t in 0..self.threads {
-                    let model = &model;
-                    let quant = &quant;
-                    let mut rng = QuantState::new(
-                        &self.quantizer,
-                        self.rounding,
-                        split_seed(self.seed, (epoch * self.threads + t) as u64 + 1),
-                    );
-                    let loss = self.loss;
-                    let b = self.minibatch;
-                    let threads = self.threads;
-                    s.spawn(move |_| match quant {
-                        SparseQuant::F32(d) => {
-                            worker_sparse_f32(model, d, loss, step, b, t, threads, &mut rng);
-                        }
-                        SparseQuant::I16(d) => {
-                            worker_sparse_fixed(model, d, loss, step, b, t, threads, &mut rng);
-                        }
-                        SparseQuant::I8(d) => {
-                            worker_sparse_fixed(model, d, loss, step, b, t, threads, &mut rng);
-                        }
-                    });
-                }
-            })
-            .expect("worker panicked");
-            wall += start.elapsed();
-            if self.record_losses {
-                epoch_losses.push(metrics::mean_loss_sparse(
-                    self.loss,
-                    &model.snapshot(),
-                    data,
-                ));
-            }
-        }
-        Ok(TrainReport {
-            model: model.snapshot(),
-            epoch_losses,
-            wall,
-            numbers_processed: (data.nnz() * self.epochs) as u64,
-            iterations: (m * self.epochs) as u64,
-        })
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn worker_dense_fixed<D: FixedInt>(
-    model: &SharedModel,
-    data: &DenseDataset<D>,
+/// Everything a worker needs besides the data and its RNG state.
+#[doc(hidden)]
+pub struct WorkerCtx<'a> {
+    model: &'a SharedModel,
     loss: Loss,
     step: f32,
     minibatch: usize,
     worker: usize,
     threads: usize,
+}
+
+/// Telemetry handles a worker updates in its hot loop.
+#[doc(hidden)]
+pub struct WorkerCounters<C> {
+    iterations: C,
+    numbers: C,
+    rounds: C,
+}
+
+mod sealed {
+    use super::{Loss, QuantState, SgdConfig, WorkerCounters, WorkerCtx};
+    use buckwild_telemetry::Counter;
+
+    /// The private engine interface behind [`super::TrainData`]. Not
+    /// nameable outside this crate, which seals the public trait.
+    pub trait Sealed {
+        /// The dataset after quantization to the signature's `D` precision.
+        type Prepared<'a>: Sync
+        where
+            Self: 'a;
+
+        fn examples(&self) -> usize;
+        fn prepare<'a>(&'a self, config: &SgdConfig) -> Self::Prepared<'a>;
+        fn model_features(&self) -> usize;
+        fn run_worker<C: Counter>(
+            prepared: &Self::Prepared<'_>,
+            ctx: &WorkerCtx<'_>,
+            counters: &WorkerCounters<C>,
+            rng: &mut QuantState,
+        );
+        fn mean_loss(&self, loss: Loss, model: &[f32]) -> f64;
+    }
+}
+
+/// A dataset [`SgdConfig::train`] can consume.
+///
+/// Implemented by [`DenseDataset<f32>`] and [`SparseDataset<f32, u32>`];
+/// the trait is sealed, so these are the only implementations. The engine
+/// quantizes the data to the signature's dataset precision, runs the
+/// Hogwild! worker loop, and evaluates losses through this interface —
+/// dense and sparse training share one epoch loop, one instrumentation
+/// scheme, and one report shape.
+pub trait TrainData: sealed::Sealed {}
+
+impl sealed::Sealed for DenseDataset<f32> {
+    type Prepared<'a> = DenseQuant<'a>;
+
+    fn examples(&self) -> usize {
+        self.examples()
+    }
+
+    fn model_features(&self) -> usize {
+        self.features()
+    }
+
+    fn prepare<'a>(&'a self, config: &SgdConfig) -> DenseQuant<'a> {
+        let d = config.signature.dataset();
+        match (d.bits(), d.is_float()) {
+            (32, true) => DenseQuant::F32(self),
+            (16, false) => DenseQuant::I16(self.quantize_i16(FixedSpec::unit_range(16))),
+            (8, false) => DenseQuant::I8(self.quantize_i8(FixedSpec::unit_range(8))),
+            _ => unreachable!("rejected by validate"),
+        }
+    }
+
+    fn run_worker<C: Counter>(
+        prepared: &DenseQuant<'_>,
+        ctx: &WorkerCtx<'_>,
+        counters: &WorkerCounters<C>,
+        rng: &mut QuantState,
+    ) {
+        match prepared {
+            DenseQuant::F32(d) => worker_dense_f32(ctx, d, counters, rng),
+            DenseQuant::I16(d) => worker_dense_fixed(ctx, d, counters, rng),
+            DenseQuant::I8(d) => worker_dense_fixed(ctx, d, counters, rng),
+        }
+    }
+
+    fn mean_loss(&self, loss: Loss, model: &[f32]) -> f64 {
+        metrics::mean_loss(loss, model, self)
+    }
+}
+
+impl TrainData for DenseDataset<f32> {}
+
+impl sealed::Sealed for SparseDataset<f32, u32> {
+    type Prepared<'a> = SparseQuant<'a>;
+
+    fn examples(&self) -> usize {
+        self.examples()
+    }
+
+    fn model_features(&self) -> usize {
+        self.features()
+    }
+
+    fn prepare<'a>(&'a self, config: &SgdConfig) -> SparseQuant<'a> {
+        let d = config.signature.dataset();
+        match (d.bits(), d.is_float()) {
+            (32, true) => SparseQuant::F32(self),
+            (16, false) => SparseQuant::I16(self.requantize(
+                FixedSpec::unit_range(16),
+                Rounding::Biased,
+                config.seed,
+            )),
+            (8, false) => SparseQuant::I8(self.requantize(
+                FixedSpec::unit_range(8),
+                Rounding::Biased,
+                config.seed,
+            )),
+            _ => unreachable!("rejected by validate"),
+        }
+    }
+
+    fn run_worker<C: Counter>(
+        prepared: &SparseQuant<'_>,
+        ctx: &WorkerCtx<'_>,
+        counters: &WorkerCounters<C>,
+        rng: &mut QuantState,
+    ) {
+        match prepared {
+            SparseQuant::F32(d) => worker_sparse_f32(ctx, d, counters, rng),
+            SparseQuant::I16(d) => worker_sparse_fixed(ctx, d, counters, rng),
+            SparseQuant::I8(d) => worker_sparse_fixed(ctx, d, counters, rng),
+        }
+    }
+
+    fn mean_loss(&self, loss: Loss, model: &[f32]) -> f64 {
+        metrics::mean_loss_sparse(loss, model, self)
+    }
+}
+
+impl TrainData for SparseDataset<f32, u32> {}
+
+impl SgdConfig {
+    /// Trains on any [`TrainData`] dataset, quantizing it to the
+    /// signature's dataset precision first.
+    ///
+    /// Collects telemetry with a sharded recorder (one shard per worker)
+    /// and builds the report's efficiency metrics from the snapshot. To
+    /// supply your own recorder — or to opt out of measurement entirely
+    /// with `NoopRecorder` — use [`SgdConfig::train_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Config`] for invalid configurations,
+    /// [`TrainError::EmptyDataset`] for empty input.
+    pub fn train<D: TrainData>(&self, data: &D) -> Result<TrainReport, TrainError> {
+        let recorder = ShardedRecorder::new(self.threads.max(1));
+        self.train_with(data, &recorder)
+    }
+
+    /// Trains like [`SgdConfig::train`], but records telemetry through the
+    /// given [`Recorder`].
+    ///
+    /// With `NoopRecorder`, every instrumentation point monomorphizes away
+    /// and the report's efficiency metrics read zero (the model and
+    /// per-epoch losses are unaffected).
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Config`] for invalid configurations,
+    /// [`TrainError::EmptyDataset`] for empty input.
+    pub fn train_with<D: TrainData, R: Recorder>(
+        &self,
+        data: &D,
+        recorder: &R,
+    ) -> Result<TrainReport, TrainError> {
+        self.validate()?;
+        if sealed::Sealed::examples(data) == 0 {
+            return Err(TrainError::EmptyDataset);
+        }
+        let precision = ModelPrecision::from_signature(&self.signature).expect("validated above");
+        let prepared = data.prepare(self);
+        let m = sealed::Sealed::examples(data);
+        let model = SharedModel::zeros(precision, data.model_features());
+        let mut epoch_losses = Vec::new();
+        let epoch_seconds = recorder.histogram(metric::EPOCH_SECONDS);
+        let mut wall = 0f64;
+        for epoch in 0..self.epochs {
+            let step = self.step_size * self.step_decay.powi(epoch as i32);
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for t in 0..self.threads {
+                    let prepared = &prepared;
+                    let model = &model;
+                    let mut rng = QuantState::new(
+                        &self.quantizer,
+                        self.rounding,
+                        split_seed(self.seed, (epoch * self.threads + t) as u64 + 1),
+                    );
+                    let ctx = WorkerCtx {
+                        model,
+                        loss: self.loss,
+                        step,
+                        minibatch: self.minibatch,
+                        worker: t,
+                        threads: self.threads,
+                    };
+                    let counters = WorkerCounters {
+                        iterations: recorder.worker_counter(metric::ITERATIONS, t),
+                        numbers: recorder.worker_counter(metric::NUMBERS_PROCESSED, t),
+                        rounds: recorder.worker_counter(metric::ROUND_EVENTS, t),
+                    };
+                    s.spawn(move || D::run_worker(prepared, &ctx, &counters, &mut rng));
+                }
+            });
+            let secs = start.elapsed().as_secs_f64();
+            epoch_seconds.record(secs);
+            wall += secs;
+            let loss = if self.record_losses {
+                let l = data.mean_loss(self.loss, &model.snapshot());
+                epoch_losses.push(l);
+                Some(l)
+            } else {
+                None
+            };
+            if let Some(observer) = &self.on_epoch {
+                let progress = TrainProgress {
+                    epoch,
+                    epochs: self.epochs,
+                    loss,
+                    wall_seconds: wall,
+                    iterations: (m * (epoch + 1)) as u64,
+                };
+                if observer(&progress) == TrainControl::Stop {
+                    break;
+                }
+            }
+        }
+        // GNPS needs the cross-worker totals, so it is derived from the
+        // recorder's own counters at the end of the run.
+        let snapshot = recorder.snapshot();
+        if let Some(numbers) = snapshot.counter(metric::NUMBERS_PROCESSED) {
+            recorder
+                .gauge(metric::GNPS)
+                .set(numbers as f64 / wall.max(1e-12) / 1e9);
+        }
+        Ok(TrainReport {
+            model: model.snapshot(),
+            epoch_losses,
+            metrics: recorder.snapshot(),
+        })
+    }
+
+    /// Trains on a dense dataset.
+    ///
+    /// # Errors
+    ///
+    /// See [`SgdConfig::train`].
+    #[deprecated(since = "0.2.0", note = "use `train`, which accepts any `TrainData`")]
+    pub fn train_dense(&self, data: &DenseDataset<f32>) -> Result<TrainReport, TrainError> {
+        self.train(data)
+    }
+
+    /// Trains on a sparse CSR dataset.
+    ///
+    /// # Errors
+    ///
+    /// See [`SgdConfig::train`].
+    #[deprecated(since = "0.2.0", note = "use `train`, which accepts any `TrainData`")]
+    pub fn train_sparse(&self, data: &SparseDataset<f32, u32>) -> Result<TrainReport, TrainError> {
+        self.train(data)
+    }
+}
+
+fn worker_dense_fixed<D: FixedInt, C: Counter>(
+    ctx: &WorkerCtx<'_>,
+    data: &DenseDataset<D>,
+    counters: &WorkerCounters<C>,
     rng: &mut QuantState,
 ) {
     let x_spec = data.spec();
     let n = data.features();
-    let mut scratch = if minibatch > 1 { vec![0f32; n] } else { Vec::new() };
+    let mut scratch = if ctx.minibatch > 1 {
+        vec![0f32; n]
+    } else {
+        Vec::new()
+    };
     let mut batch_fill = 0usize;
-    let indices: Vec<usize> = (worker..data.examples()).step_by(threads).collect();
-    for &i in &indices {
+    for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
         let x = data.example(i);
         let y = data.label(i);
         rng.begin_iteration();
-        let dot = model.dot_fixed(x, &x_spec);
-        let a = loss.axpy_scale(dot, y, step);
-        if minibatch == 1 {
+        counters.iterations.incr();
+        counters.numbers.add(n as u64);
+        let dot = ctx.model.dot_fixed(x, &x_spec);
+        let a = ctx.loss.axpy_scale(dot, y, ctx.step);
+        if ctx.minibatch == 1 {
             if a != 0.0 {
+                counters.rounds.add(n as u64);
                 match rng.block_offsets() {
-                    Some(offs) => model.axpy_fixed_block(a, x, &x_spec, &offs),
+                    Some(offs) => ctx.model.axpy_fixed_block(a, x, &x_spec, &offs),
                     None => {
                         let mut off = |j: usize| rng.offset15(j);
-                        model.axpy_fixed(a, x, &x_spec, &mut off);
+                        ctx.model.axpy_fixed(a, x, &x_spec, &mut off);
                     }
                 }
             }
@@ -482,44 +679,48 @@ fn worker_dense_fixed<D: FixedInt>(
                 }
             }
             batch_fill += 1;
-            if batch_fill == minibatch {
+            if batch_fill == ctx.minibatch {
+                counters.rounds.add(n as u64);
                 let mut uni = |j: usize| rng.uniform(j);
-                model.axpy_f32(1.0, &scratch, &mut uni);
+                ctx.model.axpy_f32(1.0, &scratch, &mut uni);
                 scratch.fill(0.0);
                 batch_fill = 0;
             }
         }
     }
     if batch_fill > 0 {
+        counters.rounds.add(n as u64);
         let mut uni = |j: usize| rng.uniform(j);
-        model.axpy_f32(1.0, &scratch, &mut uni);
+        ctx.model.axpy_f32(1.0, &scratch, &mut uni);
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_dense_f32(
-    model: &SharedModel,
+fn worker_dense_f32<C: Counter>(
+    ctx: &WorkerCtx<'_>,
     data: &DenseDataset<f32>,
-    loss: Loss,
-    step: f32,
-    minibatch: usize,
-    worker: usize,
-    threads: usize,
+    counters: &WorkerCounters<C>,
     rng: &mut QuantState,
 ) {
     let n = data.features();
-    let mut scratch = if minibatch > 1 { vec![0f32; n] } else { Vec::new() };
+    let mut scratch = if ctx.minibatch > 1 {
+        vec![0f32; n]
+    } else {
+        Vec::new()
+    };
     let mut batch_fill = 0usize;
-    for i in (worker..data.examples()).step_by(threads) {
+    for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
         let x = data.example(i);
         let y = data.label(i);
         rng.begin_iteration();
-        let dot = model.dot_f32(x);
-        let a = loss.axpy_scale(dot, y, step);
-        if minibatch == 1 {
+        counters.iterations.incr();
+        counters.numbers.add(n as u64);
+        let dot = ctx.model.dot_f32(x);
+        let a = ctx.loss.axpy_scale(dot, y, ctx.step);
+        if ctx.minibatch == 1 {
             if a != 0.0 {
+                counters.rounds.add(n as u64);
                 let mut uni = |j: usize| rng.uniform(j);
-                model.axpy_f32(a, x, &mut uni);
+                ctx.model.axpy_f32(a, x, &mut uni);
             }
         } else {
             if a != 0.0 {
@@ -528,29 +729,26 @@ fn worker_dense_f32(
                 }
             }
             batch_fill += 1;
-            if batch_fill == minibatch {
+            if batch_fill == ctx.minibatch {
+                counters.rounds.add(n as u64);
                 let mut uni = |j: usize| rng.uniform(j);
-                model.axpy_f32(1.0, &scratch, &mut uni);
+                ctx.model.axpy_f32(1.0, &scratch, &mut uni);
                 scratch.fill(0.0);
                 batch_fill = 0;
             }
         }
     }
     if batch_fill > 0 {
+        counters.rounds.add(n as u64);
         let mut uni = |j: usize| rng.uniform(j);
-        model.axpy_f32(1.0, &scratch, &mut uni);
+        ctx.model.axpy_f32(1.0, &scratch, &mut uni);
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_sparse_fixed<D: FixedInt>(
-    model: &SharedModel,
+fn worker_sparse_fixed<D: FixedInt, C: Counter>(
+    ctx: &WorkerCtx<'_>,
     data: &SparseDataset<D, u32>,
-    loss: Loss,
-    step: f32,
-    minibatch: usize,
-    worker: usize,
-    threads: usize,
+    counters: &WorkerCounters<C>,
     rng: &mut QuantState,
 ) {
     let x_spec = data.spec();
@@ -558,26 +756,32 @@ fn worker_sparse_fixed<D: FixedInt>(
     // batch-start model, then all scatter writes are applied. The model is
     // written per example, but the gradient is a true mini-batch gradient.
     let mut pending: Vec<(usize, f32)> = Vec::new();
-    for i in (worker..data.examples()).step_by(threads) {
+    for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
         let ex = data.example(i);
         let y = data.label(i);
         rng.begin_iteration();
-        let dot = model.dot_sparse_fixed(ex.values, ex.indices, &x_spec);
-        let a = loss.axpy_scale(dot, y, step);
-        if minibatch == 1 {
+        counters.iterations.incr();
+        counters.numbers.add(ex.nnz() as u64);
+        let dot = ctx.model.dot_sparse_fixed(ex.values, ex.indices, &x_spec);
+        let a = ctx.loss.axpy_scale(dot, y, ctx.step);
+        if ctx.minibatch == 1 {
             if a != 0.0 {
+                counters.rounds.add(ex.nnz() as u64);
                 let mut off = |j: usize| rng.offset15(j);
-                model.axpy_sparse_fixed(a, ex.values, ex.indices, &x_spec, &mut off);
+                ctx.model
+                    .axpy_sparse_fixed(a, ex.values, ex.indices, &x_spec, &mut off);
             }
         } else {
             if a != 0.0 {
                 pending.push((i, a));
             }
-            if pending.len() >= minibatch {
+            if pending.len() >= ctx.minibatch {
                 for &(pi, pa) in &pending {
                     let pex = data.example(pi);
+                    counters.rounds.add(pex.nnz() as u64);
                     let mut off = |j: usize| rng.offset15(j);
-                    model.axpy_sparse_fixed(pa, pex.values, pex.indices, &x_spec, &mut off);
+                    ctx.model
+                        .axpy_sparse_fixed(pa, pex.values, pex.indices, &x_spec, &mut off);
                 }
                 pending.clear();
             }
@@ -585,43 +789,46 @@ fn worker_sparse_fixed<D: FixedInt>(
     }
     for &(pi, pa) in &pending {
         let pex = data.example(pi);
+        counters.rounds.add(pex.nnz() as u64);
         let mut off = |j: usize| rng.offset15(j);
-        model.axpy_sparse_fixed(pa, pex.values, pex.indices, &x_spec, &mut off);
+        ctx.model
+            .axpy_sparse_fixed(pa, pex.values, pex.indices, &x_spec, &mut off);
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_sparse_f32(
-    model: &SharedModel,
+fn worker_sparse_f32<C: Counter>(
+    ctx: &WorkerCtx<'_>,
     data: &SparseDataset<f32, u32>,
-    loss: Loss,
-    step: f32,
-    minibatch: usize,
-    worker: usize,
-    threads: usize,
+    counters: &WorkerCounters<C>,
     rng: &mut QuantState,
 ) {
     let mut pending: Vec<(usize, f32)> = Vec::new();
-    for i in (worker..data.examples()).step_by(threads) {
+    for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
         let ex = data.example(i);
         let y = data.label(i);
         rng.begin_iteration();
-        let dot = model.dot_sparse_f32(ex.values, ex.indices);
-        let a = loss.axpy_scale(dot, y, step);
-        if minibatch == 1 {
+        counters.iterations.incr();
+        counters.numbers.add(ex.nnz() as u64);
+        let dot = ctx.model.dot_sparse_f32(ex.values, ex.indices);
+        let a = ctx.loss.axpy_scale(dot, y, ctx.step);
+        if ctx.minibatch == 1 {
             if a != 0.0 {
+                counters.rounds.add(ex.nnz() as u64);
                 let mut uni = |j: usize| rng.uniform(j);
-                model.axpy_sparse_f32(a, ex.values, ex.indices, &mut uni);
+                ctx.model
+                    .axpy_sparse_f32(a, ex.values, ex.indices, &mut uni);
             }
         } else {
             if a != 0.0 {
                 pending.push((i, a));
             }
-            if pending.len() >= minibatch {
+            if pending.len() >= ctx.minibatch {
                 for &(pi, pa) in &pending {
                     let pex = data.example(pi);
+                    counters.rounds.add(pex.nnz() as u64);
                     let mut uni = |j: usize| rng.uniform(j);
-                    model.axpy_sparse_f32(pa, pex.values, pex.indices, &mut uni);
+                    ctx.model
+                        .axpy_sparse_f32(pa, pex.values, pex.indices, &mut uni);
                 }
                 pending.clear();
             }
@@ -629,8 +836,10 @@ fn worker_sparse_f32(
     }
     for &(pi, pa) in &pending {
         let pex = data.example(pi);
+        counters.rounds.add(pex.nnz() as u64);
         let mut uni = |j: usize| rng.uniform(j);
-        model.axpy_sparse_f32(pa, pex.values, pex.indices, &mut uni);
+        ctx.model
+            .axpy_sparse_f32(pa, pex.values, pex.indices, &mut uni);
     }
 }
 
@@ -638,6 +847,7 @@ fn worker_sparse_f32(
 mod tests {
     use super::*;
     use buckwild_dataset::generate;
+    use buckwild_telemetry::NoopRecorder;
 
     fn logistic_config() -> SgdConfig {
         SgdConfig::new(Loss::Logistic)
@@ -650,7 +860,7 @@ mod tests {
     #[test]
     fn full_precision_sequential_converges() {
         let p = generate::logistic_dense(32, 400, 5);
-        let report = logistic_config().train_dense(&p.data).unwrap();
+        let report = logistic_config().train(&p.data).unwrap();
         let chance = std::f64::consts::LN_2;
         assert!(
             report.final_loss() < 0.6 * chance,
@@ -664,10 +874,10 @@ mod tests {
     #[test]
     fn d8m8_buckwild_converges_close_to_full_precision() {
         let p = generate::logistic_dense(64, 600, 6);
-        let full = logistic_config().train_dense(&p.data).unwrap();
+        let full = logistic_config().train(&p.data).unwrap();
         let low = logistic_config()
             .signature("D8M8".parse().unwrap())
-            .train_dense(&p.data)
+            .train(&p.data)
             .unwrap();
         assert!(
             low.final_loss() < full.final_loss() + 0.1,
@@ -680,10 +890,10 @@ mod tests {
     #[test]
     fn d16m16_matches_full_precision_tightly() {
         let p = generate::logistic_dense(64, 600, 7);
-        let full = logistic_config().train_dense(&p.data).unwrap();
+        let full = logistic_config().train(&p.data).unwrap();
         let low = logistic_config()
             .signature("D16M16".parse().unwrap())
-            .train_dense(&p.data)
+            .train(&p.data)
             .unwrap();
         assert!((low.final_loss() - full.final_loss()).abs() < 0.05);
     }
@@ -694,7 +904,7 @@ mod tests {
         let report = logistic_config()
             .signature("D8M8".parse().unwrap())
             .threads(2)
-            .train_dense(&p.data)
+            .train(&p.data)
             .unwrap();
         assert!(report.final_loss() < 0.5, "loss {}", report.final_loss());
     }
@@ -705,7 +915,7 @@ mod tests {
         let report = logistic_config()
             .signature("D8M8".parse().unwrap())
             .minibatch(8)
-            .train_dense(&p.data)
+            .train(&p.data)
             .unwrap();
         assert!(report.final_loss() < 0.55, "loss {}", report.final_loss());
     }
@@ -715,7 +925,7 @@ mod tests {
         let p = generate::logistic_sparse(256, 800, 0.05, 10);
         let report = logistic_config()
             .signature("D8i8M8".parse().unwrap())
-            .train_sparse(&p.data)
+            .train(&p.data)
             .unwrap();
         assert!(report.final_loss() < 0.6, "loss {}", report.final_loss());
     }
@@ -726,7 +936,7 @@ mod tests {
         let report = SgdConfig::new(Loss::LeastSquares)
             .step_size(0.3)
             .epochs(30)
-            .train_dense(&p.data)
+            .train(&p.data)
             .unwrap();
         // Compare against the normalized true model.
         let scale = (16f32).sqrt();
@@ -745,20 +955,72 @@ mod tests {
         let report = SgdConfig::new(Loss::Hinge)
             .step_size(0.05)
             .epochs(10)
-            .train_dense(&p.data)
+            .train(&p.data)
             .unwrap();
         let acc = metrics::accuracy(Loss::Hinge, report.model(), &p.data);
         assert!(acc > 0.8, "accuracy {acc}");
     }
 
     #[test]
-    fn report_accounting() {
+    fn report_accounting_derives_from_telemetry() {
         let p = generate::logistic_dense(16, 100, 13);
-        let report = logistic_config().epochs(3).train_dense(&p.data).unwrap();
+        let report = logistic_config().epochs(3).train(&p.data).unwrap();
         assert_eq!(report.iterations(), 300);
         assert_eq!(report.numbers_processed(), 16 * 100 * 3);
         assert!(report.gnps() > 0.0);
         assert_eq!(report.epoch_losses().len(), 3);
+        // The report reads straight from the snapshot, which also carries
+        // the epoch timings and the rounding-event count.
+        let snap = report.metrics();
+        assert_eq!(snap.counter(metric::ITERATIONS), Some(300));
+        assert_eq!(snap.histogram(metric::EPOCH_SECONDS).unwrap().count, 3);
+        assert!(snap.counter(metric::ROUND_EVENTS).unwrap() > 0);
+        assert!(snap.gauge(metric::GNPS).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sparse_accounting_counts_nonzeros() {
+        let p = generate::logistic_sparse(200, 50, 0.03, 19);
+        let report = logistic_config().epochs(2).train(&p.data).unwrap();
+        assert_eq!(report.iterations(), 100);
+        assert_eq!(report.numbers_processed(), (p.data.nnz() * 2) as u64);
+    }
+
+    #[test]
+    fn noop_recorder_trains_without_metrics() {
+        let p = generate::logistic_dense(32, 400, 5);
+        let instrumented = logistic_config().train(&p.data).unwrap();
+        let silent = logistic_config()
+            .train_with(&p.data, &NoopRecorder)
+            .unwrap();
+        // Same training result either way...
+        assert_eq!(silent.model(), instrumented.model());
+        assert_eq!(silent.epoch_losses(), instrumented.epoch_losses());
+        // ...but no measurements were collected.
+        assert!(silent.metrics().is_empty());
+        assert_eq!(silent.iterations(), 0);
+        assert_eq!(silent.wall_seconds(), 0.0);
+    }
+
+    #[test]
+    fn on_epoch_observer_stops_early() {
+        let p = generate::logistic_dense(16, 100, 13);
+        let report = logistic_config()
+            .epochs(20)
+            .on_epoch(|progress| {
+                assert_eq!(progress.epochs, 20);
+                assert!(progress.loss.is_some());
+                if progress.epoch >= 2 {
+                    TrainControl::Stop
+                } else {
+                    TrainControl::Continue
+                }
+            })
+            .train(&p.data)
+            .unwrap();
+        assert_eq!(report.epoch_losses().len(), 3);
+        // Telemetry reflects the actual work done, not the configured plan.
+        assert_eq!(report.iterations(), 300);
     }
 
     #[test]
@@ -766,7 +1028,7 @@ mod tests {
         let p = generate::logistic_dense(16, 100, 14);
         let report = logistic_config()
             .record_losses(false)
-            .train_dense(&p.data)
+            .train(&p.data)
             .unwrap();
         assert!(report.epoch_losses().is_empty());
     }
@@ -783,14 +1045,14 @@ mod tests {
             .rounding(Rounding::Unbiased)
             .step_size(small_step)
             .epochs(6)
-            .train_dense(&p.data)
+            .train(&p.data)
             .unwrap();
         let biased = SgdConfig::new(Loss::Logistic)
             .signature("D8M8".parse().unwrap())
             .rounding(Rounding::Biased)
             .step_size(small_step)
             .epochs(6)
-            .train_dense(&p.data)
+            .train(&p.data)
             .unwrap();
         assert!(
             unbiased.final_loss() <= biased.final_loss() + 1e-9,
@@ -804,10 +1066,22 @@ mod tests {
     fn deterministic_given_seed_single_thread() {
         let p = generate::logistic_dense(32, 200, 16);
         let config = logistic_config().signature("D8M8".parse().unwrap());
-        let a = config.train_dense(&p.data).unwrap();
-        let b = config.train_dense(&p.data).unwrap();
+        let a = config.train(&p.data).unwrap();
+        let b = config.train(&p.data).unwrap();
         assert_eq!(a.model(), b.model());
         assert_eq!(a.epoch_losses(), b.epoch_losses());
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_train() {
+        let p = generate::logistic_dense(16, 100, 18);
+        #[allow(deprecated)]
+        let report = logistic_config().train_dense(&p.data).unwrap();
+        assert_eq!(report.iterations(), 800);
+        let sp = generate::logistic_sparse(64, 60, 0.1, 18);
+        #[allow(deprecated)]
+        let sreport = logistic_config().train_sparse(&sp.data).unwrap();
+        assert_eq!(sreport.iterations(), 480);
     }
 
     #[test]
@@ -816,7 +1090,7 @@ mod tests {
         // Can't build an empty DenseDataset, so check the sparse path.
         let sparse = SparseDataset::from_triplets(4, vec![], vec![]);
         assert_eq!(
-            logistic_config().train_sparse(&sparse),
+            logistic_config().train(&sparse),
             Err(TrainError::EmptyDataset)
         );
         let _ = data;
@@ -827,7 +1101,7 @@ mod tests {
         let p = generate::logistic_dense(8, 20, 17);
         let err = logistic_config()
             .signature("D4M4".parse().unwrap())
-            .train_dense(&p.data)
+            .train(&p.data)
             .unwrap_err();
         assert!(matches!(err, TrainError::Config(_)));
     }

@@ -150,8 +150,11 @@ mod tests {
         let values = [1i8, 2, 3, 4, 5];
         let de = DeltaExample::<i8, u8>::encode(&indices, &values);
         let decoded = de.decode();
-        let expect: Vec<(usize, i8)> =
-            indices.iter().copied().zip(values.iter().copied()).collect();
+        let expect: Vec<(usize, i8)> = indices
+            .iter()
+            .copied()
+            .zip(values.iter().copied())
+            .collect();
         assert_eq!(decoded, expect);
     }
 

@@ -297,7 +297,9 @@ mod tests {
     #[test]
     fn split_partitions_examples() {
         let rows: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
-        let labels: Vec<f32> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let labels: Vec<f32> = (0..10)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let d = DenseDataset::from_rows(rows, labels);
         let (train, test) = d.split(0.7);
         assert_eq!(train.examples(), 7);

@@ -8,7 +8,9 @@ use buckwild_fixed::{FixedSpec, Rounding};
 /// `f32` ignores the spec. The trait is sealed: kernels in
 /// `buckwild-kernels` are specialized per concrete type, so downstream
 /// implementations would not be usable anyway.
-pub trait Element: sealed::Sealed + Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+pub trait Element:
+    sealed::Sealed + Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static
+{
     /// Number of bits of storage per value.
     const BITS: u32;
 
@@ -22,8 +24,7 @@ pub trait Element: sealed::Sealed + Copy + Send + Sync + PartialEq + std::fmt::D
     ///
     /// `uniform` is consulted only when `rounding` is
     /// [`Rounding::Unbiased`]; fixed-point conversions saturate.
-    fn encode<F: FnMut() -> f32>(x: f32, spec: &FixedSpec, rounding: Rounding, uniform: F)
-        -> Self;
+    fn encode<F: FnMut() -> f32>(x: f32, spec: &FixedSpec, rounding: Rounding, uniform: F) -> Self;
 
     /// Converts this storage value back to `f32`.
     fn decode(self, spec: &FixedSpec) -> f32;
@@ -121,6 +122,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // pinning the trait's associated consts is the point
     fn constants() {
         assert_eq!(<i8 as Element>::BITS, 8);
         assert_eq!(<i16 as Element>::BITS, 16);

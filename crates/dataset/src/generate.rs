@@ -7,8 +7,7 @@
 //! add linear-regression and separable-SVM analogues with the same
 //! dot-and-AXPY compute structure.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use buckwild_prng::{Prng, Xorshift128};
 
 use crate::{DenseDataset, Label, SparseDataset};
 
@@ -25,8 +24,8 @@ pub struct Problem<D> {
     pub true_model: Vec<f32>,
 }
 
-fn sample_unit(rng: &mut StdRng, n: usize) -> Vec<f32> {
-    (0..n).map(|_| rng.gen_range(-1.0f32..=1.0)).collect()
+fn sample_unit(rng: &mut Xorshift128, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.range_f32(-1.0, 1.0)).collect()
 }
 
 fn sigmoid(z: f64) -> f64 {
@@ -44,7 +43,7 @@ fn sigmoid(z: f64) -> f64 {
 #[must_use]
 pub fn logistic_dense(n: usize, m: usize, seed: u64) -> Problem<DenseDataset<f32>> {
     assert!(n > 0 && m > 0, "dimensions must be positive");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift128::seed_from(seed);
     let true_model = sample_unit(&mut rng, n);
     let mut values = Vec::with_capacity(n * m);
     let mut labels = Vec::with_capacity(m);
@@ -59,7 +58,7 @@ pub fn logistic_dense(n: usize, m: usize, seed: u64) -> Problem<DenseDataset<f32
             .sum::<f64>()
             / (n as f64).sqrt()
             * 10.0;
-        let label: Label = if rng.gen_bool(sigmoid(dot)) { 1.0 } else { -1.0 };
+        let label: Label = if rng.chance(sigmoid(dot)) { 1.0 } else { -1.0 };
         values.extend_from_slice(&x);
         labels.push(label);
     }
@@ -79,7 +78,7 @@ pub fn logistic_dense(n: usize, m: usize, seed: u64) -> Problem<DenseDataset<f32
 pub fn linear_dense(n: usize, m: usize, noise: f32, seed: u64) -> Problem<DenseDataset<f32>> {
     assert!(n > 0 && m > 0, "dimensions must be positive");
     assert!(noise >= 0.0, "noise must be nonnegative");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift128::seed_from(seed);
     let true_model = sample_unit(&mut rng, n);
     let mut values = Vec::with_capacity(n * m);
     let mut labels = Vec::with_capacity(m);
@@ -92,7 +91,7 @@ pub fn linear_dense(n: usize, m: usize, noise: f32, seed: u64) -> Problem<DenseD
             .sum::<f64>()
             / (n as f64).sqrt();
         // Sum of 12 uniforms minus 6: approximately standard normal.
-        let eps: f64 = (0..12).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() - 6.0;
+        let eps: f64 = (0..12).map(|_| rng.next_f64()).sum::<f64>() - 6.0;
         labels.push((dot + eps * noise as f64) as f32);
         values.extend_from_slice(&x);
     }
@@ -122,7 +121,7 @@ pub fn logistic_sparse(
     assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
     let nnz_per_example = ((density * n as f64).round() as usize).max(1);
     assert!(nnz_per_example <= n, "density too high");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift128::seed_from(seed);
     let true_model = sample_unit(&mut rng, n);
     let mut rows = Vec::with_capacity(m);
     let mut labels = Vec::with_capacity(m);
@@ -130,7 +129,7 @@ pub fn logistic_sparse(
         let indices = sample_sorted_distinct(&mut rng, n, nnz_per_example);
         let row: Vec<(usize, f32)> = indices
             .into_iter()
-            .map(|idx| (idx, rng.gen_range(-1.0f32..=1.0)))
+            .map(|idx| (idx, rng.range_f32(-1.0, 1.0)))
             .collect();
         let dot: f64 = row
             .iter()
@@ -138,7 +137,7 @@ pub fn logistic_sparse(
             .sum::<f64>()
             / (nnz_per_example as f64).sqrt()
             * 10.0;
-        labels.push(if rng.gen_bool(sigmoid(dot)) { 1.0 } else { -1.0 });
+        labels.push(if rng.chance(sigmoid(dot)) { 1.0 } else { -1.0 });
         rows.push(row);
     }
     Problem {
@@ -148,11 +147,11 @@ pub fn logistic_sparse(
 }
 
 /// Samples `k` sorted distinct indices from `0..n` (Floyd's algorithm).
-fn sample_sorted_distinct(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+fn sample_sorted_distinct(rng: &mut Xorshift128, n: usize, k: usize) -> Vec<usize> {
     use std::collections::BTreeSet;
     let mut chosen = BTreeSet::new();
     for j in (n - k)..n {
-        let t = rng.gen_range(0..=j);
+        let t = rng.next_below_usize(j + 1);
         if !chosen.insert(t) {
             chosen.insert(j);
         }
@@ -246,7 +245,7 @@ mod tests {
 
     #[test]
     fn sample_sorted_distinct_properties() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xorshift128::seed_from(3);
         for _ in 0..50 {
             let ks = sample_sorted_distinct(&mut rng, 50, 10);
             assert_eq!(ks.len(), 10);

@@ -9,8 +9,7 @@
 //! (Figure 7b/7e) are exercised on a task of comparable discriminability.
 //! See `DESIGN.md` for the substitution rationale.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use buckwild_prng::{Prng, Xorshift128};
 
 /// Image dimensions: height x width x channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,7 +91,7 @@ impl ImageDataset {
         assert!(per_class > 0, "need at least one sample per class");
         assert!(!shape.is_empty(), "image shape must be nonempty");
         assert!(noise >= 0.0, "noise must be nonnegative");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xorshift128::seed_from(seed);
         let prototypes: Vec<Vec<f32>> = (0..classes)
             .map(|_| smooth_prototype(&mut rng, shape))
             .collect();
@@ -104,7 +103,11 @@ impl ImageDataset {
             for (class, proto) in prototypes.iter().enumerate() {
                 let _ = i;
                 for &p in proto {
-                    let jitter = rng.gen_range(-noise..=noise);
+                    let jitter = if noise > 0.0 {
+                        rng.range_f32(-noise, noise)
+                    } else {
+                        0.0
+                    };
                     images.push((p + jitter).clamp(0.0, 1.0));
                 }
                 labels.push(class);
@@ -187,16 +190,16 @@ impl ImageDataset {
 /// A smooth random field in `[0, 1]`: sum of a few random low-frequency
 /// sinusoids per channel, normalized. Smoothness matters: it gives
 /// convolutional filters local structure to detect, like natural images.
-fn smooth_prototype(rng: &mut StdRng, shape: ImageShape) -> Vec<f32> {
+fn smooth_prototype(rng: &mut Xorshift128, shape: ImageShape) -> Vec<f32> {
     let mut out = vec![0f32; shape.len()];
     for c in 0..shape.channels {
         let terms: Vec<(f32, f32, f32, f32)> = (0..4)
             .map(|_| {
                 (
-                    rng.gen_range(0.5f32..3.0),  // fy
-                    rng.gen_range(0.5f32..3.0),  // fx
-                    rng.gen_range(0.0f32..std::f32::consts::TAU), // phase
-                    rng.gen_range(0.5f32..1.0),  // amplitude
+                    rng.range_f32(0.5, 3.0),                   // fy
+                    rng.range_f32(0.5, 3.0),                   // fx
+                    rng.range_f32(0.0, std::f32::consts::TAU), // phase
+                    rng.range_f32(0.5, 1.0),                   // amplitude
                 )
             })
             .collect();
@@ -206,8 +209,7 @@ fn smooth_prototype(rng: &mut StdRng, shape: ImageShape) -> Vec<f32> {
                 let nx = x as f32 / shape.width as f32;
                 let mut v = 0f32;
                 for &(fy, fx, phase, amp) in &terms {
-                    v += amp
-                        * (std::f32::consts::TAU * (fy * ny + fx * nx) + phase).sin();
+                    v += amp * (std::f32::consts::TAU * (fy * ny + fx * nx) + phase).sin();
                 }
                 // Map roughly [-3.5, 3.5] into [0, 1].
                 let idx = (y * shape.width + x) * shape.channels + c;
@@ -269,9 +271,8 @@ mod tests {
         let (train, test) = d.split(0.8);
         assert_eq!(train.len(), 16);
         assert_eq!(test.len(), 4);
-        let count = |ds: &ImageDataset, class| {
-            (0..ds.len()).filter(|&i| ds.label(i) == class).count()
-        };
+        let count =
+            |ds: &ImageDataset, class| (0..ds.len()).filter(|&i| ds.label(i) == class).count();
         assert_eq!(count(&train, 0), count(&train, 1));
         assert_eq!(count(&test, 0), count(&test, 1));
     }

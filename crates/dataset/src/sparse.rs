@@ -300,8 +300,7 @@ mod tests {
     #[test]
     fn requantize_values_and_indices() {
         let d = small();
-        let q: SparseDataset<i8, u8> =
-            d.requantize(FixedSpec::unit_range(8), Rounding::Biased, 0);
+        let q: SparseDataset<i8, u8> = d.requantize(FixedSpec::unit_range(8), Rounding::Biased, 0);
         assert_eq!(q.nnz(), 3);
         let e0 = q.example(0);
         assert_eq!(e0.indices, &[0u8, 3]);

@@ -113,8 +113,8 @@ impl AmdahlParams {
                 .iter()
                 .map(|(n, t, s)| {
                     let predicted = params.speedup(*n, *t);
-                    let e = (predicted.ln() - s.ln()).powi(2);
-                    e
+
+                    (predicted.ln() - s.ln()).powi(2)
                 })
                 .sum::<f64>()
         };

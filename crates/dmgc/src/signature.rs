@@ -59,7 +59,10 @@ pub struct NumberFormat {
 
 impl NumberFormat {
     /// Full-precision 32-bit float (`32f`).
-    pub const F32: NumberFormat = NumberFormat { bits: 32, float: true };
+    pub const F32: NumberFormat = NumberFormat {
+        bits: 32,
+        float: true,
+    };
 
     /// Creates a fixed-point format of the given width.
     ///
@@ -404,7 +407,11 @@ impl ParseSignatureError {
 
 impl fmt::Display for ParseSignatureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid DMGC signature `{}`: {}", self.input, self.reason)
+        write!(
+            f,
+            "invalid DMGC signature `{}`: {}",
+            self.input, self.reason
+        )
     }
 }
 
@@ -451,7 +458,10 @@ impl FromStr for Signature {
                 _ => return Err(ParseSignatureError::new(s, "unexpected character")),
             };
             if rank <= last_class_rank {
-                return Err(ParseSignatureError::new(s, "terms out of order or repeated"));
+                return Err(ParseSignatureError::new(
+                    s,
+                    "terms out of order or repeated",
+                ));
             }
             last_class_rank = rank;
             pos += 1;
@@ -481,7 +491,10 @@ impl FromStr for Signature {
                 'D' => sig.dataset = Some(format),
                 'i' => {
                     if float {
-                        return Err(ParseSignatureError::new(s, "index precision cannot be float"));
+                        return Err(ParseSignatureError::new(
+                            s,
+                            "index precision cannot be float",
+                        ));
                     }
                     sig.index = Some(bits);
                 }
@@ -492,7 +505,10 @@ impl FromStr for Signature {
             }
         }
         if sig.index.is_some() && sig.dataset.is_none() {
-            return Err(ParseSignatureError::new(s, "index term requires a dataset term"));
+            return Err(ParseSignatureError::new(
+                s,
+                "index term requires a dataset term",
+            ));
         }
         Ok(sig)
     }
@@ -550,7 +566,9 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for bad in ["D", "Dx8", "M8D8", "D8D8", "i8M8", "Df8", "D8if8M8", "D99fM8", "z"] {
+        for bad in [
+            "D", "Dx8", "M8D8", "D8D8", "i8M8", "Df8", "D8if8M8", "D99fM8", "z",
+        ] {
             assert!(bad.parse::<Signature>().is_err(), "{bad} should fail");
         }
     }

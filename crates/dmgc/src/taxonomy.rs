@@ -109,7 +109,9 @@ mod tests {
     #[test]
     fn all_table1_signatures_parse() {
         for sys in &TABLE1 {
-            let sig = sys.signature().unwrap_or_else(|e| panic!("{}: {e}", sys.name));
+            let sig = sys
+                .signature()
+                .unwrap_or_else(|e| panic!("{}: {e}", sys.name));
             assert_eq!(sig.to_string(), sys.signature_text, "{}", sys.name);
         }
     }

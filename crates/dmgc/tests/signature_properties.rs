@@ -1,109 +1,126 @@
-//! Property tests for DMGC signatures and the performance model.
+//! Randomized tests for DMGC signatures and the performance model.
+//!
+//! The workspace is dependency-free, so instead of proptest each property
+//! runs as a seeded loop over `buckwild-prng` draws, with signatures
+//! assembled by the same random construction the original strategies used.
 
 use buckwild_dmgc::{AmdahlParams, NumberFormat, PerfModel, Signature, SyncMode};
-use proptest::prelude::*;
+use buckwild_prng::{Prng, Xorshift128};
 
-fn arbitrary_format() -> impl Strategy<Value = NumberFormat> {
-    prop_oneof![
-        (1u32..=64).prop_map(NumberFormat::fixed),
-        prop_oneof![Just(16u32), Just(32), Just(64)].prop_map(NumberFormat::float),
-    ]
+const CASES: usize = 512;
+
+fn arbitrary_format(rng: &mut impl Prng) -> NumberFormat {
+    if rng.chance(0.5) {
+        NumberFormat::fixed(1 + rng.next_below(64))
+    } else {
+        NumberFormat::float([16u32, 32, 64][rng.next_below_usize(3)])
+    }
 }
 
-fn arbitrary_signature() -> impl Strategy<Value = Signature> {
-    (
-        proptest::option::of(arbitrary_format()),
-        proptest::option::of(1u32..=32),
-        proptest::option::of(arbitrary_format()),
-        proptest::option::of(arbitrary_format()),
-        proptest::option::of((arbitrary_format(), prop::bool::ANY)),
-    )
-        .prop_map(|(dataset, index, model, gradient, comm)| {
-            let mut sig = Signature::full_precision();
-            if let Some(d) = dataset {
-                sig = sig.with_dataset(d);
-                // The index term requires a dataset term.
-                if let Some(i) = index {
-                    sig = sig.with_index(i);
-                }
-            }
-            if let Some(m) = model {
-                sig = sig.with_model(m);
-            }
-            if let Some(g) = gradient {
-                sig = sig.with_gradient(g);
-            }
-            if let Some((c, sync)) = comm {
-                sig = sig.with_comm(
-                    c,
-                    if sync {
-                        SyncMode::Synchronous
-                    } else {
-                        SyncMode::Asynchronous
-                    },
-                );
-            }
-            sig
-        })
+fn arbitrary_signature(rng: &mut impl Prng) -> Signature {
+    let mut sig = Signature::full_precision();
+    if rng.chance(0.5) {
+        sig = sig.with_dataset(arbitrary_format(rng));
+        // The index term requires a dataset term.
+        if rng.chance(0.5) {
+            sig = sig.with_index(1 + rng.next_below(32));
+        }
+    }
+    if rng.chance(0.5) {
+        sig = sig.with_model(arbitrary_format(rng));
+    }
+    if rng.chance(0.5) {
+        sig = sig.with_gradient(arbitrary_format(rng));
+    }
+    if rng.chance(0.5) {
+        let mode = if rng.chance(0.5) {
+            SyncMode::Synchronous
+        } else {
+            SyncMode::Asynchronous
+        };
+        sig = sig.with_comm(arbitrary_format(rng), mode);
+    }
+    sig
 }
 
-proptest! {
-    /// Display and parse are exact inverses for every constructible
-    /// signature.
-    #[test]
-    fn display_parse_round_trip(sig in arbitrary_signature()) {
+/// Display and parse are exact inverses for every constructible signature.
+#[test]
+fn display_parse_round_trip() {
+    let mut rng = Xorshift128::seed_from(0xD1);
+    for _ in 0..CASES {
+        let sig = arbitrary_signature(&mut rng);
         let text = sig.to_string();
         let parsed: Signature = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
-        prop_assert_eq!(parsed, sig);
+        assert_eq!(parsed, sig, "{text}");
     }
+}
 
-    /// Dataset bytes per number are always positive and include the index
-    /// stream exactly when sparse.
-    #[test]
-    fn dataset_bytes_consistent(sig in arbitrary_signature()) {
+/// Dataset bytes per number are always positive and include the index
+/// stream exactly when sparse.
+#[test]
+fn dataset_bytes_consistent() {
+    let mut rng = Xorshift128::seed_from(0xD2);
+    for _ in 0..CASES {
+        let sig = arbitrary_signature(&mut rng);
         let dense = sig.to_dense();
         let bytes = sig.dataset_bytes_per_number();
         let dense_bytes = dense.dataset_bytes_per_number();
-        prop_assert!(bytes > 0.0);
+        assert!(bytes > 0.0, "{sig}");
         if sig.is_sparse() {
-            prop_assert!(bytes > dense_bytes);
+            assert!(bytes > dense_bytes, "{sig}");
         } else {
-            prop_assert_eq!(bytes, dense_bytes);
+            assert_eq!(bytes, dense_bytes, "{sig}");
         }
     }
+}
 
-    /// Amdahl speedup is bounded by the thread count and by the
-    /// p-determined asymptote, and is monotone in threads.
-    #[test]
-    fn amdahl_speedup_bounds(
-        n in 1usize..=(1 << 26),
-        threads in 1usize..=64,
-    ) {
-        let params = AmdahlParams::paper_xeon();
+/// Amdahl speedup is bounded by the thread count and by the p-determined
+/// asymptote, and is monotone in threads.
+#[test]
+fn amdahl_speedup_bounds() {
+    let mut rng = Xorshift128::seed_from(0xD3);
+    let params = AmdahlParams::paper_xeon();
+    for _ in 0..CASES {
+        let n = 1 + rng.next_below_usize(1 << 26);
+        let threads = 1 + rng.next_below_usize(64);
         let s = params.speedup(n, threads);
-        prop_assert!(s >= 0.999, "speedup {s} below 1");
-        prop_assert!(s <= threads as f64 + 1e-9, "superlinear {s}");
+        assert!(s >= 0.999, "n={n} t={threads}: speedup {s} below 1");
+        assert!(
+            s <= threads as f64 + 1e-9,
+            "n={n} t={threads}: superlinear {s}"
+        );
         if threads > 1 {
-            prop_assert!(s >= params.speedup(n, threads - 1) - 1e-9);
+            assert!(
+                s >= params.speedup(n, threads - 1) - 1e-9,
+                "n={n} t={threads}"
+            );
         }
         let p = params.parallel_fraction(n);
-        prop_assert!((0.0..1.0).contains(&p));
-        prop_assert!(s <= 1.0 / (1.0 - p) + 1e-6, "beyond asymptote");
+        assert!((0.0..1.0).contains(&p), "n={n}: p={p}");
+        assert!(
+            s <= 1.0 / (1.0 - p) + 1e-6,
+            "n={n} t={threads}: beyond asymptote"
+        );
     }
+}
 
-    /// Predictions scale linearly with the calibrated base throughput.
-    #[test]
-    fn prediction_scales_with_t1(
-        t1 in 0.01f64..10.0,
-        n in 1usize..=(1 << 24),
-        threads in 1usize..=32,
-    ) {
-        let sig: Signature = "D8M8".parse().expect("static");
+/// Predictions scale linearly with the calibrated base throughput.
+#[test]
+fn prediction_scales_with_t1() {
+    let mut rng = Xorshift128::seed_from(0xD4);
+    let sig: Signature = "D8M8".parse().expect("static");
+    for _ in 0..CASES {
+        let t1 = rng.range_f64(0.01, 10.0);
+        let n = 1 + rng.next_below_usize(1 << 24);
+        let threads = 1 + rng.next_below_usize(32);
         let mut model = PerfModel::new(AmdahlParams::paper_xeon());
         model.calibrate(&sig, t1);
         let once = model.predict(&sig, n, threads).expect("calibrated");
         model.calibrate(&sig, 2.0 * t1);
         let twice = model.predict(&sig, n, threads).expect("calibrated");
-        prop_assert!((twice / once - 2.0).abs() < 1e-9);
+        assert!(
+            (twice / once - 2.0).abs() < 1e-9,
+            "t1={t1} n={n} threads={threads}: {once} -> {twice}"
+        );
     }
 }

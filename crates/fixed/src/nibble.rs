@@ -91,7 +91,11 @@ impl NibbleVec {
     pub fn get(&self, index: usize) -> i8 {
         assert!(index < self.len, "index {index} out of range {}", self.len);
         let byte = self.packed[index / 2];
-        let nib = if index % 2 == 0 { byte & 0x0f } else { byte >> 4 };
+        let nib = if index.is_multiple_of(2) {
+            byte & 0x0f
+        } else {
+            byte >> 4
+        };
         sign_extend_nibble(nib)
     }
 
@@ -105,7 +109,7 @@ impl NibbleVec {
         assert!((-8..=7).contains(&value), "nibble out of range: {value}");
         let nib = (value as u8) & 0x0f;
         let byte = &mut self.packed[index / 2];
-        if index % 2 == 0 {
+        if index.is_multiple_of(2) {
             *byte = (*byte & 0xf0) | nib;
         } else {
             *byte = (*byte & 0x0f) | (nib << 4);

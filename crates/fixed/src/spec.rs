@@ -233,14 +233,10 @@ fn round_half_to_even(x: f64) -> i64 {
     let floor = x.floor();
     let diff = x - floor;
     let base = floor as i64;
-    if diff > 0.5 {
+    if diff > 0.5 || (diff == 0.5 && base % 2 != 0) {
         base + 1
-    } else if diff < 0.5 {
-        base
-    } else if base % 2 == 0 {
-        base
     } else {
-        base + 1
+        base
     }
 }
 

@@ -137,6 +137,8 @@ macro_rules! fixed_type {
             type Output = Self;
             /// Saturating fixed-point multiply: the wide product is
             /// rescaled by `2^-F` (truncating) and saturated back.
+            // The shift IS the multiply's rescale step, not a typo'd op.
+            #[allow(clippy::suspicious_arithmetic_impl)]
             fn mul(self, rhs: Self) -> Self {
                 let wide = self.widening_mul(rhs) >> F;
                 let clamped = wide.clamp(<$repr>::MIN as $wide, <$repr>::MAX as $wide);

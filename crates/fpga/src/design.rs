@@ -1,6 +1,25 @@
 //! The SGD design-point model: throughput and resource estimation.
 
+use buckwild_telemetry::{Gauge, Recorder};
+
 use crate::Device;
+
+/// Metric names recorded by [`SgdDesign::evaluate_with`].
+pub mod metric {
+    /// Gauge: fraction of cycles the off-chip-load stage is busy streaming
+    /// (versus stalled on memory commands or the shared update sweep).
+    pub const LOAD_OCCUPANCY: &str = "fpga.load_occupancy";
+    /// Gauge: fraction of cycles the compute datapath is busy (versus
+    /// waiting for the load stage or per-example overheads).
+    pub const COMPUTE_OCCUPANCY: &str = "fpga.compute_occupancy";
+    /// Gauge: useful bytes per DRAM burst over burst capacity — the §8
+    /// quantity that decides the plain-vs-mini-batch crossover.
+    pub const DRAM_BURST_UTILIZATION: &str = "fpga.dram_burst_utilization";
+    /// Gauge: modeled dataset throughput in GNPS.
+    pub const THROUGHPUT_GNPS: &str = "fpga.throughput_gnps";
+    /// Gauge: modeled throughput per watt.
+    pub const GNPS_PER_WATT: &str = "fpga.gnps_per_watt";
+}
 
 /// Pipeline structure of the design (paper Figure 7c).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -216,10 +235,9 @@ impl SgdDesign {
         // worth of data (B examples), double-buffered for the load stage;
         // the three-stage design keeps a redundant copy for stage 3.
         let model_bits = n * self.model_bits as f64;
-        let buffer_bits =
-            self.minibatch as f64 * n * self.data_bits as f64;
+        let buffer_bits = self.minibatch as f64 * n * self.data_bits as f64;
         let buffer_copies = match self.pipeline {
-            PipelineShape::TwoStage => 2.0,  // double buffering only
+            PipelineShape::TwoStage => 2.0,   // double buffering only
             PipelineShape::ThreeStage => 3.0, // + stage-2 -> stage-3 copy
         };
         let bram_bits_used = (model_bits + buffer_copies * buffer_bits) as u64;
@@ -236,6 +254,44 @@ impl SgdDesign {
             dsps_used,
             fits,
         }
+    }
+
+    /// Evaluates the design and publishes pipeline-health gauges into
+    /// `recorder` (see [`metric`]): per-stage occupancy and DRAM-burst
+    /// utilization. A `NoopRecorder` makes this identical to
+    /// [`SgdDesign::evaluate`].
+    #[must_use]
+    pub fn evaluate_with<R: Recorder>(&self, device: &Device, recorder: &R) -> DesignReport {
+        let report = self.evaluate(device);
+        let n = self.model_elems as f64;
+        let total = self.cycles_per_example(device);
+        // Cycles each stage actually streams, out of the end-to-end
+        // per-example budget: the load stage is limited by DRAM bandwidth,
+        // the datapath by its lane count.
+        let load_busy = n / device.load_rate(self.data_bytes());
+        let compute_rate = match self.pipeline {
+            PipelineShape::TwoStage => self.lanes as f64 / 2.0,
+            PipelineShape::ThreeStage => self.lanes as f64,
+        };
+        let compute_busy = n / compute_rate;
+        recorder
+            .gauge(metric::LOAD_OCCUPANCY)
+            .set((load_busy / total).min(1.0));
+        recorder
+            .gauge(metric::COMPUTE_OCCUPANCY)
+            .set((compute_busy / total).min(1.0));
+        let useful_bytes = n * self.data_bytes();
+        let burst_bytes = (self.bursts_per_example(device) * device.dram_burst_bytes) as f64;
+        recorder
+            .gauge(metric::DRAM_BURST_UTILIZATION)
+            .set(useful_bytes / burst_bytes);
+        recorder
+            .gauge(metric::THROUGHPUT_GNPS)
+            .set(report.throughput_gnps);
+        recorder
+            .gauge(metric::GNPS_PER_WATT)
+            .set(report.gnps_per_watt);
+        report
     }
 }
 
@@ -305,10 +361,7 @@ mod tests {
             .lanes(64)
             .pipeline(PipelineShape::ThreeStage)
             .evaluate(&device);
-        assert!(
-            (two.throughput_gnps - three.throughput_gnps).abs()
-                < 0.05 * three.throughput_gnps
-        );
+        assert!((two.throughput_gnps - three.throughput_gnps).abs() < 0.05 * three.throughput_gnps);
         assert!(three.alms_used < two.alms_used, "{three:?} vs {two:?}");
         assert!(three.bram_bits_used > two.bram_bits_used);
     }
@@ -345,7 +398,10 @@ mod tests {
         for log_n in 10..=18 {
             let n = 1usize << log_n;
             let plain = SgdDesign::new(8, 8, n).lanes(64).evaluate(&device);
-            let batch = SgdDesign::new(8, 8, n).lanes(64).minibatch(64).evaluate(&device);
+            let batch = SgdDesign::new(8, 8, n)
+                .lanes(64)
+                .minibatch(64)
+                .evaluate(&device);
             if plain.throughput_gnps >= 0.99 * batch.throughput_gnps {
                 crossover = Some(SgdDesign::new(8, 8, n).bursts_per_example(&device));
                 break;
@@ -361,7 +417,9 @@ mod tests {
     #[test]
     fn oversized_designs_do_not_fit() {
         let device = Device::stratix_v();
-        let report = SgdDesign::new(32, 32, 1 << 14).lanes(4096).evaluate(&device);
+        let report = SgdDesign::new(32, 32, 1 << 14)
+            .lanes(4096)
+            .evaluate(&device);
         assert!(!report.fits);
         // And BRAM-busting models are flagged too.
         let big_model = SgdDesign::new(8, 32, 1 << 26).lanes(8).evaluate(&device);
@@ -372,9 +430,52 @@ mod tests {
     fn disabling_rounding_saves_logic() {
         let device = Device::stratix_v();
         let with = SgdDesign::new(8, 8, 1 << 12).evaluate(&device);
-        let without = SgdDesign::new(8, 8, 1 << 12).unbiased(false).evaluate(&device);
+        let without = SgdDesign::new(8, 8, 1 << 12)
+            .unbiased(false)
+            .evaluate(&device);
         assert!(without.alms_used < with.alms_used);
         assert_eq!(without.throughput_gnps, with.throughput_gnps);
+    }
+
+    #[test]
+    fn evaluate_with_publishes_pipeline_gauges() {
+        use buckwild_telemetry::ShardedRecorder;
+        let device = Device::stratix_v();
+        let recorder = ShardedRecorder::new(1);
+        let design = SgdDesign::new(8, 8, 1 << 14).lanes(64);
+        let report = design.evaluate_with(&device, &recorder);
+        let snap = recorder.snapshot();
+        let load = snap.gauge(metric::LOAD_OCCUPANCY).expect("load gauge");
+        let compute = snap
+            .gauge(metric::COMPUTE_OCCUPANCY)
+            .expect("compute gauge");
+        let burst = snap
+            .gauge(metric::DRAM_BURST_UTILIZATION)
+            .expect("burst gauge");
+        assert!((0.0..=1.0).contains(&load), "load occupancy {load}");
+        assert!(
+            (0.0..=1.0).contains(&compute),
+            "compute occupancy {compute}"
+        );
+        assert!((0.0..=1.0).contains(&burst), "burst utilization {burst}");
+        // This design streams 8-bit data at the full 64 B/cycle channel:
+        // 256 streaming cycles out of a 288-cycle example budget (the rest
+        // is the memory-command overhead), so occupancy is exactly 8/9.
+        assert!((load - 8.0 / 9.0).abs() < 1e-12, "load occupancy {load}");
+        assert!((burst - 1.0).abs() < 1e-12, "16 KB example packs bursts");
+        let gnps = snap.gauge(metric::THROUGHPUT_GNPS).expect("gnps gauge");
+        assert!((gnps - report.throughput_gnps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_with_noop_matches_evaluate() {
+        use buckwild_telemetry::NoopRecorder;
+        let device = Device::stratix_v();
+        let design = SgdDesign::new(16, 8, 4096).minibatch(4);
+        assert_eq!(
+            design.evaluate(&device),
+            design.evaluate_with(&device, &NoopRecorder)
+        );
     }
 
     #[test]

@@ -46,6 +46,6 @@ mod design;
 mod device;
 mod search;
 
-pub use design::{DesignReport, PipelineShape, SgdDesign};
+pub use design::{metric, DesignReport, PipelineShape, SgdDesign};
 pub use device::Device;
 pub use search::{search_best_design, SearchResult};

@@ -1,92 +1,126 @@
-//! Property tests for the FPGA design model's invariants.
+//! Randomized tests for the FPGA design model's invariants.
+//!
+//! The workspace is dependency-free, so instead of proptest each property
+//! runs as a seeded loop over `buckwild-prng` draws, with designs assembled
+//! by the same random construction the original strategy used.
 
 use buckwild_fpga::{Device, PipelineShape, SgdDesign};
-use proptest::prelude::*;
+use buckwild_prng::{Prng, Xorshift128};
 
-fn arbitrary_design() -> impl Strategy<Value = SgdDesign> {
-    (
-        prop_oneof![Just(4u32), Just(8), Just(16), Just(32)],
-        prop_oneof![Just(4u32), Just(8), Just(16), Just(32)],
-        10u32..=18,
-        2u32..=9,
-        prop::bool::ANY,
-        prop_oneof![Just(1u32), Just(4), Just(16), Just(64)],
-    )
-        .prop_map(|(d, m, log_n, log_lanes, two_stage, b)| {
-            SgdDesign::new(d, m, 1usize << log_n)
-                .lanes(1 << log_lanes)
-                .pipeline(if two_stage {
-                    PipelineShape::TwoStage
-                } else {
-                    PipelineShape::ThreeStage
-                })
-                .minibatch(b)
-        })
+const CASES: usize = 64;
+
+fn arbitrary_design(rng: &mut impl Prng) -> SgdDesign {
+    const WIDTHS: [u32; 4] = [4, 8, 16, 32];
+    const BATCHES: [u32; 4] = [1, 4, 16, 64];
+    let d = WIDTHS[rng.next_below_usize(4)];
+    let m = WIDTHS[rng.next_below_usize(4)];
+    let log_n = 10 + rng.next_below(9); // 10..=18
+    let log_lanes = 2 + rng.next_below(8); // 2..=9
+    let shape = if rng.chance(0.5) {
+        PipelineShape::TwoStage
+    } else {
+        PipelineShape::ThreeStage
+    };
+    SgdDesign::new(d, m, 1usize << log_n)
+        .lanes(1 << log_lanes)
+        .pipeline(shape)
+        .minibatch(BATCHES[rng.next_below_usize(4)])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Throughput and resources are always positive and finite.
-    #[test]
-    fn evaluation_is_well_formed(design in arbitrary_design()) {
+/// Throughput and resources are always positive and finite.
+#[test]
+fn evaluation_is_well_formed() {
+    let mut rng = Xorshift128::seed_from(0xE1);
+    for _ in 0..CASES {
+        let design = arbitrary_design(&mut rng);
         let report = design.evaluate(&Device::stratix_v());
-        prop_assert!(report.throughput_gnps.is_finite());
-        prop_assert!(report.throughput_gnps > 0.0);
-        prop_assert!(report.gnps_per_watt > 0.0);
-        prop_assert!(report.alms_used > 0);
-        prop_assert!(report.bram_bits_used > 0);
+        assert!(report.throughput_gnps.is_finite(), "{design:?}");
+        assert!(report.throughput_gnps > 0.0, "{design:?}");
+        assert!(report.gnps_per_watt > 0.0, "{design:?}");
+        assert!(report.alms_used > 0, "{design:?}");
+        assert!(report.bram_bits_used > 0, "{design:?}");
     }
+}
 
-    /// More lanes never reduce throughput (at fixed everything else).
-    #[test]
-    fn throughput_monotone_in_lanes(design in arbitrary_design()) {
-        let device = Device::stratix_v();
+/// More lanes never reduce throughput (at fixed everything else).
+#[test]
+fn throughput_monotone_in_lanes() {
+    let mut rng = Xorshift128::seed_from(0xE2);
+    let device = Device::stratix_v();
+    for _ in 0..CASES {
+        let design = arbitrary_design(&mut rng);
         let base = design.evaluate(&device);
-        let wider = SgdDesign { lanes: design.lanes * 2, ..design }.evaluate(&device);
-        prop_assert!(
+        let wider = SgdDesign {
+            lanes: design.lanes * 2,
+            ..design
+        }
+        .evaluate(&device);
+        assert!(
             wider.throughput_gnps >= base.throughput_gnps - 1e-9,
             "{} -> {}",
             base.throughput_gnps,
             wider.throughput_gnps
         );
     }
+}
 
-    /// Narrowing the dataset precision never hurts throughput and never
-    /// grows the datapath (the §8 "reclaim resources" property).
-    #[test]
-    fn narrower_data_never_worse(design in arbitrary_design()) {
-        prop_assume!(design.data_bits >= 8);
-        let device = Device::stratix_v();
+/// Narrowing the dataset precision never hurts throughput and never grows
+/// the datapath (the §8 "reclaim resources" property).
+#[test]
+fn narrower_data_never_worse() {
+    let mut rng = Xorshift128::seed_from(0xE3);
+    let device = Device::stratix_v();
+    for _ in 0..CASES {
+        let design = arbitrary_design(&mut rng);
+        if design.data_bits < 8 {
+            continue;
+        }
         let base = design.evaluate(&device);
-        let narrow = SgdDesign { data_bits: design.data_bits / 2, ..design }.evaluate(&device);
-        prop_assert!(narrow.throughput_gnps >= base.throughput_gnps - 1e-9);
-        prop_assert!(narrow.alms_used <= base.alms_used);
-        prop_assert!(narrow.bram_bits_used <= base.bram_bits_used);
+        let narrow = SgdDesign {
+            data_bits: design.data_bits / 2,
+            ..design
+        }
+        .evaluate(&device);
+        assert!(narrow.throughput_gnps >= base.throughput_gnps - 1e-9);
+        assert!(narrow.alms_used <= base.alms_used);
+        assert!(narrow.bram_bits_used <= base.bram_bits_used);
     }
+}
 
-    /// A larger device never turns a fitting design into a non-fitting one.
-    #[test]
-    fn fits_is_monotone_in_device(design in arbitrary_design()) {
-        let small = Device::stratix_v().logic_scarce().bram_scarce();
-        let big = Device::stratix_v();
+/// A larger device never turns a fitting design into a non-fitting one.
+#[test]
+fn fits_is_monotone_in_device() {
+    let mut rng = Xorshift128::seed_from(0xE4);
+    let small = Device::stratix_v().logic_scarce().bram_scarce();
+    let big = Device::stratix_v();
+    for _ in 0..CASES {
+        let design = arbitrary_design(&mut rng);
         if design.evaluate(&small).fits {
-            prop_assert!(design.evaluate(&big).fits);
+            assert!(design.evaluate(&big).fits, "{design:?}");
         }
     }
+}
 
-    /// Among mini-batch designs (B >= 2), larger batches never reduce
-    /// modeled throughput: both the command overhead and the shared
-    /// update sweep amortize as 1/B. (Plain SGD, B = 1, is a *different
-    /// design* with no separate update sweep, so B = 1 -> 2 can lose —
-    /// that is the paper's plain-vs-mini-batch crossover, not a monotone
-    /// family.)
-    #[test]
-    fn minibatch_monotone_above_one(design in arbitrary_design()) {
-        prop_assume!(design.minibatch >= 2);
-        let device = Device::stratix_v();
+/// Among mini-batch designs (B >= 2), larger batches never reduce modeled
+/// throughput: both the command overhead and the shared update sweep
+/// amortize as 1/B. (Plain SGD, B = 1, is a *different design* with no
+/// separate update sweep, so B = 1 -> 2 can lose — that is the paper's
+/// plain-vs-mini-batch crossover, not a monotone family.)
+#[test]
+fn minibatch_monotone_above_one() {
+    let mut rng = Xorshift128::seed_from(0xE5);
+    let device = Device::stratix_v();
+    for _ in 0..CASES {
+        let design = arbitrary_design(&mut rng);
+        if design.minibatch < 2 {
+            continue;
+        }
         let base = design.evaluate(&device);
-        let bigger = SgdDesign { minibatch: design.minibatch * 4, ..design }.evaluate(&device);
-        prop_assert!(bigger.throughput_gnps >= base.throughput_gnps - 1e-9);
+        let bigger = SgdDesign {
+            minibatch: design.minibatch * 4,
+            ..design
+        }
+        .evaluate(&device);
+        assert!(bigger.throughput_gnps >= base.throughput_gnps - 1e-9);
     }
 }

@@ -228,11 +228,7 @@ pub fn iteration_mix(
 
 /// Convenience: estimated GNPS for a configuration on the Xeon parameters.
 #[must_use]
-pub fn estimate_gnps(
-    signature: &Signature,
-    flavor: KernelFlavor,
-    quantizer: QuantizerKind,
-) -> f64 {
+pub fn estimate_gnps(signature: &Signature, flavor: KernelFlavor, quantizer: QuantizerKind) -> f64 {
     CostParams::xeon().estimate_gnps(&iteration_mix(signature, flavor, quantizer))
 }
 
@@ -298,9 +294,21 @@ mod tests {
 
     #[test]
     fn linear_speedup_on_main_diagonal() {
-        let g32 = estimate_gnps(&sig("D32fM32f"), KernelFlavor::Optimized, QuantizerKind::Biased);
-        let g16 = estimate_gnps(&sig("D16M16"), KernelFlavor::Optimized, QuantizerKind::XorshiftShared);
-        let g8 = estimate_gnps(&sig("D8M8"), KernelFlavor::Optimized, QuantizerKind::XorshiftShared);
+        let g32 = estimate_gnps(
+            &sig("D32fM32f"),
+            KernelFlavor::Optimized,
+            QuantizerKind::Biased,
+        );
+        let g16 = estimate_gnps(
+            &sig("D16M16"),
+            KernelFlavor::Optimized,
+            QuantizerKind::XorshiftShared,
+        );
+        let g8 = estimate_gnps(
+            &sig("D8M8"),
+            KernelFlavor::Optimized,
+            QuantizerKind::XorshiftShared,
+        );
         assert!(g16 / g32 > 1.6, "16-bit speedup {}", g16 / g32);
         assert!(g8 / g16 > 1.6, "8-bit speedup {}", g8 / g16);
     }
@@ -311,31 +319,57 @@ mod tests {
         let gen = estimate_gnps(&sig("D8M8"), KernelFlavor::Generic, QuantizerKind::Biased);
         assert!(opt / gen > 2.0, "speedup {}", opt / gen);
         // Full precision: the gap nearly vanishes (nothing to widen).
-        let opt32 = estimate_gnps(&sig("D32fM32f"), KernelFlavor::Optimized, QuantizerKind::Biased);
-        let gen32 = estimate_gnps(&sig("D32fM32f"), KernelFlavor::Generic, QuantizerKind::Biased);
+        let opt32 = estimate_gnps(
+            &sig("D32fM32f"),
+            KernelFlavor::Optimized,
+            QuantizerKind::Biased,
+        );
+        let gen32 = estimate_gnps(
+            &sig("D32fM32f"),
+            KernelFlavor::Generic,
+            QuantizerKind::Biased,
+        );
         assert!(opt32 / gen32 < opt / gen);
     }
 
     #[test]
     fn mersenne_quantizer_dominates_cost() {
         // Figure 5b: per-write Mersenne Twister dwarfs the SGD arithmetic.
-        let mt = estimate_gnps(&sig("D8M8"), KernelFlavor::Optimized, QuantizerKind::MersenneScalar);
-        let shared =
-            estimate_gnps(&sig("D8M8"), KernelFlavor::Optimized, QuantizerKind::XorshiftShared);
+        let mt = estimate_gnps(
+            &sig("D8M8"),
+            KernelFlavor::Optimized,
+            QuantizerKind::MersenneScalar,
+        );
+        let shared = estimate_gnps(
+            &sig("D8M8"),
+            KernelFlavor::Optimized,
+            QuantizerKind::XorshiftShared,
+        );
         let biased = estimate_gnps(&sig("D8M8"), KernelFlavor::Optimized, QuantizerKind::Biased);
         assert!(shared / mt > 5.0, "shared vs MT {}", shared / mt);
         // Shared randomness nearly matches biased (within 5%).
-        assert!(shared / biased > 0.95, "shared vs biased {}", shared / biased);
+        assert!(
+            shared / biased > 0.95,
+            "shared vs biased {}",
+            shared / biased
+        );
         // Fresh vectorized xorshift sits in between.
-        let fresh =
-            estimate_gnps(&sig("D8M8"), KernelFlavor::Optimized, QuantizerKind::XorshiftFresh);
+        let fresh = estimate_gnps(
+            &sig("D8M8"),
+            KernelFlavor::Optimized,
+            QuantizerKind::XorshiftFresh,
+        );
         assert!(fresh < shared && fresh > mt);
     }
 
     #[test]
     fn sparse_signatures_charge_index_bytes() {
         let dense = iteration_mix(&sig("D8M8"), KernelFlavor::Optimized, QuantizerKind::Biased);
-        let sparse = iteration_mix(&sig("D8i8M8"), KernelFlavor::Optimized, QuantizerKind::Biased);
+        let sparse = iteration_mix(
+            &sig("D8i8M8"),
+            KernelFlavor::Optimized,
+            QuantizerKind::Biased,
+        );
         assert_eq!(sparse.dataset_bytes, dense.dataset_bytes + 1.0);
     }
 

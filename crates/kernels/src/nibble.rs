@@ -84,10 +84,7 @@ mod tests {
 
     fn specs4() -> (FixedSpec, FixedSpec) {
         // Data in [-1, 1): Q1.3. Model in [-4, 4): Q3.1.
-        (
-            FixedSpec::new(4, 3).unwrap(),
-            FixedSpec::new(4, 1).unwrap(),
-        )
+        (FixedSpec::new(4, 3).unwrap(), FixedSpec::new(4, 1).unwrap())
     }
 
     #[test]
@@ -124,7 +121,7 @@ mod tests {
     fn axpy_unbiased_expectation() {
         let (xs, ws) = specs4();
         let x = NibbleVec::from_values(&[4]); // 0.5
-        // a=0.3: true delta in quanta = 0.3*0.5/0.5 = 0.3
+                                              // a=0.3: true delta in quanta = 0.3*0.5/0.5 = 0.3
         let trials = 30_000;
         let mut lanes = buckwild_prng::XorshiftLanes::<8>::seed_from(5);
         let mut sum = 0f64;

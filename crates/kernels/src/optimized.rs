@@ -294,7 +294,12 @@ fn axpy_loop_offsets<D: FixedInt, M: FixedInt>(w: &mut [M], x: &[D], k: i64, off
                 wb[j] = M::saturate_i32(wb[j].widen() + delta);
             }
         }
-        for (j, (wi, xi)) in wc.into_remainder().iter_mut().zip(xc.remainder()).enumerate() {
+        for (j, (wi, xi)) in wc
+            .into_remainder()
+            .iter_mut()
+            .zip(xc.remainder())
+            .enumerate()
+        {
             let delta = (xi.widen() * k32 + offs32[j & 7]) >> K_SHIFT;
             *wi = M::saturate_i32(wi.widen() + delta);
         }
@@ -307,7 +312,12 @@ fn axpy_loop_offsets<D: FixedInt, M: FixedInt>(w: &mut [M], x: &[D], k: i64, off
                 wb[j] = M::saturate(wb[j].widen() as i64 + delta);
             }
         }
-        for (j, (wi, xi)) in wc.into_remainder().iter_mut().zip(xc.remainder()).enumerate() {
+        for (j, (wi, xi)) in wc
+            .into_remainder()
+            .iter_mut()
+            .zip(xc.remainder())
+            .enumerate()
+        {
             let delta = (xi.widen() as i64 * k + offs[j & 7]) >> K_SHIFT;
             *wi = M::saturate(wi.widen() as i64 + delta);
         }
@@ -357,7 +367,12 @@ pub fn axpy_fixed_fixed<D: FixedInt, M: FixedInt>(
                 }
             }
             let words = lanes.step();
-            for (j, (wi, xi)) in wc.into_remainder().iter_mut().zip(xc.remainder()).enumerate() {
+            for (j, (wi, xi)) in wc
+                .into_remainder()
+                .iter_mut()
+                .zip(xc.remainder())
+                .enumerate()
+            {
                 let r = (words[j & 7] & MASK) as i64;
                 let delta = (xi.widen() as i64 * k + r) >> K_SHIFT;
                 *wi = M::saturate(wi.widen() as i64 + delta);

@@ -48,13 +48,19 @@ mod tests {
     fn debug_names() {
         assert_eq!(format!("{:?}", AxpyRand::Biased), "AxpyRand::Biased");
         let block = [0u32; 8];
-        assert_eq!(format!("{:?}", AxpyRand::Shared(&block)), "AxpyRand::Shared");
+        assert_eq!(
+            format!("{:?}", AxpyRand::Shared(&block)),
+            "AxpyRand::Shared"
+        );
         let mut lanes = XorshiftLanes::<8>::seed_from(1);
         assert_eq!(
             format!("{:?}", AxpyRand::FreshLanes(&mut lanes)),
             "AxpyRand::FreshLanes"
         );
         let mut f = || 0.5f32;
-        assert_eq!(format!("{:?}", AxpyRand::Scalar(&mut f)), "AxpyRand::Scalar");
+        assert_eq!(
+            format!("{:?}", AxpyRand::Scalar(&mut f)),
+            "AxpyRand::Scalar"
+        );
     }
 }

@@ -40,6 +40,7 @@ pub fn dot_generic<D: Element, I: IndexElement, M: Element>(
 /// # Panics
 ///
 /// Panics if `values.len() != indices.len()` or any index is out of range.
+#[allow(clippy::too_many_arguments)] // mirrors the dense kernel signature plus the index stream
 pub fn axpy_generic<D: Element, I: IndexElement, M: Element, F: FnMut() -> f32>(
     w: &mut [M],
     a: f32,
@@ -219,7 +220,8 @@ mod tests {
         let mut indices: Vec<u32> = Vec::new();
         let stride = n / nnz;
         for j in 0..nnz {
-            indices.push((j * stride) as u32 + rng.next_below(stride as u32).min(stride as u32 - 1));
+            indices
+                .push((j * stride) as u32 + rng.next_below(stride as u32).min(stride as u32 - 1));
         }
         let values: Vec<i8> = (0..nnz).map(|_| rng.next_u32() as i8).collect();
         (values, indices)
@@ -270,7 +272,15 @@ mod tests {
         let (values, indices) = sparse_example(128, 12, 3);
         let mut w_fast: Vec<i8> = vec![0; 128];
         let mut w_slow = w_fast.clone();
-        axpy_fixed_fixed(&mut w_fast, 0.07, &values, &indices, &xs, &ws, AxpyRand::Biased);
+        axpy_fixed_fixed(
+            &mut w_fast,
+            0.07,
+            &values,
+            &indices,
+            &xs,
+            &ws,
+            AxpyRand::Biased,
+        );
         axpy_generic(
             &mut w_slow,
             0.07,
@@ -293,8 +303,24 @@ mod tests {
         let block = [0x1234_5678u32; 8];
         let mut w1: Vec<i8> = vec![0; 64];
         let mut w2: Vec<i8> = vec![0; 64];
-        axpy_fixed_fixed(&mut w1, 0.1, &values, &indices, &xs, &ws, AxpyRand::Shared(&block));
-        axpy_fixed_fixed(&mut w2, 0.1, &values, &indices, &xs, &ws, AxpyRand::Shared(&block));
+        axpy_fixed_fixed(
+            &mut w1,
+            0.1,
+            &values,
+            &indices,
+            &xs,
+            &ws,
+            AxpyRand::Shared(&block),
+        );
+        axpy_fixed_fixed(
+            &mut w2,
+            0.1,
+            &values,
+            &indices,
+            &xs,
+            &ws,
+            AxpyRand::Shared(&block),
+        );
         assert_eq!(w1, w2);
     }
 
@@ -330,7 +356,15 @@ mod tests {
         let mut w_plain = w.clone();
         let mut w_delta = w.clone();
         let block = [0xdead_beefu32; 8];
-        axpy_fixed_fixed(&mut w_plain, 0.2, &values, &idx32, &xs, &ws, AxpyRand::Shared(&block));
+        axpy_fixed_fixed(
+            &mut w_plain,
+            0.2,
+            &values,
+            &idx32,
+            &xs,
+            &ws,
+            AxpyRand::Shared(&block),
+        );
         axpy_delta(&mut w_delta, 0.2, &de, &xs, &ws, AxpyRand::Shared(&block));
         // Offsets index by position (plain: entry position; delta: entry
         // position including escapes) so individual writes may use

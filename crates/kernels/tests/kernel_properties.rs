@@ -1,137 +1,169 @@
-//! Property tests: optimized kernels are semantically equivalent to the
+//! Randomized tests: optimized kernels are semantically equivalent to the
 //! generic reference across random inputs, lengths, and precisions.
+//!
+//! The workspace is dependency-free, so instead of proptest each property
+//! runs as a seeded loop over `buckwild-prng` draws.
 
 use buckwild_fixed::{FixedSpec, Rounding};
 use buckwild_kernels::{generic, optimized, sparse, AxpyRand};
-use proptest::prelude::*;
+use buckwild_prng::{Prng, Xorshift128};
 
-proptest! {
-    /// Optimized i8/i8 dot equals the generic widening dot.
-    #[test]
-    fn dot_i8_i8_equivalent(
-        pairs in proptest::collection::vec((any::<i8>(), any::<i8>()), 0..300),
-    ) {
-        let xs = FixedSpec::unit_range(8);
-        let ws = FixedSpec::model_range(8);
-        let x: Vec<i8> = pairs.iter().map(|p| p.0).collect();
-        let w: Vec<i8> = pairs.iter().map(|p| p.1).collect();
+const CASES: usize = 256;
+
+fn random_i8s(rng: &mut impl Prng, len: usize) -> Vec<i8> {
+    (0..len).map(|_| rng.next_u32() as i8).collect()
+}
+
+/// Optimized i8/i8 dot equals the generic widening dot.
+#[test]
+fn dot_i8_i8_equivalent() {
+    let mut rng = Xorshift128::seed_from(0xA1);
+    let xs = FixedSpec::unit_range(8);
+    let ws = FixedSpec::model_range(8);
+    for _ in 0..CASES {
+        let len = rng.next_below_usize(300);
+        let x = random_i8s(&mut rng, len);
+        let w = random_i8s(&mut rng, len);
         let fast = optimized::dot_i8_i8(&x, &w, &xs, &ws);
         let slow = generic::dot(&x, &w, &xs, &ws);
-        prop_assert!((fast - slow).abs() <= slow.abs() * 1e-4 + 1e-3);
+        assert!(
+            (fast - slow).abs() <= slow.abs() * 1e-4 + 1e-3,
+            "len={len}: {fast} vs {slow}"
+        );
     }
+}
 
-    /// Optimized i16/i16 dot equals the generic widening dot.
-    #[test]
-    fn dot_i16_i16_equivalent(
-        pairs in proptest::collection::vec((any::<i16>(), any::<i16>()), 0..200),
-    ) {
-        let xs = FixedSpec::unit_range(16);
-        let ws = FixedSpec::model_range(16);
-        let x: Vec<i16> = pairs.iter().map(|p| p.0).collect();
-        let w: Vec<i16> = pairs.iter().map(|p| p.1).collect();
+/// Optimized i16/i16 dot equals the generic widening dot.
+#[test]
+fn dot_i16_i16_equivalent() {
+    let mut rng = Xorshift128::seed_from(0xA2);
+    let xs = FixedSpec::unit_range(16);
+    let ws = FixedSpec::model_range(16);
+    for _ in 0..CASES {
+        let len = rng.next_below_usize(200);
+        let x: Vec<i16> = (0..len).map(|_| rng.next_u32() as i16).collect();
+        let w: Vec<i16> = (0..len).map(|_| rng.next_u32() as i16).collect();
         let fast = optimized::dot_i16_i16(&x, &w, &xs, &ws);
         let slow = generic::dot(&x, &w, &xs, &ws);
-        prop_assert!((fast - slow).abs() <= slow.abs() * 1e-4 + 1e-2);
+        assert!(
+            (fast - slow).abs() <= slow.abs() * 1e-4 + 1e-2,
+            "len={len}: {fast} vs {slow}"
+        );
     }
+}
 
-    /// Biased optimized AXPY lands within one model quantum of the
-    /// generic reference (the integer multiplier is quantized to Q17.15).
-    #[test]
-    fn axpy_i8_i8_biased_close(
-        pairs in proptest::collection::vec((any::<i8>(), any::<i8>()), 1..200),
-        a in -0.5f32..0.5,
-    ) {
-        let xs = FixedSpec::unit_range(8);
-        let ws = FixedSpec::model_range(8);
-        let x: Vec<i8> = pairs.iter().map(|p| p.0).collect();
-        let mut w_fast: Vec<i8> = pairs.iter().map(|p| p.1).collect();
+/// Biased optimized AXPY lands within one model quantum of the generic
+/// reference (the integer multiplier is quantized to Q17.15).
+#[test]
+fn axpy_i8_i8_biased_close() {
+    let mut rng = Xorshift128::seed_from(0xA3);
+    let xs = FixedSpec::unit_range(8);
+    let ws = FixedSpec::model_range(8);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below_usize(199);
+        let a = rng.range_f32(-0.5, 0.5);
+        let x = random_i8s(&mut rng, len);
+        let mut w_fast = random_i8s(&mut rng, len);
         let mut w_slow = w_fast.clone();
         optimized::axpy_i8_i8(&mut w_fast, a, &x, &xs, &ws, AxpyRand::Biased);
         generic::axpy(&mut w_slow, a, &x, &xs, &ws, Rounding::Biased, || 0.0);
         for (f, s) in w_fast.iter().zip(&w_slow) {
-            prop_assert!((*f as i32 - *s as i32).abs() <= 1, "{f} vs {s}");
+            assert!((*f as i32 - *s as i32).abs() <= 1, "{f} vs {s}");
         }
     }
+}
 
-    /// Unbiased AXPY with any shared block lands on one of the two grid
-    /// points bracketing the exact update.
-    #[test]
-    fn axpy_unbiased_brackets_exact_update(
-        x in any::<i8>(),
-        w0 in -100i8..100,
-        a in -0.4f32..0.4,
-        block_word in any::<u32>(),
-    ) {
-        let xs = FixedSpec::unit_range(8);
-        let ws = FixedSpec::model_range(8);
-        let block = [block_word; 8];
+/// Unbiased AXPY with any shared block lands on one of the two grid points
+/// bracketing the exact update.
+#[test]
+fn axpy_unbiased_brackets_exact_update() {
+    let mut rng = Xorshift128::seed_from(0xA4);
+    let xs = FixedSpec::unit_range(8);
+    let ws = FixedSpec::model_range(8);
+    for _ in 0..CASES {
+        let x = rng.next_u32() as i8;
+        let w0 = (rng.next_below(200) as i32 - 100) as i8;
+        let a = rng.range_f32(-0.4, 0.4);
+        let block = [rng.next_u32(); 8];
         let mut w = vec![w0];
         optimized::axpy_i8_i8(&mut w, a, &[x], &xs, &ws, AxpyRand::Shared(&block));
         // Exact update in model quanta.
-        let exact = w0 as f64
-            + a as f64 * (x as f64 * xs.quantum() as f64) / ws.quantum() as f64;
+        let exact = w0 as f64 + a as f64 * (x as f64 * xs.quantum() as f64) / ws.quantum() as f64;
         let lo = exact.floor() as i64 - 1; // ±1 slack for Q17.15 multiplier error
         let hi = exact.ceil() as i64 + 1;
         let got = w[0] as i64;
-        prop_assert!(
+        assert!(
             got >= lo.clamp(-128, 127) && got <= hi.clamp(-128, 127),
             "got {got}, exact {exact}"
         );
     }
+}
 
-    /// Sparse optimized dot equals sparse generic dot.
-    #[test]
-    fn sparse_dot_equivalent(
-        entries in proptest::collection::vec((0usize..64, any::<i8>()), 0..32),
-        w in proptest::collection::vec(any::<i8>(), 64),
-    ) {
-        // Deduplicate and sort indices.
+/// Sparse optimized dot equals sparse generic dot.
+#[test]
+fn sparse_dot_equivalent() {
+    let mut rng = Xorshift128::seed_from(0xA5);
+    let xs = FixedSpec::unit_range(8);
+    let ws = FixedSpec::model_range(8);
+    for _ in 0..CASES {
+        // Random sparse vector: deduplicated, sorted indices in 0..64.
         let mut map = std::collections::BTreeMap::new();
-        for (i, v) in entries {
-            map.insert(i, v);
+        for _ in 0..rng.next_below_usize(32) {
+            map.insert(rng.next_below_usize(64), rng.next_u32() as i8);
         }
         let indices: Vec<u32> = map.keys().map(|&i| i as u32).collect();
         let values: Vec<i8> = map.values().copied().collect();
-        let xs = FixedSpec::unit_range(8);
-        let ws = FixedSpec::model_range(8);
+        let w = random_i8s(&mut rng, 64);
         let fast = sparse::dot_fixed_fixed(&values, &indices, &w, &xs, &ws);
         let slow = sparse::dot_generic(&values, &indices, &w, &xs, &ws);
-        prop_assert!((fast - slow).abs() <= slow.abs() * 1e-4 + 1e-3);
+        assert!(
+            (fast - slow).abs() <= slow.abs() * 1e-4 + 1e-3,
+            "nnz={}: {fast} vs {slow}",
+            indices.len()
+        );
     }
+}
 
-    /// Sparse AXPY never writes outside the indexed coordinates.
-    #[test]
-    fn sparse_axpy_footprint(
-        entries in proptest::collection::vec((0usize..32, any::<i8>()), 1..16),
-        a in -1.0f32..1.0,
-    ) {
+/// Sparse AXPY never writes outside the indexed coordinates.
+#[test]
+fn sparse_axpy_footprint() {
+    let mut rng = Xorshift128::seed_from(0xA6);
+    let xs = FixedSpec::unit_range(8);
+    let ws = FixedSpec::model_range(8);
+    for _ in 0..CASES {
         let mut map = std::collections::BTreeMap::new();
-        for (i, v) in entries {
-            map.insert(i, v);
+        for _ in 0..1 + rng.next_below_usize(15) {
+            map.insert(rng.next_below_usize(32), rng.next_u32() as i8);
         }
         let indices: Vec<u32> = map.keys().map(|&i| i as u32).collect();
         let values: Vec<i8> = map.values().copied().collect();
-        let xs = FixedSpec::unit_range(8);
-        let ws = FixedSpec::model_range(8);
+        let a = rng.range_f32(-1.0, 1.0);
         let mut w: Vec<i8> = vec![42; 32];
         sparse::axpy_fixed_fixed(&mut w, a, &values, &indices, &xs, &ws, AxpyRand::Biased);
         for (i, &v) in w.iter().enumerate() {
             if !map.contains_key(&i) {
-                prop_assert_eq!(v, 42, "untouched slot {} changed", i);
+                assert_eq!(v, 42, "untouched slot {i} changed");
             }
         }
     }
+}
 
-    /// Float kernels: axpy then dot is consistent with direct computation.
-    #[test]
-    fn float_axpy_dot_consistency(
-        x in proptest::collection::vec(-1.0f32..1.0, 1..100),
-        a in -1.0f32..1.0,
-    ) {
+/// Float kernels: axpy then dot is consistent with direct computation.
+#[test]
+fn float_axpy_dot_consistency() {
+    let mut rng = Xorshift128::seed_from(0xA7);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below_usize(99);
+        let x: Vec<f32> = (0..len).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+        let a = rng.range_f32(-1.0, 1.0);
         let mut w = vec![0f32; x.len()];
         optimized::axpy_f32_f32(&mut w, a, &x);
         let d = optimized::dot_f32_f32(&x, &w);
         let norm: f32 = x.iter().map(|v| v * v).sum();
-        prop_assert!((d - a * norm).abs() < 1e-3);
+        assert!(
+            (d - a * norm).abs() < 1e-3,
+            "len={len}: {d} vs {}",
+            a * norm
+        );
     }
 }

@@ -53,6 +53,7 @@ pub fn gemm_f32(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
 /// # Panics
 ///
 /// Panics on shape mismatches.
+#[allow(clippy::too_many_arguments)] // GEMM shape + operand specs are irreducible
 pub fn gemm_i8(
     m: usize,
     k: usize,
@@ -100,6 +101,7 @@ pub fn gemm_i8(
 /// # Panics
 ///
 /// Panics on shape mismatches.
+#[allow(clippy::too_many_arguments)] // GEMM shape + operand specs are irreducible
 pub fn gemm_i16(
     m: usize,
     k: usize,

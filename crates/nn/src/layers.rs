@@ -1,8 +1,7 @@
 //! CNN layers: convolution (im2col + GEMM), max-pool, dense, ReLU.
 
 use buckwild_fixed::FixedSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use buckwild_prng::{Prng, Xorshift128};
 
 use crate::gemm;
 use crate::quant::WeightQuantizer;
@@ -82,14 +81,14 @@ impl Conv2d {
         assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0);
         let fan_in = in_channels * kernel * kernel;
         let bound = init_bound(fan_in);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xorshift128::seed_from(seed);
         Conv2d {
             in_channels,
             out_channels,
             kernel,
             stride,
             weights: (0..out_channels * fan_in)
-                .map(|_| rng.gen_range(-bound..=bound))
+                .map(|_| rng.range_f32(-bound, bound))
                 .collect(),
             bias: vec![0.0; out_channels],
             grad_weights: vec![0.0; out_channels * fan_in],
@@ -107,7 +106,10 @@ impl Conv2d {
     /// Panics if the input is smaller than the kernel.
     #[must_use]
     pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
-        assert!(h >= self.kernel && w >= self.kernel, "input below kernel size");
+        assert!(
+            h >= self.kernel && w >= self.kernel,
+            "input below kernel size"
+        );
         (
             (h - self.kernel) / self.stride + 1,
             (w - self.kernel) / self.stride + 1,
@@ -130,8 +132,7 @@ impl Conv2d {
                         let iy = oy * self.stride + ky;
                         for ox in 0..ow {
                             let ix = ox * self.stride + kx;
-                            cols[row * (oh * ow) + oy * ow + ox] =
-                                data[(ci * h + iy) * w + ix];
+                            cols[row * (oh * ow) + oy * ow + ox] = data[(ci * h + iy) * w + ix];
                         }
                     }
                 }
@@ -162,8 +163,20 @@ impl Conv2d {
                     .iter()
                     .map(|&v| spec.quantize_biased(v) as i8)
                     .collect();
-                let cq: Vec<i8> = cols.iter().map(|&v| spec.quantize_biased(v) as i8).collect();
-                gemm::gemm_i8(self.out_channels, k_dim, n_dim, &wq, &cq, &spec, &spec, &mut out);
+                let cq: Vec<i8> = cols
+                    .iter()
+                    .map(|&v| spec.quantize_biased(v) as i8)
+                    .collect();
+                gemm::gemm_i8(
+                    self.out_channels,
+                    k_dim,
+                    n_dim,
+                    &wq,
+                    &cq,
+                    &spec,
+                    &spec,
+                    &mut out,
+                );
             }
             16 => {
                 let wq: Vec<i16> = self
@@ -171,9 +184,20 @@ impl Conv2d {
                     .iter()
                     .map(|&v| spec.quantize_biased(v) as i16)
                     .collect();
-                let cq: Vec<i16> =
-                    cols.iter().map(|&v| spec.quantize_biased(v) as i16).collect();
-                gemm::gemm_i16(self.out_channels, k_dim, n_dim, &wq, &cq, &spec, &spec, &mut out);
+                let cq: Vec<i16> = cols
+                    .iter()
+                    .map(|&v| spec.quantize_biased(v) as i16)
+                    .collect();
+                gemm::gemm_i16(
+                    self.out_channels,
+                    k_dim,
+                    n_dim,
+                    &wq,
+                    &cq,
+                    &spec,
+                    &spec,
+                    &mut out,
+                );
             }
             _ => panic!("quantized conv supports 8 or 16 bits, got {bits}"),
         }
@@ -194,7 +218,14 @@ impl Layer for Conv2d {
         let k_dim = self.in_channels * self.kernel * self.kernel;
         let n_dim = oh * ow;
         let mut out = vec![0f32; self.out_channels * n_dim];
-        gemm::gemm_f32(self.out_channels, k_dim, n_dim, &self.weights, &cols, &mut out);
+        gemm::gemm_f32(
+            self.out_channels,
+            k_dim,
+            n_dim,
+            &self.weights,
+            &cols,
+            &mut out,
+        );
         for (o, chunk) in out.chunks_mut(n_dim).enumerate() {
             for v in chunk {
                 *v += self.bias[o];
@@ -226,7 +257,14 @@ impl Layer for Conv2d {
 
         // grad_cols = Wᵀ · G  (k_dim x n), then col2im.
         let mut grad_cols = vec![0f32; k_dim * n_dim];
-        gemm::gemm_at_b(k_dim, self.out_channels, n_dim, &self.weights, g, &mut grad_cols);
+        gemm::gemm_at_b(
+            k_dim,
+            self.out_channels,
+            n_dim,
+            &self.weights,
+            g,
+            &mut grad_cols,
+        );
 
         let (c, h, w) = (
             self.cached_in_shape[0],
@@ -244,8 +282,7 @@ impl Layer for Conv2d {
                         let iy = oy * self.stride + ky;
                         for ox in 0..ow {
                             let ix = ox * self.stride + kx;
-                            gi[(ci * h + iy) * w + ix] +=
-                                grad_cols[row * n_dim + oy * ow + ox];
+                            gi[(ci * h + iy) * w + ix] += grad_cols[row * n_dim + oy * ow + ox];
                         }
                     }
                 }
@@ -377,12 +414,12 @@ impl Dense {
     pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
         assert!(in_features > 0 && out_features > 0);
         let bound = init_bound(in_features);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xorshift128::seed_from(seed);
         Dense {
             in_features,
             out_features,
             weights: (0..out_features * in_features)
-                .map(|_| rng.gen_range(-bound..=bound))
+                .map(|_| rng.range_f32(-bound, bound))
                 .collect(),
             bias: vec![0.0; out_features],
             grad_weights: vec![0.0; out_features * in_features],
@@ -410,8 +447,7 @@ impl Layer for Dense {
         let g = grad_out.as_slice();
         for (o, &go) in g.iter().enumerate() {
             self.grad_bias[o] += go;
-            let row =
-                &mut self.grad_weights[o * self.in_features..(o + 1) * self.in_features];
+            let row = &mut self.grad_weights[o * self.in_features..(o + 1) * self.in_features];
             for (gw, &xi) in row.iter_mut().zip(&self.cached_input) {
                 *gw += go * xi;
             }
@@ -535,7 +571,9 @@ mod tests {
     fn conv_gradient_matches_finite_difference() {
         let mut conv = Conv2d::new(1, 2, 3, 1, 7);
         let input = Tensor::from_vec(
-            (0..25).map(|i| ((i * 13) % 10) as f32 / 10.0 - 0.4).collect(),
+            (0..25)
+                .map(|i| ((i * 13) % 10) as f32 / 10.0 - 0.4)
+                .collect(),
             &[1, 5, 5],
         );
         finite_diff_check(&mut conv, &input, 4);
@@ -544,10 +582,7 @@ mod tests {
     #[test]
     fn conv_quantized_matches_f32_coarsely() {
         let mut conv = Conv2d::new(1, 2, 3, 1, 9);
-        let input = Tensor::from_vec(
-            (0..36).map(|i| (i % 7) as f32 / 7.0).collect(),
-            &[1, 6, 6],
-        );
+        let input = Tensor::from_vec((0..36).map(|i| (i % 7) as f32 / 7.0).collect(), &[1, 6, 6]);
         let exact = conv.forward(&input);
         let q16 = conv.forward_quantized(&input, 16);
         let q8 = conv.forward_quantized(&input, 8);

@@ -98,6 +98,41 @@ pub trait Prng {
         assert!(bound > 0, "bound must be positive");
         ((self.next_u32() as u64 * bound as u64) >> 32) as u32
     }
+
+    /// Returns a uniform integer in `[0, bound)` for `usize` bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn next_below_usize(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        (self.next_f64() * bound as f64) as usize % bound
+    }
+
+    /// Returns a uniform sample on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_f32() * (hi - lo)
+    }
+
+    /// Returns a uniform sample on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
 }
 
 impl<P: Prng + ?Sized> Prng for Box<P> {

@@ -156,8 +156,7 @@ mod tests {
     fn shared_samples_remain_uniform_in_aggregate() {
         let mut shared = SharedRandomness::new(Xorshift128::seed_from(7), 16);
         let n = 64_000;
-        let mean: f64 =
-            (0..n).map(|_| shared.next_uniform() as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| shared.next_uniform() as f64).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 }

@@ -87,7 +87,11 @@ impl Xorshift64 {
     pub fn seed_from(seed: u64) -> Self {
         let mixed = split_seed(seed, 1);
         Xorshift64 {
-            state: if mixed == 0 { 0x9e37_79b9_7f4a_7c15 } else { mixed },
+            state: if mixed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                mixed
+            },
         }
     }
 

@@ -1,0 +1,540 @@
+//! The machine-readable experiment result model.
+//!
+//! Every bench experiment returns an [`ExperimentResult`] — run metadata,
+//! named series (the table rows a figure is drawn from), scalar metrics,
+//! and free-text notes — instead of printing. The bin wrappers choose a
+//! rendering: aligned text for humans ([`ExperimentResult::render_text`])
+//! or JSON for CI and trajectory files ([`ExperimentResult::to_json`]).
+
+use crate::json::{parse, ParseError, Value};
+use crate::snapshot::{MetricValue, MetricsSnapshot};
+
+/// A named table of measurements: one labeled row per swept point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series name (unique within the experiment).
+    pub name: String,
+    /// Header for the row-label column (e.g. `"signature"`).
+    pub label_header: String,
+    /// Headers for the numeric columns.
+    pub columns: Vec<String>,
+    /// The measured rows.
+    pub rows: Vec<SeriesRow>,
+}
+
+/// One row of a [`Series`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesRow {
+    /// Row label (e.g. a signature or a thread count).
+    pub label: String,
+    /// One value per series column.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new(name: &str, label_header: &str, columns: &[&str]) -> Self {
+        Series {
+            name: name.to_string(),
+            label_header: label_header.to_string(),
+            columns: columns.iter().map(|c| (*c).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "series {}: row width {} != column count {}",
+            self.name,
+            values.len(),
+            self.columns.len()
+        );
+        self.rows.push(SeriesRow {
+            label: label.into(),
+            values: values.to_vec(),
+        });
+    }
+
+    /// Looks up a row by label.
+    #[must_use]
+    pub fn row(&self, label: &str) -> Option<&SeriesRow> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+
+    /// Looks up a single cell by row label and column header.
+    #[must_use]
+    pub fn cell(&self, label: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.row(label)?.values.get(col).copied()
+    }
+}
+
+/// The complete result of one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Stable experiment identifier (e.g. `"table2"`, `"fig5a"`).
+    pub id: String,
+    /// Human-readable title (the old banner line).
+    pub title: String,
+    /// Run metadata as ordered key/value pairs (scale, budget, host knobs).
+    pub meta: Vec<(String, String)>,
+    /// Named scalar metrics (summary numbers, speedups, totals).
+    pub scalars: Vec<(String, f64)>,
+    /// Named series (the tables/curves of the figure).
+    pub series: Vec<Series>,
+    /// Free-text observations, printed after the tables in text mode.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result.
+    #[must_use]
+    pub fn new(id: &str, title: &str) -> Self {
+        ExperimentResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            meta: Vec::new(),
+            scalars: Vec::new(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Records a metadata key/value pair.
+    pub fn meta(&mut self, key: &str, value: impl ToString) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    /// Records a named scalar metric.
+    pub fn scalar(&mut self, name: &str, value: f64) {
+        self.scalars.push((name.to_string(), value));
+    }
+
+    /// Looks up a scalar by name.
+    #[must_use]
+    pub fn get_scalar(&self, name: &str) -> Option<f64> {
+        self.scalars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Appends a free-text note line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Appends a finished series.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Looks up a series by name.
+    #[must_use]
+    pub fn get_series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Folds a metrics snapshot into the scalar list, prefixing each
+    /// metric name (histograms contribute `.count`/`.mean`/`.max`).
+    pub fn attach_snapshot(&mut self, prefix: &str, snapshot: &MetricsSnapshot) {
+        for (name, value) in snapshot.iter() {
+            match value {
+                MetricValue::Counter(c) => {
+                    self.scalar(&format!("{prefix}{name}"), *c as f64);
+                }
+                MetricValue::Gauge(g) => {
+                    self.scalar(&format!("{prefix}{name}"), *g);
+                }
+                MetricValue::Histogram(h) => {
+                    self.scalar(&format!("{prefix}{name}.count"), h.count as f64);
+                    self.scalar(&format!("{prefix}{name}.mean"), h.mean());
+                    self.scalar(&format!("{prefix}{name}.max"), h.max);
+                }
+            }
+        }
+    }
+
+    /// Renders the classic aligned-text report (banner, metadata, each
+    /// series as a table, scalars, then notes).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+
+        let mut out = String::new();
+        let rule = "==============================================================";
+        let _ = writeln!(out, "{rule}");
+        let _ = writeln!(out, "{}: {}", self.id, self.title);
+        let _ = writeln!(out, "{rule}");
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "{k} = {v}");
+        }
+        if !self.meta.is_empty() {
+            out.push('\n');
+        }
+        for series in &self.series {
+            if self.series.len() > 1 {
+                let _ = writeln!(out, "-- {} --", series.name);
+            }
+            let _ = write!(out, "{:<20}", series.label_header);
+            for c in &series.columns {
+                let _ = write!(out, " {c:>10}");
+            }
+            out.push('\n');
+            for row in &series.rows {
+                let _ = write!(out, "{:<20}", row.label);
+                for cell in &row.values {
+                    if cell.abs() >= 100.0 {
+                        let _ = write!(out, " {cell:>10.1}");
+                    } else {
+                        let _ = write!(out, " {cell:>10.4}");
+                    }
+                }
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+        for (name, value) in &self.scalars {
+            let _ = writeln!(out, "{name} = {value:.6}");
+        }
+        if !self.scalars.is_empty() {
+            out.push('\n');
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "{note}");
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Converts the result to a JSON value.
+    #[must_use]
+    pub fn to_json_value(&self) -> Value {
+        Value::object(vec![
+            ("id", Value::from(self.id.as_str())),
+            ("title", Value::from(self.title.as_str())),
+            (
+                "meta",
+                Value::Object(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::from(v.as_str())))
+                        .collect(),
+                ),
+            ),
+            (
+                "scalars",
+                Value::Object(
+                    self.scalars
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "series",
+                Value::Array(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Value::object(vec![
+                                ("name", Value::from(s.name.as_str())),
+                                ("label_header", Value::from(s.label_header.as_str())),
+                                (
+                                    "columns",
+                                    Value::Array(
+                                        s.columns.iter().map(|c| Value::from(c.as_str())).collect(),
+                                    ),
+                                ),
+                                (
+                                    "rows",
+                                    Value::Array(
+                                        s.rows
+                                            .iter()
+                                            .map(|r| {
+                                                Value::object(vec![
+                                                    ("label", Value::from(r.label.as_str())),
+                                                    (
+                                                        "values",
+                                                        Value::Array(
+                                                            r.values
+                                                                .iter()
+                                                                .map(|&v| Value::from(v))
+                                                                .collect(),
+                                                        ),
+                                                    ),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "notes",
+                Value::Array(self.notes.iter().map(|n| Value::from(n.as_str())).collect()),
+            ),
+        ])
+    }
+
+    /// Serializes to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json_pretty()
+    }
+
+    /// Parses and validates a JSON document produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError`] if the text is not valid JSON or does not
+    /// conform to the experiment-result schema.
+    pub fn from_json(text: &str) -> Result<Self, SchemaError> {
+        Self::from_json_value(&parse(text)?)
+    }
+
+    /// Validates a parsed JSON value against the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Shape`] naming the first offending field.
+    pub fn from_json_value(value: &Value) -> Result<Self, SchemaError> {
+        let shape = |what: &'static str| SchemaError::Shape(what);
+        let id = value
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or(shape("id: string"))?;
+        let title = value
+            .get("title")
+            .and_then(Value::as_str)
+            .ok_or(shape("title: string"))?;
+        let meta = match value.get("meta").ok_or(shape("meta: object"))? {
+            Value::Object(members) => members
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or(shape("meta values: string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(shape("meta: object")),
+        };
+        let scalars = match value.get("scalars").ok_or(shape("scalars: object"))? {
+            Value::Object(members) => members
+                .iter()
+                .map(|(k, v)| {
+                    // Non-finite scalars serialize as null; accept them back.
+                    match v {
+                        Value::Null => Ok((k.clone(), f64::NAN)),
+                        _ => v
+                            .as_f64()
+                            .map(|n| (k.clone(), n))
+                            .ok_or(shape("scalar values: number")),
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(shape("scalars: object")),
+        };
+        let series = value
+            .get("series")
+            .and_then(Value::as_array)
+            .ok_or(shape("series: array"))?
+            .iter()
+            .map(|s| {
+                let name = s
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or(shape("series.name: string"))?;
+                let label_header = s
+                    .get("label_header")
+                    .and_then(Value::as_str)
+                    .ok_or(shape("series.label_header: string"))?;
+                let columns = s
+                    .get("columns")
+                    .and_then(Value::as_array)
+                    .ok_or(shape("series.columns: array"))?
+                    .iter()
+                    .map(|c| {
+                        c.as_str()
+                            .map(str::to_string)
+                            .ok_or(shape("series.columns: strings"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let rows = s
+                    .get("rows")
+                    .and_then(Value::as_array)
+                    .ok_or(shape("series.rows: array"))?
+                    .iter()
+                    .map(|r| {
+                        let label = r
+                            .get("label")
+                            .and_then(Value::as_str)
+                            .ok_or(shape("row.label: string"))?;
+                        let values = r
+                            .get("values")
+                            .and_then(Value::as_array)
+                            .ok_or(shape("row.values: array"))?
+                            .iter()
+                            .map(|v| match v {
+                                Value::Null => Ok(f64::NAN),
+                                _ => v.as_f64().ok_or(shape("row.values: numbers")),
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        if values.len() != columns.len() {
+                            return Err(shape("row width matches columns"));
+                        }
+                        Ok(SeriesRow {
+                            label: label.to_string(),
+                            values,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Series {
+                    name: name.to_string(),
+                    label_header: label_header.to_string(),
+                    columns,
+                    rows,
+                })
+            })
+            .collect::<Result<Vec<_>, SchemaError>>()?;
+        let notes = value
+            .get("notes")
+            .and_then(Value::as_array)
+            .ok_or(shape("notes: array"))?
+            .iter()
+            .map(|n| {
+                n.as_str()
+                    .map(str::to_string)
+                    .ok_or(shape("notes: strings"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ExperimentResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            meta,
+            scalars,
+            series,
+            notes,
+        })
+    }
+}
+
+/// Error from [`ExperimentResult::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The text was not valid JSON.
+    Json(ParseError),
+    /// The JSON did not match the schema; names the expected field shape.
+    Shape(&'static str),
+}
+
+impl From<ParseError> for SchemaError {
+    fn from(e: ParseError) -> Self {
+        SchemaError::Json(e)
+    }
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::Json(e) => write!(f, "{e}"),
+            SchemaError::Shape(what) => write!(f, "schema violation: expected {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentResult {
+        let mut r = ExperimentResult::new("table2", "Base throughput by signature");
+        r.meta("n", 65536u64.to_string());
+        r.meta("scale", "quick");
+        let mut s = Series::new("throughput", "signature", &["dense", "paper-d"]);
+        s.push_row("D8M8", &[4.5, 5.1]);
+        s.push_row("D32fM32f", &[1.25, 1.36]);
+        r.push_series(s);
+        r.scalar("speedup.d8", 3.6);
+        r.note("fastest dense signature on this host: D8M8");
+        r
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let r = sample();
+        let text = r.to_json();
+        let back = ExperimentResult::from_json(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let r = sample();
+        let s = r.get_series("throughput").unwrap();
+        assert_eq!(s.cell("D8M8", "dense"), Some(4.5));
+        assert_eq!(s.cell("D8M8", "missing"), None);
+        assert_eq!(s.cell("missing", "dense"), None);
+        assert_eq!(r.get_scalar("speedup.d8"), Some(3.6));
+    }
+
+    #[test]
+    fn text_rendering_contains_everything() {
+        let text = sample().render_text();
+        assert!(text.contains("table2: Base throughput by signature"));
+        assert!(text.contains("signature"));
+        assert!(text.contains("D8M8"));
+        assert!(text.contains("speedup.d8"));
+        assert!(text.contains("fastest dense"));
+    }
+
+    #[test]
+    fn schema_violations_are_named() {
+        assert!(matches!(
+            ExperimentResult::from_json("{}"),
+            Err(SchemaError::Shape("id: string"))
+        ));
+        assert!(matches!(
+            ExperimentResult::from_json("not json"),
+            Err(SchemaError::Json(_))
+        ));
+        // A row wider than its columns is rejected.
+        let mut r = sample();
+        r.series[0].rows[0].values.push(9.0);
+        let text = r.to_json();
+        assert!(matches!(
+            ExperimentResult::from_json(&text),
+            Err(SchemaError::Shape("row width matches columns"))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics_at_build_time() {
+        let mut s = Series::new("x", "l", &["a", "b"]);
+        s.push_row("r", &[1.0]);
+    }
+
+    #[test]
+    fn nan_scalars_survive_round_trip_as_nan() {
+        let mut r = ExperimentResult::new("x", "t");
+        r.scalar("bad", f64::NAN);
+        let back = ExperimentResult::from_json(&r.to_json()).unwrap();
+        assert!(back.get_scalar("bad").unwrap().is_nan());
+    }
+}

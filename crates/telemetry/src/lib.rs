@@ -1,0 +1,55 @@
+//! Zero-cost-when-disabled instrumentation for the Buckwild! workspace.
+//!
+//! The crate has three pieces:
+//!
+//! * **Recording** — the [`Recorder`] trait with [`Counter`], [`Gauge`]
+//!   and [`Histogram`] handles. Instrumented code is generic over
+//!   `R: Recorder`; driving it with [`NoopRecorder`] monomorphizes every
+//!   instrumentation point to nothing (all handles are zero-sized and all
+//!   methods are empty `#[inline(always)]` bodies), while
+//!   [`ShardedRecorder`] collects real numbers with per-worker
+//!   cache-line-padded shards and relaxed atomics — no locks anywhere on
+//!   the hot path.
+//! * **Snapshots** — [`MetricsSnapshot`] is a sorted point-in-time view
+//!   of everything a recorder saw, with typed accessors.
+//! * **Results** — [`ExperimentResult`] is the machine-readable model
+//!   every bench experiment returns (metadata + series + scalars), with
+//!   text rendering and a validated JSON round trip built on the
+//!   dependency-free [`json`] module.
+//!
+//! # Example
+//!
+//! ```
+//! use buckwild_telemetry::{Counter, NoopRecorder, Recorder, ShardedRecorder};
+//!
+//! fn hot_loop<R: Recorder>(recorder: &R, worker: usize) {
+//!     let iters = recorder.worker_counter("iterations", worker);
+//!     for _ in 0..1000 {
+//!         iters.incr(); // free with NoopRecorder, one relaxed add otherwise
+//!     }
+//! }
+//!
+//! hot_loop(&NoopRecorder, 0); // compiles to the uninstrumented loop
+//!
+//! let rec = ShardedRecorder::new(2);
+//! hot_loop(&rec, 0);
+//! hot_loop(&rec, 1);
+//! assert_eq!(rec.snapshot().counter("iterations"), Some(2000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+mod experiment;
+mod noop;
+mod recorder;
+mod sharded;
+mod snapshot;
+
+pub use experiment::{ExperimentResult, SchemaError, Series, SeriesRow};
+pub use noop::{NoopCounter, NoopGauge, NoopHistogram, NoopRecorder};
+pub use recorder::{Counter, Gauge, Histogram, Recorder};
+pub use sharded::{ShardedCounter, ShardedGauge, ShardedHistogram, ShardedRecorder};
+pub use snapshot::{HistogramSummary, MetricValue, MetricsSnapshot};

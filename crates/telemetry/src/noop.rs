@@ -1,0 +1,74 @@
+//! The no-op recorder: instrumentation that compiles to nothing.
+
+use crate::recorder::{Counter, Gauge, Histogram, Recorder};
+use crate::snapshot::MetricsSnapshot;
+
+/// A recorder that discards everything.
+///
+/// All handle types are zero-sized and all methods are empty
+/// `#[inline(always)]` bodies, so code instrumented generically over
+/// [`Recorder`] monomorphizes to exactly the uninstrumented machine code
+/// when driven by `NoopRecorder`.
+///
+/// ```
+/// use buckwild_telemetry::{Counter, NoopRecorder, Recorder};
+///
+/// let rec = NoopRecorder;
+/// let c = rec.counter("events");
+/// c.add(17);
+/// assert!(rec.snapshot().is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+/// Zero-sized counter handle of [`NoopRecorder`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopCounter;
+
+/// Zero-sized gauge handle of [`NoopRecorder`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopGauge;
+
+/// Zero-sized histogram handle of [`NoopRecorder`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopHistogram;
+
+impl Counter for NoopCounter {
+    #[inline(always)]
+    fn add(&self, _n: u64) {}
+}
+
+impl Gauge for NoopGauge {
+    #[inline(always)]
+    fn set(&self, _value: f64) {}
+}
+
+impl Histogram for NoopHistogram {
+    #[inline(always)]
+    fn record(&self, _value: f64) {}
+}
+
+impl Recorder for NoopRecorder {
+    type Counter = NoopCounter;
+    type Gauge = NoopGauge;
+    type Histogram = NoopHistogram;
+
+    #[inline(always)]
+    fn counter(&self, _name: &str) -> NoopCounter {
+        NoopCounter
+    }
+
+    #[inline(always)]
+    fn gauge(&self, _name: &str) -> NoopGauge {
+        NoopGauge
+    }
+
+    #[inline(always)]
+    fn histogram(&self, _name: &str) -> NoopHistogram {
+        NoopHistogram
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+}

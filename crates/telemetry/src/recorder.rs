@@ -1,0 +1,101 @@
+//! The [`Recorder`] trait and its metric handle traits.
+//!
+//! Instrumented code is generic over `R: Recorder`, so the choice of
+//! recorder is made at monomorphization time: with [`NoopRecorder`] every
+//! handle is a zero-sized type whose methods are empty `#[inline(always)]`
+//! bodies, and the instrumentation compiles to nothing at all. With
+//! [`ShardedRecorder`] each worker thread updates its own cache-padded
+//! shard with relaxed atomics — the same consistency discipline as the
+//! Hogwild! model writes the instrumentation observes.
+//!
+//! [`NoopRecorder`]: crate::NoopRecorder
+//! [`ShardedRecorder`]: crate::ShardedRecorder
+
+use crate::snapshot::MetricsSnapshot;
+
+/// A monotonically increasing event count.
+pub trait Counter {
+    /// Adds `n` events.
+    fn add(&self, n: u64);
+
+    /// Adds one event.
+    #[inline(always)]
+    fn incr(&self) {
+        self.add(1);
+    }
+}
+
+/// A last-value-wins instantaneous measurement.
+pub trait Gauge {
+    /// Sets the gauge to `value`.
+    fn set(&self, value: f64);
+}
+
+/// A streaming distribution summary (count, sum, min, max).
+pub trait Histogram {
+    /// Records one observation.
+    fn record(&self, value: f64);
+}
+
+/// A sink for named metrics.
+///
+/// Handles are obtained by name. Requesting the same name twice returns
+/// handles backed by the same metric, so instrumentation points do not
+/// need to coordinate registration. The optional `worker` index on
+/// [`Recorder::worker_counter`] pins the handle to one shard of a sharded
+/// implementation, letting concurrent writers scale without contention.
+pub trait Recorder: Sync {
+    /// The counter handle type (`Send` so workers can own handles).
+    type Counter: Counter + Send;
+    /// The gauge handle type.
+    type Gauge: Gauge + Send;
+    /// The histogram handle type.
+    type Histogram: Histogram + Send;
+
+    /// Returns a counter handle for `name`.
+    fn counter(&self, name: &str) -> Self::Counter;
+
+    /// Returns a counter handle for `name` pinned to the shard serving
+    /// `worker`. Implementations without shards may ignore `worker`.
+    fn worker_counter(&self, name: &str, worker: usize) -> Self::Counter {
+        let _ = worker;
+        self.counter(name)
+    }
+
+    /// Returns a gauge handle for `name`.
+    fn gauge(&self, name: &str) -> Self::Gauge;
+
+    /// Returns a histogram handle for `name`.
+    fn histogram(&self, name: &str) -> Self::Histogram;
+
+    /// Returns the current values of every metric this recorder has seen.
+    ///
+    /// No-op implementations return an empty snapshot.
+    fn snapshot(&self) -> MetricsSnapshot;
+}
+
+impl<R: Recorder> Recorder for &R {
+    type Counter = R::Counter;
+    type Gauge = R::Gauge;
+    type Histogram = R::Histogram;
+
+    fn counter(&self, name: &str) -> Self::Counter {
+        (**self).counter(name)
+    }
+
+    fn worker_counter(&self, name: &str, worker: usize) -> Self::Counter {
+        (**self).worker_counter(name, worker)
+    }
+
+    fn gauge(&self, name: &str) -> Self::Gauge {
+        (**self).gauge(name)
+    }
+
+    fn histogram(&self, name: &str) -> Self::Histogram {
+        (**self).histogram(name)
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        (**self).snapshot()
+    }
+}

@@ -1,0 +1,377 @@
+//! The lock-free sharded recorder.
+//!
+//! Each metric is split into per-worker shards padded to separate cache
+//! lines, so concurrent writers never contend on a line — the same reason
+//! Hogwild! workers write disjoint model stripes when they can. All shard
+//! updates are `Ordering::Relaxed`: totals are only read at snapshot time,
+//! where exactness of interleaving does not matter (and matches the
+//! statistical character of everything this workspace measures).
+//!
+//! The metric *registry* (name → storage) is behind a mutex, but it is
+//! only touched when a handle is created, which instrumented code does
+//! once per worker before entering its hot loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::recorder::{Counter, Gauge, Histogram, Recorder};
+use crate::snapshot::{HistogramSummary, MetricValue, MetricsSnapshot};
+
+/// One u64 cell on its own cache line.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+struct CounterShards {
+    shards: Box<[PaddedU64]>,
+}
+
+impl CounterShards {
+    fn new(shards: usize) -> Self {
+        CounterShards {
+            shards: (0..shards).map(|_| PaddedU64::default()).collect(),
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Per-shard histogram accumulator: count plus f64 sum/min/max stored as
+/// bit patterns and updated with CAS loops (lock-free, relaxed).
+#[repr(align(64))]
+struct HistShard {
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for HistShard {
+    fn default() -> Self {
+        HistShard {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+fn update_f64<F: Fn(f64) -> f64>(cell: &AtomicU64, f: F) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(current)).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+impl HistShard {
+    fn record(&self, value: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        update_f64(&self.sum_bits, |s| s + value);
+        update_f64(&self.min_bits, |m| m.min(value));
+        update_f64(&self.max_bits, |m| m.max(value));
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+struct HistShards {
+    shards: Box<[HistShard]>,
+}
+
+impl HistShards {
+    fn new(shards: usize) -> Self {
+        HistShards {
+            shards: (0..shards).map(|_| HistShard::default()).collect(),
+        }
+    }
+
+    fn merged(&self) -> HistogramSummary {
+        let mut out = HistogramSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        };
+        for s in self.shards.iter().map(HistShard::summary) {
+            out.count += s.count;
+            out.sum += s.sum;
+            out.min = out.min.min(s.min);
+            out.max = out.max.max(s.max);
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Vec<(String, Arc<CounterShards>)>,
+    gauges: Vec<(String, Arc<AtomicU64>)>,
+    histograms: Vec<(String, Arc<HistShards>)>,
+}
+
+fn find_or_insert<T, F: FnOnce() -> Arc<T>>(
+    entries: &mut Vec<(String, Arc<T>)>,
+    name: &str,
+    make: F,
+) -> Arc<T> {
+    if let Some((_, v)) = entries.iter().find(|(n, _)| n == name) {
+        return Arc::clone(v);
+    }
+    let v = make();
+    entries.push((name.to_string(), Arc::clone(&v)));
+    v
+}
+
+/// A lock-free, per-worker-sharded metrics recorder.
+///
+/// ```
+/// use buckwild_telemetry::{Counter, Recorder, ShardedRecorder};
+///
+/// let rec = ShardedRecorder::new(4);
+/// let c0 = rec.worker_counter("iters", 0);
+/// let c3 = rec.worker_counter("iters", 3);
+/// c0.add(10);
+/// c3.add(5);
+/// assert_eq!(rec.snapshot().counter("iters"), Some(15));
+/// ```
+pub struct ShardedRecorder {
+    shards: usize,
+    registry: Mutex<Registry>,
+}
+
+impl std::fmt::Debug for ShardedRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRecorder")
+            .field("shards", &self.shards)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedRecorder {
+    /// Creates a recorder with one shard per expected concurrent writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedRecorder {
+            shards,
+            registry: Mutex::new(Registry::default()),
+        }
+    }
+
+    /// Number of shards per metric.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+/// Counter handle of [`ShardedRecorder`], pinned to one shard.
+#[derive(Clone)]
+pub struct ShardedCounter {
+    cell: Arc<CounterShards>,
+    shard: usize,
+}
+
+impl Counter for ShardedCounter {
+    #[inline]
+    fn add(&self, n: u64) {
+        self.cell.shards[self.shard]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Gauge handle of [`ShardedRecorder`] (last write wins across threads).
+#[derive(Clone)]
+pub struct ShardedGauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge for ShardedGauge {
+    #[inline]
+    fn set(&self, value: f64) {
+        self.cell.store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Histogram handle of [`ShardedRecorder`], pinned to one shard.
+#[derive(Clone)]
+pub struct ShardedHistogram {
+    cell: Arc<HistShards>,
+    shard: usize,
+}
+
+impl Histogram for ShardedHistogram {
+    #[inline]
+    fn record(&self, value: f64) {
+        self.cell.shards[self.shard].record(value);
+    }
+}
+
+impl Recorder for ShardedRecorder {
+    type Counter = ShardedCounter;
+    type Gauge = ShardedGauge;
+    type Histogram = ShardedHistogram;
+
+    fn counter(&self, name: &str) -> ShardedCounter {
+        self.worker_counter(name, 0)
+    }
+
+    fn worker_counter(&self, name: &str, worker: usize) -> ShardedCounter {
+        let cell = find_or_insert(
+            &mut self.registry.lock().expect("registry poisoned").counters,
+            name,
+            || Arc::new(CounterShards::new(self.shards)),
+        );
+        ShardedCounter {
+            cell,
+            shard: worker % self.shards,
+        }
+    }
+
+    fn gauge(&self, name: &str) -> ShardedGauge {
+        let cell = find_or_insert(
+            &mut self.registry.lock().expect("registry poisoned").gauges,
+            name,
+            || Arc::new(AtomicU64::new(0f64.to_bits())),
+        );
+        ShardedGauge { cell }
+    }
+
+    fn histogram(&self, name: &str) -> ShardedHistogram {
+        let cell = find_or_insert(
+            &mut self.registry.lock().expect("registry poisoned").histograms,
+            name,
+            || Arc::new(HistShards::new(self.shards)),
+        );
+        ShardedHistogram { cell, shard: 0 }
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        let registry = self.registry.lock().expect("registry poisoned");
+        let mut entries = Vec::with_capacity(
+            registry.counters.len() + registry.gauges.len() + registry.histograms.len(),
+        );
+        for (name, c) in &registry.counters {
+            entries.push((name.clone(), MetricValue::Counter(c.total())));
+        }
+        for (name, g) in &registry.gauges {
+            entries.push((
+                name.clone(),
+                MetricValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed))),
+            ));
+        }
+        for (name, h) in &registry.histograms {
+            entries.push((name.clone(), MetricValue::Histogram(h.merged())));
+        }
+        MetricsSnapshot::from_entries(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_across_shards() {
+        let rec = ShardedRecorder::new(3);
+        for worker in 0..3 {
+            rec.worker_counter("n", worker).add(worker as u64 + 1);
+        }
+        assert_eq!(rec.snapshot().counter("n"), Some(6));
+    }
+
+    #[test]
+    fn same_name_same_metric() {
+        let rec = ShardedRecorder::new(2);
+        rec.counter("x").add(1);
+        rec.counter("x").add(2);
+        assert_eq!(rec.snapshot().counter("x"), Some(3));
+        assert_eq!(rec.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn worker_indices_wrap_around_shards() {
+        let rec = ShardedRecorder::new(2);
+        rec.worker_counter("w", 7).incr(); // shard 1
+        rec.worker_counter("w", 8).incr(); // shard 0
+        assert_eq!(rec.snapshot().counter("w"), Some(2));
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let rec = ShardedRecorder::new(1);
+        let g = rec.gauge("speed");
+        g.set(1.0);
+        g.set(4.25);
+        assert_eq!(rec.snapshot().gauge("speed"), Some(4.25));
+    }
+
+    #[test]
+    fn histogram_summary_merges() {
+        let rec = ShardedRecorder::new(2);
+        rec.histogram("lat").record(1.0);
+        rec.histogram("lat").record(3.0);
+        let h = rec.snapshot().histogram("lat").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 4.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert_eq!(h.mean(), 2.0);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_no_updates() {
+        // The whole point of sharding: one shard per writer means relaxed
+        // fetch_adds cannot be lost, unlike the Hogwild! model writes.
+        let rec = ShardedRecorder::new(8);
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for worker in 0..8 {
+                let rec = &rec;
+                s.spawn(move || {
+                    let c = rec.worker_counter("events", worker);
+                    let h = rec.histogram("values");
+                    for i in 0..per_thread {
+                        c.incr();
+                        h.record(i as f64);
+                    }
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("events"), Some(8 * per_thread));
+        assert_eq!(snap.histogram("values").unwrap().count, 8 * per_thread);
+        assert_eq!(
+            snap.histogram("values").unwrap().max,
+            (per_thread - 1) as f64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedRecorder::new(0);
+    }
+}

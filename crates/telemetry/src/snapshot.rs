@@ -1,0 +1,180 @@
+//! Point-in-time views of a recorder's metrics.
+
+use crate::json::Value;
+
+/// Summary statistics of a histogram at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observation (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// Mean of the recorded observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The value of one metric at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter total (summed across shards).
+    Counter(u64),
+    /// A gauge's last written value.
+    Gauge(f64),
+    /// A histogram summary (merged across shards).
+    Histogram(HistogramSummary),
+}
+
+/// An ordered, named collection of metric values.
+///
+/// Entries are sorted by metric name, so snapshots compare and serialize
+/// deterministically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Builds a snapshot from `(name, value)` pairs (sorted internally).
+    #[must_use]
+    pub fn from_entries(mut entries: Vec<(String, MetricValue)>) -> Self {
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { entries }
+    }
+
+    /// True if no metrics were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up a metric by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// The total of counter `name`, or `None` if absent or not a counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value of gauge `name`, or `None` if absent or not a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The summary of histogram `name`, or `None` if absent or not one.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        match self.get(name)? {
+            MetricValue::Histogram(h) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Converts the snapshot to a JSON object keyed by metric name.
+    #[must_use]
+    pub fn to_json_value(&self) -> Value {
+        let members = self
+            .entries
+            .iter()
+            .map(|(name, value)| {
+                let v = match value {
+                    MetricValue::Counter(c) => Value::object(vec![
+                        ("type", Value::from("counter")),
+                        ("value", Value::from(*c as f64)),
+                    ]),
+                    MetricValue::Gauge(g) => Value::object(vec![
+                        ("type", Value::from("gauge")),
+                        ("value", Value::from(*g)),
+                    ]),
+                    MetricValue::Histogram(h) => Value::object(vec![
+                        ("type", Value::from("histogram")),
+                        ("count", Value::from(h.count as f64)),
+                        ("sum", Value::from(h.sum)),
+                        ("min", Value::from(h.min)),
+                        ("max", Value::from(h.max)),
+                    ]),
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        Value::Object(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_kind() {
+        let snap = MetricsSnapshot::from_entries(vec![
+            ("b.gauge".into(), MetricValue::Gauge(2.5)),
+            ("a.count".into(), MetricValue::Counter(7)),
+            (
+                "c.hist".into(),
+                MetricValue::Histogram(HistogramSummary {
+                    count: 2,
+                    sum: 3.0,
+                    min: 1.0,
+                    max: 2.0,
+                }),
+            ),
+        ]);
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.counter("a.count"), Some(7));
+        assert_eq!(snap.gauge("b.gauge"), Some(2.5));
+        assert_eq!(snap.histogram("c.hist").unwrap().mean(), 1.5);
+        // Wrong-kind lookups are None, not panics.
+        assert_eq!(snap.counter("b.gauge"), None);
+        assert_eq!(snap.gauge("a.count"), None);
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn entries_sorted_by_name() {
+        let snap = MetricsSnapshot::from_entries(vec![
+            ("z".into(), MetricValue::Counter(1)),
+            ("a".into(), MetricValue::Counter(2)),
+        ]);
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "z"]);
+    }
+}

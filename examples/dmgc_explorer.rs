@@ -23,11 +23,19 @@ fn main() {
     };
 
     println!("signature: {signature}");
-    println!("  dataset:  {} ({} bits)", signature.dataset(), signature.dataset_bits());
+    println!(
+        "  dataset:  {} ({} bits)",
+        signature.dataset(),
+        signature.dataset_bits()
+    );
     if let Some(bits) = signature.index_bits() {
         println!("  index:    {bits} bits (sparse problem)");
     }
-    println!("  model:    {} ({} bits)", signature.model(), signature.model_bits());
+    println!(
+        "  model:    {} ({} bits)",
+        signature.model(),
+        signature.model_bits()
+    );
     println!("  gradient: {}", signature.gradient());
     match signature.comm() {
         Some((format, sync)) => println!("  comm:     explicit {format} ({sync:?})"),
@@ -62,7 +70,10 @@ fn main() {
         Some(t1) => {
             println!("\npaper-Xeon performance model (GNPS):");
             println!("  base throughput T1 = {t1:.3}");
-            println!("{:>12} {:>10} {:>10} {:>10}", "model size", "t=1", "t=9", "t=18");
+            println!(
+                "{:>12} {:>10} {:>10} {:>10}",
+                "model size", "t=1", "t=9", "t=18"
+            );
             for log_n in [10u32, 14, 18, 22] {
                 let n = 1usize << log_n;
                 let row: Vec<f64> = [1usize, 9, 18]

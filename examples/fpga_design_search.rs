@@ -44,7 +44,10 @@ fn main() {
     for log_n in [10usize, 12, 14, 16, 18] {
         let size = 1usize << log_n;
         let plain = SgdDesign::new(8, 8, size).lanes(64).evaluate(&device);
-        let batch = SgdDesign::new(8, 8, size).lanes(64).minibatch(64).evaluate(&device);
+        let batch = SgdDesign::new(8, 8, size)
+            .lanes(64)
+            .minibatch(64)
+            .evaluate(&device);
         let bursts = SgdDesign::new(8, 8, size).bursts_per_example(&device);
         println!(
             "  n = 2^{log_n} ({bursts:>4} bursts): plain {:.2} GNPS vs mini-batch {:.2} GNPS",

@@ -30,7 +30,10 @@ fn main() {
         shape.width
     );
 
-    println!("{:<12} {:>14} {:>14}", "model bits", "biased err %", "unbiased err %");
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "model bits", "biased err %", "unbiased err %"
+    );
     for bits in [6u32, 8, 16] {
         let mut row = Vec::new();
         for rounding in [Rounding::Biased, Rounding::Unbiased] {
@@ -44,7 +47,12 @@ fn main() {
     let mut net = lenet::tiny(shape.height, shape.width, shape.channels, classes, 5);
     let mut quant = WeightQuantizer::full_precision();
     let _ = net.train(&train, 8, 4, 0.25, &mut quant);
-    println!("{:<12} {:>14} {:>14.1}", "32f", "-", net.test_error(&test) * 100.0);
+    println!(
+        "{:<12} {:>14} {:>14.1}",
+        "32f",
+        "-",
+        net.test_error(&test) * 100.0
+    );
     println!(
         "\nWith unbiased rounding, even 6-bit models train to full-precision quality; \
          biased rounding collapses below 8 bits (paper Figure 7b)."

@@ -18,7 +18,7 @@ fn main() {
     );
     for bits in [32u32, 8, 4, 1] {
         let config = SyncSgdConfig::new(Loss::Logistic, bits).epochs(10);
-        let losses = config.train_dense(&problem.data).expect("valid config");
+        let losses = config.train(&problem.data).expect("valid config");
         println!(
             "{:<10} {:>14} {:>12.4}",
             config.signature().to_string(),
@@ -30,12 +30,12 @@ fn main() {
     let with = SyncSgdConfig::new(Loss::Logistic, 1)
         .error_feedback(true)
         .epochs(10)
-        .train_dense(&problem.data)
+        .train(&problem.data)
         .expect("valid config");
     let without = SyncSgdConfig::new(Loss::Logistic, 1)
         .error_feedback(false)
         .epochs(10)
-        .train_dense(&problem.data)
+        .train(&problem.data)
         .expect("valid config");
     println!(
         "1-bit with error feedback: {:.4}; without: {:.4}",

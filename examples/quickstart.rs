@@ -25,8 +25,10 @@ fn main() {
         .seed(7);
 
     for sig in ["D32fM32f", "D16M16", "D8M8"] {
-        let config = base.clone().signature(sig.parse().expect("static signature"));
-        let report = config.train_dense(&problem.data).expect("valid config");
+        let config = base
+            .clone()
+            .signature(sig.parse().expect("static signature"));
+        let report = config.train(&problem.data).expect("valid config");
         let acc = accuracy(Loss::Logistic, report.model(), &problem.data);
         println!(
             "{sig:>9}: final loss {:.4}, train accuracy {:.1}%, throughput {:.3} GNPS",

@@ -37,7 +37,7 @@ fn main() {
     );
     for sig in ["D32fi32M32f", "D16i16M16", "D8i8M8"] {
         let config = base.clone().signature(sig.parse().expect("static"));
-        let report = config.train_sparse(&problem.data).expect("valid config");
+        let report = config.train(&problem.data).expect("valid config");
         let acc = metrics::accuracy_sparse(Loss::Logistic, report.model(), &problem.data);
         println!(
             "{sig:<14} {:>10.4} {:>10.1} {:>10.4}",
@@ -54,8 +54,11 @@ fn main() {
             .signature("D8i8M8".parse().expect("static"))
             .rounding(rounding)
             .step_size(0.05);
-        let report = config.train_sparse(&problem.data).expect("valid config");
-        println!("  {rounding:<9} rounding: final loss {:.4}", report.final_loss());
+        let report = config.train(&problem.data).expect("valid config");
+        println!(
+            "  {rounding:<9} rounding: final loss {:.4}",
+            report.final_loss()
+        );
     }
     println!(
         "\nUnbiased (stochastic) rounding keeps small updates alive in expectation; \

@@ -20,7 +20,7 @@ fn perf_model_predicts_engine_throughput() {
             .threads(threads)
             .epochs(2)
             .record_losses(false)
-            .train_dense(&problem.data)
+            .train(&problem.data)
             .expect("valid config")
             .gnps()
     };
@@ -60,8 +60,7 @@ fn cachesim_invalidation_rate_falls_with_model_size() {
 fn obstinate_cache_is_a_safe_win_on_small_models() {
     let workload = SgdWorkload::dense(1 << 12, 1, 4);
     let base = Machine::new(SimConfig::paper_xeon(4)).run(&workload);
-    let obstinate =
-        Machine::new(SimConfig::paper_xeon(4).with_obstinacy(0.5)).run(&workload);
+    let obstinate = Machine::new(SimConfig::paper_xeon(4).with_obstinacy(0.5)).run(&workload);
     assert!(obstinate.cycles < base.cycles, "no hardware win");
 
     let problem = generate::logistic_dense(64, 600, 37);

@@ -13,7 +13,7 @@ fn trained_loss(sig: &str, threads: usize, seed: u64) -> f64 {
         .epochs(8)
         .threads(threads)
         .seed(seed)
-        .train_dense(&problem.data)
+        .train(&problem.data)
         .expect("valid config")
         .final_loss()
 }
@@ -23,8 +23,7 @@ fn every_supported_signature_converges_dense() {
     // All nine Table 2 precision pairs must train to well below chance
     // (ln 2 ≈ 0.693) on a separable-ish problem.
     for sig in [
-        "D32fM32f", "D32fM16", "D32fM8", "D16M32f", "D16M16", "D16M8", "D8M32f", "D8M16",
-        "D8M8",
+        "D32fM32f", "D32fM16", "D32fM8", "D16M32f", "D16M16", "D16M8", "D8M32f", "D8M16", "D8M8",
     ] {
         let loss = trained_loss(sig, 1, 3);
         assert!(loss < 0.55, "{sig}: loss {loss}");
@@ -62,7 +61,7 @@ fn sparse_pipeline_end_to_end() {
             .epochs(10)
             .threads(2)
             .seed(1)
-            .train_sparse(&problem.data)
+            .train(&problem.data)
             .expect("valid config");
         let acc = metrics::accuracy_sparse(Loss::Logistic, report.model(), &problem.data);
         assert!(acc > 0.75, "{sig}: accuracy {acc}");
@@ -78,7 +77,7 @@ fn recovered_model_correlates_with_truth() {
         .step_decay(0.9)
         .epochs(12)
         .seed(2)
-        .train_dense(&problem.data)
+        .train(&problem.data)
         .expect("valid config");
     // Cosine similarity between the recovered and true model directions.
     let dot: f32 = report
@@ -105,7 +104,7 @@ fn minibatch_and_rounding_axes_compose() {
                 .step_size(0.5)
                 .step_decay(0.85)
                 .epochs(8)
-                .train_dense(&problem.data)
+                .train(&problem.data)
                 .expect("valid config");
             assert!(
                 report.final_loss() < 0.6,
@@ -122,7 +121,7 @@ fn throughput_accounting_consistent_across_paths() {
     let report = SgdConfig::new(Loss::Logistic)
         .epochs(4)
         .record_losses(false)
-        .train_dense(&problem.data)
+        .train(&problem.data)
         .expect("valid config");
     assert_eq!(report.numbers_processed(), 32 * 200 * 4);
     assert_eq!(report.iterations(), 800);
@@ -131,24 +130,24 @@ fn throughput_accounting_consistent_across_paths() {
     let sreport = SgdConfig::new(Loss::Logistic)
         .epochs(4)
         .record_losses(false)
-        .train_sparse(&sparse.data)
+        .train(&sparse.data)
         .expect("valid config");
-    assert_eq!(
-        sreport.numbers_processed(),
-        (sparse.data.nnz() * 4) as u64
-    );
+    assert_eq!(sreport.numbers_processed(), (sparse.data.nnz() * 4) as u64);
 }
 
 #[test]
 fn classification_accuracy_reaches_generative_ceiling_neighborhood() {
     let problem = generate::logistic_dense(64, 1200, 23);
+    // The ceiling is what the true generating model scores on this sample;
+    // label noise keeps it well below 1.0.
+    let ceiling = accuracy(Loss::Logistic, &problem.true_model, &problem.data);
     let report = SgdConfig::new(Loss::Logistic)
         .signature("D16M16".parse().expect("test signature"))
         .step_size(0.5)
         .step_decay(0.9)
         .epochs(12)
-        .train_dense(&problem.data)
+        .train(&problem.data)
         .expect("valid config");
     let acc = accuracy(Loss::Logistic, report.model(), &problem.data);
-    assert!(acc > 0.85, "accuracy {acc}");
+    assert!(acc > ceiling - 0.02, "accuracy {acc} vs ceiling {ceiling}");
 }

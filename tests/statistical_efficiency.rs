@@ -1,6 +1,8 @@
 //! Statistical-efficiency integration tests: the quality claims of the
 //! paper hold across the workspace's quantizer and precision axes.
 
+use std::num::NonZeroU32;
+
 use buckwild::{Loss, PrngKind, Rounding, SgdConfig};
 use buckwild_dataset::generate;
 use buckwild_kernels::cost::QuantizerKind;
@@ -15,7 +17,7 @@ fn loss_with_quantizer(kind: QuantizerKind, seed: u64) -> f64 {
         .step_decay(0.85)
         .epochs(8)
         .seed(seed)
-        .train_dense(&problem.data)
+        .train(&problem.data)
         .expect("valid config")
         .final_loss()
 }
@@ -40,7 +42,12 @@ fn quantizer_strategies_statistically_indistinguishable() {
 #[test]
 fn shared_period_trade_off_is_smooth() {
     let problem = generate::logistic_dense(64, 800, 43);
-    for period in [0u32, 8, 64, 1024] {
+    for period in [
+        None,
+        NonZeroU32::new(8),
+        NonZeroU32::new(64),
+        NonZeroU32::new(1024),
+    ] {
         let report = SgdConfig::new(Loss::Logistic)
             .signature("D8M8".parse().expect("test signature"))
             .quantizer(QuantizerKind::XorshiftShared)
@@ -48,11 +55,11 @@ fn shared_period_trade_off_is_smooth() {
             .step_size(0.3)
             .step_decay(0.85)
             .epochs(8)
-            .train_dense(&problem.data)
+            .train(&problem.data)
             .expect("valid config");
         assert!(
             report.final_loss() < 0.55,
-            "period {period}: loss {}",
+            "period {period:?}: loss {}",
             report.final_loss()
         );
     }
@@ -81,7 +88,7 @@ fn unbiased_rounding_survives_tiny_steps() {
             .rounding(rounding)
             .step_size(0.02)
             .epochs(10)
-            .train_dense(&problem.data)
+            .train(&problem.data)
             .expect("valid config")
             .final_loss()
     };
@@ -104,7 +111,7 @@ fn dataset_quantization_is_cheap_statistically() {
             .step_size(0.5)
             .step_decay(0.85)
             .epochs(10)
-            .train_dense(&problem.data)
+            .train(&problem.data)
             .expect("valid config")
             .final_loss()
     };
