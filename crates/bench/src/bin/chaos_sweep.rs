@@ -1,0 +1,14 @@
+//! Runs the chaos fault-injection sweep. See
+//! `buckwild_bench::experiments::chaos_sweep`.
+//!
+//! Flags: `--format {text,json}`, `--json <path>`, `--seed <u64>`,
+//! `--help`. The emitted document is a pure function of the seed.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    buckwild_bench::cli::run_seeded(
+        "chaos_sweep",
+        buckwild_bench::experiments::chaos_sweep::DEFAULT_SEED,
+        buckwild_bench::experiments::chaos_sweep::result_with_seed,
+    )
+}

@@ -35,15 +35,19 @@ pub struct Options {
     pub format: Format,
     /// Optional path to also write the JSON document to.
     pub json_path: Option<String>,
+    /// Optional experiment seed override (consumed by seeded binaries;
+    /// ignored by the rest).
+    pub seed: Option<u64>,
 }
 
 fn usage(name: &str) -> String {
     format!(
-        "usage: {name} [--format {{text,json}}] [--json <path>]\n\
+        "usage: {name} [--format {{text,json}}] [--json <path>] [--seed <u64>]\n\
          \n\
            --format text   aligned tables on stdout (default)\n\
          --format json   ExperimentResult JSON on stdout\n\
          --json <path>   also write the JSON document to <path>\n\
+         --seed <u64>    override the experiment seed (seeded binaries)\n\
          \n\
          budget knobs (environment): BUCKWILD_SECONDS, BUCKWILD_FULL=1"
     )
@@ -58,6 +62,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Options>,
     let mut options = Options {
         format: Format::Text,
         json_path: None,
+        seed: None,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -73,6 +78,13 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Options>,
             "--json" => match it.next() {
                 Some(path) => options.json_path = Some(path),
                 None => return Err("--json requires a path".into()),
+            },
+            "--seed" => match it.next() {
+                Some(value) => match value.parse() {
+                    Ok(seed) => options.seed = Some(seed),
+                    Err(_) => return Err(format!("invalid seed `{value}` (expected a u64)")),
+                },
+                None => return Err("--seed requires a value".into()),
             },
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unrecognized argument `{other}`")),
@@ -155,6 +167,30 @@ pub fn run_many<F: FnOnce() -> Vec<ExperimentResult>>(name: &str, build: F) -> E
     dispatch(name, build)
 }
 
+/// Entry point for a seeded single-experiment binary: like [`run`], but
+/// `build` receives the `--seed` value (or `default_seed` when the flag is
+/// absent), so the same invocation always reproduces the same document.
+pub fn run_seeded<F: FnOnce(u64) -> ExperimentResult>(
+    name: &str,
+    default_seed: u64,
+    build: F,
+) -> ExitCode {
+    match parse(std::env::args().skip(1)) {
+        Ok(Some(options)) => {
+            let seed = options.seed.unwrap_or(default_seed);
+            emit(name, &[build(seed)], &options)
+        }
+        Ok(None) => {
+            println!("{}", usage(name));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{name}: {e}\n{}", usage(name));
+            ExitCode::from(2)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +227,16 @@ mod tests {
         assert!(parse(args(&["--format", "yaml"])).is_err());
         assert!(parse(args(&["--json"])).is_err());
         assert!(parse(args(&["--frobnicate"])).is_err());
+        assert!(parse(args(&["--seed"])).is_err());
+        assert!(parse(args(&["--seed", "not-a-number"])).is_err());
+        assert!(parse(args(&["--seed", "-1"])).is_err());
+    }
+
+    #[test]
+    fn parses_seed() {
+        let options = parse(args(&["--seed", "42"])).unwrap().unwrap();
+        assert_eq!(options.seed, Some(42));
+        assert_eq!(parse(args(&[])).unwrap().unwrap().seed, None);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use buckwild_telemetry::ExperimentResult;
 
 pub mod ablations;
+pub mod chaos_sweep;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -84,6 +85,7 @@ pub fn all_results() -> Vec<ExperimentResult> {
         fig7f::result(),
         table3::result(),
         ablations::result(),
+        chaos_sweep::result(),
     ]
 }
 
@@ -110,4 +112,5 @@ pub fn run_all() {
     fig7f::run();
     table3::run();
     ablations::run();
+    chaos_sweep::run();
 }

@@ -1,0 +1,247 @@
+//! Engine-facing injection hooks, mirroring the telemetry `Recorder`
+//! pattern: a zero-sized no-op default that monomorphizes away, and a
+//! plan-driven implementation for injected runs.
+
+use std::num::NonZeroU32;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::plan::{FaultPlan, PlanError};
+use crate::schedule::{IterFate, WorkerRun, WriteFate};
+
+/// A source of per-worker fault streams the training engine is generic
+/// over.
+///
+/// The engine asks for one [`WorkerInjector`] per `(worker, epoch)` pair
+/// and consults it on every iteration and every shared-model write. With
+/// the default [`NoopInjector`] every hook is an empty `#[inline(always)]`
+/// body, so fault-free training compiles to the uninjected machine code —
+/// the same zero-cost bargain as `NoopRecorder`.
+pub trait Injector: Sync {
+    /// The per-worker fault stream handed to each training thread.
+    type Worker<'a>: WorkerInjector + Send
+    where
+        Self: 'a;
+
+    /// Whether this injector can ever inject a fault. Engines skip
+    /// chaos-metric registration when `ACTIVE` is `false`, keeping
+    /// fault-free metric snapshots free of zero-valued `chaos.*` entries.
+    const ACTIVE: bool = true;
+
+    /// Returns the fault stream for one `(worker, epoch)` pair.
+    fn worker(&self, worker: usize, epoch: usize) -> Self::Worker<'_>;
+
+    /// How often (in epochs) the engine should checkpoint the model for
+    /// crash recovery. `None` disables checkpointing.
+    fn checkpoint_epochs(&self) -> Option<NonZeroU32> {
+        None
+    }
+}
+
+/// The per-worker half of an [`Injector`]: the fault stream one training
+/// thread consults during one epoch.
+pub trait WorkerInjector {
+    /// The fate of the next iteration; call exactly once per iteration.
+    fn iter_fate(&mut self) -> IterFate;
+
+    /// The fate of the next shared-model write.
+    fn write_fate(&mut self) -> WriteFate;
+
+    /// Convenience: `true` if the next write should reach the shared
+    /// model. Engines without a delay queue treat [`WriteFate::Delay`] as
+    /// an immediate apply.
+    fn keep_write(&mut self) -> bool {
+        !matches!(self.write_fate(), WriteFate::Drop)
+    }
+}
+
+impl<I: Injector> Injector for &I {
+    type Worker<'a>
+        = I::Worker<'a>
+    where
+        Self: 'a;
+
+    const ACTIVE: bool = I::ACTIVE;
+
+    #[inline(always)]
+    fn worker(&self, worker: usize, epoch: usize) -> Self::Worker<'_> {
+        (**self).worker(worker, epoch)
+    }
+
+    #[inline(always)]
+    fn checkpoint_epochs(&self) -> Option<NonZeroU32> {
+        (**self).checkpoint_epochs()
+    }
+}
+
+/// The zero-cost default injector: never injects anything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopInjector;
+
+/// The per-worker stream of [`NoopInjector`]: every iteration proceeds,
+/// every write applies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopWorkerInjector;
+
+impl Injector for NoopInjector {
+    type Worker<'a> = NoopWorkerInjector;
+
+    const ACTIVE: bool = false;
+
+    #[inline(always)]
+    fn worker(&self, _worker: usize, _epoch: usize) -> NoopWorkerInjector {
+        NoopWorkerInjector
+    }
+}
+
+impl WorkerInjector for NoopWorkerInjector {
+    #[inline(always)]
+    fn iter_fate(&mut self) -> IterFate {
+        IterFate::Proceed
+    }
+
+    #[inline(always)]
+    fn write_fate(&mut self) -> WriteFate {
+        WriteFate::Apply
+    }
+
+    #[inline(always)]
+    fn keep_write(&mut self) -> bool {
+        true
+    }
+}
+
+/// An [`Injector`] driven by a validated [`FaultPlan`].
+///
+/// Holds one consumed-flag per scheduled crash so each crash fires at most
+/// once per training run even when an epoch is replayed after recovery.
+#[derive(Debug)]
+pub struct PlanInjector {
+    plan: FaultPlan,
+    fired: Vec<AtomicBool>,
+}
+
+impl PlanInjector {
+    /// Builds an injector from `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the plan's [`PlanError`] if it fails [`FaultPlan::validate`].
+    pub fn new(plan: FaultPlan) -> Result<Self, PlanError> {
+        plan.validate()?;
+        let fired = plan
+            .crashes()
+            .iter()
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        Ok(PlanInjector { plan, fired })
+    }
+
+    /// The plan this injector executes.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl Injector for PlanInjector {
+    type Worker<'a> = PlanWorker<'a>;
+
+    fn worker(&self, worker: usize, epoch: usize) -> PlanWorker<'_> {
+        PlanWorker {
+            run: self.plan.worker_run(worker, epoch),
+            fired: &self.fired,
+        }
+    }
+
+    fn checkpoint_epochs(&self) -> Option<NonZeroU32> {
+        if self.plan.needs_checkpoints() {
+            NonZeroU32::new(1)
+        } else {
+            None
+        }
+    }
+}
+
+/// The per-worker stream of a [`PlanInjector`].
+#[derive(Debug)]
+pub struct PlanWorker<'a> {
+    run: WorkerRun,
+    fired: &'a [AtomicBool],
+}
+
+impl PlanWorker<'_> {
+    /// Draws whether a stale local view of one model cache line refreshes
+    /// this iteration (see [`WorkerRun::refresh_view`]).
+    pub fn refresh_view(&mut self) -> bool {
+        self.run.refresh_view()
+    }
+}
+
+impl WorkerInjector for PlanWorker<'_> {
+    fn iter_fate(&mut self) -> IterFate {
+        match self.run.iter_fate() {
+            IterFate::Crash(idx) => {
+                if self.fired[idx].swap(true, Ordering::Relaxed) {
+                    IterFate::Proceed
+                } else {
+                    IterFate::Crash(idx)
+                }
+            }
+            fate => fate,
+        }
+    }
+
+    fn write_fate(&mut self) -> WriteFate {
+        self.run.write_fate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_injector_is_inert_and_inactive() {
+        let mut w = NoopInjector.worker(0, 0);
+        assert_eq!(w.iter_fate(), IterFate::Proceed);
+        assert_eq!(w.write_fate(), WriteFate::Apply);
+        assert!(w.keep_write());
+        const { assert!(!NoopInjector::ACTIVE) };
+        assert_eq!(NoopInjector.checkpoint_epochs(), None);
+    }
+
+    #[test]
+    fn plan_injector_validates() {
+        assert!(PlanInjector::new(FaultPlan::new(0).drop_writes(2.0)).is_err());
+        assert!(PlanInjector::new(FaultPlan::new(0).drop_writes(0.2)).is_ok());
+    }
+
+    #[test]
+    fn crash_consumed_once_across_replays() {
+        let inj = PlanInjector::new(FaultPlan::new(4).crash(0, 0, 2)).unwrap();
+        let mut first = inj.worker(0, 0);
+        let fates: Vec<_> = (0..4).map(|_| first.iter_fate()).collect();
+        assert_eq!(fates[2], IterFate::Crash(0));
+        // The replayed epoch sees the crash slot already consumed.
+        let mut replay = inj.worker(0, 0);
+        assert!((0..4).all(|_| replay.iter_fate() == IterFate::Proceed));
+    }
+
+    #[test]
+    fn checkpoint_cadence_follows_plan() {
+        let benign = PlanInjector::new(FaultPlan::new(0).drop_writes(0.1)).unwrap();
+        assert_eq!(benign.checkpoint_epochs(), None);
+        let crashy = PlanInjector::new(FaultPlan::new(0).crash(0, 0, 0)).unwrap();
+        assert_eq!(crashy.checkpoint_epochs(), NonZeroU32::new(1));
+    }
+
+    #[test]
+    fn reference_forwarding_preserves_activity() {
+        fn active<I: Injector>(_: &I) -> bool {
+            I::ACTIVE
+        }
+        let inj = PlanInjector::new(FaultPlan::new(0)).unwrap();
+        assert!(active(&&inj));
+        assert!(!active(&&NoopInjector));
+    }
+}

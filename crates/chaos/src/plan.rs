@@ -1,0 +1,349 @@
+//! The seeded fault plan: every knob of the injection engine, one type.
+
+use core::fmt;
+use std::num::NonZeroU64;
+
+use crate::schedule::WorkerRun;
+
+/// A scheduled worker crash: worker `worker` dies immediately before its
+/// `iteration`-th iteration (0-based, counted within the epoch) of epoch
+/// `epoch`. Each crash fires at most once per run — after a checkpoint
+/// rollback the replayed iterations do not re-crash, so recovery always
+/// makes progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrashSpec {
+    /// The worker that dies.
+    pub worker: usize,
+    /// The epoch it dies in (0-based).
+    pub epoch: usize,
+    /// The in-epoch iteration it dies before (0-based).
+    pub iteration: u64,
+}
+
+/// Error from an invalid [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A probability was outside `[0, 1]` or not finite.
+    InvalidRate(&'static str),
+    /// A tick count or period was zero where a positive value is required.
+    InvalidTicks(&'static str),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::InvalidRate(what) => {
+                write!(f, "{what} must be a probability in [0, 1]")
+            }
+            PlanError::InvalidTicks(what) => write!(f, "{what} must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A seeded, deterministic description of the faults to inject into a
+/// training run.
+///
+/// A plan is pure data: expanding it for a given `(worker, epoch)` pair
+/// ([`FaultPlan::worker_run`]) yields a deterministic fault schedule built
+/// on `buckwild-prng` streams split off the plan seed, so the same seed
+/// always produces the same faults at the same points — the property that
+/// turns async failure modes into regression tests.
+///
+/// Knobs and their hardware analogues:
+///
+/// | Knob | Injected fault | Analogue |
+/// |---|---|---|
+/// | [`stalls`](Self::stalls) | worker idles for a tick window | OS preemption, NUMA hiccups |
+/// | [`drop_writes`](Self::drop_writes) | model write never reaches shared storage | obstinate-cache invalidate loss taken to the write side |
+/// | [`delay_writes`](Self::delay_writes) | write lands several ticks late | store-buffer / coherence latency |
+/// | [`obstinacy`](Self::obstinacy) | stale read view, per-line refresh with prob `1 − q` | the paper's §6.2 obstinate cache |
+/// | [`skew`](Self::skew) | worker runs `1/period` as fast as its peers | heterogeneous cores, stragglers |
+/// | [`crash`](Self::crash) | worker dies mid-epoch, run recovers from checkpoint | node failure + restart |
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    stall_rate: f64,
+    stall_ticks: u32,
+    drop_rate: f64,
+    delay_rate: f64,
+    delay_ticks: u32,
+    obstinacy: f64,
+    skew: Vec<(usize, u32)>,
+    crashes: Vec<CrashSpec>,
+    checkpoint_iterations: Option<NonZeroU64>,
+}
+
+impl FaultPlan {
+    /// A benign plan (no faults) with the given schedule seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            stall_rate: 0.0,
+            stall_ticks: 0,
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            delay_ticks: 0,
+            obstinacy: 0.0,
+            skew: Vec::new(),
+            crashes: Vec::new(),
+            checkpoint_iterations: None,
+        }
+    }
+
+    /// Stalls each iteration with probability `rate` for `ticks` scheduler
+    /// ticks before the iteration executes.
+    #[must_use]
+    pub fn stalls(mut self, rate: f64, ticks: u32) -> Self {
+        self.stall_rate = rate;
+        self.stall_ticks = ticks;
+        self
+    }
+
+    /// Drops each shared-model write with probability `rate` — the
+    /// software analogue of the obstinate cache's ignored invalidates,
+    /// applied to the write side.
+    #[must_use]
+    pub fn drop_writes(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Delays each shared-model write with probability `rate` by up to
+    /// `max_ticks` scheduler ticks (the exact delay is drawn uniformly
+    /// from `1..=max_ticks`).
+    #[must_use]
+    pub fn delay_writes(mut self, rate: f64, max_ticks: u32) -> Self {
+        self.delay_rate = rate;
+        self.delay_ticks = max_ticks;
+        self
+    }
+
+    /// Gives workers stale read views: each model cache line refreshes
+    /// from shared storage with probability `1 − q` per iteration — the
+    /// paper's obstinate-cache staleness process (§6.2, Figure 6f).
+    #[must_use]
+    pub fn obstinacy(mut self, q: f64) -> Self {
+        self.obstinacy = q;
+        self
+    }
+
+    /// Skews worker `worker` to run one iteration every `period` scheduler
+    /// ticks (its peers run one per tick), creating a bounded-staleness
+    /// regime. `period = 1` is no skew.
+    #[must_use]
+    pub fn skew(mut self, worker: usize, period: u32) -> Self {
+        self.skew.retain(|(w, _)| *w != worker);
+        self.skew.push((worker, period));
+        self
+    }
+
+    /// Crashes `worker` immediately before its `iteration`-th iteration of
+    /// `epoch`; the run recovers from the last model checkpoint.
+    #[must_use]
+    pub fn crash(mut self, worker: usize, epoch: usize, iteration: u64) -> Self {
+        self.crashes.push(CrashSpec {
+            worker,
+            epoch,
+            iteration,
+        });
+        self
+    }
+
+    /// Takes a periodic model checkpoint every `iterations` total
+    /// iterations (the deterministic engine; the threaded engine
+    /// checkpoints at epoch boundaries). An implicit checkpoint is always
+    /// taken at each epoch start, so recovery never replays more than one
+    /// epoch.
+    #[must_use]
+    pub fn checkpoint_every(mut self, iterations: NonZeroU64) -> Self {
+        self.checkpoint_iterations = Some(iterations);
+        self
+    }
+
+    /// The schedule seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The stale-read obstinacy parameter `q` (0 = always-fresh views).
+    #[must_use]
+    pub fn obstinacy_q(&self) -> f64 {
+        self.obstinacy
+    }
+
+    /// The scheduled crashes.
+    #[must_use]
+    pub fn crashes(&self) -> &[CrashSpec] {
+        &self.crashes
+    }
+
+    /// The configured periodic checkpoint cadence in iterations, if any.
+    #[must_use]
+    pub fn checkpoint_iterations(&self) -> Option<NonZeroU64> {
+        self.checkpoint_iterations
+    }
+
+    /// The skew period for `worker` (1 = unskewed).
+    #[must_use]
+    pub fn skew_period(&self, worker: usize) -> u32 {
+        self.skew
+            .iter()
+            .find(|(w, _)| *w == worker)
+            .map_or(1, |(_, p)| (*p).max(1))
+    }
+
+    /// True if the plan injects no faults at all.
+    #[must_use]
+    pub fn is_benign(&self) -> bool {
+        self.stall_rate == 0.0
+            && self.drop_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.obstinacy == 0.0
+            && self.crashes.is_empty()
+            && self.skew.iter().all(|(_, p)| *p <= 1)
+    }
+
+    /// True if executing the plan requires model checkpoints (crashes are
+    /// scheduled or a periodic cadence is configured).
+    #[must_use]
+    pub fn needs_checkpoints(&self) -> bool {
+        !self.crashes.is_empty() || self.checkpoint_iterations.is_some()
+    }
+
+    /// Checks the plan without running it.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanError`].
+    pub fn validate(&self) -> Result<(), PlanError> {
+        for (rate, what) in [
+            (self.stall_rate, "stall rate"),
+            (self.drop_rate, "write-drop rate"),
+            (self.delay_rate, "write-delay rate"),
+            (self.obstinacy, "obstinacy q"),
+        ] {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(PlanError::InvalidRate(what));
+            }
+        }
+        if self.stall_rate > 0.0 && self.stall_ticks == 0 {
+            return Err(PlanError::InvalidTicks("stall tick count"));
+        }
+        if self.delay_rate > 0.0 && self.delay_ticks == 0 {
+            return Err(PlanError::InvalidTicks("write-delay tick bound"));
+        }
+        if self.skew.iter().any(|(_, p)| *p == 0) {
+            return Err(PlanError::InvalidTicks("skew period"));
+        }
+        Ok(())
+    }
+
+    /// Expands the plan into the deterministic fault stream for one
+    /// `(worker, epoch)` pair.
+    #[must_use]
+    pub fn worker_run(&self, worker: usize, epoch: usize) -> WorkerRun {
+        WorkerRun::new(self, worker, epoch)
+    }
+
+    /// Materializes the full fault schedule as bytes: for every worker,
+    /// epoch, and iteration, the iteration fate followed by the write
+    /// fate. Two plans with equal knobs and seeds produce byte-identical
+    /// schedules; this is the regression-fixture contract.
+    #[must_use]
+    pub fn schedule_bytes(&self, threads: usize, epochs: usize, iters_per_worker: u64) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for epoch in 0..epochs {
+            for worker in 0..threads {
+                let mut run = self.worker_run(worker, epoch);
+                for _ in 0..iters_per_worker {
+                    run.iter_fate().encode(&mut bytes);
+                    run.write_fate().encode(&mut bytes);
+                }
+            }
+        }
+        bytes
+    }
+
+    pub(crate) fn stall_params(&self) -> (f64, u32) {
+        (self.stall_rate, self.stall_ticks)
+    }
+
+    pub(crate) fn drop_rate(&self) -> f64 {
+        self.drop_rate
+    }
+
+    pub(crate) fn delay_params(&self) -> (f64, u32) {
+        (self.delay_rate, self.delay_ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_by_default() {
+        let plan = FaultPlan::new(1);
+        assert!(plan.is_benign());
+        assert!(!plan.needs_checkpoints());
+        assert_eq!(plan.validate(), Ok(()));
+    }
+
+    #[test]
+    fn builders_set_knobs() {
+        let plan = FaultPlan::new(9)
+            .stalls(0.1, 4)
+            .drop_writes(0.5)
+            .delay_writes(0.2, 8)
+            .obstinacy(0.95)
+            .skew(1, 3)
+            .crash(0, 2, 17)
+            .checkpoint_every(NonZeroU64::new(100).unwrap());
+        assert!(!plan.is_benign());
+        assert!(plan.needs_checkpoints());
+        assert_eq!(plan.skew_period(1), 3);
+        assert_eq!(plan.skew_period(0), 1);
+        assert_eq!(plan.crashes().len(), 1);
+        assert_eq!(plan.validate(), Ok(()));
+    }
+
+    #[test]
+    fn skew_is_per_worker_last_write_wins() {
+        let plan = FaultPlan::new(0).skew(2, 4).skew(2, 6);
+        assert_eq!(plan.skew_period(2), 6);
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        assert!(FaultPlan::new(0).drop_writes(1.5).validate().is_err());
+        assert!(FaultPlan::new(0).drop_writes(-0.1).validate().is_err());
+        assert!(FaultPlan::new(0).obstinacy(f64::NAN).validate().is_err());
+        assert!(FaultPlan::new(0).stalls(0.5, 0).validate().is_err());
+        assert!(FaultPlan::new(0).delay_writes(0.5, 0).validate().is_err());
+        assert!(FaultPlan::new(0).skew(0, 0).validate().is_err());
+    }
+
+    #[test]
+    fn schedule_bytes_deterministic_and_seed_sensitive() {
+        let plan = FaultPlan::new(7).stalls(0.2, 3).drop_writes(0.3);
+        let a = plan.schedule_bytes(4, 2, 64);
+        let b = plan.schedule_bytes(4, 2, 64);
+        assert_eq!(a, b);
+        let other = FaultPlan::new(8).stalls(0.2, 3).drop_writes(0.3);
+        assert_ne!(a, other.schedule_bytes(4, 2, 64));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(PlanError::InvalidRate("stall rate")
+            .to_string()
+            .contains("stall rate"));
+        assert!(PlanError::InvalidTicks("skew period")
+            .to_string()
+            .contains("positive"));
+    }
+}

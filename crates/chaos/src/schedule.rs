@@ -1,0 +1,251 @@
+//! Deterministic expansion of a [`FaultPlan`] into per-iteration fates.
+
+use buckwild_prng::{split_seed, Prng, Xorshift128};
+
+use crate::plan::FaultPlan;
+
+/// What the fault plan decrees for one worker iteration.
+///
+/// [`WorkerRun::iter_fate`] must be called exactly once per iteration, in
+/// order; the fate stream is part of the deterministic schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterFate {
+    /// Run the iteration normally.
+    Proceed,
+    /// Idle for this many scheduler ticks, then run the iteration.
+    Stall(u32),
+    /// Die before the iteration; the payload indexes the plan's
+    /// [`crashes`](FaultPlan::crashes) list. A crash fires at most once
+    /// per [`WorkerRun`]; replayed iterations after a rollback proceed.
+    Crash(usize),
+}
+
+impl IterFate {
+    pub(crate) fn encode(self, out: &mut Vec<u8>) {
+        match self {
+            IterFate::Proceed => out.push(0x00),
+            IterFate::Stall(ticks) => {
+                out.push(0x01);
+                out.extend_from_slice(&ticks.to_le_bytes());
+            }
+            IterFate::Crash(idx) => {
+                out.push(0x02);
+                out.extend_from_slice(&(idx as u32).to_le_bytes());
+            }
+        }
+    }
+}
+
+/// What the fault plan decrees for one shared-model write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFate {
+    /// Apply the write to the shared model immediately.
+    Apply,
+    /// Silently discard the write — the obstinate-cache analogue.
+    Drop,
+    /// Apply the write after this many scheduler ticks (always >= 1).
+    Delay(u32),
+}
+
+impl WriteFate {
+    pub(crate) fn encode(self, out: &mut Vec<u8>) {
+        match self {
+            WriteFate::Apply => out.push(0x10),
+            WriteFate::Drop => out.push(0x11),
+            WriteFate::Delay(ticks) => {
+                out.push(0x12);
+                out.extend_from_slice(&ticks.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// The deterministic fault stream for one `(worker, epoch)` pair.
+///
+/// Created by [`FaultPlan::worker_run`]; owns a `buckwild-prng` stream split
+/// off the plan seed, so the sequence of fates is a pure function of
+/// `(seed, worker, epoch)` and the order of hook calls.
+#[derive(Debug, Clone)]
+pub struct WorkerRun {
+    rng: Xorshift128,
+    stall_rate: f64,
+    stall_ticks: u32,
+    drop_rate: f64,
+    delay_rate: f64,
+    delay_ticks: u32,
+    obstinacy: f64,
+    skew_extra: u32,
+    /// Remaining `(iteration, plan crash index)` pairs for this pair.
+    crashes: Vec<(u64, usize)>,
+    iteration: u64,
+}
+
+impl WorkerRun {
+    pub(crate) fn new(plan: &FaultPlan, worker: usize, epoch: usize) -> Self {
+        let (stall_rate, stall_ticks) = plan.stall_params();
+        let (delay_rate, delay_ticks) = plan.delay_params();
+        let stream = (epoch as u64) << 32 | worker as u64 & 0xffff_ffff;
+        let crashes = plan
+            .crashes()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.worker == worker && c.epoch == epoch)
+            .map(|(idx, c)| (c.iteration, idx))
+            .collect();
+        WorkerRun {
+            rng: Xorshift128::seed_from(split_seed(plan.seed(), stream)),
+            stall_rate,
+            stall_ticks,
+            drop_rate: plan.drop_rate(),
+            delay_rate,
+            delay_ticks,
+            obstinacy: plan.obstinacy_q(),
+            skew_extra: plan.skew_period(worker).saturating_sub(1),
+            crashes,
+            iteration: 0,
+        }
+    }
+
+    /// The number of iterations whose fate has been drawn so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Draws the fate of the next iteration. Call exactly once per
+    /// iteration, before executing it.
+    pub fn iter_fate(&mut self) -> IterFate {
+        let it = self.iteration;
+        self.iteration += 1;
+        if let Some(pos) = self.crashes.iter().position(|&(i, _)| i == it) {
+            let (_, idx) = self.crashes.remove(pos);
+            return IterFate::Crash(idx);
+        }
+        let mut ticks = self.skew_extra;
+        if self.stall_rate > 0.0 && self.rng.chance(self.stall_rate) {
+            ticks = ticks.saturating_add(self.stall_ticks);
+        }
+        if ticks > 0 {
+            IterFate::Stall(ticks)
+        } else {
+            IterFate::Proceed
+        }
+    }
+
+    /// Draws the fate of the next shared-model write.
+    pub fn write_fate(&mut self) -> WriteFate {
+        if self.drop_rate > 0.0 && self.rng.chance(self.drop_rate) {
+            return WriteFate::Drop;
+        }
+        if self.delay_rate > 0.0 && self.rng.chance(self.delay_rate) {
+            return WriteFate::Delay(1 + self.rng.next_below(self.delay_ticks));
+        }
+        WriteFate::Apply
+    }
+
+    /// Draws whether a stale local view of one model cache line refreshes
+    /// from shared storage this iteration (probability `1 − q`, the
+    /// paper's obstinate-cache process). Always `true` when `q = 0`.
+    pub fn refresh_view(&mut self) -> bool {
+        self.obstinacy <= 0.0 || self.rng.chance(1.0 - self.obstinacy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fate_stream_is_deterministic() {
+        let plan = FaultPlan::new(11)
+            .stalls(0.3, 2)
+            .drop_writes(0.4)
+            .delay_writes(0.2, 5);
+        let mut a = plan.worker_run(1, 0);
+        let mut b = plan.worker_run(1, 0);
+        for _ in 0..256 {
+            assert_eq!(a.iter_fate(), b.iter_fate());
+            assert_eq!(a.write_fate(), b.write_fate());
+        }
+    }
+
+    #[test]
+    fn workers_and_epochs_get_distinct_streams() {
+        let plan = FaultPlan::new(11).drop_writes(0.5);
+        let sample = |worker, epoch| {
+            let mut run = plan.worker_run(worker, epoch);
+            (0..64).map(|_| run.write_fate()).collect::<Vec<_>>()
+        };
+        assert_ne!(sample(0, 0), sample(1, 0));
+        assert_ne!(sample(0, 0), sample(0, 1));
+    }
+
+    #[test]
+    fn certain_stall_always_stalls() {
+        let mut run = FaultPlan::new(3).stalls(1.0, 7).worker_run(0, 0);
+        for _ in 0..32 {
+            assert_eq!(run.iter_fate(), IterFate::Stall(7));
+        }
+    }
+
+    #[test]
+    fn certain_drop_always_drops() {
+        let mut run = FaultPlan::new(3).drop_writes(1.0).worker_run(0, 0);
+        for _ in 0..32 {
+            assert_eq!(run.write_fate(), WriteFate::Drop);
+        }
+    }
+
+    #[test]
+    fn certain_delay_is_bounded_and_positive() {
+        let mut run = FaultPlan::new(3).delay_writes(1.0, 4).worker_run(0, 0);
+        for _ in 0..256 {
+            match run.write_fate() {
+                WriteFate::Delay(t) => assert!((1..=4).contains(&t)),
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn skew_adds_ticks_to_every_iteration() {
+        let mut run = FaultPlan::new(3).skew(2, 4).worker_run(2, 0);
+        assert_eq!(run.iter_fate(), IterFate::Stall(3));
+        let mut peer = FaultPlan::new(3).skew(2, 4).worker_run(0, 0);
+        assert_eq!(peer.iter_fate(), IterFate::Proceed);
+    }
+
+    #[test]
+    fn crash_fires_once_at_the_scheduled_iteration() {
+        let plan = FaultPlan::new(5).crash(1, 0, 3);
+        let mut run = plan.worker_run(1, 0);
+        for _ in 0..3 {
+            assert_eq!(run.iter_fate(), IterFate::Proceed);
+        }
+        assert_eq!(run.iter_fate(), IterFate::Crash(0));
+        for _ in 0..8 {
+            assert_eq!(run.iter_fate(), IterFate::Proceed);
+        }
+        let mut other_epoch = plan.worker_run(1, 1);
+        for _ in 0..8 {
+            assert_eq!(other_epoch.iter_fate(), IterFate::Proceed);
+        }
+    }
+
+    #[test]
+    fn refresh_view_tracks_obstinacy() {
+        let mut fresh = FaultPlan::new(2).worker_run(0, 0);
+        assert!((0..64).all(|_| fresh.refresh_view()));
+        let mut obstinate = FaultPlan::new(2).obstinacy(1.0).worker_run(0, 0);
+        assert!((0..64).all(|_| !obstinate.refresh_view()));
+    }
+
+    #[test]
+    fn issued_counts_iterations() {
+        let mut run = FaultPlan::new(1).worker_run(0, 0);
+        assert_eq!(run.issued(), 0);
+        let _ = run.iter_fate();
+        let _ = run.iter_fate();
+        assert_eq!(run.issued(), 2);
+    }
+}

@@ -1,0 +1,734 @@
+//! The deterministic chaos engine: virtual-time SGD under a fault plan.
+//!
+//! The threaded engine ([`SgdConfig::train_with_faults`]) injects faults
+//! into real Hogwild! threads, where the fault *schedule* is reproducible
+//! but the instruction interleaving is not. This module trades real
+//! parallelism for a single-OS-thread simulator with round-robin virtual
+//! workers and a global scheduler clock, making the *entire* training
+//! trajectory — every interleaving, every delayed write, every recovery —
+//! a pure function of the seeds. Same seed ⇒ identical [`ChaosReport`],
+//! including the telemetry snapshot.
+//!
+//! Virtual time also unlocks the plan knobs real threads cannot express:
+//! write *delays* measured in scheduler ticks (a store-buffer analogue)
+//! and per-line stale read views (the paper's §6.2 obstinate cache, which
+//! [`crate::obstinate`] builds on).
+//!
+//! [`SgdConfig::train_with_faults`]: crate::SgdConfig::train_with_faults
+
+use buckwild_chaos::metric as chaos_metric;
+use buckwild_chaos::{FaultPlan, IterFate, WorkerRun, WriteFate};
+use buckwild_dataset::DenseDataset;
+use buckwild_telemetry::{
+    Counter, Histogram, MetricsSnapshot, NoopRecorder, Recorder, ShardedRecorder,
+};
+
+use crate::train::metric;
+use crate::{metrics, ConfigError, Loss, TrainError};
+
+/// Model elements per emulated 64-byte cache line of `f32` values (the
+/// granularity of obstinate-cache view refreshes).
+pub const LINE_ELEMS: usize = 16;
+
+/// Configuration for a deterministic fault-injected training run.
+///
+/// Trains at full precision (`D32fM32f`) on a dense dataset, with
+/// `threads` *virtual* workers advanced round-robin by a scheduler clock.
+///
+/// # Example
+///
+/// ```
+/// use buckwild::{ChaosSgdConfig, FaultPlan, Loss};
+/// use buckwild_dataset::generate;
+///
+/// let p = generate::logistic_dense(32, 200, 7);
+/// let config = ChaosSgdConfig::new(Loss::Logistic, FaultPlan::new(1).drop_writes(0.2))
+///     .threads(4)
+///     .epochs(4);
+/// let a = config.train(&p.data)?;
+/// let b = config.train(&p.data)?;
+/// assert_eq!(a, b); // bit-identical, telemetry included
+/// # Ok::<(), buckwild::TrainError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSgdConfig {
+    loss: Loss,
+    plan: FaultPlan,
+    threads: usize,
+    step_size: f32,
+    step_decay: f32,
+    epochs: usize,
+}
+
+impl ChaosSgdConfig {
+    /// A default configuration: 2 virtual workers, step 0.3 decaying by
+    /// 0.9 over 8 epochs.
+    #[must_use]
+    pub fn new(loss: Loss, plan: FaultPlan) -> Self {
+        ChaosSgdConfig {
+            loss,
+            plan,
+            threads: 2,
+            step_size: 0.3,
+            step_decay: 0.9,
+            epochs: 8,
+        }
+    }
+
+    /// Sets the virtual worker count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the initial step size.
+    #[must_use]
+    pub fn step_size(mut self, step_size: f32) -> Self {
+        self.step_size = step_size;
+        self
+    }
+
+    /// Sets the per-epoch step decay factor.
+    #[must_use]
+    pub fn step_decay(mut self, step_decay: f32) -> Self {
+        self.step_decay = step_decay;
+        self
+    }
+
+    /// Sets the number of passes over the data.
+    #[must_use]
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// The fault plan this engine executes.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn validate(&self) -> Result<(), TrainError> {
+        self.plan.validate()?;
+        if self.threads == 0 {
+            return Err(ConfigError::InvalidParameter("threads (must be >= 1)").into());
+        }
+        if self.epochs == 0 {
+            return Err(ConfigError::InvalidParameter("epochs (must be >= 1)").into());
+        }
+        if !(self.step_size.is_finite() && self.step_size > 0.0) {
+            return Err(ConfigError::InvalidParameter("step_size (must be positive)").into());
+        }
+        if !(self.step_decay.is_finite() && self.step_decay > 0.0) {
+            return Err(ConfigError::InvalidParameter("step_decay (must be positive)").into());
+        }
+        Ok(())
+    }
+
+    /// Runs the deterministic engine, collecting telemetry with a sharded
+    /// recorder.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Plan`] for invalid plans, [`TrainError::Config`] for
+    /// invalid hyperparameters, [`TrainError::EmptyDataset`] for empty
+    /// input.
+    pub fn train(&self, data: &DenseDataset<f32>) -> Result<ChaosReport, TrainError> {
+        let recorder = ShardedRecorder::new(self.threads.max(1));
+        self.train_with(data, &recorder)
+    }
+
+    /// Runs the deterministic engine and returns only the per-epoch
+    /// losses — the [`crate::obstinate`] calling convention.
+    ///
+    /// # Errors
+    ///
+    /// See [`ChaosSgdConfig::train`].
+    pub fn train_losses(&self, data: &DenseDataset<f32>) -> Result<Vec<f64>, TrainError> {
+        Ok(self.train_with(data, &NoopRecorder)?.epoch_losses)
+    }
+
+    /// Runs the deterministic engine, recording telemetry through the
+    /// given [`Recorder`]. The simulator records no wall-clock metrics, so
+    /// the full snapshot — and therefore the whole [`ChaosReport`] — is a
+    /// pure function of the configuration and seeds.
+    ///
+    /// # Errors
+    ///
+    /// See [`ChaosSgdConfig::train`].
+    pub fn train_with<R: Recorder>(
+        &self,
+        data: &DenseDataset<f32>,
+        recorder: &R,
+    ) -> Result<ChaosReport, TrainError> {
+        self.validate()?;
+        if data.examples() == 0 {
+            return Err(TrainError::EmptyDataset);
+        }
+        let mut sim = Simulator::new(self, data, recorder);
+        for epoch in 0..self.epochs {
+            sim.run_epoch(epoch);
+        }
+        Ok(ChaosReport {
+            model: sim.shared,
+            epoch_losses: sim.epoch_losses,
+            metrics: recorder.snapshot(),
+        })
+    }
+}
+
+/// One virtual worker's in-epoch state.
+struct VWorker {
+    run: WorkerRun,
+    /// Next position in this worker's shard (`worker + cursor * threads`).
+    cursor: usize,
+    /// Examples in this worker's shard this epoch.
+    shard_len: usize,
+    /// Total iterations completed across the whole run.
+    iters: u64,
+    /// Remaining stall ticks before the armed iteration executes.
+    stall_left: u32,
+    /// An iteration fate has been drawn and is waiting to execute.
+    armed: bool,
+    /// Private stale view of the model (obstinacy > 0 only).
+    view: Option<Vec<f32>>,
+}
+
+/// A shared-model write sitting in the virtual store buffer.
+struct PendingWrite {
+    due_tick: u64,
+    born_tick: u64,
+    example: usize,
+    coeff: f32,
+}
+
+/// Rollback state for crash recovery.
+struct Checkpoint {
+    model: Vec<f32>,
+    cursors: Vec<usize>,
+    iters: Vec<u64>,
+}
+
+struct Telemetry<C, H> {
+    iterations: C,
+    numbers: C,
+    stalls: C,
+    dropped: C,
+    delayed: C,
+    recoveries: C,
+    replayed: C,
+    stall_ticks: H,
+    write_staleness: H,
+    progress_lag: H,
+}
+
+struct Simulator<'d, C, H> {
+    loss: Loss,
+    plan: FaultPlan,
+    threads: usize,
+    step_size: f32,
+    step_decay: f32,
+    data: &'d DenseDataset<f32>,
+    shared: Vec<f32>,
+    workers: Vec<VWorker>,
+    pending: Vec<PendingWrite>,
+    tick: u64,
+    epoch_losses: Vec<f64>,
+    tel: Telemetry<C, H>,
+}
+
+impl<'d, C: Counter, H: Histogram> Simulator<'d, C, H> {
+    fn new<R: Recorder<Counter = C, Histogram = H>>(
+        config: &ChaosSgdConfig,
+        data: &'d DenseDataset<f32>,
+        recorder: &R,
+    ) -> Self {
+        let tel = Telemetry {
+            iterations: recorder.counter(metric::ITERATIONS),
+            numbers: recorder.counter(metric::NUMBERS_PROCESSED),
+            stalls: recorder.counter(chaos_metric::STALLS),
+            dropped: recorder.counter(chaos_metric::DROPPED_WRITES),
+            delayed: recorder.counter(chaos_metric::DELAYED_WRITES),
+            recoveries: recorder.counter(chaos_metric::RECOVERIES),
+            replayed: recorder.counter(chaos_metric::REPLAYED_ITERATIONS),
+            stall_ticks: recorder.histogram(chaos_metric::STALL_TICKS),
+            write_staleness: recorder.histogram(chaos_metric::WRITE_STALENESS),
+            progress_lag: recorder.histogram(chaos_metric::PROGRESS_LAG),
+        };
+        Simulator {
+            loss: config.loss,
+            plan: config.plan.clone(),
+            threads: config.threads,
+            step_size: config.step_size,
+            step_decay: config.step_decay,
+            data,
+            shared: vec![0f32; data.features()],
+            workers: Vec::new(),
+            pending: Vec::new(),
+            tick: 0,
+            epoch_losses: Vec::with_capacity(config.epochs),
+            tel,
+        }
+    }
+
+    fn run_epoch(&mut self, epoch: usize) {
+        let m = self.data.examples();
+        let stale_views = self.plan.obstinacy_q() > 0.0;
+        let prev_iters: Vec<u64> = if self.workers.is_empty() {
+            vec![0; self.threads]
+        } else {
+            self.workers.iter().map(|w| w.iters).collect()
+        };
+        self.workers = (0..self.threads)
+            .map(|w| VWorker {
+                run: self.plan.worker_run(w, epoch),
+                cursor: 0,
+                shard_len: if w < m {
+                    (m - w).div_ceil(self.threads)
+                } else {
+                    0
+                },
+                iters: prev_iters[w],
+                stall_left: 0,
+                armed: false,
+                view: stale_views.then(|| self.shared.clone()),
+            })
+            .collect();
+        // Implicit epoch-start checkpoint: recovery never replays more
+        // than one epoch. A periodic cadence refreshes it mid-epoch.
+        let mut checkpoint = self.take_checkpoint();
+        let mut next_periodic = self
+            .plan
+            .checkpoint_iterations()
+            .map(|k| self.total_iters() + k.get());
+        let step = self.step_size * self.step_decay.powi(epoch as i32);
+        while self.workers.iter().any(|w| w.cursor < w.shard_len) {
+            self.tick += 1;
+            self.apply_due_writes();
+            let mut crashed = false;
+            for w in 0..self.threads {
+                if self.tick_worker(w, step) {
+                    crashed = true;
+                    break;
+                }
+            }
+            if crashed {
+                self.recover(&checkpoint, stale_views);
+                continue;
+            }
+            if let Some(at) = next_periodic {
+                if self.total_iters() >= at {
+                    checkpoint = self.take_checkpoint();
+                    next_periodic = Some(
+                        at + self
+                            .plan
+                            .checkpoint_iterations()
+                            .expect("cadence set")
+                            .get(),
+                    );
+                }
+            }
+        }
+        self.flush_pending();
+        self.epoch_losses
+            .push(metrics::mean_loss(self.loss, &self.shared, self.data));
+    }
+
+    /// Advances worker `w` by one scheduler tick. Returns `true` if the
+    /// worker crashed (the caller rolls back).
+    fn tick_worker(&mut self, w: usize, step: f32) -> bool {
+        if self.workers[w].cursor >= self.workers[w].shard_len {
+            return false;
+        }
+        if !self.workers[w].armed {
+            match self.workers[w].run.iter_fate() {
+                IterFate::Proceed => {
+                    self.workers[w].armed = true;
+                    self.workers[w].stall_left = 0;
+                }
+                IterFate::Stall(ticks) => {
+                    self.workers[w].armed = true;
+                    self.workers[w].stall_left = ticks;
+                    self.tel.stalls.incr();
+                    self.tel.stall_ticks.record(f64::from(ticks));
+                }
+                IterFate::Crash(_) => return true,
+            }
+        }
+        if self.workers[w].stall_left > 0 {
+            self.workers[w].stall_left -= 1;
+            return false;
+        }
+        self.execute_iteration(w, step);
+        false
+    }
+
+    fn execute_iteration(&mut self, w: usize, step: f32) {
+        let max_iters = self.workers.iter().map(|vw| vw.iters).max().unwrap_or(0);
+        let worker = &mut self.workers[w];
+        let lag = max_iters.saturating_sub(worker.iters);
+        self.tel.progress_lag.record(lag as f64);
+        let i = w + worker.cursor * self.threads;
+        let n = self.data.features();
+        // Obstinate-cache staleness: each line of the private view honors
+        // the accumulated invalidates with probability 1 − q.
+        if let Some(view) = &mut worker.view {
+            for line in 0..n.div_ceil(LINE_ELEMS) {
+                if worker.run.refresh_view() {
+                    let start = line * LINE_ELEMS;
+                    let end = (start + LINE_ELEMS).min(n);
+                    view[start..end].copy_from_slice(&self.shared[start..end]);
+                }
+            }
+        }
+        let x = self.data.example(i);
+        let y = self.data.label(i);
+        let read_from = worker.view.as_deref().unwrap_or(&self.shared);
+        let dot: f32 = x.iter().zip(read_from).map(|(&a, &b)| a * b).sum();
+        let a = self.loss.axpy_scale(dot, y, step);
+        worker.cursor += 1;
+        worker.iters += 1;
+        worker.armed = false;
+        self.tel.iterations.incr();
+        self.tel.numbers.add(n as u64);
+        if a == 0.0 {
+            return;
+        }
+        // The worker always believes its own update: the private view is
+        // written through unconditionally (stores are never dropped by the
+        // obstinate cache; drop/delay model the *shared* side).
+        if let Some(view) = &mut worker.view {
+            for (vj, &xj) in view.iter_mut().zip(x) {
+                *vj += a * xj;
+            }
+        }
+        match worker.run.write_fate() {
+            WriteFate::Apply => {
+                self.tel.write_staleness.record(0.0);
+                for (sj, &xj) in self.shared.iter_mut().zip(x) {
+                    *sj += a * xj;
+                }
+            }
+            WriteFate::Drop => {
+                self.tel.dropped.incr();
+            }
+            WriteFate::Delay(ticks) => {
+                self.tel.delayed.incr();
+                self.pending.push(PendingWrite {
+                    due_tick: self.tick + u64::from(ticks),
+                    born_tick: self.tick,
+                    example: i,
+                    coeff: a,
+                });
+            }
+        }
+    }
+
+    fn apply_due_writes(&mut self) {
+        let tick = self.tick;
+        let mut due = Vec::new();
+        self.pending.retain_mut(|p| {
+            if p.due_tick <= tick {
+                due.push((p.born_tick, p.example, p.coeff));
+                false
+            } else {
+                true
+            }
+        });
+        for (born, example, coeff) in due {
+            self.tel.write_staleness.record((tick - born) as f64);
+            let x = self.data.example(example);
+            for (sj, &xj) in self.shared.iter_mut().zip(x) {
+                *sj += coeff * xj;
+            }
+        }
+    }
+
+    /// Applies everything still in the store buffer (epoch barrier).
+    fn flush_pending(&mut self) {
+        let tick = self.tick;
+        for p in std::mem::take(&mut self.pending) {
+            self.tel.write_staleness.record((tick - p.born_tick) as f64);
+            let x = self.data.example(p.example);
+            for (sj, &xj) in self.shared.iter_mut().zip(x) {
+                *sj += p.coeff * xj;
+            }
+        }
+    }
+
+    fn total_iters(&self) -> u64 {
+        self.workers.iter().map(|w| w.iters).sum()
+    }
+
+    fn take_checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            model: self.shared.clone(),
+            cursors: self.workers.iter().map(|w| w.cursor).collect(),
+            iters: self.workers.iter().map(|w| w.iters).collect(),
+        }
+    }
+
+    fn recover(&mut self, checkpoint: &Checkpoint, stale_views: bool) {
+        self.tel.recoveries.incr();
+        let replayed = self.total_iters() - checkpoint.iters.iter().sum::<u64>();
+        self.tel.replayed.add(replayed);
+        self.shared.copy_from_slice(&checkpoint.model);
+        self.pending.clear();
+        for (w, worker) in self.workers.iter_mut().enumerate() {
+            worker.cursor = checkpoint.cursors[w];
+            worker.iters = checkpoint.iters[w];
+            worker.stall_left = 0;
+            worker.armed = false;
+            // Restarted processes come up with a cold, coherent cache.
+            worker.view = stale_views.then(|| self.shared.clone());
+        }
+    }
+}
+
+/// The result of a deterministic chaos run: model, losses, and the full
+/// (wall-clock-free, bit-reproducible) telemetry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    model: Vec<f32>,
+    epoch_losses: Vec<f64>,
+    metrics: MetricsSnapshot,
+}
+
+impl ChaosReport {
+    /// The trained model.
+    #[must_use]
+    pub fn model(&self) -> &[f32] {
+        &self.model
+    }
+
+    /// Mean training loss after each epoch.
+    #[must_use]
+    pub fn epoch_losses(&self) -> &[f64] {
+        &self.epoch_losses
+    }
+
+    /// The last epoch's training loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no epochs ran.
+    #[must_use]
+    pub fn final_loss(&self) -> f64 {
+        *self.epoch_losses.last().expect("no epochs ran")
+    }
+
+    /// Iterations executed (including replayed ones), from telemetry.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.metrics.counter(metric::ITERATIONS).unwrap_or(0)
+    }
+
+    /// Injected stalls served.
+    #[must_use]
+    pub fn stalls(&self) -> u64 {
+        self.metrics.counter(chaos_metric::STALLS).unwrap_or(0)
+    }
+
+    /// Shared-model writes the plan discarded.
+    #[must_use]
+    pub fn dropped_writes(&self) -> u64 {
+        self.metrics
+            .counter(chaos_metric::DROPPED_WRITES)
+            .unwrap_or(0)
+    }
+
+    /// Shared-model writes the plan delayed.
+    #[must_use]
+    pub fn delayed_writes(&self) -> u64 {
+        self.metrics
+            .counter(chaos_metric::DELAYED_WRITES)
+            .unwrap_or(0)
+    }
+
+    /// Crash recoveries performed.
+    #[must_use]
+    pub fn recoveries(&self) -> u64 {
+        self.metrics.counter(chaos_metric::RECOVERIES).unwrap_or(0)
+    }
+
+    /// Iterations rolled back and re-run after crashes.
+    #[must_use]
+    pub fn replayed_iterations(&self) -> u64 {
+        self.metrics
+            .counter(chaos_metric::REPLAYED_ITERATIONS)
+            .unwrap_or(0)
+    }
+
+    /// Mean scheduler-tick staleness of applied shared-model writes.
+    #[must_use]
+    pub fn mean_write_staleness(&self) -> f64 {
+        self.metrics
+            .histogram(chaos_metric::WRITE_STALENESS)
+            .map_or(0.0, |h| h.mean())
+    }
+
+    /// Mean iteration lag behind the most advanced worker — the realized
+    /// staleness bound of the run.
+    #[must_use]
+    pub fn mean_progress_lag(&self) -> f64 {
+        self.metrics
+            .histogram(chaos_metric::PROGRESS_LAG)
+            .map_or(0.0, |h| h.mean())
+    }
+
+    /// The full telemetry snapshot.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buckwild_dataset::generate;
+
+    fn quick(plan: FaultPlan) -> ChaosSgdConfig {
+        ChaosSgdConfig::new(Loss::Logistic, plan)
+            .threads(4)
+            .step_size(0.5)
+            .step_decay(0.8)
+            .epochs(6)
+    }
+
+    #[test]
+    fn benign_run_converges_and_reproduces() {
+        let p = generate::logistic_dense(32, 400, 5);
+        let a = quick(FaultPlan::new(1)).train(&p.data).unwrap();
+        let b = quick(FaultPlan::new(1)).train(&p.data).unwrap();
+        assert_eq!(a, b);
+        assert!(a.final_loss() < 0.5, "loss {}", a.final_loss());
+        assert_eq!(a.iterations(), 400 * 6);
+        assert_eq!(a.stalls(), 0);
+        assert_eq!(a.dropped_writes(), 0);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let p = generate::logistic_dense(32, 200, 5);
+        let a = quick(FaultPlan::new(1).drop_writes(0.4))
+            .train(&p.data)
+            .unwrap();
+        let b = quick(FaultPlan::new(2).drop_writes(0.4))
+            .train(&p.data)
+            .unwrap();
+        assert_ne!(a.model(), b.model());
+    }
+
+    #[test]
+    fn drop_rate_costs_convergence_monotonically_at_extremes() {
+        let p = generate::logistic_dense(32, 400, 8);
+        let none = quick(FaultPlan::new(3)).train(&p.data).unwrap();
+        let all = quick(FaultPlan::new(3).drop_writes(1.0))
+            .train(&p.data)
+            .unwrap();
+        assert!(all.final_loss() > none.final_loss());
+        // With every write dropped the shared model never moves.
+        assert!(all.model().iter().all(|&w| w == 0.0));
+        assert_eq!(all.dropped_writes(), all.iterations());
+    }
+
+    #[test]
+    fn delays_record_staleness_and_still_converge() {
+        let p = generate::logistic_dense(32, 400, 9);
+        let report = quick(FaultPlan::new(4).delay_writes(1.0, 8))
+            .train(&p.data)
+            .unwrap();
+        assert!(report.delayed_writes() > 0);
+        assert!(report.mean_write_staleness() >= 1.0);
+        let clean = quick(FaultPlan::new(4)).train(&p.data).unwrap();
+        assert!(
+            report.final_loss() < clean.final_loss() + 0.1,
+            "delayed {} vs clean {}",
+            report.final_loss(),
+            clean.final_loss()
+        );
+    }
+
+    #[test]
+    fn skew_creates_progress_lag() {
+        let p = generate::logistic_dense(16, 200, 10);
+        let skewed = quick(FaultPlan::new(5).skew(0, 8)).train(&p.data).unwrap();
+        let even = quick(FaultPlan::new(5)).train(&p.data).unwrap();
+        assert!(skewed.mean_progress_lag() > even.mean_progress_lag());
+    }
+
+    #[test]
+    fn crash_recovery_replays_within_one_epoch() {
+        let p = generate::logistic_dense(32, 400, 11);
+        let per_epoch = 400u64;
+        let report = quick(FaultPlan::new(6).crash(1, 2, 30))
+            .train(&p.data)
+            .unwrap();
+        assert_eq!(report.recoveries(), 1);
+        assert!(
+            report.replayed_iterations() <= per_epoch,
+            "replayed {}",
+            report.replayed_iterations()
+        );
+        assert_eq!(
+            report.iterations(),
+            6 * per_epoch + report.replayed_iterations()
+        );
+        let clean = quick(FaultPlan::new(6)).train(&p.data).unwrap();
+        assert!(
+            report.final_loss() < clean.final_loss() * 1.1 + 1e-9,
+            "crashed {} vs clean {}",
+            report.final_loss(),
+            clean.final_loss()
+        );
+    }
+
+    #[test]
+    fn periodic_checkpoints_shrink_replay() {
+        let p = generate::logistic_dense(32, 400, 12);
+        let coarse = quick(FaultPlan::new(7).crash(0, 1, 80))
+            .train(&p.data)
+            .unwrap();
+        let fine = quick(
+            FaultPlan::new(7)
+                .crash(0, 1, 80)
+                .checkpoint_every(std::num::NonZeroU64::new(64).unwrap()),
+        )
+        .train(&p.data)
+        .unwrap();
+        assert_eq!(fine.recoveries(), 1);
+        assert!(
+            fine.replayed_iterations() < coarse.replayed_iterations(),
+            "fine {} vs coarse {}",
+            fine.replayed_iterations(),
+            coarse.replayed_iterations()
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let p = generate::logistic_dense(8, 20, 13);
+        assert!(matches!(
+            quick(FaultPlan::new(0).obstinacy(1.5)).train(&p.data),
+            Err(TrainError::Plan(_))
+        ));
+        assert!(matches!(
+            quick(FaultPlan::new(0)).threads(0).train(&p.data),
+            Err(TrainError::Config(_))
+        ));
+        assert!(matches!(
+            quick(FaultPlan::new(0)).epochs(0).train(&p.data),
+            Err(TrainError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn shard_partition_covers_every_example() {
+        // 403 examples over 4 workers: shards of 101, 101, 101, 100.
+        let p = generate::logistic_dense(8, 403, 14);
+        let report = quick(FaultPlan::new(1)).epochs(1).train(&p.data).unwrap();
+        assert_eq!(report.iterations(), 403);
+    }
+}

@@ -43,6 +43,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! Fault injection: the `buckwild-chaos` crate defines a seeded
+//! [`FaultPlan`] — worker stalls, dropped or delayed shared-model writes,
+//! obstinate-cache read staleness, progress skew, and mid-epoch crashes
+//! with checkpoint recovery — and the engines execute it deterministically.
+//! [`SgdConfig::train_with_faults`] injects into the threaded Hogwild
+//! engine; [`ChaosSgdConfig`] runs the single-thread deterministic
+//! simulator whose [`ChaosReport`] is bit-reproducible per seed. The
+//! common import surface lives in [`prelude`].
+//!
 //! Supporting modules: [`model`] (the shared atomic parameter vector),
 //! [`loss`] (the GLM losses, all a single dot-and-AXPY pair per step),
 //! [`obstinate`] (a software emulation of the paper's obstinate-cache
@@ -52,15 +61,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod config;
 pub mod loss;
 pub mod metrics;
 pub mod model;
 pub mod obstinate;
+pub mod prelude;
 pub mod rff;
 pub mod sync;
 mod train;
 
+pub use chaos::{ChaosReport, ChaosSgdConfig};
 pub use config::{ConfigError, EpochObserver, QuantizerConfig, SgdConfig};
 pub use loss::Loss;
 pub use metrics::{accuracy, mean_loss};
@@ -68,6 +80,10 @@ pub use model::{ModelPrecision, SharedModel};
 pub use train::{metric, TrainControl, TrainData, TrainError, TrainProgress, TrainReport};
 
 // Re-export the vocabulary types callers need to configure training.
+pub use buckwild_chaos::{
+    CrashSpec, FaultPlan, Injector, IterFate, NoopInjector, NoopWorkerInjector, PlanError,
+    PlanInjector, PlanWorker, WorkerInjector, WorkerRun, WriteFate,
+};
 pub use buckwild_dmgc::Signature;
 pub use buckwild_fixed::Rounding;
 pub use buckwild_kernels::KernelFlavor;

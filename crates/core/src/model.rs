@@ -142,6 +142,19 @@ impl SharedModel {
         model
     }
 
+    /// Overwrites every parameter from a checkpoint snapshot (nearest
+    /// rounding), the recovery path after an injected worker crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.len()`.
+    pub fn restore_from(&self, values: &[f32]) {
+        assert_eq!(values.len(), self.len(), "checkpoint length mismatch");
+        for (i, &v) in values.iter().enumerate() {
+            self.write_rounded(i, v, 0.5);
+        }
+    }
+
     /// Number of parameters.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -9,20 +9,23 @@
 //! an incoming "invalidate" is honored — i.e. with probability `1 − q` per
 //! remote write to that line.
 //!
-//! We emulate the process conservatively: between iterations each worker
-//! refreshes each model line with probability `1 − q`, and otherwise keeps
-//! its stale copy. Writes always go through to the shared model (stores are
-//! not dropped by the obstinate cache; only invalidate *receipts* are
-//! ignored), and also update the local copy. With `q = 0` this is exactly
-//! Hogwild!; with `q → 1` workers train on increasingly stale views.
+//! The emulation is a preset over the deterministic chaos engine
+//! ([`ChaosSgdConfig`]): obstinacy is one knob of a [`FaultPlan`]
+//! (`FaultPlan::new(seed).obstinacy(q)`), executed by virtual workers that
+//! refresh each model line with probability `1 − q` between iterations and
+//! otherwise keep their stale copy. Writes always go through to the shared
+//! model (stores are not dropped by the obstinate cache; only invalidate
+//! *receipts* are ignored), and also update the local copy. With `q = 0`
+//! this is exactly Hogwild!; with `q → 1` workers train on increasingly
+//! stale views. Because the engine is deterministic, a Figure 6f point is
+//! now a pure function of the seed — and obstinacy composes freely with
+//! the plan's other faults for callers using [`ChaosSgdConfig`] directly.
 
+use buckwild_chaos::FaultPlan;
 use buckwild_dataset::DenseDataset;
-use buckwild_prng::{split_seed, Prng, Xorshift128};
 
-use crate::{metrics, Loss, ModelPrecision, SharedModel, TrainError};
-
-/// Model elements per emulated 64-byte cache line of `f32` values.
-const LINE_ELEMS: usize = 16;
+use crate::chaos::ChaosSgdConfig;
+use crate::{Loss, TrainError};
 
 /// Configuration for an obstinate-cache training run.
 ///
@@ -63,6 +66,17 @@ impl ObstinateConfig {
         }
     }
 
+    /// The equivalent chaos-engine configuration: the fault plan carries
+    /// the obstinacy, everything else maps across directly.
+    #[must_use]
+    pub fn as_chaos(&self) -> ChaosSgdConfig {
+        ChaosSgdConfig::new(self.loss, FaultPlan::new(self.seed).obstinacy(self.q))
+            .threads(self.threads)
+            .step_size(self.step_size)
+            .step_decay(self.step_decay)
+            .epochs(self.epochs)
+    }
+
     /// Trains with the emulated obstinate cache and returns the per-epoch
     /// training losses.
     ///
@@ -71,7 +85,7 @@ impl ObstinateConfig {
     /// Returns [`TrainError::EmptyDataset`] for empty input and
     /// [`TrainError::Config`] if `q` is outside `[0, 1]` or a count is zero.
     pub fn train(&self, data: &DenseDataset<f32>) -> Result<Vec<f64>, TrainError> {
-        if !(0.0..=1.0).contains(&self.q) {
+        if !(self.q.is_finite() && (0.0..=1.0).contains(&self.q)) {
             return Err(TrainError::Config(crate::ConfigError::InvalidParameter(
                 "obstinacy q (must be in [0, 1]; also check counts)",
             )));
@@ -81,74 +95,7 @@ impl ObstinateConfig {
                 "thread/epoch count",
             )));
         }
-        if data.examples() == 0 {
-            return Err(TrainError::EmptyDataset);
-        }
-        let n = data.features();
-        let model = SharedModel::zeros(ModelPrecision::F32, n);
-        let mut losses = Vec::with_capacity(self.epochs);
-        for epoch in 0..self.epochs {
-            let step = self.step_size * self.step_decay.powi(epoch as i32);
-            std::thread::scope(|s| {
-                for t in 0..self.threads {
-                    let model = &model;
-                    let q = self.q;
-                    let loss = self.loss;
-                    let threads = self.threads;
-                    let seed = split_seed(self.seed, (epoch * self.threads + t) as u64 + 1);
-                    s.spawn(move || {
-                        worker(model, data, loss, step, q, t, threads, seed);
-                    });
-                }
-            });
-            losses.push(metrics::mean_loss(self.loss, &model.snapshot(), data));
-        }
-        Ok(losses)
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn worker(
-    model: &SharedModel,
-    data: &DenseDataset<f32>,
-    loss: Loss,
-    step: f32,
-    q: f64,
-    worker: usize,
-    threads: usize,
-    seed: u64,
-) {
-    let n = data.features();
-    let mut rng = Xorshift128::seed_from(seed);
-    // The worker's private (possibly stale) view of the model.
-    let mut local: Vec<f32> = model.snapshot();
-    let lines = n.div_ceil(LINE_ELEMS);
-    let refresh_threshold = ((1.0 - q) * u32::MAX as f64) as u32;
-    for i in (worker..data.examples()).step_by(threads) {
-        // Emulated coherence: each line honors "invalidates" accumulated
-        // since last iteration with probability 1-q.
-        for line in 0..lines {
-            if rng.next_u32() <= refresh_threshold {
-                let start = line * LINE_ELEMS;
-                let end = (start + LINE_ELEMS).min(n);
-                for (j, slot) in local[start..end].iter_mut().enumerate() {
-                    *slot = model.read(start + j);
-                }
-            }
-        }
-        let x = data.example(i);
-        let y = data.label(i);
-        let dot: f32 = x.iter().zip(&local).map(|(&a, &b)| a * b).sum();
-        let a = loss.axpy_scale(dot, y, step);
-        if a != 0.0 {
-            // Writes go through: update both the shared model and the
-            // local view (the obstinate cache never drops stores).
-            let mut uni = |_j: usize| 0.5f32;
-            model.axpy_f32(a, x, &mut uni);
-            for (lj, &xj) in local.iter_mut().zip(x) {
-                *lj += a * xj;
-            }
-        }
+        self.as_chaos().train_losses(data)
     }
 }
 
@@ -201,5 +148,17 @@ mod tests {
         config.threads = 1;
         let losses = config.train(&p.data).unwrap();
         assert!(losses.last().unwrap() < &0.5, "{losses:?}");
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seed() {
+        // New property unlocked by the chaos-engine rebase: a Figure 6f
+        // point is a pure function of the seed.
+        let p = generate::logistic_dense(32, 300, 7);
+        let config = ObstinateConfig::new(Loss::Logistic, 0.9);
+        assert_eq!(
+            config.train(&p.data).unwrap(),
+            config.train(&p.data).unwrap()
+        );
     }
 }

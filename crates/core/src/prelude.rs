@@ -1,0 +1,34 @@
+//! One-stop import surface for the public training API.
+//!
+//! Pulls in the three engines ([`SgdConfig`], [`SyncSgdConfig`],
+//! [`ChaosSgdConfig`]), their reports and error types, the fault-injection
+//! vocabulary ([`FaultPlan`] and the injector traits), and the
+//! configuration enums. Examples and downstream code should start with:
+//!
+//! ```
+//! use buckwild::prelude::*;
+//! use buckwild_dataset::generate;
+//!
+//! let problem = generate::logistic_dense(32, 200, 11);
+//! let report = SgdConfig::new(Loss::Logistic).epochs(4).train(&problem.data)?;
+//! assert!(report.final_loss().is_finite());
+//! # Ok::<(), TrainError>(())
+//! ```
+
+pub use crate::chaos::{ChaosReport, ChaosSgdConfig};
+pub use crate::config::{ConfigError, EpochObserver, QuantizerConfig, SgdConfig};
+pub use crate::loss::Loss;
+pub use crate::metrics::{accuracy, accuracy_sparse, mean_loss, mean_loss_sparse};
+pub use crate::model::{ModelPrecision, SharedModel};
+pub use crate::obstinate::ObstinateConfig;
+pub use crate::sync::{SyncFaultReport, SyncSgdConfig};
+pub use crate::train::{TrainControl, TrainData, TrainError, TrainProgress, TrainReport};
+
+pub use buckwild_chaos::{
+    CrashSpec, FaultPlan, Injector, IterFate, NoopInjector, NoopWorkerInjector, PlanError,
+    PlanInjector, PlanWorker, WorkerInjector, WorkerRun, WriteFate,
+};
+pub use buckwild_dmgc::Signature;
+pub use buckwild_fixed::Rounding;
+pub use buckwild_kernels::KernelFlavor;
+pub use buckwild_prng::PrngKind;

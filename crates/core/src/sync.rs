@@ -32,13 +32,22 @@
 //! # Ok::<(), buckwild::TrainError>(())
 //! ```
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use buckwild_chaos::{FaultPlan, WriteFate};
 use buckwild_dataset::DenseDataset;
 use buckwild_dmgc::{NumberFormat, Signature, SyncMode};
 
-use crate::{metrics, ConfigError, Loss, TrainError};
+use crate::config::EpochObserver;
+use crate::{metrics, ConfigError, Loss, TrainControl, TrainError, TrainProgress};
 
 /// Configuration for synchronous quantized-communication SGD.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Shares the caller-facing contract of [`crate::SgdConfig`]: the same
+/// [`TrainError`]/[`ConfigError`] error surface and the same
+/// [`on_epoch`](Self::on_epoch) observer hook.
+#[derive(Clone)]
 pub struct SyncSgdConfig {
     /// The objective.
     pub loss: Loss,
@@ -57,8 +66,49 @@ pub struct SyncSgdConfig {
     pub step_decay: f32,
     /// Passes over the data.
     pub epochs: usize,
-    /// Experiment seed (reserved; the algorithm is deterministic).
+    /// Experiment seed (drives the fault schedule of
+    /// [`SyncSgdConfig::train_with_faults`]; the fault-free algorithm is
+    /// deterministic).
     pub seed: u64,
+    /// Observer called after each epoch; may stop training early.
+    pub on_epoch: Option<EpochObserver>,
+}
+
+impl std::fmt::Debug for SyncSgdConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncSgdConfig")
+            .field("loss", &self.loss)
+            .field("comm_bits", &self.comm_bits)
+            .field("error_feedback", &self.error_feedback)
+            .field("workers", &self.workers)
+            .field("batch_per_worker", &self.batch_per_worker)
+            .field("step_size", &self.step_size)
+            .field("step_decay", &self.step_decay)
+            .field("epochs", &self.epochs)
+            .field("seed", &self.seed)
+            .field("on_epoch", &self.on_epoch.as_ref().map(|_| "<observer>"))
+            .finish()
+    }
+}
+
+impl PartialEq for SyncSgdConfig {
+    fn eq(&self, other: &Self) -> bool {
+        let observers_eq = match (&self.on_epoch, &other.on_epoch) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.loss == other.loss
+            && self.comm_bits == other.comm_bits
+            && self.error_feedback == other.error_feedback
+            && self.workers == other.workers
+            && self.batch_per_worker == other.batch_per_worker
+            && self.step_size == other.step_size
+            && self.step_decay == other.step_decay
+            && self.epochs == other.epochs
+            && self.seed == other.seed
+            && observers_eq
+    }
 }
 
 impl SyncSgdConfig {
@@ -75,6 +125,7 @@ impl SyncSgdConfig {
             step_decay: 0.9,
             epochs: 10,
             seed: 0,
+            on_epoch: None,
         }
     }
 
@@ -106,10 +157,37 @@ impl SyncSgdConfig {
         self
     }
 
+    /// Sets the per-epoch step decay factor.
+    #[must_use]
+    pub fn step_decay(mut self, decay: f32) -> Self {
+        self.step_decay = decay;
+        self
+    }
+
     /// Sets the epoch count.
     #[must_use]
     pub fn epochs(mut self, e: usize) -> Self {
         self.epochs = e;
+        self
+    }
+
+    /// Sets the experiment seed (the fault-schedule stream of
+    /// [`SyncSgdConfig::train_with_faults`]).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Installs an observer called after every epoch with a
+    /// [`TrainProgress`], exactly like [`crate::SgdConfig::on_epoch`];
+    /// returning [`TrainControl::Stop`] ends the run early.
+    #[must_use]
+    pub fn on_epoch(
+        mut self,
+        observer: impl Fn(&TrainProgress) -> TrainControl + Send + Sync + 'static,
+    ) -> Self {
+        self.on_epoch = Some(Arc::new(observer));
         self
     }
 
@@ -133,6 +211,33 @@ impl SyncSgdConfig {
     /// [`TrainError::Config`] for invalid parameters;
     /// [`TrainError::EmptyDataset`] for empty input.
     pub fn train(&self, data: &DenseDataset<f32>) -> Result<Vec<f64>, TrainError> {
+        Ok(self.run(data, None)?.into_epoch_losses())
+    }
+
+    /// Runs synchronous training under a seeded [`FaultPlan`]: each round,
+    /// each worker's gradient message is dropped with the plan's
+    /// write-drop probability (the worker skips the round entirely — the
+    /// parameter server averages over the survivors). Delays collapse to
+    /// the round barrier, so only the drop knob bites here.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Plan`] for invalid plans, otherwise as
+    /// [`SyncSgdConfig::train`].
+    pub fn train_with_faults(
+        &self,
+        data: &DenseDataset<f32>,
+        plan: &FaultPlan,
+    ) -> Result<SyncFaultReport, TrainError> {
+        plan.validate()?;
+        self.run(data, Some(plan))
+    }
+
+    fn run(
+        &self,
+        data: &DenseDataset<f32>,
+        plan: Option<&FaultPlan>,
+    ) -> Result<SyncFaultReport, TrainError> {
         if self.comm_bits == 0 || self.comm_bits > 32 {
             return Err(TrainError::Config(ConfigError::InvalidParameter(
                 "communication bits (1..=32)",
@@ -159,9 +264,13 @@ impl SyncSgdConfig {
         let mut residuals = vec![vec![0f32; n]; self.workers];
         let mut losses = Vec::with_capacity(self.epochs);
         let round_size = self.workers * self.batch_per_worker;
+        let mut dropped_messages = 0u64;
+        let start_time = Instant::now();
 
         for epoch in 0..self.epochs {
             let step = self.step_size * self.step_decay.powi(epoch as i32);
+            let mut runs: Option<Vec<_>> =
+                plan.map(|p| (0..self.workers).map(|w| p.worker_run(w, epoch)).collect());
             let mut cursor = 0usize;
             while cursor < m {
                 let mut aggregated = vec![0f32; n];
@@ -171,6 +280,14 @@ impl SyncSgdConfig {
                     let start = cursor + w * self.batch_per_worker;
                     if start >= m {
                         continue;
+                    }
+                    // Injected communication fault: the message for this
+                    // round never reaches the server.
+                    if let Some(runs) = runs.as_mut() {
+                        if matches!(runs[w].write_fate(), WriteFate::Drop) {
+                            dropped_messages += 1;
+                            continue;
+                        }
                     }
                     let end = (start + self.batch_per_worker).min(m);
                     let mut gradient = vec![0f32; n];
@@ -199,9 +316,62 @@ impl SyncSgdConfig {
                 }
                 cursor += round_size;
             }
-            losses.push(metrics::mean_loss(self.loss, &model, data));
+            let loss = metrics::mean_loss(self.loss, &model, data);
+            losses.push(loss);
+            if let Some(observer) = &self.on_epoch {
+                let progress = TrainProgress {
+                    epoch,
+                    epochs: self.epochs,
+                    loss: Some(loss),
+                    wall_seconds: start_time.elapsed().as_secs_f64(),
+                    iterations: (m * (epoch + 1)) as u64,
+                };
+                if observer(&progress) == TrainControl::Stop {
+                    break;
+                }
+            }
         }
-        Ok(losses)
+        Ok(SyncFaultReport {
+            epoch_losses: losses,
+            dropped_messages,
+        })
+    }
+}
+
+/// The result of a fault-injected synchronous run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncFaultReport {
+    epoch_losses: Vec<f64>,
+    dropped_messages: u64,
+}
+
+impl SyncFaultReport {
+    /// Mean training loss after each epoch.
+    #[must_use]
+    pub fn epoch_losses(&self) -> &[f64] {
+        &self.epoch_losses
+    }
+
+    /// Consumes the report, returning the per-epoch losses.
+    #[must_use]
+    pub fn into_epoch_losses(self) -> Vec<f64> {
+        self.epoch_losses
+    }
+
+    /// The last epoch's training loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no epochs ran.
+    #[must_use]
+    pub fn final_loss(&self) -> f64 {
+        *self.epoch_losses.last().expect("no epochs ran")
+    }
+
+    /// Gradient messages the fault plan discarded.
+    #[must_use]
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages
     }
 }
 

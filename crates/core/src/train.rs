@@ -12,6 +12,10 @@
 use std::num::NonZeroU32;
 use std::time::Instant;
 
+use buckwild_chaos::metric as chaos_metric;
+use buckwild_chaos::{
+    FaultPlan, Injector, IterFate, NoopInjector, PlanError, PlanInjector, WorkerInjector,
+};
 use buckwild_dataset::{DenseDataset, SparseDataset};
 use buckwild_fixed::{FixedSpec, Rounding};
 use buckwild_kernels::cost::QuantizerKind;
@@ -21,6 +25,12 @@ use buckwild_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Recorder, S
 
 use crate::config::QuantizerConfig;
 use crate::{metrics, ConfigError, Loss, ModelPrecision, SgdConfig, SharedModel};
+
+/// Replay attempts per epoch before the engine gives up on recovery and
+/// accepts the partial epoch — a guard against injectors that crash the
+/// same epoch forever ([`PlanInjector`] consumes each crash, so plan-driven
+/// runs never hit it).
+const MAX_REPLAYS_PER_EPOCH: u32 = 8;
 
 /// Metric names recorded by [`SgdConfig::train`] / [`SgdConfig::train_with`].
 pub mod metric {
@@ -41,6 +51,8 @@ pub mod metric {
 pub enum TrainError {
     /// The configuration was invalid.
     Config(ConfigError),
+    /// The fault plan was invalid.
+    Plan(PlanError),
     /// The dataset was empty.
     EmptyDataset,
 }
@@ -49,6 +61,7 @@ impl std::fmt::Display for TrainError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TrainError::Config(e) => write!(f, "invalid configuration: {e}"),
+            TrainError::Plan(e) => write!(f, "invalid fault plan: {e}"),
             TrainError::EmptyDataset => f.write_str("dataset has no examples"),
         }
     }
@@ -58,6 +71,7 @@ impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TrainError::Config(e) => Some(e),
+            TrainError::Plan(e) => Some(e),
             TrainError::EmptyDataset => None,
         }
     }
@@ -66,6 +80,12 @@ impl std::error::Error for TrainError {
 impl From<ConfigError> for TrainError {
     fn from(e: ConfigError) -> Self {
         TrainError::Config(e)
+    }
+}
+
+impl From<PlanError> for TrainError {
+    fn from(e: PlanError) -> Self {
+        TrainError::Plan(e)
     }
 }
 
@@ -373,17 +393,58 @@ pub struct WorkerCtx<'a> {
     threads: usize,
 }
 
+/// Chaos telemetry handles, created only for active injectors so that
+/// fault-free snapshots carry no zero-valued `chaos.*` entries.
+#[doc(hidden)]
+pub struct ChaosCounters<C, H> {
+    stalls: C,
+    dropped: C,
+    stall_ticks: H,
+}
+
 /// Telemetry handles a worker updates in its hot loop.
 #[doc(hidden)]
-pub struct WorkerCounters<C> {
+pub struct WorkerCounters<C, H> {
     iterations: C,
     numbers: C,
     rounds: C,
+    chaos: Option<ChaosCounters<C, H>>,
+}
+
+impl<C: Counter, H: Histogram> WorkerCounters<C, H> {
+    /// Executes an iteration fate: counts and serves a stall, reports
+    /// whether the iteration should run at all (`false` = crash).
+    #[inline]
+    fn serve_fate(&self, fate: IterFate) -> bool {
+        match fate {
+            IterFate::Proceed => true,
+            IterFate::Stall(ticks) => {
+                if let Some(chaos) = &self.chaos {
+                    chaos.stalls.incr();
+                    chaos.stall_ticks.record(f64::from(ticks));
+                }
+                for _ in 0..ticks {
+                    std::thread::yield_now();
+                }
+                true
+            }
+            IterFate::Crash(_) => false,
+        }
+    }
+
+    /// Counts a shared-model write the injector discarded.
+    #[inline]
+    fn count_dropped(&self) {
+        if let Some(chaos) = &self.chaos {
+            chaos.dropped.incr();
+        }
+    }
 }
 
 mod sealed {
     use super::{Loss, QuantState, SgdConfig, WorkerCounters, WorkerCtx};
-    use buckwild_telemetry::Counter;
+    use buckwild_chaos::WorkerInjector;
+    use buckwild_telemetry::{Counter, Histogram};
 
     /// The private engine interface behind [`super::TrainData`]. Not
     /// nameable outside this crate, which seals the public trait.
@@ -396,12 +457,15 @@ mod sealed {
         fn examples(&self) -> usize;
         fn prepare<'a>(&'a self, config: &SgdConfig) -> Self::Prepared<'a>;
         fn model_features(&self) -> usize;
-        fn run_worker<C: Counter>(
+        /// Runs one worker's shard of one epoch. Returns `true` if the
+        /// injector crashed the worker mid-epoch.
+        fn run_worker<C: Counter, H: Histogram, W: WorkerInjector>(
             prepared: &Self::Prepared<'_>,
             ctx: &WorkerCtx<'_>,
-            counters: &WorkerCounters<C>,
+            counters: &WorkerCounters<C, H>,
             rng: &mut QuantState,
-        );
+            inj: &mut W,
+        ) -> bool;
         fn mean_loss(&self, loss: Loss, model: &[f32]) -> f64;
     }
 }
@@ -437,16 +501,17 @@ impl sealed::Sealed for DenseDataset<f32> {
         }
     }
 
-    fn run_worker<C: Counter>(
+    fn run_worker<C: Counter, H: Histogram, W: WorkerInjector>(
         prepared: &DenseQuant<'_>,
         ctx: &WorkerCtx<'_>,
-        counters: &WorkerCounters<C>,
+        counters: &WorkerCounters<C, H>,
         rng: &mut QuantState,
-    ) {
+        inj: &mut W,
+    ) -> bool {
         match prepared {
-            DenseQuant::F32(d) => worker_dense_f32(ctx, d, counters, rng),
-            DenseQuant::I16(d) => worker_dense_fixed(ctx, d, counters, rng),
-            DenseQuant::I8(d) => worker_dense_fixed(ctx, d, counters, rng),
+            DenseQuant::F32(d) => worker_dense_f32(ctx, d, counters, rng, inj),
+            DenseQuant::I16(d) => worker_dense_fixed(ctx, d, counters, rng, inj),
+            DenseQuant::I8(d) => worker_dense_fixed(ctx, d, counters, rng, inj),
         }
     }
 
@@ -486,16 +551,17 @@ impl sealed::Sealed for SparseDataset<f32, u32> {
         }
     }
 
-    fn run_worker<C: Counter>(
+    fn run_worker<C: Counter, H: Histogram, W: WorkerInjector>(
         prepared: &SparseQuant<'_>,
         ctx: &WorkerCtx<'_>,
-        counters: &WorkerCounters<C>,
+        counters: &WorkerCounters<C, H>,
         rng: &mut QuantState,
-    ) {
+        inj: &mut W,
+    ) -> bool {
         match prepared {
-            SparseQuant::F32(d) => worker_sparse_f32(ctx, d, counters, rng),
-            SparseQuant::I16(d) => worker_sparse_fixed(ctx, d, counters, rng),
-            SparseQuant::I8(d) => worker_sparse_fixed(ctx, d, counters, rng),
+            SparseQuant::F32(d) => worker_sparse_f32(ctx, d, counters, rng, inj),
+            SparseQuant::I16(d) => worker_sparse_fixed(ctx, d, counters, rng, inj),
+            SparseQuant::I8(d) => worker_sparse_fixed(ctx, d, counters, rng, inj),
         }
     }
 
@@ -540,6 +606,53 @@ impl SgdConfig {
         data: &D,
         recorder: &R,
     ) -> Result<TrainReport, TrainError> {
+        self.train_injected(data, recorder, &NoopInjector)
+    }
+
+    /// Trains under a seeded [`FaultPlan`], collecting telemetry with a
+    /// sharded recorder.
+    ///
+    /// The plan's stalls, write drops, progress skew, and crashes are
+    /// injected into the real threaded Hogwild! loop; crashes recover from
+    /// a model checkpoint taken at epoch boundaries. The fault *schedule*
+    /// is a pure function of the plan seed, so a failure mode observed
+    /// once can be replayed exactly. (Write delays and stale read views
+    /// need a scheduler clock, which real threads do not have; those knobs
+    /// are exercised by the deterministic engine in
+    /// [`ChaosSgdConfig`](crate::ChaosSgdConfig), and a delay here applies
+    /// the write immediately.)
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Plan`] for invalid plans, otherwise as
+    /// [`SgdConfig::train`].
+    pub fn train_with_faults<D: TrainData>(
+        &self,
+        data: &D,
+        plan: &FaultPlan,
+    ) -> Result<TrainReport, TrainError> {
+        let injector = PlanInjector::new(plan.clone())?;
+        let recorder = ShardedRecorder::new(self.threads.max(1));
+        self.train_injected(data, &recorder, &injector)
+    }
+
+    /// Trains like [`SgdConfig::train_with`], threading every iteration
+    /// and shared-model write through the given [`Injector`].
+    ///
+    /// This is the fully general entry point; [`SgdConfig::train_with`]
+    /// is this with [`NoopInjector`] (whose hooks compile away), and
+    /// [`SgdConfig::train_with_faults`] is this with a
+    /// [`PlanInjector`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SgdConfig::train`].
+    pub fn train_injected<D: TrainData, R: Recorder, I: Injector>(
+        &self,
+        data: &D,
+        recorder: &R,
+        injector: &I,
+    ) -> Result<TrainReport, TrainError> {
         self.validate()?;
         if sealed::Sealed::examples(data) == 0 {
             return Err(TrainError::EmptyDataset);
@@ -551,10 +664,29 @@ impl SgdConfig {
         let mut epoch_losses = Vec::new();
         let epoch_seconds = recorder.histogram(metric::EPOCH_SECONDS);
         let mut wall = 0f64;
-        for epoch in 0..self.epochs {
+        // Crash recovery: checkpoint the model at epoch boundaries (cadence
+        // chosen by the injector) and roll back + replay the epoch when a
+        // worker dies. PlanInjector consumes each crash on first fire, so a
+        // replayed epoch runs through.
+        let checkpoint_every = injector.checkpoint_epochs();
+        let mut checkpoint: Option<Vec<f32>> = checkpoint_every.map(|_| model.snapshot());
+        let mut clean_epochs = 0u32;
+        let recovery = if I::ACTIVE {
+            Some((
+                recorder.counter(chaos_metric::RECOVERIES),
+                recorder.counter(chaos_metric::REPLAYED_ITERATIONS),
+            ))
+        } else {
+            None
+        };
+        let mut epoch = 0usize;
+        let mut replays = 0u32;
+        while epoch < self.epochs {
             let step = self.step_size * self.step_decay.powi(epoch as i32);
             let start = Instant::now();
+            let mut crashed = 0usize;
             std::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(self.threads);
                 for t in 0..self.threads {
                     let prepared = &prepared;
                     let model = &model;
@@ -575,13 +707,41 @@ impl SgdConfig {
                         iterations: recorder.worker_counter(metric::ITERATIONS, t),
                         numbers: recorder.worker_counter(metric::NUMBERS_PROCESSED, t),
                         rounds: recorder.worker_counter(metric::ROUND_EVENTS, t),
+                        chaos: I::ACTIVE.then(|| ChaosCounters {
+                            stalls: recorder.worker_counter(chaos_metric::STALLS, t),
+                            dropped: recorder.worker_counter(chaos_metric::DROPPED_WRITES, t),
+                            stall_ticks: recorder.worker_histogram(chaos_metric::STALL_TICKS, t),
+                        }),
                     };
-                    s.spawn(move || D::run_worker(prepared, &ctx, &counters, &mut rng));
+                    let mut inj = injector.worker(t, epoch);
+                    handles.push(s.spawn(move || {
+                        D::run_worker(prepared, &ctx, &counters, &mut rng, &mut inj)
+                    }));
                 }
+                crashed = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .filter(|&c| c)
+                    .count();
             });
             let secs = start.elapsed().as_secs_f64();
             epoch_seconds.record(secs);
             wall += secs;
+            if crashed > 0 {
+                if let Some(ckpt) = &checkpoint {
+                    if replays < MAX_REPLAYS_PER_EPOCH {
+                        replays += 1;
+                        if let Some((recoveries, replayed)) = &recovery {
+                            recoveries.add(crashed as u64);
+                            replayed.add(m as u64);
+                        }
+                        model.restore_from(ckpt);
+                        continue;
+                    }
+                }
+                // No checkpoint to roll back to: the dead worker's shard is
+                // simply lost for this epoch and training carries on.
+            }
             let loss = if self.record_losses {
                 let l = data.mean_loss(self.loss, &model.snapshot());
                 epoch_losses.push(l);
@@ -589,6 +749,7 @@ impl SgdConfig {
             } else {
                 None
             };
+            let mut stop = false;
             if let Some(observer) = &self.on_epoch {
                 let progress = TrainProgress {
                     epoch,
@@ -597,9 +758,19 @@ impl SgdConfig {
                     wall_seconds: wall,
                     iterations: (m * (epoch + 1)) as u64,
                 };
-                if observer(&progress) == TrainControl::Stop {
-                    break;
+                stop = observer(&progress) == TrainControl::Stop;
+            }
+            epoch += 1;
+            replays = 0;
+            if let Some(every) = checkpoint_every {
+                clean_epochs += 1;
+                if clean_epochs >= every.get() {
+                    checkpoint = Some(model.snapshot());
+                    clean_epochs = 0;
                 }
+            }
+            if stop {
+                break;
             }
         }
         // GNPS needs the cross-worker totals, so it is derived from the
@@ -616,34 +787,15 @@ impl SgdConfig {
             metrics: recorder.snapshot(),
         })
     }
-
-    /// Trains on a dense dataset.
-    ///
-    /// # Errors
-    ///
-    /// See [`SgdConfig::train`].
-    #[deprecated(since = "0.2.0", note = "use `train`, which accepts any `TrainData`")]
-    pub fn train_dense(&self, data: &DenseDataset<f32>) -> Result<TrainReport, TrainError> {
-        self.train(data)
-    }
-
-    /// Trains on a sparse CSR dataset.
-    ///
-    /// # Errors
-    ///
-    /// See [`SgdConfig::train`].
-    #[deprecated(since = "0.2.0", note = "use `train`, which accepts any `TrainData`")]
-    pub fn train_sparse(&self, data: &SparseDataset<f32, u32>) -> Result<TrainReport, TrainError> {
-        self.train(data)
-    }
 }
 
-fn worker_dense_fixed<D: FixedInt, C: Counter>(
+fn worker_dense_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector>(
     ctx: &WorkerCtx<'_>,
     data: &DenseDataset<D>,
-    counters: &WorkerCounters<C>,
+    counters: &WorkerCounters<C, H>,
     rng: &mut QuantState,
-) {
+    inj: &mut W,
+) -> bool {
     let x_spec = data.spec();
     let n = data.features();
     let mut scratch = if ctx.minibatch > 1 {
@@ -653,6 +805,9 @@ fn worker_dense_fixed<D: FixedInt, C: Counter>(
     };
     let mut batch_fill = 0usize;
     for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
+        if !counters.serve_fate(inj.iter_fate()) {
+            return true;
+        }
         let x = data.example(i);
         let y = data.label(i);
         rng.begin_iteration();
@@ -662,13 +817,17 @@ fn worker_dense_fixed<D: FixedInt, C: Counter>(
         let a = ctx.loss.axpy_scale(dot, y, ctx.step);
         if ctx.minibatch == 1 {
             if a != 0.0 {
-                counters.rounds.add(n as u64);
-                match rng.block_offsets() {
-                    Some(offs) => ctx.model.axpy_fixed_block(a, x, &x_spec, &offs),
-                    None => {
-                        let mut off = |j: usize| rng.offset15(j);
-                        ctx.model.axpy_fixed(a, x, &x_spec, &mut off);
+                if inj.keep_write() {
+                    counters.rounds.add(n as u64);
+                    match rng.block_offsets() {
+                        Some(offs) => ctx.model.axpy_fixed_block(a, x, &x_spec, &offs),
+                        None => {
+                            let mut off = |j: usize| rng.offset15(j);
+                            ctx.model.axpy_fixed(a, x, &x_spec, &mut off);
+                        }
                     }
+                } else {
+                    counters.count_dropped();
                 }
             }
         } else {
@@ -680,27 +839,37 @@ fn worker_dense_fixed<D: FixedInt, C: Counter>(
             }
             batch_fill += 1;
             if batch_fill == ctx.minibatch {
-                counters.rounds.add(n as u64);
-                let mut uni = |j: usize| rng.uniform(j);
-                ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+                if inj.keep_write() {
+                    counters.rounds.add(n as u64);
+                    let mut uni = |j: usize| rng.uniform(j);
+                    ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+                } else {
+                    counters.count_dropped();
+                }
                 scratch.fill(0.0);
                 batch_fill = 0;
             }
         }
     }
     if batch_fill > 0 {
-        counters.rounds.add(n as u64);
-        let mut uni = |j: usize| rng.uniform(j);
-        ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+        if inj.keep_write() {
+            counters.rounds.add(n as u64);
+            let mut uni = |j: usize| rng.uniform(j);
+            ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+        } else {
+            counters.count_dropped();
+        }
     }
+    false
 }
 
-fn worker_dense_f32<C: Counter>(
+fn worker_dense_f32<C: Counter, H: Histogram, W: WorkerInjector>(
     ctx: &WorkerCtx<'_>,
     data: &DenseDataset<f32>,
-    counters: &WorkerCounters<C>,
+    counters: &WorkerCounters<C, H>,
     rng: &mut QuantState,
-) {
+    inj: &mut W,
+) -> bool {
     let n = data.features();
     let mut scratch = if ctx.minibatch > 1 {
         vec![0f32; n]
@@ -709,6 +878,9 @@ fn worker_dense_f32<C: Counter>(
     };
     let mut batch_fill = 0usize;
     for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
+        if !counters.serve_fate(inj.iter_fate()) {
+            return true;
+        }
         let x = data.example(i);
         let y = data.label(i);
         rng.begin_iteration();
@@ -718,9 +890,13 @@ fn worker_dense_f32<C: Counter>(
         let a = ctx.loss.axpy_scale(dot, y, ctx.step);
         if ctx.minibatch == 1 {
             if a != 0.0 {
-                counters.rounds.add(n as u64);
-                let mut uni = |j: usize| rng.uniform(j);
-                ctx.model.axpy_f32(a, x, &mut uni);
+                if inj.keep_write() {
+                    counters.rounds.add(n as u64);
+                    let mut uni = |j: usize| rng.uniform(j);
+                    ctx.model.axpy_f32(a, x, &mut uni);
+                } else {
+                    counters.count_dropped();
+                }
             }
         } else {
             if a != 0.0 {
@@ -730,33 +906,46 @@ fn worker_dense_f32<C: Counter>(
             }
             batch_fill += 1;
             if batch_fill == ctx.minibatch {
-                counters.rounds.add(n as u64);
-                let mut uni = |j: usize| rng.uniform(j);
-                ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+                if inj.keep_write() {
+                    counters.rounds.add(n as u64);
+                    let mut uni = |j: usize| rng.uniform(j);
+                    ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+                } else {
+                    counters.count_dropped();
+                }
                 scratch.fill(0.0);
                 batch_fill = 0;
             }
         }
     }
     if batch_fill > 0 {
-        counters.rounds.add(n as u64);
-        let mut uni = |j: usize| rng.uniform(j);
-        ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+        if inj.keep_write() {
+            counters.rounds.add(n as u64);
+            let mut uni = |j: usize| rng.uniform(j);
+            ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+        } else {
+            counters.count_dropped();
+        }
     }
+    false
 }
 
-fn worker_sparse_fixed<D: FixedInt, C: Counter>(
+fn worker_sparse_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector>(
     ctx: &WorkerCtx<'_>,
     data: &SparseDataset<D, u32>,
-    counters: &WorkerCounters<C>,
+    counters: &WorkerCounters<C, H>,
     rng: &mut QuantState,
-) {
+    inj: &mut W,
+) -> bool {
     let x_spec = data.spec();
     // Mini-batch handling for sparse data: gradients are computed at the
     // batch-start model, then all scatter writes are applied. The model is
     // written per example, but the gradient is a true mini-batch gradient.
     let mut pending: Vec<(usize, f32)> = Vec::new();
     for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
+        if !counters.serve_fate(inj.iter_fate()) {
+            return true;
+        }
         let ex = data.example(i);
         let y = data.label(i);
         rng.begin_iteration();
@@ -766,10 +955,14 @@ fn worker_sparse_fixed<D: FixedInt, C: Counter>(
         let a = ctx.loss.axpy_scale(dot, y, ctx.step);
         if ctx.minibatch == 1 {
             if a != 0.0 {
-                counters.rounds.add(ex.nnz() as u64);
-                let mut off = |j: usize| rng.offset15(j);
-                ctx.model
-                    .axpy_sparse_fixed(a, ex.values, ex.indices, &x_spec, &mut off);
+                if inj.keep_write() {
+                    counters.rounds.add(ex.nnz() as u64);
+                    let mut off = |j: usize| rng.offset15(j);
+                    ctx.model
+                        .axpy_sparse_fixed(a, ex.values, ex.indices, &x_spec, &mut off);
+                } else {
+                    counters.count_dropped();
+                }
             }
         } else {
             if a != 0.0 {
@@ -777,6 +970,10 @@ fn worker_sparse_fixed<D: FixedInt, C: Counter>(
             }
             if pending.len() >= ctx.minibatch {
                 for &(pi, pa) in &pending {
+                    if !inj.keep_write() {
+                        counters.count_dropped();
+                        continue;
+                    }
                     let pex = data.example(pi);
                     counters.rounds.add(pex.nnz() as u64);
                     let mut off = |j: usize| rng.offset15(j);
@@ -788,22 +985,31 @@ fn worker_sparse_fixed<D: FixedInt, C: Counter>(
         }
     }
     for &(pi, pa) in &pending {
+        if !inj.keep_write() {
+            counters.count_dropped();
+            continue;
+        }
         let pex = data.example(pi);
         counters.rounds.add(pex.nnz() as u64);
         let mut off = |j: usize| rng.offset15(j);
         ctx.model
             .axpy_sparse_fixed(pa, pex.values, pex.indices, &x_spec, &mut off);
     }
+    false
 }
 
-fn worker_sparse_f32<C: Counter>(
+fn worker_sparse_f32<C: Counter, H: Histogram, W: WorkerInjector>(
     ctx: &WorkerCtx<'_>,
     data: &SparseDataset<f32, u32>,
-    counters: &WorkerCounters<C>,
+    counters: &WorkerCounters<C, H>,
     rng: &mut QuantState,
-) {
+    inj: &mut W,
+) -> bool {
     let mut pending: Vec<(usize, f32)> = Vec::new();
     for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
+        if !counters.serve_fate(inj.iter_fate()) {
+            return true;
+        }
         let ex = data.example(i);
         let y = data.label(i);
         rng.begin_iteration();
@@ -813,10 +1019,14 @@ fn worker_sparse_f32<C: Counter>(
         let a = ctx.loss.axpy_scale(dot, y, ctx.step);
         if ctx.minibatch == 1 {
             if a != 0.0 {
-                counters.rounds.add(ex.nnz() as u64);
-                let mut uni = |j: usize| rng.uniform(j);
-                ctx.model
-                    .axpy_sparse_f32(a, ex.values, ex.indices, &mut uni);
+                if inj.keep_write() {
+                    counters.rounds.add(ex.nnz() as u64);
+                    let mut uni = |j: usize| rng.uniform(j);
+                    ctx.model
+                        .axpy_sparse_f32(a, ex.values, ex.indices, &mut uni);
+                } else {
+                    counters.count_dropped();
+                }
             }
         } else {
             if a != 0.0 {
@@ -824,6 +1034,10 @@ fn worker_sparse_f32<C: Counter>(
             }
             if pending.len() >= ctx.minibatch {
                 for &(pi, pa) in &pending {
+                    if !inj.keep_write() {
+                        counters.count_dropped();
+                        continue;
+                    }
                     let pex = data.example(pi);
                     counters.rounds.add(pex.nnz() as u64);
                     let mut uni = |j: usize| rng.uniform(j);
@@ -835,12 +1049,17 @@ fn worker_sparse_f32<C: Counter>(
         }
     }
     for &(pi, pa) in &pending {
+        if !inj.keep_write() {
+            counters.count_dropped();
+            continue;
+        }
         let pex = data.example(pi);
         counters.rounds.add(pex.nnz() as u64);
         let mut uni = |j: usize| rng.uniform(j);
         ctx.model
             .axpy_sparse_f32(pa, pex.values, pex.indices, &mut uni);
     }
+    false
 }
 
 #[cfg(test)]
@@ -1073,15 +1292,90 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_wrappers_still_train() {
-        let p = generate::logistic_dense(16, 100, 18);
-        #[allow(deprecated)]
-        let report = logistic_config().train_dense(&p.data).unwrap();
-        assert_eq!(report.iterations(), 800);
-        let sp = generate::logistic_sparse(64, 60, 0.1, 18);
-        #[allow(deprecated)]
-        let sreport = logistic_config().train_sparse(&sp.data).unwrap();
-        assert_eq!(sreport.iterations(), 480);
+    fn injected_drops_are_counted_and_benign_noop_matches() {
+        let p = generate::logistic_dense(32, 200, 16);
+        let config = logistic_config().signature("D8M8".parse().unwrap());
+        // A benign plan must not perturb training relative to NoopInjector.
+        let benign = config
+            .train_with_faults(&p.data, &FaultPlan::new(9))
+            .unwrap();
+        let plain = config.train(&p.data).unwrap();
+        assert_eq!(benign.model(), plain.model());
+        assert_eq!(benign.epoch_losses(), plain.epoch_losses());
+        // Certain drop: every nonzero update is discarded and counted.
+        let dropped = config
+            .train_with_faults(&p.data, &FaultPlan::new(9).drop_writes(1.0))
+            .unwrap();
+        assert!(
+            dropped
+                .metrics()
+                .counter(chaos_metric::DROPPED_WRITES)
+                .unwrap()
+                > 0
+        );
+        assert_eq!(dropped.metrics().counter(metric::ROUND_EVENTS), Some(0));
+        assert!(dropped.model().iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn injected_stalls_are_counted() {
+        let p = generate::logistic_dense(16, 100, 17);
+        let report = logistic_config()
+            .epochs(2)
+            .train_with_faults(&p.data, &FaultPlan::new(4).stalls(1.0, 1))
+            .unwrap();
+        assert_eq!(report.metrics().counter(chaos_metric::STALLS), Some(200));
+        assert_eq!(
+            report
+                .metrics()
+                .histogram(chaos_metric::STALL_TICKS)
+                .unwrap()
+                .count,
+            200
+        );
+    }
+
+    #[test]
+    fn crash_recovers_from_checkpoint_and_converges() {
+        let p = generate::logistic_dense(32, 400, 5);
+        let clean = logistic_config().train(&p.data).unwrap();
+        let plan = FaultPlan::new(21).crash(0, 2, 50);
+        let crashed = logistic_config().train_with_faults(&p.data, &plan).unwrap();
+        assert_eq!(crashed.metrics().counter(chaos_metric::RECOVERIES), Some(1));
+        assert!(
+            crashed
+                .metrics()
+                .counter(chaos_metric::REPLAYED_ITERATIONS)
+                .unwrap()
+                <= 400
+        );
+        // Full epoch count still delivered after the replay.
+        assert_eq!(crashed.epoch_losses().len(), clean.epoch_losses().len());
+        assert!(
+            crashed.final_loss() < clean.final_loss() * 1.1,
+            "crashed {} vs clean {}",
+            crashed.final_loss(),
+            clean.final_loss()
+        );
+    }
+
+    #[test]
+    fn invalid_plan_surfaces() {
+        let p = generate::logistic_dense(8, 20, 17);
+        let err = logistic_config()
+            .train_with_faults(&p.data, &FaultPlan::new(0).drop_writes(2.0))
+            .unwrap_err();
+        assert!(matches!(err, TrainError::Plan(_)));
+    }
+
+    #[test]
+    fn fault_free_snapshot_has_no_chaos_metrics() {
+        let p = generate::logistic_dense(16, 100, 13);
+        let report = logistic_config().epochs(2).train(&p.data).unwrap();
+        assert!(report
+            .metrics()
+            .iter()
+            .all(|(name, _)| !name.starts_with("chaos.")));
     }
 
     #[test]

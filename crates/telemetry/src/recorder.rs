@@ -68,6 +68,13 @@ pub trait Recorder: Sync {
     /// Returns a histogram handle for `name`.
     fn histogram(&self, name: &str) -> Self::Histogram;
 
+    /// Returns a histogram handle for `name` pinned to the shard serving
+    /// `worker`. Implementations without shards may ignore `worker`.
+    fn worker_histogram(&self, name: &str, worker: usize) -> Self::Histogram {
+        let _ = worker;
+        self.histogram(name)
+    }
+
     /// Returns the current values of every metric this recorder has seen.
     ///
     /// No-op implementations return an empty snapshot.
@@ -93,6 +100,10 @@ impl<R: Recorder> Recorder for &R {
 
     fn histogram(&self, name: &str) -> Self::Histogram {
         (**self).histogram(name)
+    }
+
+    fn worker_histogram(&self, name: &str, worker: usize) -> Self::Histogram {
+        (**self).worker_histogram(name, worker)
     }
 
     fn snapshot(&self) -> MetricsSnapshot {

@@ -260,12 +260,19 @@ impl Recorder for ShardedRecorder {
     }
 
     fn histogram(&self, name: &str) -> ShardedHistogram {
+        self.worker_histogram(name, 0)
+    }
+
+    fn worker_histogram(&self, name: &str, worker: usize) -> ShardedHistogram {
         let cell = find_or_insert(
             &mut self.registry.lock().expect("registry poisoned").histograms,
             name,
             || Arc::new(HistShards::new(self.shards)),
         );
-        ShardedHistogram { cell, shard: 0 }
+        ShardedHistogram {
+            cell,
+            shard: worker % self.shards,
+        }
     }
 
     fn snapshot(&self) -> MetricsSnapshot {
@@ -339,6 +346,18 @@ mod tests {
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 3.0);
         assert_eq!(h.mean(), 2.0);
+    }
+
+    #[test]
+    fn worker_histograms_merge_across_shards() {
+        let rec = ShardedRecorder::new(2);
+        rec.worker_histogram("lag", 0).record(1.0);
+        rec.worker_histogram("lag", 1).record(3.0);
+        rec.worker_histogram("lag", 3).record(5.0); // wraps to shard 1
+        let h = rec.snapshot().histogram("lag").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 9.0);
+        assert_eq!(h.max, 5.0);
     }
 
     #[test]

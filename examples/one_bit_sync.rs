@@ -5,8 +5,7 @@
 //! cargo run --release --example one_bit_sync
 //! ```
 
-use buckwild::sync::SyncSgdConfig;
-use buckwild::Loss;
+use buckwild::prelude::*;
 use buckwild_dataset::generate;
 
 fn main() {

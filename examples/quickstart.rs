@@ -8,7 +8,7 @@
 //! generative model), trains it at full precision and at the paper's
 //! flagship D8M8 signature, and compares quality and throughput.
 
-use buckwild::{accuracy, Loss, SgdConfig};
+use buckwild::prelude::*;
 use buckwild_dataset::generate;
 
 fn main() {

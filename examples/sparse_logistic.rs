@@ -9,7 +9,7 @@
 //! DMGC model. This example trains a 3%-dense logistic regression at
 //! several signatures and sweeps the rounding mode.
 
-use buckwild::{metrics, Loss, Rounding, SgdConfig};
+use buckwild::prelude::*;
 use buckwild_dataset::generate;
 
 fn main() {
@@ -38,7 +38,7 @@ fn main() {
     for sig in ["D32fi32M32f", "D16i16M16", "D8i8M8"] {
         let config = base.clone().signature(sig.parse().expect("static"));
         let report = config.train(&problem.data).expect("valid config");
-        let acc = metrics::accuracy_sparse(Loss::Logistic, report.model(), &problem.data);
+        let acc = accuracy_sparse(Loss::Logistic, report.model(), &problem.data);
         println!(
             "{sig:<14} {:>10.4} {:>10.1} {:>10.4}",
             report.final_loss(),
