@@ -7,6 +7,11 @@
 //!   document described in README.md).
 //! * `--json <path>` — additionally write the JSON document to `path`,
 //!   regardless of the stdout format.
+//! * `--trace <path>` — after the experiment, run the traced reference
+//!   training run and write its Chrome trace-event JSON to `path` (see
+//!   [`observe`](crate::observe)).
+//! * `--roofline` — print the DMGC roofline (compute / memory / coherence
+//!   breakdown with predicted and measured GNPS) after the experiment.
 //! * `--help` — print usage.
 //!
 //! Emitted JSON is validated against the schema (a parse round-trip
@@ -38,16 +43,23 @@ pub struct Options {
     /// Optional experiment seed override (consumed by seeded binaries;
     /// ignored by the rest).
     pub seed: Option<u64>,
+    /// Optional path to write the reference-run Chrome trace to.
+    pub trace_path: Option<String>,
+    /// Print the DMGC roofline after the experiment.
+    pub roofline: bool,
 }
 
 fn usage(name: &str) -> String {
     format!(
         "usage: {name} [--format {{text,json}}] [--json <path>] [--seed <u64>]\n\
+                       [--trace <path>] [--roofline]\n\
          \n\
            --format text   aligned tables on stdout (default)\n\
          --format json   ExperimentResult JSON on stdout\n\
          --json <path>   also write the JSON document to <path>\n\
          --seed <u64>    override the experiment seed (seeded binaries)\n\
+         --trace <path>  write a Chrome trace of the reference traced run\n\
+         --roofline      print the DMGC compute/memory/coherence roofline\n\
          \n\
          budget knobs (environment): BUCKWILD_SECONDS, BUCKWILD_FULL=1"
     )
@@ -63,6 +75,8 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Options>,
         format: Format::Text,
         json_path: None,
         seed: None,
+        trace_path: None,
+        roofline: false,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -86,6 +100,11 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Options>,
                 },
                 None => return Err("--seed requires a value".into()),
             },
+            "--trace" => match it.next() {
+                Some(path) => options.trace_path = Some(path),
+                None => return Err("--trace requires a path".into()),
+            },
+            "--roofline" => options.roofline = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unrecognized argument `{other}`")),
         }
@@ -137,6 +156,21 @@ fn emit(name: &str, results: &[ExperimentResult], options: &Options) -> ExitCode
             eprintln!("{name}: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    observability_pass(name, options)
+}
+
+/// Runs the post-experiment `--trace` / `--roofline` pass.
+fn observability_pass(name: &str, options: &Options) -> ExitCode {
+    let seed = options.seed.unwrap_or(crate::observe::DEFAULT_SEED);
+    if let Some(path) = &options.trace_path {
+        if let Err(e) = crate::observe::write_reference_trace(path, seed) {
+            eprintln!("{name}: cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if options.roofline {
+        print!("{}", crate::observe::roofline_report(seed).render_text());
     }
     ExitCode::SUCCESS
 }
@@ -230,6 +264,19 @@ mod tests {
         assert!(parse(args(&["--seed"])).is_err());
         assert!(parse(args(&["--seed", "not-a-number"])).is_err());
         assert!(parse(args(&["--seed", "-1"])).is_err());
+        assert!(parse(args(&["--trace"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace_and_roofline() {
+        let options = parse(args(&["--trace", "/tmp/trace.json", "--roofline"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(options.trace_path.as_deref(), Some("/tmp/trace.json"));
+        assert!(options.roofline);
+        let defaults = parse(args(&[])).unwrap().unwrap();
+        assert_eq!(defaults.trace_path, None);
+        assert!(!defaults.roofline);
     }
 
     #[test]

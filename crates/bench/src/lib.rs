@@ -15,6 +15,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod harness;
+pub mod observe;
 
 use std::time::Instant;
 

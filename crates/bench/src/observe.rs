@@ -1,0 +1,253 @@
+//! The `--trace` / `--roofline` observability pass shared by every
+//! experiment binary.
+//!
+//! Two artifacts, both driven from [`cli`](crate::cli) flags:
+//!
+//! * **`--trace <path>`** — runs a traced reference Hogwild! training run
+//!   (D8M8, two workers) and writes its span timeline as Chrome
+//!   trace-event JSON, loadable in `chrome://tracing` or Perfetto. A
+//!   self-time summary goes to stderr so the flame shape is visible
+//!   without leaving the terminal.
+//! * **`--roofline`** — prints the DMGC roofline: for dense SGD at 32-bit
+//!   and 8-bit (and the 16-bit midpoint), the modeled cycles per element
+//!   split into **compute** (instruction issue, from
+//!   `buckwild_kernels::cost`), **memory** (DRAM streaming, same model),
+//!   and **coherence** (effective invalidations measured by the cache
+//!   simulator, each charged an L3 round trip), next to the cost model's
+//!   predicted GNPS and the GNPS *measured* from traced kernel spans of a
+//!   real training run. A fault-injected chaos run contributes the
+//!   observed write-staleness, progress-lag, and stall distributions.
+//!
+//! The fusion is deliberately cross-crate: `kernels::cost` knows
+//! arithmetic, `cachesim` knows coherence, `buckwild-trace` knows what
+//! actually happened — the roofline is where the three meet.
+
+use buckwild::{ChaosSgdConfig, FaultPlan, Loss, NoopInjector, SgdConfig};
+use buckwild_cachesim::{Machine, SgdWorkload, SimConfig};
+use buckwild_dataset::generate;
+use buckwild_dmgc::{RooflineEntry, RooflineReport, Signature};
+use buckwild_kernels::cost::{iteration_mix, CostParams, QuantizerKind};
+use buckwild_kernels::KernelFlavor;
+use buckwild_telemetry::{NoopRecorder, Recorder, ShardedRecorder};
+use buckwild_trace::{Phase, RingTracer, Trace};
+
+/// Model features of the profiled reference runs: large enough that span
+/// bookkeeping (two clock reads per kernel call) is amortized over
+/// thousands of elements.
+const FEATURES: usize = 4096;
+/// Examples in the reference problem.
+const EXAMPLES: usize = 256;
+/// Seed used for the reference problem and fault plans when the binary
+/// was not given `--seed`.
+pub const DEFAULT_SEED: u64 = 97;
+/// Cores simulated for the coherence term.
+const SIM_CORES: usize = 4;
+
+/// The signatures profiled by the roofline (the Figure 5a dense diagonal).
+const ROOFLINE_SIGNATURES: [&str; 3] = ["D32fM32f", "D16M16", "D8M8"];
+
+fn quantizer_for(signature: &Signature) -> QuantizerKind {
+    if signature.model().is_float() {
+        QuantizerKind::Biased
+    } else {
+        QuantizerKind::XorshiftShared
+    }
+}
+
+/// Runs the traced reference training run: D8M8, two workers, wall-clock
+/// spans for every epoch, minibatch, gradient kernel, and model write.
+#[must_use]
+pub fn reference_trace(seed: u64) -> Trace {
+    let problem = generate::logistic_dense(FEATURES, EXAMPLES, seed);
+    let tracer = RingTracer::new();
+    SgdConfig::new(Loss::Logistic)
+        .signature("D8M8".parse().expect("valid signature"))
+        .threads(2)
+        .epochs(2)
+        .seed(seed)
+        .train_traced(&problem.data, &NoopRecorder, &NoopInjector, &tracer)
+        .expect("reference configuration is valid");
+    tracer.drain()
+}
+
+/// Captures the reference trace and writes it to `path` as Chrome
+/// trace-event JSON, printing the self-time summary to stderr.
+///
+/// # Errors
+///
+/// Propagates the I/O error if `path` cannot be written.
+pub fn write_reference_trace(path: &str, seed: u64) -> std::io::Result<()> {
+    let trace = reference_trace(seed);
+    std::fs::write(path, trace.to_chrome_json())?;
+    eprintln!("trace: {} spans -> {path}", trace.events().len());
+    eprintln!("{}", trace.self_time_summary());
+    Ok(())
+}
+
+/// Aggregate GNPS over the compute/write spans of a trace: elements
+/// touched per busy nanosecond, i.e. single-thread-equivalent kernel
+/// throughput, directly comparable to the cost model's per-element
+/// prediction. `None` when the trace holds no kernel spans.
+#[must_use]
+pub fn traced_kernel_gnps(trace: &Trace) -> Option<f64> {
+    let mut elems = 0u64;
+    let mut busy_ns = 0u64;
+    for e in trace.events() {
+        if matches!(e.phase, Phase::GradientKernel | Phase::ModelWrite) {
+            elems += e.arg;
+            busy_ns += e.dur;
+        }
+    }
+    (busy_ns > 0).then(|| elems as f64 / busy_ns as f64)
+}
+
+/// Measures one signature's kernel GNPS from a traced single-thread run.
+fn measured_gnps(signature: &Signature, seed: u64) -> Option<f64> {
+    let problem = generate::logistic_dense(FEATURES, EXAMPLES, seed);
+    let tracer = RingTracer::new();
+    SgdConfig::new(Loss::Logistic)
+        .signature(*signature)
+        .threads(1)
+        .epochs(2)
+        .seed(seed)
+        .train_traced(&problem.data, &NoopRecorder, &NoopInjector, &tracer)
+        .ok()?;
+    traced_kernel_gnps(&tracer.drain())
+}
+
+/// Coherence cycles per processed element for a dense shared-model run:
+/// the cache simulator's *effective* invalidations (sent minus ignored),
+/// each charged one L3 round trip, amortized over the numbers processed.
+fn simulated_coherence_cycles(signature: &Signature) -> f64 {
+    let config = SimConfig::paper_xeon(SIM_CORES);
+    let l3_latency = config.geometry.l3_latency as f64;
+    let elem_bytes = u64::from(signature.model_bits().max(8)) / 8;
+    let workload = SgdWorkload::dense(FEATURES, elem_bytes, 6);
+    let report = Machine::new(config).run(&workload);
+    let effective = (report.invalidates_sent - report.invalidates_ignored) as f64;
+    effective * l3_latency / report.numbers_processed.max(1) as f64
+}
+
+/// Builds the DMGC roofline report: one entry per profiled signature, the
+/// chaos-run staleness distributions attached.
+#[must_use]
+pub fn roofline_report(seed: u64) -> RooflineReport {
+    let params = CostParams::xeon();
+    let flavor = KernelFlavor::Optimized;
+    let mut report = RooflineReport::new("paper-xeon");
+    for text in ROOFLINE_SIGNATURES {
+        let signature: Signature = text.parse().expect("valid signature");
+        let quantizer = quantizer_for(&signature);
+        let mix = iteration_mix(&signature, flavor, quantizer);
+        let compute = mix.total_instrs() / params.issue_per_cycle;
+        let memory = mix.dataset_bytes / params.bytes_per_cycle
+            + params.overhead_per_32b * mix.dataset_bytes / 32.0;
+        report.push(RooflineEntry {
+            label: format!("{text}/{flavor}"),
+            compute_cycles: compute,
+            memory_cycles: memory,
+            coherence_cycles: simulated_coherence_cycles(&signature),
+            predicted_gnps: params.estimate_gnps(&mix),
+            measured_gnps: measured_gnps(&signature, seed),
+        });
+    }
+    attach_chaos_distributions(&mut report, seed);
+    report
+}
+
+/// Runs a fault-injected chaos simulation and attaches its observed
+/// write-staleness, progress-lag, and stall-length distributions.
+fn attach_chaos_distributions(report: &mut RooflineReport, seed: u64) {
+    let problem = generate::logistic_dense(64, 400, seed);
+    let plan = FaultPlan::new(seed).delay_writes(0.3, 8).stalls(0.05, 4);
+    let recorder = ShardedRecorder::new(1);
+    let run = ChaosSgdConfig::new(Loss::Logistic, plan)
+        .threads(4)
+        .epochs(3)
+        .train_with(&problem.data, &recorder);
+    if run.is_err() {
+        return;
+    }
+    let snapshot = recorder.snapshot();
+    for (metric, name) in [
+        (buckwild_chaos::metric::WRITE_STALENESS, "write staleness"),
+        (
+            buckwild_chaos::metric::PROGRESS_LAG,
+            "gradient age (progress lag)",
+        ),
+        (buckwild_chaos::metric::STALL_TICKS, "stall length"),
+    ] {
+        if let Some(summary) = snapshot.histogram(metric) {
+            report.push_distribution(name, "ticks", summary);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_trace_has_kernel_spans_and_valid_json() {
+        let trace = reference_trace(DEFAULT_SEED);
+        assert!(!trace.is_empty());
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.phase == Phase::GradientKernel));
+        let json = trace.to_chrome_json();
+        let doc = buckwild_telemetry::json::parse(&json).expect("valid JSON");
+        assert!(doc.get("traceEvents").is_some());
+        assert!(traced_kernel_gnps(&trace).is_some());
+    }
+
+    #[test]
+    fn roofline_covers_8_and_32_bit_with_coherence_term() {
+        let report = roofline_report(DEFAULT_SEED);
+        let labels: Vec<_> = report.entries().iter().map(|e| e.label.as_str()).collect();
+        assert!(
+            labels.iter().any(|l| l.starts_with("D32fM32f")),
+            "{labels:?}"
+        );
+        assert!(labels.iter().any(|l| l.starts_with("D8M8")), "{labels:?}");
+        for e in report.entries() {
+            assert!(e.compute_cycles > 0.0, "{}", e.label);
+            assert!(e.memory_cycles > 0.0, "{}", e.label);
+            assert!(
+                e.coherence_cycles > 0.0,
+                "{}: shared model on {SIM_CORES} cores must invalidate",
+                e.label
+            );
+            assert!(e.predicted_gnps > 0.0);
+            let measured = e.measured_gnps.expect("traced run succeeds");
+            assert!(measured > 0.0);
+        }
+        // Narrower numbers stream fewer bytes: 8-bit must beat 32-bit in
+        // predicted throughput.
+        let gnps = |prefix: &str| {
+            report
+                .entries()
+                .iter()
+                .find(|e| e.label.starts_with(prefix))
+                .unwrap()
+                .predicted_gnps
+        };
+        assert!(gnps("D8M8") > gnps("D32fM32f"));
+    }
+
+    #[test]
+    fn roofline_attaches_chaos_distributions() {
+        let report = roofline_report(DEFAULT_SEED);
+        let names: Vec<_> = report
+            .distributions()
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect();
+        assert!(names.contains(&"write staleness"), "{names:?}");
+        let staleness = &report.distributions()[0].summary;
+        assert!(staleness.count > 0);
+        assert!(staleness.p95 >= staleness.p50);
+        let text = report.render_text();
+        assert!(text.contains("write staleness"));
+    }
+}

@@ -2,6 +2,7 @@
 
 use buckwild_prng::{split_seed, Prng, Xorshift128};
 use buckwild_telemetry::{Counter, Gauge, Recorder};
+use buckwild_trace::{NoopTracer, Phase, Tracer, WorkerTracer};
 
 use crate::cache::{Directory, SetAssocCache};
 use crate::workload::{Region, SgdWorkload};
@@ -263,8 +264,21 @@ impl Machine {
     /// under true concurrency. Timing is latency-based per core plus a
     /// shared-bus serialization bound.
     pub fn run(&mut self, workload: &SgdWorkload) -> SimReport {
+        self.run_traced(workload, &NoopTracer)
+    }
+
+    /// Runs the workload while recording one gradient-kernel span per core
+    /// per iteration through `tracer`, stamped on each core's own simulated
+    /// cycle clock (span start = the core's cycle count when the iteration
+    /// begins, duration = the cycles it charges, argument = dataset numbers
+    /// processed). The timeline is a pure function of the configuration and
+    /// workload, so drive this with a virtual-clock tracer to get
+    /// reproducible Chrome traces of the simulated machine.
+    pub fn run_traced<T: Tracer>(&mut self, workload: &SgdWorkload, tracer: &T) -> SimReport {
         const INTERLEAVE: usize = 2;
+        let mut spans: Vec<T::Worker> = (0..self.config.cores).map(|c| tracer.worker(c)).collect();
         for iteration in 0..workload.iterations_per_core {
+            let cycles_before: Vec<u64> = self.cores.iter().map(|c| c.cycles).collect();
             let traces: Vec<_> = (0..self.config.cores)
                 .map(|core| {
                     workload.iteration_accesses(core, iteration, self.config.geometry.line_bytes)
@@ -296,6 +310,14 @@ impl Machine {
                     * self.config.compute_cycles_per_number) as u64;
                 self.cores[core].cycles += compute;
                 self.report.numbers_processed += workload.numbers_per_iteration() as u64;
+                let start = cycles_before[core];
+                let dur = (self.cores[core].cycles - start).max(1);
+                spans[core].record(
+                    Phase::GradientKernel,
+                    start,
+                    dur,
+                    workload.numbers_per_iteration() as u64,
+                );
             }
         }
         let slowest = self.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
@@ -626,6 +648,52 @@ mod tests {
         let plain = Machine::new(SimConfig::paper_xeon(2)).run(&w);
         let noop = Machine::new(SimConfig::paper_xeon(2)).run_with(&w, &NoopRecorder);
         assert_eq!(plain, noop);
+    }
+
+    #[test]
+    fn traced_run_stamps_core_cycle_timelines() {
+        use buckwild_trace::RingTracer;
+        let w = SgdWorkload::dense(4096, 1, 4);
+        let tracer = RingTracer::virtual_clock(1 << 16);
+        let report = Machine::new(SimConfig::paper_xeon(2)).run_traced(&w, &tracer);
+        let trace = tracer.drain();
+        // One gradient-kernel span per core per iteration.
+        assert_eq!(trace.events().len(), 2 * 4);
+        assert!(trace
+            .events()
+            .iter()
+            .all(|e| e.phase == Phase::GradientKernel));
+        // Span timelines never extend past the machine's completion time.
+        let horizon = trace
+            .events()
+            .iter()
+            .map(|e| e.start + e.dur)
+            .max()
+            .unwrap();
+        assert!(horizon <= report.cycles, "{horizon} vs {}", report.cycles);
+        // Per-core spans are contiguous: each starts where the previous
+        // one ended.
+        for core in 0..2u32 {
+            let mut prev_end = 0;
+            for e in trace.events().iter().filter(|e| e.worker == core) {
+                assert_eq!(e.start, prev_end);
+                prev_end = e.start + e.dur;
+            }
+        }
+    }
+
+    #[test]
+    fn traced_run_is_deterministic_and_unperturbed() {
+        use buckwild_trace::RingTracer;
+        let w = SgdWorkload::dense(2048, 1, 3);
+        let plain = Machine::new(SimConfig::paper_xeon(4)).run(&w);
+        let t1 = RingTracer::virtual_clock(1 << 16);
+        let r1 = Machine::new(SimConfig::paper_xeon(4)).run_traced(&w, &t1);
+        let t2 = RingTracer::virtual_clock(1 << 16);
+        let r2 = Machine::new(SimConfig::paper_xeon(4)).run_traced(&w, &t2);
+        assert_eq!(plain, r1);
+        assert_eq!(r1, r2);
+        assert_eq!(t1.drain().to_chrome_json(), t2.drain().to_chrome_json());
     }
 
     #[test]

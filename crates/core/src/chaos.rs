@@ -22,6 +22,7 @@ use buckwild_dataset::DenseDataset;
 use buckwild_telemetry::{
     Counter, Histogram, MetricsSnapshot, NoopRecorder, Recorder, ShardedRecorder,
 };
+use buckwild_trace::{fault_kind, NoopTracer, Phase, Tracer, WorkerTracer};
 
 use crate::train::metric;
 use crate::{metrics, ConfigError, Loss, TrainError};
@@ -162,11 +163,35 @@ impl ChaosSgdConfig {
         data: &DenseDataset<f32>,
         recorder: &R,
     ) -> Result<ChaosReport, TrainError> {
+        self.train_traced(data, recorder, &NoopTracer)
+    }
+
+    /// Runs the deterministic engine, recording spans through the given
+    /// [`Tracer`] in addition to recorder telemetry.
+    ///
+    /// Spans are stamped with the *scheduler tick* (use a virtual-clock
+    /// tracer such as `RingTracer::virtual_clock`): one-tick minibatch
+    /// spans per iteration, model-write spans annotated with their
+    /// staleness in ticks, fault spans for stalls / dropped and delayed
+    /// writes / recoveries, and one epoch span per epoch on the driver
+    /// row. With a virtual clock the trace — like the report — is a pure
+    /// function of the configuration and seeds, so the exported JSON is
+    /// byte-identical across runs.
+    ///
+    /// # Errors
+    ///
+    /// See [`ChaosSgdConfig::train`].
+    pub fn train_traced<R: Recorder, T: Tracer>(
+        &self,
+        data: &DenseDataset<f32>,
+        recorder: &R,
+        tracer: &T,
+    ) -> Result<ChaosReport, TrainError> {
         self.validate()?;
         if data.examples() == 0 {
             return Err(TrainError::EmptyDataset);
         }
-        let mut sim = Simulator::new(self, data, recorder);
+        let mut sim = Simulator::new(self, data, recorder, tracer);
         for epoch in 0..self.epochs {
             sim.run_epoch(epoch);
         }
@@ -199,6 +224,7 @@ struct VWorker {
 struct PendingWrite {
     due_tick: u64,
     born_tick: u64,
+    worker: usize,
     example: usize,
     coeff: f32,
 }
@@ -223,7 +249,7 @@ struct Telemetry<C, H> {
     progress_lag: H,
 }
 
-struct Simulator<'d, C, H> {
+struct Simulator<'d, C, H, W> {
     loss: Loss,
     plan: FaultPlan,
     threads: usize,
@@ -236,13 +262,18 @@ struct Simulator<'d, C, H> {
     tick: u64,
     epoch_losses: Vec<f64>,
     tel: Telemetry<C, H>,
+    /// One span sink per virtual worker, stamped with scheduler ticks.
+    spans: Vec<W>,
+    /// Driver-row span sink (epochs, recoveries) on row `threads`.
+    driver: W,
 }
 
-impl<'d, C: Counter, H: Histogram> Simulator<'d, C, H> {
-    fn new<R: Recorder<Counter = C, Histogram = H>>(
+impl<'d, C: Counter, H: Histogram, W: WorkerTracer> Simulator<'d, C, H, W> {
+    fn new<R: Recorder<Counter = C, Histogram = H>, T: Tracer<Worker = W>>(
         config: &ChaosSgdConfig,
         data: &'d DenseDataset<f32>,
         recorder: &R,
+        tracer: &T,
     ) -> Self {
         let tel = Telemetry {
             iterations: recorder.counter(metric::ITERATIONS),
@@ -269,6 +300,8 @@ impl<'d, C: Counter, H: Histogram> Simulator<'d, C, H> {
             tick: 0,
             epoch_losses: Vec::with_capacity(config.epochs),
             tel,
+            spans: (0..config.threads).map(|w| tracer.worker(w)).collect(),
+            driver: tracer.worker(config.threads),
         }
     }
 
@@ -303,6 +336,7 @@ impl<'d, C: Counter, H: Histogram> Simulator<'d, C, H> {
             .checkpoint_iterations()
             .map(|k| self.total_iters() + k.get());
         let step = self.step_size * self.step_decay.powi(epoch as i32);
+        let epoch_start = self.tick;
         while self.workers.iter().any(|w| w.cursor < w.shard_len) {
             self.tick += 1;
             self.apply_due_writes();
@@ -331,6 +365,12 @@ impl<'d, C: Counter, H: Histogram> Simulator<'d, C, H> {
             }
         }
         self.flush_pending();
+        self.driver.record(
+            Phase::Epoch,
+            epoch_start,
+            (self.tick - epoch_start).max(1),
+            epoch as u64,
+        );
         self.epoch_losses
             .push(metrics::mean_loss(self.loss, &self.shared, self.data));
     }
@@ -352,6 +392,12 @@ impl<'d, C: Counter, H: Histogram> Simulator<'d, C, H> {
                     self.workers[w].stall_left = ticks;
                     self.tel.stalls.incr();
                     self.tel.stall_ticks.record(f64::from(ticks));
+                    self.spans[w].record(
+                        Phase::ChaosFault,
+                        self.tick,
+                        u64::from(ticks),
+                        fault_kind::STALL,
+                    );
                 }
                 IterFate::Crash(_) => return true,
             }
@@ -392,6 +438,7 @@ impl<'d, C: Counter, H: Histogram> Simulator<'d, C, H> {
         worker.armed = false;
         self.tel.iterations.incr();
         self.tel.numbers.add(n as u64);
+        self.spans[w].record(Phase::Minibatch, self.tick, 1, i as u64);
         if a == 0.0 {
             return;
         }
@@ -406,18 +453,22 @@ impl<'d, C: Counter, H: Histogram> Simulator<'d, C, H> {
         match worker.run.write_fate() {
             WriteFate::Apply => {
                 self.tel.write_staleness.record(0.0);
+                self.spans[w].record(Phase::ModelWrite, self.tick, 1, 0);
                 for (sj, &xj) in self.shared.iter_mut().zip(x) {
                     *sj += a * xj;
                 }
             }
             WriteFate::Drop => {
                 self.tel.dropped.incr();
+                self.spans[w].record(Phase::ChaosFault, self.tick, 1, fault_kind::DROPPED_WRITE);
             }
             WriteFate::Delay(ticks) => {
                 self.tel.delayed.incr();
+                self.spans[w].record(Phase::ChaosFault, self.tick, 1, fault_kind::DELAYED_WRITE);
                 self.pending.push(PendingWrite {
                     due_tick: self.tick + u64::from(ticks),
                     born_tick: self.tick,
+                    worker: w,
                     example: i,
                     coeff: a,
                 });
@@ -430,14 +481,15 @@ impl<'d, C: Counter, H: Histogram> Simulator<'d, C, H> {
         let mut due = Vec::new();
         self.pending.retain_mut(|p| {
             if p.due_tick <= tick {
-                due.push((p.born_tick, p.example, p.coeff));
+                due.push((p.born_tick, p.worker, p.example, p.coeff));
                 false
             } else {
                 true
             }
         });
-        for (born, example, coeff) in due {
+        for (born, worker, example, coeff) in due {
             self.tel.write_staleness.record((tick - born) as f64);
+            self.spans[worker].record(Phase::ModelWrite, tick, 1, tick - born);
             let x = self.data.example(example);
             for (sj, &xj) in self.shared.iter_mut().zip(x) {
                 *sj += coeff * xj;
@@ -450,6 +502,7 @@ impl<'d, C: Counter, H: Histogram> Simulator<'d, C, H> {
         let tick = self.tick;
         for p in std::mem::take(&mut self.pending) {
             self.tel.write_staleness.record((tick - p.born_tick) as f64);
+            self.spans[p.worker].record(Phase::ModelWrite, tick, 1, tick - p.born_tick);
             let x = self.data.example(p.example);
             for (sj, &xj) in self.shared.iter_mut().zip(x) {
                 *sj += p.coeff * xj;
@@ -471,6 +524,8 @@ impl<'d, C: Counter, H: Histogram> Simulator<'d, C, H> {
 
     fn recover(&mut self, checkpoint: &Checkpoint, stale_views: bool) {
         self.tel.recoveries.incr();
+        self.driver
+            .record(Phase::ChaosFault, self.tick, 1, fault_kind::RECOVERY);
         let replayed = self.total_iters() - checkpoint.iters.iter().sum::<u64>();
         self.tel.replayed.add(replayed);
         self.shared.copy_from_slice(&checkpoint.model);
@@ -722,6 +777,36 @@ mod tests {
             quick(FaultPlan::new(0)).epochs(0).train(&p.data),
             Err(TrainError::Config(_))
         ));
+    }
+
+    #[test]
+    fn traced_run_is_tick_stamped_and_reproducible() {
+        use buckwild_trace::RingTracer;
+        let p = generate::logistic_dense(16, 120, 21);
+        let config = quick(FaultPlan::new(8).delay_writes(0.5, 6).stalls(0.1, 3)).epochs(2);
+        let run = |_| {
+            let tracer = RingTracer::virtual_clock(1 << 16);
+            let report = config
+                .train_traced(&p.data, &NoopRecorder, &tracer)
+                .unwrap();
+            (report, tracer.drain())
+        };
+        let (report_a, trace_a) = run(());
+        let (report_b, trace_b) = run(());
+        assert_eq!(report_a, report_b);
+        assert!(trace_a.is_virtual());
+        assert_eq!(trace_a.events(), trace_b.events());
+        assert_eq!(trace_a.to_chrome_json(), trace_b.to_chrome_json());
+        let count = |phase: Phase| trace_a.events().iter().filter(|e| e.phase == phase).count();
+        assert_eq!(count(Phase::Epoch), 2);
+        assert_eq!(count(Phase::Minibatch), 240);
+        assert!(count(Phase::ModelWrite) > 0);
+        assert!(count(Phase::ChaosFault) > 0, "stalls and delays were drawn");
+        // Delayed writes carry their tick staleness as the span annotation.
+        assert!(trace_a
+            .events()
+            .iter()
+            .any(|e| e.phase == Phase::ModelWrite && e.arg > 0));
     }
 
     #[test]

@@ -52,6 +52,14 @@
 //! simulator whose [`ChaosReport`] is bit-reproducible per seed. The
 //! common import surface lives in [`prelude`].
 //!
+//! Observability: the `buckwild-trace` crate defines zero-cost span
+//! tracing on the same monomorphization discipline as the telemetry
+//! recorder. The `*_traced` entry points ([`SgdConfig::train_traced`],
+//! [`ChaosSgdConfig::train_traced`], [`SyncSgdConfig::train_traced`])
+//! record per-worker epoch/minibatch/kernel/write/fault timelines into a
+//! [`RingTracer`], exportable as Chrome trace-event JSON
+//! (chrome://tracing, Perfetto) or a flamegraph-style self-time summary.
+//!
 //! Supporting modules: [`model`] (the shared atomic parameter vector),
 //! [`loss`] (the GLM losses, all a single dot-and-AXPY pair per step),
 //! [`obstinate`] (a software emulation of the paper's obstinate-cache
@@ -88,3 +96,7 @@ pub use buckwild_dmgc::Signature;
 pub use buckwild_fixed::Rounding;
 pub use buckwild_kernels::KernelFlavor;
 pub use buckwild_prng::PrngKind;
+pub use buckwild_trace::{
+    fault_kind, NoopTracer, NoopWorkerTracer, Phase, RingTracer, SpanEvent, Trace, Tracer,
+    WorkerTracer,
+};

@@ -32,3 +32,4 @@ pub use buckwild_dmgc::Signature;
 pub use buckwild_fixed::Rounding;
 pub use buckwild_kernels::KernelFlavor;
 pub use buckwild_prng::PrngKind;
+pub use buckwild_trace::{NoopTracer, Phase, RingTracer, Trace, Tracer, WorkerTracer};

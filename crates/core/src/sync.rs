@@ -38,6 +38,7 @@ use std::time::Instant;
 use buckwild_chaos::{FaultPlan, WriteFate};
 use buckwild_dataset::DenseDataset;
 use buckwild_dmgc::{NumberFormat, Signature, SyncMode};
+use buckwild_trace::{fault_kind, NoopTracer, Phase, Tracer, WorkerTracer};
 
 use crate::config::EpochObserver;
 use crate::{metrics, ConfigError, Loss, TrainControl, TrainError, TrainProgress};
@@ -211,7 +212,29 @@ impl SyncSgdConfig {
     /// [`TrainError::Config`] for invalid parameters;
     /// [`TrainError::EmptyDataset`] for empty input.
     pub fn train(&self, data: &DenseDataset<f32>) -> Result<Vec<f64>, TrainError> {
-        Ok(self.run(data, None)?.into_epoch_losses())
+        Ok(self.run(data, None, &NoopTracer)?.into_epoch_losses())
+    }
+
+    /// Runs synchronous training while recording span timelines through
+    /// the given [`Tracer`]: per-round gradient-kernel spans on each
+    /// worker row, the server's model-update span and per-epoch spans on
+    /// the driver row (`workers`), and fault spans for dropped gradient
+    /// messages.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Plan`] for invalid plans, otherwise as
+    /// [`SyncSgdConfig::train`].
+    pub fn train_traced<T: Tracer>(
+        &self,
+        data: &DenseDataset<f32>,
+        plan: Option<&FaultPlan>,
+        tracer: &T,
+    ) -> Result<SyncFaultReport, TrainError> {
+        if let Some(p) = plan {
+            p.validate()?;
+        }
+        self.run(data, plan, tracer)
     }
 
     /// Runs synchronous training under a seeded [`FaultPlan`]: each round,
@@ -230,13 +253,14 @@ impl SyncSgdConfig {
         plan: &FaultPlan,
     ) -> Result<SyncFaultReport, TrainError> {
         plan.validate()?;
-        self.run(data, Some(plan))
+        self.run(data, Some(plan), &NoopTracer)
     }
 
-    fn run(
+    fn run<T: Tracer>(
         &self,
         data: &DenseDataset<f32>,
         plan: Option<&FaultPlan>,
+        tracer: &T,
     ) -> Result<SyncFaultReport, TrainError> {
         if self.comm_bits == 0 || self.comm_bits > 32 {
             return Err(TrainError::Config(ConfigError::InvalidParameter(
@@ -266,8 +290,16 @@ impl SyncSgdConfig {
         let round_size = self.workers * self.batch_per_worker;
         let mut dropped_messages = 0u64;
         let start_time = Instant::now();
+        // One span row per (logical) worker plus a driver row for the
+        // parameter server: epoch boundaries and the aggregated model
+        // update live on the driver row, gradient computation on the
+        // worker rows. The engine is sequential, so the rows reflect the
+        // logical round structure rather than real parallelism.
+        let mut wtracers: Vec<T::Worker> = (0..self.workers).map(|w| tracer.worker(w)).collect();
+        let mut driver = tracer.worker(self.workers);
 
         for epoch in 0..self.epochs {
+            let epoch_span = driver.begin();
             let step = self.step_size * self.step_decay.powi(epoch as i32);
             let mut runs: Option<Vec<_>> =
                 plan.map(|p| (0..self.workers).map(|w| p.worker_run(w, epoch)).collect());
@@ -286,10 +318,18 @@ impl SyncSgdConfig {
                     if let Some(runs) = runs.as_mut() {
                         if matches!(runs[w].write_fate(), WriteFate::Drop) {
                             dropped_messages += 1;
+                            let now = wtracers[w].now();
+                            wtracers[w].record(
+                                Phase::ChaosFault,
+                                now,
+                                1,
+                                fault_kind::DROPPED_WRITE,
+                            );
                             continue;
                         }
                     }
                     let end = (start + self.batch_per_worker).min(m);
+                    let round_span = wtracers[w].begin();
                     let mut gradient = vec![0f32; n];
                     for i in start..end {
                         let x = data.example(i);
@@ -307,15 +347,23 @@ impl SyncSgdConfig {
                         *agg += msg;
                     }
                     senders += 1;
+                    wtracers[w].end(
+                        Phase::GradientKernel,
+                        round_span,
+                        ((end - start) * n) as u64,
+                    );
                 }
                 if senders > 0 {
+                    let write_span = driver.begin();
                     let scale = step / senders as f32;
                     for (wj, agg) in model.iter_mut().zip(&aggregated) {
                         *wj += scale * agg;
                     }
+                    driver.end(Phase::ModelWrite, write_span, n as u64);
                 }
                 cursor += round_size;
             }
+            driver.end(Phase::Epoch, epoch_span, epoch as u64);
             let loss = metrics::mean_loss(self.loss, &model, data);
             losses.push(loss);
             if let Some(observer) = &self.on_epoch {
@@ -525,5 +573,54 @@ mod tests {
             .workers(0)
             .train(&p.data)
             .is_err());
+    }
+
+    #[test]
+    fn traced_sync_run_records_round_structure() {
+        use buckwild_trace::RingTracer;
+
+        let p = problem();
+        let config = SyncSgdConfig::new(Loss::Logistic, 8).workers(4).epochs(3);
+        let plain = config.train(&p.data).expect("valid");
+        let tracer = RingTracer::new();
+        let report = config.train_traced(&p.data, None, &tracer).expect("valid");
+        assert_eq!(report.epoch_losses(), plain.as_slice());
+        let trace = tracer.drain();
+        let count = |phase: Phase| trace.events().iter().filter(|e| e.phase == phase).count();
+        // One epoch span per epoch, on the driver row.
+        assert_eq!(count(Phase::Epoch), 3);
+        assert!(trace
+            .events()
+            .iter()
+            .filter(|e| e.phase == Phase::Epoch)
+            .all(|e| e.worker == 4));
+        // Every round: one gradient span per sending worker, one server
+        // write.
+        let rounds = p.data.examples().div_ceil(4 * config.batch_per_worker);
+        assert_eq!(count(Phase::ModelWrite), 3 * rounds);
+        assert!(count(Phase::GradientKernel) >= 3 * rounds);
+        assert_eq!(count(Phase::ChaosFault), 0);
+    }
+
+    #[test]
+    fn traced_sync_faults_surface_as_fault_spans() {
+        use buckwild_trace::RingTracer;
+
+        let p = problem();
+        let plan = FaultPlan::new(7).drop_writes(0.5);
+        let tracer = RingTracer::new();
+        let report = SyncSgdConfig::new(Loss::Logistic, 8)
+            .workers(4)
+            .epochs(2)
+            .train_traced(&p.data, Some(&plan), &tracer)
+            .expect("valid");
+        let trace = tracer.drain();
+        let faults = trace
+            .events()
+            .iter()
+            .filter(|e| e.phase == Phase::ChaosFault)
+            .count() as u64;
+        assert_eq!(faults, report.dropped_messages());
+        assert!(faults > 0, "drop probability 0.5 should fire");
     }
 }

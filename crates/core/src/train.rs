@@ -22,6 +22,7 @@ use buckwild_kernels::cost::QuantizerKind;
 use buckwild_kernels::optimized::FixedInt;
 use buckwild_prng::{split_seed, Mt19937, Prng, XorshiftLanes};
 use buckwild_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Recorder, ShardedRecorder};
+use buckwild_trace::{fault_kind, NoopTracer, Phase, Tracer, WorkerTracer};
 
 use crate::config::QuantizerConfig;
 use crate::{metrics, ConfigError, Loss, ModelPrecision, SgdConfig, SharedModel};
@@ -415,7 +416,7 @@ impl<C: Counter, H: Histogram> WorkerCounters<C, H> {
     /// Executes an iteration fate: counts and serves a stall, reports
     /// whether the iteration should run at all (`false` = crash).
     #[inline]
-    fn serve_fate(&self, fate: IterFate) -> bool {
+    fn serve_fate<T: WorkerTracer>(&self, fate: IterFate, tracer: &mut T) -> bool {
         match fate {
             IterFate::Proceed => true,
             IterFate::Stall(ticks) => {
@@ -423,9 +424,11 @@ impl<C: Counter, H: Histogram> WorkerCounters<C, H> {
                     chaos.stalls.incr();
                     chaos.stall_ticks.record(f64::from(ticks));
                 }
+                let span = tracer.begin();
                 for _ in 0..ticks {
                     std::thread::yield_now();
                 }
+                tracer.end(Phase::ChaosFault, span, fault_kind::STALL);
                 true
             }
             IterFate::Crash(_) => false,
@@ -445,6 +448,7 @@ mod sealed {
     use super::{Loss, QuantState, SgdConfig, WorkerCounters, WorkerCtx};
     use buckwild_chaos::WorkerInjector;
     use buckwild_telemetry::{Counter, Histogram};
+    use buckwild_trace::WorkerTracer;
 
     /// The private engine interface behind [`super::TrainData`]. Not
     /// nameable outside this crate, which seals the public trait.
@@ -459,12 +463,13 @@ mod sealed {
         fn model_features(&self) -> usize;
         /// Runs one worker's shard of one epoch. Returns `true` if the
         /// injector crashed the worker mid-epoch.
-        fn run_worker<C: Counter, H: Histogram, W: WorkerInjector>(
+        fn run_worker<C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
             prepared: &Self::Prepared<'_>,
             ctx: &WorkerCtx<'_>,
             counters: &WorkerCounters<C, H>,
             rng: &mut QuantState,
             inj: &mut W,
+            tracer: &mut T,
         ) -> bool;
         fn mean_loss(&self, loss: Loss, model: &[f32]) -> f64;
     }
@@ -501,17 +506,18 @@ impl sealed::Sealed for DenseDataset<f32> {
         }
     }
 
-    fn run_worker<C: Counter, H: Histogram, W: WorkerInjector>(
+    fn run_worker<C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
         prepared: &DenseQuant<'_>,
         ctx: &WorkerCtx<'_>,
         counters: &WorkerCounters<C, H>,
         rng: &mut QuantState,
         inj: &mut W,
+        tracer: &mut T,
     ) -> bool {
         match prepared {
-            DenseQuant::F32(d) => worker_dense_f32(ctx, d, counters, rng, inj),
-            DenseQuant::I16(d) => worker_dense_fixed(ctx, d, counters, rng, inj),
-            DenseQuant::I8(d) => worker_dense_fixed(ctx, d, counters, rng, inj),
+            DenseQuant::F32(d) => worker_dense_f32(ctx, d, counters, rng, inj, tracer),
+            DenseQuant::I16(d) => worker_dense_fixed(ctx, d, counters, rng, inj, tracer),
+            DenseQuant::I8(d) => worker_dense_fixed(ctx, d, counters, rng, inj, tracer),
         }
     }
 
@@ -551,17 +557,18 @@ impl sealed::Sealed for SparseDataset<f32, u32> {
         }
     }
 
-    fn run_worker<C: Counter, H: Histogram, W: WorkerInjector>(
+    fn run_worker<C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
         prepared: &SparseQuant<'_>,
         ctx: &WorkerCtx<'_>,
         counters: &WorkerCounters<C, H>,
         rng: &mut QuantState,
         inj: &mut W,
+        tracer: &mut T,
     ) -> bool {
         match prepared {
-            SparseQuant::F32(d) => worker_sparse_f32(ctx, d, counters, rng, inj),
-            SparseQuant::I16(d) => worker_sparse_fixed(ctx, d, counters, rng, inj),
-            SparseQuant::I8(d) => worker_sparse_fixed(ctx, d, counters, rng, inj),
+            SparseQuant::F32(d) => worker_sparse_f32(ctx, d, counters, rng, inj, tracer),
+            SparseQuant::I16(d) => worker_sparse_fixed(ctx, d, counters, rng, inj, tracer),
+            SparseQuant::I8(d) => worker_sparse_fixed(ctx, d, counters, rng, inj, tracer),
         }
     }
 
@@ -653,6 +660,29 @@ impl SgdConfig {
         recorder: &R,
         injector: &I,
     ) -> Result<TrainReport, TrainError> {
+        self.train_traced(data, recorder, injector, &NoopTracer)
+    }
+
+    /// The fully general entry point: trains like
+    /// [`SgdConfig::train_injected`] while recording span timelines
+    /// through the given [`Tracer`].
+    ///
+    /// Workers mark minibatch / gradient-kernel / model-write / stall
+    /// spans; the driver thread marks one epoch span per epoch (on
+    /// timeline row `threads`) and a recovery span per checkpoint
+    /// rollback. With [`NoopTracer`] — how every other entry point calls
+    /// this — all instrumentation monomorphizes away.
+    ///
+    /// # Errors
+    ///
+    /// See [`SgdConfig::train`].
+    pub fn train_traced<D: TrainData, R: Recorder, I: Injector, T: Tracer>(
+        &self,
+        data: &D,
+        recorder: &R,
+        injector: &I,
+        tracer: &T,
+    ) -> Result<TrainReport, TrainError> {
         self.validate()?;
         if sealed::Sealed::examples(data) == 0 {
             return Err(TrainError::EmptyDataset);
@@ -679,11 +709,15 @@ impl SgdConfig {
         } else {
             None
         };
+        // The driver thread's spans (epochs, recoveries) go on timeline
+        // row `threads`, one above the worker rows.
+        let mut driver = tracer.worker(self.threads);
         let mut epoch = 0usize;
         let mut replays = 0u32;
         while epoch < self.epochs {
             let step = self.step_size * self.step_decay.powi(epoch as i32);
             let start = Instant::now();
+            let epoch_span = driver.begin();
             let mut crashed = 0usize;
             std::thread::scope(|s| {
                 let mut handles = Vec::with_capacity(self.threads);
@@ -714,8 +748,9 @@ impl SgdConfig {
                         }),
                     };
                     let mut inj = injector.worker(t, epoch);
+                    let mut wtracer = tracer.worker(t);
                     handles.push(s.spawn(move || {
-                        D::run_worker(prepared, &ctx, &counters, &mut rng, &mut inj)
+                        D::run_worker(prepared, &ctx, &counters, &mut rng, &mut inj, &mut wtracer)
                     }));
                 }
                 crashed = handles
@@ -726,6 +761,7 @@ impl SgdConfig {
             });
             let secs = start.elapsed().as_secs_f64();
             epoch_seconds.record(secs);
+            driver.end(Phase::Epoch, epoch_span, epoch as u64);
             wall += secs;
             if crashed > 0 {
                 if let Some(ckpt) = &checkpoint {
@@ -735,7 +771,9 @@ impl SgdConfig {
                             recoveries.add(crashed as u64);
                             replayed.add(m as u64);
                         }
+                        let recovery_span = driver.begin();
                         model.restore_from(ckpt);
+                        driver.end(Phase::ChaosFault, recovery_span, fault_kind::RECOVERY);
                         continue;
                     }
                 }
@@ -789,12 +827,13 @@ impl SgdConfig {
     }
 }
 
-fn worker_dense_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector>(
+fn worker_dense_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
     ctx: &WorkerCtx<'_>,
     data: &DenseDataset<D>,
     counters: &WorkerCounters<C, H>,
     rng: &mut QuantState,
     inj: &mut W,
+    tracer: &mut T,
 ) -> bool {
     let x_spec = data.spec();
     let n = data.features();
@@ -805,20 +844,24 @@ fn worker_dense_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector>(
     };
     let mut batch_fill = 0usize;
     for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
-        if !counters.serve_fate(inj.iter_fate()) {
+        if !counters.serve_fate(inj.iter_fate(), tracer) {
             return true;
         }
+        let iter_span = tracer.begin();
         let x = data.example(i);
         let y = data.label(i);
         rng.begin_iteration();
         counters.iterations.incr();
         counters.numbers.add(n as u64);
+        let kernel_span = tracer.begin();
         let dot = ctx.model.dot_fixed(x, &x_spec);
+        tracer.end(Phase::GradientKernel, kernel_span, n as u64);
         let a = ctx.loss.axpy_scale(dot, y, ctx.step);
         if ctx.minibatch == 1 {
             if a != 0.0 {
                 if inj.keep_write() {
                     counters.rounds.add(n as u64);
+                    let write_span = tracer.begin();
                     match rng.block_offsets() {
                         Some(offs) => ctx.model.axpy_fixed_block(a, x, &x_spec, &offs),
                         None => {
@@ -826,6 +869,7 @@ fn worker_dense_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector>(
                             ctx.model.axpy_fixed(a, x, &x_spec, &mut off);
                         }
                     }
+                    tracer.end(Phase::ModelWrite, write_span, n as u64);
                 } else {
                     counters.count_dropped();
                 }
@@ -841,8 +885,10 @@ fn worker_dense_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector>(
             if batch_fill == ctx.minibatch {
                 if inj.keep_write() {
                     counters.rounds.add(n as u64);
+                    let write_span = tracer.begin();
                     let mut uni = |j: usize| rng.uniform(j);
                     ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+                    tracer.end(Phase::ModelWrite, write_span, n as u64);
                 } else {
                     counters.count_dropped();
                 }
@@ -850,12 +896,15 @@ fn worker_dense_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector>(
                 batch_fill = 0;
             }
         }
+        tracer.end(Phase::Minibatch, iter_span, i as u64);
     }
     if batch_fill > 0 {
         if inj.keep_write() {
             counters.rounds.add(n as u64);
+            let write_span = tracer.begin();
             let mut uni = |j: usize| rng.uniform(j);
             ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+            tracer.end(Phase::ModelWrite, write_span, n as u64);
         } else {
             counters.count_dropped();
         }
@@ -863,12 +912,13 @@ fn worker_dense_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector>(
     false
 }
 
-fn worker_dense_f32<C: Counter, H: Histogram, W: WorkerInjector>(
+fn worker_dense_f32<C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
     ctx: &WorkerCtx<'_>,
     data: &DenseDataset<f32>,
     counters: &WorkerCounters<C, H>,
     rng: &mut QuantState,
     inj: &mut W,
+    tracer: &mut T,
 ) -> bool {
     let n = data.features();
     let mut scratch = if ctx.minibatch > 1 {
@@ -878,22 +928,27 @@ fn worker_dense_f32<C: Counter, H: Histogram, W: WorkerInjector>(
     };
     let mut batch_fill = 0usize;
     for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
-        if !counters.serve_fate(inj.iter_fate()) {
+        if !counters.serve_fate(inj.iter_fate(), tracer) {
             return true;
         }
+        let iter_span = tracer.begin();
         let x = data.example(i);
         let y = data.label(i);
         rng.begin_iteration();
         counters.iterations.incr();
         counters.numbers.add(n as u64);
+        let kernel_span = tracer.begin();
         let dot = ctx.model.dot_f32(x);
+        tracer.end(Phase::GradientKernel, kernel_span, n as u64);
         let a = ctx.loss.axpy_scale(dot, y, ctx.step);
         if ctx.minibatch == 1 {
             if a != 0.0 {
                 if inj.keep_write() {
                     counters.rounds.add(n as u64);
+                    let write_span = tracer.begin();
                     let mut uni = |j: usize| rng.uniform(j);
                     ctx.model.axpy_f32(a, x, &mut uni);
+                    tracer.end(Phase::ModelWrite, write_span, n as u64);
                 } else {
                     counters.count_dropped();
                 }
@@ -908,8 +963,10 @@ fn worker_dense_f32<C: Counter, H: Histogram, W: WorkerInjector>(
             if batch_fill == ctx.minibatch {
                 if inj.keep_write() {
                     counters.rounds.add(n as u64);
+                    let write_span = tracer.begin();
                     let mut uni = |j: usize| rng.uniform(j);
                     ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+                    tracer.end(Phase::ModelWrite, write_span, n as u64);
                 } else {
                     counters.count_dropped();
                 }
@@ -917,12 +974,15 @@ fn worker_dense_f32<C: Counter, H: Histogram, W: WorkerInjector>(
                 batch_fill = 0;
             }
         }
+        tracer.end(Phase::Minibatch, iter_span, i as u64);
     }
     if batch_fill > 0 {
         if inj.keep_write() {
             counters.rounds.add(n as u64);
+            let write_span = tracer.begin();
             let mut uni = |j: usize| rng.uniform(j);
             ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+            tracer.end(Phase::ModelWrite, write_span, n as u64);
         } else {
             counters.count_dropped();
         }
@@ -930,12 +990,19 @@ fn worker_dense_f32<C: Counter, H: Histogram, W: WorkerInjector>(
     false
 }
 
-fn worker_sparse_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector>(
+fn worker_sparse_fixed<
+    D: FixedInt,
+    C: Counter,
+    H: Histogram,
+    W: WorkerInjector,
+    T: WorkerTracer,
+>(
     ctx: &WorkerCtx<'_>,
     data: &SparseDataset<D, u32>,
     counters: &WorkerCounters<C, H>,
     rng: &mut QuantState,
     inj: &mut W,
+    tracer: &mut T,
 ) -> bool {
     let x_spec = data.spec();
     // Mini-batch handling for sparse data: gradients are computed at the
@@ -943,23 +1010,28 @@ fn worker_sparse_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector>
     // written per example, but the gradient is a true mini-batch gradient.
     let mut pending: Vec<(usize, f32)> = Vec::new();
     for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
-        if !counters.serve_fate(inj.iter_fate()) {
+        if !counters.serve_fate(inj.iter_fate(), tracer) {
             return true;
         }
+        let iter_span = tracer.begin();
         let ex = data.example(i);
         let y = data.label(i);
         rng.begin_iteration();
         counters.iterations.incr();
         counters.numbers.add(ex.nnz() as u64);
+        let kernel_span = tracer.begin();
         let dot = ctx.model.dot_sparse_fixed(ex.values, ex.indices, &x_spec);
+        tracer.end(Phase::GradientKernel, kernel_span, ex.nnz() as u64);
         let a = ctx.loss.axpy_scale(dot, y, ctx.step);
         if ctx.minibatch == 1 {
             if a != 0.0 {
                 if inj.keep_write() {
                     counters.rounds.add(ex.nnz() as u64);
+                    let write_span = tracer.begin();
                     let mut off = |j: usize| rng.offset15(j);
                     ctx.model
                         .axpy_sparse_fixed(a, ex.values, ex.indices, &x_spec, &mut off);
+                    tracer.end(Phase::ModelWrite, write_span, ex.nnz() as u64);
                 } else {
                     counters.count_dropped();
                 }
@@ -976,13 +1048,16 @@ fn worker_sparse_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector>
                     }
                     let pex = data.example(pi);
                     counters.rounds.add(pex.nnz() as u64);
+                    let write_span = tracer.begin();
                     let mut off = |j: usize| rng.offset15(j);
                     ctx.model
                         .axpy_sparse_fixed(pa, pex.values, pex.indices, &x_spec, &mut off);
+                    tracer.end(Phase::ModelWrite, write_span, pex.nnz() as u64);
                 }
                 pending.clear();
             }
         }
+        tracer.end(Phase::Minibatch, iter_span, i as u64);
     }
     for &(pi, pa) in &pending {
         if !inj.keep_write() {
@@ -991,39 +1066,47 @@ fn worker_sparse_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector>
         }
         let pex = data.example(pi);
         counters.rounds.add(pex.nnz() as u64);
+        let write_span = tracer.begin();
         let mut off = |j: usize| rng.offset15(j);
         ctx.model
             .axpy_sparse_fixed(pa, pex.values, pex.indices, &x_spec, &mut off);
+        tracer.end(Phase::ModelWrite, write_span, pex.nnz() as u64);
     }
     false
 }
 
-fn worker_sparse_f32<C: Counter, H: Histogram, W: WorkerInjector>(
+fn worker_sparse_f32<C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
     ctx: &WorkerCtx<'_>,
     data: &SparseDataset<f32, u32>,
     counters: &WorkerCounters<C, H>,
     rng: &mut QuantState,
     inj: &mut W,
+    tracer: &mut T,
 ) -> bool {
     let mut pending: Vec<(usize, f32)> = Vec::new();
     for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
-        if !counters.serve_fate(inj.iter_fate()) {
+        if !counters.serve_fate(inj.iter_fate(), tracer) {
             return true;
         }
+        let iter_span = tracer.begin();
         let ex = data.example(i);
         let y = data.label(i);
         rng.begin_iteration();
         counters.iterations.incr();
         counters.numbers.add(ex.nnz() as u64);
+        let kernel_span = tracer.begin();
         let dot = ctx.model.dot_sparse_f32(ex.values, ex.indices);
+        tracer.end(Phase::GradientKernel, kernel_span, ex.nnz() as u64);
         let a = ctx.loss.axpy_scale(dot, y, ctx.step);
         if ctx.minibatch == 1 {
             if a != 0.0 {
                 if inj.keep_write() {
                     counters.rounds.add(ex.nnz() as u64);
+                    let write_span = tracer.begin();
                     let mut uni = |j: usize| rng.uniform(j);
                     ctx.model
                         .axpy_sparse_f32(a, ex.values, ex.indices, &mut uni);
+                    tracer.end(Phase::ModelWrite, write_span, ex.nnz() as u64);
                 } else {
                     counters.count_dropped();
                 }
@@ -1040,13 +1123,16 @@ fn worker_sparse_f32<C: Counter, H: Histogram, W: WorkerInjector>(
                     }
                     let pex = data.example(pi);
                     counters.rounds.add(pex.nnz() as u64);
+                    let write_span = tracer.begin();
                     let mut uni = |j: usize| rng.uniform(j);
                     ctx.model
                         .axpy_sparse_f32(pa, pex.values, pex.indices, &mut uni);
+                    tracer.end(Phase::ModelWrite, write_span, pex.nnz() as u64);
                 }
                 pending.clear();
             }
         }
+        tracer.end(Phase::Minibatch, iter_span, i as u64);
     }
     for &(pi, pa) in &pending {
         if !inj.keep_write() {
@@ -1055,9 +1141,11 @@ fn worker_sparse_f32<C: Counter, H: Histogram, W: WorkerInjector>(
         }
         let pex = data.example(pi);
         counters.rounds.add(pex.nnz() as u64);
+        let write_span = tracer.begin();
         let mut uni = |j: usize| rng.uniform(j);
         ctx.model
             .axpy_sparse_f32(pa, pex.values, pex.indices, &mut uni);
+        tracer.end(Phase::ModelWrite, write_span, pex.nnz() as u64);
     }
     false
 }
@@ -1219,6 +1307,48 @@ mod tests {
         assert!(silent.metrics().is_empty());
         assert_eq!(silent.iterations(), 0);
         assert_eq!(silent.wall_seconds(), 0.0);
+    }
+
+    #[test]
+    fn traced_run_captures_all_phases() {
+        use buckwild_trace::RingTracer;
+        let p = generate::logistic_dense(16, 60, 5);
+        let tracer = RingTracer::new();
+        let report = logistic_config()
+            .epochs(2)
+            .threads(2)
+            .train_traced(&p.data, &NoopRecorder, &NoopInjector, &tracer)
+            .unwrap();
+        assert!(report.final_loss().is_finite());
+        let trace = tracer.drain();
+        let count = |phase: Phase| trace.events().iter().filter(|e| e.phase == phase).count();
+        assert_eq!(count(Phase::Epoch), 2);
+        assert_eq!(count(Phase::Minibatch), 120);
+        assert_eq!(count(Phase::GradientKernel), 120);
+        assert!(count(Phase::ModelWrite) > 0);
+        // Epoch spans live on the driver row above the worker rows.
+        assert!(trace
+            .events()
+            .iter()
+            .filter(|e| e.phase == Phase::Epoch)
+            .all(|e| e.worker == 2));
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("gradient_kernel"));
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_training() {
+        use buckwild_trace::RingTracer;
+        let p = generate::logistic_dense(32, 200, 16);
+        let config = logistic_config().signature("D8M8".parse().unwrap());
+        let plain = config.train_with(&p.data, &NoopRecorder).unwrap();
+        let tracer = RingTracer::new();
+        let traced = config
+            .train_traced(&p.data, &NoopRecorder, &NoopInjector, &tracer)
+            .unwrap();
+        assert_eq!(plain.model(), traced.model());
+        assert_eq!(plain.epoch_losses(), traced.epoch_losses());
     }
 
     #[test]

@@ -42,8 +42,10 @@
 #![warn(missing_docs)]
 
 mod perf;
+pub mod roofline;
 mod signature;
 pub mod taxonomy;
 
 pub use perf::{AmdahlParams, CalibrationTable, PerfModel, PredictError, PAPER_TABLE2};
+pub use roofline::{BoundClass, ObservedDistribution, RooflineEntry, RooflineReport};
 pub use signature::{NumberClass, NumberFormat, ParseSignatureError, Signature, SyncMode};

@@ -1,0 +1,420 @@
+//! Roofline-style profiling report for DMGC configurations.
+//!
+//! The paper's §4 performance model predicts throughput from a
+//! [`Signature`](crate::Signature) alone; this module is the *measured*
+//! counterpart. A [`RooflineReport`] collects one [`RooflineEntry`] per
+//! profiled configuration — typically one per (signature, kernel flavour)
+//! pair — each decomposing the modeled cycles per element into the three
+//! DMGC resource classes:
+//!
+//! * **compute** — vector ALU + PRNG instruction issue (the D/M/G
+//!   arithmetic itself, Figure 5);
+//! * **memory** — dataset bytes streamed from DRAM plus per-stream
+//!   overhead (the D axis, Table 2's bandwidth wall);
+//! * **coherence** — cross-core invalidation traffic on the shared model
+//!   (the C axis: Hogwild!'s implicit communication, Figure 6).
+//!
+//! The entry also carries the cost model's predicted single-thread GNPS
+//! and, when available, the GNPS *measured* from a traced run, so the
+//! report doubles as a calibration check. Producers (the bench harness)
+//! fuse three measurement sources: `kernels::cost` instruction mixes for
+//! the compute and memory terms, cache-simulator invalidate counters for
+//! the coherence term, and `buckwild-trace` span timings for the measured
+//! throughput. This crate only defines the data model and its renderers,
+//! keeping the dependency graph acyclic.
+//!
+//! Fault-injected runs additionally surface write-staleness and
+//! gradient-age distributions ([`HistogramSummary`]) — the paper's §5
+//! staleness parameter τ, observed rather than assumed.
+
+use buckwild_telemetry::json::Value;
+use buckwild_telemetry::HistogramSummary;
+
+/// Which resource term dominates an entry's cycle budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundClass {
+    /// Instruction issue dominates: more lanes or fused instructions help.
+    Compute,
+    /// DRAM streaming dominates: narrower dataset numbers help.
+    Memory,
+    /// Cache-coherence traffic dominates: fewer model writers help.
+    Coherence,
+}
+
+impl BoundClass {
+    /// Short lowercase name, as printed in the report.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BoundClass::Compute => "compute",
+            BoundClass::Memory => "memory",
+            BoundClass::Coherence => "coherence",
+        }
+    }
+}
+
+impl std::fmt::Display for BoundClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One profiled configuration's cycle breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflineEntry {
+    /// Configuration label, e.g. `"D8M8/optimized"`.
+    pub label: String,
+    /// Modeled compute cycles per processed element.
+    pub compute_cycles: f64,
+    /// Modeled memory (DRAM stream) cycles per processed element.
+    pub memory_cycles: f64,
+    /// Modeled coherence cycles per processed element (invalidate misses
+    /// times their service latency, amortized per element).
+    pub coherence_cycles: f64,
+    /// The cost model's predicted single-thread throughput in GNPS.
+    pub predicted_gnps: f64,
+    /// Throughput measured from traced kernel spans, when a run was
+    /// profiled (`None` for model-only entries).
+    pub measured_gnps: Option<f64>,
+}
+
+impl RooflineEntry {
+    /// Total modeled cycles per element.
+    #[must_use]
+    pub fn total_cycles(&self) -> f64 {
+        self.compute_cycles + self.memory_cycles + self.coherence_cycles
+    }
+
+    /// The dominant resource term (ties break toward the earlier class in
+    /// compute → memory → coherence order).
+    #[must_use]
+    pub fn bound(&self) -> BoundClass {
+        if self.compute_cycles >= self.memory_cycles && self.compute_cycles >= self.coherence_cycles
+        {
+            BoundClass::Compute
+        } else if self.memory_cycles >= self.coherence_cycles {
+            BoundClass::Memory
+        } else {
+            BoundClass::Coherence
+        }
+    }
+
+    /// `(compute, memory, coherence)` as fractions of the total, each in
+    /// `[0, 1]`. All zeros when the entry has no cycles.
+    #[must_use]
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let total = self.total_cycles();
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.compute_cycles / total,
+            self.memory_cycles / total,
+            self.coherence_cycles / total,
+        )
+    }
+
+    /// Measured / predicted throughput, when both are available.
+    #[must_use]
+    pub fn efficiency(&self) -> Option<f64> {
+        let measured = self.measured_gnps?;
+        (self.predicted_gnps > 0.0).then(|| measured / self.predicted_gnps)
+    }
+
+    fn to_json_value(&self) -> Value {
+        let (c, m, h) = self.fractions();
+        Value::object(vec![
+            ("label", Value::from(self.label.as_str())),
+            ("bound", Value::from(self.bound().name())),
+            ("compute_cycles", Value::from(self.compute_cycles)),
+            ("memory_cycles", Value::from(self.memory_cycles)),
+            ("coherence_cycles", Value::from(self.coherence_cycles)),
+            ("compute_fraction", Value::from(c)),
+            ("memory_fraction", Value::from(m)),
+            ("coherence_fraction", Value::from(h)),
+            ("predicted_gnps", Value::from(self.predicted_gnps)),
+            (
+                "measured_gnps",
+                self.measured_gnps.map_or(Value::Null, Value::from),
+            ),
+        ])
+    }
+}
+
+/// A named observed distribution attached to the report (write staleness,
+/// gradient age, ...), with the unit its values are measured in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedDistribution {
+    /// What was measured, e.g. `"write staleness"`.
+    pub name: String,
+    /// Unit of the recorded values, e.g. `"ticks"`.
+    pub unit: String,
+    /// The quantile summary.
+    pub summary: HistogramSummary,
+}
+
+/// A collection of roofline entries plus observed staleness distributions,
+/// renderable as an aligned text table or a JSON document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RooflineReport {
+    machine: String,
+    entries: Vec<RooflineEntry>,
+    distributions: Vec<ObservedDistribution>,
+}
+
+impl RooflineReport {
+    /// Creates an empty report for the named machine model (e.g.
+    /// `"paper-xeon"`).
+    #[must_use]
+    pub fn new(machine: impl Into<String>) -> Self {
+        RooflineReport {
+            machine: machine.into(),
+            entries: Vec::new(),
+            distributions: Vec::new(),
+        }
+    }
+
+    /// Adds a profiled configuration.
+    pub fn push(&mut self, entry: RooflineEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Attaches an observed distribution (write staleness, gradient age).
+    pub fn push_distribution(
+        &mut self,
+        name: impl Into<String>,
+        unit: impl Into<String>,
+        summary: HistogramSummary,
+    ) {
+        self.distributions.push(ObservedDistribution {
+            name: name.into(),
+            unit: unit.into(),
+            summary,
+        });
+    }
+
+    /// The profiled entries, in insertion order.
+    #[must_use]
+    pub fn entries(&self) -> &[RooflineEntry] {
+        &self.entries
+    }
+
+    /// The attached distributions, in insertion order.
+    #[must_use]
+    pub fn distributions(&self) -> &[ObservedDistribution] {
+        &self.distributions
+    }
+
+    /// Renders the aligned text table, one row per entry, with a
+    /// distribution block when any were attached.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "DMGC roofline (machine: {})", self.machine);
+        let label_w = self
+            .entries
+            .iter()
+            .map(|e| e.label.len())
+            .chain(std::iter::once("config".len()))
+            .max()
+            .unwrap_or(6);
+        let _ = writeln!(
+            out,
+            "{:label_w$}  {:>9}  {:>8} {:>8} {:>10}  {:>9} {:>10} {:>9} {:>5}",
+            "config",
+            "bound",
+            "compute",
+            "memory",
+            "coherence",
+            "cyc/elem",
+            "pred GNPS",
+            "meas GNPS",
+            "eff",
+        );
+        for e in &self.entries {
+            let (c, m, h) = e.fractions();
+            let meas = e
+                .measured_gnps
+                .map_or_else(|| "-".to_string(), |g| format!("{g:.3}"));
+            let eff = e
+                .efficiency()
+                .map_or_else(|| "-".to_string(), |f| format!("{:.0}%", f * 100.0));
+            let _ = writeln!(
+                out,
+                "{:label_w$}  {:>9}  {:>7.0}% {:>7.0}% {:>9.0}%  {:>9.3} {:>10.3} {:>9} {:>5}",
+                e.label,
+                e.bound().name(),
+                c * 100.0,
+                m * 100.0,
+                h * 100.0,
+                e.total_cycles(),
+                e.predicted_gnps,
+                meas,
+                eff,
+            );
+        }
+        if !self.distributions.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "observed distributions:");
+            for d in &self.distributions {
+                let s = &d.summary;
+                let _ = writeln!(
+                    out,
+                    "  {} ({}): n={} p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+                    d.name,
+                    d.unit,
+                    s.count,
+                    s.p50,
+                    s.p95,
+                    s.p99,
+                    if s.count == 0 { 0.0 } else { s.max },
+                );
+            }
+        }
+        out
+    }
+
+    /// The report as a JSON document (`machine`, `entries`,
+    /// `distributions`).
+    #[must_use]
+    pub fn to_json_value(&self) -> Value {
+        let entries = self
+            .entries
+            .iter()
+            .map(RooflineEntry::to_json_value)
+            .collect();
+        let distributions = self
+            .distributions
+            .iter()
+            .map(|d| {
+                Value::object(vec![
+                    ("name", Value::from(d.name.as_str())),
+                    ("unit", Value::from(d.unit.as_str())),
+                    ("count", Value::from(d.summary.count)),
+                    ("sum", Value::from(d.summary.sum)),
+                    ("p50", Value::from(d.summary.p50)),
+                    ("p95", Value::from(d.summary.p95)),
+                    ("p99", Value::from(d.summary.p99)),
+                    (
+                        "max",
+                        Value::from(if d.summary.count == 0 {
+                            0.0
+                        } else {
+                            d.summary.max
+                        }),
+                    ),
+                ])
+            })
+            .collect();
+        Value::object(vec![
+            ("machine", Value::from(self.machine.as_str())),
+            ("entries", Value::Array(entries)),
+            ("distributions", Value::Array(distributions)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: &str, c: f64, m: f64, h: f64) -> RooflineEntry {
+        RooflineEntry {
+            label: label.to_string(),
+            compute_cycles: c,
+            memory_cycles: m,
+            coherence_cycles: h,
+            predicted_gnps: 1.0,
+            measured_gnps: None,
+        }
+    }
+
+    #[test]
+    fn bound_class_is_argmax_with_stable_ties() {
+        assert_eq!(entry("a", 3.0, 1.0, 1.0).bound(), BoundClass::Compute);
+        assert_eq!(entry("a", 1.0, 3.0, 1.0).bound(), BoundClass::Memory);
+        assert_eq!(entry("a", 1.0, 1.0, 3.0).bound(), BoundClass::Coherence);
+        // Ties break toward the earlier class.
+        assert_eq!(entry("a", 2.0, 2.0, 1.0).bound(), BoundClass::Compute);
+        assert_eq!(entry("a", 1.0, 2.0, 2.0).bound(), BoundClass::Memory);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let e = entry("a", 1.0, 2.0, 3.0);
+        let (c, m, h) = e.fractions();
+        assert!((c + m + h - 1.0).abs() < 1e-12);
+        assert_eq!(entry("z", 0.0, 0.0, 0.0).fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn efficiency_requires_measurement() {
+        let mut e = entry("a", 1.0, 1.0, 0.0);
+        assert_eq!(e.efficiency(), None);
+        e.measured_gnps = Some(0.5);
+        assert!((e.efficiency().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_report_lists_every_entry_and_distribution() {
+        let mut report = RooflineReport::new("paper-xeon");
+        report.push(RooflineEntry {
+            measured_gnps: Some(0.9),
+            ..entry("D8M8/optimized", 0.9, 1.7, 0.2)
+        });
+        report.push(entry("D32fM32f/optimized", 2.0, 5.0, 0.5));
+        report.push_distribution(
+            "write staleness",
+            "ticks",
+            HistogramSummary {
+                count: 10,
+                sum: 30.0,
+                min: 1.0,
+                max: 8.0,
+                p50: 2.0,
+                p95: 8.0,
+                p99: 8.0,
+            },
+        );
+        let text = report.render_text();
+        assert!(text.contains("DMGC roofline (machine: paper-xeon)"));
+        assert!(text.contains("D8M8/optimized"));
+        assert!(text.contains("D32fM32f/optimized"));
+        assert!(text.contains("memory"), "both entries are memory bound");
+        assert!(text.contains("write staleness (ticks): n=10"));
+        assert!(text.contains("90%"), "efficiency column: {text}");
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let mut report = RooflineReport::new("paper-xeon");
+        report.push(RooflineEntry {
+            measured_gnps: Some(1.2),
+            ..entry("D8M8/optimized", 1.0, 1.0, 0.5)
+        });
+        report.push_distribution("gradient age", "ticks", HistogramSummary::default());
+        let text = report.to_json_value().to_json_pretty();
+        let parsed = buckwild_telemetry::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            parsed.get("machine").and_then(Value::as_str),
+            Some("paper-xeon")
+        );
+        let entries = parsed.get("entries").and_then(Value::as_array).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].get("bound").and_then(Value::as_str),
+            Some("compute")
+        );
+        assert_eq!(
+            entries[0].get("measured_gnps").and_then(Value::as_f64),
+            Some(1.2)
+        );
+        let dists = parsed
+            .get("distributions")
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(dists.len(), 1);
+        assert_eq!(dists[0].get("max").and_then(Value::as_f64), Some(0.0));
+    }
+}

@@ -52,4 +52,6 @@ pub use experiment::{ExperimentResult, SchemaError, Series, SeriesRow};
 pub use noop::{NoopCounter, NoopGauge, NoopHistogram, NoopRecorder};
 pub use recorder::{Counter, Gauge, Histogram, Recorder};
 pub use sharded::{ShardedCounter, ShardedGauge, ShardedHistogram, ShardedRecorder};
-pub use snapshot::{HistogramSummary, MetricValue, MetricsSnapshot};
+pub use snapshot::{
+    quantile_bucket, HistogramSummary, MetricValue, MetricsSnapshot, QUANTILE_BUCKETS,
+};

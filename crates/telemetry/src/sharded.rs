@@ -15,7 +15,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::recorder::{Counter, Gauge, Histogram, Recorder};
-use crate::snapshot::{HistogramSummary, MetricValue, MetricsSnapshot};
+use crate::snapshot::{
+    quantile_bucket, HistogramSummary, MetricValue, MetricsSnapshot, QUANTILE_BUCKETS,
+};
 
 /// One u64 cell on its own cache line.
 #[repr(align(64))]
@@ -42,13 +44,15 @@ impl CounterShards {
 }
 
 /// Per-shard histogram accumulator: count plus f64 sum/min/max stored as
-/// bit patterns and updated with CAS loops (lock-free, relaxed).
+/// bit patterns and updated with CAS loops (lock-free, relaxed), plus
+/// fixed log2 bucket counts for quantile estimation at snapshot time.
 #[repr(align(64))]
 struct HistShard {
     count: AtomicU64,
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    buckets: [AtomicU64; QUANTILE_BUCKETS],
 }
 
 impl Default for HistShard {
@@ -58,6 +62,7 @@ impl Default for HistShard {
             sum_bits: AtomicU64::new(0f64.to_bits()),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -79,15 +84,7 @@ impl HistShard {
         update_f64(&self.sum_bits, |s| s + value);
         update_f64(&self.min_bits, |m| m.min(value));
         update_f64(&self.max_bits, |m| m.max(value));
-    }
-
-    fn summary(&self) -> HistogramSummary {
-        HistogramSummary {
-            count: self.count.load(Ordering::Relaxed),
-            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
-            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
-            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
-        }
+        self.buckets[quantile_bucket(value)].fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -103,19 +100,21 @@ impl HistShards {
     }
 
     fn merged(&self) -> HistogramSummary {
-        let mut out = HistogramSummary {
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        };
-        for s in self.shards.iter().map(HistShard::summary) {
-            out.count += s.count;
-            out.sum += s.sum;
-            out.min = out.min.min(s.min);
-            out.max = out.max.max(s.max);
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut buckets = [0u64; QUANTILE_BUCKETS];
+        for s in self.shards.iter() {
+            count += s.count.load(Ordering::Relaxed);
+            sum += f64::from_bits(s.sum_bits.load(Ordering::Relaxed));
+            min = min.min(f64::from_bits(s.min_bits.load(Ordering::Relaxed)));
+            max = max.max(f64::from_bits(s.max_bits.load(Ordering::Relaxed)));
+            for (total, b) in buckets.iter_mut().zip(s.buckets.iter()) {
+                *total += b.load(Ordering::Relaxed);
+            }
         }
-        out
+        HistogramSummary::from_buckets(count, sum, min, max, &buckets)
     }
 }
 
@@ -151,6 +150,37 @@ fn find_or_insert<T, F: FnOnce() -> Arc<T>>(
 /// c3.add(5);
 /// assert_eq!(rec.snapshot().counter("iters"), Some(15));
 /// ```
+///
+/// # Snapshot consistency
+///
+/// All shard updates are `Ordering::Relaxed` and `snapshot` takes no lock
+/// against writers, so a snapshot taken *mid-training* is not an atomic
+/// cut of the metric stream. Concretely, a mid-run snapshot may **tear**:
+///
+/// * *across metrics* — a worker that bumps `train.iterations` and then
+///   `train.numbers` may have only the first visible, so derived ratios
+///   between counters can be transiently inconsistent;
+/// * *across shards of one metric* — shard totals are read one by one, so
+///   two workers' contributions may straddle the read sweep;
+/// * *within one histogram* — `count`, `sum`, min/max, and the quantile
+///   buckets are separate relaxed cells, so a mid-run summary may count an
+///   observation whose bucket increment is not yet visible (quantile
+///   estimation then conservatively falls back toward `max`).
+///
+/// What IS guaranteed:
+///
+/// * **No updates are lost.** Shards are only ever incremented; every
+///   write is eventually visible.
+/// * **Monotone totals per reader.** Each shard cell is a single atomic,
+///   and read-read coherence means one thread's successive loads of it
+///   never go backwards — so successive snapshots taken from one thread
+///   observe non-decreasing counter totals and histogram counts.
+/// * **Quiescent exactness.** A snapshot taken after writer threads have
+///   been joined (how every engine in this workspace uses it) is exact.
+///
+/// This is the telemetry-layer analogue of the paper's Hogwild! wisdom:
+/// tolerate relaxed visibility on the hot path, pay for exactness only at
+/// the (quiescent) end of the run.
 pub struct ShardedRecorder {
     shards: usize,
     registry: Mutex<Registry>,
@@ -385,6 +415,71 @@ mod tests {
         assert_eq!(
             snap.histogram("values").unwrap().max,
             (per_thread - 1) as f64
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_after_quiescence() {
+        let rec = ShardedRecorder::new(2);
+        let h = rec.histogram("lat");
+        for i in 1..=100 {
+            h.record(f64::from(i));
+        }
+        let s = rec.snapshot().histogram("lat").unwrap();
+        assert_eq!(s.count, 100);
+        // Log2 buckets: estimates are within 2x of the true quantile.
+        assert!(s.p50 >= 50.0 && s.p50 <= 100.0, "p50 = {}", s.p50);
+        assert!(s.p99 >= 99.0 && s.p99 <= 100.0, "p99 = {}", s.p99);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+    }
+
+    #[test]
+    fn mid_training_snapshots_have_monotone_totals() {
+        // The documented relaxed-consistency contract: snapshots taken
+        // concurrently with writers may tear across shards and metrics,
+        // but totals observed by one reader thread never decrease, and the
+        // final quiescent snapshot is exact. Seeded so the write schedule
+        // (values and pacing) is reproducible.
+        const SEED: u64 = 0x5eed_cafe;
+        const WRITERS: usize = 4;
+        const PER_THREAD: u64 = 50_000;
+        let rec = ShardedRecorder::new(WRITERS);
+        std::thread::scope(|s| {
+            for worker in 0..WRITERS {
+                let rec = &rec;
+                s.spawn(move || {
+                    // Per-thread LCG stream split from the seed.
+                    let mut state = SEED ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    let c = rec.worker_counter("events", worker);
+                    let h = rec.worker_histogram("values", worker);
+                    for _ in 0..PER_THREAD {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        c.incr();
+                        h.record((state >> 33) as f64);
+                    }
+                });
+            }
+            // Concurrent reader: totals must be non-decreasing.
+            let mut last_count = 0u64;
+            let mut last_hist = 0u64;
+            for _ in 0..1_000 {
+                let snap = rec.snapshot();
+                let count = snap.counter("events").unwrap_or(0);
+                let hist = snap.histogram("values").map_or(0, |h| h.count);
+                assert!(count >= last_count, "counter went backwards");
+                assert!(hist >= last_hist, "histogram count went backwards");
+                last_count = count;
+                last_hist = hist;
+            }
+        });
+        // Quiescent: exact totals.
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("events"), Some(WRITERS as u64 * PER_THREAD));
+        assert_eq!(
+            snap.histogram("values").unwrap().count,
+            WRITERS as u64 * PER_THREAD
         );
     }
 

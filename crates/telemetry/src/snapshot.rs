@@ -2,7 +2,42 @@
 
 use crate::json::Value;
 
+/// Number of fixed log2 buckets a histogram keeps for quantile estimation.
+///
+/// Bucket `i` holds values whose binary exponent is `i - 32`, i.e. the
+/// half-open range `[2^(i-32), 2^(i-31))`, covering `~2^-32` up to `~2^32`
+/// with one power-of-two bucket each. Values at or below zero (and NaN)
+/// land in bucket 0; values at or above `2^31` (and `+inf`) land in the
+/// last bucket. That span comfortably covers everything this workspace
+/// records: staleness ticks, progress lag, epoch seconds, GNPS.
+pub const QUANTILE_BUCKETS: usize = 64;
+
+/// The log2 bucket index for `value` (integer-only, branch-light).
+#[must_use]
+pub fn quantile_bucket(value: f64) -> usize {
+    if value.is_nan() || value <= 0.0 {
+        return 0;
+    }
+    // Biased exponent straight from the bit pattern; subnormals (biased
+    // exponent 0) clamp into bucket 0 alongside zero.
+    let exp = ((value.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+    (exp + 32).clamp(0, QUANTILE_BUCKETS as i64 - 1) as usize
+}
+
+/// The exclusive upper bound of log2 bucket `index` (a power of two).
+fn bucket_upper(index: usize) -> f64 {
+    2f64.powi(index as i32 - 31)
+}
+
 /// Summary statistics of a histogram at snapshot time.
+///
+/// Quantiles are estimated from [`QUANTILE_BUCKETS`] fixed log2 buckets:
+/// each reported quantile is the upper bound of the bucket containing that
+/// rank, clamped to the observed `[min, max]`. The estimate is therefore
+/// within a factor of two of the true quantile, and — because bucket
+/// counts are plain integers — a pure function of the recorded values,
+/// which keeps snapshot JSON byte-identical across runs of the
+/// deterministic engines.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct HistogramSummary {
     /// Number of recorded observations.
@@ -13,9 +48,50 @@ pub struct HistogramSummary {
     pub min: f64,
     /// Largest observation (`f64::NEG_INFINITY` when empty).
     pub max: f64,
+    /// Estimated median (0 when empty).
+    pub p50: f64,
+    /// Estimated 95th percentile (0 when empty).
+    pub p95: f64,
+    /// Estimated 99th percentile (0 when empty).
+    pub p99: f64,
 }
 
 impl HistogramSummary {
+    /// Builds a summary, estimating p50/p95/p99 from log2 bucket counts
+    /// (indexed by [`quantile_bucket`]).
+    #[must_use]
+    pub fn from_buckets(
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        buckets: &[u64; QUANTILE_BUCKETS],
+    ) -> Self {
+        let quantile = |frac: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let rank = ((frac * count as f64).ceil() as u64).clamp(1, count);
+            let mut cumulative = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                cumulative += c;
+                if cumulative >= rank {
+                    return bucket_upper(i).clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSummary {
+            count,
+            sum,
+            min,
+            max,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+
     /// Mean of the recorded observations (0 when empty).
     #[must_use]
     pub fn mean(&self) -> f64 {
@@ -130,6 +206,9 @@ impl MetricsSnapshot {
                         ("sum", Value::from(h.sum)),
                         ("min", Value::from(h.min)),
                         ("max", Value::from(h.max)),
+                        ("p50", Value::from(h.p50)),
+                        ("p95", Value::from(h.p95)),
+                        ("p99", Value::from(h.p99)),
                     ]),
                 };
                 (name.clone(), v)
@@ -155,6 +234,7 @@ mod tests {
                     sum: 3.0,
                     min: 1.0,
                     max: 2.0,
+                    ..Default::default()
                 }),
             ),
         ]);
@@ -166,6 +246,68 @@ mod tests {
         assert_eq!(snap.counter("b.gauge"), None);
         assert_eq!(snap.gauge("a.count"), None);
         assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn bucket_index_tracks_binary_exponent() {
+        assert_eq!(quantile_bucket(1.0), 32); // [1, 2)
+        assert_eq!(quantile_bucket(1.99), 32);
+        assert_eq!(quantile_bucket(2.0), 33);
+        assert_eq!(quantile_bucket(0.5), 31);
+        assert_eq!(quantile_bucket(0.0), 0);
+        assert_eq!(quantile_bucket(-3.0), 0);
+        assert_eq!(quantile_bucket(f64::NAN), 0);
+        assert_eq!(quantile_bucket(f64::INFINITY), QUANTILE_BUCKETS - 1);
+        assert_eq!(quantile_bucket(1e-300), 0); // below bucket range
+        assert_eq!(quantile_bucket(1e300), QUANTILE_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_from_buckets() {
+        // 100 observations of 1.0 and one of 1000.0.
+        let mut buckets = [0u64; QUANTILE_BUCKETS];
+        buckets[quantile_bucket(1.0)] = 100;
+        buckets[quantile_bucket(1000.0)] = 1;
+        let h = HistogramSummary::from_buckets(101, 1100.0, 1.0, 1000.0, &buckets);
+        // p50 and p95 fall in the [1, 2) bucket, whose upper bound is 2.
+        assert_eq!(h.p50, 2.0);
+        assert_eq!(h.p95, 2.0);
+        // p99 rank is 100 of 101, still in the dense bucket.
+        assert_eq!(h.p99, 2.0);
+
+        // A spread: 50 small, 50 large — p95/p99 land in the large bucket
+        // and clamp to the observed max.
+        let mut buckets = [0u64; QUANTILE_BUCKETS];
+        buckets[quantile_bucket(1.0)] = 50;
+        buckets[quantile_bucket(100.0)] = 50;
+        let h = HistogramSummary::from_buckets(100, 5050.0, 1.0, 100.0, &buckets);
+        assert_eq!(h.p50, 2.0);
+        assert_eq!(h.p95, 100.0); // bucket upper 128 clamps to max
+        assert_eq!(h.p99, 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let buckets = [0u64; QUANTILE_BUCKETS];
+        let h = HistogramSummary::from_buckets(0, 0.0, f64::INFINITY, f64::NEG_INFINITY, &buckets);
+        assert_eq!(h.p50, 0.0);
+        assert_eq!(h.p95, 0.0);
+        assert_eq!(h.p99, 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_json_includes_quantiles() {
+        let mut buckets = [0u64; QUANTILE_BUCKETS];
+        buckets[quantile_bucket(4.0)] = 10;
+        let snap = MetricsSnapshot::from_entries(vec![(
+            "h".into(),
+            MetricValue::Histogram(HistogramSummary::from_buckets(10, 40.0, 4.0, 4.0, &buckets)),
+        )]);
+        let json = snap.to_json_value().to_json();
+        assert!(json.contains("\"p50\""), "{json}");
+        assert!(json.contains("\"p95\""), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Trace exports: Chrome trace-event JSON and the self-time summary.
+
+use std::collections::BTreeMap;
+
+use buckwild_telemetry::json::Value;
+
+use crate::{fault_kind, Phase, SpanEvent};
+
+/// A drained, merged, deterministically ordered set of spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<SpanEvent>,
+    dropped: u64,
+    virtual_clock: bool,
+}
+
+impl Trace {
+    pub(crate) fn new(events: Vec<SpanEvent>, dropped: u64, virtual_clock: bool) -> Self {
+        Trace {
+            events,
+            dropped,
+            virtual_clock,
+        }
+    }
+
+    /// The spans, ordered by start time (ties broken deterministically).
+    #[must_use]
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Spans discarded because a worker buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// True if timestamps are scheduler ticks rather than nanoseconds.
+    #[must_use]
+    pub fn is_virtual(&self) -> bool {
+        self.virtual_clock
+    }
+
+    /// True if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Builds the Chrome trace-event document as a JSON value.
+    ///
+    /// The format is the `{"traceEvents": [...]}` object form with `"X"`
+    /// (complete) events, loadable in `chrome://tracing` and Perfetto.
+    /// Wall-clock nanoseconds are scaled to the format's microsecond unit;
+    /// virtual ticks are exported 1 tick = 1 µs, which renders scheduler
+    /// time on a readable scale.
+    #[must_use]
+    pub fn to_chrome_json_value(&self) -> Value {
+        let scale = if self.virtual_clock { 1.0 } else { 1e-3 };
+        let mut trace_events = Vec::with_capacity(self.events.len() + 8);
+        // Name the timeline rows so Perfetto shows "worker N" instead of
+        // bare thread ids.
+        let mut workers: Vec<u32> = self.events.iter().map(|e| e.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        for w in &workers {
+            trace_events.push(Value::object(vec![
+                ("name", Value::from("thread_name")),
+                ("ph", Value::from("M")),
+                ("pid", Value::from(0.0)),
+                ("tid", Value::from(f64::from(*w))),
+                (
+                    "args",
+                    Value::object(vec![("name", Value::from(format!("worker {w}")))]),
+                ),
+            ]));
+        }
+        for e in &self.events {
+            let arg_value = if e.phase == Phase::ChaosFault {
+                Value::from(fault_kind::name(e.arg))
+            } else {
+                Value::from(e.arg as f64)
+            };
+            trace_events.push(Value::object(vec![
+                ("name", Value::from(e.phase.name())),
+                ("cat", Value::from("buckwild")),
+                ("ph", Value::from("X")),
+                ("ts", Value::from(e.start as f64 * scale)),
+                ("dur", Value::from(e.dur as f64 * scale)),
+                ("pid", Value::from(0.0)),
+                ("tid", Value::from(f64::from(e.worker))),
+                ("args", Value::object(vec![(e.phase.arg_key(), arg_value)])),
+            ]));
+        }
+        Value::object(vec![
+            ("traceEvents", Value::Array(trace_events)),
+            ("displayTimeUnit", Value::from("ms")),
+            (
+                "otherData",
+                Value::object(vec![
+                    (
+                        "clock",
+                        Value::from(if self.virtual_clock {
+                            "virtual-ticks"
+                        } else {
+                            "wall-ns"
+                        }),
+                    ),
+                    ("droppedSpans", Value::from(self.dropped as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Serializes the Chrome trace-event document to JSON text.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        self.to_chrome_json_value().to_json_pretty()
+    }
+
+    /// Renders the flamegraph-style self-time summary: per worker, per
+    /// phase, the span count, total time, and *self* time (total minus
+    /// time spent in spans nested inside), with self time as a share of
+    /// the worker's outermost span time.
+    #[must_use]
+    pub fn self_time_summary(&self) -> String {
+        use std::fmt::Write;
+
+        #[derive(Default, Clone, Copy)]
+        struct Agg {
+            count: u64,
+            total: u64,
+            self_time: u64,
+        }
+
+        // (worker, phase rank) -> aggregate.
+        let mut rows: BTreeMap<(u32, u8), Agg> = BTreeMap::new();
+        let mut outer: BTreeMap<u32, u64> = BTreeMap::new();
+
+        let mut by_worker: BTreeMap<u32, Vec<&SpanEvent>> = BTreeMap::new();
+        for e in &self.events {
+            by_worker.entry(e.worker).or_default().push(e);
+        }
+
+        for (&worker, events) in &by_worker {
+            // Reconstruct nesting: events are already sorted by start; for
+            // equal starts the longer span must be the parent, so sort a
+            // copy by (start asc, dur desc).
+            let mut sorted = events.clone();
+            sorted.sort_by(|a, b| a.start.cmp(&b.start).then(b.dur.cmp(&a.dur)));
+            // Stack of open spans: (end, child time, phase, dur).
+            let mut stack: Vec<(u64, u64, Phase, u64)> = Vec::new();
+            let close = |stack: &mut Vec<(u64, u64, Phase, u64)>,
+                         rows: &mut BTreeMap<(u32, u8), Agg>| {
+                let (_, child, phase, dur) = stack.pop().expect("close on empty stack");
+                let agg = rows.entry((worker, phase.rank())).or_default();
+                agg.count += 1;
+                agg.total += dur;
+                agg.self_time += dur.saturating_sub(child);
+            };
+            for e in sorted {
+                while let Some(&(end, ..)) = stack.last() {
+                    if end <= e.start {
+                        close(&mut stack, &mut rows);
+                    } else {
+                        break;
+                    }
+                }
+                match stack.last_mut() {
+                    Some(top) => top.1 += e.dur,
+                    None => *outer.entry(worker).or_default() += e.dur,
+                }
+                stack.push((e.start + e.dur, 0, e.phase, e.dur));
+            }
+            while !stack.is_empty() {
+                close(&mut stack, &mut rows);
+            }
+        }
+
+        let unit = if self.virtual_clock { "ticks" } else { "us" };
+        let to_unit = |t: u64| {
+            if self.virtual_clock {
+                t as f64
+            } else {
+                t as f64 / 1e3
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6} {:<16} {:>10} {:>14} {:>14} {:>7}",
+            "worker",
+            "phase",
+            "count",
+            format!("total ({unit})"),
+            format!("self ({unit})"),
+            "self%"
+        );
+        for ((worker, rank), agg) in &rows {
+            let phase = Phase::ALL[*rank as usize];
+            let outer_total = outer.get(worker).copied().unwrap_or(0).max(1);
+            let _ = writeln!(
+                out,
+                "{worker:>6} {:<16} {:>10} {:>14.1} {:>14.1} {:>6.1}%",
+                phase.name(),
+                agg.count,
+                to_unit(agg.total),
+                to_unit(agg.self_time),
+                100.0 * agg.self_time as f64 / outer_total as f64,
+            );
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "({} spans dropped at capacity)", self.dropped);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RingTracer, Tracer, WorkerTracer};
+
+    fn sample_trace() -> Trace {
+        let tracer = RingTracer::virtual_clock(64);
+        {
+            let mut w = tracer.worker(0);
+            // epoch [0, 100) containing two minibatches, each with a
+            // kernel and a write.
+            w.record(Phase::Minibatch, 10, 20, 0);
+            w.record(Phase::GradientKernel, 12, 8, 64);
+            w.record(Phase::ModelWrite, 22, 6, 64);
+            w.record(Phase::Minibatch, 40, 10, 1);
+            w.record(Phase::Epoch, 0, 100, 0);
+            w.record(Phase::ChaosFault, 60, 5, fault_kind::STALL);
+        }
+        tracer.drain()
+    }
+
+    #[test]
+    fn chrome_json_has_complete_events_and_metadata() {
+        let trace = sample_trace();
+        let doc = trace.to_chrome_json_value();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 6 spans + 1 thread_name metadata row.
+        assert_eq!(events.len(), 7);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        let span = &events[1];
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("name").unwrap().as_str(), Some("epoch"));
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(0.0));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(100.0));
+        assert_eq!(
+            doc.get("otherData").unwrap().get("clock").unwrap().as_str(),
+            Some("virtual-ticks")
+        );
+        // Fault spans carry the human-readable kind.
+        let text = trace.to_chrome_json();
+        assert!(text.contains("\"kind\": \"stall\""));
+    }
+
+    #[test]
+    fn wall_clock_scales_ns_to_us() {
+        let tracer = RingTracer::new();
+        {
+            let mut w = tracer.worker(0);
+            w.record(Phase::Epoch, 2_000, 4_000, 0); // ns
+        }
+        let doc = tracer.drain().to_chrome_json_value();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let span = &events[1];
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(2.0)); // µs
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn self_time_subtracts_nested_children() {
+        let trace = sample_trace();
+        let summary = trace.self_time_summary();
+        // Epoch total 100; children (two minibatches + standalone fault)
+        // take 20 + 10 + 5 = 35, so epoch self time is 65.
+        let epoch_line = summary
+            .lines()
+            .find(|l| l.contains("epoch"))
+            .expect("epoch row");
+        assert!(epoch_line.contains("65.0"), "{summary}");
+        // First minibatch total 20, children 8 + 6 = 14, self 6; second
+        // has no children (10); total minibatch self = 16.
+        let mb_line = summary
+            .lines()
+            .find(|l| l.contains("minibatch"))
+            .expect("minibatch row");
+        assert!(mb_line.contains("16.0"), "{summary}");
+        assert!(summary.contains("ticks"));
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let trace = Trace::new(Vec::new(), 0, false);
+        assert!(trace.is_empty());
+        let doc = trace.to_chrome_json_value();
+        assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+        assert!(!trace.self_time_summary().is_empty()); // header row
+    }
+
+    #[test]
+    fn dropped_spans_surface_in_summary() {
+        let trace = Trace::new(Vec::new(), 5, true);
+        assert!(trace.self_time_summary().contains("5 spans dropped"));
+    }
+}

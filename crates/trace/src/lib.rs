@@ -1,0 +1,306 @@
+//! Per-thread span tracing that compiles to nothing when disabled.
+//!
+//! This crate is the timeline counterpart of `buckwild-telemetry`: where
+//! the recorder answers *how much* (counters, histograms), the tracer
+//! answers *when* and *for how long*. Instrumented code is generic over
+//! [`Tracer`], with the same monomorphization discipline as `Recorder`:
+//!
+//! * [`NoopTracer`] — every handle is zero-sized and every method is an
+//!   empty `#[inline(always)]` body, so untraced builds carry no
+//!   instrumentation at all;
+//! * [`RingTracer`] — each worker owns a private fixed-capacity buffer of
+//!   [`SpanEvent`]s, appended with plain (lock-free, contention-free)
+//!   pushes on the hot path and merged into the shared collector only when
+//!   the worker handle is dropped. A full buffer *drops* further events
+//!   (and counts them) instead of reallocating or blocking — tracing never
+//!   perturbs the schedule it observes.
+//!
+//! On [`RingTracer::drain`], the merged events become a [`Trace`], which
+//! exports to (a) Chrome trace-event JSON loadable in `chrome://tracing`
+//! or [Perfetto](https://ui.perfetto.dev), and (b) a flamegraph-style
+//! self-time text summary per phase per worker.
+//!
+//! Two clocks are supported. The *wall* clock timestamps spans in
+//! nanoseconds since the tracer was built — the right choice for real
+//! threaded runs. The *virtual* clock is advanced explicitly by the caller
+//! ([`WorkerTracer::set_time`]) — the deterministic engines stamp spans
+//! with their scheduler tick, making the entire trace a pure function of
+//! the seeds (byte-identical JSON per seed).
+//!
+//! # Example
+//!
+//! ```
+//! use buckwild_trace::{Phase, RingTracer, Tracer, WorkerTracer};
+//!
+//! let tracer = RingTracer::new();
+//! {
+//!     let mut worker = tracer.worker(0);
+//!     let start = worker.begin();
+//!     // ... the traced work ...
+//!     worker.end(Phase::Minibatch, start, 7);
+//! } // handle dropped: its buffer merges into the collector
+//! let trace = tracer.drain();
+//! assert_eq!(trace.events().len(), 1);
+//! assert!(trace.to_chrome_json().contains("minibatch"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod ring;
+
+pub use export::Trace;
+pub use ring::{RingTracer, RingWorker};
+
+/// What a span measures — the five scopes the training engines mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// One full pass over the dataset (recorded by the driver thread).
+    Epoch,
+    /// One SGD iteration: gradient plus model update for one example (or
+    /// one accumulated mini-batch).
+    Minibatch,
+    /// The gradient computation (the dot-product read side).
+    GradientKernel,
+    /// The shared-model update (the AXPY write side).
+    ModelWrite,
+    /// An injected fault being served: a stall, a dropped or delayed
+    /// write, or a crash recovery (see [`fault_kind`]).
+    ChaosFault,
+}
+
+impl Phase {
+    /// All phases, in display order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Epoch,
+        Phase::Minibatch,
+        Phase::GradientKernel,
+        Phase::ModelWrite,
+        Phase::ChaosFault,
+    ];
+
+    /// The span name used in exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Epoch => "epoch",
+            Phase::Minibatch => "minibatch",
+            Phase::GradientKernel => "gradient_kernel",
+            Phase::ModelWrite => "model_write",
+            Phase::ChaosFault => "chaos_fault",
+        }
+    }
+
+    /// The JSON key the span's `arg` is exported under.
+    #[must_use]
+    pub fn arg_key(self) -> &'static str {
+        match self {
+            Phase::Epoch => "epoch",
+            Phase::Minibatch => "iteration",
+            Phase::GradientKernel => "elements",
+            Phase::ModelWrite => "detail",
+            Phase::ChaosFault => "kind",
+        }
+    }
+
+    /// Stable ordering rank for deterministic export sorting.
+    pub(crate) fn rank(self) -> u8 {
+        match self {
+            Phase::Epoch => 0,
+            Phase::Minibatch => 1,
+            Phase::GradientKernel => 2,
+            Phase::ModelWrite => 3,
+            Phase::ChaosFault => 4,
+        }
+    }
+}
+
+/// `arg` codes for [`Phase::ChaosFault`] spans.
+pub mod fault_kind {
+    /// The worker was stalled for the span's duration.
+    pub const STALL: u64 = 0;
+    /// A shared-model write was discarded.
+    pub const DROPPED_WRITE: u64 = 1;
+    /// A shared-model write entered the virtual store buffer.
+    pub const DELAYED_WRITE: u64 = 2;
+    /// A crash was recovered by checkpoint rollback.
+    pub const RECOVERY: u64 = 3;
+
+    /// Human-readable name of a fault-kind code.
+    #[must_use]
+    pub fn name(kind: u64) -> &'static str {
+        match kind {
+            STALL => "stall",
+            DROPPED_WRITE => "dropped_write",
+            DELAYED_WRITE => "delayed_write",
+            RECOVERY => "recovery",
+            _ => "unknown",
+        }
+    }
+}
+
+/// One completed span: a phase, on a worker, over `[start, start + dur)`.
+///
+/// Timestamps are nanoseconds under the wall clock and scheduler ticks
+/// under the virtual clock; `arg` carries a phase-specific annotation
+/// (epoch index, iteration index, element count, fault kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// What was measured.
+    pub phase: Phase,
+    /// The worker (timeline row) the span belongs to.
+    pub worker: u32,
+    /// Start timestamp.
+    pub start: u64,
+    /// Duration in the same unit as `start`.
+    pub dur: u64,
+    /// Phase-specific annotation (see [`Phase::arg_key`]).
+    pub arg: u64,
+}
+
+/// A per-worker span sink, owned by exactly one thread.
+///
+/// The `begin`/`end` pair brackets a scope: `begin` reads the clock,
+/// `end` computes the duration and records the completed span. Both are
+/// empty for [`NoopWorkerTracer`], so generic instrumentation costs
+/// nothing when driven by [`NoopTracer`].
+pub trait WorkerTracer: Send {
+    /// `false` for the no-op tracer; lets instrumentation skip setup work
+    /// (buffer sizing, arg computation) entirely.
+    const ACTIVE: bool;
+
+    /// The current timestamp (0 when inactive).
+    fn now(&self) -> u64;
+
+    /// Records a completed span directly — the virtual-clock engines use
+    /// this to stamp exact tick ranges.
+    fn record(&mut self, phase: Phase, start: u64, dur: u64, arg: u64);
+
+    /// Sets the virtual clock. Ignored under a wall clock (and by the
+    /// no-op tracer).
+    fn set_time(&mut self, time: u64);
+
+    /// Opens a span: returns the timestamp `end` will measure from.
+    #[inline(always)]
+    fn begin(&self) -> u64 {
+        self.now()
+    }
+
+    /// Closes a span opened at `start`.
+    #[inline(always)]
+    fn end(&mut self, phase: Phase, start: u64, arg: u64) {
+        let now = self.now();
+        self.record(phase, start, now.saturating_sub(start), arg);
+    }
+}
+
+/// A factory of per-worker span sinks.
+///
+/// Mirrors `buckwild_telemetry::Recorder`: instrumented code takes
+/// `T: Tracer`, requests one [`Tracer::worker`] handle per thread before
+/// entering its hot loop, and the choice of tracer is made at
+/// monomorphization time.
+pub trait Tracer: Sync {
+    /// The per-worker handle type.
+    type Worker: WorkerTracer;
+
+    /// `false` for the no-op tracer.
+    const ACTIVE: bool;
+
+    /// Creates the span sink for timeline row `worker`.
+    fn worker(&self, worker: usize) -> Self::Worker;
+}
+
+impl<T: Tracer> Tracer for &T {
+    type Worker = T::Worker;
+    const ACTIVE: bool = T::ACTIVE;
+
+    fn worker(&self, worker: usize) -> Self::Worker {
+        (**self).worker(worker)
+    }
+}
+
+/// A tracer that discards everything; the default for untraced builds.
+///
+/// All methods are empty `#[inline(always)]` bodies on zero-sized types,
+/// so code instrumented generically over [`Tracer`] monomorphizes to the
+/// uninstrumented machine code when driven by `NoopTracer`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopTracer;
+
+/// Zero-sized worker handle of [`NoopTracer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopWorkerTracer;
+
+impl WorkerTracer for NoopWorkerTracer {
+    const ACTIVE: bool = false;
+
+    #[inline(always)]
+    fn now(&self) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _phase: Phase, _start: u64, _dur: u64, _arg: u64) {}
+
+    #[inline(always)]
+    fn set_time(&mut self, _time: u64) {}
+}
+
+impl Tracer for NoopTracer {
+    type Worker = NoopWorkerTracer;
+    const ACTIVE: bool = false;
+
+    #[inline(always)]
+    fn worker(&self, _worker: usize) -> NoopWorkerTracer {
+        NoopWorkerTracer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_tracer_is_zero_sized_and_inert() {
+        assert_eq!(std::mem::size_of::<NoopTracer>(), 0);
+        assert_eq!(std::mem::size_of::<NoopWorkerTracer>(), 0);
+        const { assert!(!NoopTracer::ACTIVE) };
+        let mut w = NoopTracer.worker(3);
+        let start = w.begin();
+        assert_eq!(start, 0);
+        w.end(Phase::Epoch, start, 1);
+        w.record(Phase::ModelWrite, 5, 5, 0);
+        w.set_time(99);
+        assert_eq!(w.now(), 0);
+    }
+
+    #[test]
+    fn tracer_forwards_through_references() {
+        fn traced<T: Tracer>(tracer: &T) -> u64 {
+            let mut w = tracer.worker(0);
+            let s = w.begin();
+            w.end(Phase::Minibatch, s, 0);
+            w.now()
+        }
+        let tracer = RingTracer::virtual_clock(16);
+        let _ = traced(&&tracer);
+        assert_eq!(tracer.drain().events().len(), 1);
+    }
+
+    #[test]
+    fn phase_names_are_distinct() {
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn fault_kinds_name() {
+        assert_eq!(fault_kind::name(fault_kind::STALL), "stall");
+        assert_eq!(fault_kind::name(fault_kind::RECOVERY), "recovery");
+        assert_eq!(fault_kind::name(77), "unknown");
+    }
+}

@@ -1,0 +1,307 @@
+//! The collecting tracer: per-worker fixed-capacity buffers, merged cold.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::export::Trace;
+use crate::{Phase, SpanEvent, Tracer, WorkerTracer};
+
+/// Which clock stamps the spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClockKind {
+    /// Nanoseconds since the tracer was built.
+    Wall,
+    /// Caller-advanced scheduler ticks ([`WorkerTracer::set_time`]).
+    Virtual,
+}
+
+#[derive(Default)]
+struct Sink {
+    events: Vec<SpanEvent>,
+    dropped: u64,
+}
+
+/// A tracer that collects spans into per-worker fixed-capacity buffers.
+///
+/// Each [`RingTracer::worker`] handle owns its buffer outright: the hot
+/// path is a bounds check and a `Vec` push, with no atomics and no shared
+/// cache lines — the same isolation discipline as the sharded recorder.
+/// When a buffer fills, further spans on that handle are counted as
+/// dropped rather than grown (growth would reallocate mid-run) or flushed
+/// (flushing would take a lock on the hot path). Buffers merge into the
+/// shared collector when the handle is dropped, which the training engines
+/// do at epoch boundaries.
+///
+/// Call [`RingTracer::drain`] after the traced run returns to obtain the
+/// merged, deterministically ordered [`Trace`].
+pub struct RingTracer {
+    inner: Arc<Mutex<Sink>>,
+    clock: ClockKind,
+    epoch: Instant,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for RingTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingTracer")
+            .field("clock", &self.clock)
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RingTracer {
+    /// Default per-worker-handle span capacity.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// A wall-clock tracer with the default per-handle capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A wall-clock tracer holding up to `capacity` spans per worker
+    /// handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "need capacity for at least one span");
+        RingTracer {
+            inner: Arc::new(Mutex::new(Sink::default())),
+            clock: ClockKind::Wall,
+            epoch: Instant::now(),
+            capacity,
+        }
+    }
+
+    /// A virtual-clock tracer: timestamps advance only via
+    /// [`WorkerTracer::set_time`], so the resulting trace is a pure
+    /// function of the caller's schedule (the deterministic engines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn virtual_clock(capacity: usize) -> Self {
+        assert!(capacity > 0, "need capacity for at least one span");
+        RingTracer {
+            inner: Arc::new(Mutex::new(Sink::default())),
+            clock: ClockKind::Virtual,
+            epoch: Instant::now(),
+            capacity,
+        }
+    }
+
+    /// True if this tracer stamps spans with the virtual clock.
+    #[must_use]
+    pub fn is_virtual(&self) -> bool {
+        self.clock == ClockKind::Virtual
+    }
+
+    /// Takes everything collected so far as a [`Trace`], leaving the
+    /// collector empty.
+    ///
+    /// Spans still held by live worker handles are not included — drain
+    /// after the traced run returns (the engines drop their handles at
+    /// epoch boundaries). Events are sorted by start time, then worker,
+    /// phase, annotation, and duration, so equal schedules yield
+    /// byte-identical exports.
+    #[must_use]
+    pub fn drain(&self) -> Trace {
+        let mut sink = self.inner.lock().expect("trace sink poisoned");
+        let mut events = std::mem::take(&mut sink.events);
+        let dropped = std::mem::take(&mut sink.dropped);
+        events.sort_by_key(|e| (e.start, e.worker, e.phase.rank(), e.arg, e.dur));
+        Trace::new(events, dropped, self.clock == ClockKind::Virtual)
+    }
+}
+
+impl Default for RingTracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer for RingTracer {
+    type Worker = RingWorker;
+    const ACTIVE: bool = true;
+
+    fn worker(&self, worker: usize) -> RingWorker {
+        RingWorker {
+            worker: u32::try_from(worker).unwrap_or(u32::MAX),
+            buf: Vec::with_capacity(self.capacity.min(1024)),
+            capacity: self.capacity,
+            dropped: 0,
+            clock: match self.clock {
+                ClockKind::Wall => WorkerClock::Wall(self.epoch),
+                ClockKind::Virtual => WorkerClock::Virtual(0),
+            },
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+enum WorkerClock {
+    Wall(Instant),
+    Virtual(u64),
+}
+
+/// Worker handle of [`RingTracer`]: owns its span buffer; merges on drop.
+pub struct RingWorker {
+    worker: u32,
+    buf: Vec<SpanEvent>,
+    capacity: usize,
+    dropped: u64,
+    clock: WorkerClock,
+    inner: Arc<Mutex<Sink>>,
+}
+
+impl WorkerTracer for RingWorker {
+    const ACTIVE: bool = true;
+
+    #[inline]
+    fn now(&self) -> u64 {
+        match &self.clock {
+            WorkerClock::Wall(epoch) => u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(0),
+            WorkerClock::Virtual(t) => *t,
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, phase: Phase, start: u64, dur: u64, arg: u64) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(SpanEvent {
+                phase,
+                worker: self.worker,
+                start,
+                dur,
+                arg,
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    #[inline]
+    fn set_time(&mut self, time: u64) {
+        if let WorkerClock::Virtual(t) = &mut self.clock {
+            *t = time;
+        }
+    }
+}
+
+impl Drop for RingWorker {
+    fn drop(&mut self) {
+        let mut sink = self.inner.lock().expect("trace sink poisoned");
+        sink.events.append(&mut self.buf);
+        sink.dropped += self.dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_spans_have_real_durations() {
+        let tracer = RingTracer::new();
+        {
+            let mut w = tracer.worker(0);
+            let s = w.begin();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            w.end(Phase::Epoch, s, 0);
+        }
+        let trace = tracer.drain();
+        assert_eq!(trace.events().len(), 1);
+        assert!(trace.events()[0].dur >= 1_000_000, "{:?}", trace.events());
+        assert!(!trace.is_virtual());
+    }
+
+    #[test]
+    fn virtual_clock_is_caller_driven() {
+        let tracer = RingTracer::virtual_clock(8);
+        {
+            let mut w = tracer.worker(2);
+            w.set_time(10);
+            let s = w.begin();
+            w.set_time(14);
+            w.end(Phase::Minibatch, s, 5);
+            w.record(Phase::ModelWrite, 14, 1, 0);
+        }
+        let trace = tracer.drain();
+        assert!(trace.is_virtual());
+        let events = trace.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].start, 10);
+        assert_eq!(events[0].dur, 4);
+        assert_eq!(events[0].worker, 2);
+        assert_eq!(events[1].start, 14);
+    }
+
+    #[test]
+    fn full_buffer_drops_and_counts() {
+        let tracer = RingTracer::virtual_clock(2);
+        {
+            let mut w = tracer.worker(0);
+            for i in 0..5 {
+                w.record(Phase::Minibatch, i, 1, i);
+            }
+        }
+        let trace = tracer.drain();
+        assert_eq!(trace.events().len(), 2);
+        assert_eq!(trace.dropped(), 3);
+    }
+
+    #[test]
+    fn concurrent_workers_merge_deterministically() {
+        let tracer = RingTracer::virtual_clock(64);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let tracer = &tracer;
+                s.spawn(move || {
+                    let mut w = tracer.worker(t);
+                    for i in 0..8u64 {
+                        w.record(Phase::Minibatch, i, 1, i);
+                    }
+                });
+            }
+        });
+        let a = tracer.drain();
+        // Re-run with the same schedule: drain output must be identical
+        // regardless of thread merge order.
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let tracer = &tracer;
+                s.spawn(move || {
+                    let mut w = tracer.worker(t);
+                    for i in 0..8u64 {
+                        w.record(Phase::Minibatch, i, 1, i);
+                    }
+                });
+            }
+        });
+        let b = tracer.drain();
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 32);
+    }
+
+    #[test]
+    fn drain_leaves_collector_empty() {
+        let tracer = RingTracer::virtual_clock(8);
+        {
+            let mut w = tracer.worker(0);
+            w.record(Phase::Epoch, 0, 1, 0);
+        }
+        assert_eq!(tracer.drain().events().len(), 1);
+        assert!(tracer.drain().events().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = RingTracer::with_capacity(0);
+    }
+}

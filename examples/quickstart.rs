@@ -2,16 +2,44 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --trace /tmp/quickstart.json
 //! ```
 //!
 //! Generates a synthetic logistic-regression problem (the paper's §4
 //! generative model), trains it at full precision and at the paper's
-//! flagship D8M8 signature, and compares quality and throughput.
+//! flagship D8M8 signature, and compares quality and throughput. With
+//! `--trace <path>`, the runs are traced and their merged span timeline is
+//! written as Chrome trace-event JSON (load it in `chrome://tracing` or
+//! Perfetto); a per-phase self-time summary prints to stderr.
 
 use buckwild::prelude::*;
 use buckwild_dataset::generate;
+use buckwild_telemetry::ShardedRecorder;
+
+fn parse_trace_path() -> Option<String> {
+    let mut trace_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(path),
+                None => {
+                    eprintln!("quickstart: --trace requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("quickstart: unrecognized argument `{other}`");
+                eprintln!("usage: quickstart [--trace <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    trace_path
+}
 
 fn main() {
+    let trace_path = parse_trace_path();
     let n = 256; // model size
     let m = 4000; // examples
     println!("generating logistic regression problem: n = {n}, m = {m}");
@@ -24,11 +52,22 @@ fn main() {
         .threads(2)
         .seed(7);
 
+    // One shared tracer: the three runs land in one timeline.
+    let tracer = trace_path.as_ref().map(|_| RingTracer::new());
+
     for sig in ["D32fM32f", "D16M16", "D8M8"] {
         let config = base
             .clone()
             .signature(sig.parse().expect("static signature"));
-        let report = config.train(&problem.data).expect("valid config");
+        let report = match &tracer {
+            Some(tracer) => {
+                let recorder = ShardedRecorder::new(2);
+                config
+                    .train_traced(&problem.data, &recorder, &NoopInjector, tracer)
+                    .expect("valid config")
+            }
+            None => config.train(&problem.data).expect("valid config"),
+        };
         let acc = accuracy(Loss::Logistic, report.model(), &problem.data);
         println!(
             "{sig:>9}: final loss {:.4}, train accuracy {:.1}%, throughput {:.3} GNPS",
@@ -36,6 +75,18 @@ fn main() {
             acc * 100.0,
             report.gnps(),
         );
+    }
+    if let (Some(path), Some(tracer)) = (&trace_path, tracer) {
+        let trace = tracer.drain();
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+            eprintln!("quickstart: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "trace: {} spans -> {path} (open in chrome://tracing or Perfetto)",
+            trace.events().len()
+        );
+        eprintln!("{}", trace.self_time_summary());
     }
     println!();
     println!(
