@@ -1,0 +1,128 @@
+//! The performance-baseline gate: `cargo run --release -p buckwild-bench
+//! --bin gate`.
+//!
+//! ```text
+//! gate                       # measure, print table, write BENCH_core.json
+//! gate --out <path>          # write the JSON somewhere else
+//! gate --check               # re-measure and warn against the baseline
+//! gate --check --baseline <path>
+//! gate --seconds 0.2 --repeats 9
+//! ```
+//!
+//! `--check` never fails the process: regressions print as warnings for
+//! CI logs. See [`buckwild_bench::gate`] for the methodology.
+
+use std::process::ExitCode;
+
+use buckwild_bench::gate::{run_gate, GateReport, GATE_REPEATS, GATE_SECONDS};
+
+/// Where the committed baseline lives, relative to the repo root.
+const DEFAULT_BASELINE: &str = "BENCH_core.json";
+
+struct Args {
+    out: Option<String>,
+    check: bool,
+    baseline: String,
+    seconds: f64,
+    repeats: usize,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: gate [--out <path>] [--check] [--baseline <path>]\n\
+                     [--seconds <f64>] [--repeats <n>]\n\
+         \n\
+         --out <path>       write BENCH_core.json to <path> (default\n\
+                            {DEFAULT_BASELINE}; ignored with --check)\n\
+         --check            compare a fresh run against the baseline and\n\
+                            print warnings (always exits 0)\n\
+         --baseline <path>  baseline to check against (default\n\
+                            {DEFAULT_BASELINE})\n\
+         --seconds <f64>    budget per kernel sample (default {GATE_SECONDS})\n\
+         --repeats <n>      samples per row (default {GATE_REPEATS})"
+    )
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut parsed = Args {
+        out: None,
+        check: false,
+        baseline: DEFAULT_BASELINE.to_string(),
+        seconds: GATE_SECONDS,
+        repeats: GATE_REPEATS,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => parsed.out = Some(path),
+                None => return Err("--out requires a path".into()),
+            },
+            "--check" => parsed.check = true,
+            "--baseline" => match args.next() {
+                Some(path) => parsed.baseline = path,
+                None => return Err("--baseline requires a path".into()),
+            },
+            "--seconds" => match args.next().map(|v| v.parse()) {
+                Some(Ok(s)) if s > 0.0 => parsed.seconds = s,
+                Some(_) => return Err("--seconds requires a positive number".into()),
+                None => return Err("--seconds requires a value".into()),
+            },
+            "--repeats" => match args.next().map(|v| v.parse()) {
+                Some(Ok(r)) if r >= 1 => parsed.repeats = r,
+                Some(_) => return Err("--repeats requires a positive integer".into()),
+                None => return Err("--repeats requires a value".into()),
+            },
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    Ok(Some(parsed))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("gate: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let report = run_gate(args.seconds, args.repeats);
+    print!("{}", report.render_text());
+    if args.check {
+        let baseline = match std::fs::read_to_string(&args.baseline) {
+            Ok(text) => match GateReport::from_json(&text) {
+                Ok(baseline) => baseline,
+                Err(e) => {
+                    eprintln!("gate: warning: cannot parse {}: {e}", args.baseline);
+                    return ExitCode::SUCCESS;
+                }
+            },
+            Err(e) => {
+                eprintln!("gate: warning: cannot read {}: {e}", args.baseline);
+                return ExitCode::SUCCESS;
+            }
+        };
+        let warnings = report.check_against(&baseline);
+        if warnings.is_empty() {
+            println!("gate: all rows within tolerance of {}", args.baseline);
+        }
+        for w in &warnings {
+            eprintln!("gate: warning: {w}");
+        }
+    } else {
+        let path = args.out.as_deref().unwrap_or(DEFAULT_BASELINE);
+        let json = report.to_json_value().to_json_pretty();
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("gate: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("gate: baseline written to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -21,6 +21,7 @@
 
 use std::process::ExitCode;
 
+use buckwild::Backend;
 use buckwild_telemetry::json::Value;
 use buckwild_telemetry::ExperimentResult;
 
@@ -47,12 +48,15 @@ pub struct Options {
     pub trace_path: Option<String>,
     /// Print the DMGC roofline after the experiment.
     pub roofline: bool,
+    /// Optional training-backend override, applied process-wide before the
+    /// experiment builds its configurations.
+    pub backend: Option<Backend>,
 }
 
 fn usage(name: &str) -> String {
     format!(
         "usage: {name} [--format {{text,json}}] [--json <path>] [--seed <u64>]\n\
-                       [--trace <path>] [--roofline]\n\
+                       [--trace <path>] [--roofline] [--backend {{shared,sharded}}]\n\
          \n\
            --format text   aligned tables on stdout (default)\n\
          --format json   ExperimentResult JSON on stdout\n\
@@ -60,6 +64,8 @@ fn usage(name: &str) -> String {
          --seed <u64>    override the experiment seed (seeded binaries)\n\
          --trace <path>  write a Chrome trace of the reference traced run\n\
          --roofline      print the DMGC compute/memory/coherence roofline\n\
+         --backend <b>   train on `shared` (Hogwild!) or `sharded` (delta\n\
+                         rings) model storage; default shared\n\
          \n\
          budget knobs (environment): BUCKWILD_SECONDS, BUCKWILD_FULL=1"
     )
@@ -77,6 +83,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Options>,
         seed: None,
         trace_path: None,
         roofline: false,
+        backend: None,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -105,6 +112,13 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Options>,
                 None => return Err("--trace requires a path".into()),
             },
             "--roofline" => options.roofline = true,
+            "--backend" => match it.next() {
+                Some(value) => match value.parse() {
+                    Ok(backend) => options.backend = Some(backend),
+                    Err(e) => return Err(format!("invalid backend `{value}`: {e}")),
+                },
+                None => return Err("--backend requires a value (shared or sharded)".into()),
+            },
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unrecognized argument `{other}`")),
         }
@@ -170,14 +184,19 @@ fn observability_pass(name: &str, options: &Options) -> ExitCode {
         }
     }
     if options.roofline {
-        print!("{}", crate::observe::roofline_report(seed).render_text());
+        let (report, comparison) = crate::observe::roofline_with_backends(seed);
+        print!("{}", report.render_text());
+        println!("{}", comparison.headline());
     }
     ExitCode::SUCCESS
 }
 
 fn dispatch<F: FnOnce() -> Vec<ExperimentResult>>(name: &str, build: F) -> ExitCode {
     match parse(std::env::args().skip(1)) {
-        Ok(Some(options)) => emit(name, &build(), &options),
+        Ok(Some(options)) => {
+            apply_backend(&options);
+            emit(name, &build(), &options)
+        }
         Ok(None) => {
             println!("{}", usage(name));
             ExitCode::SUCCESS
@@ -186,6 +205,14 @@ fn dispatch<F: FnOnce() -> Vec<ExperimentResult>>(name: &str, build: F) -> ExitC
             eprintln!("{name}: {e}\n{}", usage(name));
             ExitCode::from(2)
         }
+    }
+}
+
+/// Installs the `--backend` override as the process default, so every
+/// `SgdConfig::new` the experiment builds picks it up.
+fn apply_backend(options: &Options) {
+    if let Some(backend) = options.backend {
+        buckwild::set_default_backend(backend);
     }
 }
 
@@ -211,6 +238,7 @@ pub fn run_seeded<F: FnOnce(u64) -> ExperimentResult>(
 ) -> ExitCode {
     match parse(std::env::args().skip(1)) {
         Ok(Some(options)) => {
+            apply_backend(&options);
             let seed = options.seed.unwrap_or(default_seed);
             emit(name, &[build(seed)], &options)
         }
@@ -265,6 +293,17 @@ mod tests {
         assert!(parse(args(&["--seed", "not-a-number"])).is_err());
         assert!(parse(args(&["--seed", "-1"])).is_err());
         assert!(parse(args(&["--trace"])).is_err());
+        assert!(parse(args(&["--backend"])).is_err());
+        assert!(parse(args(&["--backend", "mongodb"])).is_err());
+    }
+
+    #[test]
+    fn parses_backend() {
+        let options = parse(args(&["--backend", "sharded"])).unwrap().unwrap();
+        assert_eq!(options.backend, Some(Backend::ShardedDelta));
+        let options = parse(args(&["--backend", "shared"])).unwrap().unwrap();
+        assert_eq!(options.backend, Some(Backend::SharedModel));
+        assert_eq!(parse(args(&[])).unwrap().unwrap().backend, None);
     }
 
     #[test]

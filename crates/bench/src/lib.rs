@@ -14,6 +14,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod gate;
 pub mod harness;
 pub mod observe;
 

@@ -22,7 +22,7 @@
 //! arithmetic, `cachesim` knows coherence, `buckwild-trace` knows what
 //! actually happened — the roofline is where the three meet.
 
-use buckwild::{ChaosSgdConfig, FaultPlan, Loss, NoopInjector, SgdConfig};
+use buckwild::{Backend, ChaosSgdConfig, FaultPlan, Loss, NoopInjector, SgdConfig};
 use buckwild_cachesim::{Machine, SgdWorkload, SimConfig};
 use buckwild_dataset::generate;
 use buckwild_dmgc::{RooflineEntry, RooflineReport, Signature};
@@ -42,6 +42,16 @@ const EXAMPLES: usize = 256;
 pub const DEFAULT_SEED: u64 = 97;
 /// Cores simulated for the coherence term.
 const SIM_CORES: usize = 4;
+/// Cores simulated (and worker threads run) for the backend comparison:
+/// the paper's dense 8-worker configuration, where shared-model coherence
+/// traffic is at its worst.
+const BACKEND_CORES: usize = 8;
+/// Delta-exchange period of the sharded backend under comparison (the
+/// trainer default).
+const BACKEND_DELTA_EVERY: usize = 16;
+/// Iterations per simulated core in the backend comparison — enough for
+/// the periodic delta exchange to fire and be charged honestly.
+const BACKEND_SIM_ITERATIONS: usize = 32;
 
 /// The signatures profiled by the roofline (the Figure 5a dense diagonal).
 const ROOFLINE_SIGNATURES: [&str; 3] = ["D32fM32f", "D16M16", "D8M8"];
@@ -128,10 +138,135 @@ fn simulated_coherence_cycles(signature: &Signature) -> f64 {
     effective * l3_latency / report.numbers_processed.max(1) as f64
 }
 
+/// Side-by-side model and measurement of the two training backends on the
+/// reference dense D8M8 problem at [`BACKEND_CORES`] workers: the
+/// shared-model (Hogwild!) layout against the shard-per-core delta-ring
+/// layout. Coherence is modeled by the cache simulator; throughput is
+/// measured from traced kernel spans of real multi-worker runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendComparison {
+    /// The shared-model roofline entry (`"D8M8/shared@8c"`).
+    pub shared: RooflineEntry,
+    /// The sharded-delta roofline entry (`"D8M8/sharded@8c"`).
+    pub sharded: RooflineEntry,
+    /// Effective invalidations (sent minus ignored) of the shared run.
+    pub shared_invalidations: u64,
+    /// Effective invalidations of the sharded run (ring lines only).
+    pub sharded_invalidations: u64,
+    /// Cache-line bytes of coherence transfers the sharded layout avoids:
+    /// the invalidation difference times the line size.
+    pub coherence_bytes_saved: u64,
+}
+
+impl BackendComparison {
+    /// The one-line takeaway printed under the roofline table.
+    #[must_use]
+    pub fn headline(&self) -> String {
+        format!(
+            "coherence saved: sharded-delta avoids {} of {} effective \
+             invalidations ({:.1} KiB of line transfers) vs shared-model \
+             on {BACKEND_CORES} simulated cores",
+            self.shared_invalidations
+                .saturating_sub(self.sharded_invalidations),
+            self.shared_invalidations,
+            self.coherence_bytes_saved as f64 / 1024.0,
+        )
+    }
+}
+
+/// Median per-span kernel throughput of a trace, in GNPS. Robust where
+/// the aggregate busy-ns estimate is not: on an oversubscribed box (more
+/// workers than cores) a descheduled worker's span absorbs
+/// millisecond-scale scheduler timeslices, drowning the microsecond-scale
+/// kernels in the sum. The median span never gets preempted.
+#[must_use]
+pub fn median_kernel_gnps(trace: &Trace) -> Option<f64> {
+    let mut rates: Vec<f64> = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e.phase, Phase::GradientKernel | Phase::ModelWrite) && e.dur > 0)
+        .map(|e| e.arg as f64 / e.dur as f64)
+        .collect();
+    if rates.is_empty() {
+        return None;
+    }
+    rates.sort_by(f64::total_cmp);
+    Some(rates[rates.len() / 2])
+}
+
+/// Measures one backend's kernel GNPS from a traced [`BACKEND_CORES`]-way
+/// dense D8M8 run, as the median span rate (see [`median_kernel_gnps`])
+/// so oversubscribed CI boxes don't skew the comparison.
+fn measured_backend_gnps(backend: Backend, seed: u64) -> Option<f64> {
+    let problem = generate::logistic_dense(FEATURES, EXAMPLES, seed);
+    let tracer = RingTracer::new();
+    SgdConfig::new(Loss::Logistic)
+        .signature("D8M8".parse().expect("valid signature"))
+        .backend(backend)
+        .threads(BACKEND_CORES)
+        .delta_every(BACKEND_DELTA_EVERY)
+        .epochs(2)
+        .seed(seed)
+        .train_traced(&problem.data, &NoopRecorder, &NoopInjector, &tracer)
+        .ok()?;
+    median_kernel_gnps(&tracer.drain())
+}
+
+/// Builds the backend comparison: identical compute and memory terms
+/// (same D8M8 kernels either way), coherence terms from per-layout cache
+/// simulations, measured GNPS from per-backend traced runs.
+#[must_use]
+pub fn backend_comparison(seed: u64) -> BackendComparison {
+    let params = CostParams::xeon();
+    let signature: Signature = "D8M8".parse().expect("valid signature");
+    let mix = iteration_mix(
+        &signature,
+        KernelFlavor::Optimized,
+        quantizer_for(&signature),
+    );
+    let compute = mix.total_instrs() / params.issue_per_cycle;
+    let memory = mix.dataset_bytes / params.bytes_per_cycle
+        + params.overhead_per_32b * mix.dataset_bytes / 32.0;
+    let config = SimConfig::paper_xeon(BACKEND_CORES);
+    let line_bytes = config.geometry.line_bytes;
+    let l3_latency = config.geometry.l3_latency as f64;
+    let simulate = |workload: &SgdWorkload| {
+        let report = Machine::new(config.clone()).run(workload);
+        let effective = report.invalidates_sent - report.invalidates_ignored;
+        let cycles = effective as f64 * l3_latency / report.numbers_processed.max(1) as f64;
+        (effective, cycles)
+    };
+    let dense = SgdWorkload::dense(FEATURES, 1, BACKEND_SIM_ITERATIONS);
+    let (shared_inv, shared_coherence) = simulate(&dense);
+    let (sharded_inv, sharded_coherence) = simulate(&dense.sharded(BACKEND_DELTA_EVERY));
+    let entry = |name: &str, coherence: f64, backend: Backend| RooflineEntry {
+        label: format!("D8M8/{name}@{BACKEND_CORES}c"),
+        compute_cycles: compute,
+        memory_cycles: memory,
+        coherence_cycles: coherence,
+        predicted_gnps: params.estimate_gnps(&mix),
+        measured_gnps: measured_backend_gnps(backend, seed),
+    };
+    BackendComparison {
+        shared: entry("shared", shared_coherence, Backend::SharedModel),
+        sharded: entry("sharded", sharded_coherence, Backend::ShardedDelta),
+        shared_invalidations: shared_inv,
+        sharded_invalidations: sharded_inv,
+        coherence_bytes_saved: shared_inv.saturating_sub(sharded_inv) * line_bytes,
+    }
+}
+
 /// Builds the DMGC roofline report: one entry per profiled signature, the
-/// chaos-run staleness distributions attached.
+/// backend-comparison pair, and the chaos-run staleness distributions.
 #[must_use]
 pub fn roofline_report(seed: u64) -> RooflineReport {
+    roofline_with_backends(seed).0
+}
+
+/// Like [`roofline_report`], also returning the backend comparison it
+/// embedded (for the headline line, without re-running the simulations).
+#[must_use]
+pub fn roofline_with_backends(seed: u64) -> (RooflineReport, BackendComparison) {
     let params = CostParams::xeon();
     let flavor = KernelFlavor::Optimized;
     let mut report = RooflineReport::new("paper-xeon");
@@ -151,8 +286,11 @@ pub fn roofline_report(seed: u64) -> RooflineReport {
             measured_gnps: measured_gnps(&signature, seed),
         });
     }
+    let comparison = backend_comparison(seed);
+    report.push(comparison.shared.clone());
+    report.push(comparison.sharded.clone());
     attach_chaos_distributions(&mut report, seed);
-    report
+    (report, comparison)
 }
 
 /// Runs a fault-injected chaos simulation and attaches its observed
@@ -233,6 +371,46 @@ mod tests {
                 .predicted_gnps
         };
         assert!(gnps("D8M8") > gnps("D32fM32f"));
+    }
+
+    #[test]
+    fn backend_comparison_shows_sharded_coherence_win() {
+        let cmp = backend_comparison(DEFAULT_SEED);
+        assert!(
+            cmp.sharded.coherence_cycles < cmp.shared.coherence_cycles,
+            "sharded {} vs shared {}: private replicas must model strictly \
+             less coherence",
+            cmp.sharded.coherence_cycles,
+            cmp.shared.coherence_cycles
+        );
+        assert!(cmp.sharded_invalidations < cmp.shared_invalidations);
+        assert!(cmp.coherence_bytes_saved > 0);
+        assert!(cmp.headline().contains("KiB"));
+        // Same kernels, same cost model: only the coherence term differs.
+        assert_eq!(cmp.shared.compute_cycles, cmp.sharded.compute_cycles);
+        assert_eq!(cmp.shared.memory_cycles, cmp.sharded.memory_cycles);
+        let shared = cmp.shared.measured_gnps.expect("shared run traced");
+        let sharded = cmp.sharded.measured_gnps.expect("sharded run traced");
+        eprintln!("measured median GNPS: shared {shared} sharded {sharded}");
+        // Median per-span kernel throughput: the sharded replicas are
+        // plain (not atomic) arrays, so per-element speed must hold up.
+        // Allow slack for timer noise on loaded CI boxes.
+        assert!(
+            sharded > 0.75 * shared,
+            "sharded {sharded} vs shared {shared} GNPS"
+        );
+    }
+
+    #[test]
+    fn roofline_embeds_backend_pair() {
+        let (report, cmp) = roofline_with_backends(DEFAULT_SEED);
+        let labels: Vec<_> = report.entries().iter().map(|e| e.label.as_str()).collect();
+        assert!(labels.contains(&"D8M8/shared@8c"), "{labels:?}");
+        assert!(labels.contains(&"D8M8/sharded@8c"), "{labels:?}");
+        assert!(
+            report.entries().contains(&cmp.sharded),
+            "comparison entries are embedded"
+        );
     }
 
     #[test]

@@ -195,6 +195,7 @@ fn region_index(region: Region) -> usize {
     match region {
         Region::Dataset => 0,
         Region::Model => 1,
+        Region::Ring => 2,
     }
 }
 
@@ -204,9 +205,9 @@ struct Core {
     cycles: u64,
     rng: Xorshift128,
     /// Last demand-missed line per region, for prefetch stream detection.
-    last_miss: [Option<u64>; 2],
+    last_miss: [Option<u64>; 3],
     /// Last DRAM-filled line per region, for demand-stream MLP modeling.
-    last_dram: [Option<u64>; 2],
+    last_dram: [Option<u64>; 3],
 }
 
 /// The simulated machine.
@@ -242,8 +243,8 @@ impl Machine {
                 l2: SetAssocCache::new(g.l2_bytes, g.ways, g.line_bytes),
                 cycles: 0,
                 rng: Xorshift128::seed_from(split_seed(config.seed, c as u64)),
-                last_miss: [None, None],
-                last_dram: [None, None],
+                last_miss: [None; 3],
+                last_dram: [None; 3],
             })
             .collect();
         Machine {
@@ -281,7 +282,12 @@ impl Machine {
             let cycles_before: Vec<u64> = self.cores.iter().map(|c| c.cycles).collect();
             let traces: Vec<_> = (0..self.config.cores)
                 .map(|core| {
-                    workload.iteration_accesses(core, iteration, self.config.geometry.line_bytes)
+                    workload.iteration_accesses(
+                        core,
+                        self.config.cores,
+                        iteration,
+                        self.config.geometry.line_bytes,
+                    )
                 })
                 .collect();
             let mut cursors = vec![0usize; self.config.cores];
@@ -694,6 +700,34 @@ mod tests {
         assert_eq!(plain, r1);
         assert_eq!(r1, r2);
         assert_eq!(t1.drain().to_chrome_json(), t2.drain().to_chrome_json());
+    }
+
+    #[test]
+    fn sharded_workload_slashes_invalidations() {
+        let shared = SgdWorkload::dense(1024, 1, 8);
+        let sharded = SgdWorkload::dense(1024, 1, 8).sharded(4);
+        let a = Machine::new(SimConfig::paper_xeon(4)).run(&shared);
+        let b = Machine::new(SimConfig::paper_xeon(4)).run(&sharded);
+        // Private replicas never generate model-line invalidations; the
+        // only shared lines left are the SPSC rings, touched once per
+        // exchange period by exactly two cores.
+        assert!(
+            b.invalidates_sent < a.invalidates_sent,
+            "sharded {} vs shared {}",
+            b.invalidates_sent,
+            a.invalidates_sent
+        );
+        assert_eq!(a.numbers_processed, b.numbers_processed);
+    }
+
+    #[test]
+    fn sharded_single_core_matches_private_shared_run() {
+        // With one core there is no sharing either way and no exchange, so
+        // the two layouts generate identical traffic shapes.
+        let shared = Machine::new(SimConfig::paper_xeon(1)).run(&SgdWorkload::dense(4096, 1, 4));
+        let sharded =
+            Machine::new(SimConfig::paper_xeon(1)).run(&SgdWorkload::dense(4096, 1, 4).sharded(2));
+        assert_eq!(shared, sharded);
     }
 
     #[test]

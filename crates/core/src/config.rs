@@ -2,7 +2,10 @@
 
 use core::fmt;
 use std::num::NonZeroU32;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 use buckwild_dmgc::Signature;
 use buckwild_fixed::Rounding;
@@ -10,6 +13,97 @@ use buckwild_kernels::cost::QuantizerKind;
 
 use crate::train::{TrainControl, TrainProgress};
 use crate::Loss;
+
+/// Which training engine executes the run (paper §2 vs ROADMAP item 1).
+///
+/// * [`Backend::SharedModel`] — the classic Hogwild!/Buckwild! engine:
+///   every worker updates one shared atomic model, communication happens
+///   implicitly through cache coherence.
+/// * [`Backend::ShardedDelta`] — the shared-nothing engine: each worker
+///   owns a 64-byte-aligned model replica in a pre-allocated arena, is
+///   pinned to a core (best effort, Linux), and broadcasts 8-bit
+///   quantized model deltas to its peers over bounded lock-free SPSC
+///   rings instead of contending on shared cache lines.
+///
+/// With one worker the two backends are bit-identical; with many, the
+/// sharded engine trades a small, bounded gradient staleness (the delta
+/// exchange period) for the elimination of coherence traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// One shared atomic model, racy Hogwild!-style writes (the default).
+    #[default]
+    SharedModel,
+    /// Per-worker aligned replicas exchanging quantized deltas over SPSC
+    /// rings.
+    ShardedDelta,
+}
+
+impl Backend {
+    /// The short name used by `--backend` flags and report labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::SharedModel => "shared",
+            Backend::ShardedDelta => "sharded",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "shared" | "shared-model" | "hogwild" => Ok(Backend::SharedModel),
+            "sharded" | "sharded-delta" | "shard" => Ok(Backend::ShardedDelta),
+            other => Err(format!(
+                "unknown backend `{other}` (expected `shared` or `sharded`)"
+            )),
+        }
+    }
+}
+
+/// Process-wide default backend override: 0 = unset, else discriminant+1.
+static DEFAULT_BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default backend used by [`SgdConfig::new`].
+///
+/// This is how `--backend` on the experiment binaries reaches every
+/// configuration they build internally; an explicit
+/// [`SgdConfig::backend`] call always wins over the default.
+pub fn set_default_backend(backend: Backend) {
+    let code = match backend {
+        Backend::SharedModel => 1,
+        Backend::ShardedDelta => 2,
+    };
+    DEFAULT_BACKEND.store(code, Ordering::Relaxed);
+}
+
+/// The default backend for new configurations: the value installed by
+/// [`set_default_backend`], else the `BUCKWILD_BACKEND` environment
+/// variable (`shared` / `sharded`), else [`Backend::SharedModel`].
+#[must_use]
+pub fn default_backend() -> Backend {
+    match DEFAULT_BACKEND.load(Ordering::Relaxed) {
+        1 => Backend::SharedModel,
+        2 => Backend::ShardedDelta,
+        _ => {
+            static FROM_ENV: OnceLock<Backend> = OnceLock::new();
+            *FROM_ENV.get_or_init(|| {
+                std::env::var("BUCKWILD_BACKEND")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_default()
+            })
+        }
+    }
+}
 
 /// How stochastic-rounding randomness is produced (paper §5.2).
 ///
@@ -89,6 +183,10 @@ impl std::error::Error for ConfigError {}
 /// ```
 #[derive(Clone)]
 pub struct SgdConfig {
+    /// The training engine (shared atomic model vs sharded replicas).
+    pub backend: Backend,
+    /// For [`Backend::ShardedDelta`]: iterations between delta exchanges.
+    pub delta_every: usize,
     /// The objective.
     pub loss: Loss,
     /// The DMGC precision signature.
@@ -118,6 +216,8 @@ pub struct SgdConfig {
 impl fmt::Debug for SgdConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SgdConfig")
+            .field("backend", &self.backend)
+            .field("delta_every", &self.delta_every)
             .field("loss", &self.loss)
             .field("signature", &self.signature)
             .field("rounding", &self.rounding)
@@ -141,7 +241,9 @@ impl PartialEq for SgdConfig {
             (Some(a), Some(b)) => Arc::ptr_eq(a, b),
             _ => false,
         };
-        self.loss == other.loss
+        self.backend == other.backend
+            && self.delta_every == other.delta_every
+            && self.loss == other.loss
             && self.signature == other.signature
             && self.rounding == other.rounding
             && self.quantizer == other.quantizer
@@ -162,6 +264,8 @@ impl SgdConfig {
     #[must_use]
     pub fn new(loss: Loss) -> Self {
         SgdConfig {
+            backend: default_backend(),
+            delta_every: 16,
             loss,
             signature: Signature::full_precision(),
             rounding: Rounding::Unbiased,
@@ -175,6 +279,22 @@ impl SgdConfig {
             record_losses: true,
             on_epoch: None,
         }
+    }
+
+    /// Sets the training engine. Overrides the process default installed
+    /// by [`set_default_backend`] / `BUCKWILD_BACKEND`.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the sharded backend's delta-exchange period (iterations
+    /// between broadcasts). Ignored by [`Backend::SharedModel`].
+    #[must_use]
+    pub fn delta_every(mut self, every: usize) -> Self {
+        self.delta_every = every;
+        self
     }
 
     /// Sets the DMGC signature.
@@ -316,6 +436,9 @@ impl SgdConfig {
         if self.epochs == 0 {
             return Err(ConfigError::InvalidParameter("epoch count"));
         }
+        if self.delta_every == 0 {
+            return Err(ConfigError::InvalidParameter("delta-exchange period"));
+        }
         if crate::ModelPrecision::from_signature(&self.signature).is_none() {
             return Err(ConfigError::UnsupportedModelPrecision(
                 self.signature.to_string(),
@@ -372,6 +495,22 @@ mod tests {
         assert!(base.clone().minibatch(0).validate().is_err());
         assert!(base.clone().threads(0).validate().is_err());
         assert!(base.clone().epochs(0).validate().is_err());
+        assert!(base.clone().delta_every(0).validate().is_err());
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("shared".parse(), Ok(Backend::SharedModel));
+        assert_eq!("sharded".parse(), Ok(Backend::ShardedDelta));
+        assert_eq!("sharded-delta".parse(), Ok(Backend::ShardedDelta));
+        assert!("turbo".parse::<Backend>().is_err());
+        assert_eq!(Backend::ShardedDelta.to_string(), "sharded");
+        let c = SgdConfig::new(Loss::Logistic)
+            .backend(Backend::ShardedDelta)
+            .delta_every(4);
+        assert_eq!(c.backend, Backend::ShardedDelta);
+        assert_eq!(c.delta_every, 4);
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

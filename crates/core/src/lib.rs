@@ -69,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 pub mod chaos;
 mod config;
 pub mod loss;
@@ -77,11 +78,16 @@ pub mod model;
 pub mod obstinate;
 pub mod prelude;
 pub mod rff;
+pub mod ring;
+mod shard;
 pub mod sync;
 mod train;
 
 pub use chaos::{ChaosReport, ChaosSgdConfig};
-pub use config::{ConfigError, EpochObserver, QuantizerConfig, SgdConfig};
+pub use config::{
+    default_backend, set_default_backend, Backend, ConfigError, EpochObserver, QuantizerConfig,
+    SgdConfig,
+};
 pub use loss::Loss;
 pub use metrics::{accuracy, mean_loss};
 pub use model::{ModelPrecision, SharedModel};

@@ -16,7 +16,10 @@
 //! ```
 
 pub use crate::chaos::{ChaosReport, ChaosSgdConfig};
-pub use crate::config::{ConfigError, EpochObserver, QuantizerConfig, SgdConfig};
+pub use crate::config::{
+    default_backend, set_default_backend, Backend, ConfigError, EpochObserver, QuantizerConfig,
+    SgdConfig,
+};
 pub use crate::loss::Loss;
 pub use crate::metrics::{accuracy, accuracy_sparse, mean_loss, mean_loss_sparse};
 pub use crate::model::{ModelPrecision, SharedModel};

@@ -1,0 +1,756 @@
+//! The shard-per-core, shared-nothing training engine (ROADMAP item 1).
+//!
+//! Where the shared-model engine lets cache coherence carry every update
+//! between cores, this backend gives each worker a private cache-aligned
+//! replica in a [`ShardArena`], pins the worker to a core (best effort),
+//! and exchanges progress explicitly: every [`SgdConfig::delta_every`]
+//! iterations a worker diffs its replica against the last synchronized
+//! snapshot, quantizes the diff to 8 bits (one `f32` scale + one `i8`
+//! per coordinate), and broadcasts it to every peer over bounded
+//! lock-free SPSC [`DeltaRing`]s.
+//!
+//! The exchange is *echo-free with error feedback*:
+//!
+//! 1. fold own progress since the last snapshot into a `pending`
+//!    accumulator;
+//! 2. drain and apply every peer packet;
+//! 3. re-snapshot the replica — so peer contributions are never
+//!    rebroadcast (no echo);
+//! 4. if every outgoing ring has room, quantize `pending`, push it to
+//!    all peers, and subtract the *quantized* value from `pending` — the
+//!    quantization residual carries to the next exchange (1-bit-SGD
+//!    style error feedback). A full ring skips the broadcast entirely
+//!    and the whole delta carries instead; nothing is ever lost.
+//!
+//! With one worker the exchange is inert and the loop below is a
+//! line-for-line mirror of the shared engine's, so the two backends are
+//! bit-identical — the backend-equivalence tests pin this down.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use buckwild_chaos::metric as chaos_metric;
+use buckwild_chaos::{Injector, WorkerInjector};
+use buckwild_dataset::{DenseDataset, SparseDataset};
+use buckwild_kernels::delta::{packet_bytes, quantize_delta_i8};
+use buckwild_kernels::optimized::FixedInt;
+use buckwild_prng::split_seed;
+use buckwild_telemetry::{Counter, Gauge, Histogram, Recorder};
+use buckwild_trace::{fault_kind, Phase, Tracer, WorkerTracer};
+
+use crate::arena::{LocalModel, ShardArena};
+use crate::ring::DeltaRing;
+use crate::train::{
+    metric, sealed::Sealed, ChaosCounters, QuantState, TrainControl, TrainData, TrainError,
+    TrainProgress, TrainReport, WorkerCounters, MAX_REPLAYS_PER_EPOCH,
+};
+use crate::{Loss, ModelPrecision, SgdConfig};
+
+/// Packet slots per directed worker pair. Small enough that the rings
+/// stay L2-resident, deep enough that a worker a few exchanges ahead of
+/// a peer does not stall the error-feedback pipeline.
+const RING_CAPACITY: usize = 8;
+
+/// Per-worker scalar context (the sharded analogue of `WorkerCtx`, minus
+/// the shared model reference).
+pub struct ShardCtx {
+    pub(crate) loss: Loss,
+    pub(crate) step: f32,
+    pub(crate) minibatch: usize,
+    pub(crate) worker: usize,
+    pub(crate) threads: usize,
+}
+
+/// Telemetry handles for the delta-exchange hot path; created only for
+/// multi-worker runs so single-worker snapshots carry no `shard.*`
+/// zeros.
+pub struct ShardCounters<C> {
+    pub(crate) packets: C,
+    pub(crate) bytes: C,
+    pub(crate) full_skips: C,
+}
+
+/// Cross-epoch exchange state: the snapshot baseline and the
+/// error-feedback accumulator survive from one epoch to the next (the
+/// worker threads do not), so progress that could not be broadcast
+/// before an epoch boundary — full rings, partial exchange windows — is
+/// carried instead of lost.
+pub struct SyncState {
+    /// Replica state at the last exchange (peer contributions included).
+    snapshot: Vec<f32>,
+    /// Own progress not yet broadcast, plus quantization residuals.
+    pending: Vec<f32>,
+}
+
+impl SyncState {
+    fn zeros(n: usize) -> Self {
+        SyncState {
+            snapshot: vec![0f32; n],
+            pending: vec![0f32; n],
+        }
+    }
+
+    /// Rebases onto a rolled-back replica: the snapshot matches the
+    /// restored weights and undelivered progress from the abandoned
+    /// timeline is dropped.
+    fn rollback(&mut self, restored: &[f32]) {
+        self.snapshot.copy_from_slice(restored);
+        self.pending.fill(0.0);
+    }
+}
+
+/// One worker's half of the delta-exchange protocol.
+pub struct DeltaSync<'a, C> {
+    /// All pairwise rings, flattened as `producer * threads + consumer`.
+    rings: &'a [DeltaRing],
+    worker: usize,
+    threads: usize,
+    every: usize,
+    countdown: usize,
+    counters: Option<ShardCounters<C>>,
+    state: &'a mut SyncState,
+    /// Outgoing quantized payload scratch.
+    qbuf: Vec<i8>,
+    /// Incoming packet scratch.
+    inbox: Vec<i8>,
+}
+
+impl<'a, C: Counter> DeltaSync<'a, C> {
+    pub(crate) fn new(
+        rings: &'a [DeltaRing],
+        worker: usize,
+        threads: usize,
+        every: usize,
+        counters: Option<ShardCounters<C>>,
+        state: &'a mut SyncState,
+    ) -> Self {
+        let n = state.snapshot.len();
+        DeltaSync {
+            rings,
+            worker,
+            threads,
+            every,
+            countdown: every,
+            counters,
+            state,
+            qbuf: vec![0i8; n],
+            inbox: vec![0i8; n],
+        }
+    }
+
+    /// Called once per SGD iteration; runs an exchange every `every`
+    /// ticks. Inert with a single worker.
+    #[inline]
+    pub(crate) fn tick<T: WorkerTracer>(&mut self, local: &mut LocalModel<'_>, tracer: &mut T) {
+        if self.threads == 1 {
+            return;
+        }
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return;
+        }
+        self.countdown = self.every;
+        self.exchange(local, tracer);
+    }
+
+    /// One last exchange at the end of the worker's epoch, so progress
+    /// from a partial exchange window reaches the peers (or the
+    /// error-feedback accumulator) instead of waiting a whole epoch.
+    /// Inert with a single worker.
+    pub(crate) fn flush<T: WorkerTracer>(&mut self, local: &mut LocalModel<'_>, tracer: &mut T) {
+        if self.threads == 1 {
+            return;
+        }
+        self.exchange(local, tracer);
+    }
+
+    fn exchange<T: WorkerTracer>(&mut self, local: &mut LocalModel<'_>, tracer: &mut T) {
+        let span = tracer.begin();
+        let mut packets = 0u64;
+        // 1. Fold own progress since the last snapshot into `pending`.
+        local.accumulate_diff(&self.state.snapshot, &mut self.state.pending);
+        // 2. Drain every peer's ring addressed to this worker.
+        for p in 0..self.threads {
+            if p == self.worker {
+                continue;
+            }
+            let ring = &self.rings[p * self.threads + self.worker];
+            while let Some(scale) = ring.pop_into(&mut self.inbox) {
+                local.apply_delta(&self.inbox, scale);
+                packets += 1;
+            }
+        }
+        // 3. Re-snapshot after the drain: peer contributions are now part
+        //    of the baseline and will never be echoed back.
+        local.write_dequant(&mut self.state.snapshot);
+        // 4. Broadcast `pending` if every outgoing ring has room; the
+        //    quantization residual (or, on a full ring, the whole delta)
+        //    carries to the next exchange.
+        let all_free = (0..self.threads)
+            .filter(|&p| p != self.worker)
+            .all(|p| self.rings[self.worker * self.threads + p].can_push());
+        if all_free {
+            if let Some(scale) = quantize_delta_i8(&self.state.pending, &mut self.qbuf) {
+                for p in 0..self.threads {
+                    if p == self.worker {
+                        continue;
+                    }
+                    let pushed = self.rings[self.worker * self.threads + p].push(scale, &self.qbuf);
+                    debug_assert!(pushed, "can_push is stable on the producer side");
+                }
+                for (d, &q) in self.state.pending.iter_mut().zip(&self.qbuf) {
+                    *d -= scale * f32::from(q);
+                }
+                let sent = (self.threads - 1) as u64;
+                packets += sent;
+                if let Some(c) = &self.counters {
+                    c.packets.add(sent);
+                    c.bytes.add(sent * packet_bytes(self.qbuf.len()));
+                }
+            }
+        } else if let Some(c) = &self.counters {
+            c.full_skips.incr();
+        }
+        tracer.end(Phase::DeltaSync, span, packets);
+    }
+}
+
+/// The sharded-backend driver: mirrors the shared engine's epoch loop
+/// (checkpoint/rollback, observer, telemetry, tracing) over a
+/// [`ShardArena`] and a mesh of SPSC rings.
+pub(crate) fn train_sharded<D, R, I, T>(
+    config: &SgdConfig,
+    data: &D,
+    recorder: &R,
+    injector: &I,
+    tracer: &T,
+) -> Result<TrainReport, TrainError>
+where
+    D: TrainData,
+    R: Recorder,
+    I: Injector,
+    T: Tracer,
+{
+    // `validate()` and the emptiness check already ran in `train_traced`.
+    let precision = ModelPrecision::from_signature(&config.signature).expect("validated");
+    let prepared = data.prepare(config);
+    let m = Sealed::examples(data);
+    let n = data.model_features();
+    let threads = config.threads;
+    let mut arena = ShardArena::new(precision, threads, n);
+    let rings: Vec<DeltaRing> = if threads > 1 {
+        (0..threads * threads)
+            .map(|_| DeltaRing::new(RING_CAPACITY, n))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let cores = buckwild_affinity::core_count().max(1);
+    let mut sync_states: Vec<SyncState> = (0..threads).map(|_| SyncState::zeros(n)).collect();
+    let mut epoch_losses = Vec::new();
+    let epoch_seconds = recorder.histogram(metric::EPOCH_SECONDS);
+    let mut wall = 0f64;
+    let checkpoint_every = injector.checkpoint_epochs();
+    let mut checkpoint: Option<Vec<f32>> = checkpoint_every.map(|_| arena.checkpoint());
+    let mut clean_epochs = 0u32;
+    let recovery = if I::ACTIVE {
+        Some((
+            recorder.counter(chaos_metric::RECOVERIES),
+            recorder.counter(chaos_metric::REPLAYED_ITERATIONS),
+        ))
+    } else {
+        None
+    };
+    let mut driver = tracer.worker(threads);
+    let mut epoch = 0usize;
+    let mut replays = 0u32;
+    while epoch < config.epochs {
+        let step = config.step_size * config.step_decay.powi(epoch as i32);
+        let epoch_span = driver.begin();
+        let mut crashed = 0usize;
+        let mut secs = 0f64;
+        // Workers rendezvous here before touching data, and the driver
+        // starts the clock only after the release — spawn overhead stays
+        // out of the throughput measurement.
+        let barrier = Barrier::new(threads + 1);
+        let views = arena.views();
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(threads);
+            for (t, (mut local, state)) in views.into_iter().zip(sync_states.iter_mut()).enumerate()
+            {
+                let prepared = &prepared;
+                let rings = &rings;
+                let barrier = &barrier;
+                let mut rng = QuantState::new(
+                    &config.quantizer,
+                    config.rounding,
+                    split_seed(config.seed, (epoch * threads + t) as u64 + 1),
+                );
+                let ctx = ShardCtx {
+                    loss: config.loss,
+                    step,
+                    minibatch: config.minibatch,
+                    worker: t,
+                    threads,
+                };
+                let counters = WorkerCounters {
+                    iterations: recorder.worker_counter(metric::ITERATIONS, t),
+                    numbers: recorder.worker_counter(metric::NUMBERS_PROCESSED, t),
+                    rounds: recorder.worker_counter(metric::ROUND_EVENTS, t),
+                    chaos: I::ACTIVE.then(|| ChaosCounters {
+                        stalls: recorder.worker_counter(chaos_metric::STALLS, t),
+                        dropped: recorder.worker_counter(chaos_metric::DROPPED_WRITES, t),
+                        stall_ticks: recorder.worker_histogram(chaos_metric::STALL_TICKS, t),
+                    }),
+                };
+                let shard_counters = (threads > 1).then(|| ShardCounters {
+                    packets: recorder.worker_counter(metric::DELTA_PACKETS, t),
+                    bytes: recorder.worker_counter(metric::DELTA_BYTES, t),
+                    full_skips: recorder.worker_counter(metric::RING_FULL_SKIPS, t),
+                });
+                let mut inj = injector.worker(t, epoch);
+                let mut wtracer = tracer.worker(t);
+                let delta_every = config.delta_every;
+                handles.push(s.spawn(move || {
+                    let _ = buckwild_affinity::pin_current_thread(t % cores);
+                    let mut sync =
+                        DeltaSync::new(rings, t, threads, delta_every, shard_counters, state);
+                    barrier.wait();
+                    D::run_worker_sharded(
+                        prepared,
+                        &ctx,
+                        &mut local,
+                        &mut sync,
+                        &counters,
+                        &mut rng,
+                        &mut inj,
+                        &mut wtracer,
+                    )
+                }));
+            }
+            barrier.wait();
+            let start = Instant::now();
+            crashed = handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .filter(|&c| c)
+                .count();
+            secs = start.elapsed().as_secs_f64();
+        });
+        epoch_seconds.record(secs);
+        driver.end(Phase::Epoch, epoch_span, epoch as u64);
+        wall += secs;
+        if crashed > 0 {
+            if let Some(ckpt) = &checkpoint {
+                if replays < MAX_REPLAYS_PER_EPOCH {
+                    replays += 1;
+                    if let Some((recoveries, replayed)) = &recovery {
+                        recoveries.add(crashed as u64);
+                        replayed.add(m as u64);
+                    }
+                    let recovery_span = driver.begin();
+                    arena.restore(ckpt);
+                    // Ring and exchange-state contents describe the
+                    // abandoned timeline.
+                    for ring in &rings {
+                        ring.clear();
+                    }
+                    for (t, state) in sync_states.iter_mut().enumerate() {
+                        state.rollback(&ckpt[t * n..(t + 1) * n]);
+                    }
+                    driver.end(Phase::ChaosFault, recovery_span, fault_kind::RECOVERY);
+                    continue;
+                }
+            }
+            // No checkpoint: the dead worker's epoch share is simply lost,
+            // exactly as in the shared engine.
+        }
+        let loss = if config.record_losses {
+            let l = data.mean_loss(config.loss, &arena.mean_snapshot());
+            epoch_losses.push(l);
+            Some(l)
+        } else {
+            None
+        };
+        let mut stop = false;
+        if let Some(observer) = &config.on_epoch {
+            let progress = TrainProgress {
+                epoch,
+                epochs: config.epochs,
+                loss,
+                wall_seconds: wall,
+                iterations: (m * (epoch + 1)) as u64,
+            };
+            stop = observer(&progress) == TrainControl::Stop;
+        }
+        epoch += 1;
+        replays = 0;
+        if let Some(every) = checkpoint_every {
+            clean_epochs += 1;
+            if clean_epochs >= every.get() {
+                checkpoint = Some(arena.checkpoint());
+                clean_epochs = 0;
+            }
+        }
+        if stop {
+            break;
+        }
+    }
+    let snapshot = recorder.snapshot();
+    if let Some(numbers) = snapshot.counter(metric::NUMBERS_PROCESSED) {
+        recorder
+            .gauge(metric::GNPS)
+            .set(numbers as f64 / wall.max(1e-12) / 1e9);
+    }
+    Ok(TrainReport::from_parts(
+        arena.mean_snapshot(),
+        epoch_losses,
+        recorder.snapshot(),
+    ))
+}
+
+// The four worker loops below are line-for-line mirrors of the shared
+// engine's (`train.rs`), with the shared-model calls replaced by the
+// private replica and one `sync.tick` per iteration. Keeping the shape
+// identical is deliberate: it is what makes the one-worker runs
+// bit-identical across backends.
+
+#[allow(clippy::too_many_arguments)] // mirrors the shared-engine worker signature plus the delta sync
+pub(crate) fn worker_dense_fixed<
+    D: FixedInt,
+    C: Counter,
+    H: Histogram,
+    W: WorkerInjector,
+    T: WorkerTracer,
+>(
+    ctx: &ShardCtx,
+    data: &DenseDataset<D>,
+    local: &mut LocalModel<'_>,
+    sync: &mut DeltaSync<'_, C>,
+    counters: &WorkerCounters<C, H>,
+    rng: &mut QuantState,
+    inj: &mut W,
+    tracer: &mut T,
+) -> bool {
+    let x_spec = data.spec();
+    let n = data.features();
+    let mut scratch = if ctx.minibatch > 1 {
+        vec![0f32; n]
+    } else {
+        Vec::new()
+    };
+    let mut batch_fill = 0usize;
+    for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
+        if !counters.serve_fate(inj.iter_fate(), tracer) {
+            return true;
+        }
+        let iter_span = tracer.begin();
+        let x = data.example(i);
+        let y = data.label(i);
+        rng.begin_iteration();
+        counters.iterations.incr();
+        counters.numbers.add(n as u64);
+        let kernel_span = tracer.begin();
+        let dot = local.dot_fixed(x, &x_spec);
+        tracer.end(Phase::GradientKernel, kernel_span, n as u64);
+        let a = ctx.loss.axpy_scale(dot, y, ctx.step);
+        if ctx.minibatch == 1 {
+            if a != 0.0 {
+                if inj.keep_write() {
+                    counters.rounds.add(n as u64);
+                    let write_span = tracer.begin();
+                    match rng.block_offsets() {
+                        Some(offs) => local.axpy_fixed_block(a, x, &x_spec, &offs),
+                        None => {
+                            let mut off = |j: usize| rng.offset15(j);
+                            local.axpy_fixed(a, x, &x_spec, &mut off);
+                        }
+                    }
+                    tracer.end(Phase::ModelWrite, write_span, n as u64);
+                } else {
+                    counters.count_dropped();
+                }
+            }
+        } else {
+            if a != 0.0 {
+                let qa = a * x_spec.quantum();
+                for (sj, xj) in scratch.iter_mut().zip(x) {
+                    *sj += qa * xj.widen() as f32;
+                }
+            }
+            batch_fill += 1;
+            if batch_fill == ctx.minibatch {
+                if inj.keep_write() {
+                    counters.rounds.add(n as u64);
+                    let write_span = tracer.begin();
+                    let mut uni = |j: usize| rng.uniform(j);
+                    local.axpy_f32(1.0, &scratch, &mut uni);
+                    tracer.end(Phase::ModelWrite, write_span, n as u64);
+                } else {
+                    counters.count_dropped();
+                }
+                scratch.fill(0.0);
+                batch_fill = 0;
+            }
+        }
+        tracer.end(Phase::Minibatch, iter_span, i as u64);
+        sync.tick(local, tracer);
+    }
+    if batch_fill > 0 {
+        if inj.keep_write() {
+            counters.rounds.add(n as u64);
+            let write_span = tracer.begin();
+            let mut uni = |j: usize| rng.uniform(j);
+            local.axpy_f32(1.0, &scratch, &mut uni);
+            tracer.end(Phase::ModelWrite, write_span, n as u64);
+        } else {
+            counters.count_dropped();
+        }
+    }
+    sync.flush(local, tracer);
+    false
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the shared-engine worker signature plus the delta sync
+pub(crate) fn worker_dense_f32<C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
+    ctx: &ShardCtx,
+    data: &DenseDataset<f32>,
+    local: &mut LocalModel<'_>,
+    sync: &mut DeltaSync<'_, C>,
+    counters: &WorkerCounters<C, H>,
+    rng: &mut QuantState,
+    inj: &mut W,
+    tracer: &mut T,
+) -> bool {
+    let n = data.features();
+    let mut scratch = if ctx.minibatch > 1 {
+        vec![0f32; n]
+    } else {
+        Vec::new()
+    };
+    let mut batch_fill = 0usize;
+    for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
+        if !counters.serve_fate(inj.iter_fate(), tracer) {
+            return true;
+        }
+        let iter_span = tracer.begin();
+        let x = data.example(i);
+        let y = data.label(i);
+        rng.begin_iteration();
+        counters.iterations.incr();
+        counters.numbers.add(n as u64);
+        let kernel_span = tracer.begin();
+        let dot = local.dot_f32(x);
+        tracer.end(Phase::GradientKernel, kernel_span, n as u64);
+        let a = ctx.loss.axpy_scale(dot, y, ctx.step);
+        if ctx.minibatch == 1 {
+            if a != 0.0 {
+                if inj.keep_write() {
+                    counters.rounds.add(n as u64);
+                    let write_span = tracer.begin();
+                    let mut uni = |j: usize| rng.uniform(j);
+                    local.axpy_f32(a, x, &mut uni);
+                    tracer.end(Phase::ModelWrite, write_span, n as u64);
+                } else {
+                    counters.count_dropped();
+                }
+            }
+        } else {
+            if a != 0.0 {
+                for (sj, &xj) in scratch.iter_mut().zip(x) {
+                    *sj += a * xj;
+                }
+            }
+            batch_fill += 1;
+            if batch_fill == ctx.minibatch {
+                if inj.keep_write() {
+                    counters.rounds.add(n as u64);
+                    let write_span = tracer.begin();
+                    let mut uni = |j: usize| rng.uniform(j);
+                    local.axpy_f32(1.0, &scratch, &mut uni);
+                    tracer.end(Phase::ModelWrite, write_span, n as u64);
+                } else {
+                    counters.count_dropped();
+                }
+                scratch.fill(0.0);
+                batch_fill = 0;
+            }
+        }
+        tracer.end(Phase::Minibatch, iter_span, i as u64);
+        sync.tick(local, tracer);
+    }
+    if batch_fill > 0 {
+        if inj.keep_write() {
+            counters.rounds.add(n as u64);
+            let write_span = tracer.begin();
+            let mut uni = |j: usize| rng.uniform(j);
+            local.axpy_f32(1.0, &scratch, &mut uni);
+            tracer.end(Phase::ModelWrite, write_span, n as u64);
+        } else {
+            counters.count_dropped();
+        }
+    }
+    sync.flush(local, tracer);
+    false
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the shared-engine worker signature plus the delta sync
+pub(crate) fn worker_sparse_fixed<
+    D: FixedInt,
+    C: Counter,
+    H: Histogram,
+    W: WorkerInjector,
+    T: WorkerTracer,
+>(
+    ctx: &ShardCtx,
+    data: &SparseDataset<D, u32>,
+    local: &mut LocalModel<'_>,
+    sync: &mut DeltaSync<'_, C>,
+    counters: &WorkerCounters<C, H>,
+    rng: &mut QuantState,
+    inj: &mut W,
+    tracer: &mut T,
+) -> bool {
+    let x_spec = data.spec();
+    let mut batch: Vec<(usize, f32)> = Vec::new();
+    for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
+        if !counters.serve_fate(inj.iter_fate(), tracer) {
+            return true;
+        }
+        let iter_span = tracer.begin();
+        let ex = data.example(i);
+        let y = data.label(i);
+        rng.begin_iteration();
+        counters.iterations.incr();
+        counters.numbers.add(ex.nnz() as u64);
+        let kernel_span = tracer.begin();
+        let dot = local.dot_sparse_fixed(ex.values, ex.indices, &x_spec);
+        tracer.end(Phase::GradientKernel, kernel_span, ex.nnz() as u64);
+        let a = ctx.loss.axpy_scale(dot, y, ctx.step);
+        if ctx.minibatch == 1 {
+            if a != 0.0 {
+                if inj.keep_write() {
+                    counters.rounds.add(ex.nnz() as u64);
+                    let write_span = tracer.begin();
+                    let mut off = |j: usize| rng.offset15(j);
+                    local.axpy_sparse_fixed(a, ex.values, ex.indices, &x_spec, &mut off);
+                    tracer.end(Phase::ModelWrite, write_span, ex.nnz() as u64);
+                } else {
+                    counters.count_dropped();
+                }
+            }
+        } else {
+            if a != 0.0 {
+                batch.push((i, a));
+            }
+            if batch.len() >= ctx.minibatch {
+                for &(pi, pa) in &batch {
+                    if !inj.keep_write() {
+                        counters.count_dropped();
+                        continue;
+                    }
+                    let pex = data.example(pi);
+                    counters.rounds.add(pex.nnz() as u64);
+                    let write_span = tracer.begin();
+                    let mut off = |j: usize| rng.offset15(j);
+                    local.axpy_sparse_fixed(pa, pex.values, pex.indices, &x_spec, &mut off);
+                    tracer.end(Phase::ModelWrite, write_span, pex.nnz() as u64);
+                }
+                batch.clear();
+            }
+        }
+        tracer.end(Phase::Minibatch, iter_span, i as u64);
+        sync.tick(local, tracer);
+    }
+    for &(pi, pa) in &batch {
+        if !inj.keep_write() {
+            counters.count_dropped();
+            continue;
+        }
+        let pex = data.example(pi);
+        counters.rounds.add(pex.nnz() as u64);
+        let write_span = tracer.begin();
+        let mut off = |j: usize| rng.offset15(j);
+        local.axpy_sparse_fixed(pa, pex.values, pex.indices, &x_spec, &mut off);
+        tracer.end(Phase::ModelWrite, write_span, pex.nnz() as u64);
+    }
+    sync.flush(local, tracer);
+    false
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the shared-engine worker signature plus the delta sync
+pub(crate) fn worker_sparse_f32<C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
+    ctx: &ShardCtx,
+    data: &SparseDataset<f32, u32>,
+    local: &mut LocalModel<'_>,
+    sync: &mut DeltaSync<'_, C>,
+    counters: &WorkerCounters<C, H>,
+    rng: &mut QuantState,
+    inj: &mut W,
+    tracer: &mut T,
+) -> bool {
+    let mut batch: Vec<(usize, f32)> = Vec::new();
+    for i in (ctx.worker..data.examples()).step_by(ctx.threads) {
+        if !counters.serve_fate(inj.iter_fate(), tracer) {
+            return true;
+        }
+        let iter_span = tracer.begin();
+        let ex = data.example(i);
+        let y = data.label(i);
+        rng.begin_iteration();
+        counters.iterations.incr();
+        counters.numbers.add(ex.nnz() as u64);
+        let kernel_span = tracer.begin();
+        let dot = local.dot_sparse_f32(ex.values, ex.indices);
+        tracer.end(Phase::GradientKernel, kernel_span, ex.nnz() as u64);
+        let a = ctx.loss.axpy_scale(dot, y, ctx.step);
+        if ctx.minibatch == 1 {
+            if a != 0.0 {
+                if inj.keep_write() {
+                    counters.rounds.add(ex.nnz() as u64);
+                    let write_span = tracer.begin();
+                    let mut uni = |j: usize| rng.uniform(j);
+                    local.axpy_sparse_f32(a, ex.values, ex.indices, &mut uni);
+                    tracer.end(Phase::ModelWrite, write_span, ex.nnz() as u64);
+                } else {
+                    counters.count_dropped();
+                }
+            }
+        } else {
+            if a != 0.0 {
+                batch.push((i, a));
+            }
+            if batch.len() >= ctx.minibatch {
+                for &(pi, pa) in &batch {
+                    if !inj.keep_write() {
+                        counters.count_dropped();
+                        continue;
+                    }
+                    let pex = data.example(pi);
+                    counters.rounds.add(pex.nnz() as u64);
+                    let write_span = tracer.begin();
+                    let mut uni = |j: usize| rng.uniform(j);
+                    local.axpy_sparse_f32(pa, pex.values, pex.indices, &mut uni);
+                    tracer.end(Phase::ModelWrite, write_span, pex.nnz() as u64);
+                }
+                batch.clear();
+            }
+        }
+        tracer.end(Phase::Minibatch, iter_span, i as u64);
+        sync.tick(local, tracer);
+    }
+    for &(pi, pa) in &batch {
+        if !inj.keep_write() {
+            counters.count_dropped();
+            continue;
+        }
+        let pex = data.example(pi);
+        counters.rounds.add(pex.nnz() as u64);
+        let write_span = tracer.begin();
+        let mut uni = |j: usize| rng.uniform(j);
+        local.axpy_sparse_f32(pa, pex.values, pex.indices, &mut uni);
+        tracer.end(Phase::ModelWrite, write_span, pex.nnz() as u64);
+    }
+    sync.flush(local, tracer);
+    false
+}

@@ -24,14 +24,14 @@ use buckwild_prng::{split_seed, Mt19937, Prng, XorshiftLanes};
 use buckwild_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Recorder, ShardedRecorder};
 use buckwild_trace::{fault_kind, NoopTracer, Phase, Tracer, WorkerTracer};
 
-use crate::config::QuantizerConfig;
+use crate::config::{Backend, QuantizerConfig};
 use crate::{metrics, ConfigError, Loss, ModelPrecision, SgdConfig, SharedModel};
 
 /// Replay attempts per epoch before the engine gives up on recovery and
 /// accepts the partial epoch — a guard against injectors that crash the
 /// same epoch forever ([`PlanInjector`] consumes each crash, so plan-driven
 /// runs never hit it).
-const MAX_REPLAYS_PER_EPOCH: u32 = 8;
+pub(crate) const MAX_REPLAYS_PER_EPOCH: u32 = 8;
 
 /// Metric names recorded by [`SgdConfig::train`] / [`SgdConfig::train_with`].
 pub mod metric {
@@ -45,6 +45,13 @@ pub mod metric {
     pub const EPOCH_SECONDS: &str = "train.epoch_seconds";
     /// Gauge: end-of-run dataset throughput in giga-numbers-per-second.
     pub const GNPS: &str = "train.gnps";
+    /// Counter: quantized delta packets broadcast by the sharded backend.
+    pub const DELTA_PACKETS: &str = "shard.delta_packets";
+    /// Counter: bytes of delta payload broadcast by the sharded backend.
+    pub const DELTA_BYTES: &str = "shard.delta_bytes";
+    /// Counter: sharded-backend broadcasts skipped because a peer ring
+    /// was full (the delta carries forward via error feedback).
+    pub const RING_FULL_SKIPS: &str = "shard.ring_full_skips";
 }
 
 /// Error from [`SgdConfig::train`].
@@ -171,6 +178,19 @@ impl TrainReport {
     #[must_use]
     pub fn metrics(&self) -> &MetricsSnapshot {
         &self.metrics
+    }
+
+    /// Assembles a report; used by the engines in this crate.
+    pub(crate) fn from_parts(
+        model: Vec<f32>,
+        epoch_losses: Vec<f64>,
+        metrics: MetricsSnapshot,
+    ) -> Self {
+        TrainReport {
+            model,
+            epoch_losses,
+            metrics,
+        }
     }
 }
 
@@ -398,25 +418,25 @@ pub struct WorkerCtx<'a> {
 /// fault-free snapshots carry no zero-valued `chaos.*` entries.
 #[doc(hidden)]
 pub struct ChaosCounters<C, H> {
-    stalls: C,
-    dropped: C,
-    stall_ticks: H,
+    pub(crate) stalls: C,
+    pub(crate) dropped: C,
+    pub(crate) stall_ticks: H,
 }
 
 /// Telemetry handles a worker updates in its hot loop.
 #[doc(hidden)]
 pub struct WorkerCounters<C, H> {
-    iterations: C,
-    numbers: C,
-    rounds: C,
-    chaos: Option<ChaosCounters<C, H>>,
+    pub(crate) iterations: C,
+    pub(crate) numbers: C,
+    pub(crate) rounds: C,
+    pub(crate) chaos: Option<ChaosCounters<C, H>>,
 }
 
 impl<C: Counter, H: Histogram> WorkerCounters<C, H> {
     /// Executes an iteration fate: counts and serves a stall, reports
     /// whether the iteration should run at all (`false` = crash).
     #[inline]
-    fn serve_fate<T: WorkerTracer>(&self, fate: IterFate, tracer: &mut T) -> bool {
+    pub(crate) fn serve_fate<T: WorkerTracer>(&self, fate: IterFate, tracer: &mut T) -> bool {
         match fate {
             IterFate::Proceed => true,
             IterFate::Stall(ticks) => {
@@ -437,15 +457,17 @@ impl<C: Counter, H: Histogram> WorkerCounters<C, H> {
 
     /// Counts a shared-model write the injector discarded.
     #[inline]
-    fn count_dropped(&self) {
+    pub(crate) fn count_dropped(&self) {
         if let Some(chaos) = &self.chaos {
             chaos.dropped.incr();
         }
     }
 }
 
-mod sealed {
+pub(crate) mod sealed {
     use super::{Loss, QuantState, SgdConfig, WorkerCounters, WorkerCtx};
+    use crate::arena::LocalModel;
+    use crate::shard::{DeltaSync, ShardCtx};
     use buckwild_chaos::WorkerInjector;
     use buckwild_telemetry::{Counter, Histogram};
     use buckwild_trace::WorkerTracer;
@@ -466,6 +488,19 @@ mod sealed {
         fn run_worker<C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
             prepared: &Self::Prepared<'_>,
             ctx: &WorkerCtx<'_>,
+            counters: &WorkerCounters<C, H>,
+            rng: &mut QuantState,
+            inj: &mut W,
+            tracer: &mut T,
+        ) -> bool;
+        /// Runs one worker's shard of one epoch on the shared-nothing
+        /// backend: a private replica plus the delta-exchange protocol.
+        #[allow(clippy::too_many_arguments)]
+        fn run_worker_sharded<C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
+            prepared: &Self::Prepared<'_>,
+            ctx: &ShardCtx,
+            local: &mut LocalModel<'_>,
+            sync: &mut DeltaSync<'_, C>,
             counters: &WorkerCounters<C, H>,
             rng: &mut QuantState,
             inj: &mut W,
@@ -521,6 +556,30 @@ impl sealed::Sealed for DenseDataset<f32> {
         }
     }
 
+    fn run_worker_sharded<C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
+        prepared: &DenseQuant<'_>,
+        ctx: &crate::shard::ShardCtx,
+        local: &mut crate::arena::LocalModel<'_>,
+        sync: &mut crate::shard::DeltaSync<'_, C>,
+        counters: &WorkerCounters<C, H>,
+        rng: &mut QuantState,
+        inj: &mut W,
+        tracer: &mut T,
+    ) -> bool {
+        use crate::shard;
+        match prepared {
+            DenseQuant::F32(d) => {
+                shard::worker_dense_f32(ctx, d, local, sync, counters, rng, inj, tracer)
+            }
+            DenseQuant::I16(d) => {
+                shard::worker_dense_fixed(ctx, d, local, sync, counters, rng, inj, tracer)
+            }
+            DenseQuant::I8(d) => {
+                shard::worker_dense_fixed(ctx, d, local, sync, counters, rng, inj, tracer)
+            }
+        }
+    }
+
     fn mean_loss(&self, loss: Loss, model: &[f32]) -> f64 {
         metrics::mean_loss(loss, model, self)
     }
@@ -569,6 +628,30 @@ impl sealed::Sealed for SparseDataset<f32, u32> {
             SparseQuant::F32(d) => worker_sparse_f32(ctx, d, counters, rng, inj, tracer),
             SparseQuant::I16(d) => worker_sparse_fixed(ctx, d, counters, rng, inj, tracer),
             SparseQuant::I8(d) => worker_sparse_fixed(ctx, d, counters, rng, inj, tracer),
+        }
+    }
+
+    fn run_worker_sharded<C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
+        prepared: &SparseQuant<'_>,
+        ctx: &crate::shard::ShardCtx,
+        local: &mut crate::arena::LocalModel<'_>,
+        sync: &mut crate::shard::DeltaSync<'_, C>,
+        counters: &WorkerCounters<C, H>,
+        rng: &mut QuantState,
+        inj: &mut W,
+        tracer: &mut T,
+    ) -> bool {
+        use crate::shard;
+        match prepared {
+            SparseQuant::F32(d) => {
+                shard::worker_sparse_f32(ctx, d, local, sync, counters, rng, inj, tracer)
+            }
+            SparseQuant::I16(d) => {
+                shard::worker_sparse_fixed(ctx, d, local, sync, counters, rng, inj, tracer)
+            }
+            SparseQuant::I8(d) => {
+                shard::worker_sparse_fixed(ctx, d, local, sync, counters, rng, inj, tracer)
+            }
         }
     }
 
@@ -687,6 +770,9 @@ impl SgdConfig {
         if sealed::Sealed::examples(data) == 0 {
             return Err(TrainError::EmptyDataset);
         }
+        if self.backend == Backend::ShardedDelta {
+            return crate::shard::train_sharded(self, data, recorder, injector, tracer);
+        }
         let precision = ModelPrecision::from_signature(&self.signature).expect("validated above");
         let prepared = data.prepare(self);
         let m = sealed::Sealed::examples(data);
@@ -716,14 +802,19 @@ impl SgdConfig {
         let mut replays = 0u32;
         while epoch < self.epochs {
             let step = self.step_size * self.step_decay.powi(epoch as i32);
-            let start = Instant::now();
             let epoch_span = driver.begin();
             let mut crashed = 0usize;
+            let mut secs = 0f64;
+            // Workers rendezvous here before touching data, and the driver
+            // starts the clock only after the release — thread spawn/join
+            // overhead stays out of the throughput measurement.
+            let barrier = std::sync::Barrier::new(self.threads + 1);
             std::thread::scope(|s| {
                 let mut handles = Vec::with_capacity(self.threads);
                 for t in 0..self.threads {
                     let prepared = &prepared;
                     let model = &model;
+                    let barrier = &barrier;
                     let mut rng = QuantState::new(
                         &self.quantizer,
                         self.rounding,
@@ -750,16 +841,19 @@ impl SgdConfig {
                     let mut inj = injector.worker(t, epoch);
                     let mut wtracer = tracer.worker(t);
                     handles.push(s.spawn(move || {
+                        barrier.wait();
                         D::run_worker(prepared, &ctx, &counters, &mut rng, &mut inj, &mut wtracer)
                     }));
                 }
+                barrier.wait();
+                let start = Instant::now();
                 crashed = handles
                     .into_iter()
                     .map(|h| h.join().expect("worker panicked"))
                     .filter(|&c| c)
                     .count();
+                secs = start.elapsed().as_secs_f64();
             });
-            let secs = start.elapsed().as_secs_f64();
             epoch_seconds.record(secs);
             driver.end(Phase::Epoch, epoch_span, epoch as u64);
             wall += secs;

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod delta;
 pub mod generic;
 pub mod nibble;
 pub mod optimized;

@@ -68,16 +68,20 @@ pub enum Phase {
     /// An injected fault being served: a stall, a dropped or delayed
     /// write, or a crash recovery (see [`fault_kind`]).
     ChaosFault,
+    /// A sharded-backend delta exchange: quantizing and publishing the
+    /// local replica's diff, and draining + applying peers' packets.
+    DeltaSync,
 }
 
 impl Phase {
     /// All phases, in display order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Epoch,
         Phase::Minibatch,
         Phase::GradientKernel,
         Phase::ModelWrite,
         Phase::ChaosFault,
+        Phase::DeltaSync,
     ];
 
     /// The span name used in exports.
@@ -89,6 +93,7 @@ impl Phase {
             Phase::GradientKernel => "gradient_kernel",
             Phase::ModelWrite => "model_write",
             Phase::ChaosFault => "chaos_fault",
+            Phase::DeltaSync => "delta_sync",
         }
     }
 
@@ -101,6 +106,7 @@ impl Phase {
             Phase::GradientKernel => "elements",
             Phase::ModelWrite => "detail",
             Phase::ChaosFault => "kind",
+            Phase::DeltaSync => "packets",
         }
     }
 
@@ -112,6 +118,7 @@ impl Phase {
             Phase::GradientKernel => 2,
             Phase::ModelWrite => 3,
             Phase::ChaosFault => 4,
+            Phase::DeltaSync => 5,
         }
     }
 }

@@ -2,50 +2,78 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --backend sharded
 //! cargo run --release --example quickstart -- --trace /tmp/quickstart.json
 //! ```
 //!
 //! Generates a synthetic logistic-regression problem (the paper's §4
 //! generative model), trains it at full precision and at the paper's
 //! flagship D8M8 signature, and compares quality and throughput. With
+//! `--backend sharded`, workers train on private per-core model replicas
+//! synchronized over delta rings instead of one shared atomic model. With
 //! `--trace <path>`, the runs are traced and their merged span timeline is
 //! written as Chrome trace-event JSON (load it in `chrome://tracing` or
 //! Perfetto); a per-phase self-time summary prints to stderr.
 
 use buckwild::prelude::*;
+use buckwild::Backend;
 use buckwild_dataset::generate;
 use buckwild_telemetry::ShardedRecorder;
 
-fn parse_trace_path() -> Option<String> {
-    let mut trace_path = None;
+struct Args {
+    trace_path: Option<String>,
+    backend: Backend,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        trace_path: None,
+        backend: Backend::SharedModel,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace" => match args.next() {
-                Some(path) => trace_path = Some(path),
+                Some(path) => parsed.trace_path = Some(path),
                 None => {
                     eprintln!("quickstart: --trace requires a path");
                     std::process::exit(2);
                 }
             },
+            "--backend" => match args.next().map(|v| v.parse()) {
+                Some(Ok(backend)) => parsed.backend = backend,
+                Some(Err(e)) => {
+                    eprintln!("quickstart: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("quickstart: --backend requires `shared` or `sharded`");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("quickstart: unrecognized argument `{other}`");
-                eprintln!("usage: quickstart [--trace <path>]");
+                eprintln!("usage: quickstart [--backend {{shared,sharded}}] [--trace <path>]");
                 std::process::exit(2);
             }
         }
     }
-    trace_path
+    parsed
 }
 
 fn main() {
-    let trace_path = parse_trace_path();
+    let Args {
+        trace_path,
+        backend,
+    } = parse_args();
     let n = 256; // model size
     let m = 4000; // examples
     println!("generating logistic regression problem: n = {n}, m = {m}");
     let problem = generate::logistic_dense(n, m, 42);
 
+    println!("backend: {backend}");
     let base = SgdConfig::new(Loss::Logistic)
+        .backend(backend)
         .step_size(0.15)
         .step_decay(0.8)
         .epochs(12)
