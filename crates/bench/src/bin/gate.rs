@@ -7,38 +7,50 @@
 //! gate --check               # re-measure and warn against the baseline
 //! gate --check --baseline <path>
 //! gate --seconds 0.2 --repeats 9
+//! gate --serve               # serving rows instead: BENCH_serve.json
+//! gate --serve --check       # warn against the serving baseline
 //! ```
 //!
 //! `--check` never fails the process: regressions print as warnings for
-//! CI logs. See [`buckwild_bench::gate`] for the methodology.
+//! CI logs. `--serve` switches to the online-serving benchmark set
+//! (closed-loop load against the prediction server while training runs)
+//! and the `BENCH_serve.json` baseline. See [`buckwild_bench::gate`] for
+//! the methodology.
 
 use std::process::ExitCode;
 
-use buckwild_bench::gate::{run_gate, GateReport, GATE_REPEATS, GATE_SECONDS};
+use buckwild_bench::gate::{
+    run_gate, run_serve_gate, GateReport, GATE_REPEATS, GATE_SECONDS, GATE_SERVE_SECONDS,
+};
 
-/// Where the committed baseline lives, relative to the repo root.
+/// Where the committed baselines live, relative to the repo root.
 const DEFAULT_BASELINE: &str = "BENCH_core.json";
+const DEFAULT_SERVE_BASELINE: &str = "BENCH_serve.json";
 
 struct Args {
     out: Option<String>,
     check: bool,
-    baseline: String,
-    seconds: f64,
+    serve: bool,
+    baseline: Option<String>,
+    seconds: Option<f64>,
     repeats: usize,
 }
 
 fn usage() -> String {
     format!(
-        "usage: gate [--out <path>] [--check] [--baseline <path>]\n\
+        "usage: gate [--serve] [--out <path>] [--check] [--baseline <path>]\n\
                      [--seconds <f64>] [--repeats <n>]\n\
          \n\
-         --out <path>       write BENCH_core.json to <path> (default\n\
-                            {DEFAULT_BASELINE}; ignored with --check)\n\
+         --serve            measure the online-serving rows instead of the\n\
+                            kernel/train rows (baseline {DEFAULT_SERVE_BASELINE})\n\
+         --out <path>       write the baseline JSON to <path> (default\n\
+                            {DEFAULT_BASELINE}, or {DEFAULT_SERVE_BASELINE}\n\
+                            with --serve; ignored with --check)\n\
          --check            compare a fresh run against the baseline and\n\
                             print warnings (always exits 0)\n\
-         --baseline <path>  baseline to check against (default\n\
-                            {DEFAULT_BASELINE})\n\
-         --seconds <f64>    budget per kernel sample (default {GATE_SECONDS})\n\
+         --baseline <path>  baseline to check against\n\
+         --seconds <f64>    budget per sample (default {GATE_SECONDS}, or\n\
+                            {GATE_SERVE_SECONDS} with --serve)\n\
          --repeats <n>      samples per row (default {GATE_REPEATS})"
     )
 }
@@ -47,8 +59,9 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut parsed = Args {
         out: None,
         check: false,
-        baseline: DEFAULT_BASELINE.to_string(),
-        seconds: GATE_SECONDS,
+        serve: false,
+        baseline: None,
+        seconds: None,
         repeats: GATE_REPEATS,
     };
     let mut args = std::env::args().skip(1);
@@ -59,12 +72,13 @@ fn parse_args() -> Result<Option<Args>, String> {
                 None => return Err("--out requires a path".into()),
             },
             "--check" => parsed.check = true,
+            "--serve" => parsed.serve = true,
             "--baseline" => match args.next() {
-                Some(path) => parsed.baseline = path,
+                Some(path) => parsed.baseline = Some(path),
                 None => return Err("--baseline requires a path".into()),
             },
             "--seconds" => match args.next().map(|v| v.parse()) {
-                Some(Ok(s)) if s > 0.0 => parsed.seconds = s,
+                Some(Ok(s)) if s > 0.0 => parsed.seconds = Some(s),
                 Some(_) => return Err("--seconds requires a positive number".into()),
                 None => return Err("--seconds requires a value".into()),
             },
@@ -92,31 +106,41 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = run_gate(args.seconds, args.repeats);
+    let default_baseline = if args.serve {
+        DEFAULT_SERVE_BASELINE
+    } else {
+        DEFAULT_BASELINE
+    };
+    let baseline_path = args.baseline.as_deref().unwrap_or(default_baseline);
+    let report = if args.serve {
+        run_serve_gate(args.seconds.unwrap_or(GATE_SERVE_SECONDS), args.repeats)
+    } else {
+        run_gate(args.seconds.unwrap_or(GATE_SECONDS), args.repeats)
+    };
     print!("{}", report.render_text());
     if args.check {
-        let baseline = match std::fs::read_to_string(&args.baseline) {
+        let baseline = match std::fs::read_to_string(baseline_path) {
             Ok(text) => match GateReport::from_json(&text) {
                 Ok(baseline) => baseline,
                 Err(e) => {
-                    eprintln!("gate: warning: cannot parse {}: {e}", args.baseline);
+                    eprintln!("gate: warning: cannot parse {baseline_path}: {e}");
                     return ExitCode::SUCCESS;
                 }
             },
             Err(e) => {
-                eprintln!("gate: warning: cannot read {}: {e}", args.baseline);
+                eprintln!("gate: warning: cannot read {baseline_path}: {e}");
                 return ExitCode::SUCCESS;
             }
         };
         let warnings = report.check_against(&baseline);
         if warnings.is_empty() {
-            println!("gate: all rows within tolerance of {}", args.baseline);
+            println!("gate: all rows within tolerance of {baseline_path}");
         }
         for w in &warnings {
             eprintln!("gate: warning: {w}");
         }
     } else {
-        let path = args.out.as_deref().unwrap_or(DEFAULT_BASELINE);
+        let path = args.out.as_deref().unwrap_or(default_baseline);
         let json = report.to_json_value().to_json_pretty();
         if let Err(e) = std::fs::write(path, format!("{json}\n")) {
             eprintln!("gate: cannot write {path}: {e}");

@@ -22,6 +22,11 @@
 //! regresses beyond [`CHECK_TOLERANCE`] against the committed baseline —
 //! a tripwire for CI logs, not a merge blocker, because shared runners
 //! have noisy neighbors.
+//!
+//! A second baseline, `BENCH_serve.json`, covers the online-serving path
+//! (`gate --serve`): request throughput and latency percentiles of a
+//! closed-loop load run against the prediction server while training
+//! publishes snapshots — see [`run_serve_gate`].
 
 use buckwild::{Backend, Loss, SgdConfig};
 use buckwild_dataset::generate;
@@ -202,6 +207,68 @@ pub fn run_gate(seconds: f64, repeats: usize) -> GateReport {
             .map(|_| train_sample(backend, GATE_SEED))
             .collect();
         benches.push(row_from_samples(name, samples));
+    }
+    GateReport {
+        hardware: Hardware::probe(),
+        seed: GATE_SEED,
+        repeats,
+        benches,
+    }
+}
+
+/// Default time budget per serve-gate load sample, in seconds.
+pub const GATE_SERVE_SECONDS: f64 = 0.4;
+
+/// A serve-gate row: samples are rates (higher is better, like GNPS),
+/// and `ns_per_number` is the inverse of the median — for throughput
+/// rows that is nanoseconds per request, for latency rows the latency
+/// percentile itself in nanoseconds.
+fn serve_row(name: &str, mut samples: Vec<f64>) -> BenchRow {
+    let (median, iqr) = median_iqr(&mut samples);
+    BenchRow {
+        name: name.to_string(),
+        median_gnps: median,
+        iqr_gnps: iqr,
+        ns_per_number: if median > 0.0 { 1e9 / median } else { f64::NAN },
+    }
+}
+
+/// Runs the pinned serving benchmark set (the `BENCH_serve.json`
+/// baseline): a closed-loop load run against an 8-bit model **while
+/// training continues**, repeated `repeats` times.
+///
+/// Rows reuse the [`GateReport`] schema with rate semantics: the
+/// throughput row's median is requests per second; each latency row's
+/// median is `1e9 / pXX_ns` (inverse latency), so "lower latency" stays
+/// "higher value" and [`GateReport::check_against`]'s one-sided
+/// regression check points the right way. `ns_per_number` on a latency
+/// row is therefore the percentile itself, in nanoseconds.
+#[must_use]
+pub fn run_serve_gate(seconds: f64, repeats: usize) -> GateReport {
+    use crate::serve::{run_serve_load, ServeLoadOptions};
+    let repeats = repeats.max(1);
+    let inverse = |ns: f64| if ns > 0.0 { 1e9 / ns } else { 0.0 };
+    let mut benches = Vec::new();
+    for (label, backend) in [
+        ("shared", Backend::SharedModel),
+        ("sharded", Backend::ShardedDelta),
+    ] {
+        let mut throughput = Vec::with_capacity(repeats);
+        let mut p50 = Vec::with_capacity(repeats);
+        let mut p95 = Vec::with_capacity(repeats);
+        let mut p99 = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            let opts = ServeLoadOptions::pinned(backend, seconds, GATE_SEED);
+            let report = run_serve_load(&opts);
+            throughput.push(report.requests_per_sec());
+            p50.push(inverse(report.latency_ns.p50));
+            p95.push(inverse(report.latency_ns.p95));
+            p99.push(inverse(report.latency_ns.p99));
+        }
+        benches.push(serve_row(&format!("serve/{label}/throughput"), throughput));
+        benches.push(serve_row(&format!("serve/{label}/latency_p50"), p50));
+        benches.push(serve_row(&format!("serve/{label}/latency_p95"), p95));
+        benches.push(serve_row(&format!("serve/{label}/latency_p99"), p99));
     }
     GateReport {
         hardware: Hardware::probe(),
@@ -412,6 +479,32 @@ mod tests {
         let parsed = GateReport::from_json(&json).expect("round trip");
         assert_eq!(parsed, report);
         assert!(report.render_text().contains("median GNPS"));
+    }
+
+    #[test]
+    fn serve_gate_measures_every_row() {
+        let report = run_serve_gate(0.05, 1);
+        let names: Vec<_> = report.benches.iter().map(|b| b.name.as_str()).collect();
+        for expected in [
+            "serve/shared/throughput",
+            "serve/shared/latency_p50",
+            "serve/shared/latency_p95",
+            "serve/shared/latency_p99",
+            "serve/sharded/throughput",
+            "serve/sharded/latency_p99",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "{expected} missing from {names:?}"
+            );
+        }
+        for b in &report.benches {
+            assert!(b.median_gnps > 0.0, "{}: {}", b.name, b.median_gnps);
+            assert!(b.ns_per_number > 0.0, "{}", b.name);
+        }
+        let json = report.to_json_value().to_json_pretty();
+        let parsed = GateReport::from_json(&json).expect("round trip");
+        assert_eq!(parsed, report);
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod experiments;
 pub mod gate;
 pub mod harness;
 pub mod observe;
+pub mod serve;
 
 use std::time::Instant;
 

@@ -1,0 +1,312 @@
+//! Closed-loop load harness for the `buckwild-serve` prediction server.
+//!
+//! One [`run_serve_load`] sample is the full online-serving story in
+//! miniature: training runs on its own threads publishing epoch-tagged
+//! snapshots into a [`SnapshotHub`], a sharded [`PredictServer`] answers
+//! the wire protocol, and a pool of **closed-loop** clients (next request
+//! issued the moment the previous response lands — the saturating regime)
+//! hammers it over real TCP for a fixed window. The report combines the
+//! client-side view (request/prediction throughput over the window) with
+//! the server's own telemetry (p50/p95/p99 request latency from the
+//! `serve.request_ns` histogram, epoch lag of served snapshots) and the
+//! training side (GNPS sustained *while serving*).
+//!
+//! Both the `serve_bench` binary and the `gate --serve` baseline rows are
+//! thin wrappers around this harness.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use buckwild::{Backend, Loss, SgdConfig, TrainControl};
+use buckwild_dataset::generate;
+use buckwild_prng::{split_seed, Prng, Xorshift128};
+use buckwild_serve::wire::status;
+use buckwild_serve::{PredictClient, PredictServer, ServeConfig, SnapshotHub};
+use buckwild_telemetry::json::Value;
+use buckwild_telemetry::HistogramSummary;
+
+/// Upper bound on epochs for the open-ended training loop; the stop flag
+/// fires long before this.
+const EPOCH_CAP: usize = 1_000_000;
+
+/// How long to wait for the first snapshot before giving up.
+const FIRST_SNAPSHOT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One load-generation scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeLoadOptions {
+    /// Model features (also the request row width).
+    pub features: usize,
+    /// Training examples in the synthetic logistic problem.
+    pub examples: usize,
+    /// Measurement window in seconds (after the first snapshot lands).
+    pub seconds: f64,
+    /// Closed-loop client workers.
+    pub clients: usize,
+    /// Rows per predict request.
+    pub rows_per_request: usize,
+    /// Server shards (accept/serve threads).
+    pub shards: usize,
+    /// Training backend publishing the snapshots.
+    pub backend: Backend,
+    /// Training worker threads.
+    pub train_threads: usize,
+    /// Seed pinning the problem and the client batches.
+    pub seed: u64,
+}
+
+impl ServeLoadOptions {
+    /// The pinned scenario the gate rows use: an 8-bit (`D8M8`) model of
+    /// 256 features, 2 training workers, 2 server shards, 2 clients
+    /// sending 16-row batches.
+    #[must_use]
+    pub fn pinned(backend: Backend, seconds: f64, seed: u64) -> Self {
+        ServeLoadOptions {
+            features: 256,
+            examples: 2048,
+            seconds,
+            clients: 2,
+            rows_per_request: 16,
+            shards: 2,
+            backend,
+            train_threads: 2,
+            seed,
+        }
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeLoadReport {
+    /// Backend that trained under the load.
+    pub backend: Backend,
+    /// Measured window length in seconds.
+    pub wall_seconds: f64,
+    /// Requests the server answered during the window.
+    pub requests: u64,
+    /// Individual predictions returned (sum of OK batch sizes).
+    pub predictions: u64,
+    /// Requests answered before the first snapshot (should be 0: the
+    /// window opens after the first publication).
+    pub no_model: u64,
+    /// Server-side request latency distribution, nanoseconds
+    /// (`serve.request_ns`).
+    pub latency_ns: HistogramSummary,
+    /// Epochs between each served snapshot and the newest published one
+    /// (`serve.epoch_lag`).
+    pub epoch_lag: HistogramSummary,
+    /// Snapshots training published over the whole run.
+    pub epochs_published: u64,
+    /// Training throughput (GNPS) sustained while serving.
+    pub train_gnps: f64,
+    /// Final training loss (sanity: serving must not break training).
+    pub final_loss: f64,
+}
+
+impl ServeLoadReport {
+    /// Requests per second over the window.
+    #[must_use]
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.requests as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Predictions per second over the window.
+    #[must_use]
+    pub fn predictions_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.predictions as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The report as a JSON document (the `serve_bench` output schema).
+    #[must_use]
+    pub fn to_json_value(&self) -> Value {
+        let summary = |h: &HistogramSummary| {
+            Value::object(vec![
+                ("count", Value::from(h.count)),
+                ("mean", Value::from(h.mean())),
+                ("min", Value::from(if h.count == 0 { 0.0 } else { h.min })),
+                ("max", Value::from(if h.count == 0 { 0.0 } else { h.max })),
+                ("p50", Value::from(h.p50)),
+                ("p95", Value::from(h.p95)),
+                ("p99", Value::from(h.p99)),
+            ])
+        };
+        Value::object(vec![
+            ("backend", Value::from(self.backend.name())),
+            ("wall_seconds", Value::from(self.wall_seconds)),
+            ("requests", Value::from(self.requests)),
+            ("predictions", Value::from(self.predictions)),
+            ("no_model", Value::from(self.no_model)),
+            ("requests_per_sec", Value::from(self.requests_per_sec())),
+            (
+                "predictions_per_sec",
+                Value::from(self.predictions_per_sec()),
+            ),
+            ("latency_ns", summary(&self.latency_ns)),
+            ("epoch_lag", summary(&self.epoch_lag)),
+            ("epochs_published", Value::from(self.epochs_published)),
+            ("train_gnps", Value::from(self.train_gnps)),
+            ("final_loss", Value::from(self.final_loss)),
+        ])
+    }
+}
+
+/// Runs one closed-loop load sample: train + serve + saturate.
+///
+/// # Panics
+///
+/// Panics if the server cannot bind, training fails, or no snapshot is
+/// published within [`FIRST_SNAPSHOT_TIMEOUT`].
+#[must_use]
+pub fn run_serve_load(opts: &ServeLoadOptions) -> ServeLoadReport {
+    let hub = Arc::new(SnapshotHub::new());
+    let server = PredictServer::start(
+        Arc::clone(&hub),
+        &ServeConfig::new("127.0.0.1:0").shards(opts.shards),
+    )
+    .expect("bind prediction server");
+    let addr = server.local_addr();
+
+    // Training runs open-ended on its own thread until the window ends.
+    let stop_training = Arc::new(AtomicBool::new(false));
+    let trainer = {
+        let stop = Arc::clone(&stop_training);
+        let observer = hub.observer();
+        let opts = opts.clone();
+        std::thread::spawn(move || {
+            let problem = generate::logistic_dense(opts.features, opts.examples, opts.seed);
+            SgdConfig::new(Loss::Logistic)
+                .signature("D8M8".parse().expect("valid signature"))
+                .backend(opts.backend)
+                .threads(opts.train_threads)
+                .epochs(EPOCH_CAP)
+                .seed(opts.seed)
+                .on_epoch(move |_| {
+                    if stop.load(Ordering::Relaxed) {
+                        TrainControl::Stop
+                    } else {
+                        TrainControl::Continue
+                    }
+                })
+                .on_snapshot(observer)
+                .train(&problem.data)
+                .expect("training under load")
+        })
+    };
+
+    // Open the measurement window only once a model is being served, so
+    // throughput numbers measure serving, not training warm-up.
+    let waited = Instant::now();
+    while hub.latest_epoch().is_none() {
+        assert!(
+            waited.elapsed() < FIRST_SNAPSHOT_TIMEOUT,
+            "training never published a snapshot"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let window = Instant::now();
+    let deadline = window + Duration::from_secs_f64(opts.seconds);
+    let clients: Vec<_> = (0..opts.clients)
+        .map(|c| {
+            let opts = opts.clone();
+            std::thread::spawn(move || {
+                let mut rng = Xorshift128::seed_from(split_seed(opts.seed, 7 + c as u64));
+                let batch: Vec<f32> = (0..opts.rows_per_request * opts.features)
+                    .map(|_| rng.next_f32() * 2.0 - 1.0)
+                    .collect();
+                let mut client = PredictClient::connect(addr).expect("connect client");
+                let mut no_model = 0u64;
+                while Instant::now() < deadline {
+                    let resp = client
+                        .predict(&batch, opts.features)
+                        .expect("predict request");
+                    match resp.status {
+                        status::OK => {}
+                        status::NO_MODEL => no_model += 1,
+                        other => panic!("unexpected response status {other}"),
+                    }
+                }
+                no_model
+            })
+        })
+        .collect();
+
+    let mut no_model = 0u64;
+    for c in clients {
+        no_model += c.join().expect("client panicked");
+    }
+    let wall_seconds = window.elapsed().as_secs_f64();
+
+    stop_training.store(true, Ordering::Relaxed);
+    let report = trainer.join().expect("trainer panicked");
+    let metrics = server.shutdown();
+
+    ServeLoadReport {
+        backend: opts.backend,
+        wall_seconds,
+        requests: metrics
+            .counter(buckwild_serve::metric::REQUESTS)
+            .unwrap_or(0),
+        predictions: metrics
+            .counter(buckwild_serve::metric::PREDICTIONS)
+            .unwrap_or(0),
+        no_model,
+        latency_ns: metrics
+            .histogram(buckwild_serve::metric::REQUEST_NS)
+            .unwrap_or_default(),
+        epoch_lag: metrics
+            .histogram(buckwild_serve::metric::EPOCH_LAG)
+            .unwrap_or_default(),
+        epochs_published: hub.published(),
+        train_gnps: report.gnps(),
+        final_loss: report.final_loss(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_harness_saturates_and_reports() {
+        let mut opts = ServeLoadOptions::pinned(Backend::SharedModel, 0.2, 1701);
+        opts.features = 32;
+        opts.examples = 512;
+        opts.clients = 2;
+        let report = run_serve_load(&opts);
+        assert!(report.requests > 0, "closed loop sent nothing");
+        assert_eq!(
+            report.predictions,
+            report.requests * opts.rows_per_request as u64
+                - report.no_model * opts.rows_per_request as u64
+        );
+        assert!(report.latency_ns.count >= report.requests);
+        assert!(report.latency_ns.p50 > 0.0);
+        assert!(report.latency_ns.p99 >= report.latency_ns.p50);
+        assert!(report.epochs_published > 0);
+        assert!(report.train_gnps > 0.0);
+        assert!(report.final_loss.is_finite());
+        let json = report.to_json_value().to_json_pretty();
+        let parsed = buckwild_telemetry::json::parse(&json).expect("valid json");
+        assert!(
+            parsed
+                .get("requests_per_sec")
+                .and_then(Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        assert!(parsed
+            .get("latency_ns")
+            .and_then(|l| l.get("p95"))
+            .is_some());
+    }
+}

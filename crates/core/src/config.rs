@@ -11,6 +11,7 @@ use buckwild_dmgc::Signature;
 use buckwild_fixed::Rounding;
 use buckwild_kernels::cost::QuantizerKind;
 
+use crate::predict::EpochSnapshot;
 use crate::train::{TrainControl, TrainProgress};
 use crate::Loss;
 
@@ -131,6 +132,12 @@ impl Default for QuantizerConfig {
 /// An epoch observer installed with [`SgdConfig::on_epoch`].
 pub type EpochObserver = Arc<dyn Fn(&TrainProgress) -> TrainControl + Send + Sync>;
 
+/// A snapshot publication hook installed with [`SgdConfig::on_snapshot`]:
+/// called after every completed epoch with the epoch-tagged quantized
+/// model. This is how the online serving path receives fresh weights
+/// while training continues.
+pub type SnapshotObserver = Arc<dyn Fn(EpochSnapshot) + Send + Sync>;
+
 /// Error from an invalid [`SgdConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -211,6 +218,9 @@ pub struct SgdConfig {
     pub record_losses: bool,
     /// Observer called after each epoch; may stop training early.
     pub on_epoch: Option<EpochObserver>,
+    /// Snapshot publication hook called after each epoch with the
+    /// epoch-tagged quantized model (the serving hand-off).
+    pub on_snapshot: Option<SnapshotObserver>,
 }
 
 impl fmt::Debug for SgdConfig {
@@ -230,6 +240,10 @@ impl fmt::Debug for SgdConfig {
             .field("seed", &self.seed)
             .field("record_losses", &self.record_losses)
             .field("on_epoch", &self.on_epoch.as_ref().map(|_| "<observer>"))
+            .field(
+                "on_snapshot",
+                &self.on_snapshot.as_ref().map(|_| "<observer>"),
+            )
             .finish()
     }
 }
@@ -237,6 +251,11 @@ impl fmt::Debug for SgdConfig {
 impl PartialEq for SgdConfig {
     fn eq(&self, other: &Self) -> bool {
         let observers_eq = match (&self.on_epoch, &other.on_epoch) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        let snapshots_eq = match (&self.on_snapshot, &other.on_snapshot) {
             (None, None) => true,
             (Some(a), Some(b)) => Arc::ptr_eq(a, b),
             _ => false,
@@ -255,6 +274,7 @@ impl PartialEq for SgdConfig {
             && self.seed == other.seed
             && self.record_losses == other.record_losses
             && observers_eq
+            && snapshots_eq
     }
 }
 
@@ -278,6 +298,7 @@ impl SgdConfig {
             seed: 0,
             record_losses: true,
             on_epoch: None,
+            on_snapshot: None,
         }
     }
 
@@ -415,6 +436,18 @@ impl SgdConfig {
         self
     }
 
+    /// Installs a snapshot publication hook called after every completed
+    /// epoch with the epoch-tagged quantized model — the hand-off point
+    /// between training and the online serving path. Publication happens
+    /// outside the timed region, so it never pollutes reported throughput;
+    /// its cost is surfaced separately as the `snapshot.publish_ns`
+    /// telemetry counter.
+    #[must_use]
+    pub fn on_snapshot(mut self, observer: impl Fn(EpochSnapshot) + Send + Sync + 'static) -> Self {
+        self.on_snapshot = Some(Arc::new(observer));
+        self
+    }
+
     /// Checks the configuration without running.
     ///
     /// # Errors
@@ -549,6 +582,16 @@ mod tests {
         // ...but an independently built observer does not.
         assert_ne!(observed, base.clone().on_epoch(|_| TrainControl::Continue));
         assert_ne!(observed, base);
+    }
+
+    #[test]
+    fn snapshot_observer_compares_by_identity() {
+        let base = SgdConfig::new(Loss::Logistic);
+        let hooked = base.clone().on_snapshot(|_| {});
+        assert_eq!(hooked.clone(), hooked);
+        assert_ne!(hooked, base.clone().on_snapshot(|_| {}));
+        assert_ne!(hooked, base);
+        assert!(format!("{hooked:?}").contains("on_snapshot"));
     }
 
     #[test]

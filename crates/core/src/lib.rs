@@ -62,9 +62,17 @@
 //!
 //! Supporting modules: [`model`] (the shared atomic parameter vector),
 //! [`loss`] (the GLM losses, all a single dot-and-AXPY pair per step),
+//! [`predict`] (the unified [`Predictor`] scoring API shared by the
+//! metrics, the RFF classifier, and the `buckwild-serve` inference
+//! server, plus the [`QuantizedModel`] snapshot representation),
 //! [`obstinate`] (a software emulation of the paper's obstinate-cache
 //! staleness process, for the Figure 6f experiment), and [`rff`] (random
 //! Fourier features + one-vs-all SVMs, the Figure 7d/7e workload).
+//!
+//! Serving: [`SgdConfig::on_snapshot`] publishes an epoch-tagged
+//! [`EpochSnapshot`] after every epoch on both backends — the hand-off
+//! the `buckwild-serve` crate consumes to answer predictions while
+//! training continues.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,6 +84,7 @@ pub mod loss;
 pub mod metrics;
 pub mod model;
 pub mod obstinate;
+pub mod predict;
 pub mod prelude;
 pub mod rff;
 pub mod ring;
@@ -86,11 +95,12 @@ mod train;
 pub use chaos::{ChaosReport, ChaosSgdConfig};
 pub use config::{
     default_backend, set_default_backend, Backend, ConfigError, EpochObserver, QuantizerConfig,
-    SgdConfig,
+    SgdConfig, SnapshotObserver,
 };
 pub use loss::Loss;
 pub use metrics::{accuracy, mean_loss};
 pub use model::{ModelPrecision, SharedModel};
+pub use predict::{EpochSnapshot, FixedWords, Predictor, QuantizedModel};
 pub use train::{metric, TrainControl, TrainData, TrainError, TrainProgress, TrainReport};
 
 // Re-export the vocabulary types callers need to configure training.

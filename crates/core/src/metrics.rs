@@ -1,105 +1,161 @@
 //! Statistical-efficiency metrics: loss and accuracy of a model snapshot.
+//!
+//! All scoring goes through the [`Predictor`] trait — the same API the
+//! online inference server consumes — so offline accuracy and served
+//! predictions come from one code path. The `&[f32]`-model entry points
+//! are kept as thin wrappers over the generic `_of` forms.
 
 use buckwild_dataset::{DenseDataset, SparseDataset};
 
+use crate::predict::Predictor;
 use crate::Loss;
 
-/// Mean loss of `model` over a dense dataset.
+/// Mean loss of any [`Predictor`] over a dense dataset.
+///
+/// # Panics
+///
+/// Panics if `predictor.features() != data.features()`.
+#[must_use]
+pub fn mean_loss_of<P: Predictor + ?Sized>(
+    loss: Loss,
+    predictor: &P,
+    data: &DenseDataset<f32>,
+) -> f64 {
+    assert_eq!(
+        predictor.features(),
+        data.features(),
+        "model/data shape mismatch"
+    );
+    let mut total = 0f64;
+    for i in 0..data.examples() {
+        total += loss.value(predictor.score(data.example(i)), data.label(i)) as f64;
+    }
+    total / data.examples() as f64
+}
+
+/// Mean loss of a float model over a dense dataset.
 ///
 /// # Panics
 ///
 /// Panics if `model.len() != data.features()`.
 #[must_use]
 pub fn mean_loss(loss: Loss, model: &[f32], data: &DenseDataset<f32>) -> f64 {
-    assert_eq!(model.len(), data.features(), "model/data shape mismatch");
-    let mut total = 0f64;
-    for i in 0..data.examples() {
-        let dot: f32 = data
-            .example(i)
-            .iter()
-            .zip(model)
-            .map(|(&x, &w)| x * w)
-            .sum();
-        total += loss.value(dot, data.label(i)) as f64;
-    }
-    total / data.examples() as f64
+    mean_loss_of(loss, model, data)
 }
 
-/// Fraction of dense examples classified correctly (`±1` labels).
+/// Fraction of dense examples any [`Predictor`] classifies correctly
+/// (`±1` labels).
 ///
 /// # Panics
 ///
-/// Panics if `model.len() != data.features()` or the loss is not a
-/// classification loss.
+/// Panics if shapes mismatch or the loss is not a classification loss.
 #[must_use]
-pub fn accuracy(loss: Loss, model: &[f32], data: &DenseDataset<f32>) -> f64 {
+pub fn accuracy_of<P: Predictor + ?Sized>(
+    loss: Loss,
+    predictor: &P,
+    data: &DenseDataset<f32>,
+) -> f64 {
     assert!(loss.is_classification(), "accuracy needs a classifier loss");
-    assert_eq!(model.len(), data.features(), "model/data shape mismatch");
+    assert_eq!(
+        predictor.features(),
+        data.features(),
+        "model/data shape mismatch"
+    );
     let mut correct = 0usize;
     for i in 0..data.examples() {
-        let dot: f32 = data
-            .example(i)
-            .iter()
-            .zip(model)
-            .map(|(&x, &w)| x * w)
-            .sum();
-        if loss.predict(dot) == data.label(i) {
+        if predictor.predict(loss, data.example(i)) == data.label(i) {
             correct += 1;
         }
     }
     correct as f64 / data.examples() as f64
 }
 
-/// Mean loss of `model` over a sparse dataset.
+/// Fraction of dense examples a float model classifies correctly.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or the loss is not a classification loss.
+#[must_use]
+pub fn accuracy(loss: Loss, model: &[f32], data: &DenseDataset<f32>) -> f64 {
+    accuracy_of(loss, model, data)
+}
+
+/// Mean loss of any [`Predictor`] over a sparse dataset.
+///
+/// # Panics
+///
+/// Panics if `predictor.features() != data.features()`.
+#[must_use]
+pub fn mean_loss_sparse_of<P: Predictor + ?Sized>(
+    loss: Loss,
+    predictor: &P,
+    data: &SparseDataset<f32, u32>,
+) -> f64 {
+    assert_eq!(
+        predictor.features(),
+        data.features(),
+        "model/data shape mismatch"
+    );
+    let mut total = 0f64;
+    for i in 0..data.examples() {
+        let ex = data.example(i);
+        total += loss.value(predictor.score_sparse(ex.values, ex.indices), data.label(i)) as f64;
+    }
+    total / data.examples() as f64
+}
+
+/// Mean loss of a float model over a sparse dataset.
 ///
 /// # Panics
 ///
 /// Panics if `model.len() != data.features()`.
 #[must_use]
 pub fn mean_loss_sparse(loss: Loss, model: &[f32], data: &SparseDataset<f32, u32>) -> f64 {
-    assert_eq!(model.len(), data.features(), "model/data shape mismatch");
-    let mut total = 0f64;
-    for i in 0..data.examples() {
-        let ex = data.example(i);
-        let dot: f32 = ex
-            .indices
-            .iter()
-            .zip(ex.values)
-            .map(|(&idx, &v)| v * model[idx as usize])
-            .sum();
-        total += loss.value(dot, data.label(i)) as f64;
-    }
-    total / data.examples() as f64
+    mean_loss_sparse_of(loss, model, data)
 }
 
-/// Fraction of sparse examples classified correctly.
+/// Fraction of sparse examples any [`Predictor`] classifies correctly.
 ///
 /// # Panics
 ///
 /// Panics if shapes mismatch or the loss is not a classification loss.
 #[must_use]
-pub fn accuracy_sparse(loss: Loss, model: &[f32], data: &SparseDataset<f32, u32>) -> f64 {
+pub fn accuracy_sparse_of<P: Predictor + ?Sized>(
+    loss: Loss,
+    predictor: &P,
+    data: &SparseDataset<f32, u32>,
+) -> f64 {
     assert!(loss.is_classification(), "accuracy needs a classifier loss");
-    assert_eq!(model.len(), data.features(), "model/data shape mismatch");
+    assert_eq!(
+        predictor.features(),
+        data.features(),
+        "model/data shape mismatch"
+    );
     let mut correct = 0usize;
     for i in 0..data.examples() {
         let ex = data.example(i);
-        let dot: f32 = ex
-            .indices
-            .iter()
-            .zip(ex.values)
-            .map(|(&idx, &v)| v * model[idx as usize])
-            .sum();
-        if loss.predict(dot) == data.label(i) {
+        if loss.predict(predictor.score_sparse(ex.values, ex.indices)) == data.label(i) {
             correct += 1;
         }
     }
     correct as f64 / data.examples() as f64
 }
 
+/// Fraction of sparse examples a float model classifies correctly.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or the loss is not a classification loss.
+#[must_use]
+pub fn accuracy_sparse(loss: Loss, model: &[f32], data: &SparseDataset<f32, u32>) -> f64 {
+    accuracy_sparse_of(loss, model, data)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::predict::QuantizedModel;
+    use crate::ModelPrecision;
 
     fn tiny() -> DenseDataset<f32> {
         DenseDataset::from_rows(
@@ -138,6 +194,23 @@ mod tests {
             accuracy(Loss::Hinge, &model, &tiny()),
             accuracy_sparse(Loss::Hinge, &model, &sparse)
         );
+    }
+
+    #[test]
+    fn quantized_predictor_drives_the_same_metrics() {
+        // The generic forms accept a quantized snapshot directly — the
+        // serving representation evaluates without dequantizing.
+        let q = QuantizedModel::quantize(&[1.0, -1.0], ModelPrecision::I8);
+        assert_eq!(accuracy_of(Loss::Logistic, &q, &tiny()), 1.0);
+        let sparse = SparseDataset::from_triplets(
+            2,
+            vec![vec![(0, 1.0)], vec![(0, -1.0)], vec![(1, 1.0)]],
+            vec![1.0, -1.0, -1.0],
+        );
+        assert_eq!(accuracy_sparse_of(Loss::Hinge, &q, &sparse), 1.0);
+        let dl = mean_loss_of(Loss::Logistic, &q, &tiny());
+        let sl = mean_loss_sparse_of(Loss::Logistic, &q, &sparse);
+        assert!((dl - sl).abs() < 1e-9);
     }
 
     #[test]

@@ -16,6 +16,8 @@ use buckwild_dmgc::Signature;
 use buckwild_fixed::FixedSpec;
 use buckwild_kernels::optimized::FixedInt;
 
+use crate::predict::{FixedWords, QuantizedModel};
+
 /// Storage precision of the shared model — the `M` term of the signature.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelPrecision {
@@ -222,11 +224,34 @@ impl SharedModel {
         }
     }
 
-    /// Copies the model out as `f32` (relaxed reads; under concurrent
-    /// writers this is a fuzzy snapshot, exactly as in the paper).
+    /// Copies the model out in its storage representation: the raw
+    /// fixed-point (or float) words plus the interpreting [`FixedSpec`].
+    ///
+    /// Relaxed reads — under concurrent writers this is a fuzzy snapshot,
+    /// exactly as in the paper. Serving and checkpointing prefer this over
+    /// [`SharedModel::snapshot`] because it never materializes a
+    /// dequantized copy: an 8-bit model stays 8 bits.
+    #[must_use]
+    pub fn snapshot_quantized(&self) -> QuantizedModel {
+        let words = match &self.storage {
+            Storage::F32(v) => FixedWords::F32(
+                v.iter()
+                    .map(|w| f32::from_bits(w.load(Ordering::Relaxed)))
+                    .collect(),
+            ),
+            Storage::I16(v) => {
+                FixedWords::I16(v.iter().map(|w| w.load(Ordering::Relaxed)).collect())
+            }
+            Storage::I8(v) => FixedWords::I8(v.iter().map(|w| w.load(Ordering::Relaxed)).collect()),
+        };
+        QuantizedModel::new(words, self.spec)
+    }
+
+    /// Copies the model out as `f32` — a thin dequantizing wrapper over
+    /// [`SharedModel::snapshot_quantized`].
     #[must_use]
     pub fn snapshot(&self) -> Vec<f32> {
-        (0..self.len()).map(|i| self.read(i)).collect()
+        self.snapshot_quantized().to_f32()
     }
 
     /// Dense dot against a fixed-point example: `Σ x[i]·w[i]`, integer MAC
@@ -644,6 +669,18 @@ mod tests {
     fn from_f32_initializes() {
         let w = SharedModel::from_f32(ModelPrecision::I16, &[0.25, -0.5, 1.0]);
         assert_eq!(w.snapshot(), vec![0.25, -0.5, 1.0]);
+    }
+
+    #[test]
+    fn snapshot_quantized_exposes_raw_words() {
+        let w = SharedModel::from_f32(ModelPrecision::I8, &[0.5, -1.25, 0.0]);
+        let q = w.snapshot_quantized();
+        assert_eq!(q.precision(), ModelPrecision::I8);
+        assert_eq!(q.spec(), w.spec());
+        // model_range(8) has quantum 1/64: 0.5 -> 32, -1.25 -> -80.
+        assert_eq!(q.words(), &FixedWords::I8(vec![32, -80, 0]));
+        assert_eq!(q.to_f32(), w.snapshot());
+        assert_eq!(q.storage_bytes(), 3);
     }
 
     #[test]

@@ -18,12 +18,13 @@
 pub use crate::chaos::{ChaosReport, ChaosSgdConfig};
 pub use crate::config::{
     default_backend, set_default_backend, Backend, ConfigError, EpochObserver, QuantizerConfig,
-    SgdConfig,
+    SgdConfig, SnapshotObserver,
 };
 pub use crate::loss::Loss;
 pub use crate::metrics::{accuracy, accuracy_sparse, mean_loss, mean_loss_sparse};
 pub use crate::model::{ModelPrecision, SharedModel};
 pub use crate::obstinate::ObstinateConfig;
+pub use crate::predict::{EpochSnapshot, FixedWords, Predictor, QuantizedModel};
 pub use crate::sync::{SyncFaultReport, SyncSgdConfig};
 pub use crate::train::{TrainControl, TrainData, TrainError, TrainProgress, TrainReport};
 

@@ -12,6 +12,7 @@
 use buckwild_dataset::{DenseDataset, ImageDataset};
 use buckwild_prng::{Prng, Xorshift128};
 
+use crate::predict::Predictor;
 use crate::{Loss, SgdConfig, TrainError};
 
 /// A random Fourier feature map `z(x) = sqrt(2/D) · cos(Wx + b)` with
@@ -159,7 +160,8 @@ impl OneVsAll {
         })
     }
 
-    /// Predicts the class of one raw input (argmax over per-class margins).
+    /// Predicts the class of one raw input (argmax over per-class margins,
+    /// each scored through the shared [`Predictor`] API).
     ///
     /// # Panics
     ///
@@ -170,7 +172,7 @@ impl OneVsAll {
         let mut best = 0usize;
         let mut best_margin = f32::NEG_INFINITY;
         for (class, model) in self.models.iter().enumerate() {
-            let margin: f32 = features.iter().zip(model).map(|(&f, &w)| f * w).sum();
+            let margin = model.as_slice().score(&features);
             if margin > best_margin {
                 best_margin = margin;
                 best = class;

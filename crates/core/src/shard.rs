@@ -39,6 +39,7 @@ use buckwild_telemetry::{Counter, Gauge, Histogram, Recorder};
 use buckwild_trace::{fault_kind, Phase, Tracer, WorkerTracer};
 
 use crate::arena::{LocalModel, ShardArena};
+use crate::predict::{EpochSnapshot, QuantizedModel};
 use crate::ring::DeltaRing;
 use crate::train::{
     metric, sealed::Sealed, ChaosCounters, QuantState, TrainControl, TrainData, TrainError,
@@ -249,6 +250,10 @@ where
     let mut sync_states: Vec<SyncState> = (0..threads).map(|_| SyncState::zeros(n)).collect();
     let mut epoch_losses = Vec::new();
     let epoch_seconds = recorder.histogram(metric::EPOCH_SECONDS);
+    let publish_ns = config
+        .on_snapshot
+        .as_ref()
+        .map(|_| recorder.counter(metric::SNAPSHOT_PUBLISH_NS));
     let mut wall = 0f64;
     let checkpoint_every = injector.checkpoint_epochs();
     let mut checkpoint: Option<Vec<f32>> = checkpoint_every.map(|_| arena.checkpoint());
@@ -364,6 +369,21 @@ where
             }
             // No checkpoint: the dead worker's epoch share is simply lost,
             // exactly as in the shared engine.
+        }
+        // Publish the epoch-tagged snapshot: the replica mean, quantized
+        // back onto the model grid so consumers see the same storage
+        // representation as the shared backend. Runs after the timed
+        // region closed — cost lands in `snapshot.publish_ns`, not GNPS.
+        if let (Some(publish), Some(publish_ns)) = (&config.on_snapshot, &publish_ns) {
+            let publish_start = Instant::now();
+            publish(EpochSnapshot {
+                epoch: epoch as u64,
+                model: std::sync::Arc::new(QuantizedModel::quantize(
+                    &arena.mean_snapshot(),
+                    precision,
+                )),
+            });
+            publish_ns.add(publish_start.elapsed().as_nanos() as u64);
         }
         let loss = if config.record_losses {
             let l = data.mean_loss(config.loss, &arena.mean_snapshot());

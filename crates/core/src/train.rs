@@ -25,6 +25,7 @@ use buckwild_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Recorder, S
 use buckwild_trace::{fault_kind, NoopTracer, Phase, Tracer, WorkerTracer};
 
 use crate::config::{Backend, QuantizerConfig};
+use crate::predict::EpochSnapshot;
 use crate::{metrics, ConfigError, Loss, ModelPrecision, SgdConfig, SharedModel};
 
 /// Replay attempts per epoch before the engine gives up on recovery and
@@ -52,6 +53,13 @@ pub mod metric {
     /// Counter: sharded-backend broadcasts skipped because a peer ring
     /// was full (the delta carries forward via error feedback).
     pub const RING_FULL_SKIPS: &str = "shard.ring_full_skips";
+    /// Counter: nanoseconds spent publishing epoch-boundary model
+    /// snapshots to the `on_snapshot` observer. Publication runs outside
+    /// the barrier-timed region, so its cost is excluded from
+    /// [`EPOCH_SECONDS`] and [`GNPS`] by construction (the same treatment
+    /// worker spawn/join gets); this counter makes the cost visible
+    /// instead of hidden.
+    pub const SNAPSHOT_PUBLISH_NS: &str = "snapshot.publish_ns";
 }
 
 /// Error from [`SgdConfig::train`].
@@ -779,6 +787,10 @@ impl SgdConfig {
         let model = SharedModel::zeros(precision, data.model_features());
         let mut epoch_losses = Vec::new();
         let epoch_seconds = recorder.histogram(metric::EPOCH_SECONDS);
+        let publish_ns = self
+            .on_snapshot
+            .as_ref()
+            .map(|_| recorder.counter(metric::SNAPSHOT_PUBLISH_NS));
         let mut wall = 0f64;
         // Crash recovery: checkpoint the model at epoch boundaries (cadence
         // chosen by the injector) and roll back + replay the epoch when a
@@ -873,6 +885,17 @@ impl SgdConfig {
                 }
                 // No checkpoint to roll back to: the dead worker's shard is
                 // simply lost for this epoch and training carries on.
+            }
+            // Publish the epoch-tagged snapshot for online consumers. This
+            // runs after the timed region closed, so the copy-and-swap cost
+            // lands in `snapshot.publish_ns`, never in epoch throughput.
+            if let (Some(publish), Some(publish_ns)) = (&self.on_snapshot, &publish_ns) {
+                let publish_start = Instant::now();
+                publish(EpochSnapshot {
+                    epoch: epoch as u64,
+                    model: std::sync::Arc::new(model.snapshot_quantized()),
+                });
+                publish_ns.add(publish_start.elapsed().as_nanos() as u64);
             }
             let loss = if self.record_losses {
                 let l = data.mean_loss(self.loss, &model.snapshot());

@@ -217,6 +217,112 @@ pub fn dot_f32_fixed<M: FixedInt>(x: &[f32], w: &[M], w_spec: &FixedSpec) -> f32
     total * w_spec.quantum()
 }
 
+/// Rows per block of the batched inference dot: each model block is
+/// streamed once per four queries, so the (memory-bound) model traffic is
+/// amortized across the batch — the MLWeaving argument for low-precision
+/// serving, applied at the register-blocking level.
+const BATCH_ROWS: usize = 4;
+
+/// Row-major batched dot of float queries against one fixed-point model:
+/// `out[r] = q_w · Σ_i batch[r·n + i]·w[i]` for `n = w.len()` and
+/// `out.len()` rows.
+///
+/// # Panics
+///
+/// Panics if `batch.len() != w.len() * out.len()`.
+pub fn dot_batch_f32_fixed<M: FixedInt>(
+    batch: &[f32],
+    w: &[M],
+    w_spec: &FixedSpec,
+    out: &mut [f32],
+) {
+    let n = w.len();
+    assert_eq!(batch.len(), n * out.len(), "batch/model shape mismatch");
+    let mut r = 0usize;
+    while r + BATCH_ROWS <= out.len() {
+        let x0 = &batch[r * n..(r + 1) * n];
+        let x1 = &batch[(r + 1) * n..(r + 2) * n];
+        let x2 = &batch[(r + 2) * n..(r + 3) * n];
+        let x3 = &batch[(r + 3) * n..(r + 4) * n];
+        let mut acc = [[0f32; 8]; BATCH_ROWS];
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let wb = &w[i..i + 8];
+            let (b0, b1) = (&x0[i..i + 8], &x1[i..i + 8]);
+            let (b2, b3) = (&x2[i..i + 8], &x3[i..i + 8]);
+            for j in 0..8 {
+                let wj = wb[j].widen() as f32;
+                acc[0][j] += b0[j] * wj;
+                acc[1][j] += b1[j] * wj;
+                acc[2][j] += b2[j] * wj;
+                acc[3][j] += b3[j] * wj;
+            }
+            i += 8;
+        }
+        let mut totals = acc.map(|lanes| lanes.iter().sum::<f32>());
+        while i < n {
+            let wj = w[i].widen() as f32;
+            totals[0] += x0[i] * wj;
+            totals[1] += x1[i] * wj;
+            totals[2] += x2[i] * wj;
+            totals[3] += x3[i] * wj;
+            i += 1;
+        }
+        for (k, t) in totals.iter().enumerate() {
+            out[r + k] = t * w_spec.quantum();
+        }
+        r += BATCH_ROWS;
+    }
+    for (o, x) in out[r..].iter_mut().zip(batch[r * n..].chunks_exact(n)) {
+        *o = dot_f32_fixed(x, w, w_spec);
+    }
+}
+
+/// Row-major batched dot of float queries against a float model — the
+/// full-precision serving baseline with the same row blocking.
+///
+/// # Panics
+///
+/// Panics if `batch.len() != w.len() * out.len()`.
+pub fn dot_batch_f32_f32(batch: &[f32], w: &[f32], out: &mut [f32]) {
+    let n = w.len();
+    assert_eq!(batch.len(), n * out.len(), "batch/model shape mismatch");
+    let mut r = 0usize;
+    while r + BATCH_ROWS <= out.len() {
+        let x0 = &batch[r * n..(r + 1) * n];
+        let x1 = &batch[(r + 1) * n..(r + 2) * n];
+        let x2 = &batch[(r + 2) * n..(r + 3) * n];
+        let x3 = &batch[(r + 3) * n..(r + 4) * n];
+        let mut acc = [[0f32; 8]; BATCH_ROWS];
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let wb = &w[i..i + 8];
+            let (b0, b1) = (&x0[i..i + 8], &x1[i..i + 8]);
+            let (b2, b3) = (&x2[i..i + 8], &x3[i..i + 8]);
+            for j in 0..8 {
+                acc[0][j] += b0[j] * wb[j];
+                acc[1][j] += b1[j] * wb[j];
+                acc[2][j] += b2[j] * wb[j];
+                acc[3][j] += b3[j] * wb[j];
+            }
+            i += 8;
+        }
+        let mut totals = acc.map(|lanes| lanes.iter().sum::<f32>());
+        while i < n {
+            totals[0] += x0[i] * w[i];
+            totals[1] += x1[i] * w[i];
+            totals[2] += x2[i] * w[i];
+            totals[3] += x3[i] * w[i];
+            i += 1;
+        }
+        out[r..r + BATCH_ROWS].copy_from_slice(&totals);
+        r += BATCH_ROWS;
+    }
+    for (o, x) in out[r..].iter_mut().zip(batch[r * n..].chunks_exact(n)) {
+        *o = dot_f32_f32(x, w);
+    }
+}
+
 /// Pre-scales the AXPY scalar `a` into the `Q17.15` integer multiplier
 /// `k = round(a · q_x / q_w · 2^15)`, saturating at the i32 range.
 #[must_use]
@@ -582,6 +688,43 @@ mod tests {
         let fast = dot_f32_fixed(&w, &wq, &ws);
         let slow = generic::dot(&w, &wq, &FixedSpec::unit_range(32), &ws);
         assert!((fast - slow).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dot_batch_f32_fixed_is_bit_identical_per_row() {
+        // The serving hot-swap guarantee leans on this: a batched score must
+        // equal the single-row kernel bit for bit, for every row position.
+        let ws = FixedSpec::model_range(8);
+        let mut rng = Xorshift128::seed_from(42);
+        for n in [1usize, 7, 8, 9, 64, 100] {
+            let w = random_i8(n, 20);
+            for rows in [1usize, 3, 4, 5, 9] {
+                let batch: Vec<f32> = (0..rows * n).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+                let mut out = vec![0f32; rows];
+                dot_batch_f32_fixed(&batch, &w, &ws, &mut out);
+                for (r, &got) in out.iter().enumerate() {
+                    let one = dot_f32_fixed(&batch[r * n..(r + 1) * n], &w, &ws);
+                    assert_eq!(got.to_bits(), one.to_bits(), "n={n} rows={rows} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_batch_f32_f32_is_bit_identical_per_row() {
+        let mut rng = Xorshift128::seed_from(43);
+        for n in [1usize, 8, 23] {
+            let w: Vec<f32> = (0..n).map(|_| rng.next_f32() - 0.5).collect();
+            for rows in [2usize, 4, 6] {
+                let batch: Vec<f32> = (0..rows * n).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+                let mut out = vec![0f32; rows];
+                dot_batch_f32_f32(&batch, &w, &mut out);
+                for (r, &got) in out.iter().enumerate() {
+                    let one = dot_f32_f32(&batch[r * n..(r + 1) * n], &w);
+                    assert_eq!(got.to_bits(), one.to_bits(), "n={n} rows={rows} r={r}");
+                }
+            }
+        }
     }
 
     #[test]

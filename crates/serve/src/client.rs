@@ -1,0 +1,63 @@
+//! A blocking client for the predict wire protocol.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{self, Response};
+
+/// One connection to a [`PredictServer`], reusing its encode/decode
+/// buffers across requests.
+///
+/// Not thread-safe by design — the protocol is strictly
+/// request/response per connection. Open one client per load-generator
+/// worker.
+///
+/// [`PredictServer`]: crate::PredictServer
+#[derive(Debug)]
+pub struct PredictClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    frame: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl PredictClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(PredictClient {
+            reader,
+            writer,
+            frame: Vec::new(),
+            payload: Vec::new(),
+        })
+    }
+
+    /// Scores a dense row-major batch (`batch.len() / features` rows)
+    /// against the server's current snapshot.
+    ///
+    /// The returned [`Response`] carries the status byte, the epoch tag
+    /// of the snapshot that answered, and — when the status is
+    /// [`wire::status::OK`] — one raw score per row. Apply
+    /// [`Loss::predict`] client-side to turn scores into labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is zero or does not divide `batch.len()`.
+    ///
+    /// [`Loss::predict`]: buckwild::Loss::predict
+    pub fn predict(&mut self, batch: &[f32], features: usize) -> io::Result<Response> {
+        wire::encode_request(&mut self.frame, batch, features);
+        wire::write_frame(&mut self.writer, &self.frame)?;
+        if !wire::read_frame(&mut self.reader, &mut self.payload)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        wire::decode_response(&self.payload).map_err(io::Error::from)
+    }
+}

@@ -1,0 +1,204 @@
+//! The snapshot hand-off between training and serving.
+//!
+//! [`SnapshotHub`] is the single point of coupling between the training
+//! engines and the inference server: training publishes an epoch-tagged
+//! [`EpochSnapshot`] after every epoch (via [`SgdConfig::on_snapshot`]),
+//! and any number of serving threads read the freshest one without ever
+//! blocking the publisher.
+//!
+//! [`SgdConfig::on_snapshot`]: buckwild::SgdConfig::on_snapshot
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use buckwild::EpochSnapshot;
+
+/// A double-buffered, epoch-tagged snapshot exchange.
+///
+/// The hub keeps two slots and an atomic index naming the *active* one.
+/// [`SnapshotHub::publish`] writes the **inactive** slot and then swaps
+/// the index with a release store; [`SnapshotHub::current`] acquires the
+/// index and clones the `Arc` out of the active slot. The publisher
+/// therefore never waits on readers: readers only ever hold the lock on
+/// the active slot, and only for the nanoseconds an `Arc` clone takes —
+/// the same double-buffer discipline the AsyncSGD averaging thread uses
+/// (an `average_buffer` the readers consume while a `next_average_buffer`
+/// is being filled).
+///
+/// The slots hold `Arc<EpochSnapshot>`, and a [`QuantizedModel`] is
+/// immutable once built, so a reader that cloned the `Arc` keeps scoring
+/// against a consistent epoch even while later epochs are published over
+/// the slots: hot-swap can never tear a request.
+///
+/// One publisher is assumed (the training driver thread, which calls the
+/// observer at epoch barriers on both backends). Concurrent publishers
+/// would not corrupt anything — each slot write is lock-protected — but
+/// the "latest" winner between them is unspecified.
+///
+/// [`QuantizedModel`]: buckwild::QuantizedModel
+#[derive(Debug, Default)]
+pub struct SnapshotHub {
+    slots: [Mutex<Option<Arc<EpochSnapshot>>>; 2],
+    /// Index of the slot readers should take.
+    active: AtomicUsize,
+    /// `epoch + 1` of the newest published snapshot; 0 before the first.
+    latest: AtomicU64,
+    /// Total number of publications.
+    published: AtomicU64,
+}
+
+impl SnapshotHub {
+    /// An empty hub: [`SnapshotHub::current`] returns `None` until the
+    /// first [`SnapshotHub::publish`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Makes `snapshot` the one [`SnapshotHub::current`] hands out.
+    ///
+    /// Writes the inactive slot, then swaps the active index with a
+    /// release store, so a reader that observes the new index also
+    /// observes the completed slot write.
+    pub fn publish(&self, snapshot: EpochSnapshot) {
+        let epoch = snapshot.epoch;
+        let next = self.active.load(Ordering::Relaxed) ^ 1;
+        // `latest` moves before the swap so a reader can never hold a
+        // snapshot newer than what `latest_epoch` reports.
+        self.latest.fetch_max(epoch + 1, Ordering::Release);
+        *self.slots[next].lock().expect("snapshot slot poisoned") = Some(Arc::new(snapshot));
+        self.active.store(next, Ordering::Release);
+        self.published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The freshest published snapshot, or `None` before the first
+    /// publication. Never blocks the publisher; may briefly contend with
+    /// other readers on the active slot's lock (an `Arc` clone).
+    #[must_use]
+    pub fn current(&self) -> Option<Arc<EpochSnapshot>> {
+        let idx = self.active.load(Ordering::Acquire);
+        self.slots[idx]
+            .lock()
+            .expect("snapshot slot poisoned")
+            .clone()
+    }
+
+    /// Epoch tag of the newest snapshot ever published, or `None` if
+    /// nothing has been published yet. Serving threads subtract a
+    /// response's epoch from this to report observable staleness.
+    #[must_use]
+    pub fn latest_epoch(&self) -> Option<u64> {
+        match self.latest.load(Ordering::Acquire) {
+            0 => None,
+            n => Some(n - 1),
+        }
+    }
+
+    /// Total number of [`SnapshotHub::publish`] calls.
+    #[must_use]
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// A closure suitable for [`SgdConfig::on_snapshot`]: every published
+    /// epoch lands in this hub.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use buckwild::prelude::*;
+    /// use buckwild_serve::SnapshotHub;
+    ///
+    /// let hub = Arc::new(SnapshotHub::new());
+    /// let problem = buckwild_dataset::generate::logistic_dense(8, 50, 3);
+    /// SgdConfig::new(Loss::Logistic)
+    ///     .epochs(2)
+    ///     .on_snapshot(hub.observer())
+    ///     .train(&problem.data)?;
+    /// assert_eq!(hub.latest_epoch(), Some(1));
+    /// # Ok::<(), TrainError>(())
+    /// ```
+    ///
+    /// [`SgdConfig::on_snapshot`]: buckwild::SgdConfig::on_snapshot
+    pub fn observer(self: &Arc<Self>) -> impl Fn(EpochSnapshot) + Send + Sync + 'static {
+        let hub = Arc::clone(self);
+        move |snapshot| hub.publish(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buckwild::{ModelPrecision, QuantizedModel};
+
+    fn snap(epoch: u64, value: f32) -> EpochSnapshot {
+        EpochSnapshot {
+            epoch,
+            model: Arc::new(QuantizedModel::quantize(&[value], ModelPrecision::I8)),
+        }
+    }
+
+    #[test]
+    fn empty_hub_has_no_snapshot() {
+        let hub = SnapshotHub::new();
+        assert!(hub.current().is_none());
+        assert_eq!(hub.latest_epoch(), None);
+        assert_eq!(hub.published(), 0);
+    }
+
+    #[test]
+    fn publish_swaps_the_active_snapshot() {
+        let hub = SnapshotHub::new();
+        hub.publish(snap(0, 0.25));
+        let first = hub.current().expect("published");
+        assert_eq!(first.epoch, 0);
+        hub.publish(snap(1, 0.5));
+        let second = hub.current().expect("published");
+        assert_eq!(second.epoch, 1);
+        assert_eq!(hub.latest_epoch(), Some(1));
+        assert_eq!(hub.published(), 2);
+        // The reader that cloned epoch 0 still holds a consistent model.
+        assert_eq!(first.model.to_f32(), vec![0.25]);
+    }
+
+    #[test]
+    fn readers_see_a_consistent_epoch_under_churn() {
+        let hub = Arc::new(SnapshotHub::new());
+        hub.publish(snap(0, 0.0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let hub = Arc::clone(&hub);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let s = hub.current().expect("always published");
+                        // Model value must match the epoch tag: a torn
+                        // publication would break this pairing.
+                        let expect = s.epoch as f32 / 64.0;
+                        assert_eq!(s.model.to_f32(), vec![expect]);
+                        seen = seen.max(s.epoch);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for epoch in 1..100 {
+            hub.publish(snap(epoch, epoch as f32 / 64.0));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().expect("reader panicked") <= 99);
+        }
+        assert_eq!(hub.latest_epoch(), Some(99));
+    }
+
+    #[test]
+    fn observer_feeds_the_hub() {
+        let hub = Arc::new(SnapshotHub::new());
+        let observer = hub.observer();
+        observer(snap(7, 0.125));
+        assert_eq!(hub.latest_epoch(), Some(7));
+        assert_eq!(hub.current().expect("published").epoch, 7);
+    }
+}

@@ -1,0 +1,133 @@
+//! Live hot-swap bit-identity: while training runs, a pool of concurrent
+//! clients queries the server over real TCP; every response is tagged
+//! with the epoch of the snapshot that answered it, and must be
+//! **bit-identical** to scoring the archived snapshot of that epoch
+//! offline. Any torn snapshot publication, racy model read, or
+//! batched-kernel divergence from the single-row path would break the
+//! equality. Runs on both training backends.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use buckwild::prelude::*;
+use buckwild_dataset::generate;
+use buckwild_prng::{Prng, Xorshift128};
+use buckwild_serve::wire::status;
+use buckwild_serve::{PredictClient, PredictServer, ServeConfig, SnapshotHub};
+
+const FEATURES: usize = 24;
+const EXAMPLES: usize = 8000;
+const EPOCHS: usize = 10;
+const READERS: u64 = 3;
+
+type Archive = Arc<Mutex<HashMap<u64, Arc<QuantizedModel>>>>;
+
+fn run_backend(backend: Backend) {
+    let problem = generate::logistic_dense(FEATURES, EXAMPLES, 33);
+    let hub = Arc::new(SnapshotHub::new());
+    let archive: Archive = Archive::default();
+
+    // Archive every published snapshot *before* it reaches the hub, so
+    // any epoch a client is served is guaranteed to be archived.
+    let observer = {
+        let hub = Arc::clone(&hub);
+        let archive = Arc::clone(&archive);
+        move |snapshot: EpochSnapshot| {
+            archive
+                .lock()
+                .expect("archive lock")
+                .insert(snapshot.epoch, Arc::clone(&snapshot.model));
+            hub.publish(snapshot);
+        }
+    };
+
+    let server = PredictServer::start(Arc::clone(&hub), &ServeConfig::new("127.0.0.1:0").shards(2))
+        .expect("bind server");
+    let addr = server.local_addr();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut rng = Xorshift128::seed_from(100 + r);
+                let mut client = PredictClient::connect(addr).expect("connect");
+                let mut observed: Vec<(u64, Vec<f32>, Vec<f32>)> = Vec::new();
+                while !done.load(Ordering::Relaxed) {
+                    let rows = 1 + (rng.next_u32() as usize % 5);
+                    let batch: Vec<f32> = (0..rows * FEATURES)
+                        .map(|_| rng.next_f32() * 2.0 - 1.0)
+                        .collect();
+                    let resp = client.predict(&batch, FEATURES).expect("predict");
+                    match resp.status {
+                        status::OK => observed.push((resp.epoch, batch, resp.scores)),
+                        // Training may not have published its first epoch yet.
+                        status::NO_MODEL => continue,
+                        other => panic!("unexpected response status {other}"),
+                    }
+                }
+                observed
+            })
+        })
+        .collect();
+
+    let report = SgdConfig::new(Loss::Logistic)
+        .signature("D8M8".parse().expect("signature"))
+        .backend(backend)
+        .threads(2)
+        .epochs(EPOCHS)
+        .seed(4242)
+        .on_snapshot(observer)
+        .train(&problem.data)
+        .expect("train");
+    assert!(report.final_loss().is_finite());
+
+    done.store(true, Ordering::Relaxed);
+    let mut total_scores = 0usize;
+    let mut epochs_seen = BTreeSet::new();
+    for reader in readers {
+        for (epoch, batch, scores) in reader.join().expect("reader panicked") {
+            let archive = archive.lock().expect("archive lock");
+            let model = archive
+                .get(&epoch)
+                .unwrap_or_else(|| panic!("epoch {epoch} was served but never archived"));
+            let mut expect = vec![0.0f32; scores.len()];
+            model.score_batch(&batch, &mut expect);
+            let got: Vec<u32> = scores.iter().map(|s| s.to_bits()).collect();
+            let want: Vec<u32> = expect.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(
+                got, want,
+                "served scores must be bit-identical to offline scoring of epoch {epoch}"
+            );
+            epochs_seen.insert(epoch);
+            total_scores += scores.len();
+        }
+    }
+    let metrics = server.shutdown();
+    assert!(
+        total_scores > 0,
+        "reader pool never got an OK response while training ran"
+    );
+    assert!(
+        metrics.counter("serve.predictions").unwrap_or(0) >= total_scores as u64,
+        "server counters must cover every score the pool received"
+    );
+    // All epochs must have been published, whichever subset was served.
+    assert_eq!(hub.latest_epoch(), Some(EPOCHS as u64 - 1));
+    assert_eq!(archive.lock().expect("archive lock").len(), EPOCHS);
+    assert!(
+        epochs_seen.iter().all(|e| *e < EPOCHS as u64),
+        "served epochs must be ones training published"
+    );
+}
+
+#[test]
+fn hot_swap_is_bit_identical_on_shared_model() {
+    run_backend(Backend::SharedModel);
+}
+
+#[test]
+fn hot_swap_is_bit_identical_on_sharded_delta() {
+    run_backend(Backend::ShardedDelta);
+}

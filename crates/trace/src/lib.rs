@@ -53,7 +53,8 @@ mod ring;
 pub use export::Trace;
 pub use ring::{RingTracer, RingWorker};
 
-/// What a span measures — the five scopes the training engines mark.
+/// What a span measures — the scopes the training engines and the
+/// inference server mark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
     /// One full pass over the dataset (recorded by the driver thread).
@@ -71,17 +72,21 @@ pub enum Phase {
     /// A sharded-backend delta exchange: quantizing and publishing the
     /// local replica's diff, and draining + applying peers' packets.
     DeltaSync,
+    /// One inference request served by `buckwild-serve`: decode, batched
+    /// scoring against the current snapshot, and response encode.
+    Request,
 }
 
 impl Phase {
     /// All phases, in display order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Epoch,
         Phase::Minibatch,
         Phase::GradientKernel,
         Phase::ModelWrite,
         Phase::ChaosFault,
         Phase::DeltaSync,
+        Phase::Request,
     ];
 
     /// The span name used in exports.
@@ -94,6 +99,7 @@ impl Phase {
             Phase::ModelWrite => "model_write",
             Phase::ChaosFault => "chaos_fault",
             Phase::DeltaSync => "delta_sync",
+            Phase::Request => "request",
         }
     }
 
@@ -107,6 +113,7 @@ impl Phase {
             Phase::ModelWrite => "detail",
             Phase::ChaosFault => "kind",
             Phase::DeltaSync => "packets",
+            Phase::Request => "batch",
         }
     }
 
@@ -119,6 +126,7 @@ impl Phase {
             Phase::ModelWrite => 3,
             Phase::ChaosFault => 4,
             Phase::DeltaSync => 5,
+            Phase::Request => 6,
         }
     }
 }
