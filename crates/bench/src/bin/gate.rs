@@ -9,6 +9,8 @@
 //! gate --seconds 0.2 --repeats 9
 //! gate --serve               # serving rows instead: BENCH_serve.json
 //! gate --serve --check       # warn against the serving baseline
+//! gate --kernels             # bit-serial rows instead: BENCH_kernels.json
+//! gate --kernels --check     # warn against the bit-serial baseline
 //! ```
 //!
 //! `--check` never fails the process: regressions print as warnings for
@@ -20,17 +22,20 @@
 use std::process::ExitCode;
 
 use buckwild_bench::gate::{
-    run_gate, run_serve_gate, GateReport, GATE_REPEATS, GATE_SECONDS, GATE_SERVE_SECONDS,
+    run_gate, run_kernels_gate, run_serve_gate, GateReport, GATE_REPEATS, GATE_SECONDS,
+    GATE_SERVE_SECONDS,
 };
 
 /// Where the committed baselines live, relative to the repo root.
 const DEFAULT_BASELINE: &str = "BENCH_core.json";
 const DEFAULT_SERVE_BASELINE: &str = "BENCH_serve.json";
+const DEFAULT_KERNELS_BASELINE: &str = "BENCH_kernels.json";
 
 struct Args {
     out: Option<String>,
     check: bool,
     serve: bool,
+    kernels: bool,
     baseline: Option<String>,
     seconds: Option<f64>,
     repeats: usize,
@@ -38,11 +43,13 @@ struct Args {
 
 fn usage() -> String {
     format!(
-        "usage: gate [--serve] [--out <path>] [--check] [--baseline <path>]\n\
+        "usage: gate [--serve | --kernels] [--out <path>] [--check] [--baseline <path>]\n\
                      [--seconds <f64>] [--repeats <n>]\n\
          \n\
          --serve            measure the online-serving rows instead of the\n\
                             kernel/train rows (baseline {DEFAULT_SERVE_BASELINE})\n\
+         --kernels          measure the bit-serial (MLWeaving) kernel rows\n\
+                            instead (baseline {DEFAULT_KERNELS_BASELINE})\n\
          --out <path>       write the baseline JSON to <path> (default\n\
                             {DEFAULT_BASELINE}, or {DEFAULT_SERVE_BASELINE}\n\
                             with --serve; ignored with --check)\n\
@@ -60,6 +67,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         out: None,
         check: false,
         serve: false,
+        kernels: false,
         baseline: None,
         seconds: None,
         repeats: GATE_REPEATS,
@@ -73,6 +81,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             },
             "--check" => parsed.check = true,
             "--serve" => parsed.serve = true,
+            "--kernels" => parsed.kernels = true,
             "--baseline" => match args.next() {
                 Some(path) => parsed.baseline = Some(path),
                 None => return Err("--baseline requires a path".into()),
@@ -106,14 +115,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.serve && args.kernels {
+        eprintln!(
+            "gate: --serve and --kernels are mutually exclusive\n{}",
+            usage()
+        );
+        return ExitCode::from(2);
+    }
     let default_baseline = if args.serve {
         DEFAULT_SERVE_BASELINE
+    } else if args.kernels {
+        DEFAULT_KERNELS_BASELINE
     } else {
         DEFAULT_BASELINE
     };
     let baseline_path = args.baseline.as_deref().unwrap_or(default_baseline);
     let report = if args.serve {
         run_serve_gate(args.seconds.unwrap_or(GATE_SERVE_SECONDS), args.repeats)
+    } else if args.kernels {
+        run_kernels_gate(args.seconds.unwrap_or(GATE_SECONDS), args.repeats)
     } else {
         run_gate(args.seconds.unwrap_or(GATE_SECONDS), args.repeats)
     };

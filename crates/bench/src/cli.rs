@@ -12,6 +12,10 @@
 //!   [`observe`](crate::observe)).
 //! * `--roofline` — print the DMGC roofline (compute / memory / coherence
 //!   breakdown with predicted and measured GNPS) after the experiment.
+//! * `--kernel {generic,optimized,proposed,bitserial}` — process-wide
+//!   kernel-flavour override (installed via `buckwild::set_default_kernel`
+//!   before the experiment runs), so any experiment can be replayed on the
+//!   bit-serial MLWeaving layout.
 //! * `--help` — print usage.
 //!
 //! Emitted JSON is validated against the schema (a parse round-trip
@@ -21,7 +25,7 @@
 
 use std::process::ExitCode;
 
-use buckwild::Backend;
+use buckwild::{Backend, KernelFlavor};
 use buckwild_telemetry::json::Value;
 use buckwild_telemetry::ExperimentResult;
 
@@ -51,12 +55,17 @@ pub struct Options {
     /// Optional training-backend override, applied process-wide before the
     /// experiment builds its configurations.
     pub backend: Option<Backend>,
+    /// Optional kernel-flavour override, applied process-wide before the
+    /// experiment builds its configurations (`--kernel bitserial` runs
+    /// every dense fixed-point kernel through the MLWeaving layout).
+    pub kernel: Option<KernelFlavor>,
 }
 
 fn usage(name: &str) -> String {
     format!(
         "usage: {name} [--format {{text,json}}] [--json <path>] [--seed <u64>]\n\
                        [--trace <path>] [--roofline] [--backend {{shared,sharded}}]\n\
+                       [--kernel {{generic,optimized,proposed,bitserial}}]\n\
          \n\
            --format text   aligned tables on stdout (default)\n\
          --format json   ExperimentResult JSON on stdout\n\
@@ -66,6 +75,9 @@ fn usage(name: &str) -> String {
          --roofline      print the DMGC compute/memory/coherence roofline\n\
          --backend <b>   train on `shared` (Hogwild!) or `sharded` (delta\n\
                          rings) model storage; default shared\n\
+         --kernel <k>    kernel flavour for every training run: `generic`,\n\
+                         `optimized` (default), `proposed`, or `bitserial`\n\
+                         (MLWeaving plane-major layout)\n\
          \n\
          budget knobs (environment): BUCKWILD_SECONDS, BUCKWILD_FULL=1"
     )
@@ -84,6 +96,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Options>,
         trace_path: None,
         roofline: false,
         backend: None,
+        kernel: None,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -118,6 +131,17 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Options>,
                     Err(e) => return Err(format!("invalid backend `{value}`: {e}")),
                 },
                 None => return Err("--backend requires a value (shared or sharded)".into()),
+            },
+            "--kernel" => match it.next() {
+                Some(value) => match value.parse() {
+                    Ok(flavor) => options.kernel = Some(flavor),
+                    Err(e) => return Err(format!("invalid kernel `{value}`: {e}")),
+                },
+                None => {
+                    return Err("--kernel requires a value (generic, optimized, proposed, \
+                                or bitserial)"
+                        .into())
+                }
             },
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unrecognized argument `{other}`")),
@@ -208,11 +232,15 @@ fn dispatch<F: FnOnce() -> Vec<ExperimentResult>>(name: &str, build: F) -> ExitC
     }
 }
 
-/// Installs the `--backend` override as the process default, so every
-/// `SgdConfig::new` the experiment builds picks it up.
+/// Installs the `--backend` and `--kernel` overrides as the process
+/// defaults, so every `SgdConfig::new` the experiment builds picks them
+/// up.
 fn apply_backend(options: &Options) {
     if let Some(backend) = options.backend {
         buckwild::set_default_backend(backend);
+    }
+    if let Some(flavor) = options.kernel {
+        buckwild::set_default_kernel(flavor);
     }
 }
 
@@ -295,6 +323,19 @@ mod tests {
         assert!(parse(args(&["--trace"])).is_err());
         assert!(parse(args(&["--backend"])).is_err());
         assert!(parse(args(&["--backend", "mongodb"])).is_err());
+        assert!(parse(args(&["--kernel"])).is_err());
+        assert!(parse(args(&["--kernel", "quantum"])).is_err());
+    }
+
+    #[test]
+    fn parses_kernel() {
+        let options = parse(args(&["--kernel", "bitserial"])).unwrap().unwrap();
+        assert_eq!(options.kernel, Some(KernelFlavor::BitSerial));
+        let options = parse(args(&["--kernel", "mlweaving"])).unwrap().unwrap();
+        assert_eq!(options.kernel, Some(KernelFlavor::BitSerial));
+        let options = parse(args(&["--kernel", "generic"])).unwrap().unwrap();
+        assert_eq!(options.kernel, Some(KernelFlavor::Generic));
+        assert_eq!(parse(args(&[])).unwrap().unwrap().kernel, None);
     }
 
     #[test]

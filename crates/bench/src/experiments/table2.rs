@@ -1,7 +1,7 @@
 //! Table 2: base sequential throughput (GNPS) by DMGC signature.
 
 use buckwild_dmgc::{Signature, PAPER_TABLE2};
-use buckwild_kernels::cost::QuantizerKind;
+use buckwild_kernels::cost::{iteration_mix, CostParams, QuantizerKind};
 use buckwild_kernels::KernelFlavor;
 use buckwild_telemetry::{ExperimentResult, Series};
 
@@ -85,5 +85,40 @@ pub fn result() -> ExperimentResult {
             .map(|(t, _)| *t)
             .unwrap_or("?")
     ));
+
+    // The bit-serial (MLWeaving) sweep: every fixed-point signature of the
+    // table re-measured on the plane-major layout, next to the cost
+    // model's compute-vs-memory bound classification. Float operands have
+    // no integer bit planes, so the float rows stay word-major only.
+    let params = CostParams::xeon();
+    let mut weaved = Series::new("bitserial", "signature", &["dense", "vs-optimized"]);
+    for (text, _, _) in PAPER_TABLE2 {
+        let sig: Signature = text.parse().expect("table signature");
+        if sig.dataset().is_float() || sig.model().is_float() {
+            continue;
+        }
+        let gnps = measure_dense_t1(
+            &sig,
+            KernelFlavor::BitSerial,
+            QuantizerKind::XorshiftShared,
+            n,
+            secs,
+        );
+        weaved.push_row(text.to_string(), &[gnps, gnps / get(text)]);
+        let mix = iteration_mix(&sig, KernelFlavor::BitSerial, QuantizerKind::XorshiftShared);
+        let compute = mix.total_instrs() / params.issue_per_cycle;
+        let memory = mix.dataset_bytes / params.bytes_per_cycle
+            + params.overhead_per_32b * mix.dataset_bytes / 32.0;
+        let bound = if compute >= memory {
+            "compute"
+        } else {
+            "memory"
+        };
+        r.note(format!(
+            "bitserial {text}: {gnps:.3} GNPS measured, {bound}-bound in the cost model \
+             ({compute:.1} compute vs {memory:.1} memory cycles/element)"
+        ));
+    }
+    r.push_series(weaved);
     r
 }

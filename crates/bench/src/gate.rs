@@ -27,6 +27,12 @@
 //! (`gate --serve`): request throughput and latency percentiles of a
 //! closed-loop load run against the prediction server while training
 //! publishes snapshots — see [`run_serve_gate`].
+//!
+//! A third baseline, `BENCH_kernels.json`, covers the bit-serial
+//! (MLWeaving-layout) kernels (`gate --kernels`): weaved dense and
+//! sparse rows next to an optimized anchor, plus truncated-serving rows
+//! that read only the top planes of a 16-bit encoding — see
+//! [`run_kernels_gate`].
 
 use buckwild::{Backend, Loss, SgdConfig};
 use buckwild_dataset::generate;
@@ -34,7 +40,7 @@ use buckwild_kernels::cost::QuantizerKind;
 use buckwild_kernels::KernelFlavor;
 use buckwild_telemetry::json::Value;
 
-use crate::{measure_dense_t1, measure_sparse_t1};
+use crate::{measure_dense_t1, measure_sparse_t1, measure_weaved_truncated};
 
 /// Seed of the pinned gate problem and kernel inputs.
 pub const GATE_SEED: u64 = 1701;
@@ -205,6 +211,75 @@ pub fn run_gate(seconds: f64, repeats: usize) -> GateReport {
     ] {
         let samples: Vec<f64> = (0..repeats)
             .map(|_| train_sample(backend, GATE_SEED))
+            .collect();
+        benches.push(row_from_samples(name, samples));
+    }
+    GateReport {
+        hardware: Hardware::probe(),
+        seed: GATE_SEED,
+        repeats,
+        benches,
+    }
+}
+
+/// Runs the pinned bit-serial benchmark set (the `BENCH_kernels.json`
+/// baseline, `gate --kernels`): the MLWeaving-layout kernels next to an
+/// optimized anchor on the same inputs, plus two truncated-serving rows
+/// that read 4 and 8 of a 16-bit master encoding — the any-precision
+/// mode only the weaved layout can serve without re-encoding.
+#[must_use]
+pub fn run_kernels_gate(seconds: f64, repeats: usize) -> GateReport {
+    let repeats = repeats.max(1);
+    let mut benches = Vec::new();
+    let dense_rows = [
+        (
+            "kernel/dense/D8M8/bitserial",
+            "D8M8",
+            KernelFlavor::BitSerial,
+        ),
+        (
+            "kernel/dense/D16M16/bitserial",
+            "D16M16",
+            KernelFlavor::BitSerial,
+        ),
+        (
+            "kernel/dense/D8M8/optimized",
+            "D8M8",
+            KernelFlavor::Optimized,
+        ),
+    ];
+    for (name, sig_text, flavor) in dense_rows {
+        let signature = sig_text.parse().expect("valid signature");
+        let samples: Vec<f64> = (0..repeats)
+            .map(|_| {
+                measure_dense_t1(
+                    &signature,
+                    flavor,
+                    QuantizerKind::XorshiftShared,
+                    KERNEL_N,
+                    seconds,
+                )
+            })
+            .collect();
+        benches.push(row_from_samples(name, samples));
+    }
+    let sparse_sig = "D8i16M8".parse().expect("valid signature");
+    let samples: Vec<f64> = (0..repeats)
+        .map(|_| {
+            measure_sparse_t1(
+                &sparse_sig,
+                KernelFlavor::BitSerial,
+                QuantizerKind::XorshiftShared,
+                KERNEL_N,
+                SPARSE_NNZ,
+                seconds,
+            )
+        })
+        .collect();
+    benches.push(row_from_samples("kernel/sparse/D8i16M8/bitserial", samples));
+    for (name, served) in [("weave/truncate/D4@16", 4), ("weave/truncate/D8@16", 8)] {
+        let samples: Vec<f64> = (0..repeats)
+            .map(|_| measure_weaved_truncated(KERNEL_N, 16, served, seconds))
             .collect();
         benches.push(row_from_samples(name, samples));
     }
@@ -479,6 +554,32 @@ mod tests {
         let parsed = GateReport::from_json(&json).expect("round trip");
         assert_eq!(parsed, report);
         assert!(report.render_text().contains("median GNPS"));
+    }
+
+    #[test]
+    fn kernels_gate_measures_every_row_and_round_trips_json() {
+        let report = run_kernels_gate(0.005, 2);
+        let names: Vec<_> = report.benches.iter().map(|b| b.name.as_str()).collect();
+        for expected in [
+            "kernel/dense/D8M8/bitserial",
+            "kernel/dense/D16M16/bitserial",
+            "kernel/dense/D8M8/optimized",
+            "kernel/sparse/D8i16M8/bitserial",
+            "weave/truncate/D4@16",
+            "weave/truncate/D8@16",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "{expected} missing from {names:?}"
+            );
+        }
+        for b in &report.benches {
+            assert!(b.median_gnps > 0.0, "{}: {}", b.name, b.median_gnps);
+            assert!(b.ns_per_number > 0.0, "{}", b.name);
+        }
+        let json = report.to_json_value().to_json_pretty();
+        let parsed = GateReport::from_json(&json).expect("round trip");
+        assert_eq!(parsed, report);
     }
 
     #[test]

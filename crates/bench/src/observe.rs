@@ -15,8 +15,12 @@
 //!   and **coherence** (effective invalidations measured by the cache
 //!   simulator, each charged an L3 round trip), next to the cost model's
 //!   predicted GNPS and the GNPS *measured* from traced kernel spans of a
-//!   real training run. A fault-injected chaos run contributes the
-//!   observed write-staleness, progress-lag, and stall distributions.
+//!   real training run. The fixed-point signatures appear twice: once
+//!   under the word-major `optimized` flavour and once under the
+//!   bit-serial (MLWeaving) flavour, so the plane-major layout gets the
+//!   same compute/memory/coherence bound classification as the baseline.
+//!   A fault-injected chaos run contributes the observed write-staleness,
+//!   progress-lag, and stall distributions.
 //!
 //! The fusion is deliberately cross-crate: `kernels::cost` knows
 //! arithmetic, `cachesim` knows coherence, `buckwild-trace` knows what
@@ -55,6 +59,12 @@ const BACKEND_SIM_ITERATIONS: usize = 32;
 
 /// The signatures profiled by the roofline (the Figure 5a dense diagonal).
 const ROOFLINE_SIGNATURES: [&str; 3] = ["D32fM32f", "D16M16", "D8M8"];
+
+/// The fixed-point signatures also profiled under the bit-serial
+/// (MLWeaving) kernel flavour, so the roofline classifies the plane-major
+/// layout next to the word-major baseline. Floating data has no integer
+/// planes, so `D32fM32f` is word-major only.
+const BITSERIAL_SIGNATURES: [&str; 2] = ["D16M16", "D8M8"];
 
 fn quantizer_for(signature: &Signature) -> QuantizerKind {
     if signature.model().is_float() {
@@ -111,12 +121,14 @@ pub fn traced_kernel_gnps(trace: &Trace) -> Option<f64> {
     (busy_ns > 0).then(|| elems as f64 / busy_ns as f64)
 }
 
-/// Measures one signature's kernel GNPS from a traced single-thread run.
-fn measured_gnps(signature: &Signature, seed: u64) -> Option<f64> {
+/// Measures one signature's kernel GNPS from a traced single-thread run
+/// under the given kernel flavour.
+fn measured_gnps(signature: &Signature, flavor: KernelFlavor, seed: u64) -> Option<f64> {
     let problem = generate::logistic_dense(FEATURES, EXAMPLES, seed);
     let tracer = RingTracer::new();
     SgdConfig::new(Loss::Logistic)
         .signature(*signature)
+        .kernel(flavor)
         .threads(1)
         .epochs(2)
         .seed(seed)
@@ -268,9 +280,8 @@ pub fn roofline_report(seed: u64) -> RooflineReport {
 #[must_use]
 pub fn roofline_with_backends(seed: u64) -> (RooflineReport, BackendComparison) {
     let params = CostParams::xeon();
-    let flavor = KernelFlavor::Optimized;
     let mut report = RooflineReport::new("paper-xeon");
-    for text in ROOFLINE_SIGNATURES {
+    let mut profile = |text: &str, flavor: KernelFlavor| {
         let signature: Signature = text.parse().expect("valid signature");
         let quantizer = quantizer_for(&signature);
         let mix = iteration_mix(&signature, flavor, quantizer);
@@ -283,8 +294,14 @@ pub fn roofline_with_backends(seed: u64) -> (RooflineReport, BackendComparison) 
             memory_cycles: memory,
             coherence_cycles: simulated_coherence_cycles(&signature),
             predicted_gnps: params.estimate_gnps(&mix),
-            measured_gnps: measured_gnps(&signature, seed),
+            measured_gnps: measured_gnps(&signature, flavor, seed),
         });
+    };
+    for text in ROOFLINE_SIGNATURES {
+        profile(text, KernelFlavor::Optimized);
+    }
+    for text in BITSERIAL_SIGNATURES {
+        profile(text, KernelFlavor::BitSerial);
     }
     let comparison = backend_comparison(seed);
     report.push(comparison.shared.clone());
@@ -348,6 +365,8 @@ mod tests {
             "{labels:?}"
         );
         assert!(labels.iter().any(|l| l.starts_with("D8M8")), "{labels:?}");
+        assert!(labels.contains(&"D8M8/bitserial"), "{labels:?}");
+        assert!(labels.contains(&"D16M16/bitserial"), "{labels:?}");
         for e in report.entries() {
             assert!(e.compute_cycles > 0.0, "{}", e.label);
             assert!(e.memory_cycles > 0.0, "{}", e.label);

@@ -23,6 +23,7 @@
 
 use buckwild_fixed::FixedSpec;
 use buckwild_kernels::optimized::FixedInt;
+use buckwild_kernels::weave::{WeavedSlice, BLOCK};
 
 use crate::ModelPrecision;
 
@@ -373,6 +374,52 @@ impl LocalModel<'_> {
         }
     }
 
+    /// Dense dot against a bit-weaved example read at `bits` planes.
+    ///
+    /// Decodes each 64-element block and then accumulates exactly like
+    /// [`LocalModel::dot_fixed`], so a full-precision weaved read is
+    /// bit-identical to the unweaved fixed path.
+    pub(crate) fn dot_weaved(&self, x: WeavedSlice<'_>, bits: u32) -> f32 {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        let x_quantum = x.spec().quantum();
+        let mut decoded = [0i32; BLOCK];
+        match &self.store {
+            LocalStore::I8(w) => {
+                let mut total = 0i64;
+                for b in 0..x.blocks() {
+                    let filled = x.decode_block(b, bits, &mut decoded);
+                    let base = b * BLOCK;
+                    for (j, &xv) in decoded[..filled].iter().enumerate() {
+                        total += (xv * i32::from(w[base + j])) as i64;
+                    }
+                }
+                total as f32 * x_quantum * self.spec.quantum()
+            }
+            LocalStore::I16(w) => {
+                let mut total = 0i64;
+                for b in 0..x.blocks() {
+                    let filled = x.decode_block(b, bits, &mut decoded);
+                    let base = b * BLOCK;
+                    for (j, &xv) in decoded[..filled].iter().enumerate() {
+                        total += (xv * i32::from(w[base + j])) as i64;
+                    }
+                }
+                total as f32 * x_quantum * self.spec.quantum()
+            }
+            LocalStore::F32(w) => {
+                let mut acc = 0f32;
+                for b in 0..x.blocks() {
+                    let filled = x.decode_block(b, bits, &mut decoded);
+                    let base = b * BLOCK;
+                    for (j, &xv) in decoded[..filled].iter().enumerate() {
+                        acc += xv as f32 * w[base + j];
+                    }
+                }
+                acc * x_quantum
+            }
+        }
+    }
+
     /// Dense dot against a float example.
     pub(crate) fn dot_f32(&self, x: &[f32]) -> f32 {
         assert_eq!(x.len(), self.len(), "length mismatch");
@@ -526,6 +573,69 @@ impl LocalModel<'_> {
         }
     }
 
+    /// Dense quantized AXPY from a bit-weaved example read at `bits`
+    /// planes, with per-element rounding offsets — the weaved twin of
+    /// [`LocalModel::axpy_fixed`] (same `K_SHIFT` scaling, saturation, and
+    /// offset indexing by global element position).
+    pub(crate) fn axpy_weaved(
+        &mut self,
+        a: f32,
+        x: WeavedSlice<'_>,
+        bits: u32,
+        offsets: &mut dyn FnMut(usize) -> i64,
+    ) {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        let k = self.k_fixed(a, x.spec());
+        let mut decoded = [0i32; BLOCK];
+        match &mut self.store {
+            LocalStore::I8(w) => {
+                for b in 0..x.blocks() {
+                    let filled = x.decode_block(b, bits, &mut decoded);
+                    let base = b * BLOCK;
+                    for (j, &xv) in decoded[..filled].iter().enumerate() {
+                        let i = base + j;
+                        let delta = (xv as i64 * k + offsets(i)) >> K_SHIFT;
+                        let wi = &mut w[i];
+                        *wi = (i64::from(*wi) + delta).clamp(-128, 127) as i8;
+                    }
+                }
+            }
+            LocalStore::I16(w) => {
+                for b in 0..x.blocks() {
+                    let filled = x.decode_block(b, bits, &mut decoded);
+                    let base = b * BLOCK;
+                    for (j, &xv) in decoded[..filled].iter().enumerate() {
+                        let i = base + j;
+                        let delta = (xv as i64 * k + offsets(i)) >> K_SHIFT;
+                        let wi = &mut w[i];
+                        *wi = (i64::from(*wi) + delta).clamp(-32768, 32767) as i16;
+                    }
+                }
+            }
+            LocalStore::F32(w) => {
+                let scale = a * x.spec().quantum();
+                for b in 0..x.blocks() {
+                    let filled = x.decode_block(b, bits, &mut decoded);
+                    let base = b * BLOCK;
+                    for (j, &xv) in decoded[..filled].iter().enumerate() {
+                        w[base + j] += scale * xv as f32;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Weaved AXPY with a fixed 8-entry offset block.
+    pub(crate) fn axpy_weaved_block(
+        &mut self,
+        a: f32,
+        x: WeavedSlice<'_>,
+        bits: u32,
+        offsets: &[i64; 8],
+    ) {
+        self.axpy_weaved(a, x, bits, &mut |i| offsets[i & 7]);
+    }
+
     /// Dense AXPY with float data; fixed storage rounds on the grid with
     /// `uniforms` samples in `[0, 1)`.
     pub(crate) fn axpy_f32(&mut self, a: f32, x: &[f32], uniforms: &mut dyn FnMut(usize) -> f32) {
@@ -640,6 +750,7 @@ mod tests {
     use super::*;
     use crate::SharedModel;
     use buckwild_fixed::FixedSpec;
+    use buckwild_kernels::weave::WeavedVec;
 
     #[test]
     fn shards_are_cache_line_aligned_at_every_precision() {
@@ -706,6 +817,11 @@ mod tests {
                 shared.dot_fixed(&x8, &x_spec)
             );
             assert_eq!(local.dot_f32(&xf), shared.dot_f32(&xf));
+            let weaved = WeavedVec::encode(&x8, &x_spec);
+            assert_eq!(
+                local.dot_weaved(weaved.view(), 8),
+                shared.dot_weaved(weaved.view(), 8)
+            );
 
             let mut off_a = |i: usize| ((i * 7919) % (1 << 15)) as i64;
             let mut off_b = |i: usize| ((i * 7919) % (1 << 15)) as i64;
@@ -715,6 +831,9 @@ mod tests {
             let offs = [3i64, 99, 1024, 0, 8000, 123, 77, 15000];
             shared.axpy_fixed_block(-0.21, &x8, &x_spec, &offs);
             local.axpy_fixed_block(-0.21, &x8, &x_spec, &offs);
+
+            shared.axpy_weaved_block(0.11, weaved.view(), 8, &offs);
+            local.axpy_weaved_block(0.11, weaved.view(), 8, &offs);
 
             let mut uni_a = |i: usize| ((i * 31) % 97) as f32 / 97.0;
             let mut uni_b = |i: usize| ((i * 31) % 97) as f32 / 97.0;

@@ -10,6 +10,7 @@ use std::sync::OnceLock;
 use buckwild_dmgc::Signature;
 use buckwild_fixed::Rounding;
 use buckwild_kernels::cost::QuantizerKind;
+use buckwild_kernels::KernelFlavor;
 
 use crate::predict::EpochSnapshot;
 use crate::train::{TrainControl, TrainProgress};
@@ -106,6 +107,49 @@ pub fn default_backend() -> Backend {
     }
 }
 
+/// Process-wide default kernel flavour override: 0 = unset, else
+/// discriminant+1.
+static DEFAULT_KERNEL: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default kernel flavour used by
+/// [`SgdConfig::new`].
+///
+/// This is how `--kernel` on the experiment binaries reaches every
+/// configuration they build internally (the axis mirrors `--backend`);
+/// an explicit [`SgdConfig::kernel`] call always wins over the default.
+pub fn set_default_kernel(kernel: KernelFlavor) {
+    let code = match kernel {
+        KernelFlavor::Generic => 1,
+        KernelFlavor::Optimized => 2,
+        KernelFlavor::Proposed => 3,
+        KernelFlavor::BitSerial => 4,
+    };
+    DEFAULT_KERNEL.store(code, Ordering::Relaxed);
+}
+
+/// The default kernel flavour for new configurations: the value
+/// installed by [`set_default_kernel`], else the `BUCKWILD_KERNEL`
+/// environment variable (`generic` / `optimized` / `proposed` /
+/// `bitserial`), else [`KernelFlavor::Optimized`].
+#[must_use]
+pub fn default_kernel() -> KernelFlavor {
+    match DEFAULT_KERNEL.load(Ordering::Relaxed) {
+        1 => KernelFlavor::Generic,
+        2 => KernelFlavor::Optimized,
+        3 => KernelFlavor::Proposed,
+        4 => KernelFlavor::BitSerial,
+        _ => {
+            static FROM_ENV: OnceLock<KernelFlavor> = OnceLock::new();
+            *FROM_ENV.get_or_init(|| {
+                std::env::var("BUCKWILD_KERNEL")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_default()
+            })
+        }
+    }
+}
+
 /// How stochastic-rounding randomness is produced (paper §5.2).
 ///
 /// Thin wrapper pairing the quantizer strategy with the shared-randomness
@@ -192,6 +236,12 @@ impl std::error::Error for ConfigError {}
 pub struct SgdConfig {
     /// The training engine (shared atomic model vs sharded replicas).
     pub backend: Backend,
+    /// The kernel flavour executing the dot/AXPY inner loops.
+    ///
+    /// [`KernelFlavor::BitSerial`] trains dense fixed-point datasets
+    /// through the bit-weaved layout; float datasets and sparse data
+    /// fall back to the standard kernels (see `kernels::dispatch`).
+    pub kernel: KernelFlavor,
     /// For [`Backend::ShardedDelta`]: iterations between delta exchanges.
     pub delta_every: usize,
     /// The objective.
@@ -227,6 +277,7 @@ impl fmt::Debug for SgdConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SgdConfig")
             .field("backend", &self.backend)
+            .field("kernel", &self.kernel)
             .field("delta_every", &self.delta_every)
             .field("loss", &self.loss)
             .field("signature", &self.signature)
@@ -261,6 +312,7 @@ impl PartialEq for SgdConfig {
             _ => false,
         };
         self.backend == other.backend
+            && self.kernel == other.kernel
             && self.delta_every == other.delta_every
             && self.loss == other.loss
             && self.signature == other.signature
@@ -285,6 +337,7 @@ impl SgdConfig {
     pub fn new(loss: Loss) -> Self {
         SgdConfig {
             backend: default_backend(),
+            kernel: default_kernel(),
             delta_every: 16,
             loss,
             signature: Signature::full_precision(),
@@ -307,6 +360,14 @@ impl SgdConfig {
     #[must_use]
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sets the kernel flavour. Overrides the process default installed
+    /// by [`set_default_kernel`] / `BUCKWILD_KERNEL`.
+    #[must_use]
+    pub fn kernel(mut self, kernel: KernelFlavor) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -544,6 +605,16 @@ mod tests {
         assert_eq!(c.backend, Backend::ShardedDelta);
         assert_eq!(c.delta_every, 4);
         assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn kernel_axis_mirrors_backend_axis() {
+        let c = SgdConfig::new(Loss::Logistic).kernel(KernelFlavor::BitSerial);
+        assert_eq!(c.kernel, KernelFlavor::BitSerial);
+        assert_eq!(c.validate(), Ok(()));
+        assert!(format!("{c:?}").contains("BitSerial"));
+        // The builder override differs from the untouched default config.
+        assert_ne!(c, SgdConfig::new(Loss::Logistic));
     }
 
     #[test]

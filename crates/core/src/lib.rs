@@ -94,8 +94,8 @@ mod train;
 
 pub use chaos::{ChaosReport, ChaosSgdConfig};
 pub use config::{
-    default_backend, set_default_backend, Backend, ConfigError, EpochObserver, QuantizerConfig,
-    SgdConfig, SnapshotObserver,
+    default_backend, default_kernel, set_default_backend, set_default_kernel, Backend, ConfigError,
+    EpochObserver, QuantizerConfig, SgdConfig, SnapshotObserver,
 };
 pub use loss::Loss;
 pub use metrics::{accuracy, mean_loss};

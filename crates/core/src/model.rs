@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicI16, AtomicI8, AtomicU32, Ordering};
 use buckwild_dmgc::Signature;
 use buckwild_fixed::FixedSpec;
 use buckwild_kernels::optimized::FixedInt;
+use buckwild_kernels::weave::{WeavedSlice, BLOCK};
 
 use crate::predict::{FixedWords, QuantizedModel};
 
@@ -288,6 +289,60 @@ impl SharedModel {
         }
     }
 
+    /// Dense dot against a bit-weaved example served at `bits` planes.
+    ///
+    /// Each 64-element block is reconstructed plane-serially, then
+    /// accumulated in exactly the order and widths of
+    /// [`SharedModel::dot_fixed`] — so at full served precision the
+    /// result is bit-identical to the unweaved path, which is what the
+    /// trainer's bit-identity test pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != len()` or `bits` exceeds the stored weave
+    /// precision.
+    #[must_use]
+    pub fn dot_weaved(&self, x: WeavedSlice<'_>, bits: u32) -> f32 {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        let x_quantum = x.spec().quantum();
+        let mut decoded = [0i32; BLOCK];
+        match &self.storage {
+            Storage::I8(w) => {
+                let mut total = 0i64;
+                for block in 0..x.blocks() {
+                    let valid = x.decode_block(block, bits, &mut decoded);
+                    let base = block * BLOCK;
+                    for (j, &xv) in decoded.iter().enumerate().take(valid) {
+                        total += (xv * w[base + j].load(Ordering::Relaxed) as i32) as i64;
+                    }
+                }
+                total as f32 * x_quantum * self.spec.quantum()
+            }
+            Storage::I16(w) => {
+                let mut total = 0i64;
+                for block in 0..x.blocks() {
+                    let valid = x.decode_block(block, bits, &mut decoded);
+                    let base = block * BLOCK;
+                    for (j, &xv) in decoded.iter().enumerate().take(valid) {
+                        total += (xv * w[base + j].load(Ordering::Relaxed) as i32) as i64;
+                    }
+                }
+                total as f32 * x_quantum * self.spec.quantum()
+            }
+            Storage::F32(w) => {
+                let mut acc = 0f32;
+                for block in 0..x.blocks() {
+                    let valid = x.decode_block(block, bits, &mut decoded);
+                    let base = block * BLOCK;
+                    for (j, &xv) in decoded.iter().enumerate().take(valid) {
+                        acc += xv as f32 * f32::from_bits(w[base + j].load(Ordering::Relaxed));
+                    }
+                }
+                acc * x_quantum
+            }
+        }
+    }
+
     /// Dense dot against a float example.
     ///
     /// # Panics
@@ -487,6 +542,83 @@ impl SharedModel {
                 }
             }
         }
+    }
+
+    /// Dense quantized AXPY from a bit-weaved example served at `bits`
+    /// planes — the weaved counterpart of [`SharedModel::axpy_fixed`],
+    /// with identical arithmetic once each block is reconstructed (so
+    /// full-precision serving is bit-identical to the unweaved path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != len()` or `bits` exceeds the stored weave
+    /// precision.
+    pub fn axpy_weaved(
+        &self,
+        a: f32,
+        x: WeavedSlice<'_>,
+        bits: u32,
+        offsets: &mut dyn FnMut(usize) -> i64,
+    ) {
+        assert_eq!(x.len(), self.len(), "length mismatch");
+        const K_SHIFT: u32 = 15;
+        let k_real = a as f64 * x.spec().quantum() as f64 / self.spec.quantum() as f64;
+        let k = (k_real * (1i64 << K_SHIFT) as f64)
+            .round()
+            .clamp(i32::MIN as f64, i32::MAX as f64) as i64;
+        let mut decoded = [0i32; BLOCK];
+        match &self.storage {
+            Storage::I8(w) => {
+                for block in 0..x.blocks() {
+                    let valid = x.decode_block(block, bits, &mut decoded);
+                    let base = block * BLOCK;
+                    for (j, &xv) in decoded.iter().enumerate().take(valid) {
+                        let i = base + j;
+                        let delta = (xv as i64 * k + offsets(i)) >> K_SHIFT;
+                        let updated =
+                            (w[i].load(Ordering::Relaxed) as i64 + delta).clamp(-128, 127);
+                        w[i].store(updated as i8, Ordering::Relaxed);
+                    }
+                }
+            }
+            Storage::I16(w) => {
+                for block in 0..x.blocks() {
+                    let valid = x.decode_block(block, bits, &mut decoded);
+                    let base = block * BLOCK;
+                    for (j, &xv) in decoded.iter().enumerate().take(valid) {
+                        let i = base + j;
+                        let delta = (xv as i64 * k + offsets(i)) >> K_SHIFT;
+                        let updated =
+                            (w[i].load(Ordering::Relaxed) as i64 + delta).clamp(-32768, 32767);
+                        w[i].store(updated as i16, Ordering::Relaxed);
+                    }
+                }
+            }
+            Storage::F32(w) => {
+                let scale = a * x.spec().quantum();
+                for block in 0..x.blocks() {
+                    let valid = x.decode_block(block, bits, &mut decoded);
+                    let base = block * BLOCK;
+                    for (j, &xv) in decoded.iter().enumerate().take(valid) {
+                        let i = base + j;
+                        let updated =
+                            f32::from_bits(w[i].load(Ordering::Relaxed)) + scale * xv as f32;
+                        w[i].store(updated.to_bits(), Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`SharedModel::axpy_weaved`] with a fixed 8-entry offset block —
+    /// the weaved counterpart of [`SharedModel::axpy_fixed_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != len()` or `bits` exceeds the stored weave
+    /// precision.
+    pub fn axpy_weaved_block(&self, a: f32, x: WeavedSlice<'_>, bits: u32, offsets: &[i64; 8]) {
+        self.axpy_weaved(a, x, bits, &mut |i| offsets[i & 7]);
     }
 
     /// Dense AXPY with float example data; fixed storage quantizes with

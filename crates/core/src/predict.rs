@@ -28,10 +28,9 @@
 use std::sync::Arc;
 
 use buckwild_fixed::FixedSpec;
-use buckwild_kernels::optimized::{
-    dot_batch_f32_f32, dot_batch_f32_fixed, dot_f32_f32, dot_f32_fixed,
-};
+use buckwild_kernels::dispatch;
 
+use crate::config::default_kernel;
 use crate::model::{ModelPrecision, SharedModel};
 use crate::Loss;
 
@@ -235,7 +234,7 @@ impl Predictor for [f32] {
     }
 
     fn score(&self, x: &[f32]) -> f32 {
-        dot_f32_f32(x, self)
+        dispatch::dot_f32_f32(default_kernel(), x, self)
     }
 
     fn score_sparse(&self, values: &[f32], indices: &[u32]) -> f32 {
@@ -253,7 +252,7 @@ impl Predictor for [f32] {
             self.len() * out.len(),
             "batch/model shape mismatch"
         );
-        dot_batch_f32_f32(batch, self, out);
+        dispatch::dot_batch_f32_f32(default_kernel(), batch, self, out);
     }
 }
 
@@ -263,10 +262,11 @@ impl Predictor for QuantizedModel {
     }
 
     fn score(&self, x: &[f32]) -> f32 {
+        let flavor = default_kernel();
         match &self.words {
-            FixedWords::F32(w) => dot_f32_f32(x, w),
-            FixedWords::I16(w) => dot_f32_fixed(x, w, &self.spec),
-            FixedWords::I8(w) => dot_f32_fixed(x, w, &self.spec),
+            FixedWords::F32(w) => dispatch::dot_f32_f32(flavor, x, w),
+            FixedWords::I16(w) => dispatch::dot_f32_fixed(flavor, x, w, &self.spec),
+            FixedWords::I8(w) => dispatch::dot_f32_fixed(flavor, x, w, &self.spec),
         }
     }
 
@@ -303,10 +303,11 @@ impl Predictor for QuantizedModel {
             self.len() * out.len(),
             "batch/model shape mismatch"
         );
+        let flavor = default_kernel();
         match &self.words {
-            FixedWords::F32(w) => dot_batch_f32_f32(batch, w, out),
-            FixedWords::I16(w) => dot_batch_f32_fixed(batch, w, &self.spec, out),
-            FixedWords::I8(w) => dot_batch_f32_fixed(batch, w, &self.spec, out),
+            FixedWords::F32(w) => dispatch::dot_batch_f32_f32(flavor, batch, w, out),
+            FixedWords::I16(w) => dispatch::dot_batch_f32_fixed(flavor, batch, w, &self.spec, out),
+            FixedWords::I8(w) => dispatch::dot_batch_f32_fixed(flavor, batch, w, &self.spec, out),
         }
     }
 }

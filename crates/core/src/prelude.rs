@@ -17,8 +17,8 @@
 
 pub use crate::chaos::{ChaosReport, ChaosSgdConfig};
 pub use crate::config::{
-    default_backend, set_default_backend, Backend, ConfigError, EpochObserver, QuantizerConfig,
-    SgdConfig, SnapshotObserver,
+    default_backend, default_kernel, set_default_backend, set_default_kernel, Backend, ConfigError,
+    EpochObserver, QuantizerConfig, SgdConfig, SnapshotObserver,
 };
 pub use crate::loss::Loss;
 pub use crate::metrics::{accuracy, accuracy_sparse, mean_loss, mean_loss_sparse};

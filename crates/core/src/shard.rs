@@ -34,6 +34,7 @@ use buckwild_chaos::{Injector, WorkerInjector};
 use buckwild_dataset::{DenseDataset, SparseDataset};
 use buckwild_kernels::delta::{packet_bytes, quantize_delta_i8};
 use buckwild_kernels::optimized::FixedInt;
+use buckwild_kernels::weave::{self, BLOCK};
 use buckwild_prng::split_seed;
 use buckwild_telemetry::{Counter, Gauge, Histogram, Recorder};
 use buckwild_trace::{fault_kind, Phase, Tracer, WorkerTracer};
@@ -43,7 +44,7 @@ use crate::predict::{EpochSnapshot, QuantizedModel};
 use crate::ring::DeltaRing;
 use crate::train::{
     metric, sealed::Sealed, ChaosCounters, QuantState, TrainControl, TrainData, TrainError,
-    TrainProgress, TrainReport, WorkerCounters, MAX_REPLAYS_PER_EPOCH,
+    TrainProgress, TrainReport, WeavedDense, WorkerCounters, MAX_REPLAYS_PER_EPOCH,
 };
 use crate::{Loss, ModelPrecision, SgdConfig};
 
@@ -234,7 +235,12 @@ where
 {
     // `validate()` and the emptiness check already ran in `train_traced`.
     let precision = ModelPrecision::from_signature(&config.signature).expect("validated");
+    let weave_before = weave::encodes();
     let prepared = data.prepare(config);
+    let weave_delta = weave::encodes().wrapping_sub(weave_before);
+    if weave_delta > 0 {
+        recorder.counter(metric::WEAVE_ENCODES).add(weave_delta);
+    }
     let m = Sealed::examples(data);
     let n = data.model_features();
     let threads = config.threads;
@@ -496,6 +502,102 @@ pub(crate) fn worker_dense_fixed<
                 let qa = a * x_spec.quantum();
                 for (sj, xj) in scratch.iter_mut().zip(x) {
                     *sj += qa * xj.widen() as f32;
+                }
+            }
+            batch_fill += 1;
+            if batch_fill == ctx.minibatch {
+                if inj.keep_write() {
+                    counters.rounds.add(n as u64);
+                    let write_span = tracer.begin();
+                    let mut uni = |j: usize| rng.uniform(j);
+                    local.axpy_f32(1.0, &scratch, &mut uni);
+                    tracer.end(Phase::ModelWrite, write_span, n as u64);
+                } else {
+                    counters.count_dropped();
+                }
+                scratch.fill(0.0);
+                batch_fill = 0;
+            }
+        }
+        tracer.end(Phase::Minibatch, iter_span, i as u64);
+        sync.tick(local, tracer);
+    }
+    if batch_fill > 0 {
+        if inj.keep_write() {
+            counters.rounds.add(n as u64);
+            let write_span = tracer.begin();
+            let mut uni = |j: usize| rng.uniform(j);
+            local.axpy_f32(1.0, &scratch, &mut uni);
+            tracer.end(Phase::ModelWrite, write_span, n as u64);
+        } else {
+            counters.count_dropped();
+        }
+    }
+    sync.flush(local, tracer);
+    false
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the shared-engine worker signature plus the delta sync
+pub(crate) fn worker_dense_weaved<C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
+    ctx: &ShardCtx,
+    data: &WeavedDense,
+    local: &mut LocalModel<'_>,
+    sync: &mut DeltaSync<'_, C>,
+    counters: &WorkerCounters<C, H>,
+    rng: &mut QuantState,
+    inj: &mut W,
+    tracer: &mut T,
+) -> bool {
+    let x_spec = *data.matrix.spec();
+    let bits = x_spec.bits();
+    let n = data.matrix.features();
+    let mut scratch = if ctx.minibatch > 1 {
+        vec![0f32; n]
+    } else {
+        Vec::new()
+    };
+    let mut decoded = [0i32; BLOCK];
+    let mut batch_fill = 0usize;
+    for i in (ctx.worker..data.matrix.rows()).step_by(ctx.threads) {
+        if !counters.serve_fate(inj.iter_fate(), tracer) {
+            return true;
+        }
+        let iter_span = tracer.begin();
+        let x = data.matrix.row(i);
+        let y = data.labels[i];
+        rng.begin_iteration();
+        counters.iterations.incr();
+        counters.numbers.add(n as u64);
+        let kernel_span = tracer.begin();
+        let dot = local.dot_weaved(x, bits);
+        tracer.end(Phase::GradientKernel, kernel_span, n as u64);
+        let a = ctx.loss.axpy_scale(dot, y, ctx.step);
+        if ctx.minibatch == 1 {
+            if a != 0.0 {
+                if inj.keep_write() {
+                    counters.rounds.add(n as u64);
+                    let write_span = tracer.begin();
+                    match rng.block_offsets() {
+                        Some(offs) => local.axpy_weaved_block(a, x, bits, &offs),
+                        None => {
+                            let mut off = |j: usize| rng.offset15(j);
+                            local.axpy_weaved(a, x, bits, &mut off);
+                        }
+                    }
+                    tracer.end(Phase::ModelWrite, write_span, n as u64);
+                } else {
+                    counters.count_dropped();
+                }
+            }
+        } else {
+            if a != 0.0 {
+                let qa = a * x_spec.quantum();
+                for b in 0..x.blocks() {
+                    let filled = x.decode_block(b, bits, &mut decoded);
+                    let base = b * BLOCK;
+                    for (j, &xv) in decoded[..filled].iter().enumerate() {
+                        scratch[base + j] += qa * xv as f32;
+                    }
                 }
             }
             batch_fill += 1;

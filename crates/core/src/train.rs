@@ -16,10 +16,12 @@ use buckwild_chaos::metric as chaos_metric;
 use buckwild_chaos::{
     FaultPlan, Injector, IterFate, NoopInjector, PlanError, PlanInjector, WorkerInjector,
 };
-use buckwild_dataset::{DenseDataset, SparseDataset};
+use buckwild_dataset::{DenseDataset, Label, SparseDataset};
 use buckwild_fixed::{FixedSpec, Rounding};
 use buckwild_kernels::cost::QuantizerKind;
 use buckwild_kernels::optimized::FixedInt;
+use buckwild_kernels::weave::{self, WeavedMatrix, BLOCK};
+use buckwild_kernels::KernelFlavor;
 use buckwild_prng::{split_seed, Mt19937, Prng, XorshiftLanes};
 use buckwild_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Recorder, ShardedRecorder};
 use buckwild_trace::{fault_kind, NoopTracer, Phase, Tracer, WorkerTracer};
@@ -60,6 +62,12 @@ pub mod metric {
     /// worker spawn/join gets); this counter makes the cost visible
     /// instead of hidden.
     pub const SNAPSHOT_PUBLISH_NS: &str = "snapshot.publish_ns";
+    /// Counter: bit-weave encodings performed while preparing the
+    /// dataset ([`KernelFlavor::BitSerial`](buckwild_kernels::KernelFlavor)
+    /// runs only). One encoding serves every precision 1..=16, so this
+    /// stays at 1 per run however many precisions are read — the
+    /// zero-re-encode property the MLWeaving layout exists for.
+    pub const WEAVE_ENCODES: &str = "weave.encodes";
 }
 
 /// Error from [`SgdConfig::train`].
@@ -402,6 +410,36 @@ pub enum DenseQuant<'a> {
     F32(&'a DenseDataset<f32>),
     I16(DenseDataset<i16>),
     I8(DenseDataset<i8>),
+    Weaved(WeavedDense),
+}
+
+/// A dense fixed-point dataset in the bit-weaved layout: one
+/// [`WeavedMatrix`] of example rows plus the labels.
+///
+/// `pub` only because it appears in the sealed engine trait (like
+/// [`DenseQuant`]).
+#[doc(hidden)]
+pub struct WeavedDense {
+    pub(crate) matrix: WeavedMatrix,
+    pub(crate) labels: Vec<Label>,
+}
+
+impl WeavedDense {
+    /// Weaves an already-quantized dense dataset row by row.
+    ///
+    /// Quantizing first and weaving the resulting reprs keeps the stored
+    /// values bit-identical to the unweaved fixed path — the weave is a
+    /// re-layout, never a re-quantization.
+    fn build<D: FixedInt>(data: &DenseDataset<D>) -> Self {
+        let mut matrix = WeavedMatrix::new(data.examples(), data.features(), &data.spec());
+        for i in 0..data.examples() {
+            matrix.set_row(i, data.example(i));
+        }
+        WeavedDense {
+            matrix,
+            labels: data.labels().to_vec(),
+        }
+    }
 }
 
 #[doc(hidden)]
@@ -543,7 +581,13 @@ impl sealed::Sealed for DenseDataset<f32> {
         let d = config.signature.dataset();
         match (d.bits(), d.is_float()) {
             (32, true) => DenseQuant::F32(self),
+            (16, false) if config.kernel == KernelFlavor::BitSerial => DenseQuant::Weaved(
+                WeavedDense::build(&self.quantize_i16(FixedSpec::unit_range(16))),
+            ),
             (16, false) => DenseQuant::I16(self.quantize_i16(FixedSpec::unit_range(16))),
+            (8, false) if config.kernel == KernelFlavor::BitSerial => DenseQuant::Weaved(
+                WeavedDense::build(&self.quantize_i8(FixedSpec::unit_range(8))),
+            ),
             (8, false) => DenseQuant::I8(self.quantize_i8(FixedSpec::unit_range(8))),
             _ => unreachable!("rejected by validate"),
         }
@@ -561,6 +605,7 @@ impl sealed::Sealed for DenseDataset<f32> {
             DenseQuant::F32(d) => worker_dense_f32(ctx, d, counters, rng, inj, tracer),
             DenseQuant::I16(d) => worker_dense_fixed(ctx, d, counters, rng, inj, tracer),
             DenseQuant::I8(d) => worker_dense_fixed(ctx, d, counters, rng, inj, tracer),
+            DenseQuant::Weaved(d) => worker_dense_weaved(ctx, d, counters, rng, inj, tracer),
         }
     }
 
@@ -584,6 +629,9 @@ impl sealed::Sealed for DenseDataset<f32> {
             }
             DenseQuant::I8(d) => {
                 shard::worker_dense_fixed(ctx, d, local, sync, counters, rng, inj, tracer)
+            }
+            DenseQuant::Weaved(d) => {
+                shard::worker_dense_weaved(ctx, d, local, sync, counters, rng, inj, tracer)
             }
         }
     }
@@ -782,7 +830,12 @@ impl SgdConfig {
             return crate::shard::train_sharded(self, data, recorder, injector, tracer);
         }
         let precision = ModelPrecision::from_signature(&self.signature).expect("validated above");
+        let weave_before = weave::encodes();
         let prepared = data.prepare(self);
+        let weave_delta = weave::encodes().wrapping_sub(weave_before);
+        if weave_delta > 0 {
+            recorder.counter(metric::WEAVE_ENCODES).add(weave_delta);
+        }
         let m = sealed::Sealed::examples(data);
         let model = SharedModel::zeros(precision, data.model_features());
         let mut epoch_losses = Vec::new();
@@ -996,6 +1049,97 @@ fn worker_dense_fixed<D: FixedInt, C: Counter, H: Histogram, W: WorkerInjector, 
                 let qa = a * x_spec.quantum();
                 for (sj, xj) in scratch.iter_mut().zip(x) {
                     *sj += qa * xj.widen() as f32;
+                }
+            }
+            batch_fill += 1;
+            if batch_fill == ctx.minibatch {
+                if inj.keep_write() {
+                    counters.rounds.add(n as u64);
+                    let write_span = tracer.begin();
+                    let mut uni = |j: usize| rng.uniform(j);
+                    ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+                    tracer.end(Phase::ModelWrite, write_span, n as u64);
+                } else {
+                    counters.count_dropped();
+                }
+                scratch.fill(0.0);
+                batch_fill = 0;
+            }
+        }
+        tracer.end(Phase::Minibatch, iter_span, i as u64);
+    }
+    if batch_fill > 0 {
+        if inj.keep_write() {
+            counters.rounds.add(n as u64);
+            let write_span = tracer.begin();
+            let mut uni = |j: usize| rng.uniform(j);
+            ctx.model.axpy_f32(1.0, &scratch, &mut uni);
+            tracer.end(Phase::ModelWrite, write_span, n as u64);
+        } else {
+            counters.count_dropped();
+        }
+    }
+    false
+}
+
+fn worker_dense_weaved<C: Counter, H: Histogram, W: WorkerInjector, T: WorkerTracer>(
+    ctx: &WorkerCtx<'_>,
+    data: &WeavedDense,
+    counters: &WorkerCounters<C, H>,
+    rng: &mut QuantState,
+    inj: &mut W,
+    tracer: &mut T,
+) -> bool {
+    let x_spec = *data.matrix.spec();
+    let bits = x_spec.bits();
+    let n = data.matrix.features();
+    let mut scratch = if ctx.minibatch > 1 {
+        vec![0f32; n]
+    } else {
+        Vec::new()
+    };
+    let mut decoded = [0i32; BLOCK];
+    let mut batch_fill = 0usize;
+    for i in (ctx.worker..data.matrix.rows()).step_by(ctx.threads) {
+        if !counters.serve_fate(inj.iter_fate(), tracer) {
+            return true;
+        }
+        let iter_span = tracer.begin();
+        let x = data.matrix.row(i);
+        let y = data.labels[i];
+        rng.begin_iteration();
+        counters.iterations.incr();
+        counters.numbers.add(n as u64);
+        let kernel_span = tracer.begin();
+        let dot = ctx.model.dot_weaved(x, bits);
+        tracer.end(Phase::GradientKernel, kernel_span, n as u64);
+        let a = ctx.loss.axpy_scale(dot, y, ctx.step);
+        if ctx.minibatch == 1 {
+            if a != 0.0 {
+                if inj.keep_write() {
+                    counters.rounds.add(n as u64);
+                    let write_span = tracer.begin();
+                    match rng.block_offsets() {
+                        Some(offs) => ctx.model.axpy_weaved_block(a, x, bits, &offs),
+                        None => {
+                            let mut off = |j: usize| rng.offset15(j);
+                            ctx.model.axpy_weaved(a, x, bits, &mut off);
+                        }
+                    }
+                    tracer.end(Phase::ModelWrite, write_span, n as u64);
+                } else {
+                    counters.count_dropped();
+                }
+            }
+        } else {
+            if a != 0.0 {
+                let qa = a * x_spec.quantum();
+                for b in 0..x.blocks() {
+                    let filled = x.decode_block(b, bits, &mut decoded);
+                    let base = b * BLOCK;
+                    for (j, &xv) in decoded[..filled].iter().enumerate() {
+                        scratch[base + j] += qa * xv as f32;
+                    }
                 }
             }
             batch_fill += 1;
@@ -1320,6 +1464,88 @@ mod tests {
             .train(&p.data)
             .unwrap();
         assert!((low.final_loss() - full.final_loss()).abs() < 0.05);
+    }
+
+    #[test]
+    fn bitserial_kernel_is_bit_identical_to_optimized_single_thread() {
+        // 70 features leaves a partial 64-element weave block, exercising
+        // the tail path. The weaved loop decodes the same quantized reprs
+        // the unweaved loop reads directly, so a single-threaded run must
+        // reproduce the default kernel's model exactly — at both dense
+        // fixed precisions and through the minibatch scratch path.
+        for sig in ["D8M8", "D16M16"] {
+            let p = generate::logistic_dense(70, 200, 21);
+            let base = || logistic_config().signature(sig.parse().unwrap());
+            let opt = base()
+                .kernel(KernelFlavor::Optimized)
+                .train(&p.data)
+                .unwrap();
+            let bits = base()
+                .kernel(KernelFlavor::BitSerial)
+                .train(&p.data)
+                .unwrap();
+            assert_eq!(opt.model(), bits.model(), "{sig} model diverged");
+            assert_eq!(opt.epoch_losses(), bits.epoch_losses(), "{sig}");
+
+            let opt_mb = base()
+                .kernel(KernelFlavor::Optimized)
+                .minibatch(8)
+                .train(&p.data)
+                .unwrap();
+            let bits_mb = base()
+                .kernel(KernelFlavor::BitSerial)
+                .minibatch(8)
+                .train(&p.data)
+                .unwrap();
+            assert_eq!(opt_mb.model(), bits_mb.model(), "{sig} minibatch");
+        }
+    }
+
+    #[test]
+    fn bitserial_sharded_single_worker_matches_shared() {
+        let p = generate::logistic_dense(70, 200, 22);
+        let base = || {
+            logistic_config()
+                .signature("D8M8".parse().unwrap())
+                .kernel(KernelFlavor::BitSerial)
+        };
+        let shared = base().train(&p.data).unwrap();
+        let sharded = base()
+            .backend(Backend::ShardedDelta)
+            .train(&p.data)
+            .unwrap();
+        assert_eq!(shared.model(), sharded.model());
+    }
+
+    #[test]
+    fn bitserial_hogwild_two_threads_converges() {
+        let p = generate::logistic_dense(64, 600, 8);
+        let report = logistic_config()
+            .signature("D8M8".parse().unwrap())
+            .kernel(KernelFlavor::BitSerial)
+            .threads(2)
+            .train(&p.data)
+            .unwrap();
+        assert!(report.final_loss() < 0.5, "loss {}", report.final_loss());
+    }
+
+    #[test]
+    fn one_weave_encoding_serves_the_whole_run() {
+        // The zero-re-encode property, observed end to end: a BitSerial
+        // run weaves the dataset exactly once, and non-weaved runs carry
+        // no `weave.encodes` metric at all.
+        let p = generate::logistic_dense(32, 120, 23);
+        let weaved = logistic_config()
+            .signature("D8M8".parse().unwrap())
+            .kernel(KernelFlavor::BitSerial)
+            .train(&p.data)
+            .unwrap();
+        assert_eq!(weaved.metrics().counter(metric::WEAVE_ENCODES), Some(1));
+        let plain = logistic_config()
+            .signature("D8M8".parse().unwrap())
+            .train(&p.data)
+            .unwrap();
+        assert_eq!(plain.metrics().counter(metric::WEAVE_ENCODES), None);
     }
 
     #[test]

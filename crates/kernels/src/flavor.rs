@@ -18,24 +18,45 @@ pub enum KernelFlavor {
     /// `Optimized`; only the cost model differs — mirroring the paper's
     /// proxy-instruction methodology.
     Proposed,
+    /// Bit-serial kernels over the MLWeaving bit-plane layout
+    /// (`kernels::weave`): plane-by-plane popcount accumulation, any
+    /// precision 1..=16 served from one encoding at zero re-encode cost.
+    BitSerial,
 }
 
 impl KernelFlavor {
     /// All flavours, for sweeps.
-    pub const ALL: [KernelFlavor; 3] = [
+    ///
+    /// Kept in sync with the enum by [`KernelFlavor::name`]'s exhaustive
+    /// match plus the `all_is_exhaustive` round-trip test — adding a
+    /// flavour without extending this array is a test failure, not a
+    /// silently missing sweep axis.
+    pub const ALL: [KernelFlavor; 4] = [
         KernelFlavor::Generic,
         KernelFlavor::Optimized,
         KernelFlavor::Proposed,
+        KernelFlavor::BitSerial,
     ];
+
+    /// Canonical lower-case name (what [`Display`](fmt::Display) prints
+    /// and [`FromStr`] accepts).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        // Exhaustive on purpose: a new variant fails to compile here
+        // until it has a name, and `all_is_exhaustive` then fails until
+        // it is swept.
+        match self {
+            KernelFlavor::Generic => "generic",
+            KernelFlavor::Optimized => "optimized",
+            KernelFlavor::Proposed => "proposed",
+            KernelFlavor::BitSerial => "bitserial",
+        }
+    }
 }
 
 impl fmt::Display for KernelFlavor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            KernelFlavor::Generic => f.write_str("generic"),
-            KernelFlavor::Optimized => f.write_str("optimized"),
-            KernelFlavor::Proposed => f.write_str("proposed"),
-        }
+        f.write_str(self.name())
     }
 }
 
@@ -59,6 +80,7 @@ impl FromStr for KernelFlavor {
             "generic" | "gcc" => Ok(KernelFlavor::Generic),
             "optimized" | "simd" => Ok(KernelFlavor::Optimized),
             "proposed" | "newinstr" => Ok(KernelFlavor::Proposed),
+            "bitserial" | "bit-serial" | "weave" | "mlweaving" => Ok(KernelFlavor::BitSerial),
             _ => Err(ParseKernelFlavorError(s.to_owned())),
         }
     }
@@ -79,5 +101,31 @@ mod tests {
             assert_eq!(flavor.to_string().parse::<KernelFlavor>().unwrap(), flavor);
         }
         assert!("mystery".parse::<KernelFlavor>().is_err());
+    }
+
+    #[test]
+    fn all_is_exhaustive() {
+        // Every variant nameable by the exhaustive `name()` match must
+        // appear in ALL exactly once, and names must be unique — the
+        // guard that keeps sweeps from silently skipping a flavour.
+        let names: Vec<&str> = KernelFlavor::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 4);
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b, "duplicate flavour name");
+            }
+        }
+        assert!(names.contains(&"bitserial"));
+    }
+
+    #[test]
+    fn bitserial_aliases_parse() {
+        for alias in ["bitserial", "bit-serial", "weave", "mlweaving", "BitSerial"] {
+            assert_eq!(
+                alias.parse::<KernelFlavor>().unwrap(),
+                KernelFlavor::BitSerial,
+                "{alias}"
+            );
+        }
     }
 }

@@ -20,6 +20,7 @@ use buckwild_fixed::{FixedSpec, Rounding};
 ///
 /// Panics if `x.len() != w.len()`.
 #[must_use]
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot<D: Element, M: Element>(
     x: &[D],
     w: &[M],
@@ -42,6 +43,7 @@ pub fn dot<D: Element, M: Element>(
 /// # Panics
 ///
 /// Panics if `x.len() != w.len()`.
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn axpy<D: Element, M: Element, F: FnMut() -> f32>(
     w: &mut [M],
     a: f32,

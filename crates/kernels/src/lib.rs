@@ -21,27 +21,37 @@
 //!   XORSHIFT, optionally shared across the AXPY (paper §5.2).
 //! * [`sparse`] — gather/scatter variants of both flavours for CSR data.
 //! * [`nibble`] — packed 4-bit kernels for the hypothetical D4M4 ISA.
+//! * [`weave`] — the *bit-serial* path: an MLWeaving-style bit-plane
+//!   layout where one encoding serves every precision 1..=16 by reading
+//!   only the top planes — plane-by-plane popcount accumulation, zero
+//!   re-encode cost per precision.
 //! * [`cost`] — an instruction-count cost model covering current AVX2, the
-//!   paper's two proposed ALU instructions (§6.1), and 4-bit arithmetic,
-//!   used to reproduce the proxy-instruction experiments.
+//!   paper's two proposed ALU instructions (§6.1), 4-bit arithmetic, and
+//!   the bit-serial kernels, used to reproduce the proxy-instruction
+//!   experiments and classify where bit-serial wins.
 //!
 //! [`KernelFlavor`] names the implementation used, so higher layers sweep
-//! it as an experimental axis.
+//! it as an experimental axis, and [`dispatch`] is the single routing
+//! table from `(flavour, operand types)` to the executing kernel — out-of-
+//! crate callers go through it rather than picking free functions from the
+//! per-flavour modules.
 //!
 //! # Example
 //!
 //! ```
 //! use buckwild_fixed::FixedSpec;
-//! use buckwild_kernels::{generic, optimized};
+//! use buckwild_kernels::{dispatch, KernelFlavor};
 //!
 //! let xs = FixedSpec::unit_range(8);
 //! let ws = FixedSpec::model_range(8);
 //! let x: Vec<i8> = vec![64, -32, 16, 8];
 //! let w: Vec<i8> = vec![10, 20, -5, 3];
 //!
-//! let fast = optimized::dot_i8_i8(&x, &w, &xs, &ws);
-//! let slow = generic::dot(&x, &w, &xs, &ws);
+//! let fast = dispatch::dot_fixed_fixed(KernelFlavor::Optimized, &x, &w, &xs, &ws);
+//! let slow = dispatch::dot_fixed_fixed(KernelFlavor::Generic, &x, &w, &xs, &ws);
+//! let bits = dispatch::dot_fixed_fixed(KernelFlavor::BitSerial, &x, &w, &xs, &ws);
 //! assert!((fast - slow).abs() < 1e-4);
+//! assert!((fast - bits).abs() < 1e-4);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -49,10 +59,12 @@
 
 pub mod cost;
 pub mod delta;
+pub mod dispatch;
 pub mod generic;
 pub mod nibble;
 pub mod optimized;
 pub mod sparse;
+pub mod weave;
 
 mod flavor;
 mod rand_source;

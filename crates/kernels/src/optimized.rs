@@ -80,6 +80,7 @@ const DOT_BLOCK: usize = 32;
 ///
 /// Panics if `x.len() != w.len()`.
 #[must_use]
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_fixed_fixed<D: FixedInt, M: FixedInt>(
     x: &[D],
     w: &[M],
@@ -125,24 +126,28 @@ pub fn dot_fixed_fixed<D: FixedInt, M: FixedInt>(
 
 /// `dot_fixed_fixed` for the paper's flagship D8M8 pair.
 #[must_use]
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_i8_i8(x: &[i8], w: &[i8], x_spec: &FixedSpec, w_spec: &FixedSpec) -> f32 {
     dot_fixed_fixed(x, w, x_spec, w_spec)
 }
 
 /// `dot_fixed_fixed` for D8M16.
 #[must_use]
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_i8_i16(x: &[i8], w: &[i16], x_spec: &FixedSpec, w_spec: &FixedSpec) -> f32 {
     dot_fixed_fixed(x, w, x_spec, w_spec)
 }
 
 /// `dot_fixed_fixed` for D16M8.
 #[must_use]
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_i16_i8(x: &[i16], w: &[i8], x_spec: &FixedSpec, w_spec: &FixedSpec) -> f32 {
     dot_fixed_fixed(x, w, x_spec, w_spec)
 }
 
 /// `dot_fixed_fixed` for D16M16.
 #[must_use]
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_i16_i16(x: &[i16], w: &[i16], x_spec: &FixedSpec, w_spec: &FixedSpec) -> f32 {
     dot_fixed_fixed(x, w, x_spec, w_spec)
 }
@@ -154,6 +159,7 @@ pub fn dot_i16_i16(x: &[i16], w: &[i16], x_spec: &FixedSpec, w_spec: &FixedSpec)
 ///
 /// Panics if `x.len() != w.len()`.
 #[must_use]
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_f32_f32(x: &[f32], w: &[f32]) -> f32 {
     assert_eq!(x.len(), w.len(), "length mismatch");
     let mut acc = [0f32; 8];
@@ -177,6 +183,7 @@ pub fn dot_f32_f32(x: &[f32], w: &[f32]) -> f32 {
 ///
 /// Panics if `x.len() != w.len()`.
 #[must_use]
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_fixed_f32<D: FixedInt>(x: &[D], w: &[f32], x_spec: &FixedSpec) -> f32 {
     assert_eq!(x.len(), w.len(), "length mismatch");
     let mut acc = [0f32; 8];
@@ -200,6 +207,7 @@ pub fn dot_fixed_f32<D: FixedInt>(x: &[D], w: &[f32], x_spec: &FixedSpec) -> f32
 ///
 /// Panics if `x.len() != w.len()`.
 #[must_use]
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_f32_fixed<M: FixedInt>(x: &[f32], w: &[M], w_spec: &FixedSpec) -> f32 {
     assert_eq!(x.len(), w.len(), "length mismatch");
     let mut acc = [0f32; 8];
@@ -230,6 +238,7 @@ const BATCH_ROWS: usize = 4;
 /// # Panics
 ///
 /// Panics if `batch.len() != w.len() * out.len()`.
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_batch_f32_fixed<M: FixedInt>(
     batch: &[f32],
     w: &[M],
@@ -284,6 +293,7 @@ pub fn dot_batch_f32_fixed<M: FixedInt>(
 /// # Panics
 ///
 /// Panics if `batch.len() != w.len() * out.len()`.
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_batch_f32_f32(batch: &[f32], w: &[f32], out: &mut [f32]) {
     let n = w.len();
     assert_eq!(batch.len(), n * out.len(), "batch/model shape mismatch");
@@ -440,6 +450,7 @@ fn axpy_loop_offsets<D: FixedInt, M: FixedInt>(w: &mut [M], x: &[D], k: i64, off
 /// # Panics
 ///
 /// Panics if `x.len() != w.len()`.
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn axpy_fixed_fixed<D: FixedInt, M: FixedInt>(
     w: &mut [M],
     a: f32,
@@ -495,6 +506,7 @@ pub fn axpy_fixed_fixed<D: FixedInt, M: FixedInt>(
 }
 
 /// `axpy_fixed_fixed` for D8M8.
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn axpy_i8_i8(
     w: &mut [i8],
     a: f32,
@@ -507,6 +519,7 @@ pub fn axpy_i8_i8(
 }
 
 /// `axpy_fixed_fixed` for D8M16.
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn axpy_i8_i16(
     w: &mut [i16],
     a: f32,
@@ -519,6 +532,7 @@ pub fn axpy_i8_i16(
 }
 
 /// `axpy_fixed_fixed` for D16M8.
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn axpy_i16_i8(
     w: &mut [i8],
     a: f32,
@@ -531,6 +545,7 @@ pub fn axpy_i16_i8(
 }
 
 /// `axpy_fixed_fixed` for D16M16.
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn axpy_i16_i16(
     w: &mut [i16],
     a: f32,
@@ -547,6 +562,7 @@ pub fn axpy_i16_i16(
 /// # Panics
 ///
 /// Panics if `x.len() != w.len()`.
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn axpy_f32_f32(w: &mut [f32], a: f32, x: &[f32]) {
     assert_eq!(x.len(), w.len(), "length mismatch");
     for (wi, &xi) in w.iter_mut().zip(x) {
@@ -559,6 +575,7 @@ pub fn axpy_f32_f32(w: &mut [f32], a: f32, x: &[f32]) {
 /// # Panics
 ///
 /// Panics if `x.len() != w.len()`.
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn axpy_fixed_f32<D: FixedInt>(w: &mut [f32], a: f32, x: &[D], x_spec: &FixedSpec) {
     assert_eq!(x.len(), w.len(), "length mismatch");
     let scale = a * x_spec.quantum();
@@ -573,6 +590,7 @@ pub fn axpy_fixed_f32<D: FixedInt>(w: &mut [f32], a: f32, x: &[D], x_spec: &Fixe
 /// # Panics
 ///
 /// Panics if `x.len() != w.len()`.
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn axpy_f32_fixed<M: FixedInt>(
     w: &mut [M],
     a: f32,

@@ -20,6 +20,7 @@ use crate::AxpyRand;
 ///
 /// Panics if `values.len() != indices.len()` or any index is out of range.
 #[must_use]
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_generic<D: Element, I: IndexElement, M: Element>(
     values: &[D],
     indices: &[I],
@@ -41,6 +42,7 @@ pub fn dot_generic<D: Element, I: IndexElement, M: Element>(
 ///
 /// Panics if `values.len() != indices.len()` or any index is out of range.
 #[allow(clippy::too_many_arguments)] // mirrors the dense kernel signature plus the index stream
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn axpy_generic<D: Element, I: IndexElement, M: Element, F: FnMut() -> f32>(
     w: &mut [M],
     a: f32,
@@ -66,6 +68,7 @@ pub fn axpy_generic<D: Element, I: IndexElement, M: Element, F: FnMut() -> f32>(
 ///
 /// Panics if `values.len() != indices.len()` or any index is out of range.
 #[must_use]
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_fixed_fixed<D: FixedInt, I: IndexElement, M: FixedInt>(
     values: &[D],
     indices: &[I],
@@ -102,6 +105,7 @@ pub fn dot_fixed_fixed<D: FixedInt, I: IndexElement, M: FixedInt>(
 /// # Panics
 ///
 /// Panics if `values.len() != indices.len()` or any index is out of range.
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn axpy_fixed_fixed<D: FixedInt, I: IndexElement, M: FixedInt>(
     w: &mut [M],
     a: f32,
@@ -150,6 +154,7 @@ pub fn axpy_fixed_fixed<D: FixedInt, I: IndexElement, M: FixedInt>(
 ///
 /// Panics if a decoded index falls outside `w`.
 #[must_use]
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_delta<D: FixedInt, I: IndexElement, M: FixedInt>(
     example: &buckwild_dataset::DeltaExample<D, I>,
     w: &[M],
@@ -168,6 +173,7 @@ pub fn dot_delta<D: FixedInt, I: IndexElement, M: FixedInt>(
 /// # Panics
 ///
 /// Panics if a decoded index falls outside `w`.
+#[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn axpy_delta<D: FixedInt, I: IndexElement, M: FixedInt>(
     w: &mut [M],
     a: f32,

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! cargo run --release --example quickstart -- --backend sharded
+//! cargo run --release --example quickstart -- --kernel bitserial
 //! cargo run --release --example quickstart -- --trace /tmp/quickstart.json
 //! ```
 //!
@@ -11,6 +12,9 @@
 //! flagship D8M8 signature, and compares quality and throughput. With
 //! `--backend sharded`, workers train on private per-core model replicas
 //! synchronized over delta rings instead of one shared atomic model. With
+//! `--kernel bitserial`, the fixed-point runs store the dataset in the
+//! plane-major MLWeaving layout and run the bit-serial kernels (the
+//! float run is unaffected — floats have no integer bit planes). With
 //! `--trace <path>`, the runs are traced and their merged span timeline is
 //! written as Chrome trace-event JSON (load it in `chrome://tracing` or
 //! Perfetto); a per-phase self-time summary prints to stderr.
@@ -23,12 +27,14 @@ use buckwild_telemetry::ShardedRecorder;
 struct Args {
     trace_path: Option<String>,
     backend: Backend,
+    kernel: Option<KernelFlavor>,
 }
 
 fn parse_args() -> Args {
     let mut parsed = Args {
         trace_path: None,
         backend: Backend::SharedModel,
+        kernel: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,9 +57,26 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }
             },
+            "--kernel" => match args.next().map(|v| v.parse()) {
+                Some(Ok(flavor)) => parsed.kernel = Some(flavor),
+                Some(Err(e)) => {
+                    eprintln!("quickstart: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!(
+                        "quickstart: --kernel requires `generic`, `optimized`, `proposed`, \
+                         or `bitserial`"
+                    );
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("quickstart: unrecognized argument `{other}`");
-                eprintln!("usage: quickstart [--backend {{shared,sharded}}] [--trace <path>]");
+                eprintln!(
+                    "usage: quickstart [--backend {{shared,sharded}}] \
+                     [--kernel {{generic,optimized,proposed,bitserial}}] [--trace <path>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -65,15 +88,18 @@ fn main() {
     let Args {
         trace_path,
         backend,
+        kernel,
     } = parse_args();
     let n = 256; // model size
     let m = 4000; // examples
     println!("generating logistic regression problem: n = {n}, m = {m}");
     let problem = generate::logistic_dense(n, m, 42);
 
-    println!("backend: {backend}");
+    let flavor = kernel.unwrap_or_else(default_kernel);
+    println!("backend: {backend}, kernel: {flavor}");
     let base = SgdConfig::new(Loss::Logistic)
         .backend(backend)
+        .kernel(flavor)
         .step_size(0.15)
         .step_decay(0.8)
         .epochs(12)
