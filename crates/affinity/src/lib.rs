@@ -77,25 +77,23 @@ pub fn cache_line_bytes() -> u64 {
         .unwrap_or(64)
 }
 
-/// Widest SIMD register width in bits the running CPU supports, via
-/// runtime feature detection on x86-64 (128 elsewhere — the portable
-/// baseline every 64-bit target provides).
+/// Widest SIMD register width in bits the running CPU supports (128 on
+/// non-x86-64 — the portable baseline every 64-bit target provides).
+///
+/// Delegates to the kernels' [`buckwild_kernels::isa`] probe so the
+/// hardware preamble and the kernel dispatch can never disagree about
+/// what the machine offers.
 #[must_use]
 pub fn simd_width_bits() -> u32 {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx512f") {
-            512
-        } else if std::arch::is_x86_feature_detected!("avx2") {
-            256
-        } else {
-            128 // SSE2 is part of the x86-64 baseline
-        }
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        128
-    }
+    buckwild_kernels::isa::detected().simd_width_bits()
+}
+
+/// Lowercase name of the widest kernel ISA tier this CPU can execute
+/// (`"scalar"`, `"avx2"`, or `"avx512"`) — recorded in the `hardware`
+/// block of the `BENCH_*.json` baselines.
+#[must_use]
+pub fn detected_isa() -> &'static str {
+    buckwild_kernels::isa::detected().name()
 }
 
 /// A one-line human-readable summary of the detected hardware, e.g.
@@ -138,6 +136,7 @@ mod tests {
         assert!(line.is_power_of_two() && (16..=1024).contains(&line));
         let simd = simd_width_bits();
         assert!([128, 256, 512].contains(&simd));
+        assert!(["scalar", "avx2", "avx512"].contains(&detected_isa()));
         let text = summary();
         assert!(text.contains("cores") && text.contains("SIMD"));
     }

@@ -11,6 +11,7 @@
 //! gate --serve --check       # warn against the serving baseline
 //! gate --kernels             # bit-serial rows instead: BENCH_kernels.json
 //! gate --kernels --check     # warn against the bit-serial baseline
+//! gate --isa scalar          # pin the kernel ISA tier for this run
 //! ```
 //!
 //! `--check` never fails the process: regressions print as warnings for
@@ -58,7 +59,9 @@ fn usage() -> String {
          --baseline <path>  baseline to check against\n\
          --seconds <f64>    budget per sample (default {GATE_SECONDS}, or\n\
                             {GATE_SERVE_SECONDS} with --serve)\n\
-         --repeats <n>      samples per row (default {GATE_REPEATS})"
+         --repeats <n>      samples per row (default {GATE_REPEATS})\n\
+         --isa <isa>        pin the kernel ISA tier: scalar | avx2 |\n\
+                            avx512 | auto (default: auto-detect)"
     )
 }
 
@@ -95,6 +98,16 @@ fn parse_args() -> Result<Option<Args>, String> {
                 Some(Ok(r)) if r >= 1 => parsed.repeats = r,
                 Some(_) => return Err("--repeats requires a positive integer".into()),
                 None => return Err("--repeats requires a value".into()),
+            },
+            "--isa" => match args
+                .next()
+                .map(|v| v.parse::<buckwild_kernels::KernelIsa>())
+            {
+                Some(Ok(isa)) => {
+                    let _ = buckwild_kernels::isa::set_active(isa);
+                }
+                Some(Err(e)) => return Err(format!("--isa: {e}")),
+                None => return Err("--isa requires scalar|avx2|avx512|auto".into()),
             },
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unrecognized argument `{other}`")),

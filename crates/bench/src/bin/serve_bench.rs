@@ -13,7 +13,7 @@
 //! serve_bench [--seconds <f64>] [--clients <n>] [--rows <n>]
 //!             [--shards <n>] [--backend shared|sharded]
 //!             [--features <n>] [--examples <n>] [--train-threads <n>]
-//!             [--seed <n>] [--compact]
+//!             [--seed <n>] [--isa <isa>] [--compact]
 //! ```
 
 use std::process::ExitCode;
@@ -47,6 +47,7 @@ fn usage() -> String {
          --examples <n>       training examples (default {})\n\
          --train-threads <n>  training workers (default {})\n\
          --seed <n>           problem/batch seed (default {})\n\
+         --isa <isa>          kernel ISA tier: scalar | avx2 | avx512 | auto\n\
          --compact            single-line JSON instead of pretty",
         d.seconds,
         d.clients,
@@ -97,6 +98,16 @@ fn parse_args() -> Result<Option<Args>, String> {
                 Some("sharded") => parsed.opts.backend = Backend::ShardedDelta,
                 Some(other) => return Err(format!("unknown backend `{other}`")),
                 None => return Err("--backend requires shared|sharded".into()),
+            },
+            "--isa" => match args
+                .next()
+                .map(|v| v.parse::<buckwild_kernels::KernelIsa>())
+            {
+                Some(Ok(isa)) => {
+                    let _ = buckwild_kernels::isa::set_active(isa);
+                }
+                Some(Err(e)) => return Err(format!("--isa: {e}")),
+                None => return Err("--isa requires scalar|avx2|avx512|auto".into()),
             },
             "--compact" => parsed.compact = true,
             "--help" | "-h" => return Ok(None),

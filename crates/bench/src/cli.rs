@@ -26,6 +26,7 @@
 use std::process::ExitCode;
 
 use buckwild::{Backend, KernelFlavor};
+use buckwild_kernels::KernelIsa;
 use buckwild_telemetry::json::Value;
 use buckwild_telemetry::ExperimentResult;
 
@@ -59,6 +60,10 @@ pub struct Options {
     /// experiment builds its configurations (`--kernel bitserial` runs
     /// every dense fixed-point kernel through the MLWeaving layout).
     pub kernel: Option<KernelFlavor>,
+    /// Optional kernel-ISA override, pinned process-wide before the
+    /// experiment runs (`--isa scalar` forces the chunked fallback;
+    /// requests above the hardware are clamped).
+    pub isa: Option<KernelIsa>,
 }
 
 fn usage(name: &str) -> String {
@@ -66,6 +71,7 @@ fn usage(name: &str) -> String {
         "usage: {name} [--format {{text,json}}] [--json <path>] [--seed <u64>]\n\
                        [--trace <path>] [--roofline] [--backend {{shared,sharded}}]\n\
                        [--kernel {{generic,optimized,proposed,bitserial}}]\n\
+                       [--isa {{scalar,avx2,avx512,auto}}]\n\
          \n\
            --format text   aligned tables on stdout (default)\n\
          --format json   ExperimentResult JSON on stdout\n\
@@ -78,6 +84,9 @@ fn usage(name: &str) -> String {
          --kernel <k>    kernel flavour for every training run: `generic`,\n\
                          `optimized` (default), `proposed`, or `bitserial`\n\
                          (MLWeaving plane-major layout)\n\
+         --isa <isa>     kernel instruction-set tier: `scalar`, `avx2`,\n\
+                         `avx512`, or `auto` (default: BUCKWILD_ISA or the\n\
+                         hardware probe; clamped to what the CPU supports)\n\
          \n\
          budget knobs (environment): BUCKWILD_SECONDS, BUCKWILD_FULL=1"
     )
@@ -97,6 +106,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Options>,
         roofline: false,
         backend: None,
         kernel: None,
+        isa: None,
     };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -142,6 +152,13 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Option<Options>,
                                 or bitserial)"
                         .into())
                 }
+            },
+            "--isa" => match it.next() {
+                Some(value) => match value.parse() {
+                    Ok(isa) => options.isa = Some(isa),
+                    Err(e) => return Err(format!("invalid ISA `{value}`: {e}")),
+                },
+                None => return Err("--isa requires a value (scalar, avx2, avx512, or auto)".into()),
             },
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unrecognized argument `{other}`")),
@@ -242,6 +259,11 @@ fn apply_backend(options: &Options) {
     if let Some(flavor) = options.kernel {
         buckwild::set_default_kernel(flavor);
     }
+    if let Some(isa) = options.isa {
+        // First pin wins by design; kernels have not run yet at this point,
+        // so the flag always lands.
+        let _ = buckwild_kernels::isa::set_active(isa);
+    }
 }
 
 /// Entry point for a single-experiment binary: parses the process
@@ -325,6 +347,19 @@ mod tests {
         assert!(parse(args(&["--backend", "mongodb"])).is_err());
         assert!(parse(args(&["--kernel"])).is_err());
         assert!(parse(args(&["--kernel", "quantum"])).is_err());
+        assert!(parse(args(&["--isa"])).is_err());
+        assert!(parse(args(&["--isa", "quantum"])).is_err());
+    }
+
+    #[test]
+    fn parses_isa() {
+        let options = parse(args(&["--isa", "scalar"])).unwrap().unwrap();
+        assert_eq!(options.isa, Some(KernelIsa::Scalar));
+        let options = parse(args(&["--isa", "avx2"])).unwrap().unwrap();
+        assert_eq!(options.isa, Some(KernelIsa::Avx2));
+        let options = parse(args(&["--isa", "auto"])).unwrap().unwrap();
+        assert_eq!(options.isa, Some(buckwild_kernels::isa::detected()));
+        assert_eq!(parse(args(&[])).unwrap().unwrap().isa, None);
     }
 
     #[test]

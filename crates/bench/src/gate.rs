@@ -70,6 +70,11 @@ pub struct Hardware {
     pub cache_line_bytes: u64,
     /// Widest available SIMD vector, in bits.
     pub simd_width_bits: u32,
+    /// Kernel ISA tier the rows were measured under (`scalar`, `avx2`,
+    /// `avx512`). Reflects the *active* tier — an override (`--isa`,
+    /// `BUCKWILD_ISA`) changes it, so a baseline pinned to one tier is
+    /// never silently compared against another.
+    pub isa: String,
 }
 
 impl Hardware {
@@ -80,6 +85,7 @@ impl Hardware {
             core_count: buckwild_affinity::core_count(),
             cache_line_bytes: buckwild_affinity::cache_line_bytes(),
             simd_width_bits: buckwild_affinity::simd_width_bits(),
+            isa: buckwild_kernels::isa::active().name().to_string(),
         }
     }
 }
@@ -283,6 +289,35 @@ pub fn run_kernels_gate(seconds: f64, repeats: usize) -> GateReport {
             .collect();
         benches.push(row_from_samples(name, samples));
     }
+    // Per-ISA rows: the flagship dense signatures re-measured under each
+    // ISA tier the machine supports, so the committed baseline shows the
+    // SIMD speedup ladder (`@scalar` is the portable floor, `@avx2` /
+    // `@avx512` the vector tiers). An active override caps the ladder —
+    // `--isa scalar` emits only the scalar rung.
+    for tier in buckwild_kernels::isa::KernelIsa::ALL {
+        if tier > buckwild_kernels::isa::active() {
+            continue;
+        }
+        let _pin = buckwild_kernels::isa::scoped(tier);
+        for sig_text in ["D8M8", "D16M16"] {
+            let signature = sig_text.parse().expect("valid signature");
+            let samples: Vec<f64> = (0..repeats)
+                .map(|_| {
+                    measure_dense_t1(
+                        &signature,
+                        KernelFlavor::Optimized,
+                        QuantizerKind::XorshiftShared,
+                        KERNEL_N,
+                        seconds,
+                    )
+                })
+                .collect();
+            benches.push(row_from_samples(
+                &format!("kernel/dense/{sig_text}/optimized@{tier}"),
+                samples,
+            ));
+        }
+    }
     GateReport {
         hardware: Hardware::probe(),
         seed: GATE_SEED,
@@ -382,6 +417,7 @@ impl GateReport {
                         "simd_width_bits",
                         Value::from(u64::from(self.hardware.simd_width_bits)),
                     ),
+                    ("isa", Value::from(self.hardware.isa.as_str())),
                 ]),
             ),
             ("seed", Value::from(self.seed)),
@@ -408,6 +444,13 @@ impl GateReport {
             core_count: u(hw, "core_count")? as usize,
             cache_line_bytes: u(hw, "cache_line_bytes")?,
             simd_width_bits: u(hw, "simd_width_bits")? as u32,
+            // Lenient: baselines captured before the ISA field existed
+            // still parse (and will mismatch, which is the honest answer).
+            isa: hw
+                .get("isa")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
         };
         let mut benches = Vec::new();
         for b in doc
@@ -446,12 +489,13 @@ impl GateReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "bench gate (seed {}, {} repeats) on {} core(s), {}B lines, {}-bit SIMD",
+            "bench gate (seed {}, {} repeats) on {} core(s), {}B lines, {}-bit SIMD, {} isa",
             self.seed,
             self.repeats,
             self.hardware.core_count,
             self.hardware.cache_line_bytes,
             self.hardware.simd_width_bits,
+            self.hardware.isa,
         );
         let width = self
             .benches
@@ -488,14 +532,16 @@ impl GateReport {
     pub fn check_against(&self, baseline: &GateReport) -> Vec<String> {
         if self.hardware != baseline.hardware {
             return vec![format!(
-                "hardware mismatch (baseline {} cores / {}B lines / {}-bit SIMD, \
-                 this machine {} / {}B / {}-bit): skipping row comparison",
+                "hardware mismatch (baseline {} cores / {}B lines / {}-bit SIMD / {} isa, \
+                 this machine {} / {}B / {}-bit / {}): skipping row comparison",
                 baseline.hardware.core_count,
                 baseline.hardware.cache_line_bytes,
                 baseline.hardware.simd_width_bits,
+                baseline.hardware.isa,
                 self.hardware.core_count,
                 self.hardware.cache_line_bytes,
                 self.hardware.simd_width_bits,
+                self.hardware.isa,
             )];
         }
         let mut warnings = Vec::new();
@@ -567,6 +613,10 @@ mod tests {
             "kernel/sparse/D8i16M8/bitserial",
             "weave/truncate/D4@16",
             "weave/truncate/D8@16",
+            // Scalar is always a supported tier, so its per-ISA ladder
+            // rungs are present on every machine.
+            "kernel/dense/D8M8/optimized@scalar",
+            "kernel/dense/D16M16/optimized@scalar",
         ] {
             assert!(
                 names.contains(&expected),
@@ -615,6 +665,7 @@ mod tests {
                 core_count: 4,
                 cache_line_bytes: 64,
                 simd_width_bits: 256,
+                isa: "avx2".into(),
             },
             seed: GATE_SEED,
             repeats: 5,

@@ -19,6 +19,10 @@
 //!   under the word-major `optimized` flavour and once under the
 //!   bit-serial (MLWeaving) flavour, so the plane-major layout gets the
 //!   same compute/memory/coherence bound classification as the baseline.
+//!   A per-ISA ladder re-profiles the flagship D8M8 signature under each
+//!   supported kernel ISA tier (`@scalar`, `@avx2`, `@avx512`) with the
+//!   width-scaled cost model next to GNPS measured under a scoped tier
+//!   override, and the report header records the active tier.
 //!   A fault-injected chaos run contributes the observed write-staleness,
 //!   progress-lag, and stall distributions.
 //!
@@ -30,8 +34,8 @@ use buckwild::{Backend, ChaosSgdConfig, FaultPlan, Loss, NoopInjector, SgdConfig
 use buckwild_cachesim::{Machine, SgdWorkload, SimConfig};
 use buckwild_dataset::generate;
 use buckwild_dmgc::{RooflineEntry, RooflineReport, Signature};
-use buckwild_kernels::cost::{iteration_mix, CostParams, QuantizerKind};
-use buckwild_kernels::KernelFlavor;
+use buckwild_kernels::cost::{iteration_mix, iteration_mix_isa, CostParams, QuantizerKind};
+use buckwild_kernels::{isa, KernelFlavor, KernelIsa};
 use buckwild_telemetry::{NoopRecorder, Recorder, ShardedRecorder};
 use buckwild_trace::{Phase, RingTracer, Trace};
 
@@ -281,6 +285,7 @@ pub fn roofline_report(seed: u64) -> RooflineReport {
 pub fn roofline_with_backends(seed: u64) -> (RooflineReport, BackendComparison) {
     let params = CostParams::xeon();
     let mut report = RooflineReport::new("paper-xeon");
+    report.set_isa(isa::active().name());
     let mut profile = |text: &str, flavor: KernelFlavor| {
         let signature: Signature = text.parse().expect("valid signature");
         let quantizer = quantizer_for(&signature);
@@ -302,6 +307,33 @@ pub fn roofline_with_backends(seed: u64) -> (RooflineReport, BackendComparison) 
     }
     for text in BITSERIAL_SIGNATURES {
         profile(text, KernelFlavor::BitSerial);
+    }
+    // Per-ISA ladder: the flagship dense signature re-profiled under each
+    // ISA tier this machine supports — the width-scaled cost-model
+    // prediction next to kernel GNPS measured under a scoped tier
+    // override. An active override caps the ladder at its tier.
+    for tier in KernelIsa::ALL {
+        if tier > isa::active() {
+            continue;
+        }
+        let signature: Signature = "D8M8".parse().expect("valid signature");
+        let quantizer = quantizer_for(&signature);
+        let mix = iteration_mix_isa(&signature, KernelFlavor::Optimized, quantizer, tier);
+        let compute = mix.total_instrs() / params.issue_per_cycle;
+        let memory = mix.dataset_bytes / params.bytes_per_cycle
+            + params.overhead_per_32b * mix.dataset_bytes / 32.0;
+        let measured = {
+            let _pin = isa::scoped(tier);
+            measured_gnps(&signature, KernelFlavor::Optimized, seed)
+        };
+        report.push(RooflineEntry {
+            label: format!("D8M8/optimized@{tier}"),
+            compute_cycles: compute,
+            memory_cycles: memory,
+            coherence_cycles: simulated_coherence_cycles(&signature),
+            predicted_gnps: params.estimate_gnps(&mix),
+            measured_gnps: measured,
+        });
     }
     let comparison = backend_comparison(seed);
     report.push(comparison.shared.clone());
@@ -367,6 +399,14 @@ mod tests {
         assert!(labels.iter().any(|l| l.starts_with("D8M8")), "{labels:?}");
         assert!(labels.contains(&"D8M8/bitserial"), "{labels:?}");
         assert!(labels.contains(&"D16M16/bitserial"), "{labels:?}");
+        // Per-ISA ladder: scalar is always supported, and the report
+        // records the active tier it ran under.
+        assert!(labels.contains(&"D8M8/optimized@scalar"), "{labels:?}");
+        assert!(
+            labels.contains(&format!("D8M8/optimized@{}", isa::active()).as_str()),
+            "{labels:?}"
+        );
+        assert_eq!(report.isa(), Some(isa::active().name()));
         for e in report.entries() {
             assert!(e.compute_cycles > 0.0, "{}", e.label);
             assert!(e.memory_cycles > 0.0, "{}", e.label);

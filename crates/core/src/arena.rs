@@ -347,22 +347,18 @@ impl LocalModel<'_> {
     }
 
     /// Dense dot against a fixed-point example (integer MAC).
+    ///
+    /// The integer arms route through the optimized kernels: integer
+    /// addition commutes, so the chunked (and, when active, SIMD)
+    /// accumulation is bit-identical to a plain left-to-right sum.
     pub(crate) fn dot_fixed<D: FixedInt>(&self, x: &[D], x_spec: &FixedSpec) -> f32 {
         assert_eq!(x.len(), self.len(), "length mismatch");
         match &self.store {
             LocalStore::I8(w) => {
-                let mut total = 0i64;
-                for (xi, &wi) in x.iter().zip(w.iter()) {
-                    total += (xi.widen() * i32::from(wi)) as i64;
-                }
-                total as f32 * x_spec.quantum() * self.spec.quantum()
+                buckwild_kernels::optimized::dot_fixed_fixed(x, w, x_spec, &self.spec)
             }
             LocalStore::I16(w) => {
-                let mut total = 0i64;
-                for (xi, &wi) in x.iter().zip(w.iter()) {
-                    total += (xi.widen() * i32::from(wi)) as i64;
-                }
-                total as f32 * x_spec.quantum() * self.spec.quantum()
+                buckwild_kernels::optimized::dot_fixed_fixed(x, w, x_spec, &self.spec)
             }
             LocalStore::F32(w) => {
                 let mut acc = 0f32;

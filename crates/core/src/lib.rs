@@ -110,7 +110,7 @@ pub use buckwild_chaos::{
 };
 pub use buckwild_dmgc::Signature;
 pub use buckwild_fixed::Rounding;
-pub use buckwild_kernels::KernelFlavor;
+pub use buckwild_kernels::{isa as kernel_isa, KernelFlavor, KernelIsa};
 pub use buckwild_prng::PrngKind;
 pub use buckwild_trace::{
     fault_kind, NoopTracer, NoopWorkerTracer, Phase, RingTracer, SpanEvent, Trace, Tracer,

@@ -158,6 +158,11 @@ pub struct ObservedDistribution {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RooflineReport {
     machine: String,
+    /// Kernel ISA tier the measured entries ran under (`"scalar"`,
+    /// `"avx2"`, `"avx512"`). A plain string because this crate sits
+    /// below `buckwild-kernels` in the dependency graph; producers set it
+    /// from the kernel crate's runtime probe.
+    isa: Option<String>,
     entries: Vec<RooflineEntry>,
     distributions: Vec<ObservedDistribution>,
 }
@@ -169,9 +174,21 @@ impl RooflineReport {
     pub fn new(machine: impl Into<String>) -> Self {
         RooflineReport {
             machine: machine.into(),
+            isa: None,
             entries: Vec::new(),
             distributions: Vec::new(),
         }
+    }
+
+    /// Records the kernel ISA tier the measured entries ran under.
+    pub fn set_isa(&mut self, isa: impl Into<String>) {
+        self.isa = Some(isa.into());
+    }
+
+    /// The recorded kernel ISA tier, when one was set.
+    #[must_use]
+    pub fn isa(&self) -> Option<&str> {
+        self.isa.as_deref()
     }
 
     /// Adds a profiled configuration.
@@ -211,7 +228,14 @@ impl RooflineReport {
     pub fn render_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "DMGC roofline (machine: {})", self.machine);
+        match &self.isa {
+            Some(isa) => {
+                let _ = writeln!(out, "DMGC roofline (machine: {}, isa: {isa})", self.machine);
+            }
+            None => {
+                let _ = writeln!(out, "DMGC roofline (machine: {})", self.machine);
+            }
+        }
         let label_w = self
             .entries
             .iter()
@@ -309,6 +333,12 @@ impl RooflineReport {
             .collect();
         Value::object(vec![
             ("machine", Value::from(self.machine.as_str())),
+            (
+                "isa",
+                self.isa
+                    .as_deref()
+                    .map_or(Value::Null, Value::from),
+            ),
             ("entries", Value::Array(entries)),
             ("distributions", Value::Array(distributions)),
         ])
@@ -384,6 +414,25 @@ mod tests {
         assert!(text.contains("memory"), "both entries are memory bound");
         assert!(text.contains("write staleness (ticks): n=10"));
         assert!(text.contains("90%"), "efficiency column: {text}");
+    }
+
+    #[test]
+    fn isa_annotation_shows_in_header_and_json() {
+        let mut report = RooflineReport::new("paper-xeon");
+        assert_eq!(report.isa(), None);
+        report.set_isa("avx512");
+        assert_eq!(report.isa(), Some("avx512"));
+        assert!(report
+            .render_text()
+            .contains("DMGC roofline (machine: paper-xeon, isa: avx512)"));
+        let json = report.to_json_value();
+        assert_eq!(json.get("isa").and_then(Value::as_str), Some("avx512"));
+        // Without an ISA the field is null and the header is unchanged.
+        let bare = RooflineReport::new("paper-xeon");
+        assert!(bare
+            .render_text()
+            .contains("DMGC roofline (machine: paper-xeon)\n"));
+        assert!(matches!(bare.to_json_value().get("isa"), Some(Value::Null)));
     }
 
     #[test]

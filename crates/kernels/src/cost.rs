@@ -25,7 +25,7 @@
 
 use buckwild_dmgc::Signature;
 
-use crate::KernelFlavor;
+use crate::{KernelFlavor, KernelIsa};
 
 /// How rounding randomness is produced — the Figure 5b cost axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -149,8 +149,8 @@ impl Default for CostParams {
 
 /// Effective vector-register element count for a precision pair: the wider
 /// of the two operand types limits the lane count.
-fn elements_per_block(d_bits: u32, m_bits: u32) -> f64 {
-    256.0 / d_bits.max(m_bits) as f64
+fn elements_per_block(d_bits: u32, m_bits: u32, width_bits: f64) -> f64 {
+    width_bits / d_bits.max(m_bits) as f64
 }
 
 /// Builds the per-element [`InstructionMix`] for one SGD iteration under
@@ -168,6 +168,39 @@ pub fn iteration_mix(
     flavor: KernelFlavor,
     quantizer: QuantizerKind,
 ) -> InstructionMix {
+    mix_with_width(signature, flavor, quantizer, 256.0)
+}
+
+/// [`iteration_mix`] for an explicit [`KernelIsa`] tier: the block width
+/// every lane-count term divides by tracks the tier's vector registers
+/// (128-bit for the autovectorized scalar fallback, 256 for AVX2, 512 for
+/// AVX-512). `KernelIsa::Avx2` is exactly [`iteration_mix`] — the model
+/// was calibrated against the paper's AVX2 sequences.
+///
+/// The bit-serial flavour's plane-pair AND/POPCNT work runs on 64-bit
+/// words at every tier, so only its model-side load fractions scale —
+/// matching the implementation, where `popcnt` is the whole fast path.
+#[must_use]
+pub fn iteration_mix_isa(
+    signature: &Signature,
+    flavor: KernelFlavor,
+    quantizer: QuantizerKind,
+    isa: KernelIsa,
+) -> InstructionMix {
+    mix_with_width(
+        signature,
+        flavor,
+        quantizer,
+        f64::from(isa.simd_width_bits()),
+    )
+}
+
+fn mix_with_width(
+    signature: &Signature,
+    flavor: KernelFlavor,
+    quantizer: QuantizerKind,
+    width_bits: f64,
+) -> InstructionMix {
     let d_bits = signature.dataset_bits();
     let m_bits = signature.model_bits();
     let d_float = signature.dataset().is_float();
@@ -175,9 +208,9 @@ pub fn iteration_mix(
 
     let (vec_per_block, epb) = match flavor {
         KernelFlavor::Generic => {
-            // Everything is widened to f32: 8 lanes per block regardless of
-            // storage width, with explicit convert instructions.
-            let epb = 8.0;
+            // Everything is widened to f32: one f32 lane per 32 register
+            // bits regardless of storage width, with explicit converts.
+            let epb = width_bits / 32.0;
             let d_conv = if d_float { 0.0 } else { 2.0 };
             let m_conv = if m_float { 0.0 } else { 2.0 };
             // dot: load+load+converts+mul+add; axpy: load+load+converts+
@@ -207,18 +240,18 @@ pub fn iteration_mix(
             // both operands are wide, and why it wins when either the
             // precision is tiny or the stream is the bottleneck.
             let epb = 64.0;
-            let m_frac = 64.0 * m_bits as f64 / 256.0;
+            let m_frac = 64.0 * m_bits as f64 / width_bits;
             let pairs = 2.0 * (d_bits as f64 * m_bits as f64);
             let dot = d_bits as f64 + m_bits as f64 + pairs; // plane loads + AND/POPCNT pairs
             let axpy = 2.0 * d_bits as f64 + 2.0 * m_frac + 2.0; // decode planes, load/store w
             (dot + axpy, epb)
         }
         KernelFlavor::Optimized | KernelFlavor::Proposed | KernelFlavor::BitSerial => {
-            let epb = elements_per_block(d_bits, m_bits);
+            let epb = elements_per_block(d_bits, m_bits, width_bits);
             // Fractional loads: a narrower operand fills only part of a
-            // 256-bit load per block of `epb` elements.
-            let d_frac = epb * d_bits as f64 / 256.0;
-            let m_frac = epb * m_bits as f64 / 256.0;
+            // register-wide load per block of `epb` elements.
+            let d_frac = epb * d_bits as f64 / width_bits;
+            let m_frac = epb * m_bits as f64 / width_bits;
             let all_float = d_float && m_float;
             let (dot_alu, axpy_alu) = match flavor {
                 KernelFlavor::Proposed => (1.0, 1.0),
@@ -248,6 +281,18 @@ pub fn iteration_mix(
 #[must_use]
 pub fn estimate_gnps(signature: &Signature, flavor: KernelFlavor, quantizer: QuantizerKind) -> f64 {
     CostParams::xeon().estimate_gnps(&iteration_mix(signature, flavor, quantizer))
+}
+
+/// [`estimate_gnps`] for an explicit [`KernelIsa`] tier (the per-ISA gate
+/// and roofline rows).
+#[must_use]
+pub fn estimate_gnps_isa(
+    signature: &Signature,
+    flavor: KernelFlavor,
+    quantizer: QuantizerKind,
+    isa: KernelIsa,
+) -> f64 {
+    CostParams::xeon().estimate_gnps(&iteration_mix_isa(signature, flavor, quantizer, isa))
 }
 
 /// [`InstructionMix`] for a bit-serial iteration that *serves* only the
@@ -513,6 +558,70 @@ mod tests {
             let opt = iteration_mix(&sig(s), KernelFlavor::Optimized, QuantizerKind::Biased);
             assert_eq!(bs, opt, "{s}");
         }
+    }
+
+    #[test]
+    fn avx2_isa_mix_is_the_calibrated_mix() {
+        for s in ["D8M8", "D16M16", "D32fM32f", "D8i16M8"] {
+            for flavor in [KernelFlavor::Optimized, KernelFlavor::Generic] {
+                let base = iteration_mix(&sig(s), flavor, QuantizerKind::XorshiftShared);
+                let avx2 = iteration_mix_isa(
+                    &sig(s),
+                    flavor,
+                    QuantizerKind::XorshiftShared,
+                    KernelIsa::Avx2,
+                );
+                assert_eq!(base, avx2, "{s} {flavor:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wider_isa_estimates_strictly_faster_dense_kernels() {
+        for s in ["D8M8", "D16M16"] {
+            let scalar = estimate_gnps_isa(
+                &sig(s),
+                KernelFlavor::Optimized,
+                QuantizerKind::XorshiftShared,
+                KernelIsa::Scalar,
+            );
+            let avx2 = estimate_gnps_isa(
+                &sig(s),
+                KernelFlavor::Optimized,
+                QuantizerKind::XorshiftShared,
+                KernelIsa::Avx2,
+            );
+            let avx512 = estimate_gnps_isa(
+                &sig(s),
+                KernelFlavor::Optimized,
+                QuantizerKind::XorshiftShared,
+                KernelIsa::Avx512,
+            );
+            assert!(
+                scalar < avx2 && avx2 < avx512,
+                "{s}: {scalar} {avx2} {avx512}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitserial_plane_work_does_not_scale_with_isa() {
+        // The popcnt loop runs on 64-bit words at every tier; only the
+        // model-side load fractions narrow, so the per-ISA spread must be
+        // far smaller than the dense kernels'.
+        let bs_scalar = estimate_gnps_isa(
+            &sig("D8M8"),
+            KernelFlavor::BitSerial,
+            QuantizerKind::Biased,
+            KernelIsa::Scalar,
+        );
+        let bs_512 = estimate_gnps_isa(
+            &sig("D8M8"),
+            KernelFlavor::BitSerial,
+            QuantizerKind::Biased,
+            KernelIsa::Avx512,
+        );
+        assert!(bs_512 / bs_scalar < 1.5, "spread {}", bs_512 / bs_scalar);
     }
 
     #[test]

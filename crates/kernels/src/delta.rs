@@ -49,6 +49,12 @@ pub fn quantize_delta_i8(delta: &[f32], out: &mut [i8]) -> Option<f32> {
 /// Panics if `acc.len() != q.len()`.
 pub fn apply_delta_i8(acc: &mut [f32], q: &[i8], scale: f32) {
     assert_eq!(acc.len(), q.len(), "acc/q length mismatch");
+    // The quantizer stays scalar (its round-half-away-from-zero has no
+    // vector equivalent that matches bit for bit), but the apply sweep is
+    // element-independent and takes the explicit SIMD path when active.
+    if crate::simd::axpy_i8_f32(acc, q, scale) {
+        return;
+    }
     for (a, &v) in acc.iter_mut().zip(q) {
         *a += scale * f32::from(v);
     }

@@ -54,13 +54,17 @@
 //! assert!((fast - bits).abs() < 1e-4);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one module:
+// `simd`, whose `std::arch` intrinsics sit behind the runtime feature
+// probe in [`isa`]. Everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;
 pub mod delta;
 pub mod dispatch;
 pub mod generic;
+pub mod isa;
 pub mod nibble;
 pub mod optimized;
 pub mod sparse;
@@ -68,8 +72,10 @@ pub mod weave;
 
 mod flavor;
 mod rand_source;
+mod simd;
 
 pub use flavor::KernelFlavor;
+pub use isa::KernelIsa;
 pub use rand_source::AxpyRand;
 
 /// Width (in 32-bit lanes) of one simulated vector register: AVX2 = 256 bit.

@@ -20,6 +20,7 @@ use buckwild_dataset::Element;
 use buckwild_fixed::FixedSpec;
 use buckwild_prng::XorshiftLanes;
 
+use crate::simd;
 use crate::AxpyRand;
 
 /// Fractional bits of the pre-scaled AXPY multiplier.
@@ -28,7 +29,10 @@ const K_SHIFT: u32 = 15;
 /// Fixed-point integer element types the optimized kernels accept.
 ///
 /// Sealed: the kernels are specialized for `i8`, `i16`, and `i32`.
-pub trait FixedInt: Element + sealed::Sealed {
+/// The (hidden) `simd::Reinterpret` supertrait lets the generic kernels
+/// hand concrete `i8`/`i16` slices to the explicit `std::arch` paths
+/// without any unsafe type dispatch.
+pub trait FixedInt: Element + sealed::Sealed + simd::Reinterpret {
     /// Widens to `i32` (always exact).
     fn widen(self) -> i32;
     /// Narrows from `i64` with saturation.
@@ -95,6 +99,11 @@ pub fn dot_fixed_fixed<D: FixedInt, M: FixedInt>(
     // same widening-MAC instructions the paper hand-writes. Wider pairs
     // (i16 x i16) accumulate each block in i64 lanes.
     if D::BITS + M::BITS <= 30 {
+        if let (Some(xs), Some(ws)) = (D::as_i8s(x), M::as_i8s(w)) {
+            if let Some(total) = simd::dot_i8_i8(xs, ws) {
+                return total as f32 * x_spec.quantum() * w_spec.quantum();
+            }
+        }
         let mut xc = x.chunks_exact(DOT_BLOCK);
         let mut wc = w.chunks_exact(DOT_BLOCK);
         for (xb, wb) in (&mut xc).zip(&mut wc) {
@@ -108,6 +117,11 @@ pub fn dot_fixed_fixed<D: FixedInt, M: FixedInt>(
             total += (xi.widen() * wi.widen()) as i64;
         }
     } else {
+        if let (Some(xs), Some(ws)) = (D::as_i16s(x), M::as_i16s(w)) {
+            if let Some(total) = simd::dot_i16_i16(xs, ws) {
+                return total as f32 * x_spec.quantum() * w_spec.quantum();
+            }
+        }
         let mut xc = x.chunks_exact(16);
         let mut wc = w.chunks_exact(16);
         for (xb, wb) in (&mut xc).zip(&mut wc) {
@@ -162,6 +176,9 @@ pub fn dot_i16_i16(x: &[i16], w: &[i16], x_spec: &FixedSpec, w_spec: &FixedSpec)
 #[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_f32_f32(x: &[f32], w: &[f32]) -> f32 {
     assert_eq!(x.len(), w.len(), "length mismatch");
+    if let Some(total) = simd::dot_f32_f32(x, w) {
+        return total;
+    }
     let mut acc = [0f32; 8];
     let mut xc = x.chunks_exact(8);
     let mut wc = w.chunks_exact(8);
@@ -186,6 +203,15 @@ pub fn dot_f32_f32(x: &[f32], w: &[f32]) -> f32 {
 #[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_fixed_f32<D: FixedInt>(x: &[D], w: &[f32], x_spec: &FixedSpec) -> f32 {
     assert_eq!(x.len(), w.len(), "length mismatch");
+    if let Some(xs) = D::as_i8s(x) {
+        if let Some(total) = simd::dot_i8_f32(xs, w) {
+            return total * x_spec.quantum();
+        }
+    } else if let Some(xs) = D::as_i16s(x) {
+        if let Some(total) = simd::dot_i16_f32(xs, w) {
+            return total * x_spec.quantum();
+        }
+    }
     let mut acc = [0f32; 8];
     let mut xc = x.chunks_exact(8);
     let mut wc = w.chunks_exact(8);
@@ -210,6 +236,15 @@ pub fn dot_fixed_f32<D: FixedInt>(x: &[D], w: &[f32], x_spec: &FixedSpec) -> f32
 #[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn dot_f32_fixed<M: FixedInt>(x: &[f32], w: &[M], w_spec: &FixedSpec) -> f32 {
     assert_eq!(x.len(), w.len(), "length mismatch");
+    if let Some(ws) = M::as_i8s(w) {
+        if let Some(total) = simd::dot_f32_i8(x, ws) {
+            return total * w_spec.quantum();
+        }
+    } else if let Some(ws) = M::as_i16s(w) {
+        if let Some(total) = simd::dot_f32_i16(x, ws) {
+            return total * w_spec.quantum();
+        }
+    }
     let mut acc = [0f32; 8];
     let mut xc = x.chunks_exact(8);
     let mut wc = w.chunks_exact(8);
@@ -230,6 +265,18 @@ pub fn dot_f32_fixed<M: FixedInt>(x: &[f32], w: &[M], w_spec: &FixedSpec) -> f32
 /// amortized across the batch — the MLWeaving argument for low-precision
 /// serving, applied at the register-blocking level.
 const BATCH_ROWS: usize = 4;
+
+/// Type-dispatches a four-row batched block to the matching SIMD
+/// monomorph; `None` → the scalar register-blocked loop runs.
+fn simd_batch4_f32_fixed<M: FixedInt>(rows: [&[f32]; 4], w: &[M]) -> Option<[f32; 4]> {
+    if let Some(ws) = M::as_i8s(w) {
+        simd::dot_batch4_f32_i8(rows, ws)
+    } else if let Some(ws) = M::as_i16s(w) {
+        simd::dot_batch4_f32_i16(rows, ws)
+    } else {
+        None
+    }
+}
 
 /// Row-major batched dot of float queries against one fixed-point model:
 /// `out[r] = q_w · Σ_i batch[r·n + i]·w[i]` for `n = w.len()` and
@@ -253,6 +300,13 @@ pub fn dot_batch_f32_fixed<M: FixedInt>(
         let x1 = &batch[(r + 1) * n..(r + 2) * n];
         let x2 = &batch[(r + 2) * n..(r + 3) * n];
         let x3 = &batch[(r + 3) * n..(r + 4) * n];
+        if let Some(totals) = simd_batch4_f32_fixed([x0, x1, x2, x3], w) {
+            for (k, t) in totals.iter().enumerate() {
+                out[r + k] = t * w_spec.quantum();
+            }
+            r += BATCH_ROWS;
+            continue;
+        }
         let mut acc = [[0f32; 8]; BATCH_ROWS];
         let mut i = 0usize;
         while i + 8 <= n {
@@ -282,6 +336,10 @@ pub fn dot_batch_f32_fixed<M: FixedInt>(
         }
         r += BATCH_ROWS;
     }
+    if n == 0 {
+        out[r..].fill(0.0);
+        return;
+    }
     for (o, x) in out[r..].iter_mut().zip(batch[r * n..].chunks_exact(n)) {
         *o = dot_f32_fixed(x, w, w_spec);
     }
@@ -303,6 +361,11 @@ pub fn dot_batch_f32_f32(batch: &[f32], w: &[f32], out: &mut [f32]) {
         let x1 = &batch[(r + 1) * n..(r + 2) * n];
         let x2 = &batch[(r + 2) * n..(r + 3) * n];
         let x3 = &batch[(r + 3) * n..(r + 4) * n];
+        if let Some(totals) = simd::dot_batch4_f32_f32([x0, x1, x2, x3], w) {
+            out[r..r + BATCH_ROWS].copy_from_slice(&totals);
+            r += BATCH_ROWS;
+            continue;
+        }
         let mut acc = [[0f32; 8]; BATCH_ROWS];
         let mut i = 0usize;
         while i + 8 <= n {
@@ -327,6 +390,10 @@ pub fn dot_batch_f32_f32(batch: &[f32], w: &[f32], out: &mut [f32]) {
         }
         out[r..r + BATCH_ROWS].copy_from_slice(&totals);
         r += BATCH_ROWS;
+    }
+    if n == 0 {
+        out[r..].fill(0.0);
+        return;
     }
     for (o, x) in out[r..].iter_mut().zip(batch[r * n..].chunks_exact(n)) {
         *o = dot_f32_f32(x, w);
@@ -402,6 +469,9 @@ fn axpy_loop_offsets<D: FixedInt, M: FixedInt>(w: &mut [M], x: &[D], k: i64, off
     if k.abs().saturating_mul(max_x) < (1i64 << 30) {
         let k32 = k as i32;
         let offs32 = offs.map(|o| o as i32);
+        if simd_axpy_offsets(w, x, k32, &offs32) {
+            return;
+        }
         let mut wc = w.chunks_exact_mut(8);
         let mut xc = x.chunks_exact(8);
         for (wb, xb) in (&mut wc).zip(&mut xc) {
@@ -437,6 +507,27 @@ fn axpy_loop_offsets<D: FixedInt, M: FixedInt>(w: &mut [M], x: &[D], k: i64, off
             let delta = (xi.widen() as i64 * k + offs[j & 7]) >> K_SHIFT;
             *wi = M::saturate(wi.widen() as i64 + delta);
         }
+    }
+}
+
+/// Type-dispatches the i32 AXPY fast path to the matching SIMD monomorph;
+/// `false` → the scalar chunked loop runs.
+fn simd_axpy_offsets<D: FixedInt, M: FixedInt>(
+    w: &mut [M],
+    x: &[D],
+    k: i32,
+    offs: &[i32; 8],
+) -> bool {
+    if let (Some(xs), Some(ws)) = (D::as_i8s(x), M::as_i8s_mut(w)) {
+        simd::axpy_offsets_i8_i8(ws, xs, k, offs)
+    } else if let (Some(xs), Some(ws)) = (D::as_i8s(x), M::as_i16s_mut(w)) {
+        simd::axpy_offsets_i8_i16(ws, xs, k, offs)
+    } else if let (Some(xs), Some(ws)) = (D::as_i16s(x), M::as_i8s_mut(w)) {
+        simd::axpy_offsets_i16_i8(ws, xs, k, offs)
+    } else if let (Some(xs), Some(ws)) = (D::as_i16s(x), M::as_i16s_mut(w)) {
+        simd::axpy_offsets_i16_i16(ws, xs, k, offs)
+    } else {
+        false
     }
 }
 
@@ -565,6 +656,9 @@ pub fn axpy_i16_i16(
 #[doc(hidden)] // route through `crate::dispatch` outside this crate
 pub fn axpy_f32_f32(w: &mut [f32], a: f32, x: &[f32]) {
     assert_eq!(x.len(), w.len(), "length mismatch");
+    if simd::axpy_f32_f32(w, a, x) {
+        return;
+    }
     for (wi, &xi) in w.iter_mut().zip(x) {
         *wi += a * xi;
     }
@@ -579,6 +673,11 @@ pub fn axpy_f32_f32(w: &mut [f32], a: f32, x: &[f32]) {
 pub fn axpy_fixed_f32<D: FixedInt>(w: &mut [f32], a: f32, x: &[D], x_spec: &FixedSpec) {
     assert_eq!(x.len(), w.len(), "length mismatch");
     let scale = a * x_spec.quantum();
+    if let Some(xs) = D::as_i8s(x) {
+        if simd::axpy_i8_f32(w, xs, scale) {
+            return;
+        }
+    }
     for (wi, &xi) in w.iter_mut().zip(x) {
         *wi += scale * xi.widen() as f32;
     }

@@ -396,6 +396,11 @@ pub fn dot(x: WeavedSlice<'_>, w: WeavedSlice<'_>, x_bits: u32, w_bits: u32) -> 
     let wb = w.spec.bits();
     assert!(x_bits >= 1 && x_bits <= xb, "x truncation out of range");
     assert!(w_bits >= 1 && w_bits <= wb, "w truncation out of range");
+    if let Some(t) =
+        crate::simd::weave_dot_planes(x.planes, w.planes, x.blocks(), xb, wb, x_bits, w_bits)
+    {
+        return t as f32 * truncated_quantum(&x.spec, x_bits) * truncated_quantum(&w.spec, w_bits);
+    }
     let mut total = 0i64;
     for block in 0..x.blocks() {
         let xw = x.block_planes(block);
@@ -609,26 +614,46 @@ pub fn dot_sparse_fixed<D: FixedInt, I: IndexElement, M: FixedInt>(
         (1..=MAX_BITS).contains(&bits),
         "bit-serial requires 1..=16 data bits, got {bits}"
     );
-    let mut planes = [0u64; MAX_BITS as usize];
-    let mut total = 0i64;
-    for (block, chunk) in values.chunks(BLOCK).enumerate() {
-        weave_block(&mut planes, chunk, bits);
-        let base = block * BLOCK;
-        for (p, &word) in planes.iter().enumerate().take(bits as usize) {
-            if word == 0 {
-                continue;
+    SPARSE_GATHER.with(|scratch| {
+        let mut buf = scratch.borrow_mut();
+        buf.resize(BLOCK, 0);
+        let mut planes = [0u64; MAX_BITS as usize];
+        let mut total = 0i64;
+        for (block, chunk) in values.chunks(BLOCK).enumerate() {
+            weave_block(&mut planes, chunk, bits);
+            let base = block * BLOCK;
+            // Gather each model word once per chunk; every plane pass then
+            // reads the contiguous scratch instead of re-chasing the index
+            // slice up to `bits` times per nonzero (the 37.6 ns/number
+            // hotspot in the sparse gate row). Integer adds commute, so the
+            // total is unchanged bit for bit.
+            for (j, slot) in buf.iter_mut().enumerate().take(chunk.len()) {
+                *slot = w[indices[base + j].to_usize()].widen() as i64;
             }
-            let mut plane_sum = 0i64;
-            let mut wrd = word;
-            while wrd != 0 {
-                let j = wrd.trailing_zeros() as usize;
-                plane_sum += w[indices[base + j].to_usize()].widen() as i64;
-                wrd &= wrd - 1;
+            for (p, &word) in planes.iter().enumerate().take(bits as usize) {
+                if word == 0 {
+                    continue;
+                }
+                let mut plane_sum = 0i64;
+                let mut wrd = word;
+                while wrd != 0 {
+                    let j = wrd.trailing_zeros() as usize;
+                    plane_sum += buf[j];
+                    wrd &= wrd - 1;
+                }
+                total += plane_coeff(bits, p as u32) * plane_sum;
             }
-            total += plane_coeff(bits, p as u32) * plane_sum;
         }
-    }
-    total as f32 * x_spec.quantum() * w_spec.quantum()
+        total as f32 * x_spec.quantum() * w_spec.quantum()
+    })
+}
+
+thread_local! {
+    /// Reusable gather scratch for [`dot_sparse_fixed`]: the widened model
+    /// words of the current 64-nonzero chunk. Thread-local so the sparse
+    /// serving/training paths pay zero allocation per call.
+    static SPARSE_GATHER: std::cell::RefCell<Vec<i64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Weaved × weaved sparse-style dot where `w` is served truncated: the

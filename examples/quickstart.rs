@@ -4,6 +4,7 @@
 //! cargo run --release --example quickstart
 //! cargo run --release --example quickstart -- --backend sharded
 //! cargo run --release --example quickstart -- --kernel bitserial
+//! cargo run --release --example quickstart -- --isa scalar
 //! cargo run --release --example quickstart -- --trace /tmp/quickstart.json
 //! ```
 //!
@@ -71,11 +72,25 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }
             },
+            "--isa" => match args.next().map(|v| v.parse::<buckwild::KernelIsa>()) {
+                Some(Ok(isa)) => {
+                    let _ = buckwild::kernel_isa::set_active(isa);
+                }
+                Some(Err(e)) => {
+                    eprintln!("quickstart: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("quickstart: --isa requires `scalar`, `avx2`, `avx512`, or `auto`");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("quickstart: unrecognized argument `{other}`");
                 eprintln!(
                     "usage: quickstart [--backend {{shared,sharded}}] \
-                     [--kernel {{generic,optimized,proposed,bitserial}}] [--trace <path>]"
+                     [--kernel {{generic,optimized,proposed,bitserial}}] \
+                     [--isa {{scalar,avx2,avx512,auto}}] [--trace <path>]"
                 );
                 std::process::exit(2);
             }

@@ -1,0 +1,121 @@
+//! End-to-end training equivalence across kernel ISA tiers.
+//!
+//! The SIMD backend's contract is bit-identity with the scalar fallback,
+//! so whole training runs — not just individual kernels — must produce
+//! the same model whether the kernels ran scalar or vectorized. Single
+//! worker runs of the real engines are deterministic and compared bit
+//! for bit; the 2-worker shared-backend case uses the chaos simulator,
+//! which interleaves its simulated workers deterministically, so the
+//! async schedule is pinned and only the kernel code path varies. A real
+//! racy 2-worker run is additionally checked for convergence under both
+//! tiers (its schedule is nondeterministic, so only quality can be
+//! asserted, not bits).
+//!
+//! On machines without AVX2 the detected tier *is* scalar and every
+//! comparison is trivially true — the suite degrades to a no-op rather
+//! than failing, which is what the CI ISA matrix expects.
+
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use buckwild::{kernel_isa as isa, Backend, KernelIsa};
+use buckwild::{ChaosSgdConfig, FaultPlan, Loss, SgdConfig};
+use buckwild_dataset::generate;
+
+/// Serializes the pinned-ISA regions: the override is process-global.
+fn isa_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Runs `f` pinned to scalar, then pinned to the detected tier.
+fn under_both<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    let _serial = isa_lock().lock().unwrap_or_else(PoisonError::into_inner);
+    let scalar = {
+        let _pin = isa::scoped(KernelIsa::Scalar);
+        f()
+    };
+    let vector = {
+        let _pin = isa::scoped(isa::detected());
+        f()
+    };
+    (scalar, vector)
+}
+
+#[test]
+fn one_worker_training_is_bit_identical_across_isa_tiers() {
+    let p = generate::logistic_dense(48, 300, 7);
+    for sig in ["D32fM32f", "D16M16", "D8M8", "D8M16"] {
+        for backend in [Backend::SharedModel, Backend::ShardedDelta] {
+            let config = SgdConfig::new(Loss::Logistic)
+                .signature(sig.parse().unwrap())
+                .backend(backend)
+                .step_size(0.5)
+                .step_decay(0.9)
+                .epochs(4)
+                .threads(1)
+                .seed(71);
+            let (scalar, vector) = under_both(|| {
+                let report = config.clone().train(&p.data).unwrap();
+                (report.model().to_vec(), report.epoch_losses().to_vec())
+            });
+            assert_eq!(
+                scalar, vector,
+                "{sig}/{backend}: scalar and SIMD training must agree bit for bit"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_worker_shared_schedule_is_bit_identical_across_isa_tiers() {
+    // The chaos simulator executes the 2-worker shared-model schedule
+    // deterministically (single real thread, seeded interleaving), so the
+    // only degree of freedom between the two runs is the kernel ISA.
+    let p = generate::logistic_dense(64, 400, 29);
+    let config = ChaosSgdConfig::new(Loss::Logistic, FaultPlan::new(29))
+        .threads(2)
+        .step_size(0.4)
+        .epochs(3);
+    let (scalar, vector) = under_both(|| {
+        let report = config.train(&p.data).unwrap();
+        (
+            report.model().to_vec(),
+            report.epoch_losses().to_vec(),
+            report.iterations(),
+        )
+    });
+    assert_eq!(
+        scalar, vector,
+        "2-worker deterministic schedule: scalar and SIMD must agree bit for bit"
+    );
+}
+
+#[test]
+fn racy_two_worker_run_converges_under_both_isa_tiers() {
+    let p = generate::logistic_dense(64, 600, 97);
+    let losses = |tier: KernelIsa| {
+        let _serial = isa_lock().lock().unwrap_or_else(PoisonError::into_inner);
+        let _pin = isa::scoped(tier);
+        SgdConfig::new(Loss::Logistic)
+            .signature("D8M8".parse().unwrap())
+            .backend(Backend::SharedModel)
+            .step_size(0.5)
+            .step_decay(0.8)
+            .epochs(6)
+            .threads(2)
+            .seed(5)
+            .train(&p.data)
+            .unwrap()
+            .final_loss()
+    };
+    let scalar = losses(KernelIsa::Scalar);
+    let vector = losses(isa::detected());
+    // ln 2 ≈ 0.693 is chance for logistic loss; both tiers must train
+    // well below it and land in the same neighborhood.
+    assert!(scalar < 0.55, "scalar final loss {scalar}");
+    assert!(vector < 0.55, "vector final loss {vector}");
+    assert!(
+        (scalar - vector).abs() < 0.1,
+        "tiers diverged: scalar {scalar} vs vector {vector}"
+    );
+}
