@@ -4,21 +4,24 @@
 //! ```text
 //! gate                       # measure, print table, write BENCH_core.json
 //! gate --out <path>          # write the JSON somewhere else
-//! gate --check               # re-measure and warn against the baseline
+//! gate --check               # re-measure ALL committed baselines and warn
 //! gate --check --baseline <path>
 //! gate --seconds 0.2 --repeats 9
 //! gate --serve               # serving rows instead: BENCH_serve.json
-//! gate --serve --check       # warn against the serving baseline
+//! gate --serve --check       # warn against the serving baseline only
 //! gate --kernels             # bit-serial rows instead: BENCH_kernels.json
-//! gate --kernels --check     # warn against the bit-serial baseline
+//! gate --kernels --check     # warn against the bit-serial baseline only
 //! gate --isa scalar          # pin the kernel ISA tier for this run
 //! ```
 //!
 //! `--check` never fails the process: regressions print as warnings for
-//! CI logs. `--serve` switches to the online-serving benchmark set
-//! (closed-loop load against the prediction server while training runs)
-//! and the `BENCH_serve.json` baseline. See [`buckwild_bench::gate`] for
-//! the methodology.
+//! CI logs. A bare `--check` (no suite flag) re-measures and validates
+//! every committed baseline — `BENCH_core.json`, `BENCH_kernels.json`,
+//! and `BENCH_serve.json` — in one invocation; `--serve` / `--kernels`
+//! restrict the check to that suite. `--serve` switches to the
+//! online-serving benchmark set (closed-loop load against the prediction
+//! server while training runs) and the `BENCH_serve.json` baseline. See
+//! [`buckwild_bench::gate`] for the methodology.
 
 use std::process::ExitCode;
 
@@ -54,8 +57,10 @@ fn usage() -> String {
          --out <path>       write the baseline JSON to <path> (default\n\
                             {DEFAULT_BASELINE}, or {DEFAULT_SERVE_BASELINE}\n\
                             with --serve; ignored with --check)\n\
-         --check            compare a fresh run against the baseline and\n\
-                            print warnings (always exits 0)\n\
+         --check            compare fresh runs against the committed\n\
+                            baselines and print warnings (always exits 0);\n\
+                            bare --check validates all three baselines,\n\
+                            --serve/--kernels restrict it to one suite\n\
          --baseline <path>  baseline to check against\n\
          --seconds <f64>    budget per sample (default {GATE_SECONDS}, or\n\
                             {GATE_SERVE_SECONDS} with --serve)\n\
@@ -135,45 +140,35 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    let default_baseline = if args.serve {
-        DEFAULT_SERVE_BASELINE
-    } else if args.kernels {
-        DEFAULT_KERNELS_BASELINE
-    } else {
-        DEFAULT_BASELINE
-    };
-    let baseline_path = args.baseline.as_deref().unwrap_or(default_baseline);
-    let report = if args.serve {
-        run_serve_gate(args.seconds.unwrap_or(GATE_SERVE_SECONDS), args.repeats)
-    } else if args.kernels {
-        run_kernels_gate(args.seconds.unwrap_or(GATE_SECONDS), args.repeats)
-    } else {
-        run_gate(args.seconds.unwrap_or(GATE_SECONDS), args.repeats)
-    };
-    print!("{}", report.render_text());
     if args.check {
-        let baseline = match std::fs::read_to_string(baseline_path) {
-            Ok(text) => match GateReport::from_json(&text) {
-                Ok(baseline) => baseline,
-                Err(e) => {
-                    eprintln!("gate: warning: cannot parse {baseline_path}: {e}");
-                    return ExitCode::SUCCESS;
-                }
-            },
-            Err(e) => {
-                eprintln!("gate: warning: cannot read {baseline_path}: {e}");
-                return ExitCode::SUCCESS;
-            }
+        // A bare --check sweeps every committed baseline; a suite flag
+        // (or an explicit --baseline) narrows the check to one suite.
+        let suites: &[Suite] = if args.serve {
+            &[Suite::Serve]
+        } else if args.kernels {
+            &[Suite::Kernels]
+        } else if args.baseline.is_some() {
+            &[Suite::Core]
+        } else {
+            &[Suite::Core, Suite::Kernels, Suite::Serve]
         };
-        let warnings = report.check_against(&baseline);
-        if warnings.is_empty() {
-            println!("gate: all rows within tolerance of {baseline_path}");
-        }
-        for w in &warnings {
-            eprintln!("gate: warning: {w}");
+        for suite in suites {
+            let baseline_path = args.baseline.as_deref().unwrap_or(suite.baseline());
+            let report = suite.run(args.seconds, args.repeats);
+            print!("{}", report.render_text());
+            check_one(&report, baseline_path);
         }
     } else {
-        let path = args.out.as_deref().unwrap_or(default_baseline);
+        let suite = if args.serve {
+            Suite::Serve
+        } else if args.kernels {
+            Suite::Kernels
+        } else {
+            Suite::Core
+        };
+        let report = suite.run(args.seconds, args.repeats);
+        print!("{}", report.render_text());
+        let path = args.out.as_deref().unwrap_or(suite.baseline());
         let json = report.to_json_value().to_json_pretty();
         if let Err(e) = std::fs::write(path, format!("{json}\n")) {
             eprintln!("gate: cannot write {path}: {e}");
@@ -182,4 +177,55 @@ fn main() -> ExitCode {
         println!("gate: baseline written to {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// One benchmark suite with its committed baseline.
+#[derive(Clone, Copy)]
+enum Suite {
+    Core,
+    Kernels,
+    Serve,
+}
+
+impl Suite {
+    fn baseline(self) -> &'static str {
+        match self {
+            Suite::Core => DEFAULT_BASELINE,
+            Suite::Kernels => DEFAULT_KERNELS_BASELINE,
+            Suite::Serve => DEFAULT_SERVE_BASELINE,
+        }
+    }
+
+    fn run(self, seconds: Option<f64>, repeats: usize) -> GateReport {
+        match self {
+            Suite::Core => run_gate(seconds.unwrap_or(GATE_SECONDS), repeats),
+            Suite::Kernels => run_kernels_gate(seconds.unwrap_or(GATE_SECONDS), repeats),
+            Suite::Serve => run_serve_gate(seconds.unwrap_or(GATE_SERVE_SECONDS), repeats),
+        }
+    }
+}
+
+/// Compare one fresh report against its committed baseline, printing
+/// warnings but never failing the process.
+fn check_one(report: &GateReport, baseline_path: &str) {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => match GateReport::from_json(&text) {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("gate: warning: cannot parse {baseline_path}: {e}");
+                return;
+            }
+        },
+        Err(e) => {
+            eprintln!("gate: warning: cannot read {baseline_path}: {e}");
+            return;
+        }
+    };
+    let warnings = report.check_against(&baseline);
+    if warnings.is_empty() {
+        println!("gate: all rows within tolerance of {baseline_path}");
+    }
+    for w in &warnings {
+        eprintln!("gate: warning: {w}");
+    }
 }

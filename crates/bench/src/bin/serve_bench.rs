@@ -14,7 +14,13 @@
 //!             [--shards <n>] [--backend shared|sharded]
 //!             [--features <n>] [--examples <n>] [--train-threads <n>]
 //!             [--seed <n>] [--isa <isa>] [--compact]
+//!             [--metrics-addr <host:port>] [--obs-log <path>]
 //! ```
+//!
+//! With `--metrics-addr` the run is scrapeable while it is live
+//! (`curl http://<addr>/metrics` returns Prometheus text exposition of
+//! the `serve.*` metrics); with `--obs-log` a JSONL time series of
+//! stamped snapshots is written for offline plotting.
 
 use std::process::ExitCode;
 
@@ -48,6 +54,8 @@ fn usage() -> String {
          --train-threads <n>  training workers (default {})\n\
          --seed <n>           problem/batch seed (default {})\n\
          --isa <isa>          kernel ISA tier: scalar | avx2 | avx512 | auto\n\
+         --metrics-addr <a>   serve live Prometheus metrics at <host:port>\n\
+         --obs-log <path>     write a JSONL metrics time series to <path>\n\
          --compact            single-line JSON instead of pretty",
         d.seconds,
         d.clients,
@@ -108,6 +116,16 @@ fn parse_args() -> Result<Option<Args>, String> {
                 }
                 Some(Err(e)) => return Err(format!("--isa: {e}")),
                 None => return Err("--isa requires scalar|avx2|avx512|auto".into()),
+            },
+            "--metrics-addr" => match args.next() {
+                Some(addr) if !addr.is_empty() => parsed.opts.metrics_addr = Some(addr),
+                _ => return Err("--metrics-addr requires a host:port".into()),
+            },
+            "--obs-log" => match args.next() {
+                Some(path) if !path.is_empty() => {
+                    parsed.opts.obs_log = Some(std::path::PathBuf::from(path));
+                }
+                _ => return Err("--obs-log requires a path".into()),
             },
             "--compact" => parsed.compact = true,
             "--help" | "-h" => return Ok(None),

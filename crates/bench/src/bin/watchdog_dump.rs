@@ -1,0 +1,227 @@
+//! Seeded chaos-validated watchdog run:
+//! `cargo run --release -p buckwild-bench --bin watchdog_dump`.
+//!
+//! Trains under the deterministic chaos engine with an injected fault
+//! schedule, feeds the run through the flight recorder (virtual clock)
+//! and the anomaly watchdog, and writes the post-mortem bundle. The
+//! whole pipeline is a pure function of the seed: two runs with the same
+//! seed produce byte-identical `flight.jsonl` dumps — CI compares them
+//! with `cmp`. The injected fault must trip its corresponding detector
+//! (stalls → the `chaos.stalls` ceiling, dropped writes → the
+//! `chaos.dropped_writes` ceiling); if nothing trips, the binary exits
+//! nonzero.
+//!
+//! ```text
+//! watchdog_dump [--seed <n>] [--fault stall|drop|none] [--out <dir>]
+//!               [--epochs <n>] [--threads <n>] [--compact]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use buckwild::{ChaosSgdConfig, FaultPlan, Loss};
+use buckwild_bench::gate::Hardware;
+use buckwild_dataset::generate;
+use buckwild_obs::{
+    run_id_from_seed, CeilingDetector, ConvergenceStall, FlightRecorder, FlightTracer, ObsSample,
+    Watchdog,
+};
+use buckwild_telemetry::json::Value;
+use buckwild_telemetry::ShardedRecorder;
+
+const FEATURES: usize = 32;
+const EXAMPLES: usize = 400;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    Stall,
+    Drop,
+    None,
+}
+
+impl Fault {
+    fn name(self) -> &'static str {
+        match self {
+            Fault::Stall => "stall",
+            Fault::Drop => "drop",
+            Fault::None => "none",
+        }
+    }
+}
+
+struct Args {
+    seed: u64,
+    fault: Fault,
+    out: PathBuf,
+    epochs: usize,
+    threads: usize,
+    compact: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: watchdog_dump [--seed <n>] [--fault stall|drop|none] [--out <dir>]\n\
+     \x20                    [--epochs <n>] [--threads <n>] [--compact]\n\
+     \n\
+     --seed <n>     fault-schedule and problem seed (default 7)\n\
+     --fault <f>    injected fault: stall | drop | none (default stall)\n\
+     --out <dir>    post-mortem bundle directory (default postmortem)\n\
+     --epochs <n>   chaos-engine epochs (default 8)\n\
+     --threads <n>  virtual workers (default 4)\n\
+     --compact      single-line JSON summary instead of pretty"
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut parsed = Args {
+        seed: 7,
+        fault: Fault::Stall,
+        out: PathBuf::from("postmortem"),
+        epochs: 8,
+        threads: 4,
+        compact: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let positive = |flag: &str, value: Option<String>| -> Result<usize, String> {
+        match value.map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) if n >= 1 => Ok(n),
+            Some(_) => Err(format!("{flag} requires a positive integer")),
+            None => Err(format!("{flag} requires a value")),
+        }
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(s)) => parsed.seed = s,
+                Some(_) => return Err("--seed requires an integer".into()),
+                None => return Err("--seed requires a value".into()),
+            },
+            "--fault" => match args.next().as_deref() {
+                Some("stall") => parsed.fault = Fault::Stall,
+                Some("drop") => parsed.fault = Fault::Drop,
+                Some("none") => parsed.fault = Fault::None,
+                Some(other) => return Err(format!("unknown fault `{other}`")),
+                None => return Err("--fault requires stall|drop|none".into()),
+            },
+            "--out" => match args.next() {
+                Some(dir) if !dir.is_empty() => parsed.out = PathBuf::from(dir),
+                _ => return Err("--out requires a directory".into()),
+            },
+            "--epochs" => parsed.epochs = positive("--epochs", args.next())?,
+            "--threads" => parsed.threads = positive("--threads", args.next())?,
+            "--compact" => parsed.compact = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    Ok(Some(parsed))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("watchdog_dump: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let plan = match args.fault {
+        Fault::Stall => FaultPlan::new(args.seed).stalls(0.05, 8),
+        Fault::Drop => FaultPlan::new(args.seed).drop_writes(0.2),
+        Fault::None => FaultPlan::new(args.seed),
+    };
+    let problem = generate::logistic_dense(FEATURES, EXAMPLES, args.seed);
+    let config = ChaosSgdConfig::new(Loss::Logistic, plan)
+        .threads(args.threads)
+        .epochs(args.epochs);
+
+    // Virtual-clock flight recorder: the dump is a pure function of the
+    // seed, which is what CI's byte-identity check relies on.
+    let run_id = run_id_from_seed(args.seed);
+    let flight = FlightRecorder::virtual_clock(run_id, FlightRecorder::DEFAULT_CAPACITY);
+    let tracer = FlightTracer::new(flight.clone());
+    let recorder = ShardedRecorder::new(args.threads);
+    let report = match config.train_traced(&problem.data, &recorder, &tracer) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("watchdog_dump: chaos training failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The detector corresponding to the injected fault, plus a stall
+    // rule over the loss curve; a `none` run arms both fault ceilings
+    // and demonstrates that a healthy run trips neither.
+    let mut watchdog = Watchdog::new()
+        .with_flight(flight.clone())
+        .detect(ConvergenceStall::new(3, 1e-9));
+    watchdog = match args.fault {
+        Fault::Stall => watchdog.detect(CeilingDetector::new("chaos.stalls", 0.0)),
+        Fault::Drop => watchdog.detect(CeilingDetector::new("chaos.dropped_writes", 0.0)),
+        Fault::None => watchdog
+            .detect(CeilingDetector::new("chaos.stalls", 0.0))
+            .detect(CeilingDetector::new("chaos.dropped_writes", 0.0)),
+    };
+
+    // Replay the run's per-epoch losses, then judge the final metrics
+    // snapshot. Sample times are epoch indices: deterministic.
+    for (epoch, loss) in report.epoch_losses().iter().enumerate() {
+        let _ = watchdog.observe(&ObsSample {
+            epoch: epoch as u64,
+            time: epoch as u64,
+            loss: Some(*loss),
+            snapshot: None,
+        });
+    }
+    let last_epoch = args.epochs as u64 - 1;
+    let _ = watchdog.observe(&ObsSample {
+        epoch: last_epoch,
+        time: last_epoch,
+        loss: None,
+        snapshot: Some(report.metrics().clone()),
+    });
+
+    let preamble = Value::object(vec![
+        ("tool", Value::from("watchdog_dump")),
+        ("run_id", Value::from(format!("{run_id:016x}"))),
+        ("seed", Value::from(args.seed)),
+        ("fault", Value::from(args.fault.name())),
+        ("epochs", Value::from(args.epochs as u64)),
+        ("threads", Value::from(args.threads as u64)),
+        ("features", Value::from(FEATURES as u64)),
+        ("examples", Value::from(EXAMPLES as u64)),
+        ("hardware", Hardware::probe().to_json_value()),
+    ]);
+    if let Err(e) = watchdog.write_postmortem(&args.out, &preamble, Some(report.metrics())) {
+        eprintln!("watchdog_dump: writing bundle failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let summary = Value::object(vec![
+        ("out", Value::from(args.out.display().to_string())),
+        ("run_id", Value::from(format!("{run_id:016x}"))),
+        ("fault", Value::from(args.fault.name())),
+        ("tripped", Value::from(watchdog.tripped())),
+        ("anomalies", Value::from(watchdog.anomalies().len() as u64)),
+        ("flight_events", Value::from(flight.recorded())),
+        ("final_loss", Value::from(report.final_loss())),
+    ]);
+    if args.compact {
+        println!("{}", summary.to_json());
+    } else {
+        println!("{}", summary.to_json_pretty());
+    }
+
+    // With a fault injected, the corresponding detector must have fired.
+    if args.fault != Fault::None && !watchdog.tripped() {
+        eprintln!(
+            "watchdog_dump: injected `{}` fault but no detector tripped",
+            args.fault.name()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

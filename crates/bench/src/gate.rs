@@ -88,6 +88,22 @@ impl Hardware {
             isa: buckwild_kernels::isa::active().name().to_string(),
         }
     }
+
+    /// The preamble as a JSON object — the one shape every report that
+    /// embeds a hardware preamble uses (gate baselines, post-mortem
+    /// bundles).
+    #[must_use]
+    pub fn to_json_value(&self) -> Value {
+        Value::object(vec![
+            ("core_count", Value::from(self.core_count as u64)),
+            ("cache_line_bytes", Value::from(self.cache_line_bytes)),
+            (
+                "simd_width_bits",
+                Value::from(u64::from(self.simd_width_bits)),
+            ),
+            ("isa", Value::from(self.isa.as_str())),
+        ])
+    }
 }
 
 /// One benchmark row: median and spread over the repeats.
@@ -108,6 +124,11 @@ pub struct BenchRow {
 pub struct GateReport {
     /// Machine the rows were measured on.
     pub hardware: Hardware,
+    /// The process-wide default training backend active during the run
+    /// (`buckwild::default_backend()`), recorded consistently with the
+    /// ISA so a baseline captured under a `BUCKWILD_BACKEND` override is
+    /// never silently compared against a differently-configured run.
+    pub backend: String,
     /// Seed the problem set was pinned to.
     pub seed: u64,
     /// Repeats behind each median.
@@ -222,6 +243,7 @@ pub fn run_gate(seconds: f64, repeats: usize) -> GateReport {
     }
     GateReport {
         hardware: Hardware::probe(),
+        backend: buckwild::default_backend().name().to_string(),
         seed: GATE_SEED,
         repeats,
         benches,
@@ -320,6 +342,7 @@ pub fn run_kernels_gate(seconds: f64, repeats: usize) -> GateReport {
     }
     GateReport {
         hardware: Hardware::probe(),
+        backend: buckwild::default_backend().name().to_string(),
         seed: GATE_SEED,
         repeats,
         benches,
@@ -382,6 +405,7 @@ pub fn run_serve_gate(seconds: f64, repeats: usize) -> GateReport {
     }
     GateReport {
         hardware: Hardware::probe(),
+        backend: buckwild::default_backend().name().to_string(),
         seed: GATE_SEED,
         repeats,
         benches,
@@ -405,21 +429,8 @@ impl GateReport {
             })
             .collect();
         Value::object(vec![
-            (
-                "hardware",
-                Value::object(vec![
-                    ("core_count", Value::from(self.hardware.core_count as u64)),
-                    (
-                        "cache_line_bytes",
-                        Value::from(self.hardware.cache_line_bytes),
-                    ),
-                    (
-                        "simd_width_bits",
-                        Value::from(u64::from(self.hardware.simd_width_bits)),
-                    ),
-                    ("isa", Value::from(self.hardware.isa.as_str())),
-                ]),
-            ),
+            ("hardware", self.hardware.to_json_value()),
+            ("backend", Value::from(self.backend.as_str())),
             ("seed", Value::from(self.seed)),
             ("repeats", Value::from(self.repeats as u64)),
             ("benches", Value::Array(benches)),
@@ -476,6 +487,13 @@ impl GateReport {
         }
         Ok(GateReport {
             hardware,
+            // Lenient like `isa`: baselines captured before the backend
+            // field existed parse as "unknown" (and will mismatch).
+            backend: doc
+                .get("backend")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
             seed: u(&doc, "seed")?,
             repeats: u(&doc, "repeats")? as usize,
             benches,
@@ -489,13 +507,15 @@ impl GateReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "bench gate (seed {}, {} repeats) on {} core(s), {}B lines, {}-bit SIMD, {} isa",
+            "bench gate (seed {}, {} repeats) on {} core(s), {}B lines, {}-bit SIMD, \
+             {} isa, {} backend",
             self.seed,
             self.repeats,
             self.hardware.core_count,
             self.hardware.cache_line_bytes,
             self.hardware.simd_width_bits,
             self.hardware.isa,
+            self.backend,
         );
         let width = self
             .benches
@@ -542,6 +562,12 @@ impl GateReport {
                 self.hardware.cache_line_bytes,
                 self.hardware.simd_width_bits,
                 self.hardware.isa,
+            )];
+        }
+        if self.backend != baseline.backend {
+            return vec![format!(
+                "backend mismatch (baseline `{}`, this run `{}`): skipping row comparison",
+                baseline.backend, self.backend,
             )];
         }
         let mut warnings = Vec::new();
@@ -667,6 +693,7 @@ mod tests {
                 simd_width_bits: 256,
                 isa: "avx2".into(),
             },
+            backend: "shared".into(),
             seed: GATE_SEED,
             repeats: 5,
             benches: vec![BenchRow {
@@ -702,6 +729,12 @@ mod tests {
         let warnings = fresh.check_against(&base);
         assert_eq!(warnings.len(), 1);
         assert!(warnings[0].contains("not in baseline"));
+        // Different default backend: single mismatch warning, rows skipped.
+        fresh.backend = "sharded".into();
+        let warnings = fresh.check_against(&base);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("backend mismatch"), "{warnings:?}");
+        fresh.backend = "shared".into();
         // Different machine: single mismatch warning, rows skipped.
         fresh.hardware.core_count = 2;
         let warnings = fresh.check_against(&base);

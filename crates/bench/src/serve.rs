@@ -14,17 +14,19 @@
 //! Both the `serve_bench` binary and the `gate --serve` baseline rows are
 //! thin wrappers around this harness.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use buckwild::{Backend, Loss, SgdConfig, TrainControl};
 use buckwild_dataset::generate;
+use buckwild_obs::{ObsLogThread, ObsLogger};
 use buckwild_prng::{split_seed, Prng, Xorshift128};
 use buckwild_serve::wire::status;
 use buckwild_serve::{PredictClient, PredictServer, ServeConfig, SnapshotHub};
 use buckwild_telemetry::json::Value;
-use buckwild_telemetry::HistogramSummary;
+use buckwild_telemetry::{HistogramSummary, Recorder};
 
 /// Upper bound on epochs for the open-ended training loop; the stop flag
 /// fires long before this.
@@ -32,6 +34,9 @@ const EPOCH_CAP: usize = 1_000_000;
 
 /// How long to wait for the first snapshot before giving up.
 const FIRST_SNAPSHOT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Sampling period of the `--obs-log` JSONL time series.
+const OBS_LOG_INTERVAL: Duration = Duration::from_millis(200);
 
 /// One load-generation scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +59,12 @@ pub struct ServeLoadOptions {
     pub train_threads: usize,
     /// Seed pinning the problem and the client batches.
     pub seed: u64,
+    /// Bind a live Prometheus scrape endpoint here for the duration of
+    /// the run (`--metrics-addr`).
+    pub metrics_addr: Option<String>,
+    /// Write a JSONL metrics time series here while the run is live
+    /// (`--obs-log`).
+    pub obs_log: Option<PathBuf>,
 }
 
 impl ServeLoadOptions {
@@ -72,6 +83,8 @@ impl ServeLoadOptions {
             backend,
             train_threads: 2,
             seed,
+            metrics_addr: None,
+            obs_log: None,
         }
     }
 }
@@ -168,11 +181,24 @@ impl ServeLoadReport {
 #[must_use]
 pub fn run_serve_load(opts: &ServeLoadOptions) -> ServeLoadReport {
     let hub = Arc::new(SnapshotHub::new());
-    let server = PredictServer::start(
-        Arc::clone(&hub),
-        &ServeConfig::new("127.0.0.1:0").shards(opts.shards),
-    )
-    .expect("bind prediction server");
+    let mut config = ServeConfig::new("127.0.0.1:0").shards(opts.shards);
+    if let Some(metrics_addr) = &opts.metrics_addr {
+        config = config.metrics_addr(metrics_addr.clone());
+    }
+    let server = PredictServer::start(Arc::clone(&hub), &config).expect("bind prediction server");
+    if let Some(metrics_addr) = server.metrics_addr() {
+        eprintln!("metrics endpoint listening on http://{metrics_addr}/metrics");
+    }
+    let obs_log = opts.obs_log.as_ref().map(|path| {
+        let logger = ObsLogger::create(path).expect("create obs log");
+        let hub = Arc::clone(&hub);
+        let recorder = server.recorder();
+        ObsLogThread::spawn(
+            logger,
+            OBS_LOG_INTERVAL,
+            Box::new(move || (hub.latest_epoch().unwrap_or(0), recorder.snapshot())),
+        )
+    });
     let addr = server.local_addr();
 
     // Training runs open-ended on its own thread until the window ends.
@@ -249,6 +275,11 @@ pub fn run_serve_load(opts: &ServeLoadOptions) -> ServeLoadReport {
     stop_training.store(true, Ordering::Relaxed);
     let report = trainer.join().expect("trainer panicked");
     let metrics = server.shutdown();
+    if let Some(obs_log) = obs_log {
+        // The sampler takes one final snapshot (with the final counts,
+        // since it shares the server's recorder) before stopping.
+        obs_log.stop().expect("obs log write");
+    }
 
     ServeLoadReport {
         backend: opts.backend,
@@ -308,5 +339,39 @@ mod tests {
             .get("latency_ns")
             .and_then(|l| l.get("p95"))
             .is_some());
+    }
+
+    #[test]
+    fn obs_log_captures_a_parseable_time_series() {
+        let log_path = std::env::temp_dir().join(format!(
+            "buckwild-serve-obslog-{}.jsonl",
+            std::process::id()
+        ));
+        let mut opts = ServeLoadOptions::pinned(Backend::SharedModel, 0.3, 42);
+        opts.features = 32;
+        opts.examples = 512;
+        opts.metrics_addr = Some("127.0.0.1:0".to_string());
+        opts.obs_log = Some(log_path.clone());
+        let report = run_serve_load(&opts);
+        assert!(report.requests > 0);
+        let text = std::fs::read_to_string(&log_path).expect("obs log written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "no samples in the obs log");
+        for line in &lines {
+            let v = buckwild_telemetry::json::parse(line).expect("valid JSONL line");
+            assert!(v.get("epoch").is_some());
+            assert!(v.get("wall_ns").is_some());
+            assert!(v.get("metrics").is_some());
+        }
+        // The final sample carries the run's closing counts.
+        let last = buckwild_telemetry::json::parse(lines[lines.len() - 1]).unwrap();
+        let requests = last
+            .get("metrics")
+            .and_then(|m| m.get("serve.requests"))
+            .and_then(|c| c.get("value"))
+            .and_then(Value::as_f64)
+            .expect("serve.requests in final sample");
+        assert_eq!(requests as u64, report.requests);
+        let _ = std::fs::remove_file(&log_path);
     }
 }

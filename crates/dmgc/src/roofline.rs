@@ -333,12 +333,7 @@ impl RooflineReport {
             .collect();
         Value::object(vec![
             ("machine", Value::from(self.machine.as_str())),
-            (
-                "isa",
-                self.isa
-                    .as_deref()
-                    .map_or(Value::Null, Value::from),
-            ),
+            ("isa", self.isa.as_deref().map_or(Value::Null, Value::from)),
             ("entries", Value::Array(entries)),
             ("distributions", Value::Array(distributions)),
         ])

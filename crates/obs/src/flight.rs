@@ -1,0 +1,495 @@
+//! The correlated flight recorder: a bounded ring of structured events
+//! sharing one run-id and a monotonic sequence.
+//!
+//! Where `buckwild-trace` keeps *every* span of a window (and drops when
+//! full), the flight recorder keeps the *last N* coarse events forever:
+//! epoch boundaries, snapshot publishes, chaos injections, backend sync
+//! points, serve-shard health, watchdog triggers. Writers claim a slot
+//! with one `fetch_add` and overwrite the oldest entry, so the recorder
+//! can run for hours and a post-mortem dump always shows the minutes
+//! before the anomaly, with trainer, chaos, and server activity
+//! interleaved on one timeline.
+//!
+//! The clock follows the trace crate's discipline: wall nanoseconds for
+//! live runs, caller-advanced virtual ticks for the deterministic
+//! engines — under a virtual clock the dump is a pure function of the
+//! seeds (byte-identical JSONL per seed, which CI enforces). The
+//! [`FlightTracer`] adapter implements the `buckwild-trace` traits, so
+//! any engine with a `train_traced` entry point feeds the flight ring
+//! without new hooks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use buckwild_telemetry::json::Value;
+use buckwild_trace::{fault_kind, Phase, Tracer, WorkerTracer};
+
+/// What a flight-recorder event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// An epoch boundary (arg = epoch index).
+    Epoch,
+    /// A model snapshot published for serving (arg = epoch tag).
+    SnapshotPublish,
+    /// An injected fault served (arg = `buckwild_trace::fault_kind`).
+    ChaosFault,
+    /// A sharded-backend delta exchange (arg = packets applied).
+    Sync,
+    /// A serve-shard health sample (arg = active connections).
+    ServeHealth,
+    /// One served request batch (arg = rows).
+    Request,
+    /// A watchdog detector fired (arg = the triggering epoch).
+    WatchdogTrigger,
+    /// A periodic observability sample (arg = epoch at sample time).
+    Sample,
+}
+
+impl FlightKind {
+    /// The event name used in exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightKind::Epoch => "epoch",
+            FlightKind::SnapshotPublish => "snapshot_publish",
+            FlightKind::ChaosFault => "chaos_fault",
+            FlightKind::Sync => "delta_sync",
+            FlightKind::ServeHealth => "serve_health",
+            FlightKind::Request => "request",
+            FlightKind::WatchdogTrigger => "watchdog_trigger",
+            FlightKind::Sample => "sample",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotonic sequence number, shared across all writers of the run.
+    pub seq: u64,
+    /// Wall nanoseconds since the recorder was built, or virtual ticks.
+    pub time: u64,
+    /// The worker / shard / timeline row the event belongs to.
+    pub worker: u32,
+    /// What happened.
+    pub kind: FlightKind,
+    /// Kind-specific annotation (see [`FlightKind`] docs).
+    pub arg: u64,
+}
+
+/// Derives a stable run-id from a seed — the deterministic engines use
+/// this so two runs with the same seed share (and two seeds almost never
+/// share) an id. SplitMix64 finalizer: well mixed, dependency-free.
+#[must_use]
+pub fn run_id_from_seed(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+enum Clock {
+    Wall(Instant),
+    Virtual,
+}
+
+struct Inner {
+    run_id: u64,
+    next: AtomicU64,
+    slots: Box<[Mutex<Option<FlightEvent>>]>,
+    clock: Clock,
+}
+
+/// A bounded, shared, lock-free-claimed ring of [`FlightEvent`]s.
+///
+/// Cloning is cheap (`Arc`); every clone writes into the same ring under
+/// the same run-id. A writer claims its global sequence number with one
+/// atomic `fetch_add` and stores into `slots[seq % capacity]`; the
+/// per-slot mutex only serializes the rare case of two writers lapping
+/// each other on the same slot — there is no shared lock on the ring.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("run_id", &format_args!("{:016x}", self.inner.run_id))
+            .field("capacity", &self.inner.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    /// Default ring capacity: enough for minutes of coarse events.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A wall-clock recorder (timestamps are nanoseconds since creation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(run_id: u64, capacity: usize) -> Self {
+        Self::build(run_id, capacity, Clock::Wall(Instant::now()))
+    }
+
+    /// A virtual-clock recorder: timestamps come only from
+    /// [`FlightRecorder::record_at`] (or [`WorkerTracer::set_time`] on
+    /// the adapter), so the dump is a pure function of the caller's
+    /// schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn virtual_clock(run_id: u64, capacity: usize) -> Self {
+        Self::build(run_id, capacity, Clock::Virtual)
+    }
+
+    fn build(run_id: u64, capacity: usize, clock: Clock) -> Self {
+        assert!(capacity > 0, "need capacity for at least one event");
+        FlightRecorder {
+            inner: Arc::new(Inner {
+                run_id,
+                next: AtomicU64::new(0),
+                slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+                clock,
+            }),
+        }
+    }
+
+    /// The run-id every event of this recorder carries.
+    #[must_use]
+    pub fn run_id(&self) -> u64 {
+        self.inner.run_id
+    }
+
+    /// Current clock reading: wall nanoseconds since creation, or 0 under
+    /// a virtual clock (virtual writers must use [`record_at`]).
+    ///
+    /// [`record_at`]: FlightRecorder::record_at
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        match &self.inner.clock {
+            Clock::Wall(epoch) => u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(0),
+            Clock::Virtual => 0,
+        }
+    }
+
+    /// Records an event stamped with the recorder's own clock.
+    pub fn record(&self, kind: FlightKind, worker: u32, arg: u64) {
+        self.record_at(self.now(), kind, worker, arg);
+    }
+
+    /// Records an event with an explicit timestamp (the virtual-clock
+    /// engines stamp scheduler ticks).
+    pub fn record_at(&self, time: u64, kind: FlightKind, worker: u32, arg: u64) {
+        let seq = self.inner.next.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.inner.slots.len() as u64) as usize;
+        *self.inner.slots[slot].lock().expect("flight slot poisoned") = Some(FlightEvent {
+            seq,
+            time,
+            worker,
+            kind,
+            arg,
+        });
+    }
+
+    /// Events recorded so far (including any the ring has overwritten).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.inner.next.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring wrap-around.
+    #[must_use]
+    pub fn overwritten(&self) -> u64 {
+        self.recorded()
+            .saturating_sub(self.inner.slots.len() as u64)
+    }
+
+    /// The surviving events in sequence order (oldest first).
+    #[must_use]
+    pub fn dump(&self) -> Vec<FlightEvent> {
+        let mut events: Vec<FlightEvent> = self
+            .inner
+            .slots
+            .iter()
+            .filter_map(|s| *s.lock().expect("flight slot poisoned"))
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// The dump as JSONL: one compact JSON object per line, oldest event
+    /// first, every line carrying the shared run-id. Under a virtual
+    /// clock this is byte-identical across runs with the same seed.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let run = format!("{:016x}", self.inner.run_id);
+        let mut out = String::new();
+        for e in self.dump() {
+            let line = Value::object(vec![
+                ("run", Value::from(run.as_str())),
+                ("seq", Value::from(e.seq)),
+                ("t", Value::from(e.time)),
+                ("worker", Value::from(u64::from(e.worker))),
+                ("kind", Value::from(e.kind.name())),
+                ("arg", Value::from(e.arg)),
+            ]);
+            out.push_str(&buckwild_telemetry::json::to_jsonl_line(&line));
+        }
+        out
+    }
+
+    /// The dump as a Chrome trace-event document of instant (`"i"`)
+    /// events — load it next to a span trace in Perfetto to correlate
+    /// flight events with kernel-level spans. Virtual ticks export 1
+    /// tick = 1 µs, wall nanoseconds scale to microseconds, matching
+    /// `buckwild_trace::Trace`.
+    #[must_use]
+    pub fn to_chrome_json_value(&self) -> Value {
+        let is_virtual = matches!(self.inner.clock, Clock::Virtual);
+        let scale = if is_virtual { 1.0 } else { 1e-3 };
+        let events: Vec<Value> = self
+            .dump()
+            .into_iter()
+            .map(|e| {
+                let arg_value = if e.kind == FlightKind::ChaosFault {
+                    Value::from(fault_kind::name(e.arg))
+                } else {
+                    Value::from(e.arg)
+                };
+                Value::object(vec![
+                    ("name", Value::from(e.kind.name())),
+                    ("cat", Value::from("buckwild-obs")),
+                    ("ph", Value::from("i")),
+                    ("s", Value::from("t")),
+                    ("ts", Value::from(e.time as f64 * scale)),
+                    ("pid", Value::from(0u64)),
+                    ("tid", Value::from(u64::from(e.worker))),
+                    (
+                        "args",
+                        Value::object(vec![("seq", Value::from(e.seq)), ("arg", arg_value)]),
+                    ),
+                ])
+            })
+            .collect();
+        Value::object(vec![
+            ("traceEvents", Value::Array(events)),
+            ("displayTimeUnit", Value::from("ms")),
+            (
+                "otherData",
+                Value::object(vec![
+                    ("runId", Value::from(format!("{:016x}", self.inner.run_id))),
+                    (
+                        "clock",
+                        Value::from(if is_virtual {
+                            "virtual-ticks"
+                        } else {
+                            "wall-ns"
+                        }),
+                    ),
+                    ("overwritten", Value::from(self.overwritten())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Adapter exposing a [`FlightRecorder`] through the `buckwild-trace`
+/// traits, so any `train_traced` engine feeds the flight ring directly.
+///
+/// Only the coarse phases become flight events — `Epoch`, `ChaosFault`,
+/// `DeltaSync`, and `Request`; per-iteration phases (`Minibatch`,
+/// `GradientKernel`, `ModelWrite`) are skipped so the bounded ring keeps
+/// minutes of history instead of microseconds. Events are stamped with
+/// the span's *end* (start + duration): the moment the marked thing
+/// finished happening.
+#[derive(Clone)]
+pub struct FlightTracer {
+    recorder: FlightRecorder,
+}
+
+impl FlightTracer {
+    /// Wraps `recorder` for use as a `Tracer`.
+    #[must_use]
+    pub fn new(recorder: FlightRecorder) -> Self {
+        FlightTracer { recorder }
+    }
+
+    /// The wrapped recorder.
+    #[must_use]
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+}
+
+impl Tracer for FlightTracer {
+    type Worker = FlightSpanSink;
+    const ACTIVE: bool = true;
+
+    fn worker(&self, worker: usize) -> FlightSpanSink {
+        FlightSpanSink {
+            recorder: self.recorder.clone(),
+            worker: u32::try_from(worker).unwrap_or(u32::MAX),
+            time: 0,
+        }
+    }
+}
+
+/// Worker handle of [`FlightTracer`].
+pub struct FlightSpanSink {
+    recorder: FlightRecorder,
+    worker: u32,
+    time: u64,
+}
+
+impl WorkerTracer for FlightSpanSink {
+    const ACTIVE: bool = true;
+
+    #[inline]
+    fn now(&self) -> u64 {
+        match &self.recorder.inner.clock {
+            Clock::Wall(_) => self.recorder.now(),
+            Clock::Virtual => self.time,
+        }
+    }
+
+    fn record(&mut self, phase: Phase, start: u64, dur: u64, arg: u64) {
+        let kind = match phase {
+            Phase::Epoch => FlightKind::Epoch,
+            Phase::ChaosFault => FlightKind::ChaosFault,
+            Phase::DeltaSync => FlightKind::Sync,
+            Phase::Request => FlightKind::Request,
+            Phase::Minibatch | Phase::GradientKernel | Phase::ModelWrite => return,
+        };
+        self.recorder
+            .record_at(start.saturating_add(dur), kind, self.worker, arg);
+    }
+
+    #[inline]
+    fn set_time(&mut self, time: u64) {
+        self.time = time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_last_capacity_events_in_seq_order() {
+        let flight = FlightRecorder::virtual_clock(1, 4);
+        for i in 0..10u64 {
+            flight.record_at(i, FlightKind::Epoch, 0, i);
+        }
+        assert_eq!(flight.recorded(), 10);
+        assert_eq!(flight.overwritten(), 6);
+        let events = flight.dump();
+        assert_eq!(events.len(), 4);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_carries_the_run_id() {
+        let dump = |seed: u64| {
+            let flight = FlightRecorder::virtual_clock(run_id_from_seed(seed), 64);
+            flight.record_at(3, FlightKind::Epoch, 0, 0);
+            flight.record_at(5, FlightKind::ChaosFault, 1, 0);
+            flight.record_at(9, FlightKind::SnapshotPublish, 0, 1);
+            flight.to_jsonl()
+        };
+        let a = dump(7);
+        let b = dump(7);
+        assert_eq!(a, b, "same seed must dump byte-identical JSONL");
+        assert_ne!(a, dump(8), "run-id must differ across seeds");
+        // Every line is valid JSON with the shared run-id.
+        let run = format!("{:016x}", run_id_from_seed(7));
+        for line in a.lines() {
+            let v = buckwild_telemetry::json::parse(line).expect("valid line");
+            assert_eq!(v.get("run").and_then(Value::as_str), Some(run.as_str()));
+        }
+        assert_eq!(a.lines().count(), 3);
+    }
+
+    #[test]
+    fn tracer_adapter_keeps_coarse_phases_only() {
+        let flight = FlightRecorder::virtual_clock(run_id_from_seed(1), 64);
+        let tracer = FlightTracer::new(flight.clone());
+        {
+            let mut w = tracer.worker(2);
+            w.set_time(10);
+            assert_eq!(w.now(), 10);
+            w.record(Phase::Minibatch, 10, 1, 0); // skipped
+            w.record(Phase::GradientKernel, 10, 1, 64); // skipped
+            w.record(Phase::ChaosFault, 12, 3, fault_kind::STALL);
+            w.record(Phase::Epoch, 0, 20, 0);
+        }
+        let events = flight.dump();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, FlightKind::ChaosFault);
+        assert_eq!(events[0].time, 15); // span end
+        assert_eq!(events[0].worker, 2);
+        assert_eq!(events[1].kind, FlightKind::Epoch);
+        assert_eq!(events[1].time, 20);
+    }
+
+    #[test]
+    fn chrome_export_is_instant_events_with_run_metadata() {
+        let flight = FlightRecorder::virtual_clock(0xabcd, 8);
+        flight.record_at(4, FlightKind::ChaosFault, 0, fault_kind::DROPPED_WRITE);
+        let doc = flight.to_chrome_json_value();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(4.0));
+        let args = events[0].get("args").unwrap();
+        assert_eq!(args.get("arg").unwrap().as_str(), Some("dropped_write"));
+        let other = doc.get("otherData").unwrap();
+        assert_eq!(
+            other.get("runId").unwrap().as_str(),
+            Some("000000000000abcd")
+        );
+        assert_eq!(other.get("clock").unwrap().as_str(), Some("virtual-ticks"));
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing_under_capacity() {
+        let flight = FlightRecorder::new(1, 1024);
+        std::thread::scope(|s| {
+            for w in 0..8u32 {
+                let flight = flight.clone();
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        flight.record(FlightKind::ServeHealth, w, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(flight.recorded(), 800);
+        assert_eq!(flight.overwritten(), 0);
+        let events = flight.dump();
+        assert_eq!(events.len(), 800);
+        // Sequence numbers are unique and dense.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = FlightRecorder::new(1, 0);
+    }
+
+    #[test]
+    fn run_ids_are_seed_stable() {
+        assert_eq!(run_id_from_seed(7), run_id_from_seed(7));
+        assert_ne!(run_id_from_seed(7), run_id_from_seed(8));
+    }
+}

@@ -1,0 +1,250 @@
+//! The always-on metrics endpoint: a tiny std-TCP HTTP server.
+//!
+//! One thread blocks in `accept`; each connection is answered inline
+//! (scrapes are rare and tiny) and closed. Shutdown reuses the idiom of
+//! the prediction server: set the flag, then make one wake-up connection
+//! so the blocked acceptor observes it. No HTTP library — the server
+//! reads the request head, looks at the request line, and writes a
+//! fixed-header response; that is the entire protocol a Prometheus
+//! scraper (or `curl`) needs.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use buckwild_telemetry::MetricsSnapshot;
+
+use crate::prom::render_prometheus;
+
+/// How long a connection may take to deliver its request head before the
+/// exporter gives up on it (a stuck scraper must not wedge the endpoint).
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Upper bound on the request head the exporter will buffer.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// The snapshot source an exporter serves: called once per scrape.
+pub type SnapshotSource = Arc<dyn Fn() -> MetricsSnapshot + Send + Sync>;
+
+/// A running metrics endpoint serving Prometheus text exposition.
+///
+/// ```
+/// use std::sync::Arc;
+/// use buckwild_obs::MetricsExporter;
+/// use buckwild_telemetry::{Counter, Recorder, ShardedRecorder};
+///
+/// let recorder = Arc::new(ShardedRecorder::new(1));
+/// recorder.counter("train.iterations").add(3);
+/// let source = Arc::clone(&recorder);
+/// let exporter = MetricsExporter::start("127.0.0.1:0", Arc::new(move || source.snapshot()))?;
+/// let addr = exporter.local_addr();
+/// // ... `curl http://{addr}/metrics` works while this runs ...
+/// exporter.shutdown();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct MetricsExporter {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Binds `addr` (use port 0 to let the OS pick) and starts serving
+    /// snapshots from `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(addr: &str, source: SnapshotSource) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("metrics-exporter".into())
+            .spawn(move || accept_loop(&listener, &flag, &source))?;
+        Ok(MetricsExporter {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address — hand this to the scraper when the config asked
+    /// for port 0.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // Wake the blocked acceptor.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shutdown: &AtomicBool, source: &SnapshotSource) {
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => continue,
+        };
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // A broken scrape only drops that connection.
+        let _ = serve_scrape(stream, source);
+    }
+}
+
+/// Reads the request head and answers one scrape.
+fn serve_scrape(mut stream: TcpStream, source: &SnapshotSource) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    let head = read_head(&mut stream)?;
+    let path = request_path(&head);
+    let (status, body) = match path {
+        Some("/") | Some("/metrics") => ("200 OK", render_prometheus(&(source)())),
+        Some(_) => ("404 Not Found", String::from("not found\n")),
+        None => ("400 Bad Request", String::from("bad request\n")),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\
+         \r\n",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the blank line ending the request head (or EOF/limit).
+fn read_head(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return Ok(head),
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(head)
+            }
+            Err(e) => return Err(e),
+        };
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_HEAD_BYTES {
+            return Ok(head);
+        }
+    }
+}
+
+/// Extracts the path from the first request line (`GET /metrics HTTP/1.1`).
+fn request_path(head: &[u8]) -> Option<&str> {
+    let text = std::str::from_utf8(head).ok()?;
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let _method = parts.next()?;
+    parts.next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buckwild_telemetry::{Counter, Recorder, ShardedRecorder};
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("request");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("response");
+        out
+    }
+
+    #[test]
+    fn serves_live_snapshots_until_shutdown() {
+        let recorder = Arc::new(ShardedRecorder::new(2));
+        recorder.counter("serve.requests").add(5);
+        let source = Arc::clone(&recorder);
+        let exporter = MetricsExporter::start("127.0.0.1:0", Arc::new(move || source.snapshot()))
+            .expect("bind exporter");
+        let addr = exporter.local_addr();
+
+        let response = scrape(addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+        assert!(response.contains("serve_requests 5"), "{response}");
+
+        // The endpoint is *live*: a later scrape sees newer counts.
+        recorder.counter("serve.requests").add(2);
+        let response = scrape(addr, "/");
+        assert!(response.contains("serve_requests 7"), "{response}");
+
+        // Unknown paths 404 instead of dumping metrics.
+        let response = scrape(addr, "/nope");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+
+        exporter.shutdown();
+        // The port is released: connecting now fails or yields no data.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut stream) => {
+                let _ = write!(stream, "GET /metrics HTTP/1.1\r\n\r\n");
+                let mut out = String::new();
+                let _ = stream
+                    .set_read_timeout(Some(Duration::from_millis(200)))
+                    .and_then(|()| stream.read_to_string(&mut out).map(|_| ()));
+                assert!(!out.contains("200 OK"), "exporter still serving: {out}");
+            }
+        }
+    }
+
+    #[test]
+    fn content_length_matches_body() {
+        let recorder = Arc::new(ShardedRecorder::new(1));
+        recorder.counter("a").add(1);
+        let source = Arc::clone(&recorder);
+        let exporter = MetricsExporter::start("127.0.0.1:0", Arc::new(move || source.snapshot()))
+            .expect("bind exporter");
+        let response = scrape(exporter.local_addr(), "/metrics");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content length")
+            .parse()
+            .expect("numeric");
+        assert_eq!(len, body.len());
+        exporter.shutdown();
+    }
+}

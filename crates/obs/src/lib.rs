@@ -1,0 +1,47 @@
+//! `buckwild-obs` — the live observability plane.
+//!
+//! The training and serving crates already *measure* everything (the
+//! sharded recorder, the span tracer); this crate makes a running system
+//! *observable from outside* and *explainable after the fact*, in three
+//! pillars:
+//!
+//! 1. **Always-on export** — [`MetricsExporter`] serves the current
+//!    [`MetricsSnapshot`](buckwild_telemetry::MetricsSnapshot) over HTTP
+//!    in Prometheus text exposition ([`render_prometheus`]), and
+//!    [`ObsLogger`] / [`ObsLogThread`] emit a JSONL time series of
+//!    stamped snapshots for offline plotting.
+//! 2. **Correlated flight recorder** — [`FlightRecorder`] keeps a
+//!    bounded ring of coarse structured events (epoch boundaries,
+//!    snapshot publishes, chaos injections, sync points, serve health)
+//!    under one run-id and a monotonic sequence; [`FlightTracer`]
+//!    adapts it to the `buckwild-trace` traits so any `train_traced`
+//!    engine feeds it, and under a virtual clock the JSONL dump is
+//!    byte-identical per seed.
+//! 3. **Anomaly watchdog** — [`Watchdog`] runs pluggable [`Detector`]s
+//!    (ceilings, p99 regression, throughput collapse, convergence
+//!    stall) over sampled state, latches the first firing of each, and
+//!    writes a post-mortem bundle (flight dump + final snapshot +
+//!    anomaly list + preamble) for offline diagnosis.
+//!
+//! Everything is std-only and dependency-free, like the rest of the
+//! workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod http;
+pub mod obslog;
+pub mod prom;
+pub mod watchdog;
+
+pub use flight::{
+    run_id_from_seed, FlightEvent, FlightKind, FlightRecorder, FlightSpanSink, FlightTracer,
+};
+pub use http::{MetricsExporter, SnapshotSource};
+pub use obslog::{ObsLogThread, ObsLogger};
+pub use prom::{render_prometheus, sanitize_name};
+pub use watchdog::{
+    Anomaly, CeilingDetector, ConvergenceStall, Detector, GnpsCollapse, ObsSample, P99Regression,
+    Watchdog, WatchdogThread,
+};

@@ -1,0 +1,195 @@
+//! The `--obs-log` emitter: a JSONL time series of metrics snapshots.
+//!
+//! One line per sample, each carrying the training/serving epoch, a
+//! wall-clock stamp in nanoseconds since the logger started, and the
+//! full metrics snapshot. Lines are flushed as written, so tailing the
+//! file during a run works, and every line parses independently with
+//! `buckwild_telemetry::json::parse` — plotting a metric is one loop
+//! over lines.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use buckwild_telemetry::json::{to_jsonl_line, Value};
+use buckwild_telemetry::MetricsSnapshot;
+
+/// An open observability log.
+#[derive(Debug)]
+pub struct ObsLogger {
+    out: BufWriter<File>,
+    started: Instant,
+}
+
+impl ObsLogger {
+    /// Creates (truncating) the log file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the create error.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(ObsLogger {
+            out: BufWriter::new(File::create(path)?),
+            started: Instant::now(),
+        })
+    }
+
+    /// Nanoseconds since the logger was created — the `wall_ns` stamp
+    /// [`append`](ObsLogger::append) applies when asked to self-stamp.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Appends one sample line and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the write error.
+    pub fn append(
+        &mut self,
+        epoch: u64,
+        wall_ns: u64,
+        snapshot: &MetricsSnapshot,
+    ) -> io::Result<()> {
+        let line = Value::object(vec![
+            ("epoch", Value::from(epoch)),
+            ("wall_ns", Value::from(wall_ns)),
+            ("metrics", snapshot.to_json_value()),
+        ]);
+        self.out.write_all(to_jsonl_line(&line).as_bytes())?;
+        self.out.flush()
+    }
+}
+
+/// A periodic sampler writing an [`ObsLogger`] in the background: every
+/// `interval` it calls the source for `(epoch, snapshot)`, stamps the
+/// elapsed wall nanoseconds, and appends one line.
+pub struct ObsLogThread {
+    shutdown: Arc<AtomicBool>,
+    handle: JoinHandle<io::Result<()>>,
+}
+
+impl std::fmt::Debug for ObsLogThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsLogThread").finish_non_exhaustive()
+    }
+}
+
+impl ObsLogThread {
+    /// Starts sampling `source` into `logger` every `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a thread.
+    #[must_use]
+    pub fn spawn(
+        mut logger: ObsLogger,
+        interval: Duration,
+        source: Box<dyn Fn() -> (u64, MetricsSnapshot) + Send>,
+    ) -> Self {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("obs-log".into())
+            .spawn(move || {
+                loop {
+                    let (epoch, snapshot) = source();
+                    logger.append(epoch, logger.elapsed_ns(), &snapshot)?;
+                    if flag.load(Ordering::Relaxed) {
+                        return Ok(());
+                    }
+                    // Sleep in short slices so stop() is prompt.
+                    let mut left = interval;
+                    while !flag.load(Ordering::Relaxed) && left > Duration::ZERO {
+                        let slice = left.min(Duration::from_millis(20));
+                        std::thread::sleep(slice);
+                        left = left.saturating_sub(slice);
+                    }
+                    if flag.load(Ordering::Relaxed) {
+                        // Final sample on the way out, then stop.
+                        let (epoch, snapshot) = source();
+                        logger.append(epoch, logger.elapsed_ns(), &snapshot)?;
+                        return Ok(());
+                    }
+                }
+            })
+            .expect("spawn obs-log thread");
+        ObsLogThread { shutdown, handle }
+    }
+
+    /// Stops sampling (after one final sample) and returns the first
+    /// write error, if any occurred.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sampler thread's I/O error.
+    pub fn stop(self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.handle.join().expect("obs-log thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buckwild_telemetry::{json, MetricValue};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("buckwild-obslog-{tag}-{}", std::process::id()))
+    }
+
+    fn snapshot(iters: u64) -> MetricsSnapshot {
+        MetricsSnapshot::from_entries(vec![
+            ("train.iterations".into(), MetricValue::Counter(iters)),
+            ("train.gnps".into(), MetricValue::Gauge(1.5)),
+        ])
+    }
+
+    #[test]
+    fn appends_parseable_stamped_lines() {
+        let path = temp_path("append");
+        let mut logger = ObsLogger::create(&path).expect("create");
+        logger.append(0, 10, &snapshot(100)).expect("line 0");
+        logger.append(1, 20, &snapshot(200)).expect("line 1");
+        drop(logger);
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let v = json::parse(line).expect("valid JSON line");
+            assert_eq!(v.get("epoch").unwrap().as_f64(), Some(i as f64));
+            let metrics = v.get("metrics").expect("metrics object");
+            assert!(metrics.get("train.iterations").is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn background_sampler_writes_until_stopped() {
+        let path = temp_path("thread");
+        let logger = ObsLogger::create(&path).expect("create");
+        let thread = ObsLogThread::spawn(
+            logger,
+            Duration::from_millis(5),
+            Box::new(|| (3, snapshot(42))),
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        thread.stop().expect("no write errors");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(
+            text.lines().count() >= 2,
+            "expected several samples: {text:?}"
+        );
+        for line in text.lines() {
+            let v = json::parse(line).expect("valid JSON line");
+            assert_eq!(v.get("epoch").unwrap().as_f64(), Some(3.0));
+            assert!(v.get("wall_ns").unwrap().as_f64().is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,174 @@
+//! Prometheus text exposition of a [`MetricsSnapshot`].
+//!
+//! The render is a pure function of the snapshot: entries are already
+//! sorted by name, numbers go through the shared formatter in
+//! `buckwild_telemetry::json`, and histograms export as Prometheus
+//! *summaries* (quantile-labelled gauges plus `_sum`/`_count`). The
+//! golden test below pins the output byte for byte — scrape consumers
+//! can rely on names, HELP/TYPE lines, and label ordering not drifting.
+
+use std::fmt::Write as _;
+
+use buckwild_telemetry::{MetricValue, MetricsSnapshot};
+
+/// Converts a workspace metric name (`serve.request_ns`) into a valid
+/// Prometheus metric name (`serve_request_ns`): dots and any other
+/// character outside `[a-zA-Z0-9_:]` become underscores, and a leading
+/// digit gains a `_` prefix.
+#[must_use]
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if valid { c } else { '_' });
+    }
+    out
+}
+
+/// Appends one number in exposition format. Prometheus accepts the same
+/// shortest-round-trip float rendering the JSON layer uses, except that
+/// non-finite values must spell `NaN` / `+Inf` / `-Inf` rather than
+/// becoming `null`.
+fn write_value(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        buckwild_telemetry::json::write_number(out, v);
+    }
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format
+/// (`text/plain; version=0.0.4`).
+///
+/// * counters → `# TYPE <name> counter` and one sample;
+/// * gauges → `# TYPE <name> gauge` and one sample;
+/// * histograms → `# TYPE <name> summary` with `{quantile="0.5"|"0.95"|
+///   "0.99"}` samples from the snapshot's log2-bucket estimates, plus
+///   `<name>_sum` and `<name>_count`.
+///
+/// Every family gets a `# HELP` line carrying the original dotted metric
+/// name, so the mapping back to the workspace registry is explicit.
+#[must_use]
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in snapshot.iter() {
+        let prom = sanitize_name(name);
+        match value {
+            MetricValue::Counter(c) => {
+                let _ = writeln!(out, "# HELP {prom} buckwild counter {name}");
+                let _ = writeln!(out, "# TYPE {prom} counter");
+                let _ = write!(out, "{prom} ");
+                write_value(&mut out, *c as f64);
+                out.push('\n');
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(out, "# HELP {prom} buckwild gauge {name}");
+                let _ = writeln!(out, "# TYPE {prom} gauge");
+                let _ = write!(out, "{prom} ");
+                write_value(&mut out, *g);
+                out.push('\n');
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# HELP {prom} buckwild histogram {name}");
+                let _ = writeln!(out, "# TYPE {prom} summary");
+                for (label, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                    let _ = write!(out, "{prom}{{quantile=\"{label}\"}} ");
+                    write_value(&mut out, v);
+                    out.push('\n');
+                }
+                let _ = write!(out, "{prom}_sum ");
+                write_value(&mut out, h.sum);
+                out.push('\n');
+                let _ = write!(out, "{prom}_count ");
+                write_value(&mut out, h.count as f64);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buckwild_telemetry::{HistogramSummary, MetricValue, MetricsSnapshot, QUANTILE_BUCKETS};
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("serve.request_ns"), "serve_request_ns");
+        assert_eq!(sanitize_name("train.gnps"), "train_gnps");
+        assert_eq!(sanitize_name("weird-name!x"), "weird_name_x");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("already_ok:yes"), "already_ok:yes");
+    }
+
+    #[test]
+    fn golden_exposition_output_is_pinned_byte_for_byte() {
+        // The full exposition of a snapshot with one of each metric kind.
+        // This is a *golden* test: if it fails, scrape consumers see the
+        // change too — update deliberately.
+        let mut buckets = [0u64; QUANTILE_BUCKETS];
+        buckets[buckwild_telemetry::quantile_bucket(100.0)] = 9;
+        buckets[buckwild_telemetry::quantile_bucket(900.0)] = 1;
+        let hist = HistogramSummary::from_buckets(10, 1800.0, 100.0, 900.0, &buckets);
+        let snap = MetricsSnapshot::from_entries(vec![
+            ("serve.requests".into(), MetricValue::Counter(42)),
+            ("train.gnps".into(), MetricValue::Gauge(2.125)),
+            ("serve.request_ns".into(), MetricValue::Histogram(hist)),
+        ]);
+        let expected = "\
+# HELP serve_request_ns buckwild histogram serve.request_ns
+# TYPE serve_request_ns summary
+serve_request_ns{quantile=\"0.5\"} 128
+serve_request_ns{quantile=\"0.95\"} 900
+serve_request_ns{quantile=\"0.99\"} 900
+serve_request_ns_sum 1800
+serve_request_ns_count 10
+# HELP serve_requests buckwild counter serve.requests
+# TYPE serve_requests counter
+serve_requests 42
+# HELP train_gnps buckwild gauge train.gnps
+# TYPE train_gnps gauge
+train_gnps 2.125
+";
+        assert_eq!(render_prometheus(&snap), expected);
+    }
+
+    #[test]
+    fn empty_histogram_exposes_finite_samples() {
+        let buckets = [0u64; QUANTILE_BUCKETS];
+        let hist =
+            HistogramSummary::from_buckets(0, 0.0, f64::INFINITY, f64::NEG_INFINITY, &buckets);
+        let snap =
+            MetricsSnapshot::from_entries(vec![("lat".into(), MetricValue::Histogram(hist))]);
+        let text = render_prometheus(&snap);
+        // Quantiles of an empty histogram are 0; min/max sentinels are
+        // not exported, so no Inf appears.
+        assert!(text.contains("lat{quantile=\"0.5\"} 0\n"), "{text}");
+        assert!(text.contains("lat_count 0\n"), "{text}");
+        assert!(!text.contains("Inf"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_prometheus(&MetricsSnapshot::default()), "");
+    }
+
+    #[test]
+    fn non_finite_gauge_spells_prometheus_not_json() {
+        let snap = MetricsSnapshot::from_entries(vec![
+            ("a".into(), MetricValue::Gauge(f64::NAN)),
+            ("b".into(), MetricValue::Gauge(f64::INFINITY)),
+        ]);
+        let text = render_prometheus(&snap);
+        assert!(text.contains("a NaN\n"), "{text}");
+        assert!(text.contains("b +Inf\n"), "{text}");
+    }
+}

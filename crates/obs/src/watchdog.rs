@@ -1,0 +1,731 @@
+//! The anomaly watchdog: pluggable detectors over sampled observability
+//! state, with a post-mortem bundle on trip.
+//!
+//! A [`Watchdog`] owns a set of [`Detector`]s and is fed [`ObsSample`]s —
+//! either synchronously (the deterministic engines call
+//! [`Watchdog::observe`] per epoch, which is what makes chaos-validated
+//! watchdog tests bit-reproducible) or from a sampling thread
+//! ([`WatchdogThread::spawn`]) that polls a live run at an interval.
+//! Each detector latches: it fires at most once per run, because the
+//! interesting output of a watchdog is "what went wrong first", not a
+//! stream of repeats. Trips are mirrored into the flight recorder (kind
+//! `WatchdogTrigger`) so the post-mortem timeline shows the detection
+//! alongside the events that caused it, and
+//! [`Watchdog::write_postmortem`] dumps everything an offline reader
+//! needs: the flight JSONL, the final metrics snapshot, the anomaly
+//! list, and a caller-supplied preamble (hardware + config).
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use buckwild_telemetry::json::Value;
+use buckwild_telemetry::{MetricValue, MetricsSnapshot};
+
+use crate::flight::{FlightKind, FlightRecorder};
+
+/// One observation fed to the detectors: where the run is (epoch, clock)
+/// and what is known about it (training loss and/or a metrics snapshot —
+/// either may be absent; detectors skip what they cannot see).
+#[derive(Debug, Clone, Default)]
+pub struct ObsSample {
+    /// Training epoch (or serve-side model epoch) at sample time.
+    pub epoch: u64,
+    /// Clock reading at sample time (wall ns or virtual ticks).
+    pub time: u64,
+    /// Training loss, when the sampler knows it.
+    pub loss: Option<f64>,
+    /// Metrics snapshot, when the sampler took one.
+    pub snapshot: Option<MetricsSnapshot>,
+}
+
+/// A detector verdict: which rule fired, on what evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// Detector name (stable, used in the post-mortem JSON).
+    pub detector: String,
+    /// The metric the verdict is about (empty for loss-based rules).
+    pub metric: String,
+    /// Epoch of the triggering sample.
+    pub epoch: u64,
+    /// Clock reading of the triggering sample.
+    pub time: u64,
+    /// Observed value that crossed the rule.
+    pub value: f64,
+    /// The threshold it crossed.
+    pub threshold: f64,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Anomaly {
+    /// The anomaly as a JSON object.
+    #[must_use]
+    pub fn to_json_value(&self) -> Value {
+        Value::object(vec![
+            ("detector", Value::from(self.detector.as_str())),
+            ("metric", Value::from(self.metric.as_str())),
+            ("epoch", Value::from(self.epoch)),
+            ("t", Value::from(self.time)),
+            ("value", Value::from(self.value)),
+            ("threshold", Value::from(self.threshold)),
+            ("message", Value::from(self.message.as_str())),
+        ])
+    }
+}
+
+/// An anomaly rule. Implementations keep their own rolling state; they
+/// are driven by one thread at a time (`Send`, not `Sync`).
+pub trait Detector: Send {
+    /// Stable detector name for reports.
+    fn name(&self) -> &'static str;
+    /// Inspects one sample; returns the anomaly if the rule fired.
+    fn observe(&mut self, sample: &ObsSample) -> Option<Anomaly>;
+}
+
+/// Reads the most alarming scalar a metric offers: histogram p99 if the
+/// name is a histogram, else the gauge value, else the counter value.
+fn metric_scalar(snapshot: &MetricsSnapshot, name: &str) -> Option<f64> {
+    match snapshot.get(name)? {
+        MetricValue::Histogram(h) => Some(h.p99),
+        MetricValue::Gauge(g) => Some(*g),
+        MetricValue::Counter(c) => Some(*c as f64),
+    }
+}
+
+/// Fires when a metric exceeds a fixed ceiling. The workhorse rule:
+/// epoch-lag ceilings (`serve.epoch_lag`), chaos progress-lag ceilings
+/// (`chaos.progress_lag`), or "any dropped write is too many"
+/// (`chaos.dropped_writes` with ceiling 0). Histograms compare their
+/// p99; gauges and counters compare their value.
+#[derive(Debug)]
+pub struct CeilingDetector {
+    metric: String,
+    ceiling: f64,
+}
+
+impl CeilingDetector {
+    /// A ceiling rule on `metric`.
+    #[must_use]
+    pub fn new(metric: &str, ceiling: f64) -> Self {
+        CeilingDetector {
+            metric: metric.to_string(),
+            ceiling,
+        }
+    }
+}
+
+impl Detector for CeilingDetector {
+    fn name(&self) -> &'static str {
+        "ceiling"
+    }
+
+    fn observe(&mut self, sample: &ObsSample) -> Option<Anomaly> {
+        let snapshot = sample.snapshot.as_ref()?;
+        let value = metric_scalar(snapshot, &self.metric)?;
+        if value > self.ceiling {
+            Some(Anomaly {
+                detector: self.name().to_string(),
+                metric: self.metric.clone(),
+                epoch: sample.epoch,
+                time: sample.time,
+                value,
+                threshold: self.ceiling,
+                message: format!(
+                    "{} = {value} exceeded ceiling {}",
+                    self.metric, self.ceiling
+                ),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Fires when a latency histogram's p99 regresses to more than `factor`
+/// times the rolling median of the previous `window` p99 readings. The
+/// rolling-median baseline makes the rule self-calibrating: it learns
+/// the run's own steady state instead of needing an absolute budget.
+#[derive(Debug)]
+pub struct P99Regression {
+    metric: String,
+    factor: f64,
+    window: usize,
+    history: Vec<f64>,
+}
+
+impl P99Regression {
+    /// A regression rule on histogram `metric`, needing `window` prior
+    /// samples before it can fire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` (a regression needs a baseline).
+    #[must_use]
+    pub fn new(metric: &str, factor: f64, window: usize) -> Self {
+        assert!(window > 0, "regression baseline needs a window");
+        P99Regression {
+            metric: metric.to_string(),
+            factor,
+            window,
+            history: Vec::new(),
+        }
+    }
+}
+
+fn median(sorted: &mut [f64]) -> f64 {
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+impl Detector for P99Regression {
+    fn name(&self) -> &'static str {
+        "p99_regression"
+    }
+
+    fn observe(&mut self, sample: &ObsSample) -> Option<Anomaly> {
+        let snapshot = sample.snapshot.as_ref()?;
+        let p99 = snapshot.histogram(&self.metric)?.p99;
+        let fired = if self.history.len() >= self.window {
+            let mut recent: Vec<f64> = self.history[self.history.len() - self.window..].to_vec();
+            let baseline = median(&mut recent);
+            if baseline > 0.0 && p99 > self.factor * baseline {
+                Some(Anomaly {
+                    detector: self.name().to_string(),
+                    metric: self.metric.clone(),
+                    epoch: sample.epoch,
+                    time: sample.time,
+                    value: p99,
+                    threshold: self.factor * baseline,
+                    message: format!(
+                        "{} p99 = {p99} is over {}x the rolling median {baseline}",
+                        self.metric, self.factor
+                    ),
+                })
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        self.history.push(p99);
+        fired
+    }
+}
+
+/// Fires when a throughput gauge collapses below `floor_frac` of the peak
+/// it has reached so far — e.g. `train.gnps` falling to a tenth of its
+/// earlier rate means workers are starved or wedged, even though the
+/// absolute number is workload-dependent.
+#[derive(Debug)]
+pub struct GnpsCollapse {
+    metric: String,
+    floor_frac: f64,
+    peak: f64,
+}
+
+impl GnpsCollapse {
+    /// A collapse rule on gauge `metric`.
+    #[must_use]
+    pub fn new(metric: &str, floor_frac: f64) -> Self {
+        GnpsCollapse {
+            metric: metric.to_string(),
+            floor_frac,
+            peak: 0.0,
+        }
+    }
+}
+
+impl Detector for GnpsCollapse {
+    fn name(&self) -> &'static str {
+        "throughput_collapse"
+    }
+
+    fn observe(&mut self, sample: &ObsSample) -> Option<Anomaly> {
+        let snapshot = sample.snapshot.as_ref()?;
+        let value = snapshot.gauge(&self.metric)?;
+        let floor = self.floor_frac * self.peak;
+        let fired = self.peak > 0.0 && value < floor;
+        if value > self.peak {
+            self.peak = value;
+        }
+        if fired {
+            Some(Anomaly {
+                detector: self.name().to_string(),
+                metric: self.metric.clone(),
+                epoch: sample.epoch,
+                time: sample.time,
+                value,
+                threshold: floor,
+                message: format!(
+                    "{} = {value} collapsed below {} of peak {}",
+                    self.metric, self.floor_frac, self.peak
+                ),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Fires when training loss stops improving: over the last `window`
+/// loss samples the total improvement is below `min_delta`. Samples
+/// without a loss are ignored.
+#[derive(Debug)]
+pub struct ConvergenceStall {
+    window: usize,
+    min_delta: f64,
+    losses: Vec<f64>,
+}
+
+impl ConvergenceStall {
+    /// A stall rule needing `window + 1` loss samples before it can fire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: usize, min_delta: f64) -> Self {
+        assert!(window > 0, "stall detection needs a window");
+        ConvergenceStall {
+            window,
+            min_delta,
+            losses: Vec::new(),
+        }
+    }
+}
+
+impl Detector for ConvergenceStall {
+    fn name(&self) -> &'static str {
+        "convergence_stall"
+    }
+
+    fn observe(&mut self, sample: &ObsSample) -> Option<Anomaly> {
+        let loss = sample.loss?;
+        self.losses.push(loss);
+        if self.losses.len() <= self.window {
+            return None;
+        }
+        let before = self.losses[self.losses.len() - 1 - self.window];
+        let improvement = before - loss;
+        if improvement < self.min_delta {
+            Some(Anomaly {
+                detector: self.name().to_string(),
+                metric: String::new(),
+                epoch: sample.epoch,
+                time: sample.time,
+                value: improvement,
+                threshold: self.min_delta,
+                message: format!(
+                    "loss improved only {improvement} over the last {} samples (need {})",
+                    self.window, self.min_delta
+                ),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// The watchdog: detectors, their accumulated verdicts, and the flight
+/// recorder trips are mirrored into.
+pub struct Watchdog {
+    detectors: Vec<(Box<dyn Detector>, bool)>,
+    anomalies: Vec<Anomaly>,
+    flight: Option<FlightRecorder>,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchdog")
+            .field("detectors", &self.detectors.len())
+            .field("anomalies", &self.anomalies.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Watchdog {
+    /// An empty watchdog with no flight recorder attached.
+    #[must_use]
+    pub fn new() -> Self {
+        Watchdog {
+            detectors: Vec::new(),
+            anomalies: Vec::new(),
+            flight: None,
+        }
+    }
+
+    /// Mirrors trips (and the post-mortem flight dump) into `flight`.
+    #[must_use]
+    pub fn with_flight(mut self, flight: FlightRecorder) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// Adds a detector (builder-style).
+    #[must_use]
+    pub fn detect(mut self, detector: impl Detector + 'static) -> Self {
+        self.detectors.push((Box::new(detector), false));
+        self
+    }
+
+    /// Feeds one sample to every detector that has not yet fired.
+    /// Returns the anomalies this sample produced (also accumulated).
+    pub fn observe(&mut self, sample: &ObsSample) -> Vec<Anomaly> {
+        let mut fired = Vec::new();
+        for (detector, latched) in &mut self.detectors {
+            if *latched {
+                continue;
+            }
+            if let Some(anomaly) = detector.observe(sample) {
+                *latched = true;
+                if let Some(flight) = &self.flight {
+                    flight.record_at(sample.time, FlightKind::WatchdogTrigger, 0, sample.epoch);
+                }
+                fired.push(anomaly);
+            }
+        }
+        self.anomalies.extend(fired.iter().cloned());
+        fired
+    }
+
+    /// Every anomaly observed so far, in detection order.
+    #[must_use]
+    pub fn anomalies(&self) -> &[Anomaly] {
+        &self.anomalies
+    }
+
+    /// Whether any detector has fired.
+    #[must_use]
+    pub fn tripped(&self) -> bool {
+        !self.anomalies.is_empty()
+    }
+
+    /// Writes the post-mortem bundle into `dir` (created if missing):
+    ///
+    /// * `preamble.json` — the caller-supplied run context (hardware,
+    ///   config, seed);
+    /// * `anomalies.json` — every [`Anomaly`] in detection order;
+    /// * `snapshot.json` — the final metrics snapshot, when given;
+    /// * `flight.jsonl` — the flight-recorder dump, when attached
+    ///   (byte-identical across runs under a virtual clock);
+    /// * `flight_chrome.json` — the same events as a Chrome trace.
+    ///
+    /// Returns the bundle directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first filesystem error.
+    pub fn write_postmortem(
+        &self,
+        dir: &Path,
+        preamble: &Value,
+        final_snapshot: Option<&MetricsSnapshot>,
+    ) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("preamble.json"), preamble.to_json_pretty())?;
+        let anomalies = Value::Array(self.anomalies.iter().map(Anomaly::to_json_value).collect());
+        std::fs::write(dir.join("anomalies.json"), anomalies.to_json_pretty())?;
+        if let Some(snapshot) = final_snapshot {
+            std::fs::write(
+                dir.join("snapshot.json"),
+                snapshot.to_json_value().to_json_pretty(),
+            )?;
+        }
+        if let Some(flight) = &self.flight {
+            std::fs::write(dir.join("flight.jsonl"), flight.to_jsonl())?;
+            std::fs::write(
+                dir.join("flight_chrome.json"),
+                flight.to_chrome_json_value().to_json_pretty(),
+            )?;
+        }
+        Ok(dir.to_path_buf())
+    }
+}
+
+/// A live sampling loop: polls `sample` every `interval` and feeds the
+/// watchdog until stopped. [`WatchdogThread::stop`] returns the
+/// [`Watchdog`] so the caller can inspect verdicts and write the
+/// post-mortem from the final state.
+pub struct WatchdogThread {
+    shutdown: Arc<AtomicBool>,
+    handle: JoinHandle<Watchdog>,
+}
+
+impl std::fmt::Debug for WatchdogThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WatchdogThread").finish_non_exhaustive()
+    }
+}
+
+impl WatchdogThread {
+    /// Starts the sampling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a thread.
+    #[must_use]
+    pub fn spawn(
+        mut watchdog: Watchdog,
+        interval: Duration,
+        sample: Box<dyn Fn() -> ObsSample + Send>,
+    ) -> Self {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("obs-watchdog".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    watchdog.observe(&sample());
+                    // Sleep in short slices so stop() is prompt.
+                    let mut left = interval;
+                    while !flag.load(Ordering::Relaxed) && left > Duration::ZERO {
+                        let slice = left.min(Duration::from_millis(20));
+                        std::thread::sleep(slice);
+                        left = left.saturating_sub(slice);
+                    }
+                }
+                // One final observation so the last state is judged too.
+                watchdog.observe(&sample());
+                watchdog
+            })
+            .expect("spawn watchdog thread");
+        WatchdogThread { shutdown, handle }
+    }
+
+    /// Stops sampling and returns the watchdog with its verdicts.
+    #[must_use]
+    pub fn stop(self) -> Watchdog {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.handle.join().expect("watchdog thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buckwild_telemetry::{
+        quantile_bucket, HistogramSummary, MetricsSnapshot, QUANTILE_BUCKETS,
+    };
+
+    fn snap_with(entries: Vec<(&str, MetricValue)>) -> MetricsSnapshot {
+        MetricsSnapshot::from_entries(
+            entries
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+        )
+    }
+
+    fn hist(p_all: f64, count: u64) -> MetricValue {
+        let mut buckets = [0u64; QUANTILE_BUCKETS];
+        buckets[quantile_bucket(p_all)] = count;
+        MetricValue::Histogram(HistogramSummary::from_buckets(
+            count,
+            p_all * count as f64,
+            p_all,
+            p_all,
+            &buckets,
+        ))
+    }
+
+    fn sample(epoch: u64, snapshot: MetricsSnapshot) -> ObsSample {
+        ObsSample {
+            epoch,
+            time: epoch * 10,
+            loss: None,
+            snapshot: Some(snapshot),
+        }
+    }
+
+    #[test]
+    fn ceiling_fires_on_counters_gauges_and_histogram_p99() {
+        let mut on_counter = CeilingDetector::new("chaos.dropped_writes", 0.0);
+        let quiet = sample(
+            0,
+            snap_with(vec![("chaos.dropped_writes", MetricValue::Counter(0))]),
+        );
+        assert!(on_counter.observe(&quiet).is_none());
+        let loud = sample(
+            1,
+            snap_with(vec![("chaos.dropped_writes", MetricValue::Counter(3))]),
+        );
+        let anomaly = on_counter.observe(&loud).expect("must fire");
+        assert_eq!(anomaly.value, 3.0);
+        assert_eq!(anomaly.epoch, 1);
+
+        let mut on_gauge = CeilingDetector::new("serve.epoch_lag", 2.0);
+        let lag = sample(
+            4,
+            snap_with(vec![("serve.epoch_lag", MetricValue::Gauge(5.0))]),
+        );
+        assert!(on_gauge.observe(&lag).is_some());
+
+        let mut on_hist = CeilingDetector::new("serve.request_ns", 1000.0);
+        let slow = sample(2, snap_with(vec![("serve.request_ns", hist(5000.0, 8))]));
+        assert!(on_hist.observe(&slow).is_some());
+        // Missing metric or missing snapshot: no verdict.
+        assert!(on_hist.observe(&sample(3, snap_with(vec![]))).is_none());
+        assert!(on_hist.observe(&ObsSample::default()).is_none());
+    }
+
+    #[test]
+    fn p99_regression_needs_a_baseline_then_fires_on_spike() {
+        let mut det = P99Regression::new("serve.request_ns", 3.0, 4);
+        for epoch in 0..4 {
+            let s = sample(
+                epoch,
+                snap_with(vec![("serve.request_ns", hist(100.0, 10))]),
+            );
+            assert!(det.observe(&s).is_none(), "building baseline");
+        }
+        // 128 is the p99 of the 100-bucket; a 3x rule tolerates small drift.
+        let mild = sample(4, snap_with(vec![("serve.request_ns", hist(300.0, 10))]));
+        assert!(det.observe(&mild).is_none(), "within 3x of median");
+        let spike = sample(
+            5,
+            snap_with(vec![("serve.request_ns", hist(100_000.0, 10))]),
+        );
+        let anomaly = det.observe(&spike).expect("spike must fire");
+        assert!(anomaly.value > anomaly.threshold);
+    }
+
+    #[test]
+    fn throughput_collapse_tracks_the_peak() {
+        let mut det = GnpsCollapse::new("train.gnps", 0.25);
+        let gnps = |epoch, v| {
+            sample(
+                epoch,
+                snap_with(vec![("train.gnps", MetricValue::Gauge(v))]),
+            )
+        };
+        assert!(
+            det.observe(&gnps(0, 2.0)).is_none(),
+            "first reading sets peak"
+        );
+        assert!(det.observe(&gnps(1, 4.0)).is_none(), "rising is fine");
+        assert!(det.observe(&gnps(2, 1.5)).is_none(), "above 25% of 4.0");
+        let anomaly = det.observe(&gnps(3, 0.5)).expect("collapse must fire");
+        assert_eq!(anomaly.threshold, 1.0);
+    }
+
+    #[test]
+    fn convergence_stall_fires_when_loss_plateaus() {
+        let mut det = ConvergenceStall::new(3, 1e-3);
+        let lossy = |epoch, loss| ObsSample {
+            epoch,
+            time: epoch,
+            loss: Some(loss),
+            snapshot: None,
+        };
+        for (epoch, loss) in [(0, 1.0), (1, 0.5), (2, 0.3), (3, 0.2)] {
+            assert!(det.observe(&lossy(epoch, loss)).is_none(), "improving");
+        }
+        for epoch in 4..6 {
+            let _ = det.observe(&lossy(epoch, 0.2));
+        }
+        let anomaly = det.observe(&lossy(6, 0.2)).expect("plateau must fire");
+        assert_eq!(anomaly.detector, "convergence_stall");
+        assert!(
+            det.observe(&ObsSample::default()).is_none(),
+            "no loss, no verdict"
+        );
+    }
+
+    #[test]
+    fn watchdog_latches_and_mirrors_trips_into_flight() {
+        let flight = FlightRecorder::virtual_clock(0x1, 64);
+        let mut dog = Watchdog::new()
+            .with_flight(flight.clone())
+            .detect(CeilingDetector::new("chaos.stalls", 0.0));
+        let bad = sample(
+            2,
+            snap_with(vec![("chaos.stalls", MetricValue::Counter(5))]),
+        );
+        assert_eq!(dog.observe(&bad).len(), 1);
+        assert!(dog.tripped());
+        // Latched: the same condition does not fire twice.
+        assert!(dog.observe(&bad).is_empty());
+        assert_eq!(dog.anomalies().len(), 1);
+        let events = flight.dump();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, FlightKind::WatchdogTrigger);
+        assert_eq!(events[0].arg, 2);
+    }
+
+    #[test]
+    fn postmortem_bundle_has_all_files() {
+        let dir =
+            std::env::temp_dir().join(format!("buckwild-obs-postmortem-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let flight = FlightRecorder::virtual_clock(0x2, 64);
+        flight.record_at(1, FlightKind::Epoch, 0, 0);
+        let mut dog = Watchdog::new()
+            .with_flight(flight)
+            .detect(CeilingDetector::new("chaos.stalls", 0.0));
+        let snap = snap_with(vec![("chaos.stalls", MetricValue::Counter(9))]);
+        let _ = dog.observe(&sample(1, snap.clone()));
+        let preamble = Value::object(vec![("seed", Value::from(7u64))]);
+        let out = dog
+            .write_postmortem(&dir, &preamble, Some(&snap))
+            .expect("write bundle");
+        for file in [
+            "preamble.json",
+            "anomalies.json",
+            "snapshot.json",
+            "flight.jsonl",
+            "flight_chrome.json",
+        ] {
+            let path = out.join(file);
+            assert!(path.is_file(), "missing {file}");
+            let text = std::fs::read_to_string(&path).expect("readable");
+            assert!(!text.is_empty(), "{file} empty");
+        }
+        // anomalies.json parses and names the detector.
+        let text = std::fs::read_to_string(out.join("anomalies.json")).unwrap();
+        let parsed = buckwild_telemetry::json::parse(&text).unwrap();
+        let list = parsed.as_array().unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].get("detector").unwrap().as_str(), Some("ceiling"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampling_thread_observes_until_stopped() {
+        let flight = FlightRecorder::new(0x3, 64);
+        let dog = Watchdog::new()
+            .with_flight(flight)
+            .detect(CeilingDetector::new("serve.epoch_lag", 2.0));
+        let handle = WatchdogThread::spawn(
+            dog,
+            Duration::from_millis(5),
+            Box::new(|| ObsSample {
+                epoch: 1,
+                time: 0,
+                loss: None,
+                snapshot: Some(MetricsSnapshot::from_entries(vec![(
+                    "serve.epoch_lag".into(),
+                    MetricValue::Gauge(9.0),
+                )])),
+            }),
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        let dog = handle.stop();
+        assert!(dog.tripped(), "lag of 9 over ceiling 2 must trip");
+        assert_eq!(dog.anomalies().len(), 1, "and it must latch");
+    }
+}

@@ -22,7 +22,12 @@
 //!   training in it. Request latency lands in `serve.request_ns`
 //!   (p50/p95/p99 via the telemetry histogram), volumes in the other
 //!   `serve.*` counters, and each request can emit a `Phase::Request`
-//!   span via [`PredictServer::start_traced`].
+//!   span via [`PredictServer::start_traced`]. With
+//!   [`ServeConfig::metrics_addr`] the server also binds an always-on
+//!   Prometheus scrape endpoint (via `buckwild-obs`), and
+//!   [`ServeConfig::max_connections`] caps concurrent connections —
+//!   overflow closes immediately and counts in `serve.rejected_total`,
+//!   while `serve.active_connections` gauges the open set.
 //! * [`PredictClient`] — a blocking client; each response carries the
 //!   epoch tag of the snapshot that answered it, so staleness is
 //!   observable end to end.

@@ -12,13 +12,14 @@
 
 use std::io::{self, BufWriter, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use buckwild::Predictor;
-use buckwild_telemetry::{Counter, Histogram, MetricsSnapshot, Recorder, ShardedRecorder};
+use buckwild_obs::MetricsExporter;
+use buckwild_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Recorder, ShardedRecorder};
 use buckwild_trace::{NoopTracer, Phase, Tracer, WorkerTracer};
 
 use crate::hub::SnapshotHub;
@@ -42,26 +43,38 @@ pub mod metric {
     pub const REQUEST_NS: &str = "serve.request_ns";
     /// Epochs between the served snapshot and the newest published one.
     pub const EPOCH_LAG: &str = "serve.epoch_lag";
+    /// Connections currently open, across all shards (gauge).
+    pub const ACTIVE_CONNECTIONS: &str = "serve.active_connections";
+    /// Connections refused by the [`ServeConfig::max_connections`] cap.
+    ///
+    /// [`ServeConfig::max_connections`]: super::ServeConfig::max_connections
+    pub const REJECTED: &str = "serve.rejected_total";
 }
 
 /// How often a blocked connection read polls the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
-/// Server configuration: bind address and shard count.
+/// Server configuration: bind address, shard count, connection cap, and
+/// the optional always-on metrics endpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     addr: String,
     shards: usize,
+    max_connections: usize,
+    metrics_addr: Option<String>,
 }
 
 impl ServeConfig {
     /// A config binding `addr` (use port 0 to let the OS pick) with a
     /// default shard count of `min(cores, 4)` — serving shares the
-    /// machine with training, so it does not claim every core.
+    /// machine with training, so it does not claim every core — no
+    /// connection cap, and no metrics endpoint.
     pub fn new(addr: impl Into<String>) -> Self {
         ServeConfig {
             addr: addr.into(),
             shards: buckwild_affinity::core_count().clamp(1, 4),
+            max_connections: 0,
+            metrics_addr: None,
         }
     }
 
@@ -74,6 +87,24 @@ impl ServeConfig {
     pub fn shards(mut self, shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
         self.shards = shards;
+        self
+    }
+
+    /// Caps concurrently open connections across all shards; a connection
+    /// arriving over the cap is closed immediately and counted in
+    /// `serve.rejected_total`. `0` (the default) means unlimited.
+    #[must_use]
+    pub fn max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max;
+        self
+    }
+
+    /// Also binds a Prometheus scrape endpoint at `addr` (use port 0 to
+    /// let the OS pick) serving the live `serve.*` metrics for the
+    /// server's lifetime.
+    #[must_use]
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
         self
     }
 }
@@ -89,6 +120,7 @@ pub struct PredictServer {
     shutdown: Arc<AtomicBool>,
     recorder: Arc<ShardedRecorder>,
     handles: Vec<JoinHandle<()>>,
+    exporter: Option<MetricsExporter>,
 }
 
 impl PredictServer {
@@ -111,6 +143,17 @@ impl PredictServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let recorder = Arc::new(ShardedRecorder::new(config.shards));
+        let exporter = match &config.metrics_addr {
+            Some(metrics_addr) => {
+                let source = Arc::clone(&recorder);
+                Some(MetricsExporter::start(
+                    metrics_addr,
+                    Arc::new(move || source.snapshot()),
+                )?)
+            }
+            None => None,
+        };
+        let active = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
             let listener = listener.try_clone()?;
@@ -118,6 +161,8 @@ impl PredictServer {
             let shutdown = Arc::clone(&shutdown);
             let recorder = Arc::clone(&recorder);
             let tracer = Arc::clone(&tracer);
+            let active = Arc::clone(&active);
+            let max_connections = config.max_connections;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("serve-{shard}"))
@@ -129,6 +174,8 @@ impl PredictServer {
                             &recorder,
                             &shutdown,
                             tracer.as_ref(),
+                            &active,
+                            max_connections,
                         )
                     })
                     .expect("spawn serve shard"),
@@ -139,6 +186,7 @@ impl PredictServer {
             shutdown,
             recorder,
             handles,
+            exporter,
         })
     }
 
@@ -151,11 +199,26 @@ impl PredictServer {
         self.addr
     }
 
+    /// The bound address of the metrics endpoint, when
+    /// [`ServeConfig::metrics_addr`] asked for one.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.exporter.as_ref().map(MetricsExporter::local_addr)
+    }
+
     /// A point-in-time snapshot of the `serve.*` counters and latency
     /// histograms; callable while the server is running.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
         self.recorder.snapshot()
+    }
+
+    /// The live metrics recorder behind [`PredictServer::metrics`] —
+    /// share it with an external sampler (an observability logger, a
+    /// watchdog) that must outlive borrows of the server.
+    #[must_use]
+    pub fn recorder(&self) -> Arc<ShardedRecorder> {
+        Arc::clone(&self.recorder)
     }
 
     /// Stops accepting, wakes every shard, joins them, and returns the
@@ -171,10 +234,14 @@ impl PredictServer {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+        if let Some(exporter) = self.exporter.take() {
+            exporter.shutdown();
+        }
         self.recorder.snapshot()
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn shard_loop<T: Tracer>(
     shard: usize,
     listener: &TcpListener,
@@ -182,8 +249,11 @@ fn shard_loop<T: Tracer>(
     recorder: &ShardedRecorder,
     shutdown: &AtomicBool,
     tracer: &T,
+    active: &AtomicU64,
+    max_connections: usize,
 ) {
     let connections = recorder.worker_counter(metric::CONNECTIONS, shard);
+    let rejected = recorder.worker_counter(metric::REJECTED, shard);
     let requests = recorder.worker_counter(metric::REQUESTS, shard);
     let predictions = recorder.worker_counter(metric::PREDICTIONS, shard);
     let bad_requests = recorder.worker_counter(metric::BAD_REQUESTS, shard);
@@ -191,6 +261,7 @@ fn shard_loop<T: Tracer>(
     let shape_mismatch = recorder.worker_counter(metric::SHAPE_MISMATCH, shard);
     let request_ns = recorder.worker_histogram(metric::REQUEST_NS, shard);
     let epoch_lag = recorder.worker_histogram(metric::EPOCH_LAG, shard);
+    let active_gauge = recorder.gauge(metric::ACTIVE_CONNECTIONS);
     let mut span = tracer.worker(shard);
     let mut scratch = Scratch::default();
     loop {
@@ -205,6 +276,16 @@ fn shard_loop<T: Tracer>(
         if shutdown.load(Ordering::Relaxed) {
             return;
         }
+        // Claim an active slot; over the cap, count the rejection and
+        // close immediately (dropping the stream resets the peer).
+        let now_active = active.fetch_add(1, Ordering::Relaxed) + 1;
+        if max_connections > 0 && now_active as usize > max_connections {
+            rejected.incr();
+            active.fetch_sub(1, Ordering::Relaxed);
+            continue;
+        }
+        // Last-write-wins gauge: exact whenever writers quiesce.
+        active_gauge.set(now_active as f64);
         connections.incr();
         let counters = Counters {
             requests: &requests,
@@ -218,6 +299,8 @@ fn shard_loop<T: Tracer>(
         // A connection error (peer reset mid-frame) only drops that
         // connection; the shard goes back to accepting.
         let _ = serve_connection(stream, hub, shutdown, &counters, &mut span, &mut scratch);
+        let now_active = active.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        active_gauge.set(now_active as f64);
     }
 }
 

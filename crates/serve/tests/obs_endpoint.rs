@@ -1,0 +1,119 @@
+//! The serve-side observability surface over real TCP: the embedded
+//! Prometheus endpoint serves live `serve.*` metrics, the connection cap
+//! rejects (and counts) overflow connections, and the active-connection
+//! gauge tracks open connections.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use buckwild::prelude::*;
+use buckwild_dataset::generate;
+use buckwild_serve::{PredictClient, PredictServer, ServeConfig, SnapshotHub};
+
+const FEATURES: usize = 16;
+
+fn scrape(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("send scrape");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read scrape");
+    out
+}
+
+#[test]
+fn metrics_endpoint_cap_and_active_gauge() {
+    let problem = generate::logistic_dense(FEATURES, 120, 11);
+    let hub = Arc::new(SnapshotHub::new());
+    let config = ServeConfig::new("127.0.0.1:0")
+        .shards(2)
+        .max_connections(1)
+        .metrics_addr("127.0.0.1:0");
+    let server = PredictServer::start(Arc::clone(&hub), &config).expect("bind server");
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint requested");
+
+    SgdConfig::new(Loss::Logistic)
+        .signature("D8M8".parse().expect("signature"))
+        .epochs(3)
+        .on_snapshot(hub.observer())
+        .train(&problem.data)
+        .expect("train");
+
+    // One real request: populates serve.request_ns / serve.epoch_lag and
+    // holds the connection open (the client keeps its stream).
+    let mut client = PredictClient::connect(server.local_addr()).expect("connect");
+    let response = client
+        .predict(&[0.25f32; FEATURES], FEATURES)
+        .expect("predict");
+    assert!(response.is_ok());
+
+    // A second connection is over the cap of 1: the free shard accepts
+    // it, counts the rejection, and closes. Wait for the counter rather
+    // than the close (accept timing is the kernel's).
+    let overflow = TcpStream::connect(server.local_addr()).expect("tcp connect");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server
+        .metrics()
+        .counter("serve.rejected_total")
+        .unwrap_or(0)
+        == 0
+    {
+        assert!(Instant::now() < deadline, "rejection never counted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(overflow);
+
+    // The live scrape shows the serving state: the held connection on
+    // the gauge, the rejection counter, and request-latency quantiles.
+    let body = scrape(metrics_addr);
+    assert!(body.starts_with("HTTP/1.1 200 OK\r\n"), "{body}");
+    assert!(
+        body.contains("text/plain; version=0.0.4"),
+        "exposition content type missing: {body}"
+    );
+    assert!(
+        body.contains("serve_active_connections 1"),
+        "active gauge must show the held connection: {body}"
+    );
+    assert!(
+        body.contains("serve_rejected_total 1"),
+        "rejection counter missing: {body}"
+    );
+    assert!(
+        body.contains("serve_request_ns{quantile=\"0.99\"}"),
+        "latency quantiles missing: {body}"
+    );
+    assert!(
+        body.contains("serve_epoch_lag"),
+        "epoch lag missing: {body}"
+    );
+
+    drop(client);
+    // Closing the held connection drains the gauge to zero.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let active = server.metrics().gauge("serve.active_connections");
+        if active == Some(0.0) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "gauge never drained: {active:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.counter("serve.rejected_total"), Some(1));
+    assert_eq!(metrics.counter("serve.connections"), Some(1));
+    // The metrics endpoint dies with the server.
+    match TcpStream::connect(metrics_addr) {
+        Err(_) => {}
+        Ok(mut stream) => {
+            let _ = write!(stream, "GET /metrics HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = stream
+                .set_read_timeout(Some(Duration::from_millis(200)))
+                .and_then(|()| stream.read_to_string(&mut out).map(|_| ()));
+            assert!(!out.contains("200 OK"), "endpoint outlived server: {out}");
+        }
+    }
+}

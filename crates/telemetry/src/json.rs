@@ -192,7 +192,15 @@ fn push_indent(out: &mut String, indent: usize) {
     }
 }
 
-fn write_number(out: &mut String, n: f64) {
+/// Appends the JSON rendering of a number to `out`: `null` for non-finite
+/// values, no fraction for integral values (with `-0` normalized), and
+/// otherwise the shortest string that round-trips.
+///
+/// This is the one number formatter every JSON writer in the workspace
+/// shares — [`Value::to_json`], the trace exports, and the line-oriented
+/// observability emitters all route through it, so a number serializes
+/// identically no matter which layer wrote it.
+pub fn write_number(out: &mut String, n: f64) {
     if !n.is_finite() {
         out.push_str("null");
     } else if n == n.trunc() && n.abs() < 9e15 {
@@ -204,7 +212,13 @@ fn write_number(out: &mut String, n: f64) {
     }
 }
 
-fn write_string(out: &mut String, s: &str) {
+/// Appends `s` as a quoted, escaped JSON string to `out`.
+///
+/// The shared escape helper behind every string the workspace serializes:
+/// `"` and `\` are backslash-escaped, `\n`/`\r`/`\t` use their short
+/// forms, and remaining control characters (below U+0020) become `\uXXXX`.
+/// Everything else — including non-ASCII — passes through verbatim.
+pub fn write_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -220,6 +234,17 @@ fn write_string(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Renders `value` as one JSONL record: compact JSON plus the terminating
+/// newline. The line-oriented emitters (`--obs-log`, flight-recorder
+/// dumps) write exactly this, so a JSONL file is parseable line by line
+/// with [`parse`].
+#[must_use]
+pub fn to_jsonl_line(value: &Value) -> String {
+    let mut out = value.to_json();
+    out.push('\n');
+    out
 }
 
 /// Error from [`parse`].
@@ -474,6 +499,58 @@ mod tests {
     fn escapes_round_trip() {
         let v = Value::from("quote \" backslash \\ newline \n tab \t unicode ∞");
         assert_eq!(parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escaping_edge_cases_pin_exact_output() {
+        let case = |input: &str, expected: &str| {
+            let mut out = String::new();
+            write_string(&mut out, input);
+            assert_eq!(out, expected, "input {input:?}");
+            // And the escaped form parses back to the original.
+            assert_eq!(parse(&out).unwrap(), Value::from(input), "input {input:?}");
+        };
+        case("", "\"\"");
+        case("\"", "\"\\\"\"");
+        case("\\", "\"\\\\\"");
+        case("\\\"", "\"\\\\\\\"\"");
+        case("a\\nb", "\"a\\\\nb\""); // literal backslash-n, not a newline
+        case("\n\r\t", "\"\\n\\r\\t\"");
+        case("\u{0}\u{1}\u{1f}", "\"\\u0000\\u0001\\u001f\"");
+        case("\u{7f}", "\"\u{7f}\""); // DEL is not a JSON control escape
+        case(
+            "mixed \"q\" \\ \u{8} end",
+            "\"mixed \\\"q\\\" \\\\ \\u0008 end\"",
+        );
+        case("héllo ∞", "\"héllo ∞\""); // non-ASCII passes through raw
+    }
+
+    #[test]
+    fn shared_number_formatter_matches_value_writer() {
+        for n in [
+            0.0,
+            -0.0,
+            3.0,
+            -2.0,
+            2.5,
+            1e-9,
+            9e15,
+            f64::NAN,
+            f64::INFINITY,
+        ] {
+            let mut direct = String::new();
+            write_number(&mut direct, n);
+            assert_eq!(direct, Value::from(n).to_json(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn jsonl_line_is_compact_and_newline_terminated() {
+        let v = Value::object(vec![("a", Value::from(1.0)), ("b", Value::from("x\ny"))]);
+        let line = to_jsonl_line(&v);
+        assert!(line.ends_with('\n'));
+        assert_eq!(line.matches('\n').count(), 1, "no embedded raw newlines");
+        assert_eq!(parse(line.trim_end()).unwrap(), v);
     }
 
     #[test]

@@ -297,6 +297,47 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_serializes_without_infinities() {
+        // An empty histogram carries min = +inf / max = -inf sentinels;
+        // the JSON writer must turn those into null, never "inf" text.
+        let buckets = [0u64; QUANTILE_BUCKETS];
+        let snap = MetricsSnapshot::from_entries(vec![(
+            "empty.hist".into(),
+            MetricValue::Histogram(HistogramSummary::from_buckets(
+                0,
+                0.0,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                &buckets,
+            )),
+        )]);
+        let json = snap.to_json_value().to_json();
+        assert!(!json.contains("inf"), "{json}");
+        let parsed = crate::json::parse(&json).expect("valid json");
+        let h = parsed.get("empty.hist").unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(0.0));
+        assert_eq!(h.get("min"), Some(&Value::Null));
+        assert_eq!(h.get("max"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_the_sample() {
+        // One observation: every quantile is that observation — the
+        // bucket upper bound clamps to the observed [min, max] point.
+        for v in [0.25, 1.0, 3.5, 1e6] {
+            let mut buckets = [0u64; QUANTILE_BUCKETS];
+            buckets[quantile_bucket(v)] = 1;
+            let h = HistogramSummary::from_buckets(1, v, v, v, &buckets);
+            assert_eq!(h.p50, v, "p50 of single sample {v}");
+            assert_eq!(h.p95, v, "p95 of single sample {v}");
+            assert_eq!(h.p99, v, "p99 of single sample {v}");
+            assert_eq!(h.mean(), v);
+            assert_eq!(h.min, v);
+            assert_eq!(h.max, v);
+        }
+    }
+
+    #[test]
     fn histogram_json_includes_quantiles() {
         let mut buckets = [0u64; QUANTILE_BUCKETS];
         buckets[quantile_bucket(4.0)] = 10;

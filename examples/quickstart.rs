@@ -6,6 +6,8 @@
 //! cargo run --release --example quickstart -- --kernel bitserial
 //! cargo run --release --example quickstart -- --isa scalar
 //! cargo run --release --example quickstart -- --trace /tmp/quickstart.json
+//! cargo run --release --example quickstart -- --metrics-addr 127.0.0.1:9187
+//! cargo run --release --example quickstart -- --obs-log /tmp/quickstart_obs.jsonl
 //! ```
 //!
 //! Generates a synthetic logistic-regression problem (the paper's §4
@@ -18,17 +20,28 @@
 //! float run is unaffected — floats have no integer bit planes). With
 //! `--trace <path>`, the runs are traced and their merged span timeline is
 //! written as Chrome trace-event JSON (load it in `chrome://tracing` or
-//! Perfetto); a per-phase self-time summary prints to stderr.
+//! Perfetto); a per-phase self-time summary prints to stderr. With
+//! `--metrics-addr`, the training metrics are scrapeable live
+//! (`curl http://<addr>/metrics` returns Prometheus text exposition);
+//! with `--obs-log`, a JSONL time series of stamped metric snapshots is
+//! written for offline plotting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use buckwild::prelude::*;
 use buckwild::Backend;
 use buckwild_dataset::generate;
-use buckwild_telemetry::ShardedRecorder;
+use buckwild_obs::{MetricsExporter, ObsLogThread, ObsLogger};
+use buckwild_telemetry::{Recorder, ShardedRecorder};
 
 struct Args {
     trace_path: Option<String>,
     backend: Backend,
     kernel: Option<KernelFlavor>,
+    metrics_addr: Option<String>,
+    obs_log: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +49,8 @@ fn parse_args() -> Args {
         trace_path: None,
         backend: Backend::SharedModel,
         kernel: None,
+        metrics_addr: None,
+        obs_log: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -85,12 +100,27 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }
             },
+            "--metrics-addr" => match args.next() {
+                Some(addr) if !addr.is_empty() => parsed.metrics_addr = Some(addr),
+                _ => {
+                    eprintln!("quickstart: --metrics-addr requires a host:port");
+                    std::process::exit(2);
+                }
+            },
+            "--obs-log" => match args.next() {
+                Some(path) if !path.is_empty() => parsed.obs_log = Some(path),
+                _ => {
+                    eprintln!("quickstart: --obs-log requires a path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("quickstart: unrecognized argument `{other}`");
                 eprintln!(
                     "usage: quickstart [--backend {{shared,sharded}}] \
                      [--kernel {{generic,optimized,proposed,bitserial}}] \
-                     [--isa {{scalar,avx2,avx512,auto}}] [--trace <path>]"
+                     [--isa {{scalar,avx2,avx512,auto}}] [--trace <path>] \
+                     [--metrics-addr <host:port>] [--obs-log <path>]"
                 );
                 std::process::exit(2);
             }
@@ -104,6 +134,8 @@ fn main() {
         trace_path,
         backend,
         kernel,
+        metrics_addr,
+        obs_log,
     } = parse_args();
     let n = 256; // model size
     let m = 4000; // examples
@@ -121,22 +153,53 @@ fn main() {
         .threads(2)
         .seed(7);
 
-    // One shared tracer: the three runs land in one timeline.
+    // One shared tracer: the three runs land in one timeline. One shared
+    // recorder: the exporter and the obs log see cumulative metrics.
     let tracer = trace_path.as_ref().map(|_| RingTracer::new());
+    let observing = metrics_addr.is_some() || obs_log.is_some();
+    let recorder = Arc::new(ShardedRecorder::new(2));
+    let exporter = metrics_addr.as_deref().map(|addr| {
+        let source = recorder.clone();
+        let exporter = MetricsExporter::start(addr, Arc::new(move || source.snapshot()))
+            .unwrap_or_else(|e| {
+                eprintln!("quickstart: cannot serve metrics on {addr}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!(
+            "metrics: live at http://{}/metrics while training runs",
+            exporter.local_addr()
+        );
+        exporter
+    });
+    let finished_runs = Arc::new(AtomicU64::new(0));
+    let obs_thread = obs_log.as_deref().map(|path| {
+        let logger = ObsLogger::create(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("quickstart: cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        let source = recorder.clone();
+        let runs = finished_runs.clone();
+        ObsLogThread::spawn(
+            logger,
+            Duration::from_millis(100),
+            Box::new(move || (runs.load(Ordering::Relaxed), source.snapshot())),
+        )
+    });
 
     for sig in ["D32fM32f", "D16M16", "D8M8"] {
         let config = base
             .clone()
             .signature(sig.parse().expect("static signature"));
         let report = match &tracer {
-            Some(tracer) => {
-                let recorder = ShardedRecorder::new(2);
-                config
-                    .train_traced(&problem.data, &recorder, &NoopInjector, tracer)
-                    .expect("valid config")
-            }
+            Some(tracer) => config
+                .train_traced(&problem.data, &*recorder, &NoopInjector, tracer)
+                .expect("valid config"),
+            None if observing => config
+                .train_traced(&problem.data, &*recorder, &NoopInjector, &NoopTracer)
+                .expect("valid config"),
             None => config.train(&problem.data).expect("valid config"),
         };
+        finished_runs.fetch_add(1, Ordering::Relaxed);
         let acc = accuracy(Loss::Logistic, report.model(), &problem.data);
         println!(
             "{sig:>9}: final loss {:.4}, train accuracy {:.1}%, throughput {:.3} GNPS",
@@ -145,6 +208,17 @@ fn main() {
             report.gnps(),
         );
     }
+    if let Some(thread) = obs_thread {
+        if let Err(e) = thread.stop() {
+            eprintln!("quickstart: obs log write failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "obs log: JSONL time series written to {}",
+            obs_log.as_deref().unwrap_or_default()
+        );
+    }
+    drop(exporter);
     if let (Some(path), Some(tracer)) = (&trace_path, tracer) {
         let trace = tracer.drain();
         if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
